@@ -1,0 +1,52 @@
+//! Debug probe for the client tests.
+use android::{harness::ActivitySpec, library};
+use pta::{ContextPolicy, HeapEdge, ModRef};
+use symex::{Engine, SymexConfig};
+use tir::{Operand, ProgramBuilder, Ty};
+
+fn main() {
+    let mut b = ProgramBuilder::new();
+    let lib = library::install(&mut b);
+    let act = b.class("Act", Some(lib.activity));
+    let objs = b.global("OBJS", Ty::Ref(lib.vec));
+    b.method(Some(act), "onCreate", &[], None, |mb| {
+        let this = mb.this();
+        let acts = mb.var("acts", Ty::Ref(lib.vec));
+        let hello = mb.var("hello", Ty::Ref(lib.string));
+        let objs_v = mb.var("objs", Ty::Ref(lib.vec));
+        mb.new_obj(acts, lib.vec, "vec1");
+        mb.call_static(None, lib.vec_init, &[Operand::Var(acts)]);
+        mb.call_virtual(None, acts, "push", &[Operand::Var(this)]);
+        mb.new_obj(hello, lib.string, "hello0");
+        mb.read_global(objs_v, objs);
+        mb.call_virtual(None, objs_v, "push", &[Operand::Var(hello)]);
+    });
+    let setup = b.class("SetupAct", Some(lib.activity));
+    b.method(Some(setup), "onCreate", &[], None, |mb| {
+        let v = mb.var("v", Ty::Ref(lib.vec));
+        mb.new_obj(v, lib.vec, "vec0");
+        mb.call_static(None, lib.vec_init, &[Operand::Var(v)]);
+        mb.write_global(objs, v);
+    });
+    android::harness::generate_main(
+        &mut b,
+        &lib,
+        &[ActivitySpec::new(setup, "setup0"), ActivitySpec::new(act, "act0")],
+    );
+    let p = b.finish();
+    let policy = ContextPolicy::containers_named(&p, library::CONTAINER_CLASSES);
+    let pta = pta::analyze(&p, policy);
+    let modref = ModRef::compute(&p, &pta);
+    eprintln!("== points-to graph ==\n{}", pta.dump(&p));
+    let empty = pta.locs().ids().find(|&l| pta.loc_name(&p, l) == "vec_empty_arr").unwrap();
+    let act0 = pta.locs().ids().find(|&l| pta.loc_name(&p, l) == "act0").unwrap();
+    let edge = HeapEdge::Field { base: empty, field: p.contents_field, target: act0 };
+    let mut engine = Engine::new(&p, &pta, &modref, SymexConfig::default());
+    let t = std::time::Instant::now();
+    let out = engine.refute_edge(&edge);
+    match &out {
+        symex::SearchOutcome::Witnessed(w) => println!("WITNESS {}", w.describe(&p)),
+        other => println!("{other:?}"),
+    }
+    println!("time={:?} paths={} cmds={}", t.elapsed(), engine.stats.path_programs, engine.stats.cmds_executed);
+}

@@ -1,0 +1,260 @@
+//! The Activity-leak client (§2 "Formulate Queries", §4).
+//!
+//! An *alarm* is a pair (static field, Activity abstract location) connected
+//! in the flow-insensitive points-to graph. The client asks the
+//! witness-refutation engine about each edge of a connecting heap path; a
+//! refuted edge is deleted and an alternative path is sought. The alarm is
+//! *filtered* when source and sink become disconnected, and *reported* when
+//! every edge of some path is witnessed (or times out, which is soundly
+//! treated as witnessed).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use pta::{BitSet, HeapEdge, HeapGraphView, LocId, ModRef, PtaResult};
+use symex::{Engine, SearchOutcome, SymexConfig, Witness};
+use tir::{GlobalId, Program};
+
+// Annotations are applied at the points-to level (see
+// [`crate::annotations`]); the client consumes the already-annotated
+// analysis result.
+
+/// One (static field, Activity location) pair reported by the
+/// flow-insensitive analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Alarm {
+    /// The static field (global) at the path source.
+    pub field: GlobalId,
+    /// The Activity instance location at the path sink.
+    pub activity: LocId,
+}
+
+/// Outcome of triaging one alarm.
+#[derive(Clone, Debug)]
+pub enum AlarmResult {
+    /// Every heap path was severed: the alarm is a proven false positive.
+    Refuted,
+    /// A path survived with all edges witnessed: a real (or at least
+    /// unrefuted) leak, with one witness per edge.
+    Witnessed {
+        /// The surviving path.
+        path: Vec<HeapEdge>,
+        /// A representative witness for the last edge decided.
+        witness: Option<Witness>,
+    },
+}
+
+impl AlarmResult {
+    /// True if the alarm was filtered out.
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, AlarmResult::Refuted)
+    }
+}
+
+/// Per-run counters matching the Table 1 column groups.
+#[derive(Clone, Debug, Default)]
+pub struct ClientStats {
+    /// Edges refuted (`RefEdg`).
+    pub edges_refuted: usize,
+    /// Edges witnessed (`WitEdg`).
+    pub edges_witnessed: usize,
+    /// Edge timeouts (`TO`).
+    pub edge_timeouts: usize,
+    /// Wall time of the symbolic-execution phase.
+    pub symex_time: Duration,
+}
+
+/// The full leak report for one app/configuration.
+#[derive(Debug)]
+pub struct LeakReport {
+    /// Each alarm with its outcome, in discovery order.
+    pub alarms: Vec<(Alarm, AlarmResult)>,
+    /// Edge/time counters.
+    pub stats: ClientStats,
+}
+
+impl LeakReport {
+    /// Number of alarms reported by the flow-insensitive analysis
+    /// (`Alarms`).
+    pub fn num_alarms(&self) -> usize {
+        self.alarms.len()
+    }
+
+    /// Number of refuted alarms (`RefA`).
+    pub fn num_refuted(&self) -> usize {
+        self.alarms.iter().filter(|(_, r)| r.is_refuted()).count()
+    }
+
+    /// Number of surviving alarms.
+    pub fn num_witnessed(&self) -> usize {
+        self.num_alarms() - self.num_refuted()
+    }
+
+    /// Distinct leaky fields reported by the points-to analysis (`Flds`).
+    pub fn num_fields(&self) -> usize {
+        let mut fields: Vec<GlobalId> = self.alarms.iter().map(|(a, _)| a.field).collect();
+        fields.sort();
+        fields.dedup();
+        fields.len()
+    }
+
+    /// Fields whose every alarm was refuted (`RefFlds`): proven to never
+    /// point to any Activity.
+    pub fn num_refuted_fields(&self) -> usize {
+        let mut by_field: HashMap<GlobalId, bool> = HashMap::new();
+        for (a, r) in &self.alarms {
+            let e = by_field.entry(a.field).or_insert(true);
+            *e &= r.is_refuted();
+        }
+        by_field.values().filter(|&&all| all).count()
+    }
+}
+
+/// The leak-detection client. Owns the edge-result cache and the deletion
+/// overlay; borrows the analysis results.
+pub struct LeakClient<'a> {
+    program: &'a Program,
+    pta: &'a PtaResult,
+    view: HeapGraphView<'a>,
+    engine: Engine<'a>,
+    cache: HashMap<HeapEdge, CachedOutcome>,
+    activity_locs: BitSet,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum CachedOutcome {
+    Refuted,
+    Witnessed,
+    Timeout,
+}
+
+impl<'a> LeakClient<'a> {
+    /// Creates a client over an (optionally annotation-aware) analysis
+    /// result.
+    pub fn new(
+        program: &'a Program,
+        pta: &'a PtaResult,
+        modref: &'a ModRef,
+        config: SymexConfig,
+    ) -> Self {
+        let view = HeapGraphView::new(pta);
+        let activity_class = program
+            .class_by_name("Activity")
+            .expect("Android library model not installed");
+        let activity_locs = pta.locs_of_class(program, activity_class);
+        LeakClient {
+            program,
+            pta,
+            view,
+            engine: Engine::new(program, pta, modref, config),
+            cache: HashMap::new(),
+            activity_locs,
+        }
+    }
+
+    /// Read access to the engine statistics.
+    pub fn engine_stats(&self) -> &symex::SearchStats {
+        &self.engine.stats
+    }
+
+    /// Enumerates the (field, Activity) alarms of the annotated points-to
+    /// graph.
+    pub fn find_alarms(&self) -> Vec<Alarm> {
+        let mut out = Vec::new();
+        for g in self.program.global_ids() {
+            for target in self.activity_locs.iter() {
+                let t: BitSet = BitSet::singleton(target);
+                if self.view.is_reachable(self.program, g, &t) {
+                    out.push(Alarm { field: g, activity: LocId(target as u32) });
+                }
+            }
+        }
+        out
+    }
+
+    /// Decides one edge, consulting and filling the cache. Refuted edges
+    /// are deleted from the view.
+    pub fn decide_edge(&mut self, edge: HeapEdge, stats: &mut ClientStats) -> CachedView {
+        if let Some(c) = self.cache.get(&edge) {
+            return match c {
+                CachedOutcome::Refuted => CachedView::Refuted,
+                CachedOutcome::Witnessed => CachedView::Witnessed(None),
+                CachedOutcome::Timeout => CachedView::Timeout,
+            };
+        }
+        let t0 = Instant::now();
+        let outcome = self.engine.refute_edge(&edge);
+        stats.symex_time += t0.elapsed();
+        match outcome {
+            SearchOutcome::Refuted => {
+                stats.edges_refuted += 1;
+                self.cache.insert(edge, CachedOutcome::Refuted);
+                self.view.delete(edge);
+                CachedView::Refuted
+            }
+            SearchOutcome::Witnessed(w) => {
+                stats.edges_witnessed += 1;
+                self.cache.insert(edge, CachedOutcome::Witnessed);
+                CachedView::Witnessed(Some(w))
+            }
+            SearchOutcome::Timeout => {
+                stats.edge_timeouts += 1;
+                self.cache.insert(edge, CachedOutcome::Timeout);
+                CachedView::Timeout
+            }
+        }
+    }
+
+    /// Triages one alarm: refute edges along paths until the alarm's
+    /// endpoints are disconnected, or some path is fully witnessed.
+    pub fn triage(&mut self, alarm: Alarm, stats: &mut ClientStats) -> AlarmResult {
+        let target = BitSet::singleton(alarm.activity.index());
+        'paths: loop {
+            let Some(path) = self.view.find_path(self.program, alarm.field, &target) else {
+                return AlarmResult::Refuted;
+            };
+            let mut last_witness = None;
+            for &edge in &path {
+                match self.decide_edge(edge, stats) {
+                    CachedView::Refuted => continue 'paths,
+                    CachedView::Witnessed(w) => last_witness = w.or(last_witness),
+                    // A timeout is soundly treated as not-refuted.
+                    CachedView::Timeout => {}
+                }
+            }
+            return AlarmResult::Witnessed { path, witness: last_witness };
+        }
+    }
+
+    /// Runs the full pipeline: enumerate alarms, triage each, aggregate.
+    pub fn run(mut self) -> LeakReport {
+        let alarms = self.find_alarms();
+        let mut stats = ClientStats::default();
+        let mut results = Vec::new();
+        for alarm in alarms {
+            let r = self.triage(alarm, &mut stats);
+            results.push((alarm, r));
+        }
+        LeakReport { alarms: results, stats }
+    }
+
+    /// Renders an alarm for diagnostics.
+    pub fn describe_alarm(&self, alarm: &Alarm) -> String {
+        format!(
+            "{} ~> {}",
+            self.program.global(alarm.field).name,
+            self.pta.loc_name(self.program, alarm.activity)
+        )
+    }
+}
+
+/// View of a cached edge decision.
+#[derive(Debug)]
+pub enum CachedView {
+    /// The edge is refuted (and now deleted).
+    Refuted,
+    /// The edge is witnessed; carries the witness on first decision.
+    Witnessed(Option<Witness>),
+    /// Budget exhausted; not refuted.
+    Timeout,
+}

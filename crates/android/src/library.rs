@@ -1,0 +1,458 @@
+//! The Android library model.
+//!
+//! The paper analyzes Android 2.3.3's custom implementations of the core
+//! collection classes; the precision-critical feature is the *null object
+//! pattern* (§2): every fresh container shares one static `EMPTY` backing
+//! array, and carefully guarded code avoids ever storing into it. A
+//! flow-insensitive points-to analysis conflates all containers through that
+//! shared array; Thresher's job is to un-conflate them.
+//!
+//! This module builds the model into a [`ProgramBuilder`]:
+//! - `Context` / `Activity` / `View` / `Adapter` / `CursorAdapter` /
+//!   `ResourceCursorAdapter` — the hierarchy exercised by the K9Mail leak of
+//!   Figure 5 (adapters keep `mContext` pointers to their Activity);
+//! - `AString` — stand-in for `java.lang.String` allocations;
+//! - `AVec` — the growable array of Figure 1 (`sz`/`cap`/`tbl` + shared
+//!   `VEC_EMPTY`);
+//! - `AHashMap` — open-hashing map with a shared `MAP_EMPTY_TABLE` backing
+//!   array and chained `HMEntry` nodes.
+
+use tir::{ClassId, CmpOp, Cond, FieldId, GlobalId, MethodId, Operand, ProgramBuilder, Ty};
+
+/// Ids of everything the library model declares.
+#[derive(Clone, Debug)]
+pub struct AndroidLib {
+    /// Root of all app classes (Java `Object` is the builtin root; `Context`
+    /// sits directly under it).
+    pub context: ClassId,
+    /// The `Activity` class; leak targets are its subclasses' instances.
+    pub activity: ClassId,
+    /// A view holding an `mContext` pointer.
+    pub view: ClassId,
+    /// `View.mContext`.
+    pub view_context: FieldId,
+    /// Adapter base class holding `mContext`.
+    pub adapter: ClassId,
+    /// `Adapter.mContext`.
+    pub adapter_context: FieldId,
+    /// `CursorAdapter extends Adapter`.
+    pub cursor_adapter: ClassId,
+    /// `ResourceCursorAdapter extends CursorAdapter` (Figure 5 chain).
+    pub resource_cursor_adapter: ClassId,
+    /// Constructor chain entry: `Adapter::ctor(this, ctx)`.
+    pub adapter_ctor: MethodId,
+    /// `CursorAdapter::ctor(this, ctx)` — calls up the chain.
+    pub cursor_adapter_ctor: MethodId,
+    /// `ResourceCursorAdapter::ctor(this, ctx)`.
+    pub resource_cursor_adapter_ctor: MethodId,
+    /// String stand-in.
+    pub string: ClassId,
+    /// A generic one-field holder (used by shared-helper patterns).
+    pub holder: ClassId,
+    /// `Holder.obj`.
+    pub holder_obj: FieldId,
+    /// The `AVec` growable array (Figure 1).
+    pub vec: ClassId,
+    /// `AVec::init`.
+    pub vec_init: MethodId,
+    /// `AVec::push`.
+    pub vec_push: MethodId,
+    /// `AVec::get`.
+    pub vec_get: MethodId,
+    /// `AVec::clear` (resets size; the backing array keeps its contents —
+    /// a realistic retention hazard).
+    pub vec_clear: MethodId,
+    /// The shared empty backing array of `AVec` (`Vec.EMPTY` of Figure 1).
+    pub vec_empty: GlobalId,
+    /// The `AHashMap` map class.
+    pub hashmap: ClassId,
+    /// `AHashMap::init`.
+    pub hashmap_init: MethodId,
+    /// `AHashMap::put`.
+    pub hashmap_put: MethodId,
+    /// `AHashMap::get`.
+    pub hashmap_get: MethodId,
+    /// `AHashMap::remove` (unlinks the first matching chain entry).
+    pub hashmap_remove: MethodId,
+    /// The shared empty backing table (`HashMap.EMPTY_TABLE` of §4).
+    pub map_empty_table: GlobalId,
+    /// Allocation site of the shared `AVec` empty array.
+    pub vec_empty_alloc: tir::AllocId,
+    /// Allocation site of the shared `AHashMap` empty table.
+    pub map_empty_alloc: tir::AllocId,
+    /// The map entry class.
+    pub hm_entry: ClassId,
+    /// `HMEntry.key`.
+    pub entry_key: FieldId,
+    /// `HMEntry.value`.
+    pub entry_value: FieldId,
+    /// `HMEntry.next`.
+    pub entry_next: FieldId,
+    /// Initializes the library statics; the harness calls it first.
+    pub static_init: MethodId,
+}
+
+/// Names of the container classes, for
+/// [`ContextPolicy::containers_named`](pta::ContextPolicy::containers_named).
+pub const CONTAINER_CLASSES: &[&str] = &["AVec", "AHashMap"];
+
+/// Declares the Android library model into `b`.
+pub fn install(b: &mut ProgramBuilder) -> AndroidLib {
+    let object = b.object_class();
+
+    // ---- UI hierarchy -------------------------------------------------
+    let context = b.class("Context", Some(object));
+    let activity = b.class("Activity", Some(context));
+    let view = b.class("View", Some(object));
+    let view_context = b.field(view, "mContext", Ty::Ref(context));
+    let adapter = b.class("Adapter", Some(object));
+    let adapter_context = b.field(adapter, "mContext", Ty::Ref(context));
+    let cursor_adapter = b.class("CursorAdapter", Some(adapter));
+    let resource_cursor_adapter = b.class("ResourceCursorAdapter", Some(cursor_adapter));
+    let string = b.class("AString", Some(object));
+    let holder = b.class("Holder", Some(object));
+    let holder_obj = b.field(holder, "obj", Ty::Ref(object));
+
+    // Constructor chain: ResourceCursorAdapter -> CursorAdapter -> Adapter,
+    // passing the context parameter backwards until it lands in mContext
+    // (exactly the Figure 5 propagation).
+    let adapter_ctor =
+        b.method(Some(adapter), "ctor", &[("ctx", Ty::Ref(context))], None, |mb| {
+            let this = mb.this();
+            let ctx = mb.param(0);
+            mb.write_field(this, adapter_context, ctx);
+        });
+    let cursor_adapter_ctor =
+        b.method(Some(cursor_adapter), "ctorCursor", &[("ctx", Ty::Ref(context))], None, |mb| {
+            let this = mb.this();
+            let ctx = mb.param(0);
+            mb.call_static(None, adapter_ctor, &[Operand::Var(this), Operand::Var(ctx)]);
+        });
+    let resource_cursor_adapter_ctor = b.method(
+        Some(resource_cursor_adapter),
+        "ctorResource",
+        &[("ctx", Ty::Ref(context))],
+        None,
+        |mb| {
+            let this = mb.this();
+            let ctx = mb.param(0);
+            mb.call_static(None, cursor_adapter_ctor, &[Operand::Var(this), Operand::Var(ctx)]);
+        },
+    );
+
+    // ---- AVec (Figure 1) ----------------------------------------------
+    let vec = b.class("AVec", Some(object));
+    let vec_sz = b.field(vec, "sz", Ty::Int);
+    let vec_cap = b.field(vec, "cap", Ty::Int);
+    let vec_tbl = b.field(vec, "tbl", Ty::Ref(b.array_class()));
+    let vec_empty = b.global("VEC_EMPTY", Ty::Ref(b.array_class()));
+
+    let vec_init = b.method(Some(vec), "init", &[], None, |mb| {
+        let this = mb.this();
+        let e = mb.var("e", Ty::Ref(mb.program_builder().array_class()));
+        mb.write_field(this, vec_sz, 0);
+        mb.write_field(this, vec_cap, -1);
+        mb.read_global(e, vec_empty);
+        mb.write_field(this, vec_tbl, e);
+    });
+
+    let vec_push = b.method(Some(vec), "push", &[("val", Ty::Ref(object))], None, |mb| {
+        let arr_ty = Ty::Ref(mb.program_builder().array_class());
+        let this = mb.this();
+        let val = mb.param(0);
+        let oldtbl = mb.var("oldtbl", arr_ty);
+        let sz = mb.var("sz", Ty::Int);
+        let cap = mb.var("cap", Ty::Int);
+        let t = mb.var("t", Ty::Int);
+        let t2 = mb.var("t2", Ty::Int);
+        let newtbl = mb.var("newtbl", arr_ty);
+        let i = mb.var("i", Ty::Int);
+        let x = mb.var("x", Ty::Ref(object));
+        let tbl2 = mb.var("tbl2", arr_ty);
+        let sz2 = mb.var("sz2", Ty::Int);
+        let sz3 = mb.var("sz3", Ty::Int);
+
+        mb.read_field(oldtbl, this, vec_tbl);
+        mb.read_field(sz, this, vec_sz);
+        mb.read_field(cap, this, vec_cap);
+        mb.if_then(Cond::cmp(CmpOp::Ge, sz, cap), |mb| {
+            mb.array_len(t, oldtbl);
+            mb.binop(t2, tir::BinOp::Mul, t, 2);
+            mb.write_field(this, vec_cap, t2);
+            mb.new_array(newtbl, "vec_grown", t2);
+            mb.write_field(this, vec_tbl, newtbl);
+            mb.assign(i, 0);
+            mb.while_(Cond::cmp(CmpOp::Lt, i, sz), |mb| {
+                mb.read_array(x, oldtbl, i);
+                mb.write_array(newtbl, i, x);
+                mb.binop(i, tir::BinOp::Add, i, 1);
+            });
+        });
+        mb.read_field(tbl2, this, vec_tbl);
+        mb.read_field(sz2, this, vec_sz);
+        mb.write_array(tbl2, sz2, val);
+        mb.binop(sz3, tir::BinOp::Add, sz2, 1);
+        mb.write_field(this, vec_sz, sz3);
+    });
+
+    let vec_get =
+        b.method(Some(vec), "get", &[("idx", Ty::Int)], Some(Ty::Ref(object)), |mb| {
+            let arr_ty = Ty::Ref(mb.program_builder().array_class());
+            let this = mb.this();
+            let idx = mb.param(0);
+            let tbl = mb.var("tbl", arr_ty);
+            let out = mb.var("out", Ty::Ref(object));
+            mb.read_field(tbl, this, vec_tbl);
+            mb.read_array(out, tbl, idx);
+            mb.ret(out);
+        });
+
+    let vec_clear = b.method(Some(vec), "clear", &[], None, |mb| {
+        let this = mb.this();
+        mb.write_field(this, vec_sz, 0);
+    });
+
+    // ---- AHashMap ------------------------------------------------------
+    let hm_entry = b.class("HMEntry", Some(object));
+    let entry_key = b.field(hm_entry, "key", Ty::Ref(object));
+    let entry_value = b.field(hm_entry, "value", Ty::Ref(object));
+    let entry_next = b.field(hm_entry, "next", Ty::Ref(hm_entry));
+
+    let hashmap = b.class("AHashMap", Some(object));
+    let map_size = b.field(hashmap, "size", Ty::Int);
+    let map_threshold = b.field(hashmap, "threshold", Ty::Int);
+    let map_table = b.field(hashmap, "table", Ty::Ref(b.array_class()));
+    let map_empty_table = b.global("MAP_EMPTY_TABLE", Ty::Ref(b.array_class()));
+
+    let hashmap_init = b.method(Some(hashmap), "init", &[], None, |mb| {
+        let this = mb.this();
+        let e = mb.var("e", Ty::Ref(mb.program_builder().array_class()));
+        mb.write_field(this, map_size, 0);
+        mb.write_field(this, map_threshold, -1);
+        mb.read_global(e, map_empty_table);
+        mb.write_field(this, map_table, e);
+    });
+
+    let hashmap_put = b.method(
+        Some(hashmap),
+        "put",
+        &[("key", Ty::Ref(object)), ("value", Ty::Ref(object))],
+        None,
+        |mb| {
+            let arr_ty = Ty::Ref(mb.program_builder().array_class());
+            let this = mb.this();
+            let key = mb.param(0);
+            let value = mb.param(1);
+            let size = mb.var("size", Ty::Int);
+            let threshold = mb.var("threshold", Ty::Int);
+            let newtab = mb.var("newtab", arr_ty);
+            let cap2 = mb.var("cap2", Ty::Int);
+            let tab = mb.var("tab", arr_ty);
+            let h = mb.var("h", Ty::Int);
+            let head = mb.var("head", Ty::Ref(hm_entry));
+            let entry = mb.var("entry", Ty::Ref(hm_entry));
+            let size2 = mb.var("size2", Ty::Int);
+
+            mb.read_field(size, this, map_size);
+            mb.read_field(threshold, this, map_threshold);
+            mb.if_then(Cond::cmp(CmpOp::Ge, size, threshold), |mb| {
+                // Grow: allocate a fresh table (rehashing of old entries is
+                // modelled by the table copy loop).
+                let old = mb.var("old", arr_ty);
+                let j = mb.var("j", Ty::Int);
+                let moved = mb.var("moved", Ty::Ref(object));
+                let oldlen = mb.var("oldlen", Ty::Int);
+                mb.read_field(old, this, map_table);
+                mb.array_len(oldlen, old);
+                mb.binop(cap2, tir::BinOp::Add, oldlen, 8);
+                mb.new_array(newtab, "map_grown", cap2);
+                mb.write_field(this, map_table, newtab);
+                mb.write_field(this, map_threshold, cap2);
+                mb.assign(j, 0);
+                mb.while_(Cond::cmp(CmpOp::Lt, j, oldlen), |mb| {
+                    mb.read_array(moved, old, j);
+                    mb.write_array(newtab, j, moved);
+                    mb.binop(j, tir::BinOp::Add, j, 1);
+                });
+            });
+            mb.read_field(tab, this, map_table);
+            // Hash: model as a non-deterministic in-bounds index.
+            mb.array_len(h, tab);
+            mb.assume(Cond::Nondet);
+            mb.read_array(head, tab, h);
+            let new_entry = mb.var("ne", Ty::Ref(hm_entry));
+            mb.new_obj(new_entry, hm_entry, "hm_entry");
+            mb.write_field(new_entry, entry_key, key);
+            mb.write_field(new_entry, entry_value, value);
+            mb.write_field(new_entry, entry_next, head);
+            mb.write_array(tab, h, new_entry);
+            let _ = entry;
+            mb.read_field(size2, this, map_size);
+            mb.binop(size2, tir::BinOp::Add, size2, 1);
+            mb.write_field(this, map_size, size2);
+        },
+    );
+
+    let hashmap_get = b.method(
+        Some(hashmap),
+        "get",
+        &[("key", Ty::Ref(object))],
+        Some(Ty::Ref(object)),
+        |mb| {
+            let arr_ty = Ty::Ref(mb.program_builder().array_class());
+            let this = mb.this();
+            let key = mb.param(0);
+            let tab = mb.var("tab", arr_ty);
+            let h = mb.var("h", Ty::Int);
+            let cur = mb.var("cur", Ty::Ref(hm_entry));
+            let k = mb.var("k", Ty::Ref(object));
+            let out = mb.var("out", Ty::Ref(object));
+            mb.read_field(tab, this, map_table);
+            mb.array_len(h, tab);
+            mb.read_array(cur, tab, h);
+            mb.assign_null(out);
+            mb.loop_(|mb| {
+                mb.read_field(k, cur, entry_key);
+                mb.if_then(Cond::cmp(CmpOp::Eq, k, key), |mb| {
+                    mb.read_field(out, cur, entry_value);
+                });
+                mb.read_field(cur, cur, entry_next);
+            });
+            mb.ret(out);
+        },
+    );
+
+    let hashmap_remove = b.method(
+        Some(hashmap),
+        "remove",
+        &[("key", Ty::Ref(object))],
+        None,
+        |mb| {
+            let arr_ty = Ty::Ref(mb.program_builder().array_class());
+            let this = mb.this();
+            let key = mb.param(0);
+            let tab = mb.var("tab", arr_ty);
+            let h = mb.var("h", Ty::Int);
+            let head = mb.var("head", Ty::Ref(hm_entry));
+            let k = mb.var("k", Ty::Ref(object));
+            let nxt = mb.var("nxt", Ty::Ref(hm_entry));
+            let size = mb.var("size", Ty::Int);
+            mb.read_field(tab, this, map_table);
+            mb.array_len(h, tab);
+            mb.read_array(head, tab, h);
+            mb.if_then(Cond::cmp(CmpOp::Ne, head, Operand::Null), |mb| {
+                mb.read_field(k, head, entry_key);
+                mb.if_then(Cond::cmp(CmpOp::Eq, k, key), |mb| {
+                    // Unlink the head entry.
+                    mb.read_field(nxt, head, entry_next);
+                    mb.write_array(tab, h, nxt);
+                    mb.read_field(size, this, map_size);
+                    mb.binop(size, tir::BinOp::Sub, size, 1);
+                    mb.write_field(this, map_size, size);
+                });
+            });
+        },
+    );
+
+    // ---- Static initializer --------------------------------------------
+    let mut vec_empty_alloc = None;
+    let mut map_empty_alloc = None;
+    let static_init = b.method(None, "android_static_init", &[], None, |mb| {
+        let arr_ty = Ty::Ref(mb.program_builder().array_class());
+        let e1 = mb.var("e1", arr_ty);
+        let e2 = mb.var("e2", arr_ty);
+        vec_empty_alloc = Some(mb.new_array(e1, "vec_empty_arr", 1));
+        mb.write_global(vec_empty, e1);
+        map_empty_alloc = Some(mb.new_array(e2, "map_empty_arr", 1));
+        mb.write_global(map_empty_table, e2);
+    });
+    let vec_empty_alloc = vec_empty_alloc.expect("static init built");
+    let map_empty_alloc = map_empty_alloc.expect("static init built");
+
+    AndroidLib {
+        context,
+        activity,
+        view,
+        view_context,
+        adapter,
+        adapter_context,
+        cursor_adapter,
+        resource_cursor_adapter,
+        adapter_ctor,
+        cursor_adapter_ctor,
+        resource_cursor_adapter_ctor,
+        string,
+        holder,
+        holder_obj,
+        vec,
+        vec_init,
+        vec_push,
+        vec_get,
+        vec_clear,
+        vec_empty,
+        hashmap,
+        hashmap_init,
+        hashmap_put,
+        hashmap_get,
+        hashmap_remove,
+        map_empty_table,
+        vec_empty_alloc,
+        map_empty_alloc,
+        hm_entry,
+        entry_key,
+        entry_value,
+        entry_next,
+        static_init,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_installs_and_validates() {
+        let mut b = ProgramBuilder::new();
+        let lib = install(&mut b);
+        let main = b.method(None, "main", &[], None, |mb| {
+            mb.call_static(None, lib.static_init, &[]);
+        });
+        b.set_entry(main);
+        let p = b.finish();
+        assert!(p.class_by_name("AVec").is_some());
+        assert!(p.class_by_name("AHashMap").is_some());
+        assert!(p.is_subclass(lib.activity, lib.context));
+        assert!(p.is_subclass(lib.resource_cursor_adapter, lib.adapter));
+    }
+
+    #[test]
+    fn vec_empty_pollution_under_flow_insensitive_analysis() {
+        // Mirrors Figure 2: after one push, the flow-insensitive analysis
+        // believes the shared empty array may contain the pushed object.
+        let mut b = ProgramBuilder::new();
+        let lib = install(&mut b);
+        let main = b.method(None, "main", &[], None, |mb| {
+            let v = mb.var("v", Ty::Ref(lib.vec));
+            let o = mb.var("o", Ty::Ref(mb.program_builder().object_class()));
+            mb.call_static(None, lib.static_init, &[]);
+            mb.new_obj(v, lib.vec, "vec0");
+            mb.call_static(None, lib.vec_init, &[Operand::Var(v)]);
+            mb.new_obj(o, mb.program_builder().object_class(), "obj0");
+            mb.call_virtual(None, v, "push", &[Operand::Var(o)]);
+        });
+        b.set_entry(main);
+        let p = b.finish();
+        let r = pta::analyze(&p, pta::ContextPolicy::Insensitive);
+        let empty_arr = r
+            .locs()
+            .ids()
+            .find(|&l| r.loc_name(&p, l) == "vec_empty_arr")
+            .expect("empty array loc");
+        let obj0 = r.locs().ids().find(|&l| r.loc_name(&p, l) == "obj0").unwrap();
+        assert!(
+            r.pt_field(empty_arr, p.contents_field).contains(obj0.index()),
+            "expected the null-object pollution:\n{}",
+            r.dump(&p)
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! End-to-end leak-client tests: false alarms filtered, real leaks
+//! witnessed, annotations honoured.
+
+use android::{harness::ActivitySpec, library, paper_annotations, ActivityLeakChecker};
+use tir::{Operand, ProgramBuilder, Ty};
+
+/// The Figure 1 false alarm, end to end: an activity pushed into a local
+/// `AVec` pollutes the shared empty array; a static field points to another
+/// `AVec` holding only strings. The flow-insensitive analysis connects the
+/// static field to the activity through the shared array; Thresher refutes
+/// it.
+fn vec_false_alarm_app() -> tir::Program {
+    let mut b = ProgramBuilder::new();
+    let lib = library::install(&mut b);
+    let act = b.class("Act", Some(lib.activity));
+    let objs = b.global("OBJS", Ty::Ref(lib.vec));
+    b.method(Some(act), "onCreate", &[], None, |mb| {
+        let this = mb.this();
+        let acts = mb.var("acts", Ty::Ref(lib.vec));
+        let hello = mb.var("hello", Ty::Ref(lib.string));
+        let objs_v = mb.var("objs", Ty::Ref(lib.vec));
+        mb.new_obj(acts, lib.vec, "vec1");
+        mb.call_static(None, lib.vec_init, &[Operand::Var(acts)]);
+        mb.call_virtual(None, acts, "push", &[Operand::Var(this)]);
+        mb.new_obj(hello, lib.string, "hello0");
+        mb.read_global(objs_v, objs);
+        mb.call_virtual(None, objs_v, "push", &[Operand::Var(hello)]);
+    });
+    // Static initializer for OBJS, invoked from a free function the
+    // harness's static init can't see — do it in a handler-like setup
+    // method called first from main via an extra activity-free route:
+    // simplest is to initialize OBJS inside onCreate of a setup activity.
+    let setup = b.class("SetupAct", Some(lib.activity));
+    b.method(Some(setup), "onCreate", &[], None, |mb| {
+        let v = mb.var("v", Ty::Ref(lib.vec));
+        mb.new_obj(v, lib.vec, "vec0");
+        mb.call_static(None, lib.vec_init, &[Operand::Var(v)]);
+        mb.write_global(objs, v);
+    });
+    android::harness::generate_main(
+        &mut b,
+        &lib,
+        &[ActivitySpec::new(setup, "setup0"), ActivitySpec::new(act, "act0")],
+    );
+    b.finish()
+}
+
+#[test]
+fn fig1_false_alarm_is_filtered() {
+    let program = vec_false_alarm_app();
+    let report = ActivityLeakChecker::new(&program).check();
+    // The flow-insensitive analysis raises alarms (OBJS ~> activities);
+    // every one of them is refuted.
+    assert!(report.num_alarms() >= 1, "expected pollution alarms");
+    assert_eq!(
+        report.num_refuted(),
+        report.num_alarms(),
+        "all alarms should be filtered: {:?}",
+        report.alarms.iter().map(|(a, r)| (a, r.is_refuted())).collect::<Vec<_>>()
+    );
+    assert_eq!(report.num_refuted_fields(), report.num_fields());
+    assert!(report.stats.edges_refuted > 0);
+}
+
+/// The Figure 5 singleton leak: `getInstance(activity)` stores the activity
+/// into a static adapter's `mContext` through two superclass constructors.
+fn singleton_leak_app() -> tir::Program {
+    let mut b = ProgramBuilder::new();
+    let lib = library::install(&mut b);
+    let email_adapter = b.class("EmailAddressAdapter", Some(lib.resource_cursor_adapter));
+    let s_instance = b.global("EmailAddressAdapter.sInstance", Ty::Ref(email_adapter));
+
+    // getInstance(context): if (sInstance == null) sInstance = new ...
+    let get_instance = b.method(
+        None,
+        "getInstance",
+        &[("context", Ty::Ref(lib.context))],
+        Some(Ty::Ref(email_adapter)),
+        |mb| {
+            let ctx = mb.param(0);
+            let cur = mb.var("cur", Ty::Ref(email_adapter));
+            let fresh = mb.var("fresh", Ty::Ref(email_adapter));
+            let out = mb.var("out", Ty::Ref(email_adapter));
+            mb.read_global(cur, s_instance);
+            mb.if_then(tir::Cond::cmp(tir::CmpOp::Eq, cur, Operand::Null), |mb| {
+                mb.new_obj(fresh, email_adapter, "adr0");
+                mb.call_static(
+                    None,
+                    lib.resource_cursor_adapter_ctor,
+                    &[Operand::Var(fresh), Operand::Var(ctx)],
+                );
+                mb.write_global(s_instance, fresh);
+            });
+            mb.read_global(out, s_instance);
+            mb.ret(out);
+        },
+    );
+
+    let act = b.class("MessageCompose", Some(lib.activity));
+    b.method(Some(act), "onCreate", &[], None, |mb| {
+        let this = mb.this();
+        let a = mb.var("a", Ty::Ref(email_adapter));
+        mb.call_static(Some(a), get_instance, &[Operand::Var(this)]);
+    });
+    android::harness::generate_main(&mut b, &lib, &[ActivitySpec::new(act, "compose0")]);
+    b.finish()
+}
+
+#[test]
+fn fig5_singleton_leak_is_witnessed() {
+    let program = singleton_leak_app();
+    let report = ActivityLeakChecker::new(&program).check();
+    assert!(report.num_alarms() >= 1);
+    // The leak is real: at least the sInstance alarms survive.
+    assert!(
+        report.num_witnessed() >= 1,
+        "the singleton leak must not be refuted: {:?}",
+        report.alarms.iter().map(|(a, r)| (a, r.is_refuted())).collect::<Vec<_>>()
+    );
+    // Witnessed alarms carry paths for triage, and every recorded witness
+    // trace is structurally consistent with the call graph (§4: path
+    // program witnesses are the triage artifact).
+    let pta = pta::analyze(
+        &program,
+        pta::ContextPolicy::containers_named(&program, android::library::CONTAINER_CLASSES),
+    );
+    for (_, r) in &report.alarms {
+        if let android::AlarmResult::Witnessed { path, witness } = r {
+            assert!(!path.is_empty());
+            if let Some(w) = witness {
+                assert_eq!(
+                    symex::validate_witness(&program, &pta, w),
+                    symex::ReplayVerdict::Consistent
+                );
+            }
+        }
+    }
+}
+
+/// A latent leak behind a provably-false flag (the StandupTimer case):
+/// the path-sensitive search refutes the alarm.
+#[test]
+fn latent_flag_guarded_leak_is_refuted() {
+    let mut b = ProgramBuilder::new();
+    let lib = library::install(&mut b);
+    let act = b.class("TimerAct", Some(lib.activity));
+    let cache = b.global("DAO.cachedInstance", Ty::Ref(lib.activity));
+    let flag = b.global("DAO.cacheDAOInstances", Ty::Int);
+    b.method(Some(act), "onCreate", &[], None, |mb| {
+        let this = mb.this();
+        let f = mb.var("f", Ty::Int);
+        mb.write_global(flag, 0); // configuration: caching disabled
+        mb.read_global(f, flag);
+        mb.if_then(tir::Cond::cmp(tir::CmpOp::Eq, f, 1), |mb| {
+            mb.write_global(cache, this);
+        });
+    });
+    android::harness::generate_main(&mut b, &lib, &[ActivitySpec::new(act, "timer0")]);
+    let program = b.finish();
+    let report = ActivityLeakChecker::new(&program).check();
+    assert_eq!(report.num_alarms(), 1);
+    assert_eq!(report.num_refuted(), 1, "the guarded leak is latent, not real");
+}
+
+/// HashMap pollution: storing activities in one map and strings in a
+/// static map connects the static map to activities through the shared
+/// EMPTY_TABLE. The annotation severs those edges up front.
+fn hashmap_pollution_app() -> (tir::Program, Vec<android::Annotation>) {
+    let mut b = ProgramBuilder::new();
+    let lib = library::install(&mut b);
+    let act = b.class("MapAct", Some(lib.activity));
+    let config_map = b.global("CONFIG", Ty::Ref(lib.hashmap));
+    b.method(Some(act), "onCreate", &[], None, |mb| {
+        let this = mb.this();
+        let local = mb.var("local", Ty::Ref(lib.hashmap));
+        let k1 = mb.var("k1", Ty::Ref(lib.string));
+        let cfg = mb.var("cfg", Ty::Ref(lib.hashmap));
+        let v1 = mb.var("v1", Ty::Ref(lib.string));
+        // Local map holding the activity.
+        mb.new_obj(local, lib.hashmap, "localMap");
+        mb.call_static(None, lib.hashmap_init, &[Operand::Var(local)]);
+        mb.new_obj(k1, lib.string, "key1");
+        mb.call_virtual(None, local, "put", &[Operand::Var(k1), Operand::Var(this)]);
+        // Static map holding only strings.
+        mb.new_obj(cfg, lib.hashmap, "configMap");
+        mb.call_static(None, lib.hashmap_init, &[Operand::Var(cfg)]);
+        mb.new_obj(v1, lib.string, "val1");
+        mb.call_virtual(None, cfg, "put", &[Operand::Var(k1), Operand::Var(v1)]);
+        mb.write_global(config_map, cfg);
+    });
+    android::harness::generate_main(&mut b, &lib, &[ActivitySpec::new(act, "mapact0")]);
+    let anns = paper_annotations(&lib);
+    (b.finish(), anns)
+}
+
+#[test]
+fn hashmap_annotation_reduces_alarms() {
+    let (program, anns) = hashmap_pollution_app();
+    let unannotated = ActivityLeakChecker::new(&program).check();
+    let annotated = ActivityLeakChecker::new(&program).with_annotations(anns).check();
+    // The annotation can only reduce (or keep) the alarm count.
+    assert!(annotated.num_alarms() <= unannotated.num_alarms());
+    // Under the annotation, the string-only static map is clean.
+    assert_eq!(
+        annotated.num_witnessed(),
+        0,
+        "annotated run must filter everything: {} alarms, {} refuted",
+        annotated.num_alarms(),
+        annotated.num_refuted()
+    );
+}

@@ -1,0 +1,110 @@
+//! Behavioural tests for the leak client's edge cache, stats accounting,
+//! and report aggregation.
+
+use android::{harness::ActivitySpec, library, ClientStats, LeakClient};
+use pta::{ContextPolicy, ModRef};
+use symex::SymexConfig;
+use tir::{Operand, ProgramBuilder, Ty};
+
+fn two_field_app() -> tir::Program {
+    let mut b = ProgramBuilder::new();
+    let lib = library::install(&mut b);
+    let act = b.class("App", Some(lib.activity));
+    // Two static fields both pointing at the same adapter object, so they
+    // share the adapter.mContext -> activity edge.
+    let f1 = b.global("S1", Ty::Ref(lib.adapter));
+    let f2 = b.global("S2", Ty::Ref(lib.adapter));
+    b.method(Some(act), "onCreate", &[], None, |mb| {
+        let this = mb.this();
+        let a = mb.var("a", Ty::Ref(lib.adapter));
+        mb.new_obj(a, lib.adapter, "ad0");
+        mb.write_field(a, lib.adapter_context, this);
+        mb.write_global(f1, a);
+        mb.write_global(f2, a);
+    });
+    android::harness::generate_main(&mut b, &lib, &[ActivitySpec::new(act, "app0")]);
+    b.finish()
+}
+
+#[test]
+fn shared_edges_are_decided_once() {
+    let program = two_field_app();
+    let policy = ContextPolicy::containers_named(&program, library::CONTAINER_CLASSES);
+    let pta = pta::analyze(&program, policy);
+    let modref = ModRef::compute(&program, &pta);
+    let mut client = LeakClient::new(&program, &pta, &modref, SymexConfig::default());
+    let alarms = client.find_alarms();
+    assert_eq!(alarms.len(), 2, "one alarm per static field");
+    let mut stats = ClientStats::default();
+    for a in alarms {
+        let r = client.triage(a, &mut stats);
+        assert!(!r.is_refuted(), "both leaks are real");
+    }
+    // Three distinct edges decided: S1->ad0, S2->ad0, ad0.mContext->app0.
+    // The shared mContext edge is decided once thanks to the cache.
+    assert_eq!(stats.edges_witnessed, 3);
+    assert_eq!(stats.edges_refuted, 0);
+    assert_eq!(stats.edge_timeouts, 0);
+}
+
+#[test]
+fn report_aggregates_by_field() {
+    let program = two_field_app();
+    let report = android::ActivityLeakChecker::new(&program).check();
+    assert_eq!(report.num_alarms(), 2);
+    assert_eq!(report.num_fields(), 2);
+    assert_eq!(report.num_refuted_fields(), 0);
+    assert_eq!(report.num_witnessed(), 2);
+}
+
+#[test]
+fn alarm_description_is_readable() {
+    let program = two_field_app();
+    let policy = ContextPolicy::containers_named(&program, library::CONTAINER_CLASSES);
+    let pta = pta::analyze(&program, policy);
+    let modref = ModRef::compute(&program, &pta);
+    let client = LeakClient::new(&program, &pta, &modref, SymexConfig::default());
+    let alarms = client.find_alarms();
+    let d = client.describe_alarm(&alarms[0]);
+    assert!(d.contains("~>"), "{d}");
+    assert!(d.contains("app0"), "{d}");
+}
+
+#[test]
+fn engine_stats_accessible_through_client() {
+    let program = two_field_app();
+    let policy = ContextPolicy::containers_named(&program, library::CONTAINER_CLASSES);
+    let pta = pta::analyze(&program, policy);
+    let modref = ModRef::compute(&program, &pta);
+    let mut client = LeakClient::new(&program, &pta, &modref, SymexConfig::default());
+    let mut stats = ClientStats::default();
+    for a in client.find_alarms() {
+        let _ = client.triage(a, &mut stats);
+    }
+    assert!(client.engine_stats().cmds_executed > 0);
+    assert!(client.engine_stats().path_programs > 0);
+}
+
+#[test]
+fn timeouts_are_not_refutations() {
+    // With a budget of zero every searched edge times out: nothing may be
+    // (unsoundly) refuted, so all alarms survive.
+    let program = two_field_app();
+    let policy = ContextPolicy::containers_named(&program, library::CONTAINER_CLASSES);
+    let pta = pta::analyze(&program, policy);
+    let modref = ModRef::compute(&program, &pta);
+    let mut client = LeakClient::new(
+        &program,
+        &pta,
+        &modref,
+        SymexConfig::default().with_budget(0),
+    );
+    let mut stats = ClientStats::default();
+    let alarms = client.find_alarms();
+    for a in alarms {
+        let r = client.triage(a, &mut stats);
+        assert!(!r.is_refuted());
+    }
+    assert_eq!(stats.edges_refuted, 0);
+    assert!(stats.edge_timeouts > 0);
+}

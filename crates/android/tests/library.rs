@@ -1,0 +1,215 @@
+//! Behavioural tests for the Android model library: collection flows,
+//! the adapter constructor chain, and harness coverage.
+
+use android::{harness::ActivitySpec, library};
+use pta::{ContextPolicy, LocId};
+use tir::{Operand, ProgramBuilder, Ty};
+
+fn loc(p: &tir::Program, r: &pta::PtaResult, name: &str) -> LocId {
+    r.locs()
+        .ids()
+        .find(|&l| r.loc_name(p, l) == name)
+        .unwrap_or_else(|| panic!("no loc {name}"))
+}
+
+#[test]
+fn hashmap_put_then_get_flows_values() {
+    let mut b = ProgramBuilder::new();
+    let lib = library::install(&mut b);
+    let act = b.class("App", Some(lib.activity));
+    let out = b.global("OUT", Ty::Ref(b.object_class()));
+    b.method(Some(act), "onCreate", &[], None, |mb| {
+        let m = mb.var("m", Ty::Ref(lib.hashmap));
+        let k = mb.var("k", Ty::Ref(lib.string));
+        let v = mb.var("v", Ty::Ref(lib.string));
+        let got = mb.var("got", Ty::Ref(mb.program_builder().object_class()));
+        mb.new_obj(m, lib.hashmap, "m0");
+        mb.call_static(None, lib.hashmap_init, &[Operand::Var(m)]);
+        mb.new_obj(k, lib.string, "k0");
+        mb.new_obj(v, lib.string, "v0");
+        mb.call_virtual(None, m, "put", &[Operand::Var(k), Operand::Var(v)]);
+        mb.call_virtual(Some(got), m, "get", &[Operand::Var(k)]);
+        mb.write_global(out, got);
+    });
+    android::harness::generate_main(&mut b, &lib, &[ActivitySpec::new(act, "app0")]);
+    let p = b.finish();
+    let r = pta::analyze(&p, ContextPolicy::Insensitive);
+    // The stored value flows out through get (entry chains).
+    let g = p.global_by_name("OUT").unwrap();
+    let v0 = loc(&p, &r, "v0");
+    assert!(
+        r.pt_global(g).contains(v0.index()),
+        "get() must return stored values:\n{}",
+        r.dump(&p)
+    );
+}
+
+#[test]
+fn adapter_ctor_chain_lands_in_mcontext() {
+    let mut b = ProgramBuilder::new();
+    let lib = library::install(&mut b);
+    let act = b.class("App", Some(lib.activity));
+    b.method(Some(act), "onCreate", &[], None, |mb| {
+        let this = mb.this();
+        let a = mb.var("a", Ty::Ref(lib.resource_cursor_adapter));
+        mb.new_obj(a, lib.resource_cursor_adapter, "ad0");
+        mb.call_static(
+            None,
+            lib.resource_cursor_adapter_ctor,
+            &[Operand::Var(a), Operand::Var(this)],
+        );
+    });
+    android::harness::generate_main(&mut b, &lib, &[ActivitySpec::new(act, "app0")]);
+    let p = b.finish();
+    let r = pta::analyze(&p, ContextPolicy::Insensitive);
+    // Two-superclass propagation: ad0.mContext -> app0.
+    let ad0 = loc(&p, &r, "ad0");
+    let app0 = loc(&p, &r, "app0");
+    assert!(r.pt_field(ad0, lib.adapter_context).contains(app0.index()));
+}
+
+#[test]
+fn vec_get_returns_pushed_values() {
+    let mut b = ProgramBuilder::new();
+    let lib = library::install(&mut b);
+    let act = b.class("App", Some(lib.activity));
+    let out = b.global("OUT", Ty::Ref(b.object_class()));
+    b.method(Some(act), "onCreate", &[], None, |mb| {
+        let v = mb.var("v", Ty::Ref(lib.vec));
+        let s = mb.var("s", Ty::Ref(lib.string));
+        let got = mb.var("got", Ty::Ref(mb.program_builder().object_class()));
+        mb.new_obj(v, lib.vec, "v0");
+        mb.call_static(None, lib.vec_init, &[Operand::Var(v)]);
+        mb.new_obj(s, lib.string, "s0");
+        mb.call_virtual(None, v, "push", &[Operand::Var(s)]);
+        mb.call_virtual(Some(got), v, "get", &[Operand::Int(0)]);
+        mb.write_global(out, got);
+    });
+    android::harness::generate_main(&mut b, &lib, &[ActivitySpec::new(act, "app0")]);
+    let p = b.finish();
+    let r = pta::analyze(&p, ContextPolicy::Insensitive);
+    let g = p.global_by_name("OUT").unwrap();
+    assert!(r.pt_global(g).contains(loc(&p, &r, "s0").index()));
+}
+
+#[test]
+fn container_policy_splits_per_receiver() {
+    // Two vecs grown separately: container sensitivity distinguishes their
+    // grown arrays (the vec0.arr1 naming of Figure 2).
+    let mut b = ProgramBuilder::new();
+    let lib = library::install(&mut b);
+    let act = b.class("App", Some(lib.activity));
+    b.method(Some(act), "onCreate", &[], None, |mb| {
+        let v1 = mb.var("v1", Ty::Ref(lib.vec));
+        let v2 = mb.var("v2", Ty::Ref(lib.vec));
+        let s = mb.var("s", Ty::Ref(lib.string));
+        mb.new_obj(v1, lib.vec, "vecA");
+        mb.call_static(None, lib.vec_init, &[Operand::Var(v1)]);
+        mb.new_obj(v2, lib.vec, "vecB");
+        mb.call_static(None, lib.vec_init, &[Operand::Var(v2)]);
+        mb.new_obj(s, lib.string, "s0");
+        mb.call_virtual(None, v1, "push", &[Operand::Var(s)]);
+        mb.call_virtual(None, v2, "push", &[Operand::Var(s)]);
+    });
+    android::harness::generate_main(&mut b, &lib, &[ActivitySpec::new(act, "app0")]);
+    let p = b.finish();
+    let policy = ContextPolicy::containers_named(&p, library::CONTAINER_CLASSES);
+    let r = pta::analyze(&p, policy);
+    let names: Vec<String> = r.locs().ids().map(|l| r.loc_name(&p, l)).collect();
+    assert!(names.iter().any(|n| n == "vecA.vec_grown"), "{names:?}");
+    assert!(names.iter().any(|n| n == "vecB.vec_grown"), "{names:?}");
+}
+
+#[test]
+fn harness_handlers_all_reached_and_entry_has_no_params() {
+    let mut b = ProgramBuilder::new();
+    let lib = library::install(&mut b);
+    let act = b.class("App", Some(lib.activity));
+    for h in ["onCreate", "onResume", "onPause", "onDestroy"] {
+        b.method(Some(act), h, &[], None, |mb| {
+            mb.ret_void();
+        });
+    }
+    let spec = ActivitySpec::new(act, "app0")
+        .with_handler("onResume")
+        .with_handler("onPause")
+        .with_handler("onDestroy");
+    let main = android::harness::generate_main(&mut b, &lib, &[spec]);
+    let p = b.finish();
+    assert!(p.method(main).params.is_empty());
+    let r = pta::analyze(&p, ContextPolicy::Insensitive);
+    for h in ["onCreate", "onResume", "onPause", "onDestroy"] {
+        let m = p.method_on(act, h).unwrap();
+        assert!(r.is_reached(m), "{h} not reached by harness");
+    }
+}
+
+#[test]
+fn static_init_populates_shared_arrays() {
+    let mut b = ProgramBuilder::new();
+    let lib = library::install(&mut b);
+    let act = b.class("App", Some(lib.activity));
+    b.method(Some(act), "onCreate", &[], None, |mb| {
+        mb.ret_void();
+    });
+    android::harness::generate_main(&mut b, &lib, &[ActivitySpec::new(act, "app0")]);
+    let p = b.finish();
+    let r = pta::analyze(&p, ContextPolicy::Insensitive);
+    assert_eq!(r.pt_global(lib.vec_empty).len(), 1);
+    assert_eq!(r.pt_global(lib.map_empty_table).len(), 1);
+}
+
+#[test]
+fn vec_clear_does_not_release_contents() {
+    // clear() resets size but the backing array keeps its pointers — the
+    // classic retention hazard: the object stays heap-reachable.
+    let mut b = ProgramBuilder::new();
+    let lib = library::install(&mut b);
+    let act = b.class("App", Some(lib.activity));
+    let hold = b.global("HOLD", Ty::Ref(lib.vec));
+    b.method(Some(act), "onCreate", &[], None, |mb| {
+        let this = mb.this();
+        let v = mb.var("v", Ty::Ref(lib.vec));
+        mb.new_obj(v, lib.vec, "v0");
+        mb.call_static(None, lib.vec_init, &[Operand::Var(v)]);
+        mb.call_virtual(None, v, "push", &[Operand::Var(this)]);
+        mb.call_virtual(None, v, "clear", &[]);
+        mb.write_global(hold, v);
+    });
+    android::harness::generate_main(&mut b, &lib, &[ActivitySpec::new(act, "app0")]);
+    let p = b.finish();
+    let report = android::ActivityLeakChecker::new(&p).check();
+    // The activity stays reachable through the retained array: a true
+    // (retention) leak, not refuted.
+    assert!(report.num_witnessed() >= 1, "clear() must not hide retention");
+}
+
+#[test]
+fn hashmap_remove_keeps_graph_sound() {
+    let mut b = ProgramBuilder::new();
+    let lib = library::install(&mut b);
+    let act = b.class("App", Some(lib.activity));
+    let hold = b.global("HOLD", Ty::Ref(lib.hashmap));
+    b.method(Some(act), "onCreate", &[], None, |mb| {
+        let this = mb.this();
+        let m = mb.var("m", Ty::Ref(lib.hashmap));
+        let k = mb.var("k", Ty::Ref(lib.string));
+        mb.new_obj(m, lib.hashmap, "m0");
+        mb.call_static(None, lib.hashmap_init, &[Operand::Var(m)]);
+        mb.new_obj(k, lib.string, "k0");
+        mb.call_virtual(None, m, "put", &[Operand::Var(k), Operand::Var(this)]);
+        mb.call_virtual(None, m, "remove", &[Operand::Var(k)]);
+        mb.write_global(hold, m);
+    });
+    android::harness::generate_main(&mut b, &lib, &[ActivitySpec::new(act, "app0")]);
+    let p = b.finish();
+    // remove() is flow-sensitive behaviour the flow-insensitive property
+    // ignores: the alarm survives (sound — the entry existed at some
+    // point), mirroring the paper's flow-insensitive client.
+    let report = android::ActivityLeakChecker::new(&p).check();
+    assert!(report.num_witnessed() >= 1);
+    // And the remove method itself is reached and analyzed.
+    let r = pta::analyze(&p, ContextPolicy::Insensitive);
+    let remove = p.method_on(lib.hashmap, "remove").unwrap();
+    assert!(r.is_reached(remove));
+}

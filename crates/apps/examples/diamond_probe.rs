@@ -1,0 +1,35 @@
+//! Probe: diamond-edge refutation with and without simplification.
+use pta::{HeapEdge, ModRef};
+use symex::{Engine, SymexConfig};
+
+fn main() {
+    let app = apps::suite::pulsepoint();
+    let p = &app.program;
+    let policy = apps::builder::container_policy(&app);
+    let opts = android::to_pta_options(&android::paper_annotations(&app.lib));
+    let pta = pta::analyze_with(p, policy, &opts);
+    let modref = ModRef::compute(p, &pta);
+    let holder_cls = p.class_by_name("Holder").unwrap();
+    let obj_f = p.resolve_field(holder_cls, "obj").unwrap();
+    let safe = pta.locs().ids().find(|&l| pta.loc_name(p, l).starts_with("dsafe_")).unwrap();
+    let act = pta
+        .locs()
+        .ids()
+        .find(|&l| pta.loc_name(p, l).contains("_inst") && p.is_subclass(pta.class_of(l), p.class_by_name("Activity").unwrap()))
+        .unwrap();
+    let edge = HeapEdge::Field { base: safe, field: obj_f, target: act };
+    for simp in [true, false] {
+        let cfg = SymexConfig::default().with_simplification(simp);
+        let mut e = Engine::new(p, &pta, &modref, cfg);
+        let t = std::time::Instant::now();
+        let out = e.refute_edge(&edge);
+        println!(
+            "simplification={simp} outcome={} time={:?} paths={} cmds={} subsumed={}",
+            match out { symex::SearchOutcome::Refuted => "refuted", symex::SearchOutcome::Witnessed(_) => "witnessed", _ => "timeout" },
+            t.elapsed(),
+            e.stats.path_programs,
+            e.stats.cmds_executed,
+            e.stats.subsumed,
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Writes every suite app and figure program as a `.tir` file under
+//! `corpus/` (run from the workspace root):
+//! `cargo run -p apps --example export_corpus`
+
+use std::fs;
+
+fn main() -> std::io::Result<()> {
+    fs::create_dir_all("corpus")?;
+    for app in apps::suite::all_apps() {
+        let path = format!("corpus/{}.tir", app.name.to_lowercase());
+        fs::write(&path, tir::print_program(&app.program))?;
+        println!("wrote {path}");
+    }
+    fs::write("corpus/fig1_vec_null_object.tir", apps::figures::FIG1_SOURCE)?;
+    fs::write("corpus/fig3_aliasing.tir", apps::figures::FIG3_SOURCE)?;
+    fs::write("corpus/multi_container.tir", apps::figures::MULTI_MAP_SOURCE)?;
+    println!("wrote corpus/fig1_vec_null_object.tir, fig3_aliasing.tir, multi_container.tir");
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Prints per-alarm outcomes for one suite app: `leakdump <app> [ann]`.
+use android::{paper_annotations, ActivityLeakChecker};
+use apps::{builder, suite};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "opensudoku".into());
+    let annotated = std::env::args().any(|a| a == "ann");
+    let app = match name.as_str() {
+        "pulsepoint" => suite::pulsepoint(),
+        "standuptimer" => suite::standuptimer(),
+        "droidlife" => suite::droidlife(),
+        "opensudoku" => suite::opensudoku(),
+        "smspopup" => suite::smspopup(),
+        "ametro" => suite::ametro(),
+        "k9mail" => suite::k9mail(),
+        other => panic!("unknown app {other}"),
+    };
+    let budget: u64 = std::env::args()
+        .filter_map(|a| a.strip_prefix("budget=").and_then(|v| v.parse().ok()))
+        .next()
+        .unwrap_or(10_000);
+    let mut checker = ActivityLeakChecker::new(&app.program)
+        .with_policy(builder::container_policy(&app))
+        .with_config(symex::SymexConfig::default().with_budget(budget));
+    if annotated {
+        checker = checker.with_annotations(paper_annotations(&app.lib));
+    }
+    let t0 = std::time::Instant::now();
+    let report = checker.check();
+    println!(
+        "app={} ann={} alarms={} refuted={} fields={} reffields={} refedg={} witedg={} to={} time={:?} total={:?}",
+        app.name,
+        annotated,
+        report.num_alarms(),
+        report.num_refuted(),
+        report.num_fields(),
+        report.num_refuted_fields(),
+        report.stats.edges_refuted,
+        report.stats.edges_witnessed,
+        report.stats.edge_timeouts,
+        report.stats.symex_time,
+        t0.elapsed(),
+    );
+    for (a, r) in &report.alarms {
+        println!(
+            "  {} ~> act : {}",
+            app.program.global(a.field).name,
+            if r.is_refuted() { "REFUTED" } else { "witnessed" }
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Assembles benchmark apps from activities and motifs.
+
+use android::harness::ActivitySpec;
+use android::library::{self, AndroidLib};
+use tir::{Program, ProgramBuilder};
+
+use crate::motifs::{self, Motif, MotifGlobals};
+
+/// A fully built benchmark app with its ground truth.
+#[derive(Debug)]
+pub struct BenchApp {
+    /// App name (matches the paper's benchmark names).
+    pub name: &'static str,
+    /// The program, harness included.
+    pub program: Program,
+    /// Library handle (for annotations and container policy).
+    pub lib: AndroidLib,
+    /// Names of globals that are *real* leaks (expected witnessed).
+    pub true_leak_fields: Vec<String>,
+    /// Names of globals whose alarms are false but expected to survive
+    /// refutation (solver-fragment gaps).
+    pub unrefutable_false_fields: Vec<String>,
+}
+
+/// One activity with its motifs.
+#[derive(Clone, Debug)]
+pub struct ActivityDef {
+    /// Class name (unique per app).
+    pub name: String,
+    /// Motifs instantiated in its `onCreate`.
+    pub motifs: Vec<Motif>,
+}
+
+impl ActivityDef {
+    /// Creates an activity definition.
+    pub fn new(name: impl Into<String>, motifs: Vec<Motif>) -> Self {
+        ActivityDef { name: name.into(), motifs }
+    }
+}
+
+/// Builds a benchmark app from activity definitions.
+pub fn build_app(name: &'static str, activities: &[ActivityDef]) -> BenchApp {
+    let mut b = ProgramBuilder::new();
+    let lib = library::install(&mut b);
+
+    // Declare activity classes and all motif globals first (so cross
+    // references resolve).
+    let mut classes = Vec::new();
+    for def in activities {
+        classes.push(b.class(&def.name, Some(lib.activity)));
+    }
+    let mut all_globals: Vec<Vec<MotifGlobals>> = Vec::new();
+    for def in activities {
+        let mut per = Vec::new();
+        for m in &def.motifs {
+            per.push(motifs::declare_globals(&mut b, &lib, m));
+        }
+        all_globals.push(per);
+    }
+
+    // Define onCreate bodies.
+    let mut specs = Vec::new();
+    for ((def, class), globals) in activities.iter().zip(&classes).zip(&all_globals) {
+        let lib_ref = &lib;
+        let def_name = def.name.clone();
+        b.method(Some(*class), "onCreate", &[], None, |mb| {
+            for (i, (motif, mg)) in def.motifs.iter().zip(globals).enumerate() {
+                let uniq = format!("{}_{}", def_name, i);
+                motifs::emit(mb, lib_ref, motif, mg, &uniq);
+            }
+        });
+        specs.push(ActivitySpec::new(*class, format!("{}_inst", def.name)));
+    }
+    android::harness::generate_main(&mut b, &lib, &specs);
+    let program = b.finish();
+
+    let mut true_leak_fields = Vec::new();
+    let mut unrefutable_false_fields = Vec::new();
+    for def in activities {
+        for m in &def.motifs {
+            if let Some(f) = m.field_name() {
+                if m.is_true_leak() {
+                    true_leak_fields.push(f.to_owned());
+                } else if m.is_unrefutable_false() {
+                    unrefutable_false_fields.push(f.to_owned());
+                }
+            }
+        }
+    }
+
+    BenchApp { name, program, lib, true_leak_fields, unrefutable_false_fields }
+}
+
+/// Approximate source-line count of the app (for the Table 1 `SLOC`-like
+/// size column we report command counts).
+pub fn app_size(app: &BenchApp) -> usize {
+    app.program.num_cmds()
+}
+
+/// The container-sensitive points-to policy for a built app.
+pub fn container_policy(app: &BenchApp) -> pta::ContextPolicy {
+    pta::ContextPolicy::containers_named(&app.program, library::CONTAINER_CLASSES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_app() {
+        let app = build_app(
+            "tiny",
+            &[ActivityDef::new(
+                "TinyAct",
+                vec![
+                    Motif::DirectStaticLeak { field: "Tiny.sLeak".into() },
+                    Motif::VecStringCache { field: "Tiny.sCache".into() },
+                ],
+            )],
+        );
+        assert!(app.program.class_by_name("TinyAct").is_some());
+        assert!(app.program.global_by_name("Tiny.sLeak").is_some());
+        assert_eq!(app.true_leak_fields, vec!["Tiny.sLeak"]);
+        assert!(app_size(&app) > 10);
+    }
+
+    #[test]
+    fn two_activities_do_not_collide() {
+        let app = build_app(
+            "two",
+            &[
+                ActivityDef::new("A1", vec![Motif::LocalVecActivity]),
+                ActivityDef::new("A2", vec![Motif::LocalVecActivity]),
+            ],
+        );
+        assert!(app.program.class_by_name("A1").is_some());
+        assert!(app.program.class_by_name("A2").is_some());
+    }
+}

@@ -1,0 +1,561 @@
+//! Leak and false-alarm motifs.
+//!
+//! Each motif is a code pattern observed in the paper's benchmarks,
+//! instantiated inside an activity's `onCreate`. Apps are compositions of
+//! motifs (see [`crate::suite`]); the per-motif ground truth drives the
+//! expected Table 1 shape:
+//!
+//! | Motif | Ground truth | Ann?=N outcome | Ann?=Y outcome |
+//! |---|---|---|---|
+//! | [`Motif::SingletonAdapterLeak`] | real leak (Fig. 5) | witnessed | witnessed |
+//! | [`Motif::DirectStaticLeak`] | real leak | witnessed | witnessed |
+//! | [`Motif::ViewHierarchyLeak`] | real leak | witnessed | witnessed |
+//! | [`Motif::GuardedLatentLeak`] | latent (flag off) | refuted | refuted |
+//! | [`Motif::SharedHelperFalse`] | false alarm | refuted (fast) | refuted (fast) |
+//! | [`Motif::VecStringCache`] | false alarm | refuted or timeout | no alarm |
+//! | [`Motif::MapStringCache`] | false alarm | refuted or timeout | no alarm |
+//! | [`Motif::UnrefutableFalse`] | false alarm | witnessed (solver gap) | witnessed |
+//! | [`Motif::LocalVecActivity`] | pollution source | — | — |
+//! | [`Motif::LocalMapActivity`] | pollution source | — | — |
+
+use android::library::AndroidLib;
+use tir::{CmpOp, Cond, GlobalId, MethodBuilder, Operand, ProgramBuilder, Ty};
+
+/// A code pattern added to an activity's `onCreate`. Fields name the static
+/// field (global) the motif creates, when it creates one.
+#[derive(Clone, Debug)]
+pub enum Motif {
+    /// The Figure 5 K9Mail leak: a static singleton adapter captures the
+    /// activity through a constructor chain into `mContext`.
+    SingletonAdapterLeak {
+        /// Name for the `sInstance` global.
+        field: String,
+    },
+    /// The simplest real leak: `STATIC = this`.
+    DirectStaticLeak {
+        /// Name for the global.
+        field: String,
+    },
+    /// A static `View` whose `mContext` points to the activity.
+    ViewHierarchyLeak {
+        /// Name for the global.
+        field: String,
+    },
+    /// The StandupTimer latent leak: the store is guarded by a flag that is
+    /// provably never set.
+    GuardedLatentLeak {
+        /// Name for the cache global.
+        field: String,
+    },
+    /// A false alarm refuted by argument-flow reasoning: a shared helper
+    /// stores objects into holders; only the local holder ever receives the
+    /// activity, but the flow-insensitive analysis conflates the two call
+    /// sites. Refutation is fast (the `WitAssign`-style eager refutation of
+    /// §3.2) and does not involve collections, so it succeeds in both
+    /// annotation configurations.
+    SharedHelperFalse {
+        /// Name for the static holder global.
+        field: String,
+    },
+    /// A static `AVec` that only ever holds strings. Reaches activities
+    /// only through the shared `VEC_EMPTY` pollution — a refutable false
+    /// alarm (the Figure 1 scenario).
+    VecStringCache {
+        /// Name for the global.
+        field: String,
+    },
+    /// A static `AHashMap` that only ever holds strings; reaches activities
+    /// only through `MAP_EMPTY_TABLE` pollution. Under the `Ann?=Y`
+    /// annotation the alarm disappears. `extra_puts` scatters additional
+    /// put call sites to scale refutation effort (the timeout knob).
+    MapStringCache {
+        /// Name for the global.
+        field: String,
+        /// Number of additional string puts.
+        extra_puts: usize,
+    },
+    /// The §3.2 "WitAssign vs WitNew" variant: the safe holder's value
+    /// comes from a `pick()` helper that returns one of `width^depth`
+    /// string allocations through nested non-deterministic choices. The
+    /// mixed representation refutes at the parameter binding (one step);
+    /// the fully symbolic representation must chase every path to an
+    /// allocation site — "the potentially exponential number of paths to
+    /// the allocation sites" the paper warns about. This motif drives the
+    /// Table 2 slowdown.
+    FanInFalse {
+        /// Name for the static holder global.
+        field: String,
+        /// Choice fan-out per level.
+        width: usize,
+        /// Nesting depth (paths = width^depth).
+        depth: usize,
+    },
+    /// A wide routing layer: `route(h, o)` reaches the bottom store through
+    /// `width` distinct call sites (non-deterministic dispatch), so the
+    /// store has `width` backwards caller paths that all arrive at the
+    /// router's entry with *identical* queries. Query-history subsumption
+    /// (§3.3) explores one continuation; without simplification every path
+    /// continues into the caller — multiplying with the second top-level
+    /// call into `O(width²)` work. This is the hypothesis-2 workload.
+    DiamondFalse {
+        /// Name for the static holder global.
+        field: String,
+        /// Number of routed call sites.
+        width: usize,
+    },
+    /// A false alarm the tool cannot refute: the guard uses multiplication,
+    /// which the path-constraint solver (like the paper's limited
+    /// constraint set) cannot reason about, so the impossible store is
+    /// soundly treated as witnessable.
+    UnrefutableFalse {
+        /// Name for the global.
+        field: String,
+    },
+    /// Pollution source: a local `AVec` holding the activity (pollutes
+    /// `VEC_EMPTY` flow-insensitively).
+    LocalVecActivity,
+    /// Pollution source: a local `AHashMap` holding the activity (pollutes
+    /// `MAP_EMPTY_TABLE` flow-insensitively).
+    LocalMapActivity,
+}
+
+impl Motif {
+    /// The global field name this motif introduces, if any.
+    pub fn field_name(&self) -> Option<&str> {
+        match self {
+            Motif::SingletonAdapterLeak { field }
+            | Motif::DirectStaticLeak { field }
+            | Motif::ViewHierarchyLeak { field }
+            | Motif::GuardedLatentLeak { field }
+            | Motif::VecStringCache { field }
+            | Motif::MapStringCache { field, .. }
+            | Motif::SharedHelperFalse { field }
+            | Motif::FanInFalse { field, .. }
+            | Motif::DiamondFalse { field, .. }
+            | Motif::UnrefutableFalse { field } => Some(field),
+            Motif::LocalVecActivity | Motif::LocalMapActivity => None,
+        }
+    }
+
+    /// True if the motif is a real leak (expected to be witnessed).
+    pub fn is_true_leak(&self) -> bool {
+        matches!(
+            self,
+            Motif::SingletonAdapterLeak { .. }
+                | Motif::DirectStaticLeak { .. }
+                | Motif::ViewHierarchyLeak { .. }
+        )
+    }
+
+    /// True if the motif produces alarms the tool is expected to fail to
+    /// refute even though they are false.
+    pub fn is_unrefutable_false(&self) -> bool {
+        matches!(self, Motif::UnrefutableFalse { .. })
+    }
+
+    /// True if the motif's alarms are designed to be refuted quickly in
+    /// every configuration (no collections involved).
+    pub fn is_fast_refutable(&self) -> bool {
+        matches!(
+            self,
+            Motif::GuardedLatentLeak { .. }
+                | Motif::SharedHelperFalse { .. }
+                | Motif::FanInFalse { .. }
+                | Motif::DiamondFalse { .. }
+        )
+    }
+}
+
+/// Pre-declared program items for one motif instance (created before method
+/// bodies are built).
+#[derive(Clone, Debug)]
+pub struct MotifGlobals {
+    /// The primary global, if the motif has one.
+    pub field: Option<GlobalId>,
+    /// Secondary globals (e.g. the guard flag).
+    pub aux: Vec<GlobalId>,
+    /// A helper function the motif's code calls, if any.
+    pub helper: Option<tir::MethodId>,
+    /// The value-producing helper (fan-in motif).
+    pub picker: Option<tir::MethodId>,
+}
+
+impl MotifGlobals {
+    fn with_picker(mut self, m: tir::MethodId) -> Self {
+        self.picker = Some(m);
+        self
+    }
+}
+
+/// Declares the globals (and helper functions) a motif needs.
+pub fn declare_globals(b: &mut ProgramBuilder, lib: &AndroidLib, motif: &Motif) -> MotifGlobals {
+    match motif {
+        Motif::SingletonAdapterLeak { field } => MotifGlobals {
+            field: Some(b.global(field, Ty::Ref(lib.resource_cursor_adapter))),
+            aux: Vec::new(),
+            helper: None,
+            picker: None,
+        },
+        Motif::DirectStaticLeak { field } => MotifGlobals {
+            field: Some(b.global(field, Ty::Ref(lib.activity))),
+            aux: Vec::new(),
+            helper: None,
+            picker: None,
+        },
+        Motif::ViewHierarchyLeak { field } => MotifGlobals {
+            field: Some(b.global(field, Ty::Ref(lib.view))),
+            aux: Vec::new(),
+            helper: None,
+            picker: None,
+        },
+        Motif::GuardedLatentLeak { field } => {
+            let f = b.global(field, Ty::Ref(lib.activity));
+            let flag = b.global(&format!("{field}.flag"), Ty::Int);
+            MotifGlobals { field: Some(f), aux: vec![flag], helper: None, picker: None }
+        }
+        Motif::SharedHelperFalse { field } => {
+            let f = b.global(field, Ty::Ref(lib.holder));
+            let object = b.object_class();
+            let holder = lib.holder;
+            let holder_obj = lib.holder_obj;
+            let helper = b.method(
+                None,
+                &format!("stash_{}", field.replace('.', "_")),
+                &[("h", Ty::Ref(holder)), ("o", Ty::Ref(object))],
+                None,
+                |mb| {
+                    let h = mb.param(0);
+                    let o = mb.param(1);
+                    mb.write_field(h, holder_obj, o);
+                },
+            );
+            MotifGlobals { field: Some(f), aux: Vec::new(), helper: Some(helper), picker: None }
+        }
+        Motif::VecStringCache { field } => MotifGlobals {
+            field: Some(b.global(field, Ty::Ref(lib.vec))),
+            aux: Vec::new(),
+            helper: None,
+            picker: None,
+        },
+        Motif::MapStringCache { field, .. } => MotifGlobals {
+            field: Some(b.global(field, Ty::Ref(lib.hashmap))),
+            aux: Vec::new(),
+            helper: None,
+            picker: None,
+        },
+        Motif::FanInFalse { field, width, depth } => {
+            let f = b.global(field, Ty::Ref(lib.holder));
+            let object = b.object_class();
+            let string = lib.string;
+            let tag = field.replace('.', "_");
+            // pick_1 allocates; pick_d (d>1) fans out into pick_{d-1}.
+            let mut prev: Option<tir::MethodId> = None;
+            for d in 1..=*depth {
+                let inner = prev;
+                let w = *width;
+                let tag2 = tag.clone();
+                let m = b.method(
+                    None,
+                    &format!("pick_{tag}_{d}"),
+                    &[],
+                    Some(Ty::Ref(object)),
+                    move |mb| {
+                        let r = mb.var("r", Ty::Ref(object));
+                        // Nested binary choices producing `w` branches.
+                        fn fan(
+                            mb: &mut tir::MethodBuilder,
+                            r: tir::VarId,
+                            n: usize,
+                            mk: &mut dyn FnMut(&mut tir::MethodBuilder, tir::VarId, usize),
+                            base: usize,
+                        ) {
+                            if n == 1 {
+                                mk(mb, r, base);
+                            } else {
+                                let half = n / 2;
+                                mb.begin_block();
+                                fan(mb, r, half, mk, base);
+                                let left = mb.end_block();
+                                mb.begin_block();
+                                fan(mb, r, n - half, mk, base + half);
+                                let right = mb.end_block();
+                                mb.push_choice(left, right);
+                            }
+                        }
+                        match inner {
+                            None => {
+                                let mut mk = |mb: &mut tir::MethodBuilder,
+                                              r: tir::VarId,
+                                              i: usize| {
+                                    mb.new_obj(r, string, &format!("pick_{tag2}_{i}"));
+                                };
+                                fan(mb, r, w, &mut mk, 0);
+                            }
+                            Some(inner_m) => {
+                                let mut mk = |mb: &mut tir::MethodBuilder,
+                                              r: tir::VarId,
+                                              _i: usize| {
+                                    mb.call_static(Some(r), inner_m, &[]);
+                                };
+                                fan(mb, r, w, &mut mk, 0);
+                            }
+                        }
+                        mb.ret(r);
+                    },
+                );
+                prev = Some(m);
+            }
+            let holder = lib.holder;
+            let holder_obj = lib.holder_obj;
+            let stash = b.method(
+                None,
+                &format!("fanstash_{tag}"),
+                &[("h", Ty::Ref(holder)), ("o", Ty::Ref(object))],
+                None,
+                |mb| {
+                    let h = mb.param(0);
+                    let o = mb.param(1);
+                    mb.write_field(h, holder_obj, o);
+                },
+            );
+            MotifGlobals {
+                field: Some(f),
+                aux: Vec::new(),
+                helper: Some(stash),
+                picker: None,
+            }
+            .with_picker(prev.expect("depth >= 1"))
+        }
+        Motif::DiamondFalse { field, width } => {
+            let f = b.global(field, Ty::Ref(lib.holder));
+            let object = b.object_class();
+            let holder = lib.holder;
+            let holder_obj = lib.holder_obj;
+            let tag = field.replace('.', "_");
+            let store = b.method(
+                None,
+                &format!("diamond_store_{tag}"),
+                &[("h", Ty::Ref(holder)), ("o", Ty::Ref(object))],
+                None,
+                |mb| {
+                    let h = mb.param(0);
+                    let o = mb.param(1);
+                    mb.write_field(h, holder_obj, o);
+                },
+            );
+            let w = *width;
+            let route = b.method(
+                None,
+                &format!("diamond_route_{tag}"),
+                &[("h", Ty::Ref(holder)), ("o", Ty::Ref(object))],
+                None,
+                move |mb| {
+                    let h = mb.param(0);
+                    let o = mb.param(1);
+                    // `w` distinct call sites behind a balanced choice tree.
+                    fn fan(
+                        mb: &mut tir::MethodBuilder,
+                        n: usize,
+                        mk: &mut dyn FnMut(&mut tir::MethodBuilder),
+                    ) {
+                        if n == 1 {
+                            mk(mb);
+                        } else {
+                            let half = n / 2;
+                            mb.begin_block();
+                            fan(mb, half, mk);
+                            let left = mb.end_block();
+                            mb.begin_block();
+                            fan(mb, n - half, mk);
+                            let right = mb.end_block();
+                            mb.push_choice(left, right);
+                        }
+                    }
+                    let mut mk = |mb: &mut tir::MethodBuilder| {
+                        mb.call_static(None, store, &[Operand::Var(h), Operand::Var(o)]);
+                    };
+                    fan(mb, w, &mut mk);
+                },
+            );
+            MotifGlobals { field: Some(f), aux: Vec::new(), helper: Some(route), picker: None }
+        }
+        Motif::UnrefutableFalse { field } => MotifGlobals {
+            field: Some(b.global(field, Ty::Ref(lib.activity))),
+            aux: Vec::new(),
+            helper: None,
+            picker: None,
+        },
+        Motif::LocalVecActivity | Motif::LocalMapActivity => {
+            MotifGlobals { field: None, aux: Vec::new(), helper: None, picker: None }
+        }
+    }
+}
+
+/// Emits the motif's code into an activity `onCreate` body. `uniq` makes
+/// allocation-site and variable names unique per instantiation.
+pub fn emit(
+    mb: &mut MethodBuilder,
+    lib: &AndroidLib,
+    motif: &Motif,
+    globals: &MotifGlobals,
+    uniq: &str,
+) {
+    let this = mb.this();
+    match motif {
+        Motif::SingletonAdapterLeak { .. } => {
+            let field = globals.field.expect("declared");
+            let cur = mb.var(&format!("cur_{uniq}"), Ty::Ref(lib.resource_cursor_adapter));
+            let fresh = mb.var(&format!("fresh_{uniq}"), Ty::Ref(lib.resource_cursor_adapter));
+            mb.read_global(cur, field);
+            mb.if_then(Cond::cmp(CmpOp::Eq, cur, Operand::Null), |mb| {
+                mb.new_obj(fresh, lib.resource_cursor_adapter, &format!("adr_{uniq}"));
+                mb.call_static(
+                    None,
+                    lib.resource_cursor_adapter_ctor,
+                    &[Operand::Var(fresh), Operand::Var(this)],
+                );
+                mb.write_global(field, fresh);
+            });
+        }
+        Motif::DirectStaticLeak { .. } => {
+            let field = globals.field.expect("declared");
+            mb.write_global(field, this);
+        }
+        Motif::ViewHierarchyLeak { .. } => {
+            let field = globals.field.expect("declared");
+            let v = mb.var(&format!("view_{uniq}"), Ty::Ref(lib.view));
+            mb.new_obj(v, lib.view, &format!("view_{uniq}"));
+            mb.write_field(v, lib.view_context, this);
+            mb.write_global(field, v);
+        }
+        Motif::GuardedLatentLeak { .. } => {
+            let field = globals.field.expect("declared");
+            let flag = globals.aux[0];
+            let f = mb.var(&format!("flag_{uniq}"), Ty::Int);
+            mb.write_global(flag, 0);
+            mb.read_global(f, flag);
+            mb.if_then(Cond::cmp(CmpOp::Eq, f, 1), |mb| {
+                mb.write_global(field, this);
+            });
+        }
+        Motif::SharedHelperFalse { .. } => {
+            let field = globals.field.expect("declared");
+            let helper = globals.helper.expect("declared");
+            let safe = mb.var(&format!("safe_{uniq}"), Ty::Ref(lib.holder));
+            let dirty = mb.var(&format!("dirty_{uniq}"), Ty::Ref(lib.holder));
+            let s = mb.var(&format!("hstr_{uniq}"), Ty::Ref(lib.string));
+            mb.new_obj(safe, lib.holder, &format!("safe_{uniq}"));
+            mb.new_obj(dirty, lib.holder, &format!("dirty_{uniq}"));
+            mb.new_obj(s, lib.string, &format!("hstr_{uniq}"));
+            mb.call_static(None, helper, &[Operand::Var(safe), Operand::Var(s)]);
+            mb.call_static(None, helper, &[Operand::Var(dirty), Operand::Var(this)]);
+            mb.write_global(field, safe);
+        }
+        Motif::VecStringCache { .. } => {
+            let field = globals.field.expect("declared");
+            let v = mb.var(&format!("vcache_{uniq}"), Ty::Ref(lib.vec));
+            let s = mb.var(&format!("vstr_{uniq}"), Ty::Ref(lib.string));
+            mb.new_obj(v, lib.vec, &format!("vcache_{uniq}"));
+            mb.call_static(None, lib.vec_init, &[Operand::Var(v)]);
+            mb.new_obj(s, lib.string, &format!("vstr_{uniq}"));
+            mb.call_virtual(None, v, "push", &[Operand::Var(s)]);
+            mb.write_global(field, v);
+        }
+        Motif::MapStringCache { extra_puts, .. } => {
+            let field = globals.field.expect("declared");
+            let m = mb.var(&format!("mcache_{uniq}"), Ty::Ref(lib.hashmap));
+            let k = mb.var(&format!("mkey_{uniq}"), Ty::Ref(lib.string));
+            let v = mb.var(&format!("mval_{uniq}"), Ty::Ref(lib.string));
+            mb.new_obj(m, lib.hashmap, &format!("mcache_{uniq}"));
+            mb.call_static(None, lib.hashmap_init, &[Operand::Var(m)]);
+            mb.new_obj(k, lib.string, &format!("mkey_{uniq}"));
+            mb.new_obj(v, lib.string, &format!("mval_{uniq}"));
+            mb.call_virtual(None, m, "put", &[Operand::Var(k), Operand::Var(v)]);
+            for i in 0..*extra_puts {
+                let k2 = mb.var(&format!("mkey_{uniq}_{i}"), Ty::Ref(lib.string));
+                mb.new_obj(k2, lib.string, &format!("mkey_{uniq}_{i}"));
+                mb.call_virtual(None, m, "put", &[Operand::Var(k2), Operand::Var(v)]);
+            }
+            mb.write_global(field, m);
+        }
+        Motif::FanInFalse { .. } => {
+            let field = globals.field.expect("declared");
+            let stash = globals.helper.expect("declared");
+            let picker = globals.picker.expect("declared");
+            let safe = mb.var(&format!("fsafe_{uniq}"), Ty::Ref(lib.holder));
+            let dirty = mb.var(&format!("fdirty_{uniq}"), Ty::Ref(lib.holder));
+            let o = mb.var(&format!("fo_{uniq}"), Ty::Ref(mb.program_builder().object_class()));
+            mb.new_obj(safe, lib.holder, &format!("fsafe_{uniq}"));
+            mb.new_obj(dirty, lib.holder, &format!("fdirty_{uniq}"));
+            mb.call_static(Some(o), picker, &[]);
+            mb.call_static(None, stash, &[Operand::Var(safe), Operand::Var(o)]);
+            mb.call_static(None, stash, &[Operand::Var(dirty), Operand::Var(this)]);
+            mb.write_global(field, safe);
+        }
+        Motif::DiamondFalse { .. } => {
+            let field = globals.field.expect("declared");
+            let entry = globals.helper.expect("declared");
+            let safe = mb.var(&format!("dsafe_{uniq}"), Ty::Ref(lib.holder));
+            let dirty = mb.var(&format!("ddirty_{uniq}"), Ty::Ref(lib.holder));
+            let s = mb.var(&format!("dstr_{uniq}"), Ty::Ref(lib.string));
+            mb.new_obj(safe, lib.holder, &format!("dsafe_{uniq}"));
+            mb.new_obj(dirty, lib.holder, &format!("ddirty_{uniq}"));
+            mb.new_obj(s, lib.string, &format!("dstr_{uniq}"));
+            mb.call_static(None, entry, &[Operand::Var(safe), Operand::Var(s)]);
+            mb.call_static(None, entry, &[Operand::Var(dirty), Operand::Var(this)]);
+            mb.write_global(field, safe);
+        }
+        Motif::UnrefutableFalse { .. } => {
+            let field = globals.field.expect("declared");
+            let a = mb.var(&format!("pa_{uniq}"), Ty::Int);
+            let b2 = mb.var(&format!("pb_{uniq}"), Ty::Int);
+            // b2 = a * 2 can never equal 5, but multiplication is outside
+            // the solver fragment, so the refutation is missed.
+            mb.assign(a, 1);
+            mb.binop(b2, tir::BinOp::Mul, a, 2);
+            mb.if_then(Cond::cmp(CmpOp::Eq, b2, 5), |mb| {
+                mb.write_global(field, this);
+            });
+        }
+        Motif::LocalVecActivity => {
+            let v = mb.var(&format!("vloc_{uniq}"), Ty::Ref(lib.vec));
+            mb.new_obj(v, lib.vec, &format!("vloc_{uniq}"));
+            mb.call_static(None, lib.vec_init, &[Operand::Var(v)]);
+            mb.call_virtual(None, v, "push", &[Operand::Var(this)]);
+        }
+        Motif::LocalMapActivity => {
+            let m = mb.var(&format!("mloc_{uniq}"), Ty::Ref(lib.hashmap));
+            let k = mb.var(&format!("mlkey_{uniq}"), Ty::Ref(lib.string));
+            mb.new_obj(m, lib.hashmap, &format!("mloc_{uniq}"));
+            mb.call_static(None, lib.hashmap_init, &[Operand::Var(m)]);
+            mb.new_obj(k, lib.string, &format!("mlkey_{uniq}"));
+            mb.call_virtual(None, m, "put", &[Operand::Var(k), Operand::Var(this)]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_names_and_classification() {
+        let m = Motif::SingletonAdapterLeak { field: "S".into() };
+        assert_eq!(m.field_name(), Some("S"));
+        assert!(m.is_true_leak());
+        assert!(!m.is_unrefutable_false());
+
+        let m = Motif::GuardedLatentLeak { field: "G".into() };
+        assert!(!m.is_true_leak());
+        assert!(m.is_fast_refutable());
+
+        let m = Motif::SharedHelperFalse { field: "H".into() };
+        assert!(m.is_fast_refutable());
+        assert!(!m.is_true_leak());
+
+        let m = Motif::UnrefutableFalse { field: "U".into() };
+        assert!(m.is_unrefutable_false());
+
+        assert_eq!(Motif::LocalVecActivity.field_name(), None);
+    }
+}

@@ -1,0 +1,46 @@
+//! App-scale round-trip: every benchmark app survives `print → parse` with
+//! an identical points-to graph, exercising the parser and printer on
+//! realistically sized programs.
+
+use apps::suite;
+
+#[test]
+fn suite_apps_roundtrip_through_text() {
+    for app in suite::all_apps() {
+        let text = tir::print_program(&app.program);
+        let reparsed = tir::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: re-parse failed: {e}", app.name));
+        assert_eq!(
+            app.program.num_cmds(),
+            reparsed.num_cmds(),
+            "{}: command count changed",
+            app.name
+        );
+        let r1 = pta::analyze(&app.program, pta::ContextPolicy::Insensitive);
+        let r2 = pta::analyze(&reparsed, pta::ContextPolicy::Insensitive);
+        assert_eq!(r1.dump(&app.program), r2.dump(&reparsed), "{}", app.name);
+    }
+}
+
+#[test]
+fn suite_apps_run_in_the_interpreter() {
+    use tir::interp::{Interp, Oracle};
+    for app in suite::all_apps() {
+        // All-maybe-taken oracle executes every handler.
+        let mut interp = Interp::new(
+            &app.program,
+            Oracle::scripted(vec![false; 64], vec![1; 16]),
+            1_000_000,
+        );
+        let trace = interp.run().unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        assert!(trace.allocations > 0, "{}", app.name);
+        // Real leaks must concretely materialize: at least one global edge.
+        if !app.true_leak_fields.is_empty() {
+            assert!(
+                !trace.global_edges.is_empty(),
+                "{}: expected concrete global stores",
+                app.name
+            );
+        }
+    }
+}

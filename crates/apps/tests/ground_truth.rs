@@ -1,0 +1,147 @@
+//! Ground-truth checks: for each benchmark app, the leak client must
+//! witness every real leak (soundness) and is expected to refute the
+//! designed-refutable alarms (precision).
+
+use android::{paper_annotations, ActivityLeakChecker};
+use apps::{builder, suite, BenchApp};
+
+fn field_outcomes(app: &BenchApp, annotated: bool) -> Vec<(String, bool)> {
+    let mut checker = ActivityLeakChecker::new(&app.program)
+        .with_policy(builder::container_policy(app));
+    if annotated {
+        checker = checker.with_annotations(paper_annotations(&app.lib));
+    }
+    let report = checker.check();
+    report
+        .alarms
+        .iter()
+        .map(|(a, r)| (app.program.global(a.field).name.clone(), r.is_refuted()))
+        .collect()
+}
+
+fn check_ground_truth(app: &BenchApp, annotated: bool) {
+    let outcomes = field_outcomes(app, annotated);
+    assert!(!outcomes.is_empty() || app.true_leak_fields.is_empty());
+    // Soundness: real leaks are never refuted.
+    for leak in &app.true_leak_fields {
+        let alarms: Vec<_> = outcomes.iter().filter(|(f, _)| f == leak).collect();
+        assert!(
+            !alarms.is_empty(),
+            "{}: true leak {leak} raised no alarm (annotated={annotated})",
+            app.name
+        );
+        assert!(
+            alarms.iter().any(|(_, refuted)| !refuted),
+            "{}: true leak {leak} was fully refuted — UNSOUND (annotated={annotated})",
+            app.name
+        );
+    }
+    // Designed-unrefutable false alarms must also survive (solver gap).
+    for f in &app.unrefutable_false_fields {
+        let survived = outcomes.iter().any(|(g, refuted)| g == f && !refuted);
+        assert!(
+            survived,
+            "{}: designed-unrefutable alarm on {f} was refuted (annotated={annotated})",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn droidlife_all_leaks_witnessed() {
+    let app = suite::droidlife();
+    check_ground_truth(&app, false);
+    let outcomes = field_outcomes(&app, false);
+    // DroidLife is all real leaks: nothing should be refuted.
+    assert!(outcomes.iter().all(|(_, refuted)| !refuted), "{outcomes:?}");
+}
+
+#[test]
+fn standuptimer_latent_leaks_refuted() {
+    let app = suite::standuptimer();
+    check_ground_truth(&app, false);
+    let outcomes = field_outcomes(&app, false);
+    // The guarded latent leaks must be refuted.
+    for f in ["DAO.cachedTimer", "DAO.cachedSettings"] {
+        assert!(
+            outcomes.iter().filter(|(g, _)| g == f).all(|(_, refuted)| *refuted),
+            "latent leak {f} not refuted: {outcomes:?}"
+        );
+    }
+    // And no true leaks exist, so witnessed alarms are exactly the
+    // designed-unrefutable ones (plus any pollution the engine missed).
+    assert!(outcomes.iter().any(|(_, refuted)| *refuted));
+}
+
+#[test]
+fn smspopup_mostly_true_leaks() {
+    let app = suite::smspopup();
+    check_ground_truth(&app, false);
+}
+
+#[test]
+fn pulsepoint_annotated_and_not() {
+    let app = suite::pulsepoint();
+    check_ground_truth(&app, false);
+    check_ground_truth(&app, true);
+}
+
+#[test]
+fn opensudoku_annotation_clears_everything() {
+    let app = suite::opensudoku();
+    let unann = field_outcomes(&app, false);
+    let ann = field_outcomes(&app, true);
+    // No true leaks in OpenSudoku.
+    assert!(app.true_leak_fields.is_empty());
+    // The annotation removes the HashMap-pollution alarms entirely.
+    assert!(
+        ann.len() < unann.len() || unann.is_empty(),
+        "annotation should reduce alarms: {} -> {}",
+        unann.len(),
+        ann.len()
+    );
+    // Everything that remains annotated must be refuted (no real leaks).
+    assert!(
+        ann.iter().all(|(_, refuted)| *refuted),
+        "annotated OpenSudoku should be fully filtered: {ann:?}"
+    );
+}
+
+#[test]
+fn ametro_shape() {
+    let app = suite::ametro();
+    check_ground_truth(&app, true);
+    let unann = field_outcomes(&app, false);
+    let ann = field_outcomes(&app, true);
+    assert!(ann.len() < unann.len(), "annotation must shrink aMetro alarms");
+}
+
+#[test]
+fn k9mail_shape() {
+    let app = suite::k9mail();
+    check_ground_truth(&app, true);
+    let unann = field_outcomes(&app, false);
+    let ann = field_outcomes(&app, true);
+    assert!(ann.len() < unann.len());
+    // Annotated refutation rate must beat the un-annotated one (the
+    // paper's 21% -> 63%).
+    let rate = |v: &[(String, bool)]| {
+        v.iter().filter(|(_, r)| *r).count() as f64 / v.len().max(1) as f64
+    };
+    assert!(
+        rate(&ann) >= rate(&unann),
+        "annotated rate {:.2} < unannotated {:.2}",
+        rate(&ann),
+        rate(&unann)
+    );
+}
+
+#[test]
+fn mega_app_scales_and_stays_sound() {
+    let app = apps::suite::mega(8);
+    check_ground_truth(&app, true);
+    let outcomes = field_outcomes(&app, true);
+    // Latent + helper alarms all refuted; only the explicit leaks survive.
+    let surviving: Vec<_> = outcomes.iter().filter(|(_, r)| !r).collect();
+    assert_eq!(surviving.len(), app.true_leak_fields.len(), "{outcomes:?}");
+}

@@ -1,0 +1,182 @@
+//! Regenerates the paper's evaluation tables.
+//!
+//! ```text
+//! reproduce table1 [--budget N] [--apps a,b,c]   # Table 1
+//! reproduce table2 [--budget N] [--apps a,b,c]   # Table 2 (fully symbolic vs mixed)
+//! reproduce simplification [--budget N]          # §4 hypothesis 2
+//! reproduce loops                                # §4 hypothesis 3
+//! reproduce all [--budget N]                     # everything
+//! ```
+//!
+//! Absolute times are hardware-dependent; the *shape* (who wins, by what
+//! factor, where timeouts fall) is the reproduction target — see
+//! EXPERIMENTS.md.
+
+use apps::BenchApp;
+use bench::{
+    format_table1_row, run_loop_ablation, run_repr_comparison, run_simplification_ablation,
+    run_table1_row, table1_header,
+};
+use symex::{Representation, SymexConfig};
+
+fn parse_budget(args: &[String]) -> u64 {
+    args.iter()
+        .position(|a| a == "--budget")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+}
+
+fn selected_apps(args: &[String]) -> Vec<BenchApp> {
+    let filter: Option<Vec<String>> = args
+        .iter()
+        .position(|a| a == "--apps")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.split(',').map(|s| s.to_lowercase()).collect());
+    apps::suite::all_apps()
+        .into_iter()
+        .filter(|a| match &filter {
+            Some(names) => names.iter().any(|n| a.name.to_lowercase() == *n),
+            None => true,
+        })
+        .collect()
+}
+
+fn table1(apps: &[BenchApp], budget: u64) {
+    println!("== Table 1: filtering effectiveness and computational effort ==");
+    println!("{}", table1_header());
+    let mut totals = [0usize; 8];
+    for app in apps {
+        for annotated in [false, true] {
+            let cfg = SymexConfig::default().with_budget(budget);
+            let row = run_table1_row(app, annotated, cfg);
+            println!("{}", format_table1_row(&row));
+            let idx = usize::from(annotated) * 4;
+            totals[idx] += row.alarms;
+            totals[idx + 1] += row.refuted_alarms;
+            totals[idx + 2] += row.true_alarms;
+            totals[idx + 3] += row.false_alarms;
+        }
+    }
+    println!(
+        "Total  Ann?=N: alarms={} refuted={} true={} false={}",
+        totals[0], totals[1], totals[2], totals[3]
+    );
+    println!(
+        "Total  Ann?=Y: alarms={} refuted={} true={} false={}",
+        totals[4], totals[5], totals[6], totals[7]
+    );
+}
+
+fn table2(apps: &[BenchApp], budget: u64) {
+    println!("== Table 2: fully symbolic representation vs mixed ==");
+    println!(
+        "{:<14} {:^4} {:>12} {:>12} {:>10} {:>8} {:>14}",
+        "Benchmark", "Ann?", "mixed T(s)", "symb T(s)", "slowdown", "TO(+)", "refuted m/s"
+    );
+    for app in apps {
+        for annotated in [false, true] {
+            let cfg = SymexConfig::default().with_budget(budget);
+            let cmp =
+                run_repr_comparison(app, annotated, Representation::FullySymbolic, cfg);
+            println!(
+                "{:<14} {:^4} {:>12.2} {:>12.2} {:>9.1}X {:>+8} {:>7}/{}",
+                cmp.name,
+                if annotated { "Y" } else { "N" },
+                cmp.mixed_time.as_secs_f64(),
+                cmp.other_time.as_secs_f64(),
+                cmp.slowdown(),
+                cmp.added_timeouts(),
+                cmp.mixed_refuted,
+                cmp.other_refuted,
+            );
+        }
+    }
+}
+
+fn simplification(apps: &[BenchApp], budget: u64) {
+    println!("== Hypothesis 2: disabling query simplification (Ann?=Y) ==");
+    println!(
+        "{:<14} {:>12} {:>12} {:>10} {:>10}",
+        "Benchmark", "with T(s)", "without T(s)", "slowdown", "TO(+)"
+    );
+    for app in apps {
+        let cfg = SymexConfig::default().with_budget(budget);
+        let abl = run_simplification_ablation(app, cfg);
+        println!(
+            "{:<14} {:>12.2} {:>12.2} {:>9.1}X {:>+10}",
+            abl.name,
+            abl.with_time.as_secs_f64(),
+            abl.without_time.as_secs_f64(),
+            abl.slowdown(),
+            abl.without_timeouts as isize - abl.with_timeouts as isize,
+        );
+    }
+}
+
+fn stats(apps: &[BenchApp]) {
+    println!("== Refutation-reason breakdown (Ann?=Y, §3.2's three tools) ==");
+    println!(
+        "{:<14} {:>10} {:>10} {:>8} {:>10} {:>8}",
+        "Benchmark", "fromEmpty", "separation", "pure", "allocation", "entry"
+    );
+    for app in apps {
+        let b = bench::run_reason_breakdown(app, true);
+        println!(
+            "{:<14} {:>10} {:>10} {:>8} {:>10} {:>8}",
+            b.name, b.empty_region, b.separation, b.pure, b.allocation, b.entry
+        );
+    }
+}
+
+fn loops() {
+    println!("== Hypothesis 3: loop invariant inference vs drop-all ==");
+    let abl = run_loop_ablation();
+    println!(
+        "multi-container micro benchmark: full inference refutes CLEAN~>secret0: {}",
+        abl.infer_refutes
+    );
+    println!(
+        "multi-container micro benchmark: drop-all refutes CLEAN~>secret0:      {}",
+        abl.drop_all_refutes
+    );
+    println!(
+        "=> {}",
+        if abl.infer_refutes && !abl.drop_all_refutes {
+            "CONFIRMS hypothesis 3: inference is required to distinguish containers"
+        } else {
+            "UNEXPECTED: see EXPERIMENTS.md"
+        }
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("all");
+    let budget = parse_budget(&args);
+    let apps = selected_apps(&args);
+    match mode {
+        "table1" => table1(&apps, budget),
+        "table2" => table2(&apps, budget),
+        "simplification" => simplification(&apps, budget),
+        "stats" => stats(&apps),
+        "loops" => loops(),
+        "all" => {
+            table1(&apps, budget);
+            println!();
+            table2(&apps, budget);
+            println!();
+            simplification(&apps, budget);
+            println!();
+            stats(&apps);
+            println!();
+            loops();
+        }
+        other => {
+            eprintln!(
+                "unknown mode {other}; use table1|table2|simplification|stats|loops|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Command-line front end: analyze a `.tir` program file.
+//!
+//! ```text
+//! thresher-cli <program.tir> [options]
+//!
+//! options:
+//!   --dump-pta                 print the flow-insensitive points-to graph
+//!   --query <GLOBAL> <LOC>     refined reachability from a global to an
+//!                              abstract location (repeatable)
+//!   --leaks                    run the Android Activity-leak client
+//!                              (requires the Android model classes)
+//!   --budget <N>               path-program budget per edge (default 10000)
+//!   --representation <mixed|symbolic|explicit>
+//!   --loops <infer|drop-all>
+//!   --no-simplification
+//! ```
+
+use std::process::ExitCode;
+
+use thresher::{LoopMode, ReachabilityAnswer, Representation, SymexConfig, Thresher};
+
+struct Options {
+    path: String,
+    dump_pta: bool,
+    queries: Vec<(String, String)>,
+    leaks: bool,
+    config: SymexConfig,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut path = None;
+    let mut dump_pta = false;
+    let mut queries = Vec::new();
+    let mut leaks = false;
+    let mut config = SymexConfig::default();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--dump-pta" => dump_pta = true,
+            "--leaks" => leaks = true,
+            "--no-simplification" => config.simplification = false,
+            "--query" => {
+                let g = args.next().ok_or("--query needs <GLOBAL> <LOC>")?;
+                let l = args.next().ok_or("--query needs <GLOBAL> <LOC>")?;
+                queries.push((g, l));
+            }
+            "--budget" => {
+                let n = args.next().ok_or("--budget needs a number")?;
+                config.budget = n.parse().map_err(|_| format!("bad budget {n}"))?;
+            }
+            "--representation" => {
+                config.representation = match args.next().as_deref() {
+                    Some("mixed") => Representation::Mixed,
+                    Some("symbolic") => Representation::FullySymbolic,
+                    Some("explicit") => Representation::FullyExplicit,
+                    other => return Err(format!("bad representation {other:?}")),
+                };
+            }
+            "--loops" => {
+                config.loop_mode = match args.next().as_deref() {
+                    Some("infer") => LoopMode::Infer,
+                    Some("drop-all") => LoopMode::DropAll,
+                    other => return Err(format!("bad loop mode {other:?}")),
+                };
+            }
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(Options {
+        path: path.ok_or("usage: thresher-cli <program.tir> [options]")?,
+        dump_pta,
+        queries,
+        leaks,
+        config,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let src = match std::fs::read_to_string(&opts.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.path);
+            return ExitCode::from(2);
+        }
+    };
+    let program = match tir::parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}: parse error: {e}", opts.path);
+            return ExitCode::from(1);
+        }
+    };
+    let thresher = Thresher::with_setup(
+        &program,
+        thresher::PointsToPolicy::Insensitive,
+        opts.config.clone(),
+    );
+
+    if opts.dump_pta {
+        println!("== points-to graph ==");
+        print!("{}", thresher.points_to().dump(&program));
+    }
+
+    let mut any_reachable = false;
+    for (g, l) in &opts.queries {
+        if program.global_by_name(g).is_none() {
+            eprintln!("error: no global named {g}");
+            return ExitCode::from(2);
+        }
+        let Some(answer) = thresher.try_query_reachable(g, l) else {
+            eprintln!("error: no abstract location named {l}");
+            return ExitCode::from(2);
+        };
+        match answer {
+            ReachabilityAnswer::Reachable { path, .. } => {
+                any_reachable = true;
+                println!("{g} ~> {l}: REACHABLE");
+                for e in &path {
+                    println!("    {}", e.describe(&program, thresher.points_to()));
+                }
+            }
+            ReachabilityAnswer::Refuted { refuted_edges } => {
+                println!("{g} ~> {l}: REFUTED ({} edge(s) severed)", refuted_edges.len());
+            }
+        }
+    }
+
+    if opts.leaks {
+        let report = thresher.check_activity_leaks();
+        println!(
+            "== activity leaks: {} alarm(s), {} refuted ==",
+            report.num_alarms(),
+            report.num_refuted()
+        );
+        for (alarm, result) in &report.alarms {
+            let verdict = if result.is_refuted() { "filtered" } else { "LEAK" };
+            println!("  {verdict}: {}", program.global(alarm.field).name);
+            any_reachable |= !result.is_refuted();
+        }
+    }
+
+    if any_reachable {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,210 @@
+//! Additional heap-reachability clients (§1 of the paper motivates these:
+//! "a heap reachability checker would also enable a developer to write
+//! statically checkable assertions about, for example, object lifetimes,
+//! encapsulation of fields, or immutability of objects").
+//!
+//! [`EscapeChecker`] decides, with refutation-backed precision, whether
+//! instances of a class (or of one allocation site) can *escape* to a
+//! static field — the generalization of the Activity-leak client to any
+//! type.
+
+use std::collections::HashMap;
+
+use pta::{BitSet, HeapEdge, HeapGraphView, LocId, ModRef, PtaResult};
+use symex::{Engine, SearchOutcome, SymexConfig};
+use tir::{ClassId, GlobalId, Program};
+
+/// One escaping-object finding.
+#[derive(Clone, Debug)]
+pub struct Escape {
+    /// The static field the object escapes through.
+    pub global: GlobalId,
+    /// The escaping instance's abstract location.
+    pub target: LocId,
+    /// The surviving heap path.
+    pub path: Vec<HeapEdge>,
+}
+
+/// Result of an escape check.
+#[derive(Debug)]
+pub struct EscapeReport {
+    /// Surviving (unrefuted) escapes.
+    pub escapes: Vec<Escape>,
+    /// (global, target) pairs claimed by the points-to graph but refuted.
+    pub refuted_pairs: usize,
+    /// Edges refuted along the way.
+    pub edges_refuted: usize,
+    /// Edge timeouts (treated as escapes, soundly).
+    pub edge_timeouts: usize,
+}
+
+impl EscapeReport {
+    /// True if no instance escapes — the encapsulation assertion holds.
+    pub fn is_encapsulated(&self) -> bool {
+        self.escapes.is_empty()
+    }
+}
+
+/// Refutation-backed escape analysis over one analyzed program.
+pub struct EscapeChecker<'a> {
+    program: &'a Program,
+    pta: &'a PtaResult,
+    modref: &'a ModRef,
+    config: SymexConfig,
+}
+
+impl<'a> EscapeChecker<'a> {
+    /// Creates a checker over existing analysis results.
+    pub fn new(
+        program: &'a Program,
+        pta: &'a PtaResult,
+        modref: &'a ModRef,
+        config: SymexConfig,
+    ) -> Self {
+        EscapeChecker { program, pta, modref, config }
+    }
+
+    /// Checks whether any instance of `class` (or a subclass) can be
+    /// reached from any static field.
+    pub fn check_class(&self, class: ClassId) -> EscapeReport {
+        self.check_targets(self.pta.locs_of_class(self.program, class))
+    }
+
+    /// Checks whether any instance allocated at the site named
+    /// `alloc_name` can be reached from any static field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no abstract location carries that name.
+    pub fn check_site(&self, alloc_name: &str) -> EscapeReport {
+        let targets: BitSet = self
+            .pta
+            .locs()
+            .ids()
+            .filter(|&l| self.pta.loc_name(self.program, l) == alloc_name)
+            .map(|l| l.index())
+            .collect();
+        assert!(!targets.is_empty(), "no abstract location named {alloc_name}");
+        self.check_targets(targets)
+    }
+
+    /// The general form: refute reachability from every global to every
+    /// location in `targets`, sharing the edge cache across pairs.
+    pub fn check_targets(&self, targets: BitSet) -> EscapeReport {
+        let mut engine =
+            Engine::new(self.program, self.pta, self.modref, self.config.clone());
+        let mut view = HeapGraphView::new(self.pta);
+        let mut cache: HashMap<HeapEdge, bool> = HashMap::new(); // edge -> refuted?
+        let mut report = EscapeReport {
+            escapes: Vec::new(),
+            refuted_pairs: 0,
+            edges_refuted: 0,
+            edge_timeouts: 0,
+        };
+        for global in self.program.global_ids() {
+            for t in targets.iter() {
+                let target = LocId(t as u32);
+                let tset = BitSet::singleton(t);
+                'paths: loop {
+                    let Some(path) = view.find_path(self.program, global, &tset) else {
+                        report.refuted_pairs += 1;
+                        break;
+                    };
+                    for &edge in &path {
+                        let refuted = match cache.get(&edge) {
+                            Some(&r) => r,
+                            None => {
+                                let out = engine.refute_edge(&edge);
+                                let r = out.is_refuted();
+                                if let SearchOutcome::Timeout = out {
+                                    report.edge_timeouts += 1;
+                                }
+                                cache.insert(edge, r);
+                                if r {
+                                    report.edges_refuted += 1;
+                                    view.delete(edge);
+                                }
+                                r
+                            }
+                        };
+                        if refuted {
+                            continue 'paths;
+                        }
+                    }
+                    report.escapes.push(Escape { global, target, path });
+                    break;
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta::ContextPolicy;
+
+    fn setup(src: &str) -> (Program, PtaResult, ModRef) {
+        let p = tir::parse(src).expect("parse");
+        let r = pta::analyze(&p, ContextPolicy::Insensitive);
+        let m = ModRef::compute(&p, &r);
+        (p, r, m)
+    }
+
+    const SRC: &str = r#"
+class Secret { }
+class Public { }
+class Box { field item: Object; }
+global SHARED: Box;
+fn main() {
+  var b: Box;
+  var s: Secret;
+  var pu: Public;
+  var flag: int;
+  b = new Box @box0;
+  s = new Secret @secret0;
+  pu = new Public @public0;
+  flag = 0;
+  if (flag == 1) {
+    b.item = s;
+  }
+  b.item = pu;
+  $SHARED = b;
+}
+entry main;
+"#;
+
+    #[test]
+    fn secret_is_encapsulated_public_escapes() {
+        let (p, r, m) = setup(SRC);
+        let checker = EscapeChecker::new(&p, &r, &m, SymexConfig::default());
+
+        let secret = p.class_by_name("Secret").unwrap();
+        let report = checker.check_class(secret);
+        assert!(report.is_encapsulated(), "{report:?}");
+        assert!(report.edges_refuted > 0);
+
+        let public = p.class_by_name("Public").unwrap();
+        let report = checker.check_class(public);
+        assert!(!report.is_encapsulated());
+        assert_eq!(report.escapes.len(), 1);
+        assert_eq!(report.escapes[0].path.len(), 2);
+    }
+
+    #[test]
+    fn check_site_by_name() {
+        let (p, r, m) = setup(SRC);
+        let checker = EscapeChecker::new(&p, &r, &m, SymexConfig::default());
+        assert!(checker.check_site("secret0").is_encapsulated());
+        assert!(!checker.check_site("public0").is_encapsulated());
+        assert!(checker.check_site("box0").escapes.len() == 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no abstract location named nope")]
+    fn unknown_site_panics() {
+        let (p, r, m) = setup(SRC);
+        EscapeChecker::new(&p, &r, &m, SymexConfig::default()).check_site("nope");
+    }
+}

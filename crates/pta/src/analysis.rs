@@ -1,0 +1,864 @@
+//! The flow-insensitive Andersen-style points-to analysis with on-the-fly
+//! call-graph construction.
+//!
+//! Subset constraints are solved with a worklist over a node graph:
+//! variable nodes (per method instance), global nodes, heap field nodes
+//! (per abstract location), and return-value nodes. Field reads/writes and
+//! virtual calls are *complex* constraints indexed on their base/receiver
+//! node and re-processed as that node's points-to set grows.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use tir::{
+    AllocId, Callee, ClassId, CmdId, Command, FieldId, GlobalId, MethodId, Operand, Program,
+    VarId,
+};
+
+use crate::bitset::BitSet;
+use crate::context::ContextPolicy;
+use crate::loc::{AbsLoc, LocId, LocTable};
+use crate::result::{HeapEdge, PtaResult};
+
+/// A method-analysis context: the receiver's abstract location (object
+/// sensitivity), the call site (1-CFA), or nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Ctx {
+    /// Context-insensitive instance.
+    None,
+    /// Keyed by receiver location (object/container sensitivity).
+    Recv(LocId),
+    /// Keyed by call site (1-CFA).
+    Site(CmdId),
+}
+
+/// Interned (method, context) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct InstId(u32);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum NodeKind {
+    /// A local variable of a method instance.
+    Var(InstId, VarId),
+    /// A global variable.
+    Global(GlobalId),
+    /// Field `f` of objects abstracted by a location.
+    Field(LocId, FieldId),
+    /// The return value of a method instance.
+    Ret(InstId),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct NodeId(u32);
+
+/// A pending receiver-indexed call: dispatch is re-run as the receiver's
+/// points-to set grows.
+#[derive(Clone, Debug)]
+struct RecvCall {
+    caller: InstId,
+    cmd: CmdId,
+    /// `None` for virtual dispatch by name; `Some` for a direct call to an
+    /// instance method (constructor-style), which skips re-resolution.
+    fixed_target: Option<MethodId>,
+    method_name: String,
+    dst: Option<VarId>,
+    args: Vec<Operand>,
+    /// Receiver locations already dispatched.
+    seen: BitSet,
+}
+
+struct Solver<'p> {
+    program: &'p Program,
+    policy: ContextPolicy,
+    locs: LocTable,
+    insts: Vec<(MethodId, Ctx)>,
+    inst_index: HashMap<(MethodId, Ctx), InstId>,
+    nodes: Vec<NodeKind>,
+    node_index: HashMap<NodeKind, NodeId>,
+    pts: Vec<BitSet>,
+    copy_succs: Vec<HashSet<NodeId>>,
+    loads: Vec<Vec<(FieldId, NodeId)>>,
+    stores: Vec<Vec<(FieldId, NodeId)>>,
+    recv_calls: Vec<Vec<usize>>,
+    calls: Vec<RecvCall>,
+    worklist: VecDeque<NodeId>,
+    /// (caller cmd, callee method) call-graph edges.
+    call_edges: HashSet<(CmdId, MethodId)>,
+    reached_methods: BitSet,
+    options: PtaOptions,
+}
+
+impl<'p> Solver<'p> {
+    fn new(program: &'p Program, policy: ContextPolicy) -> Self {
+        Solver {
+            program,
+            policy,
+            locs: LocTable::new(),
+            insts: Vec::new(),
+            inst_index: HashMap::new(),
+            nodes: Vec::new(),
+            node_index: HashMap::new(),
+            pts: Vec::new(),
+            copy_succs: Vec::new(),
+            loads: Vec::new(),
+            stores: Vec::new(),
+            recv_calls: Vec::new(),
+            calls: Vec::new(),
+            worklist: VecDeque::new(),
+            call_edges: HashSet::new(),
+            reached_methods: BitSet::new(),
+            options: PtaOptions::default(),
+        }
+    }
+
+    fn node(&mut self, kind: NodeKind) -> NodeId {
+        if let Some(&id) = self.node_index.get(&kind) {
+            return id;
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node overflow"));
+        self.nodes.push(kind);
+        self.node_index.insert(kind, id);
+        self.pts.push(BitSet::new());
+        self.copy_succs.push(HashSet::new());
+        self.loads.push(Vec::new());
+        self.stores.push(Vec::new());
+        self.recv_calls.push(Vec::new());
+        id
+    }
+
+    fn add_loc(&mut self, node: NodeId, loc: LocId) {
+        if self.pts[node.0 as usize].insert(loc.index()) {
+            self.worklist.push_back(node);
+        }
+    }
+
+    fn add_copy(&mut self, from: NodeId, to: NodeId) {
+        if self.copy_succs[from.0 as usize].insert(to) && !self.pts[from.0 as usize].is_empty() {
+            self.worklist.push_back(from);
+        }
+    }
+
+    /// Gets or creates the instance of `method` under `ctx`, analyzing its
+    /// body on first creation.
+    fn instance(&mut self, method: MethodId, ctx: Ctx) -> InstId {
+        if let Some(&id) = self.inst_index.get(&(method, ctx)) {
+            return id;
+        }
+        let id = InstId(u32::try_from(self.insts.len()).expect("instance overflow"));
+        self.insts.push((method, ctx));
+        self.inst_index.insert((method, ctx), id);
+        self.reached_methods.insert(method.index());
+        self.process_body(id);
+        id
+    }
+
+    fn is_ref(&self, v: VarId) -> bool {
+        self.program.var(v).ty.is_ref()
+    }
+
+    fn var_node(&mut self, inst: InstId, v: VarId) -> NodeId {
+        self.node(NodeKind::Var(inst, v))
+    }
+
+    /// The abstract location for an allocation executed in instance `inst`.
+    /// Only receiver contexts qualify the heap abstraction (1-CFA keeps
+    /// allocation-site locations).
+    fn alloc_loc(&mut self, inst: InstId, alloc: AllocId) -> LocId {
+        let (method, ctx) = self.insts[inst.0 as usize];
+        let qualifies = match self.program.method(method).class {
+            Some(c) => self.policy.qualifies(self.program, c),
+            None => false,
+        };
+        let ctx = match ctx {
+            Ctx::Recv(l) if qualifies => Some(l),
+            _ => None,
+        };
+        self.locs.intern(AbsLoc { alloc, ctx })
+    }
+
+    fn process_body(&mut self, inst: InstId) {
+        let (method, _) = self.insts[inst.0 as usize];
+        let cmds = self.program.method_cmds(method);
+        for cmd_id in cmds {
+            let cmd = self.program.cmd(cmd_id).clone();
+            self.process_cmd(inst, cmd_id, &cmd);
+        }
+    }
+
+    fn process_cmd(&mut self, inst: InstId, cmd_id: CmdId, cmd: &Command) {
+        let contents = self.program.contents_field;
+        match cmd {
+            Command::Assign { dst, src: Operand::Var(y) } if self.is_ref(*dst) && self.is_ref(*y) => {
+                let from = self.var_node(inst, *y);
+                let to = self.var_node(inst, *dst);
+                self.add_copy(from, to);
+            }
+            Command::ReadField { dst, obj, field } if self.is_ref(*dst) => {
+                let base = self.var_node(inst, *obj);
+                let to = self.var_node(inst, *dst);
+                self.loads[base.0 as usize].push((*field, to));
+                if !self.pts[base.0 as usize].is_empty() {
+                    self.worklist.push_back(base);
+                }
+            }
+            Command::WriteField { obj, field, src: Operand::Var(y) } if self.is_ref(*y) => {
+                let base = self.var_node(inst, *obj);
+                let from = self.var_node(inst, *y);
+                self.stores[base.0 as usize].push((*field, from));
+                if !self.pts[base.0 as usize].is_empty() {
+                    self.worklist.push_back(base);
+                }
+            }
+            Command::ReadGlobal { dst, global } if self.is_ref(*dst) => {
+                let from = self.node(NodeKind::Global(*global));
+                let to = self.var_node(inst, *dst);
+                self.add_copy(from, to);
+            }
+            Command::WriteGlobal { global, src: Operand::Var(y) } if self.is_ref(*y) => {
+                let from = self.var_node(inst, *y);
+                let to = self.node(NodeKind::Global(*global));
+                self.add_copy(from, to);
+            }
+            Command::ReadArray { dst, arr, .. } if self.is_ref(*dst) => {
+                let base = self.var_node(inst, *arr);
+                let to = self.var_node(inst, *dst);
+                self.loads[base.0 as usize].push((contents, to));
+                if !self.pts[base.0 as usize].is_empty() {
+                    self.worklist.push_back(base);
+                }
+            }
+            Command::WriteArray { arr, src: Operand::Var(y), .. } if self.is_ref(*y) => {
+                let base = self.var_node(inst, *arr);
+                let from = self.var_node(inst, *y);
+                self.stores[base.0 as usize].push((contents, from));
+                if !self.pts[base.0 as usize].is_empty() {
+                    self.worklist.push_back(base);
+                }
+            }
+            Command::New { dst, alloc, .. } => {
+                let loc = self.alloc_loc(inst, *alloc);
+                let node = self.var_node(inst, *dst);
+                self.add_loc(node, loc);
+            }
+            Command::NewArray { dst, alloc, .. } => {
+                let loc = self.alloc_loc(inst, *alloc);
+                let node = self.var_node(inst, *dst);
+                self.add_loc(node, loc);
+            }
+            Command::Call { dst, callee, args } => match callee {
+                Callee::Virtual { receiver, method } => {
+                    let recv = self.var_node(inst, *receiver);
+                    let idx = self.calls.len();
+                    self.calls.push(RecvCall {
+                        caller: inst,
+                        cmd: cmd_id,
+                        fixed_target: None,
+                        method_name: method.clone(),
+                        dst: *dst,
+                        args: args.clone(),
+                        seen: BitSet::new(),
+                    });
+                    self.recv_calls[recv.0 as usize].push(idx);
+                    if !self.pts[recv.0 as usize].is_empty() {
+                        self.worklist.push_back(recv);
+                    }
+                }
+                Callee::Static { method } => {
+                    let callee_m = self.program.method(*method);
+                    if callee_m.class.is_some() {
+                        // Direct call to an instance method (constructor
+                        // style): the receiver is args[0]. Context depends
+                        // on the receiver's locations, so treat it as a
+                        // receiver-indexed call with a fixed target.
+                        let recv_var = match args.first() {
+                            Some(Operand::Var(v)) => *v,
+                            _ => return, // receiver null/constant: no-op call
+                        };
+                        let recv = self.var_node(inst, recv_var);
+                        let idx = self.calls.len();
+                        self.calls.push(RecvCall {
+                            caller: inst,
+                            cmd: cmd_id,
+                            fixed_target: Some(*method),
+                            method_name: callee_m.name.clone(),
+                            dst: *dst,
+                            args: args[1..].to_vec(),
+                            seen: BitSet::new(),
+                        });
+                        self.recv_calls[recv.0 as usize].push(idx);
+                        if !self.pts[recv.0 as usize].is_empty() {
+                            self.worklist.push_back(recv);
+                        }
+                    } else {
+                        // Free function: per-site under 1-CFA, otherwise
+                        // context-insensitive.
+                        let ctx = if self.policy.call_site_sensitive() {
+                            Ctx::Site(cmd_id)
+                        } else {
+                            Ctx::None
+                        };
+                        let callee = self.instance(*method, ctx);
+                        self.bind_call(inst, cmd_id, callee, *method, None, *dst, args);
+                    }
+                }
+            },
+            Command::Return { val: Some(Operand::Var(v)) } if self.is_ref(*v) => {
+                let from = self.var_node(inst, *v);
+                let to = self.node(NodeKind::Ret(inst));
+                self.add_copy(from, to);
+            }
+            _ => {}
+        }
+    }
+
+    /// Wires actual arguments and return value between a call site and a
+    /// callee instance. `this_loc` carries the dispatched receiver location
+    /// for instance methods.
+    #[allow(clippy::too_many_arguments)]
+    fn bind_call(
+        &mut self,
+        caller: InstId,
+        cmd: CmdId,
+        callee_inst: InstId,
+        callee: MethodId,
+        this_loc: Option<LocId>,
+        dst: Option<VarId>,
+        args: &[Operand],
+    ) {
+        self.call_edges.insert((cmd, callee));
+        let callee_m = self.program.method(callee).clone();
+        let mut params = callee_m.params.iter();
+        if callee_m.class.is_some() {
+            let this_param = *params.next().expect("instance method has this");
+            let this_node = self.var_node(callee_inst, this_param);
+            if let Some(l) = this_loc {
+                self.add_loc(this_node, l);
+            }
+        }
+        for (param, arg) in params.zip(args.iter()) {
+            if let Operand::Var(a) = arg {
+                if self.is_ref(*a) && self.is_ref(*param) {
+                    let from = self.var_node(caller, *a);
+                    let to = self.var_node(callee_inst, *param);
+                    self.add_copy(from, to);
+                }
+            }
+        }
+        if let Some(d) = dst {
+            if self.is_ref(d) {
+                let from = self.node(NodeKind::Ret(callee_inst));
+                let to = self.var_node(caller, d);
+                self.add_copy(from, to);
+            }
+        }
+    }
+
+    /// True if writes into `l.f` are suppressed by an annotation.
+    fn is_blocked_cell(&self, l: LocId, f: FieldId) -> bool {
+        f == self.program.contents_field
+            && self
+                .options
+                .empty_contents_allocs
+                .contains(&self.locs.get(l).alloc)
+    }
+
+    /// Context for a callee dispatched on receiver location `l` at call
+    /// site `cmd`.
+    fn callee_ctx(&mut self, callee: MethodId, l: LocId, cmd: CmdId) -> Ctx {
+        if self.policy.call_site_sensitive() {
+            return Ctx::Site(cmd);
+        }
+        let Some(class) = self.program.method(callee).class else {
+            return Ctx::None;
+        };
+        if !self.policy.qualifies(self.program, class) {
+            return Ctx::None;
+        }
+        if self.locs.depth(l) + 1 > self.policy.max_depth() {
+            return Ctx::None;
+        }
+        Ctx::Recv(l)
+    }
+
+    fn solve(&mut self, entry: MethodId) {
+        self.instance(entry, Ctx::None);
+        while let Some(node) = self.worklist.pop_front() {
+            let pts = self.pts[node.0 as usize].clone();
+            // Copy edges.
+            let succs: Vec<NodeId> = self.copy_succs[node.0 as usize].iter().copied().collect();
+            for s in succs {
+                if self.pts[s.0 as usize].union_with(&pts) {
+                    self.worklist.push_back(s);
+                }
+            }
+            // Loads: x = base.f — add copy Field(l, f) → x for each l.
+            let loads = self.loads[node.0 as usize].clone();
+            for (f, dst) in loads {
+                for l in pts.iter() {
+                    let fnode = self.node(NodeKind::Field(LocId(l as u32), f));
+                    self.add_copy(fnode, dst);
+                }
+            }
+            // Stores: base.f = y — add copy y → Field(l, f), unless the
+            // target cell is covered by an empty-contents annotation.
+            let stores = self.stores[node.0 as usize].clone();
+            for (f, src) in stores {
+                for l in pts.iter() {
+                    let lid = LocId(l as u32);
+                    if self.is_blocked_cell(lid, f) {
+                        continue;
+                    }
+                    let fnode = self.node(NodeKind::Field(lid, f));
+                    self.add_copy(src, fnode);
+                }
+            }
+            // Receiver-indexed calls.
+            let call_ids = self.recv_calls[node.0 as usize].clone();
+            for ci in call_ids {
+                for l in pts.iter() {
+                    if self.calls[ci].seen.contains(l) {
+                        continue;
+                    }
+                    self.calls[ci].seen.insert(l);
+                    let lid = LocId(l as u32);
+                    let class = self.locs.class_of(lid, self.program);
+                    let call = self.calls[ci].clone();
+                    let target = match call.fixed_target {
+                        Some(t) => {
+                            // Only dispatch if the receiver location's class
+                            // is compatible with the target's class.
+                            let tc = self.program.method(t).class.expect("instance method");
+                            if !self.program.is_subclass(class, tc) {
+                                continue;
+                            }
+                            t
+                        }
+                        None => match self.program.resolve_method(class, &call.method_name) {
+                            Some(t) => t,
+                            None => continue,
+                        },
+                    };
+                    let ctx = self.callee_ctx(target, lid, self.calls[ci].cmd);
+                    let callee_inst = self.instance(target, ctx);
+                    self.bind_call(
+                        call.caller,
+                        call.cmd,
+                        callee_inst,
+                        target,
+                        Some(lid),
+                        call.dst,
+                        &call.args,
+                    );
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) -> PtaResult {
+        // Conflate per-instance variable points-to sets.
+        let mut var_pt: HashMap<VarId, BitSet> = HashMap::new();
+        let mut global_pt: Vec<BitSet> = vec![BitSet::new(); self.program.global_ids().count()];
+        let mut heap: HashMap<(LocId, FieldId), BitSet> = HashMap::new();
+        for (i, kind) in self.nodes.iter().enumerate() {
+            let pts = &self.pts[i];
+            if pts.is_empty() {
+                continue;
+            }
+            match kind {
+                NodeKind::Var(_, v) => {
+                    var_pt.entry(*v).or_default().union_with(pts);
+                }
+                NodeKind::Global(g) => {
+                    global_pt[g.index()].union_with(pts);
+                }
+                NodeKind::Field(l, f) => {
+                    heap.entry((*l, *f)).or_default().union_with(pts);
+                }
+                NodeKind::Ret(_) => {}
+            }
+        }
+
+        // Producer map: which write commands may produce each heap edge.
+        let mut producers: HashMap<HeapEdge, Vec<CmdId>> = HashMap::new();
+        let empty = BitSet::new();
+        let reached: Vec<MethodId> = self
+            .program
+            .method_ids()
+            .filter(|m| self.reached_methods.contains(m.index()))
+            .collect();
+        for &m in &reached {
+            for cmd_id in self.program.method_cmds(m) {
+                match self.program.cmd(cmd_id) {
+                    Command::WriteField { obj, field, src: Operand::Var(y) } => {
+                        let base_pt = var_pt.get(obj).unwrap_or(&empty).clone();
+                        let val_pt = var_pt.get(y).unwrap_or(&empty).clone();
+                        record_producers(
+                            &mut producers,
+                            &base_pt,
+                            *field,
+                            &val_pt,
+                            cmd_id,
+                        );
+                    }
+                    Command::WriteArray { arr, src: Operand::Var(y), .. } => {
+                        let mut base_pt = var_pt.get(arr).unwrap_or(&empty).clone();
+                        // Annotated arrays have no producible contents edges.
+                        let blocked: Vec<usize> = base_pt
+                            .iter()
+                            .filter(|&l| {
+                                self.is_blocked_cell(
+                                    LocId(l as u32),
+                                    self.program.contents_field,
+                                )
+                            })
+                            .collect();
+                        for l in blocked {
+                            base_pt.remove(l);
+                        }
+                        let val_pt = var_pt.get(y).unwrap_or(&empty).clone();
+                        record_producers(
+                            &mut producers,
+                            &base_pt,
+                            self.program.contents_field,
+                            &val_pt,
+                            cmd_id,
+                        );
+                    }
+                    Command::WriteGlobal { global, src: Operand::Var(y) } => {
+                        let val_pt = var_pt.get(y).unwrap_or(&empty);
+                        for t in val_pt.iter() {
+                            producers
+                                .entry(HeapEdge::Global { global: *global, target: LocId(t as u32) })
+                                .or_default()
+                                .push(cmd_id);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Call graph, conflated over contexts.
+        let mut call_targets: HashMap<CmdId, Vec<MethodId>> = HashMap::new();
+        let mut callers: HashMap<MethodId, Vec<CmdId>> = HashMap::new();
+        for &(cmd, callee) in &self.call_edges {
+            call_targets.entry(cmd).or_default().push(callee);
+            callers.entry(callee).or_default().push(cmd);
+        }
+        for v in call_targets.values_mut() {
+            v.sort();
+            v.dedup();
+        }
+        for v in callers.values_mut() {
+            v.sort();
+            v.dedup();
+        }
+
+        let loc_class: Vec<ClassId> = self
+            .locs
+            .ids()
+            .map(|l| self.locs.class_of(l, self.program))
+            .collect();
+        let mut alloc_locs: HashMap<AllocId, BitSet> = HashMap::new();
+        for l in self.locs.ids() {
+            alloc_locs.entry(self.locs.get(l).alloc).or_default().insert(l.index());
+        }
+
+        PtaResult::new(
+            std::mem::take(&mut self.locs),
+            var_pt,
+            global_pt,
+            heap,
+            producers,
+            call_targets,
+            callers,
+            self.reached_methods.clone(),
+            loc_class,
+            alloc_locs,
+        )
+    }
+}
+
+fn record_producers(
+    producers: &mut HashMap<HeapEdge, Vec<CmdId>>,
+    base_pt: &BitSet,
+    field: FieldId,
+    val_pt: &BitSet,
+    cmd: CmdId,
+) {
+    for b in base_pt.iter() {
+        for t in val_pt.iter() {
+            producers
+                .entry(HeapEdge::Field {
+                    base: LocId(b as u32),
+                    field,
+                    target: LocId(t as u32),
+                })
+                .or_default()
+                .push(cmd);
+        }
+    }
+}
+
+/// Runs the points-to analysis on `program` from its entry method.
+///
+/// # Panics
+///
+/// Panics if `program` has no entry method.
+pub fn analyze(program: &Program, policy: ContextPolicy) -> PtaResult {
+    analyze_with(program, policy, &PtaOptions::default())
+}
+
+/// Extra inputs to the analysis.
+#[derive(Clone, Debug, Default)]
+pub struct PtaOptions {
+    /// Allocation sites whose array `contents` are trusted to stay empty —
+    /// the `EMPTY_TABLE` annotation of the paper's `Ann?=Y` configuration.
+    /// Stores into (and hence loads out of) the `contents` field of these
+    /// arrays are suppressed.
+    pub empty_contents_allocs: Vec<tir::AllocId>,
+}
+
+/// Runs the points-to analysis with annotations (see [`PtaOptions`]).
+///
+/// # Panics
+///
+/// Panics if `program` has no entry method.
+pub fn analyze_with(program: &Program, policy: ContextPolicy, options: &PtaOptions) -> PtaResult {
+    let mut solver = Solver::new(program, policy);
+    solver.options = options.clone();
+    solver.solve(program.entry());
+    let result = solver.finish();
+    result.check_types(program);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tir::parse;
+
+    fn run(src: &str) -> (Program, PtaResult) {
+        let p = parse(src).expect("parse");
+        let r = analyze(&p, ContextPolicy::Insensitive);
+        (p, r)
+    }
+
+    #[test]
+    fn tracks_direct_assignment() {
+        let (p, r) = run(r#"
+fn main() {
+  var x: Object;
+  var y: Object;
+  x = new Object @o0;
+  y = x;
+}
+entry main;
+"#);
+        let main = p.entry();
+        let y = p.method(main).locals.iter().copied().find(|&v| p.var(v).name == "y").unwrap();
+        let pt = r.pt_var(y);
+        assert_eq!(pt.len(), 1);
+        let l = LocId(pt.iter().next().unwrap() as u32);
+        assert_eq!(r.loc_name(&p, l), "o0");
+    }
+
+    #[test]
+    fn field_writes_flow_to_reads() {
+        let (p, r) = run(r#"
+class Box { field item: Object; }
+fn main() {
+  var b: Box;
+  var o: Object;
+  var got: Object;
+  b = new Box @box0;
+  o = new Object @obj0;
+  b.item = o;
+  got = b.item;
+}
+entry main;
+"#);
+        let main = p.entry();
+        let got =
+            p.method(main).locals.iter().copied().find(|&v| p.var(v).name == "got").unwrap();
+        let names: Vec<String> =
+            r.pt_var(got).iter().map(|l| r.loc_name(&p, LocId(l as u32))).collect();
+        assert_eq!(names, vec!["obj0"]);
+    }
+
+    #[test]
+    fn virtual_dispatch_selects_targets_per_loc() {
+        let (p, r) = run(r#"
+class A {
+  method mk(this: A): Object {
+    var o: Object;
+    o = new Object @fromA;
+    return o;
+  }
+}
+class B extends A {
+  method mk(this: B): Object {
+    var o: Object;
+    o = new Object @fromB;
+    return o;
+  }
+}
+fn main() {
+  var a: A;
+  var got: Object;
+  a = new B @b0;
+  got = call a.mk();
+}
+entry main;
+"#);
+        let main = p.entry();
+        let got =
+            p.method(main).locals.iter().copied().find(|&v| p.var(v).name == "got").unwrap();
+        let names: Vec<String> =
+            r.pt_var(got).iter().map(|l| r.loc_name(&p, LocId(l as u32))).collect();
+        // Only B::mk is a dispatch target since a only points to b0.
+        assert_eq!(names, vec!["fromB"]);
+        let a_cls = p.class_by_name("A").unwrap();
+        let a_mk = p.method_on(a_cls, "mk").unwrap();
+        assert!(!r.is_reached(a_mk));
+    }
+
+    #[test]
+    fn globals_flow_interprocedurally() {
+        let (p, r) = run(r#"
+global G: Object;
+fn put() {
+  var o: Object;
+  o = new Object @stored;
+  $G = o;
+}
+fn main() {
+  var got: Object;
+  call put();
+  got = $G;
+}
+entry main;
+"#);
+        let g = p.global_by_name("G").unwrap();
+        let names: Vec<String> =
+            r.pt_global(g).iter().map(|l| r.loc_name(&p, LocId(l as u32))).collect();
+        assert_eq!(names, vec!["stored"]);
+        let main = p.entry();
+        let got =
+            p.method(main).locals.iter().copied().find(|&v| p.var(v).name == "got").unwrap();
+        assert_eq!(r.pt_var(got).len(), 1);
+    }
+
+    #[test]
+    fn arrays_conflate_contents() {
+        let (p, r) = run(r#"
+fn main() {
+  var a: array;
+  var x: Object;
+  var y: Object;
+  a = newarray @arr0 [2];
+  x = new Object @o0;
+  a[0] = x;
+  y = a[1];
+}
+entry main;
+"#);
+        let main = p.entry();
+        let y = p.method(main).locals.iter().copied().find(|&v| p.var(v).name == "y").unwrap();
+        let names: Vec<String> =
+            r.pt_var(y).iter().map(|l| r.loc_name(&p, LocId(l as u32))).collect();
+        assert_eq!(names, vec!["o0"]);
+    }
+
+    #[test]
+    fn container_sensitivity_splits_allocations() {
+        let src = r#"
+class Holder {
+  field item: Object;
+  method fill(this: Holder) {
+    var o: Object;
+    o = new Object @inner;
+    this.item = o;
+  }
+}
+fn main() {
+  var h1: Holder;
+  var h2: Holder;
+  var a: Object;
+  var b: Object;
+  h1 = new Holder @h1;
+  h2 = new Holder @h2;
+  call h1.fill();
+  call h2.fill();
+  a = h1.item;
+  b = h2.item;
+}
+entry main;
+"#;
+        let p = parse(src).expect("parse");
+        // Insensitive: both reads see the same `inner` loc.
+        let r0 = analyze(&p, ContextPolicy::Insensitive);
+        let main = p.entry();
+        let var = |n: &str| {
+            p.method(main).locals.iter().copied().find(|&v| p.var(v).name == n).unwrap()
+        };
+        assert_eq!(r0.pt_var(var("a")), r0.pt_var(var("b")));
+
+        // Container-sensitive on Holder: the allocations split.
+        let policy = ContextPolicy::containers_named(&p, &["Holder"]);
+        let r1 = analyze(&p, policy);
+        let a_names: Vec<String> =
+            r1.pt_var(var("a")).iter().map(|l| r1.loc_name(&p, LocId(l as u32))).collect();
+        let b_names: Vec<String> =
+            r1.pt_var(var("b")).iter().map(|l| r1.loc_name(&p, LocId(l as u32))).collect();
+        assert_eq!(a_names, vec!["h1.inner"]);
+        assert_eq!(b_names, vec!["h2.inner"]);
+    }
+
+    #[test]
+    fn producer_map_names_field_writes() {
+        let (p, r) = run(r#"
+class Box { field item: Object; }
+fn main() {
+  var b: Box;
+  var o: Object;
+  b = new Box @box0;
+  o = new Object @obj0;
+  b.item = o;
+}
+entry main;
+"#);
+        let box_cls = p.class_by_name("Box").unwrap();
+        let item = p.resolve_field(box_cls, "item").unwrap();
+        let (box_loc, obj_loc) = {
+            let mut box_loc = None;
+            let mut obj_loc = None;
+            for l in r.locs().ids() {
+                match r.loc_name(&p, l).as_str() {
+                    "box0" => box_loc = Some(l),
+                    "obj0" => obj_loc = Some(l),
+                    _ => {}
+                }
+            }
+            (box_loc.unwrap(), obj_loc.unwrap())
+        };
+        let edge = HeapEdge::Field { base: box_loc, field: item, target: obj_loc };
+        let prods = r.producers(&edge);
+        assert_eq!(prods.len(), 1);
+        assert!(matches!(p.cmd(prods[0]), Command::WriteField { .. }));
+    }
+
+    #[test]
+    fn call_graph_records_callers() {
+        let (p, r) = run(r#"
+fn helper() { return; }
+fn main() {
+  call helper();
+  call helper();
+}
+entry main;
+"#);
+        let helper = p.free_function("helper").unwrap();
+        assert_eq!(r.callers(helper).len(), 2);
+        assert!(r.is_reached(helper));
+    }
+}

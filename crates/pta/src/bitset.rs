@@ -1,0 +1,228 @@
+//! A compact growable bitset used for points-to sets and regions.
+
+/// A growable set of small non-negative integers, stored as 64-bit words.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        BitSet { words: Vec::new() }
+    }
+
+    /// Creates a set containing a single element.
+    pub fn singleton(bit: usize) -> Self {
+        let mut s = BitSet::new();
+        s.insert(bit);
+        s
+    }
+
+    /// Creates a set from an iterator of elements.
+    pub fn from_iter_bits(bits: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = BitSet::new();
+        for b in bits {
+            s.insert(b);
+        }
+        s
+    }
+
+    /// Inserts `bit`; returns true if it was newly added.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        let (w, m) = (bit / 64, 1u64 << (bit % 64));
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let had = self.words[w] & m != 0;
+        self.words[w] |= m;
+        !had
+    }
+
+    /// Removes `bit`; returns true if it was present.
+    pub fn remove(&mut self, bit: usize) -> bool {
+        let (w, m) = (bit / 64, 1u64 << (bit % 64));
+        if w >= self.words.len() {
+            return false;
+        }
+        let had = self.words[w] & m != 0;
+        self.words[w] &= !m;
+        had
+    }
+
+    /// Membership test.
+    pub fn contains(&self, bit: usize) -> bool {
+        let (w, m) = (bit / 64, 1u64 << (bit % 64));
+        self.words.get(w).is_some_and(|word| word & m != 0)
+    }
+
+    /// True if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Adds every element of `other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (i, &w) in other.words.iter().enumerate() {
+            let before = self.words[i];
+            self.words[i] |= w;
+            changed |= self.words[i] != before;
+        }
+        changed
+    }
+
+    /// Keeps only elements also in `other`; returns true if `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (i, w) in self.words.iter_mut().enumerate() {
+            let before = *w;
+            *w &= other.words.get(i).copied().unwrap_or(0);
+            changed |= *w != before;
+        }
+        changed
+    }
+
+    /// Removes every element of `other`; returns true if `self` changed.
+    pub fn subtract(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (i, w) in self.words.iter_mut().enumerate() {
+            let before = *w;
+            *w &= !other.words.get(i).copied().unwrap_or(0);
+            changed |= *w != before;
+        }
+        changed
+    }
+
+    /// The intersection as a new set.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// True if `self` and `other` share no elements.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// True if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Iterates over elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| if w & (1 << b) != 0 { Some(wi * 64 + b) } else { None })
+        })
+    }
+
+    /// The single element, if the set has exactly one.
+    pub fn as_singleton(&self) -> Option<usize> {
+        let mut it = self.iter();
+        let first = it.next()?;
+        if it.next().is_none() {
+            Some(first)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        BitSet::from_iter_bits(iter)
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for b in iter {
+            self.insert(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(200));
+        assert!(s.contains(3) && s.contains(200) && !s.contains(4));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet = [1, 2, 3, 64].into_iter().collect();
+        let b: BitSet = [2, 64, 100].into_iter().collect();
+        let mut u = a.clone();
+        assert!(u.union_with(&b));
+        assert_eq!(u.len(), 5);
+        assert!(!u.union_with(&b));
+
+        let i = a.intersection(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 64]);
+
+        assert!(i.is_subset(&a) && i.is_subset(&b));
+        assert!(!a.is_subset(&b));
+
+        let c: BitSet = [7, 8].into_iter().collect();
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn subtract_removes() {
+        let mut a: BitSet = [1, 2, 3].into_iter().collect();
+        let b: BitSet = [2].into_iter().collect();
+        assert!(a.subtract(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn singleton_detection() {
+        assert_eq!(BitSet::singleton(9).as_singleton(), Some(9));
+        let two: BitSet = [1, 9].into_iter().collect();
+        assert_eq!(two.as_singleton(), None);
+        assert_eq!(BitSet::new().as_singleton(), None);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let s = BitSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.is_subset(&s));
+        assert!(s.is_disjoint(&s));
+        assert_eq!(format!("{s:?}"), "{}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Context-sensitivity policies for the points-to analysis.
+
+use tir::{ClassId, Program};
+
+/// How method analysis and heap abstraction are context-qualified.
+///
+/// The paper's evaluation uses WALA's *0-1-Container-CFA*: Andersen's
+/// analysis with one level of object sensitivity applied (with unbounded
+/// nesting) to container classes. [`ContextPolicy::ContainerSensitive`]
+/// reproduces that shape; [`ContextPolicy::ObjectSensitive`] applies the
+/// same receiver-qualification to all classes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ContextPolicy {
+    /// Classic context-insensitive Andersen's analysis.
+    Insensitive,
+    /// Receiver-object sensitivity for the listed container classes (and
+    /// their subclasses). Allocations inside a container method instance are
+    /// qualified by the receiver's abstract location, producing names like
+    /// `vec0.arr1`.
+    ContainerSensitive {
+        /// The container base classes.
+        containers: Vec<ClassId>,
+        /// Maximum context-qualification nesting depth (guards against
+        /// containers-of-containers recursion).
+        max_depth: usize,
+    },
+    /// Receiver-object sensitivity for every instance method.
+    ObjectSensitive {
+        /// Maximum context-qualification nesting depth.
+        max_depth: usize,
+    },
+    /// Classic 1-CFA: methods are analyzed once per call site (the heap
+    /// abstraction stays allocation-site based). Useful as a baseline
+    /// comparison — the paper notes the refutation engine "does not fix
+    /// the heap abstraction".
+    CallSiteSensitive,
+}
+
+impl ContextPolicy {
+    /// Builds a [`ContextPolicy::ContainerSensitive`] from class names,
+    /// ignoring names not present in `program`.
+    pub fn containers_named(program: &Program, names: &[&str]) -> ContextPolicy {
+        let containers = names.iter().filter_map(|n| program.class_by_name(n)).collect();
+        ContextPolicy::ContainerSensitive { containers, max_depth: 3 }
+    }
+
+    /// True if methods of `class` are analyzed per receiver location.
+    pub fn qualifies(&self, program: &Program, class: ClassId) -> bool {
+        match self {
+            ContextPolicy::Insensitive | ContextPolicy::CallSiteSensitive => false,
+            ContextPolicy::ContainerSensitive { containers, .. } => {
+                containers.iter().any(|&c| program.is_subclass(class, c))
+            }
+            ContextPolicy::ObjectSensitive { .. } => true,
+        }
+    }
+
+    /// True if method instances are keyed by call site (1-CFA).
+    pub fn call_site_sensitive(&self) -> bool {
+        matches!(self, ContextPolicy::CallSiteSensitive)
+    }
+
+    /// Maximum context nesting depth (0 when insensitive).
+    pub fn max_depth(&self) -> usize {
+        match self {
+            ContextPolicy::Insensitive | ContextPolicy::CallSiteSensitive => 0,
+            ContextPolicy::ContainerSensitive { max_depth, .. }
+            | ContextPolicy::ObjectSensitive { max_depth } => *max_depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tir::ProgramBuilder;
+
+    #[test]
+    fn container_policy_covers_subclasses() {
+        let mut b = ProgramBuilder::new();
+        let vec = b.class("AVec", None);
+        let stack = b.class("AStack", Some(vec));
+        let other = b.class("Other", None);
+        let p = b.finish();
+
+        let policy = ContextPolicy::containers_named(&p, &["AVec", "Missing"]);
+        assert!(policy.qualifies(&p, vec));
+        assert!(policy.qualifies(&p, stack));
+        assert!(!policy.qualifies(&p, other));
+        assert_eq!(policy.max_depth(), 3);
+    }
+
+    #[test]
+    fn insensitive_never_qualifies() {
+        let mut b = ProgramBuilder::new();
+        let c = b.class("C", None);
+        let p = b.finish();
+        assert!(!ContextPolicy::Insensitive.qualifies(&p, c));
+    }
+
+    #[test]
+    fn object_sensitive_always_qualifies() {
+        let mut b = ProgramBuilder::new();
+        let c = b.class("C", None);
+        let p = b.finish();
+        let policy = ContextPolicy::ObjectSensitive { max_depth: 2 };
+        assert!(policy.qualifies(&p, c));
+        assert_eq!(policy.max_depth(), 2);
+    }
+}

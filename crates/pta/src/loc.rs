@@ -1,0 +1,164 @@
+//! Abstract locations and heap-abstraction contexts.
+//!
+//! An abstract location names a set of concrete heap objects. In the base
+//! (context-insensitive) abstraction each allocation site is one location;
+//! context-sensitive policies additionally qualify a site by the abstract
+//! location of the receiver whose method performed the allocation, yielding
+//! names like `vec0.arr1` — "the `arr1` instances allocated on behalf of
+//! `vec0`" (cf. Figure 2 of the paper).
+
+use std::collections::HashMap;
+
+use tir::{AllocId, ClassId, Program};
+
+/// Identifies an abstract location within a [`LocTable`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocId(pub u32);
+
+impl LocId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for LocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LocId({})", self.0)
+    }
+}
+
+/// An abstract location: an allocation site, optionally qualified by the
+/// receiver location under which it was allocated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AbsLoc {
+    /// The allocation site.
+    pub alloc: AllocId,
+    /// Context qualifier: the receiver's abstract location, if the active
+    /// context policy qualifies this site.
+    pub ctx: Option<LocId>,
+}
+
+/// Interning table for abstract locations.
+#[derive(Debug, Default)]
+pub struct LocTable {
+    locs: Vec<AbsLoc>,
+    index: HashMap<AbsLoc, LocId>,
+}
+
+impl LocTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a location, returning its id.
+    pub fn intern(&mut self, loc: AbsLoc) -> LocId {
+        if let Some(&id) = self.index.get(&loc) {
+            return id;
+        }
+        let id = LocId(u32::try_from(self.locs.len()).expect("too many abstract locations"));
+        self.locs.push(loc);
+        self.index.insert(loc, id);
+        id
+    }
+
+    /// Looks up a location by id.
+    pub fn get(&self, id: LocId) -> AbsLoc {
+        self.locs[id.index()]
+    }
+
+    /// Number of interned locations.
+    pub fn len(&self) -> usize {
+        self.locs.len()
+    }
+
+    /// True if no locations have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.locs.is_empty()
+    }
+
+    /// Iterates over all interned location ids.
+    pub fn ids(&self) -> impl Iterator<Item = LocId> {
+        (0..self.locs.len()).map(|i| LocId(i as u32))
+    }
+
+    /// The class of objects represented by `id`.
+    pub fn class_of(&self, id: LocId, program: &Program) -> ClassId {
+        program.alloc(self.get(id).alloc).class
+    }
+
+    /// The context-qualification depth of `id` (0 for unqualified).
+    pub fn depth(&self, id: LocId) -> usize {
+        let mut d = 0;
+        let mut cur = self.get(id).ctx;
+        while let Some(c) = cur {
+            d += 1;
+            cur = self.get(c).ctx;
+        }
+        d
+    }
+
+    /// Human-readable name, e.g. `vec0` or `vec0.arr1`.
+    pub fn name(&self, id: LocId, program: &Program) -> String {
+        let loc = self.get(id);
+        let base = program.alloc(loc.alloc).name.clone();
+        match loc.ctx {
+            Some(c) => format!("{}.{}", self.name(c, program), base),
+            None => base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tir::{ProgramBuilder, Ty};
+
+    fn tiny_program() -> (Program, AllocId, AllocId) {
+        let mut b = ProgramBuilder::new();
+        let c = b.class("Vec", None);
+        let mut a0 = None;
+        let mut a1 = None;
+        let main = b.method(None, "main", &[], None, |mb| {
+            let x = mb.var("x", Ty::Ref(c));
+            a0 = Some(mb.new_obj(x, c, "vec0"));
+            a1 = Some(mb.new_array(x, "arr1", 1));
+            mb.ret_void();
+        });
+        b.set_entry(main);
+        (b.finish(), a0.unwrap(), a1.unwrap())
+    }
+
+    #[test]
+    fn interning_dedupes() {
+        let (_, a0, _) = tiny_program();
+        let mut t = LocTable::new();
+        let l1 = t.intern(AbsLoc { alloc: a0, ctx: None });
+        let l2 = t.intern(AbsLoc { alloc: a0, ctx: None });
+        assert_eq!(l1, l2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn qualified_names_chain() {
+        let (p, a0, a1) = tiny_program();
+        let mut t = LocTable::new();
+        let base = t.intern(AbsLoc { alloc: a0, ctx: None });
+        let qualified = t.intern(AbsLoc { alloc: a1, ctx: Some(base) });
+        assert_eq!(t.name(base, &p), "vec0");
+        assert_eq!(t.name(qualified, &p), "vec0.arr1");
+        assert_eq!(t.depth(base), 0);
+        assert_eq!(t.depth(qualified), 1);
+    }
+
+    #[test]
+    fn class_of_resolves_alloc_class() {
+        let (p, a0, a1) = tiny_program();
+        let mut t = LocTable::new();
+        let l0 = t.intern(AbsLoc { alloc: a0, ctx: None });
+        let l1 = t.intern(AbsLoc { alloc: a1, ctx: None });
+        assert_eq!(p.class(t.class_of(l0, &p)).name, "Vec");
+        assert_eq!(p.class(t.class_of(l1, &p)).name, "Array");
+    }
+}

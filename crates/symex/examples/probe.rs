@@ -1,0 +1,33 @@
+//! Temporary probe for fig1 performance.
+use pta::{analyze, ContextPolicy, HeapEdge, ModRef};
+use symex::{Engine, SymexConfig};
+
+fn main() {
+    let src = std::fs::read_to_string("/tmp/fig1.tir").unwrap();
+    let program = tir::parse(&src).unwrap();
+    let pta = analyze(&program, ContextPolicy::Insensitive);
+    let modref = ModRef::compute(&program, &pta);
+    let arr0 = pta.locs().ids().find(|&l| pta.loc_name(&program, l) == "arr0").unwrap();
+    let target_name = std::env::args().nth(2).unwrap_or_else(|| "act0".into());
+    let act0 = pta.locs().ids().find(|&l| pta.loc_name(&program, l) == target_name.as_str()).unwrap();
+    let edge = HeapEdge::Field { base: arr0, field: program.contents_field, target: act0 };
+    let budget: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let cfg = SymexConfig { budget, ..SymexConfig::default() };
+    let mut engine = Engine::new(&program, &pta, &modref, cfg);
+    let t = std::time::Instant::now();
+    let out = engine.refute_edge(&edge);
+    if let symex::SearchOutcome::Witnessed(w) = &out {
+        println!("WITNESS: {}", w.describe(&program));
+    }
+    println!(
+        "budget={} outcome={:?} time={:?} paths={} cmds={} subsumed={} loops={} refs={}",
+        budget,
+        match out { symex::SearchOutcome::Refuted => "refuted", symex::SearchOutcome::Witnessed(_) => "witnessed", symex::SearchOutcome::Timeout => "timeout" },
+        t.elapsed(),
+        engine.stats.path_programs,
+        engine.stats.cmds_executed,
+        engine.stats.subsumed,
+        engine.stats.loop_fixpoints,
+        engine.stats.total_refutations(),
+    );
+}

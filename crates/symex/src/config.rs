@@ -1,0 +1,139 @@
+//! Engine configuration, including the ablation switches evaluated in §4.
+
+/// Query representation (§2.2, Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Representation {
+    /// The paper's contribution: symbolic variables carrying `from`
+    /// instance constraints that are narrowed at every flow step, enabling
+    /// early refutations without case splits.
+    Mixed,
+    /// Ablation: points-to facts are used only as a PSE-style aliasing
+    /// oracle (pruning the aliased case of field writes) and to check
+    /// allocation sites at `new`; `from` sets are never narrowed by flow and
+    /// region subset checks are disabled during subsumption.
+    FullySymbolic,
+    /// Ablation: `from` constraints are expanded eagerly — every symbolic
+    /// variable is case-split into one query per abstract location in its
+    /// region (a backwards analogue of lazy initialization over locations,
+    /// §2.2).
+    FullyExplicit,
+}
+
+/// Loop handling (§3.3, hypothesis 3 of §4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoopMode {
+    /// On-the-fly loop invariant inference: per-query fixed point over heap
+    /// constraints with a materialization bound, dropping only pure
+    /// constraints that fail to stabilize.
+    Infer,
+    /// Ablation: drop every constraint the loop body may modify.
+    DropAll,
+}
+
+/// Tuning knobs for the witness-refutation search. Defaults reproduce the
+/// configuration of the paper's evaluation (§4).
+#[derive(Clone, Debug)]
+pub struct SymexConfig {
+    /// Query representation.
+    pub representation: Representation,
+    /// Loop handling.
+    pub loop_mode: LoopMode,
+    /// Enable query-history subsumption at loop heads and procedure
+    /// boundaries (hypothesis 2 ablation when disabled).
+    pub simplification: bool,
+    /// Exploration budget: maximum number of path programs (query forks)
+    /// per edge before declaring a timeout. Paper: 10,000.
+    pub budget: u64,
+    /// Call-stack depth beyond which callees are skipped by dropping the
+    /// constraints they may produce (mod/ref). Paper: 3.
+    pub max_call_depth: usize,
+    /// Maximum number of path-condition atoms kept per query (older atoms
+    /// are dropped — a sound weakening). Paper: 2.
+    pub max_path_atoms: usize,
+    /// Maximum backwards passes over a loop body before widening kicks in.
+    pub loop_iter_cap: usize,
+    /// Maximum instances materialized per abstract location during loop
+    /// invariant inference. Paper: 1.
+    pub materialization_bound: usize,
+    /// Maximum recorded trace steps per witness.
+    pub trace_cap: usize,
+    /// Hard cap on exact heap cells per query; excess (newest) cells are
+    /// dropped — a sound weakening bounding per-transfer cost on deep
+    /// searches.
+    pub max_heap_cells: usize,
+}
+
+impl Default for SymexConfig {
+    fn default() -> Self {
+        SymexConfig {
+            representation: Representation::Mixed,
+            loop_mode: LoopMode::Infer,
+            simplification: true,
+            budget: 10_000,
+            max_call_depth: 3,
+            max_path_atoms: 2,
+            loop_iter_cap: 3,
+            materialization_bound: 1,
+            trace_cap: 512,
+            max_heap_cells: 24,
+        }
+    }
+}
+
+impl SymexConfig {
+    /// The paper's default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the representation (builder style).
+    pub fn with_representation(mut self, r: Representation) -> Self {
+        self.representation = r;
+        self
+    }
+
+    /// Sets the loop mode (builder style).
+    pub fn with_loop_mode(mut self, m: LoopMode) -> Self {
+        self.loop_mode = m;
+        self
+    }
+
+    /// Enables/disables query simplification (builder style).
+    pub fn with_simplification(mut self, on: bool) -> Self {
+        self.simplification = on;
+        self
+    }
+
+    /// Sets the per-edge path-program budget (builder style).
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SymexConfig::default();
+        assert_eq!(c.budget, 10_000);
+        assert_eq!(c.max_call_depth, 3);
+        assert_eq!(c.max_path_atoms, 2);
+        assert_eq!(c.materialization_bound, 1);
+        assert_eq!(c.representation, Representation::Mixed);
+        assert!(c.simplification);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = SymexConfig::new()
+            .with_representation(Representation::FullySymbolic)
+            .with_simplification(false)
+            .with_budget(5);
+        assert_eq!(c.representation, Representation::FullySymbolic);
+        assert!(!c.simplification);
+        assert_eq!(c.budget, 5);
+    }
+}

@@ -1,0 +1,215 @@
+//! On-the-fly loop invariant inference (§3.3).
+//!
+//! For each individual query reaching a loop (backwards), the engine
+//! saturates the set of loop-head queries by repeatedly applying the body's
+//! backwards transfer, with three convergence devices mirrored from the
+//! paper:
+//!
+//! 1. **Subsumption**: a new query entailed by one already in the set is
+//!    dropped (refuting the weaker query refutes it too).
+//! 2. **Materialization bound**: the number of heap cells per field may grow
+//!    by at most [`SymexConfig::materialization_bound`] over the seed — the
+//!    paper's "static bound on the number of instances of each abstract
+//!    location" (bound 1 in the evaluation).
+//! 3. **Widening**: after [`SymexConfig::loop_iter_cap`] rounds, path
+//!    constraints are dropped ("a trivial widening that drops pure
+//!    constraints that may be modified by the loop"); if the set still
+//!    grows, the remaining queries fall back to drop-all weakening.
+//!
+//! All three devices only ever *weaken* queries, preserving refutation
+//! soundness (Theorem 1).
+//!
+//! [`SymexConfig::materialization_bound`]: crate::SymexConfig::materialization_bound
+//! [`SymexConfig::loop_iter_cap`]: crate::SymexConfig::loop_iter_cap
+
+use std::collections::HashMap;
+
+use pta::BitSet;
+use tir::{Cond, FieldId, Stmt};
+
+use crate::config::{LoopMode, Representation};
+use crate::engine::{Engine, Flow};
+use crate::query::Query;
+
+impl Engine<'_> {
+    /// Computes the loop-head query set for a loop with optional guard
+    /// `cond` and body `body`, seeded by `seed` (queries already at the
+    /// loop head). Returns the queries that flow out of the loop backwards
+    /// (to the program point before the loop).
+    pub(crate) fn loop_fixpoint(
+        &mut self,
+        cond: Option<&Cond>,
+        body: &Stmt,
+        seed: Vec<Query>,
+    ) -> Flow {
+        if seed.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.stats.loop_fixpoints += 1;
+        if self.config.loop_mode == LoopMode::DropAll {
+            let mut out = Vec::new();
+            for q in seed {
+                out.push(self.drop_loop_affected(body, q));
+            }
+            return Ok(out);
+        }
+
+        // Per-field materialization budget relative to the seed.
+        let mut cell_cap: HashMap<FieldId, usize> = HashMap::new();
+        for q in &seed {
+            let mut counts: HashMap<FieldId, usize> = HashMap::new();
+            for c in &q.heap {
+                *counts.entry(c.field).or_insert(0) += 1;
+            }
+            for (f, n) in counts {
+                let e = cell_cap.entry(f).or_insert(0);
+                *e = (*e).max(n);
+            }
+        }
+        let bound = self.config.materialization_bound;
+        let strict = self.config.representation == Representation::FullySymbolic;
+
+        let mut set: Vec<Query> = Vec::new();
+        let mut work: Vec<(Query, usize)> = Vec::new();
+        let mut marks: Vec<u32> = Vec::new();
+        for mut q in seed {
+            if let Err(r) = self.normalize_cells(&mut q) {
+                self.stats.count_refutation(r);
+                continue;
+            }
+            q.gc();
+            if !subsumed_by(&set, &q, strict) {
+                marks.push(q.sym_mark());
+                set.push(q.clone());
+                work.push((q, 0));
+            }
+        }
+        // Widening discards constraints over values first materialized
+        // inside the loop analysis; constraints over loop-invariant values
+        // survive (the paper drops only "pure constraints that may be
+        // modified by the loop").
+        let mark = marks.iter().copied().min().unwrap_or(0);
+        let cap = self.config.loop_iter_cap;
+        while let Some((q, round)) = work.pop() {
+            // One more backwards pass over (assume cond; body).
+            let stepped = self.exec_stmt_back(body, q)?;
+            for mut q2 in stepped {
+                if let Some(c) = cond {
+                    match self.apply_cond(c, q2)? {
+                        Some(next) => q2 = next,
+                        None => continue,
+                    }
+                }
+                // Materialization bound: trim per-field cell growth.
+                self.enforce_cell_cap(&mut q2, &cell_cap, bound);
+                // Widening: past the iteration cap, drop loop-derived pure
+                // constraints.
+                if round + 1 >= cap {
+                    q2.drop_atoms_since(mark);
+                }
+                // Fallback: far past the cap, weaken to the drop-all state.
+                if round + 1 >= 3 * cap {
+                    q2 = self.drop_loop_affected(body, q2);
+                }
+                q2.gc();
+                if !subsumed_by(&set, &q2, strict) {
+                    if self.config.simplification {
+                        // With simplification the set is kept minimal:
+                        // remove entries stronger than the newcomer.
+                        set.retain(|old| !old.entails(&q2, strict));
+                    }
+                    self.charge(1)?;
+                    set.push(q2.clone());
+                    work.push((q2, round + 1));
+                }
+            }
+        }
+        Ok(set)
+    }
+
+    /// Trims heap cells of `q` so no field exceeds its seed count plus the
+    /// materialization bound. Newest cells (appended last) are dropped
+    /// first — a sound weakening.
+    fn enforce_cell_cap(
+        &mut self,
+        q: &mut Query,
+        cell_cap: &HashMap<FieldId, usize>,
+        bound: usize,
+    ) {
+        let mut counts: HashMap<FieldId, usize> = HashMap::new();
+        for c in &q.heap {
+            *counts.entry(c.field).or_insert(0) += 1;
+        }
+        let mut excess: HashMap<FieldId, usize> = HashMap::new();
+        for (f, n) in counts {
+            let cap = cell_cap.get(&f).copied().unwrap_or(0) + bound;
+            if n > cap {
+                excess.insert(f, n - cap);
+            }
+        }
+        if excess.is_empty() {
+            return;
+        }
+        // Drop from the back (most recently materialized).
+        let mut i = q.heap.len();
+        while i > 0 {
+            i -= 1;
+            let f = q.heap[i].field;
+            if let Some(e) = excess.get_mut(&f) {
+                if *e > 0 {
+                    q.heap.remove(i);
+                    *e -= 1;
+                }
+            }
+        }
+    }
+
+    /// The drop-all weakening (hypothesis-3 ablation, also the widening
+    /// fallback): removes every constraint the loop body may modify —
+    /// bindings of assigned locals, heap cells of written fields, written
+    /// globals — then garbage-collects dangling pure constraints.
+    pub(crate) fn drop_loop_affected(&mut self, body: &Stmt, mut q: Query) -> Query {
+        let mut mod_fields = BitSet::new();
+        let mut mod_globals = BitSet::new();
+        let mut assigned: Vec<tir::VarId> = Vec::new();
+        let program = self.program;
+        body.for_each_cmd(&mut |c| {
+            let cmd = program.cmd(c);
+            if let Some(d) = cmd.def() {
+                assigned.push(d);
+            }
+            match cmd {
+                tir::Command::WriteField { field, .. } => {
+                    mod_fields.insert(field.index());
+                }
+                tir::Command::WriteArray { .. } => {
+                    mod_fields.insert(program.contents_field.index());
+                }
+                tir::Command::WriteGlobal { global, .. } => {
+                    mod_globals.insert(global.index());
+                }
+                tir::Command::Call { .. } => {
+                    for &t in self.pta.call_targets(c) {
+                        mod_fields.union_with(self.modref.mod_fields(t));
+                        mod_globals.union_with(self.modref.mod_globals(t));
+                    }
+                }
+                _ => {}
+            }
+        });
+        for v in assigned {
+            q.locals.remove(&v);
+        }
+        q.heap.retain(|c| !mod_fields.contains(c.field.index()));
+        q.statics.retain(|g, _| !mod_globals.contains(g.index()));
+        q.path = Default::default();
+        q.gc();
+        q
+    }
+}
+
+/// True if `q` is entailed-covered by a member of `set`: there is a weaker
+/// query already scheduled, so refuting it refutes `q` too.
+fn subsumed_by(set: &[Query], q: &Query, strict: bool) -> bool {
+    set.iter().any(|old| q.entails(old, strict))
+}

@@ -1,0 +1,109 @@
+//! Points-to regions — the ranges of `from` instance constraints.
+
+use pta::BitSet;
+
+/// The range of a `v̂ from r̂` instance constraint (§3.1): either a set of
+/// abstract locations, or the distinguished `data` region of non-address
+/// values (integers).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// Instances drawn from this set of abstract locations.
+    Locs(BitSet),
+    /// A non-address (integer) value.
+    Data,
+}
+
+impl Region {
+    /// A region of the given locations.
+    pub fn locs(set: BitSet) -> Region {
+        Region::Locs(set)
+    }
+
+    /// A region containing a single location.
+    pub fn singleton(loc: usize) -> Region {
+        Region::Locs(BitSet::singleton(loc))
+    }
+
+    /// True if the region denotes no values — axiom (1) of §3.2: a `from ∅`
+    /// constraint is a contradiction.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Region::Locs(s) => s.is_empty(),
+            Region::Data => false,
+        }
+    }
+
+    /// Intersects with another region (axiom (2) of §3.2). Locations and
+    /// `data` are disjoint, so mixing them yields the empty region.
+    pub fn intersect(&self, other: &Region) -> Region {
+        match (self, other) {
+            (Region::Locs(a), Region::Locs(b)) => Region::Locs(a.intersection(b)),
+            (Region::Data, Region::Data) => Region::Data,
+            (Region::Locs(_), Region::Data) | (Region::Data, Region::Locs(_)) => {
+                Region::Locs(BitSet::new())
+            }
+        }
+    }
+
+    /// Intersects with a location set.
+    pub fn intersect_locs(&self, locs: &BitSet) -> Region {
+        self.intersect(&Region::Locs(locs.clone()))
+    }
+
+    /// Subset check — the entailment of Equation (§) in §3.3:
+    /// `(v from r̂1) |= (v from r̂2)` iff `r̂1 ⊆ r̂2`.
+    pub fn is_subset(&self, other: &Region) -> bool {
+        match (self, other) {
+            (Region::Locs(a), Region::Locs(b)) => a.is_subset(b),
+            (Region::Data, Region::Data) => true,
+            (Region::Locs(a), Region::Data) => a.is_empty(),
+            (Region::Data, Region::Locs(_)) => false,
+        }
+    }
+
+    /// The location set, if this is a location region.
+    pub fn as_locs(&self) -> Option<&BitSet> {
+        match self {
+            Region::Locs(s) => Some(s),
+            Region::Data => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_detection() {
+        assert!(Region::Locs(BitSet::new()).is_empty());
+        assert!(!Region::singleton(3).is_empty());
+        assert!(!Region::Data.is_empty());
+    }
+
+    #[test]
+    fn intersection_narrows() {
+        let a = Region::locs([1, 2, 3].into_iter().collect());
+        let b = Region::locs([2, 3, 4].into_iter().collect());
+        let i = a.intersect(&b);
+        assert_eq!(i.as_locs().unwrap().iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn data_and_locs_are_disjoint() {
+        let a = Region::singleton(1);
+        assert!(a.intersect(&Region::Data).is_empty());
+        assert!(Region::Data.intersect(&a).is_empty());
+        assert_eq!(Region::Data.intersect(&Region::Data), Region::Data);
+    }
+
+    #[test]
+    fn subset_follows_set_inclusion() {
+        let small = Region::singleton(2);
+        let big = Region::locs([1, 2].into_iter().collect());
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(Region::Data.is_subset(&Region::Data));
+        assert!(!Region::Data.is_subset(&big));
+    }
+}

@@ -1,0 +1,124 @@
+//! Query-history subsumption (§3.3 "Query Simplification with
+//! Disaliasing").
+//!
+//! The engine keeps a history of queries seen at procedure boundaries; when
+//! a new query arrives that entails (is stronger than) a previously explored
+//! one, it is dropped — refuting the weaker query refutes the stronger one.
+//! Loop heads get the same treatment locally inside
+//! [`loop_fixpoint`](crate::engine::Engine).
+
+use std::collections::HashMap;
+
+use tir::MethodId;
+
+use crate::query::Query;
+
+/// A program point at which query histories are kept.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum Point {
+    /// The entry of a method, reached by upward propagation.
+    MethodEntry(MethodId),
+}
+
+/// Bounded per-point query history.
+#[derive(Debug, Default)]
+pub(crate) struct History {
+    map: HashMap<Point, Vec<Query>>,
+}
+
+/// Cap on stored queries per point; beyond it the oldest entries rotate
+/// out (bounding memory at a small precision cost).
+const PER_POINT_CAP: usize = 64;
+
+impl History {
+    pub(crate) fn new() -> Self {
+        History::default()
+    }
+
+    /// Forgets everything (called between edges).
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// True if a weaker-or-equal query was already explored at `point`.
+    pub(crate) fn subsumes_at(&self, point: Point, q: &Query, strict: bool) -> bool {
+        self.map
+            .get(&point)
+            .map(|qs| qs.iter().any(|old| q.entails(old, strict)))
+            .unwrap_or(false)
+    }
+
+    /// Records `q` at `point`.
+    pub(crate) fn insert(&mut self, point: Point, q: Query) {
+        let qs = self.map.entry(point).or_default();
+        if qs.len() >= PER_POINT_CAP {
+            qs.remove(0);
+        }
+        qs.push(q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use crate::region::Region;
+    use crate::value::Val;
+    use tir::VarId;
+
+    #[test]
+    fn identical_query_is_subsumed() {
+        let mut h = History::new();
+        let mut q = Query::new();
+        let s = q.fresh_sym(Region::singleton(1));
+        q.locals.insert(VarId(0), Val::Sym(s));
+        let p = Point::MethodEntry(MethodId(0));
+        assert!(!h.subsumes_at(p, &q, false));
+        h.insert(p, q.clone());
+        assert!(h.subsumes_at(p, &q, false));
+    }
+
+    #[test]
+    fn stronger_query_is_subsumed_weaker_is_not() {
+        let mut h = History::new();
+        let p = Point::MethodEntry(MethodId(0));
+        let mut weak = Query::new();
+        let s = weak.fresh_sym(Region::locs([1, 2].into_iter().collect()));
+        weak.locals.insert(VarId(0), Val::Sym(s));
+        h.insert(p, weak.clone());
+
+        let mut strong = Query::new();
+        let t = strong.fresh_sym(Region::singleton(1));
+        strong.locals.insert(VarId(0), Val::Sym(t));
+        assert!(h.subsumes_at(p, &strong, false));
+        // Strict (fully symbolic) region comparison disables the subset
+        // check.
+        assert!(!h.subsumes_at(p, &strong, true));
+
+        let mut h2 = History::new();
+        h2.insert(p, strong);
+        assert!(!h2.subsumes_at(p, &weak, false));
+    }
+
+    #[test]
+    fn per_point_cap_rotates() {
+        let mut h = History::new();
+        let p = Point::MethodEntry(MethodId(0));
+        for i in 0..(PER_POINT_CAP + 10) {
+            let mut q = Query::new();
+            let s = q.fresh_sym(Region::singleton(i));
+            q.locals.insert(VarId(0), Val::Sym(s));
+            h.insert(p, q);
+        }
+        assert_eq!(h.map[&p].len(), PER_POINT_CAP);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut h = History::new();
+        let p = Point::MethodEntry(MethodId(1));
+        h.insert(p, Query::new());
+        h.clear();
+        assert!(!h.subsumes_at(p, &Query::new(), false));
+    }
+}

@@ -1,0 +1,131 @@
+//! Search outcomes, witnesses, and statistics.
+
+use tir::{CmdId, Program};
+
+use crate::query::Refuted;
+
+/// A path program witnessing a query: the reverse-order trace of commands
+/// the backwards search traversed from the producing statement to the point
+/// where the query was discharged.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// Commands traversed, most recent (closest to discharge) last.
+    pub trace: Vec<CmdId>,
+    /// Rendering of the final (discharged or entry) query.
+    pub final_query: String,
+}
+
+impl Witness {
+    /// Renders the witness trace using program names.
+    pub fn describe(&self, program: &Program) -> String {
+        let steps: Vec<String> =
+            self.trace.iter().map(|&c| program.describe_cmd(c)).collect();
+        format!("[{}] final: {}", steps.join(" <- "), self.final_query)
+    }
+}
+
+/// Result of one witness-refutation search.
+#[derive(Clone, Debug)]
+pub enum SearchOutcome {
+    /// Every path program producing the query was refuted.
+    Refuted,
+    /// A full (over-approximate) path-program witness was found.
+    Witnessed(Witness),
+    /// The exploration budget was exhausted; soundly treated as
+    /// not-refuted.
+    Timeout,
+}
+
+impl SearchOutcome {
+    /// True for [`SearchOutcome::Refuted`].
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, SearchOutcome::Refuted)
+    }
+
+    /// True for [`SearchOutcome::Witnessed`].
+    pub fn is_witnessed(&self) -> bool {
+        matches!(self, SearchOutcome::Witnessed(_))
+    }
+
+    /// True for [`SearchOutcome::Timeout`].
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, SearchOutcome::Timeout)
+    }
+}
+
+/// Counters accumulated across searches by one engine.
+#[derive(Clone, Debug, Default)]
+pub struct SearchStats {
+    /// Path programs (query forks) explored.
+    pub path_programs: u64,
+    /// Backwards command transfers applied.
+    pub cmds_executed: u64,
+    /// Refutations by reason.
+    pub refutations: RefutationCounts,
+    /// Queries dropped by history subsumption.
+    pub subsumed: u64,
+    /// Loop-invariant fixed points run.
+    pub loop_fixpoints: u64,
+    /// Calls skipped via the frame rule (irrelevant mod/ref).
+    pub calls_skipped_irrelevant: u64,
+    /// Calls skipped for exceeding the stack bound (constraints dropped).
+    pub calls_skipped_depth: u64,
+}
+
+/// Per-reason refutation counters.
+#[derive(Clone, Debug, Default)]
+pub struct RefutationCounts {
+    /// Empty `from` region.
+    pub empty_region: u64,
+    /// Separation contradictions.
+    pub separation: u64,
+    /// Pure-constraint contradictions.
+    pub pure: u64,
+    /// Pre-allocation contradictions.
+    pub allocation: u64,
+    /// Contradictions at program entry.
+    pub entry: u64,
+}
+
+impl SearchStats {
+    /// Records one refutation.
+    pub fn count_refutation(&mut self, r: Refuted) {
+        match r {
+            Refuted::EmptyRegion => self.refutations.empty_region += 1,
+            Refuted::Separation => self.refutations.separation += 1,
+            Refuted::Pure => self.refutations.pure += 1,
+            Refuted::Allocation => self.refutations.allocation += 1,
+            Refuted::Entry => self.refutations.entry += 1,
+        }
+    }
+
+    /// Total refutations across reasons.
+    pub fn total_refutations(&self) -> u64 {
+        let r = &self.refutations;
+        r.empty_region + r.separation + r.pure + r.allocation + r.entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(SearchOutcome::Refuted.is_refuted());
+        assert!(SearchOutcome::Timeout.is_timeout());
+        let w = SearchOutcome::Witnessed(Witness { trace: Vec::new(), final_query: "any".into() });
+        assert!(w.is_witnessed());
+        assert!(!w.is_refuted());
+    }
+
+    #[test]
+    fn refutation_counting() {
+        let mut s = SearchStats::default();
+        s.count_refutation(Refuted::Pure);
+        s.count_refutation(Refuted::Pure);
+        s.count_refutation(Refuted::EmptyRegion);
+        assert_eq!(s.refutations.pure, 2);
+        assert_eq!(s.total_refutations(), 3);
+    }
+}

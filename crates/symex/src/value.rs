@@ -1,0 +1,93 @@
+//! Symbolic values.
+
+/// A symbolic variable (the "hatted" `v̂` of the paper): an existential
+/// standing for one concrete value — usually an object instance drawn from
+/// the abstract locations of its `from` region.
+///
+/// Ids are scoped to one [`Query`](crate::Query); unification may merge two
+/// ids, after which the query refers to the representative only.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymId(pub u32);
+
+impl SymId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for SymId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl std::fmt::Display for SymId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A value as constrained by a query: a symbolic instance, the null
+/// reference, or a known integer.
+///
+/// `Sym` always denotes a *concrete object instance or integer* — never
+/// null. A query asserting `x ↦ v̂` therefore also asserts `x != null`;
+/// unifying a `Sym` against `Null` refutes the query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Val {
+    /// A symbolic value.
+    Sym(SymId),
+    /// The null reference.
+    Null,
+    /// A known integer constant.
+    Int(i64),
+}
+
+impl Val {
+    /// The symbolic id, if this is a symbolic value.
+    pub fn sym(self) -> Option<SymId> {
+        match self {
+            Val::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Applies a symbolic-id renaming.
+    pub fn map_sym(self, f: impl FnOnce(SymId) -> SymId) -> Val {
+        match self {
+            Val::Sym(s) => Val::Sym(f(s)),
+            other => other,
+        }
+    }
+}
+
+impl From<SymId> for Val {
+    fn from(s: SymId) -> Val {
+        Val::Sym(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sym_accessor() {
+        assert_eq!(Val::Sym(SymId(3)).sym(), Some(SymId(3)));
+        assert_eq!(Val::Null.sym(), None);
+        assert_eq!(Val::Int(7).sym(), None);
+    }
+
+    #[test]
+    fn map_sym_only_touches_syms() {
+        assert_eq!(Val::Sym(SymId(1)).map_sym(|s| SymId(s.0 + 1)), Val::Sym(SymId(2)));
+        assert_eq!(Val::Null.map_sym(|_| unreachable!()), Val::Null);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SymId(4)), "v4");
+        assert_eq!(format!("{:?}", SymId(4)), "v4");
+    }
+}

@@ -1,0 +1,511 @@
+//! Per-rule tests for the Figure 4 transfer functions, driven through tiny
+//! programs whose refutation/witness behaviour isolates one rule each.
+
+use pta::{analyze, ContextPolicy, HeapEdge, LocId, ModRef, PtaResult};
+use symex::{Engine, Representation, SearchOutcome, SymexConfig};
+use tir::Program;
+
+fn run(src: &str) -> (Program, PtaResult, ModRef) {
+    let p = tir::parse(src).expect("parse");
+    let r = analyze(&p, ContextPolicy::Insensitive);
+    let m = ModRef::compute(&p, &r);
+    (p, r, m)
+}
+
+fn loc(p: &Program, r: &PtaResult, name: &str) -> LocId {
+    r.locs()
+        .ids()
+        .find(|&l| r.loc_name(p, l) == name)
+        .unwrap_or_else(|| panic!("no loc {name}"))
+}
+
+fn global_edge(p: &Program, r: &PtaResult, g: &str, t: &str) -> HeapEdge {
+    HeapEdge::Global { global: p.global_by_name(g).unwrap(), target: loc(p, r, t) }
+}
+
+fn field_edge(p: &Program, r: &PtaResult, class: &str, f: &str, base: &str, t: &str) -> HeapEdge {
+    let c = p.class_by_name(class).unwrap();
+    let fid = p.resolve_field(c, f).unwrap();
+    HeapEdge::Field { base: loc(p, r, base), field: fid, target: loc(p, r, t) }
+}
+
+fn refute(p: &Program, r: &PtaResult, m: &ModRef, edge: &HeapEdge) -> SearchOutcome {
+    Engine::new(p, r, m, SymexConfig::default()).refute_edge(edge)
+}
+
+// ---------------------------------------------------------------- WitNew
+
+#[test]
+fn witnew_discharges_matching_allocation() {
+    let (p, r, m) = run(r#"
+global G: Object;
+fn main() {
+  var o: Object;
+  o = new Object @site0;
+  $G = o;
+}
+entry main;
+"#);
+    assert!(refute(&p, &r, &m, &global_edge(&p, &r, "G", "site0")).is_witnessed());
+}
+
+#[test]
+fn witnew_refutes_field_constraint_at_birth() {
+    // The cell `box.item -> obj` cannot hold before box's allocation; the
+    // only store happens before the second allocation that pta conflates.
+    let (p, r, m) = run(r#"
+class Box { field item: Object; }
+global G: Box;
+fn main() {
+  var b: Box;
+  var o: Object;
+  o = new Object @obj0;
+  b = new Box @box0;
+  $G = b;
+  b = new Box @box1;
+  b.item = o;
+}
+entry main;
+"#);
+    // Flow-insensitively, `b` conflates both boxes, so pta reports
+    // box0.item -> obj0 as well. The store can only run after
+    // `b = new Box @box1`, so the backwards search hits that allocation
+    // with the owner constrained to {box0} — the WitNew refutation.
+    let c = p.class_by_name("Box").unwrap();
+    let item = p.resolve_field(c, "item").unwrap();
+    assert!(r.pt_field(loc(&p, &r, "box0"), item).contains(loc(&p, &r, "obj0").index()));
+    assert!(refute(&p, &r, &m, &field_edge(&p, &r, "Box", "item", "box0", "obj0")).is_refuted());
+    assert!(refute(&p, &r, &m, &field_edge(&p, &r, "Box", "item", "box1", "obj0")).is_witnessed());
+}
+
+// ------------------------------------------------------------- WitAssign
+
+#[test]
+fn witassign_narrows_through_copies() {
+    // z = y; y can only be a string; asking for the activity-like object
+    // refutes at the assignment (eager, before any allocation is reached).
+    let (p, r, m) = run(r#"
+global G: Object;
+fn main() {
+  var y: Object;
+  var z: Object;
+  var a: Object;
+  a = new Object @act;
+  y = new Object @str;
+  z = y;
+  $G = z;
+  $G = a;
+}
+entry main;
+"#);
+    assert!(refute(&p, &r, &m, &global_edge(&p, &r, "G", "act")).is_witnessed());
+    assert!(refute(&p, &r, &m, &global_edge(&p, &r, "G", "str")).is_witnessed());
+    // The graph has exactly the two edges; no cross-pollution to refute.
+    let g = p.global_by_name("G").unwrap();
+    assert_eq!(r.pt_global(g).len(), 2);
+}
+
+#[test]
+fn witassign_null_overwrite_refutes() {
+    let (p, r, m) = run(r#"
+global G: Object;
+fn main() {
+  var o: Object;
+  var flag: int;
+  o = new Object @obj0;
+  flag = 0;
+  if (flag == 1) {
+    o = null;
+    $G = o;
+  }
+}
+entry main;
+"#);
+    // The only store writes null on a dead path; pta still (soundly) has no
+    // edge or the engine refutes it.
+    let g = p.global_by_name("G").unwrap();
+    if !r.pt_global(g).is_empty() {
+        assert!(refute(&p, &r, &m, &global_edge(&p, &r, "G", "obj0")).is_refuted());
+    }
+}
+
+// -------------------------------------------------------------- WitRead
+
+#[test]
+fn witread_materializes_base_and_narrows() {
+    // G = c.item where c.item only ever holds str0: asking for act0 dies at
+    // the read via pt(c.item) narrowing.
+    let (p, r, m) = run(r#"
+class Box { field item: Object; }
+global G: Object;
+fn main() {
+  var c: Box;
+  var v: Object;
+  var a: Object;
+  a = new Object @act0;
+  c = new Box @box0;
+  v = new Object @str0;
+  c.item = v;
+  v = c.item;
+  $G = v;
+}
+entry main;
+"#);
+    assert!(refute(&p, &r, &m, &global_edge(&p, &r, "G", "str0")).is_witnessed());
+    let g = p.global_by_name("G").unwrap();
+    assert!(!r.pt_global(g).contains(loc(&p, &r, "act0").index()));
+}
+
+// -------------------------------------------------------------- WitWrite
+
+#[test]
+fn witwrite_produced_case_requires_owner_compat() {
+    // Two boxes, one writer through an alias that can only be box1.
+    let (p, r, m) = run(r#"
+class Box { field item: Object; }
+fn main() {
+  var b0: Box;
+  var b1: Box;
+  var w: Box;
+  var o: Object;
+  b0 = new Box @box0;
+  b1 = new Box @box1;
+  choice { w = b1; } or { w = b1; }
+  o = new Object @obj0;
+  w.item = o;
+}
+entry main;
+"#);
+    assert!(refute(&p, &r, &m, &field_edge(&p, &r, "Box", "item", "box1", "obj0")).is_witnessed());
+}
+
+#[test]
+fn witwrite_strong_update_overwrite_still_witnessed_flow_insensitively() {
+    // The client property is flow-insensitive: an edge that held at some
+    // point stays witnessed even if later overwritten.
+    let (p, r, m) = run(r#"
+class Box { field item: Object; }
+global G: Box;
+fn main() {
+  var b: Box;
+  var o: Object;
+  var s: Object;
+  b = new Box @box0;
+  o = new Object @obj0;
+  s = new Object @str0;
+  b.item = o;
+  b.item = s;
+  $G = b;
+}
+entry main;
+"#);
+    assert!(refute(&p, &r, &m, &field_edge(&p, &r, "Box", "item", "box0", "obj0")).is_witnessed());
+    assert!(refute(&p, &r, &m, &field_edge(&p, &r, "Box", "item", "box0", "str0")).is_witnessed());
+}
+
+#[test]
+fn witwrite_array_index_disambiguation() {
+    // arr[0] holds str, arr[1] holds act: both edges witnessed (indices are
+    // data), and a third value never stored is refuted structurally by
+    // having no producer.
+    let (p, r, m) = run(r#"
+fn main() {
+  var arr: array;
+  var s: Object;
+  var a: Object;
+  arr = newarray @arr0 [2];
+  s = new Object @str0;
+  a = new Object @act0;
+  arr[0] = s;
+  arr[1] = a;
+}
+entry main;
+"#);
+    let contents = p.contents_field;
+    let e1 = HeapEdge::Field { base: loc(&p, &r, "arr0"), field: contents, target: loc(&p, &r, "str0") };
+    let e2 = HeapEdge::Field { base: loc(&p, &r, "arr0"), field: contents, target: loc(&p, &r, "act0") };
+    assert!(refute(&p, &r, &m, &e1).is_witnessed());
+    assert!(refute(&p, &r, &m, &e2).is_witnessed());
+}
+
+// ------------------------------------------------------------- WitAssume
+
+#[test]
+fn witassume_transitive_contradiction() {
+    // Guards x < y and y < x can't both hold.
+    let (p, r, m) = run(r#"
+global G: Object;
+fn main() {
+  var x: int;
+  var y: int;
+  var o: Object;
+  o = new Object @obj0;
+  if (x < y) {
+    if (y < x) {
+      $G = o;
+    }
+  }
+}
+entry main;
+"#);
+    assert!(refute(&p, &r, &m, &global_edge(&p, &r, "G", "obj0")).is_refuted());
+}
+
+#[test]
+fn witassume_equality_propagates_values() {
+    let (p, r, m) = run(r#"
+global G: Object;
+fn main() {
+  var x: int;
+  var o: Object;
+  o = new Object @obj0;
+  x = 3;
+  if (x == 4) {
+    $G = o;
+  }
+}
+entry main;
+"#);
+    assert!(refute(&p, &r, &m, &global_edge(&p, &r, "G", "obj0")).is_refuted());
+}
+
+#[test]
+fn witassume_reference_equality() {
+    // o == null guard on a freshly allocated (non-null) object is dead.
+    let (p, r, m) = run(r#"
+global G: Object;
+fn main() {
+  var o: Object;
+  o = new Object @obj0;
+  if (o == null) {
+    $G = o;
+  }
+}
+entry main;
+"#);
+    assert!(refute(&p, &r, &m, &global_edge(&p, &r, "G", "obj0")).is_refuted());
+}
+
+#[test]
+fn witassume_not_null_is_consistent() {
+    let (p, r, m) = run(r#"
+global G: Object;
+fn main() {
+  var o: Object;
+  o = new Object @obj0;
+  if (o != null) {
+    $G = o;
+  }
+}
+entry main;
+"#);
+    assert!(refute(&p, &r, &m, &global_edge(&p, &r, "G", "obj0")).is_witnessed());
+}
+
+// ---------------------------------------------------------- arithmetic
+
+#[test]
+fn binop_add_chain_refutes() {
+    let (p, r, m) = run(r#"
+global G: Object;
+fn main() {
+  var x: int;
+  var y: int;
+  var o: Object;
+  o = new Object @obj0;
+  x = 1;
+  y = x + 1;
+  if (y == 3) {
+    $G = o;
+  }
+}
+entry main;
+"#);
+    assert!(refute(&p, &r, &m, &global_edge(&p, &r, "G", "obj0")).is_refuted());
+}
+
+#[test]
+fn binop_mul_soundly_drops() {
+    // y = x * 2 with x = 1 gives y = 2, so y == 5 is dead — but Mul is
+    // outside the solver fragment, so the engine must (soundly) keep the
+    // path witnessable rather than wrongly refute.
+    let (p, r, m) = run(r#"
+global G: Object;
+fn main() {
+  var x: int;
+  var y: int;
+  var o: Object;
+  o = new Object @obj0;
+  x = 1;
+  y = x * 2;
+  if (y == 5) {
+    $G = o;
+  }
+}
+entry main;
+"#);
+    assert!(!refute(&p, &r, &m, &global_edge(&p, &r, "G", "obj0")).is_refuted());
+}
+
+#[test]
+fn array_len_constraint_flows() {
+    // len(arr) of a 1-element array is 1; the guard wants 2.
+    let (p, r, m) = run(r#"
+global G: Object;
+fn main() {
+  var arr: array;
+  var n: int;
+  var o: Object;
+  o = new Object @obj0;
+  arr = newarray @arr0 [1];
+  n = len(arr);
+  if (n == 2) {
+    $G = o;
+  }
+}
+entry main;
+"#);
+    assert!(refute(&p, &r, &m, &global_edge(&p, &r, "G", "obj0")).is_refuted());
+}
+
+// ------------------------------------------------------- calls & returns
+
+#[test]
+fn return_value_narrows() {
+    let (p, r, m) = run(r#"
+fn make_str(): Object {
+  var s: Object;
+  s = new Object @str0;
+  return s;
+}
+global G: Object;
+fn main() {
+  var o: Object;
+  var a: Object;
+  a = new Object @act0;
+  o = call make_str();
+  $G = o;
+  $G = a;
+}
+entry main;
+"#);
+    assert!(refute(&p, &r, &m, &global_edge(&p, &r, "G", "str0")).is_witnessed());
+    assert!(refute(&p, &r, &m, &global_edge(&p, &r, "G", "act0")).is_witnessed());
+}
+
+#[test]
+fn constructor_style_static_call_binds_receiver() {
+    let (p, r, m) = run(r#"
+class Box {
+  field item: Object;
+  method fill(this: Box, o: Object) {
+    this.item = o;
+  }
+}
+fn main() {
+  var b0: Box;
+  var b1: Box;
+  var s: Object;
+  var a: Object;
+  b0 = new Box @box0;
+  b1 = new Box @box1;
+  s = new Object @str0;
+  a = new Object @act0;
+  call Box::fill(b0, s);
+  call Box::fill(b1, a);
+}
+entry main;
+"#);
+    assert!(refute(&p, &r, &m, &field_edge(&p, &r, "Box", "item", "box0", "str0")).is_witnessed());
+    assert!(refute(&p, &r, &m, &field_edge(&p, &r, "Box", "item", "box0", "act0")).is_refuted());
+    assert!(refute(&p, &r, &m, &field_edge(&p, &r, "Box", "item", "box1", "str0")).is_refuted());
+}
+
+// --------------------------------------------------- representation modes
+
+#[test]
+fn explicit_mode_still_sound_and_precise_on_bindings() {
+    let (p, r, m) = run(r#"
+class Box { field item: Object; }
+fn put(b: Box, o: Object) { b.item = o; }
+fn main() {
+  var b0: Box;
+  var b1: Box;
+  var s: Object;
+  var a: Object;
+  b0 = new Box @box0;
+  b1 = new Box @box1;
+  s = new Object @str0;
+  a = new Object @act0;
+  call put(b0, s);
+  call put(b1, a);
+}
+entry main;
+"#);
+    for repr in [Representation::Mixed, Representation::FullyExplicit, Representation::FullySymbolic] {
+        let cfg = SymexConfig::default().with_representation(repr);
+        let mut e = Engine::new(&p, &r, &m, cfg);
+        let out = e.refute_edge(&field_edge(&p, &r, "Box", "item", "box0", "act0"));
+        assert!(out.is_refuted(), "{repr:?} failed: {out:?}");
+        let mut e = Engine::new(&p, &r, &m, SymexConfig::default().with_representation(repr));
+        let out = e.refute_edge(&field_edge(&p, &r, "Box", "item", "box0", "str0"));
+        assert!(out.is_witnessed(), "{repr:?} failed: {out:?}");
+    }
+}
+
+#[test]
+fn explicit_mode_charges_more_paths() {
+    let (p, r, m) = run(r#"
+class Box { field item: Object; }
+fn put(b: Box, o: Object) { b.item = o; }
+fn main() {
+  var b0: Box;
+  var b1: Box;
+  var s: Object;
+  var a: Object;
+  b0 = new Box @box0;
+  b1 = new Box @box1;
+  s = new Object @str0;
+  a = new Object @act0;
+  call put(b0, s);
+  call put(b1, a);
+}
+entry main;
+"#);
+    let edge = field_edge(&p, &r, "Box", "item", "box0", "str0");
+    let mut mixed = Engine::new(&p, &r, &m, SymexConfig::default());
+    mixed.refute_edge(&edge);
+    let mut explicit = Engine::new(
+        &p,
+        &r,
+        &m,
+        SymexConfig::default().with_representation(Representation::FullyExplicit),
+    );
+    explicit.refute_edge(&edge);
+    assert!(
+        explicit.stats.path_programs >= mixed.stats.path_programs,
+        "explicit {} < mixed {}",
+        explicit.stats.path_programs,
+        mixed.stats.path_programs
+    );
+}
+
+// ------------------------------------------------------------- witnesses
+
+#[test]
+fn witness_trace_names_real_commands() {
+    let (p, r, m) = run(r#"
+global G: Object;
+fn main() {
+  var o: Object;
+  o = new Object @obj0;
+  $G = o;
+}
+entry main;
+"#);
+    let out = refute(&p, &r, &m, &global_edge(&p, &r, "G", "obj0"));
+    let SearchOutcome::Witnessed(w) = out else { panic!("expected witness") };
+    assert!(!w.trace.is_empty());
+    let described = w.describe(&p);
+    assert!(described.contains("main"), "{described}");
+}

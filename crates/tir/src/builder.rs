@@ -1,0 +1,677 @@
+//! Programmatic construction of [`Program`]s.
+//!
+//! [`ProgramBuilder`] owns the arenas while building; [`MethodBuilder`] is a
+//! statement-level DSL handed to method-body closures:
+//!
+//! ```
+//! use tir::{ProgramBuilder, Ty, CmpOp, Cond, Operand};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let cell = b.class("Cell", None);
+//! let val = b.field(cell, "val", Ty::Int);
+//! let main = b.method(None, "main", &[], None, |mb| {
+//!     let c = mb.var("c", Ty::Ref(cell));
+//!     mb.new_obj(c, cell, "cell0");
+//!     mb.write_field(c, val, 41);
+//!     mb.ret_void();
+//! });
+//! b.set_entry(main);
+//! let program = b.finish();
+//! assert_eq!(program.entry(), main);
+//! ```
+
+use crate::ids::{AllocId, ClassId, CmdId, FieldId, GlobalId, MethodId, VarId};
+use crate::program::{AllocSite, Class, Field, Global, Method, Program, Ty, VarInfo};
+use crate::stmt::{BinOp, Callee, CmpOp, Command, Cond, Operand, Stmt};
+
+/// Builds a [`Program`] incrementally (see the module-level documentation).
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    classes: Vec<Class>,
+    fields: Vec<Field>,
+    globals: Vec<Global>,
+    methods: Vec<Method>,
+    vars: Vec<VarInfo>,
+    allocs: Vec<AllocSite>,
+    cmds: Vec<Command>,
+    cmd_method: Vec<MethodId>,
+    entry: Option<MethodId>,
+    object_class: ClassId,
+    array_class: ClassId,
+    contents_field: FieldId,
+    len_field: FieldId,
+    alloc_counter: usize,
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// Creates a builder pre-populated with the builtin `Object` and `Array`
+    /// classes.
+    pub fn new() -> Self {
+        let mut b = ProgramBuilder {
+            classes: Vec::new(),
+            fields: Vec::new(),
+            globals: Vec::new(),
+            methods: Vec::new(),
+            vars: Vec::new(),
+            allocs: Vec::new(),
+            cmds: Vec::new(),
+            cmd_method: Vec::new(),
+            entry: None,
+            object_class: ClassId(0),
+            array_class: ClassId(0),
+            contents_field: FieldId(0),
+            len_field: FieldId(0),
+            alloc_counter: 0,
+        };
+        let object = b.class_raw("Object", None);
+        let array = b.class_raw("Array", Some(object));
+        b.object_class = object;
+        b.array_class = array;
+        b.contents_field = b.field(array, "contents", Ty::Ref(object));
+        b.len_field = b.field(array, "len", Ty::Int);
+        b
+    }
+
+    /// The builtin root class.
+    pub fn object_class(&self) -> ClassId {
+        self.object_class
+    }
+
+    /// The builtin array class.
+    pub fn array_class(&self) -> ClassId {
+        self.array_class
+    }
+
+    /// The synthetic array `contents` field.
+    pub fn contents_field(&self) -> FieldId {
+        self.contents_field
+    }
+
+    /// The synthetic array `len` field.
+    pub fn len_field(&self) -> FieldId {
+        self.len_field
+    }
+
+    fn class_raw(&mut self, name: &str, superclass: Option<ClassId>) -> ClassId {
+        let id = ClassId::from_index(self.classes.len());
+        self.classes.push(Class {
+            name: name.to_owned(),
+            superclass,
+            fields: Vec::new(),
+            methods: Vec::new(),
+        });
+        id
+    }
+
+    /// Declares a class. `superclass = None` makes it derive from `Object`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a class with the same name already exists.
+    pub fn class(&mut self, name: &str, superclass: Option<ClassId>) -> ClassId {
+        assert!(
+            !self.classes.iter().any(|c| c.name == name),
+            "duplicate class name {name}"
+        );
+        let sup = superclass.unwrap_or(self.object_class);
+        self.class_raw(name, Some(sup))
+    }
+
+    /// Re-points the superclass of `class` (used by the parser, where
+    /// `extends` may reference a class declared later).
+    pub fn set_superclass(&mut self, class: ClassId, superclass: ClassId) {
+        self.classes[class.index()].superclass = Some(superclass);
+    }
+
+    /// Resolves a field named `name` visible on `class`, walking the
+    /// superclass chain (builder-time mirror of
+    /// [`Program::resolve_field`](crate::Program::resolve_field)).
+    pub fn resolve_field(&self, class: ClassId, name: &str) -> Option<FieldId> {
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            for &f in &self.classes[c.index()].fields {
+                if self.fields[f.index()].name == name {
+                    return Some(f);
+                }
+            }
+            cur = self.classes[c.index()].superclass;
+        }
+        None
+    }
+
+    /// Declares an instance field on `class`.
+    pub fn field(&mut self, class: ClassId, name: &str, ty: Ty) -> FieldId {
+        let id = FieldId::from_index(self.fields.len());
+        self.fields.push(Field { name: name.to_owned(), owner: class, ty });
+        self.classes[class.index()].fields.push(id);
+        id
+    }
+
+    /// Declares a global variable (static field).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a global with the same name already exists.
+    pub fn global(&mut self, name: &str, ty: Ty) -> GlobalId {
+        assert!(
+            !self.globals.iter().any(|g| g.name == name),
+            "duplicate global name {name}"
+        );
+        let id = GlobalId::from_index(self.globals.len());
+        self.globals.push(Global { name: name.to_owned(), ty });
+        id
+    }
+
+    /// Declares a method without a body (for mutual recursion). Define the
+    /// body later with [`ProgramBuilder::define_method`].
+    ///
+    /// For instance methods (`class = Some(..)`), a `this` parameter is
+    /// created implicitly as `params[0]`.
+    pub fn declare_method(
+        &mut self,
+        class: Option<ClassId>,
+        name: &str,
+        params: &[(&str, Ty)],
+        ret_ty: Option<Ty>,
+    ) -> MethodId {
+        let id = MethodId::from_index(self.methods.len());
+        let mut param_ids = Vec::new();
+        if let Some(c) = class {
+            let this = VarId::from_index(self.vars.len());
+            self.vars.push(VarInfo { name: "this".to_owned(), ty: Ty::Ref(c), method: id });
+            param_ids.push(this);
+        }
+        for (pname, pty) in params {
+            let v = VarId::from_index(self.vars.len());
+            self.vars.push(VarInfo { name: (*pname).to_owned(), ty: *pty, method: id });
+            param_ids.push(v);
+        }
+        self.methods.push(Method {
+            name: name.to_owned(),
+            class,
+            params: param_ids.clone(),
+            locals: param_ids,
+            ret_ty,
+            body: Stmt::Skip,
+        });
+        if let Some(c) = class {
+            self.classes[c.index()].methods.push(id);
+        }
+        id
+    }
+
+    /// Defines the body of a previously declared method.
+    pub fn define_method(&mut self, id: MethodId, f: impl FnOnce(&mut MethodBuilder)) {
+        let mut mb = MethodBuilder { pb: self, method: id, frames: vec![Vec::new()] };
+        f(&mut mb);
+        let stmts = mb.frames.pop().expect("method builder frame");
+        assert!(mb.frames.is_empty(), "unbalanced control-flow nesting");
+        self.methods[id.index()].body = Stmt::Seq(stmts);
+    }
+
+    /// Declares and defines a method in one step.
+    pub fn method(
+        &mut self,
+        class: Option<ClassId>,
+        name: &str,
+        params: &[(&str, Ty)],
+        ret_ty: Option<Ty>,
+        f: impl FnOnce(&mut MethodBuilder),
+    ) -> MethodId {
+        let id = self.declare_method(class, name, params, ret_ty);
+        self.define_method(id, f);
+        id
+    }
+
+    /// Sets the entry method (the harness `main`).
+    pub fn set_entry(&mut self, m: MethodId) {
+        self.entry = Some(m);
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails validation (see [`crate::validate`]).
+    pub fn finish(self) -> Program {
+        match self.try_finish() {
+            Ok(p) => p,
+            Err(e) => panic!("invalid program: {e}"),
+        }
+    }
+
+    /// Finalizes the program, returning validation failures as errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`crate::validate::ValidateError`] found.
+    pub fn try_finish(self) -> Result<Program, crate::validate::ValidateError> {
+        let p = Program {
+            classes: self.classes,
+            fields: self.fields,
+            globals: self.globals,
+            methods: self.methods,
+            vars: self.vars,
+            allocs: self.allocs,
+            cmds: self.cmds,
+            cmd_method: self.cmd_method,
+            entry: self.entry,
+            object_class: self.object_class,
+            array_class: self.array_class,
+            contents_field: self.contents_field,
+            len_field: self.len_field,
+        };
+        crate::validate::validate(&p)?;
+        Ok(p)
+    }
+}
+
+/// Statement-level DSL for one method body. Obtained from
+/// [`ProgramBuilder::method`] / [`ProgramBuilder::define_method`].
+#[derive(Debug)]
+pub struct MethodBuilder<'a> {
+    pb: &'a mut ProgramBuilder,
+    method: MethodId,
+    frames: Vec<Vec<Stmt>>,
+}
+
+impl<'a> MethodBuilder<'a> {
+    /// The method being built.
+    pub fn method_id(&self) -> MethodId {
+        self.method
+    }
+
+    /// The implicit `this` parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the method is not an instance method.
+    pub fn this(&self) -> VarId {
+        let m = &self.pb.methods[self.method.index()];
+        assert!(m.class.is_some(), "free function has no `this`");
+        m.params[0]
+    }
+
+    /// The `i`-th declared parameter (0-based, *excluding* `this`).
+    pub fn param(&self, i: usize) -> VarId {
+        let m = &self.pb.methods[self.method.index()];
+        let off = usize::from(m.class.is_some());
+        m.params[off + i]
+    }
+
+    /// All parameters, including the implicit `this` if present.
+    pub fn params(&self) -> &[VarId] {
+        &self.pb.methods[self.method.index()].params
+    }
+
+    /// Source name of a variable.
+    pub fn var_name(&self, v: VarId) -> String {
+        self.pb.vars[v.index()].name.clone()
+    }
+
+    /// Declared type of a variable.
+    pub fn var_ty(&self, v: VarId) -> Ty {
+        self.pb.vars[v.index()].ty
+    }
+
+    /// Read-only access to the underlying program builder (for name lookups
+    /// during parsing).
+    pub fn program_builder(&self) -> &ProgramBuilder {
+        self.pb
+    }
+
+    /// Resolves a field by name on `class` (walks the superclass chain).
+    pub fn resolve_field(&self, class: ClassId, name: &str) -> Option<FieldId> {
+        self.pb.resolve_field(class, name)
+    }
+
+    /// Declares a fresh local variable.
+    pub fn var(&mut self, name: &str, ty: Ty) -> VarId {
+        let v = VarId::from_index(self.pb.vars.len());
+        self.pb.vars.push(VarInfo { name: name.to_owned(), ty, method: self.method });
+        self.pb.methods[self.method.index()].locals.push(v);
+        v
+    }
+
+    fn push_cmd(&mut self, cmd: Command) -> CmdId {
+        let id = CmdId::from_index(self.pb.cmds.len());
+        self.pb.cmds.push(cmd);
+        self.pb.cmd_method.push(self.method);
+        self.frames.last_mut().expect("frame").push(Stmt::Cmd(id));
+        id
+    }
+
+    /// `dst = src`
+    pub fn assign(&mut self, dst: VarId, src: impl Into<Operand>) -> CmdId {
+        self.push_cmd(Command::Assign { dst, src: src.into() })
+    }
+
+    /// `dst = null`
+    pub fn assign_null(&mut self, dst: VarId) -> CmdId {
+        self.push_cmd(Command::Assign { dst, src: Operand::Null })
+    }
+
+    /// `dst = lhs op rhs`
+    pub fn binop(
+        &mut self,
+        dst: VarId,
+        op: BinOp,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) -> CmdId {
+        self.push_cmd(Command::BinOp { dst, op, lhs: lhs.into(), rhs: rhs.into() })
+    }
+
+    /// `dst = obj.field`
+    pub fn read_field(&mut self, dst: VarId, obj: VarId, field: FieldId) -> CmdId {
+        self.push_cmd(Command::ReadField { dst, obj, field })
+    }
+
+    /// `obj.field = src`
+    pub fn write_field(&mut self, obj: VarId, field: FieldId, src: impl Into<Operand>) -> CmdId {
+        self.push_cmd(Command::WriteField { obj, field, src: src.into() })
+    }
+
+    /// `dst = $global`
+    pub fn read_global(&mut self, dst: VarId, global: GlobalId) -> CmdId {
+        self.push_cmd(Command::ReadGlobal { dst, global })
+    }
+
+    /// `$global = src`
+    pub fn write_global(&mut self, global: GlobalId, src: impl Into<Operand>) -> CmdId {
+        self.push_cmd(Command::WriteGlobal { global, src: src.into() })
+    }
+
+    /// `dst = arr[idx]`
+    pub fn read_array(&mut self, dst: VarId, arr: VarId, idx: impl Into<Operand>) -> CmdId {
+        self.push_cmd(Command::ReadArray { dst, arr, idx: idx.into() })
+    }
+
+    /// `arr[idx] = src`
+    pub fn write_array(
+        &mut self,
+        arr: VarId,
+        idx: impl Into<Operand>,
+        src: impl Into<Operand>,
+    ) -> CmdId {
+        self.push_cmd(Command::WriteArray { arr, idx: idx.into(), src: src.into() })
+    }
+
+    /// `dst = len(arr)`
+    pub fn array_len(&mut self, dst: VarId, arr: VarId) -> CmdId {
+        self.push_cmd(Command::ArrayLen { dst, arr })
+    }
+
+    fn fresh_alloc(&mut self, name: &str, class: ClassId) -> AllocId {
+        let name = if name.is_empty() {
+            self.pb.alloc_counter += 1;
+            format!(
+                "{}{}",
+                self.pb.classes[class.index()].name.to_lowercase(),
+                self.pb.alloc_counter - 1
+            )
+        } else {
+            name.to_owned()
+        };
+        let id = AllocId::from_index(self.pb.allocs.len());
+        self.pb.allocs.push(AllocSite { name, class, method: self.method });
+        id
+    }
+
+    /// `dst = new class @site`. Pass an empty `site` name to auto-generate
+    /// one. Returns the allocation site id.
+    pub fn new_obj(&mut self, dst: VarId, class: ClassId, site: &str) -> AllocId {
+        let alloc = self.fresh_alloc(site, class);
+        self.push_cmd(Command::New { dst, class, alloc });
+        alloc
+    }
+
+    /// `dst = newarray @site [len]`. Returns the allocation site id.
+    pub fn new_array(&mut self, dst: VarId, site: &str, len: impl Into<Operand>) -> AllocId {
+        let class = self.pb.array_class;
+        let alloc = self.fresh_alloc(site, class);
+        self.push_cmd(Command::NewArray { dst, alloc, len: len.into() });
+        alloc
+    }
+
+    /// `dst = call receiver.method(args)` (virtual dispatch).
+    pub fn call_virtual(
+        &mut self,
+        dst: Option<VarId>,
+        receiver: VarId,
+        method: &str,
+        args: &[Operand],
+    ) -> CmdId {
+        self.push_cmd(Command::Call {
+            dst,
+            callee: Callee::Virtual { receiver, method: method.to_owned() },
+            args: args.to_vec(),
+        })
+    }
+
+    /// `dst = call method(args)` (direct call).
+    pub fn call_static(&mut self, dst: Option<VarId>, method: MethodId, args: &[Operand]) -> CmdId {
+        self.push_cmd(Command::Call { dst, callee: Callee::Static { method }, args: args.to_vec() })
+    }
+
+    /// `return val`
+    pub fn ret(&mut self, val: impl Into<Operand>) -> CmdId {
+        self.push_cmd(Command::Return { val: Some(val.into()) })
+    }
+
+    /// `return` (void)
+    pub fn ret_void(&mut self) -> CmdId {
+        self.push_cmd(Command::Return { val: None })
+    }
+
+    /// `assume cond`
+    pub fn assume(&mut self, cond: Cond) -> CmdId {
+        self.push_cmd(Command::Assume { cond })
+    }
+
+    /// Shorthand for `assume lhs op rhs`.
+    pub fn assume_cmp(
+        &mut self,
+        op: CmpOp,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) -> CmdId {
+        self.assume(Cond::cmp(op, lhs, rhs))
+    }
+
+    fn nested(&mut self, f: impl FnOnce(&mut MethodBuilder)) -> Stmt {
+        self.frames.push(Vec::new());
+        f(self);
+        Stmt::Seq(self.frames.pop().expect("nested frame"))
+    }
+
+    /// `if (cond) { then } else { else }`
+    pub fn if_else(
+        &mut self,
+        cond: Cond,
+        then_f: impl FnOnce(&mut MethodBuilder),
+        else_f: impl FnOnce(&mut MethodBuilder),
+    ) {
+        let then_br = self.nested(then_f);
+        let else_br = self.nested(else_f);
+        self.frames.last_mut().expect("frame").push(Stmt::If {
+            cond,
+            then_br: Box::new(then_br),
+            else_br: Box::new(else_br),
+        });
+    }
+
+    /// `if (cond) { then }`
+    pub fn if_then(&mut self, cond: Cond, then_f: impl FnOnce(&mut MethodBuilder)) {
+        self.if_else(cond, then_f, |_| {});
+    }
+
+    /// `while (cond) { body }`
+    pub fn while_(&mut self, cond: Cond, body_f: impl FnOnce(&mut MethodBuilder)) {
+        let body = self.nested(body_f);
+        self.frames
+            .last_mut()
+            .expect("frame")
+            .push(Stmt::While { cond, body: Box::new(body) });
+    }
+
+    /// Non-deterministic loop: run the body zero or more times.
+    pub fn loop_(&mut self, body_f: impl FnOnce(&mut MethodBuilder)) {
+        let body = self.nested(body_f);
+        self.frames.last_mut().expect("frame").push(Stmt::Loop(Box::new(body)));
+    }
+
+    /// Non-deterministic branch.
+    pub fn choice(
+        &mut self,
+        left_f: impl FnOnce(&mut MethodBuilder),
+        right_f: impl FnOnce(&mut MethodBuilder),
+    ) {
+        let left = self.nested(left_f);
+        let right = self.nested(right_f);
+        self.frames
+            .last_mut()
+            .expect("frame")
+            .push(Stmt::Choice(Box::new(left), Box::new(right)));
+    }
+
+    /// Non-deterministically run `f` or skip it.
+    pub fn maybe(&mut self, f: impl FnOnce(&mut MethodBuilder)) {
+        self.choice(f, |_| {});
+    }
+
+    // ------------------------------------------------------------------
+    // Explicit block primitives. These allow building nested control flow
+    // without closures (used by the parser, where external state must be
+    // threaded through block construction). Every `begin_block` must be
+    // paired with an `end_block`, and the returned statement passed to one
+    // of the `push_*` methods.
+    // ------------------------------------------------------------------
+
+    /// Opens a nested statement block.
+    pub fn begin_block(&mut self) {
+        self.frames.push(Vec::new());
+    }
+
+    /// Closes the innermost block opened by [`MethodBuilder::begin_block`]
+    /// and returns it as a statement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no nested block is open.
+    pub fn end_block(&mut self) -> Stmt {
+        assert!(self.frames.len() > 1, "end_block without begin_block");
+        Stmt::Seq(self.frames.pop().expect("frame"))
+    }
+
+    /// Appends `if (cond) then_br else else_br` built from explicit blocks.
+    pub fn push_if(&mut self, cond: Cond, then_br: Stmt, else_br: Stmt) {
+        self.frames.last_mut().expect("frame").push(Stmt::If {
+            cond,
+            then_br: Box::new(then_br),
+            else_br: Box::new(else_br),
+        });
+    }
+
+    /// Appends `while (cond) body` built from an explicit block.
+    pub fn push_while(&mut self, cond: Cond, body: Stmt) {
+        self.frames
+            .last_mut()
+            .expect("frame")
+            .push(Stmt::While { cond, body: Box::new(body) });
+    }
+
+    /// Appends a non-deterministic loop built from an explicit block.
+    pub fn push_loop(&mut self, body: Stmt) {
+        self.frames.last_mut().expect("frame").push(Stmt::Loop(Box::new(body)));
+    }
+
+    /// Appends a non-deterministic choice built from explicit blocks.
+    pub fn push_choice(&mut self, left: Stmt, right: Stmt) {
+        self.frames
+            .last_mut()
+            .expect("frame")
+            .push(Stmt::Choice(Box::new(left), Box::new(right)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::Stmt;
+
+    #[test]
+    fn builds_nested_control_flow() {
+        let mut b = ProgramBuilder::new();
+        let main = b.method(None, "main", &[], None, |mb| {
+            let x = mb.var("x", Ty::Int);
+            mb.assign(x, 0);
+            mb.while_(Cond::cmp(CmpOp::Lt, x, 10), |mb| {
+                mb.binop(x, BinOp::Add, x, 1);
+            });
+            mb.if_else(
+                Cond::cmp(CmpOp::Eq, x, 10),
+                |mb| {
+                    mb.assign(x, 1);
+                },
+                |mb| {
+                    mb.assign(x, 2);
+                },
+            );
+            mb.ret_void();
+        });
+        b.set_entry(main);
+        let p = b.finish();
+        let body = &p.method(main).body;
+        match body {
+            Stmt::Seq(ss) => assert_eq!(ss.len(), 4),
+            other => panic!("expected seq, got {other:?}"),
+        }
+        assert_eq!(p.method_cmds(main).len(), 5);
+    }
+
+    #[test]
+    fn this_param_created_for_instance_methods() {
+        let mut b = ProgramBuilder::new();
+        let c = b.class("C", None);
+        let m = b.method(Some(c), "id", &[("x", Ty::Int)], Some(Ty::Int), |mb| {
+            let this = mb.this();
+            assert_eq!(mb.pb.vars[this.index()].name, "this");
+            let x = mb.param(0);
+            mb.ret(x);
+        });
+        let p = b.finish();
+        assert_eq!(p.method(m).params.len(), 2);
+    }
+
+    #[test]
+    fn auto_alloc_names_are_unique() {
+        let mut b = ProgramBuilder::new();
+        let c = b.class("Widget", None);
+        b.method(None, "main", &[], None, |mb| {
+            let x = mb.var("x", Ty::Ref(c));
+            let a0 = mb.new_obj(x, c, "");
+            let a1 = mb.new_obj(x, c, "");
+            assert_ne!(a0, a1);
+            mb.ret_void();
+        });
+        let p = b.finish();
+        let names: Vec<_> = p.alloc_ids().map(|a| p.alloc(a).name.clone()).collect();
+        assert_eq!(names.len(), 2);
+        assert_ne!(names[0], names[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate class name")]
+    fn duplicate_class_panics() {
+        let mut b = ProgramBuilder::new();
+        b.class("C", None);
+        b.class("C", None);
+    }
+}

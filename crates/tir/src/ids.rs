@@ -1,0 +1,103 @@
+//! Integer-backed identifiers for every arena-allocated entity in a
+//! [`Program`](crate::Program).
+//!
+//! All ids are plain `u32` newtypes that index into the owning program's
+//! arenas. Ids are only meaningful relative to the [`Program`](crate::Program)
+//! that created them.
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index of this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw arena index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("arena index overflow"))
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.0)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "#{}", self.0)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Identifies a class declaration.
+    ClassId
+}
+id_type! {
+    /// Identifies an instance field declaration.
+    FieldId
+}
+id_type! {
+    /// Identifies a global variable (the encoding of a Java static field).
+    GlobalId
+}
+id_type! {
+    /// Identifies a method.
+    MethodId
+}
+id_type! {
+    /// Identifies a local variable or parameter. Scoped to its owning method
+    /// but unique program-wide.
+    VarId
+}
+id_type! {
+    /// Identifies an allocation site (`new`/`newarray` command).
+    AllocId
+}
+id_type! {
+    /// Identifies an atomic command. Unique program-wide; used by analyses to
+    /// name program points.
+    CmdId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = ClassId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, ClassId(42));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        let id = VarId(7);
+        assert_eq!(format!("{id:?}"), "VarId(7)");
+        assert_eq!(format!("{id}"), "#7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(FieldId(1) < FieldId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "arena index overflow")]
+    fn from_index_overflow_panics() {
+        let _ = CmdId::from_index(u32::MAX as usize + 1);
+    }
+}

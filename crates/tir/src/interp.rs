@@ -1,0 +1,665 @@
+//! A concrete interpreter for the IR.
+//!
+//! Used for differential testing of the static analyses (an analysis must
+//! over-approximate every behaviour the interpreter can exhibit) and for
+//! executing example programs. Non-determinism (`choice`, `loop`,
+//! `assume *`) is resolved by a caller-provided [`Oracle`]; execution is
+//! fuel-bounded so looping programs terminate.
+//!
+//! ```
+//! use tir::interp::{Interp, Oracle};
+//!
+//! let program = tir::parse(r#"
+//! class Box { field item: Object; }
+//! global G: Box;
+//! fn main() {
+//!   var b: Box;
+//!   var o: Object;
+//!   b = new Box @box0;
+//!   o = new Object @obj0;
+//!   b.item = o;
+//!   $G = b;
+//! }
+//! entry main;
+//! "#)?;
+//! let mut interp = Interp::new(&program, Oracle::always_first(), 10_000);
+//! let trace = interp.run().expect("fuel suffices");
+//! assert_eq!(trace.field_edges.len(), 1);
+//! assert_eq!(trace.global_edges.len(), 1);
+//! # Ok::<(), tir::ParseError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use crate::ids::{AllocId, FieldId, GlobalId, MethodId, VarId};
+use crate::program::{Program, Ty};
+use crate::stmt::{BinOp, Callee, Command, Cond, Operand, Stmt};
+
+/// A runtime value: null, an integer, or a heap object (by object id).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CVal {
+    /// The null reference / default.
+    Null,
+    /// An integer.
+    Int(i64),
+    /// A heap object.
+    Obj(usize),
+}
+
+/// Resolves the non-deterministic constructs.
+#[derive(Clone, Debug)]
+pub enum Oracle {
+    /// Always take the first alternative; run `loop` bodies zero times;
+    /// treat `assume *` as true.
+    AlwaysFirst,
+    /// Consume decisions from the list (bit per `choice`: false = left;
+    /// for `loop`, the number of iterations is drawn from `loop_iters`).
+    /// Falls back to [`Oracle::AlwaysFirst`] behaviour when exhausted.
+    Scripted {
+        /// Branch decisions for `choice` (true = right branch).
+        choices: Vec<bool>,
+        /// Iteration counts for non-deterministic `loop`s.
+        loop_iters: Vec<u32>,
+    },
+}
+
+impl Oracle {
+    /// The deterministic default oracle.
+    pub fn always_first() -> Oracle {
+        Oracle::AlwaysFirst
+    }
+
+    /// A scripted oracle.
+    pub fn scripted(choices: Vec<bool>, loop_iters: Vec<u32>) -> Oracle {
+        Oracle::Scripted { choices, loop_iters }
+    }
+
+    fn next_choice(&mut self) -> bool {
+        match self {
+            Oracle::AlwaysFirst => false,
+            Oracle::Scripted { choices, .. } => {
+                if choices.is_empty() {
+                    false
+                } else {
+                    choices.remove(0)
+                }
+            }
+        }
+    }
+
+    fn next_loop_iters(&mut self) -> u32 {
+        match self {
+            Oracle::AlwaysFirst => 0,
+            Oracle::Scripted { loop_iters, .. } => {
+                if loop_iters.is_empty() {
+                    0
+                } else {
+                    loop_iters.remove(0)
+                }
+            }
+        }
+    }
+}
+
+/// What a run produced: every heap/global edge created during execution, in
+/// order, plus the final state.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// `(owner allocation site, field, value allocation site)` per field or
+    /// array store of a non-null object.
+    pub field_edges: Vec<(AllocId, FieldId, AllocId)>,
+    /// `(global, value allocation site)` per global store of a non-null
+    /// object.
+    pub global_edges: Vec<(GlobalId, AllocId)>,
+    /// Total objects allocated.
+    pub allocations: usize,
+    /// Commands executed.
+    pub steps: u64,
+}
+
+/// Errors terminating a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InterpError {
+    /// The fuel budget ran out.
+    OutOfFuel,
+    /// A field/array access on null (the IR has no exceptions; analyses
+    /// treat these paths as unreachable, so the interpreter stops).
+    NullDereference,
+    /// A virtual call could not be resolved.
+    NoSuchMethod(String),
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::OutOfFuel => f.write_str("out of fuel"),
+            InterpError::NullDereference => f.write_str("null dereference"),
+            InterpError::NoSuchMethod(m) => write!(f, "no such method {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+struct Object {
+    alloc: AllocId,
+    class: crate::ids::ClassId,
+    fields: HashMap<FieldId, CVal>,
+    elements: Vec<CVal>,
+}
+
+/// The interpreter. One instance runs one program once.
+pub struct Interp<'p> {
+    program: &'p Program,
+    oracle: Oracle,
+    fuel: u64,
+    heap: Vec<Object>,
+    globals: HashMap<GlobalId, CVal>,
+    trace: Trace,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter with the given oracle and fuel budget.
+    pub fn new(program: &'p Program, oracle: Oracle, fuel: u64) -> Self {
+        Interp {
+            program,
+            oracle,
+            fuel,
+            heap: Vec::new(),
+            globals: HashMap::new(),
+            trace: Trace::default(),
+        }
+    }
+
+    /// Runs the entry method to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterpError`] on fuel exhaustion, null dereference, or
+    /// unresolvable dispatch. The partial trace up to the fault stays
+    /// available through [`Interp::trace`] — everything it records did
+    /// concretely happen.
+    pub fn run(&mut self) -> Result<Trace, InterpError> {
+        let entry = self.program.entry();
+        let mut frame = Frame::new(self.program, entry);
+        let body = self.program.method(entry).body.clone();
+        self.exec_stmt(&body, &mut frame)?;
+        Ok(std::mem::take(&mut self.trace))
+    }
+
+    /// The trace recorded so far (useful after a failed [`Interp::run`]).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    fn alloc(&mut self, alloc: AllocId, class: crate::ids::ClassId, len: usize) -> CVal {
+        self.heap.push(Object {
+            alloc,
+            class,
+            fields: HashMap::new(),
+            elements: vec![CVal::Null; len],
+        });
+        self.trace.allocations += 1;
+        CVal::Obj(self.heap.len() - 1)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, frame: &mut Frame) -> Result<Flow, InterpError> {
+        match s {
+            Stmt::Seq(ss) => {
+                for child in ss {
+                    if let Flow::Return(v) = self.exec_stmt(child, frame)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Stmt::Skip => Ok(Flow::Continue),
+            Stmt::If { cond, then_br, else_br } => {
+                if self.eval_cond(cond, frame) {
+                    self.exec_stmt(then_br, frame)
+                } else {
+                    self.exec_stmt(else_br, frame)
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.eval_cond(cond, frame) {
+                    self.spend(1)?;
+                    if let Flow::Return(v) = self.exec_stmt(body, frame)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Stmt::Loop(body) => {
+                let iters = self.oracle.next_loop_iters();
+                for _ in 0..iters {
+                    self.spend(1)?;
+                    if let Flow::Return(v) = self.exec_stmt(body, frame)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Stmt::Choice(a, b) => {
+                if self.oracle.next_choice() {
+                    self.exec_stmt(b, frame)
+                } else {
+                    self.exec_stmt(a, frame)
+                }
+            }
+            Stmt::Cmd(c) => self.exec_cmd(*c, frame),
+        }
+    }
+
+    fn spend(&mut self, n: u64) -> Result<(), InterpError> {
+        if self.fuel < n {
+            return Err(InterpError::OutOfFuel);
+        }
+        self.fuel -= n;
+        Ok(())
+    }
+
+    fn eval_operand(&self, o: &Operand, frame: &Frame) -> CVal {
+        match o {
+            Operand::Int(c) => CVal::Int(*c),
+            Operand::Null => CVal::Null,
+            Operand::Var(v) => frame.get(*v),
+        }
+    }
+
+    fn eval_cond(&mut self, c: &Cond, frame: &Frame) -> bool {
+        match c {
+            Cond::True | Cond::Nondet => true,
+            Cond::Cmp { op, lhs, rhs } => {
+                let l = self.eval_operand(lhs, frame);
+                let r = self.eval_operand(rhs, frame);
+                match (l, r) {
+                    (CVal::Int(a), CVal::Int(b)) => op.eval(a, b),
+                    // Reference comparison: identity; null encodes as a
+                    // distinguished value.
+                    (a, b) => match op {
+                        crate::stmt::CmpOp::Eq => a == b,
+                        crate::stmt::CmpOp::Ne => a != b,
+                        // Ordered comparison involving references/null:
+                        // compare the integer views (null = 0).
+                        _ => {
+                            let as_int = |v: CVal| match v {
+                                CVal::Int(i) => i,
+                                CVal::Null => 0,
+                                CVal::Obj(o) => o as i64 + 1,
+                            };
+                            op.eval(as_int(a), as_int(b))
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    fn record_field_edge(&mut self, obj: usize, field: FieldId, val: CVal) {
+        if let CVal::Obj(v) = val {
+            let owner = self.heap[obj].alloc;
+            let value = self.heap[v].alloc;
+            self.trace.field_edges.push((owner, field, value));
+        }
+    }
+
+    fn exec_cmd(&mut self, c: crate::ids::CmdId, frame: &mut Frame) -> Result<Flow, InterpError> {
+        self.spend(1)?;
+        self.trace.steps += 1;
+        let program = self.program;
+        match program.cmd(c).clone() {
+            Command::Assign { dst, src } => {
+                let v = self.eval_operand(&src, frame);
+                frame.set(dst, v);
+            }
+            Command::BinOp { dst, op, lhs, rhs } => {
+                let l = self.eval_operand(&lhs, frame);
+                let r = self.eval_operand(&rhs, frame);
+                let (CVal::Int(a), CVal::Int(b)) = (l, r) else {
+                    frame.set(dst, CVal::Int(0));
+                    return Ok(Flow::Continue);
+                };
+                let v = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                };
+                frame.set(dst, CVal::Int(v));
+            }
+            Command::New { dst, class, alloc } => {
+                let v = self.alloc(alloc, class, 0);
+                frame.set(dst, v);
+            }
+            Command::NewArray { dst, alloc, len } => {
+                let n = match self.eval_operand(&len, frame) {
+                    CVal::Int(n) if n >= 0 => n as usize,
+                    _ => 0,
+                };
+                let v = self.alloc(alloc, program.array_class, n.min(1_024));
+                frame.set(dst, v);
+            }
+            Command::ReadField { dst, obj, field } => {
+                let CVal::Obj(o) = frame.get(obj) else {
+                    return Err(InterpError::NullDereference);
+                };
+                let v = self.heap[o].fields.get(&field).copied().unwrap_or(CVal::Null);
+                frame.set(dst, v);
+            }
+            Command::WriteField { obj, field, src } => {
+                let CVal::Obj(o) = frame.get(obj) else {
+                    return Err(InterpError::NullDereference);
+                };
+                let v = self.eval_operand(&src, frame);
+                self.heap[o].fields.insert(field, v);
+                self.record_field_edge(o, field, v);
+            }
+            Command::ReadGlobal { dst, global } => {
+                let v = self.globals.get(&global).copied().unwrap_or_else(|| {
+                    if program.global(global).ty.is_ref() {
+                        CVal::Null
+                    } else {
+                        CVal::Int(0)
+                    }
+                });
+                frame.set(dst, v);
+            }
+            Command::WriteGlobal { global, src } => {
+                let v = self.eval_operand(&src, frame);
+                self.globals.insert(global, v);
+                if let CVal::Obj(o) = v {
+                    let value = self.heap[o].alloc;
+                    self.trace.global_edges.push((global, value));
+                }
+            }
+            Command::ReadArray { dst, arr, idx } => {
+                let CVal::Obj(o) = frame.get(arr) else {
+                    return Err(InterpError::NullDereference);
+                };
+                let i = match self.eval_operand(&idx, frame) {
+                    CVal::Int(i) => i,
+                    _ => 0,
+                };
+                let v = self.heap[o]
+                    .elements
+                    .get(usize::try_from(i).unwrap_or(usize::MAX))
+                    .copied()
+                    .unwrap_or(CVal::Null);
+                frame.set(dst, v);
+            }
+            Command::WriteArray { arr, idx, src } => {
+                let CVal::Obj(o) = frame.get(arr) else {
+                    return Err(InterpError::NullDereference);
+                };
+                let v = self.eval_operand(&src, frame);
+                let i = match self.eval_operand(&idx, frame) {
+                    CVal::Int(i) if i >= 0 => i as usize,
+                    _ => 0,
+                };
+                if i >= self.heap[o].elements.len() {
+                    self.heap[o].elements.resize(i.min(4_096) + 1, CVal::Null);
+                }
+                self.heap[o].elements[i] = v;
+                self.record_field_edge(o, program.contents_field, v);
+            }
+            Command::ArrayLen { dst, arr } => {
+                let CVal::Obj(o) = frame.get(arr) else {
+                    return Err(InterpError::NullDereference);
+                };
+                frame.set(dst, CVal::Int(self.heap[o].elements.len() as i64));
+            }
+            Command::Call { dst, callee, args } => {
+                let (target, bound_args) = self.resolve_call(&callee, &args, frame)?;
+                let ret = self.invoke(target, bound_args)?;
+                if let Some(d) = dst {
+                    frame.set(d, ret.unwrap_or(CVal::Null));
+                }
+            }
+            Command::Return { val } => {
+                let v = val.map(|o| self.eval_operand(&o, frame));
+                return Ok(Flow::Return(v));
+            }
+            Command::Assume { cond } => {
+                // Concretely, a failed assume means the path is infeasible;
+                // the interpreter simply stops making progress on it by
+                // returning (harmless for trace collection, which only ever
+                // under-approximates).
+                if !self.eval_cond(&cond, frame) {
+                    return Ok(Flow::Return(None));
+                }
+            }
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn resolve_call(
+        &self,
+        callee: &Callee,
+        args: &[Operand],
+        frame: &Frame,
+    ) -> Result<(MethodId, Vec<CVal>), InterpError> {
+        match callee {
+            Callee::Static { method } => {
+                let vals: Vec<CVal> = args.iter().map(|a| self.eval_operand(a, frame)).collect();
+                Ok((*method, vals))
+            }
+            Callee::Virtual { receiver, method } => {
+                let recv = frame.get(*receiver);
+                let CVal::Obj(o) = recv else { return Err(InterpError::NullDereference) };
+                let class = self.heap[o].class;
+                let target = self
+                    .program
+                    .resolve_method(class, method)
+                    .ok_or_else(|| InterpError::NoSuchMethod(method.clone()))?;
+                let mut vals = vec![recv];
+                vals.extend(args.iter().map(|a| self.eval_operand(a, frame)));
+                Ok((target, vals))
+            }
+        }
+    }
+
+    fn invoke(&mut self, m: MethodId, args: Vec<CVal>) -> Result<Option<CVal>, InterpError> {
+        self.spend(1)?;
+        let mut frame = Frame::new(self.program, m);
+        let params = self.program.method(m).params.clone();
+        for (p, v) in params.iter().zip(args) {
+            frame.set(*p, v);
+        }
+        let body = self.program.method(m).body.clone();
+        match self.exec_stmt(&body, &mut frame)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Continue => Ok(None),
+        }
+    }
+}
+
+enum Flow {
+    Continue,
+    Return(Option<CVal>),
+}
+
+struct Frame {
+    vals: HashMap<VarId, CVal>,
+}
+
+impl Frame {
+    fn new(program: &Program, m: MethodId) -> Frame {
+        let mut vals = HashMap::new();
+        for &v in &program.method(m).locals {
+            let init = match program.var(v).ty {
+                Ty::Int => CVal::Int(0),
+                Ty::Ref(_) => CVal::Null,
+            };
+            vals.insert(v, init);
+        }
+        Frame { vals }
+    }
+
+    fn get(&self, v: VarId) -> CVal {
+        self.vals.get(&v).copied().unwrap_or(CVal::Null)
+    }
+
+    fn set(&mut self, v: VarId, val: CVal) {
+        self.vals.insert(v, val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_src(src: &str) -> Trace {
+        let p = crate::parse(src).expect("parse");
+        Interp::new(&p, Oracle::always_first(), 100_000).run().expect("run")
+    }
+
+    #[test]
+    fn records_field_and_global_edges() {
+        let t = run_src(
+            r#"
+class Box { field item: Object; }
+global G: Box;
+fn main() {
+  var b: Box;
+  var o: Object;
+  b = new Box @box0;
+  o = new Object @obj0;
+  b.item = o;
+  $G = b;
+}
+entry main;
+"#,
+        );
+        assert_eq!(t.field_edges.len(), 1);
+        assert_eq!(t.global_edges.len(), 1);
+        assert_eq!(t.allocations, 2);
+    }
+
+    #[test]
+    fn while_loops_run_concretely() {
+        let t = run_src(
+            r#"
+class Box { field item: Object; }
+fn main() {
+  var b: Box;
+  var o: Object;
+  var i: int;
+  b = new Box @box0;
+  o = new Object @obj0;
+  i = 0;
+  while (i < 3) {
+    b.item = o;
+    i = i + 1;
+  }
+}
+entry main;
+"#,
+        );
+        assert_eq!(t.field_edges.len(), 3);
+    }
+
+    #[test]
+    fn virtual_dispatch_selects_dynamic_class() {
+        let src = r#"
+class A {
+  method tag(this: A): int { return 1; }
+}
+class B extends A {
+  method tag(this: B): int { return 2; }
+}
+global OUT: Object;
+fn main() {
+  var a: A;
+  var t: int;
+  var o: Object;
+  a = new B @b0;
+  t = call a.tag();
+  if (t == 2) {
+    o = new Object @picked;
+    $OUT = o;
+  }
+}
+entry main;
+"#;
+        let t = run_src(src);
+        assert_eq!(t.global_edges.len(), 1, "dispatch must pick B::tag");
+    }
+
+    #[test]
+    fn scripted_oracle_takes_right_branch() {
+        let src = r#"
+global G: Object;
+fn main() {
+  var o: Object;
+  choice {
+    o = new Object @left;
+  } or {
+    o = new Object @right;
+  }
+  $G = o;
+}
+entry main;
+"#;
+        let p = crate::parse(src).expect("parse");
+        let t = Interp::new(&p, Oracle::scripted(vec![true], vec![]), 1000)
+            .run()
+            .expect("run");
+        let (_, alloc) = t.global_edges[0];
+        assert_eq!(p.alloc(alloc).name, "right");
+    }
+
+    #[test]
+    fn fuel_exhaustion_reported() {
+        let src = r#"
+fn main() {
+  var i: int;
+  i = 0;
+  while (i < 100) {
+    i = i + 0;
+  }
+}
+entry main;
+"#;
+        let p = crate::parse(src).expect("parse");
+        let err = Interp::new(&p, Oracle::always_first(), 50).run().unwrap_err();
+        assert_eq!(err, InterpError::OutOfFuel);
+    }
+
+    #[test]
+    fn null_dereference_detected() {
+        let src = r#"
+class Box { field item: Object; }
+fn main() {
+  var b: Box;
+  var o: Object;
+  o = b.item;
+}
+entry main;
+"#;
+        let p = crate::parse(src).expect("parse");
+        let err = Interp::new(&p, Oracle::always_first(), 1000).run().unwrap_err();
+        assert_eq!(err, InterpError::NullDereference);
+    }
+
+    #[test]
+    fn arrays_grow_and_report_len() {
+        let t = run_src(
+            r#"
+fn main() {
+  var a: array;
+  var o: Object;
+  var n: int;
+  a = newarray @arr0 [2];
+  o = new Object @obj0;
+  a[1] = o;
+  n = len(a);
+  if (n == 2) {
+    a[0] = o;
+  }
+}
+entry main;
+"#,
+        );
+        assert_eq!(t.field_edges.len(), 2);
+    }
+}

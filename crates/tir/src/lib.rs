@@ -1,0 +1,61 @@
+//! # tir — the Thresher intermediate representation
+//!
+//! A small Java-like object-oriented language serving as the analysis
+//! substrate for the Thresher reproduction. It mirrors the formal language
+//! of the paper (§3): classes with instance fields, methods with virtual
+//! dispatch, globals (Java static fields), structured statements (`seq`,
+//! `if`, `while`, non-deterministic `choice`/`loop`), and atomic commands
+//! (assignment, field/array/global reads and writes, allocation, calls,
+//! `assume`, `return`).
+//!
+//! Programs are built either programmatically via [`ProgramBuilder`]:
+//!
+//! ```
+//! use tir::{ProgramBuilder, Ty};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let cell = b.class("Cell", None);
+//! let main = b.method(None, "main", &[], None, |mb| {
+//!     let c = mb.var("c", Ty::Ref(cell));
+//!     mb.new_obj(c, cell, "cell0");
+//!     mb.ret_void();
+//! });
+//! b.set_entry(main);
+//! let program = b.finish();
+//! assert_eq!(program.num_cmds(), 2);
+//! ```
+//!
+//! or from the textual syntax via [`parse`]:
+//!
+//! ```
+//! let program = tir::parse(r#"
+//! fn main() {
+//!   var x: Object;
+//!   x = new Object @o0;
+//! }
+//! entry main;
+//! "#)?;
+//! assert_eq!(program.alloc_ids().count(), 1);
+//! # Ok::<(), tir::ParseError>(())
+//! ```
+//!
+//! The pretty-printer [`print_program`] emits the same syntax, and
+//! round-trips through [`parse`].
+
+#![warn(missing_docs)]
+
+mod builder;
+mod ids;
+pub mod interp;
+mod parser;
+mod printer;
+mod program;
+mod stmt;
+pub mod validate;
+
+pub use builder::{MethodBuilder, ProgramBuilder};
+pub use ids::{AllocId, ClassId, CmdId, FieldId, GlobalId, MethodId, VarId};
+pub use parser::{parse, ParseError};
+pub use printer::{print_cmd, print_program};
+pub use program::{AllocSite, Class, Field, Global, Method, Program, Ty, VarInfo};
+pub use stmt::{BinOp, Callee, CmpOp, Command, Cond, Operand, Stmt};

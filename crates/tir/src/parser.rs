@@ -1,0 +1,1209 @@
+//! Textual front-end for the IR.
+//!
+//! The grammar (emitted by [`crate::print_program`]):
+//!
+//! ```text
+//! program   := item*
+//! item      := class | global | fn | entry
+//! class     := "class" IDENT ("extends" IDENT)? "{" member* "}"
+//! member    := "field" IDENT ":" ty ";" | method
+//! method    := "method" IDENT "(" params ")" (":" ty)? block
+//! fn        := "fn" IDENT "(" params ")" (":" ty)? block
+//! global    := "global" IDENT ":" ty ";"
+//! entry     := "entry" IDENT ";"
+//! ty        := "int" | "array" | IDENT
+//! block     := "{" stmt* "}"
+//! stmt      := "var" IDENT ":" ty ";"
+//!            | "if" "(" cond ")" block ("else" block)?
+//!            | "while" "(" cond ")" block
+//!            | "loop" block
+//!            | "choice" block "or" block
+//!            | "return" operand? ";"
+//!            | "assume" cond ";"
+//!            | "call" callexpr ";"
+//!            | lvalue "=" rvalue ";"
+//! lvalue    := IDENT | IDENT "." IDENT | IDENT "[" operand "]" | "$" IDENT
+//! rvalue    := "null" | INT | "new" IDENT "@" IDENT
+//!            | "newarray" "@" IDENT "[" operand "]"
+//!            | "call" callexpr | "len" "(" IDENT ")" | "$" IDENT
+//!            | IDENT "." IDENT | IDENT "[" operand "]"
+//!            | operand (("+"|"-"|"*") operand)?
+//! callexpr  := IDENT "." IDENT "(" operands ")"          (virtual)
+//!            | (IDENT "::")? IDENT "(" operands ")"       (static)
+//! cond      := "*" | "true" | operand cmpop operand
+//! operand   := IDENT | INT | "-" INT | "null"
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::builder::{MethodBuilder, ProgramBuilder};
+use crate::ids::{ClassId, MethodId, VarId};
+use crate::program::{Program, Ty};
+use crate::stmt::{BinOp, CmpOp, Cond, Operand};
+
+/// A parse or name-resolution error, with a 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the error was detected.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+// ---------------------------------------------------------------- lexer
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Punct(&'static str),
+    Eof,
+}
+
+#[derive(Clone, Debug)]
+struct SpannedTok {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(src: &str) -> PResult<Vec<SpannedTok>> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                {
+                    i += 1;
+                }
+                out.push(SpannedTok { tok: Tok::Ident(src[start..i].to_owned()), line });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = src[start..i].parse().map_err(|_| ParseError {
+                    line,
+                    message: format!("integer literal out of range: {}", &src[start..i]),
+                })?;
+                out.push(SpannedTok { tok: Tok::Int(n), line });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let p2: Option<&'static str> = match two {
+                    "==" => Some("=="),
+                    "!=" => Some("!="),
+                    "<=" => Some("<="),
+                    ">=" => Some(">="),
+                    "::" => Some("::"),
+                    _ => None,
+                };
+                if let Some(p) = p2 {
+                    out.push(SpannedTok { tok: Tok::Punct(p), line });
+                    i += 2;
+                    continue;
+                }
+                let p1: Option<&'static str> = match c {
+                    '{' => Some("{"),
+                    '}' => Some("}"),
+                    '(' => Some("("),
+                    ')' => Some(")"),
+                    '[' => Some("["),
+                    ']' => Some("]"),
+                    ';' => Some(";"),
+                    ':' => Some(":"),
+                    ',' => Some(","),
+                    '.' => Some("."),
+                    '=' => Some("="),
+                    '<' => Some("<"),
+                    '>' => Some(">"),
+                    '+' => Some("+"),
+                    '-' => Some("-"),
+                    '*' => Some("*"),
+                    '@' => Some("@"),
+                    '$' => Some("$"),
+                    _ => None,
+                };
+                match p1 {
+                    Some(p) => {
+                        out.push(SpannedTok { tok: Tok::Punct(p), line });
+                        i += 1;
+                    }
+                    None => {
+                        return Err(ParseError {
+                            line,
+                            message: format!("unexpected character {c:?}"),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    out.push(SpannedTok { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+// ---------------------------------------------------------- surface AST
+
+#[derive(Debug)]
+struct SProgram {
+    classes: Vec<SClass>,
+    globals: Vec<(String, STy, usize)>,
+    fns: Vec<SMethod>,
+    entry: Option<(String, usize)>,
+}
+
+#[derive(Debug)]
+struct SClass {
+    name: String,
+    superclass: Option<String>,
+    fields: Vec<(String, STy, usize)>,
+    methods: Vec<SMethod>,
+    line: usize,
+}
+
+#[derive(Debug)]
+struct SMethod {
+    name: String,
+    params: Vec<(String, STy)>,
+    ret: Option<STy>,
+    body: Vec<SStmt>,
+    line: usize,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum STy {
+    Int,
+    Array,
+    Class(String),
+}
+
+#[derive(Debug)]
+enum SStmt {
+    VarDecl { name: String, ty: STy, line: usize },
+    If { cond: SCond, then_br: Vec<SStmt>, else_br: Vec<SStmt>, line: usize },
+    While { cond: SCond, body: Vec<SStmt>, line: usize },
+    Loop { body: Vec<SStmt> },
+    Choice { left: Vec<SStmt>, right: Vec<SStmt> },
+    Return { val: Option<SOperand>, line: usize },
+    Assume { cond: SCond, line: usize },
+    CallStmt { dst: Option<String>, call: SCall, line: usize },
+    Assign { lhs: SLvalue, rhs: SRvalue, line: usize },
+}
+
+#[derive(Debug)]
+enum SLvalue {
+    Var(String),
+    Field(String, String),
+    Index(String, SOperand),
+    Global(String),
+}
+
+#[derive(Debug)]
+enum SRvalue {
+    Operand(SOperand),
+    BinOp(BinOp, SOperand, SOperand),
+    Field(String, String),
+    Index(String, SOperand),
+    Global(String),
+    New { class: String, site: String },
+    NewArray { site: String, len: SOperand },
+    Len(String),
+}
+
+#[derive(Debug)]
+enum SCall {
+    Virtual { receiver: String, method: String, args: Vec<SOperand> },
+    Static { class: Option<String>, method: String, args: Vec<SOperand> },
+}
+
+#[derive(Clone, Debug)]
+enum SOperand {
+    Var(String),
+    Int(i64),
+    Null,
+}
+
+#[derive(Debug)]
+enum SCond {
+    Nondet,
+    True,
+    Cmp(CmpOp, SOperand, SOperand),
+}
+
+// --------------------------------------------------------------- parser
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(ParseError { line: self.line(), message: message.into() })
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> PResult<()> {
+        match self.bump() {
+            Tok::Punct(q) if q == p => Ok(()),
+            other => Err(ParseError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                message: format!("expected `{p}`, found {other:?}"),
+            }),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &'static str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ParseError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    /// Parses `IDENT ('.' IDENT)*` — global names may be dotted
+    /// (`Class.field` convention).
+    fn dotted_ident(&mut self) -> PResult<String> {
+        let mut name = self.ident()?;
+        while matches!(self.peek(), Tok::Punct(".")) {
+            self.bump();
+            name.push('.');
+            name.push_str(&self.ident()?);
+        }
+        Ok(name)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_program(&mut self) -> PResult<SProgram> {
+        let mut p = SProgram { classes: Vec::new(), globals: Vec::new(), fns: Vec::new(), entry: None };
+        loop {
+            if matches!(self.peek(), Tok::Eof) {
+                break;
+            }
+            let line = self.line();
+            if self.eat_kw("class") {
+                p.classes.push(self.parse_class(line)?);
+            } else if self.eat_kw("global") {
+                let name = self.dotted_ident()?;
+                self.expect_punct(":")?;
+                let ty = self.parse_ty()?;
+                self.expect_punct(";")?;
+                p.globals.push((name, ty, line));
+            } else if self.eat_kw("fn") {
+                p.fns.push(self.parse_method(line)?);
+            } else if self.eat_kw("entry") {
+                let name = self.ident()?;
+                self.expect_punct(";")?;
+                p.entry = Some((name, line));
+            } else {
+                return self.err(format!("expected item, found {:?}", self.peek()));
+            }
+        }
+        Ok(p)
+    }
+
+    fn parse_class(&mut self, line: usize) -> PResult<SClass> {
+        let name = self.ident()?;
+        let superclass = if self.eat_kw("extends") { Some(self.ident()?) } else { None };
+        self.expect_punct("{")?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        loop {
+            let line = self.line();
+            if self.eat_punct("}") {
+                break;
+            } else if self.eat_kw("field") {
+                let fname = self.ident()?;
+                self.expect_punct(":")?;
+                let ty = self.parse_ty()?;
+                self.expect_punct(";")?;
+                fields.push((fname, ty, line));
+            } else if self.eat_kw("method") {
+                methods.push(self.parse_method(line)?);
+            } else {
+                return self.err(format!("expected class member, found {:?}", self.peek()));
+            }
+        }
+        Ok(SClass { name, superclass, fields, methods, line })
+    }
+
+    fn parse_ty(&mut self) -> PResult<STy> {
+        let name = self.ident()?;
+        Ok(match name.as_str() {
+            "int" => STy::Int,
+            "array" => STy::Array,
+            _ => STy::Class(name),
+        })
+    }
+
+    fn parse_method(&mut self, line: usize) -> PResult<SMethod> {
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let pname = self.ident()?;
+                self.expect_punct(":")?;
+                let ty = self.parse_ty()?;
+                params.push((pname, ty));
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let ret = if self.eat_punct(":") { Some(self.parse_ty()?) } else { None };
+        let body = self.parse_block()?;
+        Ok(SMethod { name, params, ret, body, line })
+    }
+
+    fn parse_block(&mut self) -> PResult<Vec<SStmt>> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            out.push(self.parse_stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_stmt(&mut self) -> PResult<SStmt> {
+        let line = self.line();
+        if self.eat_kw("var") {
+            let name = self.ident()?;
+            self.expect_punct(":")?;
+            let ty = self.parse_ty()?;
+            self.expect_punct(";")?;
+            return Ok(SStmt::VarDecl { name, ty, line });
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.parse_cond()?;
+            self.expect_punct(")")?;
+            let then_br = self.parse_block()?;
+            let else_br = if self.eat_kw("else") { self.parse_block()? } else { Vec::new() };
+            return Ok(SStmt::If { cond, then_br, else_br, line });
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.parse_cond()?;
+            self.expect_punct(")")?;
+            let body = self.parse_block()?;
+            return Ok(SStmt::While { cond, body, line });
+        }
+        if self.eat_kw("loop") {
+            let body = self.parse_block()?;
+            return Ok(SStmt::Loop { body });
+        }
+        if self.eat_kw("choice") {
+            let left = self.parse_block()?;
+            if !self.eat_kw("or") {
+                return self.err("expected `or` after choice block");
+            }
+            let right = self.parse_block()?;
+            return Ok(SStmt::Choice { left, right });
+        }
+        if self.eat_kw("return") {
+            if self.eat_punct(";") {
+                return Ok(SStmt::Return { val: None, line });
+            }
+            let val = self.parse_operand()?;
+            self.expect_punct(";")?;
+            return Ok(SStmt::Return { val: Some(val), line });
+        }
+        if self.eat_kw("assume") {
+            let cond = self.parse_cond()?;
+            self.expect_punct(";")?;
+            return Ok(SStmt::Assume { cond, line });
+        }
+        if self.eat_kw("call") {
+            let call = self.parse_callexpr()?;
+            self.expect_punct(";")?;
+            return Ok(SStmt::CallStmt { dst: None, call, line });
+        }
+        // Assignment forms.
+        if self.eat_punct("$") {
+            let g = self.dotted_ident()?;
+            self.expect_punct("=")?;
+            let rhs = self.parse_rvalue()?;
+            self.expect_punct(";")?;
+            return Ok(SStmt::Assign { lhs: SLvalue::Global(g), rhs, line });
+        }
+        let name = self.ident()?;
+        if self.eat_punct(".") {
+            let f = self.ident()?;
+            self.expect_punct("=")?;
+            let rhs = self.parse_rvalue()?;
+            self.expect_punct(";")?;
+            return Ok(SStmt::Assign { lhs: SLvalue::Field(name, f), rhs, line });
+        }
+        if self.eat_punct("[") {
+            let idx = self.parse_operand()?;
+            self.expect_punct("]")?;
+            self.expect_punct("=")?;
+            let rhs = self.parse_rvalue()?;
+            self.expect_punct(";")?;
+            return Ok(SStmt::Assign { lhs: SLvalue::Index(name, idx), rhs, line });
+        }
+        self.expect_punct("=")?;
+        if self.eat_kw("call") {
+            let call = self.parse_callexpr()?;
+            self.expect_punct(";")?;
+            return Ok(SStmt::CallStmt { dst: Some(name), call, line });
+        }
+        let rhs = self.parse_rvalue()?;
+        self.expect_punct(";")?;
+        Ok(SStmt::Assign { lhs: SLvalue::Var(name), rhs, line })
+    }
+
+    fn parse_callexpr(&mut self) -> PResult<SCall> {
+        let first = self.ident()?;
+        if self.eat_punct(".") {
+            let method = self.ident()?;
+            let args = self.parse_args()?;
+            return Ok(SCall::Virtual { receiver: first, method, args });
+        }
+        if self.eat_punct("::") {
+            let method = self.ident()?;
+            let args = self.parse_args()?;
+            return Ok(SCall::Static { class: Some(first), method, args });
+        }
+        let args = self.parse_args()?;
+        Ok(SCall::Static { class: None, method: first, args })
+    }
+
+    fn parse_args(&mut self) -> PResult<Vec<SOperand>> {
+        self.expect_punct("(")?;
+        let mut args = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                args.push(self.parse_operand()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        Ok(args)
+    }
+
+    fn parse_rvalue(&mut self) -> PResult<SRvalue> {
+        if self.eat_kw("null") {
+            return Ok(SRvalue::Operand(SOperand::Null));
+        }
+        if self.eat_kw("new") {
+            let class = self.ident()?;
+            self.expect_punct("@")?;
+            let site = self.ident()?;
+            return Ok(SRvalue::New { class, site });
+        }
+        if self.eat_kw("newarray") {
+            self.expect_punct("@")?;
+            let site = self.ident()?;
+            self.expect_punct("[")?;
+            let len = self.parse_operand()?;
+            self.expect_punct("]")?;
+            return Ok(SRvalue::NewArray { site, len });
+        }
+        if self.eat_kw("len") {
+            self.expect_punct("(")?;
+            let arr = self.ident()?;
+            self.expect_punct(")")?;
+            return Ok(SRvalue::Len(arr));
+        }
+        if self.eat_punct("$") {
+            let g = self.dotted_ident()?;
+            return Ok(SRvalue::Global(g));
+        }
+        // operand-led forms
+        if matches!(self.peek(), Tok::Ident(_)) && matches!(self.peek2(), Tok::Punct(".")) {
+            let base = self.ident()?;
+            self.expect_punct(".")?;
+            let f = self.ident()?;
+            return Ok(SRvalue::Field(base, f));
+        }
+        if matches!(self.peek(), Tok::Ident(_)) && matches!(self.peek2(), Tok::Punct("[")) {
+            let base = self.ident()?;
+            self.expect_punct("[")?;
+            let idx = self.parse_operand()?;
+            self.expect_punct("]")?;
+            return Ok(SRvalue::Index(base, idx));
+        }
+        let lhs = self.parse_operand()?;
+        let op = match self.peek() {
+            Tok::Punct("+") => Some(BinOp::Add),
+            Tok::Punct("-") => Some(BinOp::Sub),
+            Tok::Punct("*") => Some(BinOp::Mul),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_operand()?;
+            return Ok(SRvalue::BinOp(op, lhs, rhs));
+        }
+        Ok(SRvalue::Operand(lhs))
+    }
+
+    fn parse_operand(&mut self) -> PResult<SOperand> {
+        match self.bump() {
+            Tok::Ident(s) if s == "null" => Ok(SOperand::Null),
+            Tok::Ident(s) => Ok(SOperand::Var(s)),
+            Tok::Int(n) => Ok(SOperand::Int(n)),
+            Tok::Punct("-") => match self.bump() {
+                Tok::Int(n) => Ok(SOperand::Int(-n)),
+                other => Err(ParseError {
+                    line: self.toks[self.pos.saturating_sub(1)].line,
+                    message: format!("expected integer after `-`, found {other:?}"),
+                }),
+            },
+            other => Err(ParseError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                message: format!("expected operand, found {other:?}"),
+            }),
+        }
+    }
+
+    fn parse_cond(&mut self) -> PResult<SCond> {
+        if self.eat_punct("*") {
+            return Ok(SCond::Nondet);
+        }
+        if matches!(self.peek(), Tok::Ident(s) if s == "true") {
+            self.bump();
+            return Ok(SCond::True);
+        }
+        let lhs = self.parse_operand()?;
+        let op = match self.bump() {
+            Tok::Punct("==") => CmpOp::Eq,
+            Tok::Punct("!=") => CmpOp::Ne,
+            Tok::Punct("<") => CmpOp::Lt,
+            Tok::Punct("<=") => CmpOp::Le,
+            Tok::Punct(">") => CmpOp::Gt,
+            Tok::Punct(">=") => CmpOp::Ge,
+            other => {
+                return Err(ParseError {
+                    line: self.toks[self.pos.saturating_sub(1)].line,
+                    message: format!("expected comparison operator, found {other:?}"),
+                })
+            }
+        };
+        let rhs = self.parse_operand()?;
+        Ok(SCond::Cmp(op, lhs, rhs))
+    }
+}
+
+// ------------------------------------------------------------- lowering
+
+struct Lowerer {
+    class_ids: HashMap<String, ClassId>,
+    global_ids: HashMap<String, crate::ids::GlobalId>,
+    // (class name or "", method name) -> id
+    method_ids: HashMap<(String, String), MethodId>,
+}
+
+impl Lowerer {
+    fn ty(&self, b: &ProgramBuilder, sty: &STy, line: usize) -> PResult<Ty> {
+        Ok(match sty {
+            STy::Int => Ty::Int,
+            STy::Array => Ty::Ref(b.array_class()),
+            STy::Class(name) => Ty::Ref(*self.class_ids.get(name).ok_or_else(|| ParseError {
+                line,
+                message: format!("unknown class {name}"),
+            })?),
+        })
+    }
+}
+
+struct BodyCx<'l> {
+    lower: &'l Lowerer,
+    vars: HashMap<String, VarId>,
+}
+
+impl<'l> BodyCx<'l> {
+    fn var(&self, name: &str, line: usize) -> PResult<VarId> {
+        self.vars.get(name).copied().ok_or_else(|| ParseError {
+            line,
+            message: format!("unknown variable {name}"),
+        })
+    }
+
+    fn operand(&self, o: &SOperand, line: usize) -> PResult<Operand> {
+        Ok(match o {
+            SOperand::Var(name) => Operand::Var(self.var(name, line)?),
+            SOperand::Int(n) => Operand::Int(*n),
+            SOperand::Null => Operand::Null,
+        })
+    }
+
+    fn cond(&self, c: &SCond, line: usize) -> PResult<Cond> {
+        Ok(match c {
+            SCond::Nondet => Cond::Nondet,
+            SCond::True => Cond::True,
+            SCond::Cmp(op, l, r) => {
+                Cond::Cmp { op: *op, lhs: self.operand(l, line)?, rhs: self.operand(r, line)? }
+            }
+        })
+    }
+
+}
+
+/// Parses the textual IR syntax into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on lexical, syntactic, or name-resolution
+/// failures, and on validation failures (reported at line 0).
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut parser = Parser { toks, pos: 0 };
+    let sp = parser.parse_program()?;
+
+    let mut b = ProgramBuilder::new();
+    let mut lower = Lowerer {
+        class_ids: HashMap::new(),
+        global_ids: HashMap::new(),
+        method_ids: HashMap::new(),
+    };
+    lower.class_ids.insert("Object".to_owned(), b.object_class());
+    lower.class_ids.insert("Array".to_owned(), b.array_class());
+
+    // Pass 1a: declare classes (two rounds so `extends` may be forward).
+    for sc in &sp.classes {
+        if lower.class_ids.contains_key(&sc.name) {
+            return Err(ParseError {
+                line: sc.line,
+                message: format!("duplicate class {}", sc.name),
+            });
+        }
+        let id = b.class(&sc.name, None);
+        lower.class_ids.insert(sc.name.clone(), id);
+    }
+    for sc in &sp.classes {
+        if let Some(sup) = &sc.superclass {
+            let sup_id = *lower.class_ids.get(sup).ok_or_else(|| ParseError {
+                line: sc.line,
+                message: format!("unknown superclass {sup}"),
+            })?;
+            let id = lower.class_ids[&sc.name];
+            b.set_superclass(id, sup_id);
+        }
+    }
+    // Pass 1b: fields, globals, method signatures.
+    for sc in &sp.classes {
+        let cid = lower.class_ids[&sc.name];
+        for (fname, fty, line) in &sc.fields {
+            let ty = lower.ty(&b, fty, *line)?;
+            b.field(cid, fname, ty);
+        }
+    }
+    for (gname, gty, line) in &sp.globals {
+        let ty = lower.ty(&b, gty, *line)?;
+        let id = b.global(gname, ty);
+        lower.global_ids.insert(gname.clone(), id);
+    }
+    let declare = |b: &mut ProgramBuilder,
+                   lower: &Lowerer,
+                   class: Option<ClassId>,
+                   sm: &SMethod|
+     -> PResult<MethodId> {
+        let mut params: Vec<(String, Ty)> = Vec::new();
+        for (i, (pname, pty)) in sm.params.iter().enumerate() {
+            // For instance methods the explicit `this` param in source is
+            // dropped (the builder creates it).
+            if class.is_some() && i == 0 {
+                if pname != "this" {
+                    return Err(ParseError {
+                        line: sm.line,
+                        message: format!(
+                            "first parameter of method {} must be `this`",
+                            sm.name
+                        ),
+                    });
+                }
+                continue;
+            }
+            params.push((pname.clone(), lower.ty(b, pty, sm.line)?));
+        }
+        let params_ref: Vec<(&str, Ty)> =
+            params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let ret = match &sm.ret {
+            Some(t) => Some(lower.ty(b, t, sm.line)?),
+            None => None,
+        };
+        Ok(b.declare_method(class, &sm.name, &params_ref, ret))
+    };
+    for sc in &sp.classes {
+        let cid = lower.class_ids[&sc.name];
+        for sm in &sc.methods {
+            let id = declare(&mut b, &lower, Some(cid), sm)?;
+            lower.method_ids.insert((sc.name.clone(), sm.name.clone()), id);
+        }
+    }
+    for sm in &sp.fns {
+        let id = declare(&mut b, &lower, None, sm)?;
+        lower.method_ids.insert((String::new(), sm.name.clone()), id);
+    }
+
+    // Pass 2: bodies.
+    for sc in &sp.classes {
+        for sm in &sc.methods {
+            let id = lower.method_ids[&(sc.name.clone(), sm.name.clone())];
+            lower_body(&mut b, &lower, id, sm)?;
+        }
+    }
+    for sm in &sp.fns {
+        let id = lower.method_ids[&(String::new(), sm.name.clone())];
+        lower_body(&mut b, &lower, id, sm)?;
+    }
+
+    if let Some((entry, line)) = &sp.entry {
+        let id = *lower.method_ids.get(&(String::new(), entry.clone())).ok_or_else(|| {
+            ParseError { line: *line, message: format!("unknown entry function {entry}") }
+        })?;
+        b.set_entry(id);
+    }
+
+    b.try_finish().map_err(|e| ParseError { line: 0, message: e.message })
+}
+
+fn lower_body(
+    b: &mut ProgramBuilder,
+    lower: &Lowerer,
+    id: MethodId,
+    sm: &SMethod,
+) -> PResult<()> {
+    let mut result: PResult<()> = Ok(());
+    b.define_method(id, |mb| {
+        let mut cx = BodyCx { lower, vars: HashMap::new() };
+        // Bind parameters (including implicit this).
+        for &p in mb.params() {
+            cx.vars.insert(mb.var_name(p), p);
+        }
+        result = lower_in(&mut cx, mb, &sm.body);
+    });
+    result
+}
+
+fn lower_in(cx: &mut BodyCx, mb: &mut MethodBuilder, stmts: &[SStmt]) -> PResult<()> {
+    for s in stmts {
+        match s {
+            SStmt::VarDecl { name, ty, line } => {
+                let t = cx.lower.ty(mb.program_builder(), ty, *line)?;
+                let v = mb.var(name, t);
+                cx.vars.insert(name.clone(), v);
+            }
+            SStmt::If { cond, then_br, else_br, line } => {
+                let c = cx.cond(cond, *line)?;
+                mb.begin_block();
+                let r1 = lower_in(cx, mb, then_br);
+                let t = mb.end_block();
+                mb.begin_block();
+                let r2 = lower_in(cx, mb, else_br);
+                let e = mb.end_block();
+                r1?;
+                r2?;
+                mb.push_if(c, t, e);
+            }
+            SStmt::While { cond, body, line } => {
+                let c = cx.cond(cond, *line)?;
+                mb.begin_block();
+                let r = lower_in(cx, mb, body);
+                let body_s = mb.end_block();
+                r?;
+                mb.push_while(c, body_s);
+            }
+            SStmt::Loop { body } => {
+                mb.begin_block();
+                let r = lower_in(cx, mb, body);
+                let body_s = mb.end_block();
+                r?;
+                mb.push_loop(body_s);
+            }
+            SStmt::Choice { left, right } => {
+                mb.begin_block();
+                let r1 = lower_in(cx, mb, left);
+                let l = mb.end_block();
+                mb.begin_block();
+                let r2 = lower_in(cx, mb, right);
+                let rgt = mb.end_block();
+                r1?;
+                r2?;
+                mb.push_choice(l, rgt);
+            }
+            SStmt::Return { val, line } => match val {
+                Some(v) => {
+                    let o = cx.operand(v, *line)?;
+                    mb.ret(o);
+                }
+                None => {
+                    mb.ret_void();
+                }
+            },
+            SStmt::Assume { cond, line } => {
+                let c = cx.cond(cond, *line)?;
+                mb.assume(c);
+            }
+            SStmt::CallStmt { dst, call, line } => {
+                let dst_v = match dst {
+                    Some(name) => Some(cx.var(name, *line)?),
+                    None => None,
+                };
+                lower_call(cx, mb, dst_v, call, *line)?;
+            }
+            SStmt::Assign { lhs, rhs, line } => lower_assign(cx, mb, lhs, rhs, *line)?,
+        }
+    }
+    Ok(())
+}
+
+fn field_of(
+    cx: &BodyCx,
+    mb: &MethodBuilder,
+    base: VarId,
+    fname: &str,
+    line: usize,
+) -> PResult<crate::ids::FieldId> {
+    let class = match mb.var_ty(base) {
+        Ty::Ref(c) => c,
+        Ty::Int => {
+            return Err(ParseError {
+                line,
+                message: format!("field access on integer variable {}", mb.var_name(base)),
+            })
+        }
+    };
+    let _ = cx;
+    mb.resolve_field(class, fname).ok_or_else(|| ParseError {
+        line,
+        message: format!("no field {fname} on class of {}", mb.var_name(base)),
+    })
+}
+
+fn lower_assign(
+    cx: &mut BodyCx,
+    mb: &mut MethodBuilder,
+    lhs: &SLvalue,
+    rhs: &SRvalue,
+    line: usize,
+) -> PResult<()> {
+    match lhs {
+        SLvalue::Var(name) => {
+            let dst = cx.var(name, line)?;
+            match rhs {
+                SRvalue::Operand(o) => {
+                    let o = cx.operand(o, line)?;
+                    mb.assign(dst, o);
+                }
+                SRvalue::BinOp(op, l, r) => {
+                    let l = cx.operand(l, line)?;
+                    let r = cx.operand(r, line)?;
+                    mb.binop(dst, *op, l, r);
+                }
+                SRvalue::Field(base, f) => {
+                    let b_v = cx.var(base, line)?;
+                    let fid = field_of(cx, mb, b_v, f, line)?;
+                    mb.read_field(dst, b_v, fid);
+                }
+                SRvalue::Index(base, idx) => {
+                    let b_v = cx.var(base, line)?;
+                    let idx = cx.operand(idx, line)?;
+                    mb.read_array(dst, b_v, idx);
+                }
+                SRvalue::Global(g) => {
+                    let gid = *cx.lower.global_ids.get(g).ok_or_else(|| ParseError {
+                        line,
+                        message: format!("unknown global {g}"),
+                    })?;
+                    mb.read_global(dst, gid);
+                }
+                SRvalue::New { class, site } => {
+                    let cid = *cx.lower.class_ids.get(class).ok_or_else(|| ParseError {
+                        line,
+                        message: format!("unknown class {class}"),
+                    })?;
+                    mb.new_obj(dst, cid, site);
+                }
+                SRvalue::NewArray { site, len } => {
+                    let len = cx.operand(len, line)?;
+                    mb.new_array(dst, site, len);
+                }
+                SRvalue::Len(arr) => {
+                    let a = cx.var(arr, line)?;
+                    mb.array_len(dst, a);
+                }
+            }
+        }
+        SLvalue::Field(base, f) => {
+            let b_v = cx.var(base, line)?;
+            let fid = field_of(cx, mb, b_v, f, line)?;
+            let src = rvalue_as_operand(cx, rhs, line)?;
+            mb.write_field(b_v, fid, src);
+        }
+        SLvalue::Index(base, idx) => {
+            let b_v = cx.var(base, line)?;
+            let idx = cx.operand(idx, line)?;
+            let src = rvalue_as_operand(cx, rhs, line)?;
+            mb.write_array(b_v, idx, src);
+        }
+        SLvalue::Global(g) => {
+            let gid = *cx.lower.global_ids.get(g).ok_or_else(|| ParseError {
+                line,
+                message: format!("unknown global {g}"),
+            })?;
+            let src = rvalue_as_operand(cx, rhs, line)?;
+            mb.write_global(gid, src);
+        }
+    }
+    Ok(())
+}
+
+fn rvalue_as_operand(cx: &BodyCx, rhs: &SRvalue, line: usize) -> PResult<Operand> {
+    match rhs {
+        SRvalue::Operand(o) => cx.operand(o, line),
+        _ => Err(ParseError {
+            line,
+            message: "compound right-hand side not allowed here; use a temporary".to_owned(),
+        }),
+    }
+}
+
+fn lower_call(
+    cx: &mut BodyCx,
+    mb: &mut MethodBuilder,
+    dst: Option<VarId>,
+    call: &SCall,
+    line: usize,
+) -> PResult<()> {
+    match call {
+        SCall::Virtual { receiver, method, args } => {
+            let recv = cx.var(receiver, line)?;
+            let args: Vec<Operand> =
+                args.iter().map(|a| cx.operand(a, line)).collect::<PResult<_>>()?;
+            mb.call_virtual(dst, recv, method, &args);
+        }
+        SCall::Static { class, method, args } => {
+            let key = (class.clone().unwrap_or_default(), method.clone());
+            let mid = *cx.lower.method_ids.get(&key).ok_or_else(|| ParseError {
+                line,
+                message: format!(
+                    "unknown function {}{}",
+                    class.as_deref().map(|c| format!("{c}::")).unwrap_or_default(),
+                    method
+                ),
+            })?;
+            let args: Vec<Operand> =
+                args.iter().map(|a| cx.operand(a, line)).collect::<PResult<_>>()?;
+            mb.call_static(dst, mid, &args);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_program;
+
+    const SAMPLE: &str = r#"
+class Cell {
+  field val: int;
+  field next: Cell;
+  method get(this: Cell): int {
+    var v: int;
+    v = this.val;
+    return v;
+  }
+}
+global ROOT: Cell;
+fn main() {
+  var c: Cell;
+  var n: int;
+  c = new Cell @cell0;
+  c.val = 3;
+  $ROOT = c;
+  n = call c.get();
+  assume n < 10;
+  if (n == 3) {
+    n = n + 1;
+  } else {
+    n = 0;
+  }
+  while (n < 5) {
+    n = n + 1;
+  }
+  return;
+}
+entry main;
+"#;
+
+    #[test]
+    fn parses_sample_program() {
+        let p = parse(SAMPLE).expect("parse");
+        assert!(p.class_by_name("Cell").is_some());
+        assert!(p.global_by_name("ROOT").is_some());
+        assert_eq!(p.method(p.entry()).name, "main");
+    }
+
+    #[test]
+    fn print_parse_roundtrip_is_stable() {
+        let p1 = parse(SAMPLE).expect("parse 1");
+        let text1 = print_program(&p1);
+        let p2 = parse(&text1).expect("parse 2");
+        let text2 = print_program(&p2);
+        assert_eq!(text1, text2);
+    }
+
+    #[test]
+    fn reports_unknown_variable_with_line() {
+        let err = parse("fn main() { x = 3; } entry main;").unwrap_err();
+        assert!(err.message.contains("unknown variable x"), "{err}");
+    }
+
+    #[test]
+    fn reports_unknown_class() {
+        let err = parse("fn main() { var x: Nope; } entry main;").unwrap_err();
+        assert!(err.message.contains("unknown class Nope"), "{err}");
+    }
+
+    #[test]
+    fn parses_choice_and_loop() {
+        let src = r#"
+fn main() {
+  var n: int;
+  n = 0;
+  choice {
+    n = 1;
+  } or {
+    n = 2;
+  }
+  loop {
+    n = n + 1;
+  }
+}
+entry main;
+"#;
+        let p = parse(src).expect("parse");
+        let cmds = p.method_cmds(p.entry());
+        assert_eq!(cmds.len(), 4);
+    }
+
+    #[test]
+    fn parses_arrays_and_len() {
+        let src = r#"
+fn main() {
+  var a: array;
+  var x: Object;
+  var n: int;
+  a = newarray @arr0 [10];
+  n = len(a);
+  a[0] = null;
+  x = a[n];
+}
+entry main;
+"#;
+        let p = parse(src).expect("parse");
+        assert_eq!(p.alloc_ids().count(), 1);
+    }
+
+    #[test]
+    fn rejects_compound_rhs_in_field_write() {
+        let src = r#"
+class C { field f: int; }
+fn main() {
+  var c: C;
+  c = new C @c0;
+  c.f = 1 + 2;
+}
+entry main;
+"#;
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("use a temporary"), "{err}");
+    }
+
+    #[test]
+    fn virtual_dispatch_call_parses() {
+        let src = r#"
+class A {
+  method go(this: A): int { return 1; }
+}
+class B extends A {
+  method go(this: B): int { return 2; }
+}
+fn main() {
+  var a: A;
+  var r: int;
+  choice { a = new A @a0; } or { a = new B @b0; }
+  r = call a.go();
+}
+entry main;
+"#;
+        let p = parse(src).expect("parse");
+        let a = p.class_by_name("A").unwrap();
+        let b = p.class_by_name("B").unwrap();
+        assert!(p.is_subclass(b, a));
+    }
+}

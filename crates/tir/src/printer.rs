@@ -1,0 +1,269 @@
+//! Pretty-printer emitting the textual syntax accepted by [`crate::parse`].
+
+use std::fmt::Write as _;
+
+use crate::ids::{ClassId, MethodId};
+use crate::program::{Program, Ty};
+use crate::stmt::{Callee, Command, Cond, Operand, Stmt};
+
+/// Renders `program` in the textual IR syntax. The output round-trips
+/// through [`crate::parse`].
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for c in program.class_ids() {
+        if c == program.object_class || c == program.array_class {
+            continue;
+        }
+        print_class(program, c, &mut out);
+    }
+    for g in program.global_ids() {
+        let global = program.global(g);
+        let _ = writeln!(out, "global {}: {};", global.name, ty_name(program, global.ty));
+    }
+    for m in program.method_ids() {
+        if program.method(m).class.is_none() {
+            print_method(program, m, 0, &mut out);
+        }
+    }
+    if let Some(e) = program.entry_opt() {
+        let _ = writeln!(out, "entry {};", program.method(e).name);
+    }
+    out
+}
+
+fn ty_name(program: &Program, ty: Ty) -> String {
+    match ty {
+        Ty::Int => "int".to_owned(),
+        Ty::Ref(c) if c == program.array_class => "array".to_owned(),
+        Ty::Ref(c) => program.class(c).name.clone(),
+    }
+}
+
+fn print_class(program: &Program, c: ClassId, out: &mut String) {
+    let class = program.class(c);
+    let sup = class.superclass.expect("non-root class");
+    if sup == program.object_class {
+        let _ = writeln!(out, "class {} {{", class.name);
+    } else {
+        let _ = writeln!(out, "class {} extends {} {{", class.name, program.class(sup).name);
+    }
+    for &f in &class.fields {
+        let field = program.field(f);
+        let _ = writeln!(out, "  field {}: {};", field.name, ty_name(program, field.ty));
+    }
+    for &m in &class.methods {
+        print_method(program, m, 2, out);
+    }
+    let _ = writeln!(out, "}}");
+}
+
+fn print_method(program: &Program, m: MethodId, indent: usize, out: &mut String) {
+    let method = program.method(m);
+    let pad = " ".repeat(indent);
+    let kw = if method.class.is_some() { "method" } else { "fn" };
+    let params: Vec<String> = method
+        .params
+        .iter()
+        .map(|&p| format!("{}: {}", program.var(p).name, ty_name(program, program.var(p).ty)))
+        .collect();
+    let ret = match method.ret_ty {
+        Some(t) => format!(": {}", ty_name(program, t)),
+        None => String::new(),
+    };
+    let _ = writeln!(out, "{pad}{kw} {}({}){ret} {{", method.name, params.join(", "));
+    // Declare non-parameter locals up front.
+    for &v in &method.locals {
+        if !method.params.contains(&v) {
+            let var = program.var(v);
+            let _ = writeln!(out, "{pad}  var {}: {};", var.name, ty_name(program, var.ty));
+        }
+    }
+    print_stmt(program, &method.body, indent + 2, out);
+    let _ = writeln!(out, "{pad}}}");
+}
+
+fn operand(program: &Program, o: Operand) -> String {
+    match o {
+        Operand::Var(v) => program.var(v).name.clone(),
+        Operand::Int(i) => i.to_string(),
+        Operand::Null => "null".to_owned(),
+    }
+}
+
+fn cond(program: &Program, c: &Cond) -> String {
+    match c {
+        Cond::True => "true".to_owned(),
+        Cond::Nondet => "*".to_owned(),
+        Cond::Cmp { op, lhs, rhs } => {
+            format!("{} {} {}", operand(program, *lhs), op.symbol(), operand(program, *rhs))
+        }
+    }
+}
+
+fn print_stmt(program: &Program, s: &Stmt, indent: usize, out: &mut String) {
+    let pad = " ".repeat(indent);
+    match s {
+        Stmt::Seq(ss) => {
+            for child in ss {
+                print_stmt(program, child, indent, out);
+            }
+        }
+        Stmt::If { cond: c, then_br, else_br } => {
+            let _ = writeln!(out, "{pad}if ({}) {{", cond(program, c));
+            print_stmt(program, then_br, indent + 2, out);
+            if matches!(**else_br, Stmt::Seq(ref v) if v.is_empty()) || matches!(**else_br, Stmt::Skip)
+            {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                print_stmt(program, else_br, indent + 2, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        Stmt::While { cond: c, body } => {
+            let _ = writeln!(out, "{pad}while ({}) {{", cond(program, c));
+            print_stmt(program, body, indent + 2, out);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Loop(body) => {
+            let _ = writeln!(out, "{pad}loop {{");
+            print_stmt(program, body, indent + 2, out);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Choice(a, b) => {
+            let _ = writeln!(out, "{pad}choice {{");
+            print_stmt(program, a, indent + 2, out);
+            let _ = writeln!(out, "{pad}}} or {{");
+            print_stmt(program, b, indent + 2, out);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Skip => {}
+        Stmt::Cmd(c) => {
+            let _ = writeln!(out, "{pad}{};", print_cmd(program, program.cmd(*c)));
+        }
+    }
+}
+
+/// Renders a single command (without the trailing semicolon).
+pub fn print_cmd(program: &Program, cmd: &Command) -> String {
+    match cmd {
+        Command::Assign { dst, src } => {
+            format!("{} = {}", program.var(*dst).name, operand(program, *src))
+        }
+        Command::BinOp { dst, op, lhs, rhs } => format!(
+            "{} = {} {} {}",
+            program.var(*dst).name,
+            operand(program, *lhs),
+            op.symbol(),
+            operand(program, *rhs)
+        ),
+        Command::ReadField { dst, obj, field } => format!(
+            "{} = {}.{}",
+            program.var(*dst).name,
+            program.var(*obj).name,
+            program.field(*field).name
+        ),
+        Command::WriteField { obj, field, src } => format!(
+            "{}.{} = {}",
+            program.var(*obj).name,
+            program.field(*field).name,
+            operand(program, *src)
+        ),
+        Command::ReadGlobal { dst, global } => {
+            format!("{} = ${}", program.var(*dst).name, program.global(*global).name)
+        }
+        Command::WriteGlobal { global, src } => {
+            format!("${} = {}", program.global(*global).name, operand(program, *src))
+        }
+        Command::ReadArray { dst, arr, idx } => format!(
+            "{} = {}[{}]",
+            program.var(*dst).name,
+            program.var(*arr).name,
+            operand(program, *idx)
+        ),
+        Command::WriteArray { arr, idx, src } => format!(
+            "{}[{}] = {}",
+            program.var(*arr).name,
+            operand(program, *idx),
+            operand(program, *src)
+        ),
+        Command::ArrayLen { dst, arr } => {
+            format!("{} = len({})", program.var(*dst).name, program.var(*arr).name)
+        }
+        Command::New { dst, class, alloc } => format!(
+            "{} = new {} @{}",
+            program.var(*dst).name,
+            program.class(*class).name,
+            program.alloc(*alloc).name
+        ),
+        Command::NewArray { dst, alloc, len } => format!(
+            "{} = newarray @{} [{}]",
+            program.var(*dst).name,
+            program.alloc(*alloc).name,
+            operand(program, *len)
+        ),
+        Command::Call { dst, callee, args } => {
+            let args_s: Vec<String> = args.iter().map(|a| operand(program, *a)).collect();
+            let call = match callee {
+                Callee::Virtual { receiver, method } => {
+                    format!("call {}.{}({})", program.var(*receiver).name, method, args_s.join(", "))
+                }
+                Callee::Static { method } => {
+                    let m = program.method(*method);
+                    let path = match m.class {
+                        Some(c) => format!("{}::{}", program.class(c).name, m.name),
+                        None => m.name.clone(),
+                    };
+                    // For instance methods called directly, the receiver is
+                    // the first explicit argument.
+                    format!("call {}({})", path, args_s.join(", "))
+                }
+            };
+            match dst {
+                Some(d) => format!("{} = {}", program.var(*d).name, call),
+                None => call,
+            }
+        }
+        Command::Return { val } => match val {
+            Some(v) => format!("return {}", operand(program, *v)),
+            None => "return".to_owned(),
+        },
+        Command::Assume { cond: c } => format!("assume {}", cond(program, c)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::stmt::{BinOp, CmpOp};
+
+    #[test]
+    fn prints_commands_readably() {
+        let mut b = ProgramBuilder::new();
+        let c = b.class("Cell", None);
+        let f = b.field(c, "val", Ty::Int);
+        let g = b.global("G", Ty::Ref(c));
+        let main = b.method(None, "main", &[], None, |mb| {
+            let x = mb.var("x", Ty::Ref(c));
+            let n = mb.var("n", Ty::Int);
+            mb.new_obj(x, c, "cell0");
+            mb.write_field(x, f, 3);
+            mb.read_field(n, x, f);
+            mb.binop(n, BinOp::Add, n, 1);
+            mb.write_global(g, x);
+            mb.assume_cmp(CmpOp::Lt, n, 10);
+            mb.ret_void();
+        });
+        b.set_entry(main);
+        let p = b.finish();
+        let text = print_program(&p);
+        assert!(text.contains("x = new Cell @cell0;"));
+        assert!(text.contains("x.val = 3;"));
+        assert!(text.contains("n = x.val;"));
+        assert!(text.contains("n = n + 1;"));
+        assert!(text.contains("$G = x;"));
+        assert!(text.contains("assume n < 10;"));
+        assert!(text.contains("entry main;"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Printer/parser round-trip property tests: random programs built through
+//! the builder API survive `print → parse → print` unchanged.
+
+use proptest::prelude::*;
+use tir::{BinOp, CmpOp, Cond, MethodBuilder, Operand, ProgramBuilder, Ty, VarId};
+
+#[derive(Clone, Debug)]
+enum GStmt {
+    NewObj(usize),
+    NewArr(usize),
+    Copy(usize, usize),
+    WriteField(usize, usize, usize),
+    ReadField(usize, usize, usize),
+    WriteGlobal(usize, usize),
+    ReadGlobal(usize, usize),
+    SetInt(usize, i8),
+    Arith(usize, usize, u8, i8),
+    ArrRead(usize, usize, usize),
+    ArrWrite(usize, usize, usize),
+    Len(usize, usize),
+    Assume(u8, usize, i8),
+    If(u8, usize, i8, Vec<GStmt>, Vec<GStmt>),
+    While(u8, usize, i8, Vec<GStmt>),
+    Choice(Vec<GStmt>, Vec<GStmt>),
+}
+
+const NOBJ: usize = 3;
+const NARR: usize = 2;
+const NINT: usize = 3;
+const NFIELD: usize = 2;
+const NGLOB: usize = 2;
+
+fn arb_stmts(depth: u32) -> BoxedStrategy<Vec<GStmt>> {
+    let leaf = prop_oneof![
+        (0..NOBJ).prop_map(GStmt::NewObj),
+        (0..NARR).prop_map(GStmt::NewArr),
+        ((0..NOBJ), (0..NOBJ)).prop_map(|(a, b)| GStmt::Copy(a, b)),
+        ((0..NOBJ), (0..NFIELD), (0..NOBJ)).prop_map(|(a, f, b)| GStmt::WriteField(a, f, b)),
+        ((0..NOBJ), (0..NOBJ), (0..NFIELD)).prop_map(|(a, b, f)| GStmt::ReadField(a, b, f)),
+        ((0..NGLOB), (0..NOBJ)).prop_map(|(g, a)| GStmt::WriteGlobal(g, a)),
+        ((0..NOBJ), (0..NGLOB)).prop_map(|(a, g)| GStmt::ReadGlobal(a, g)),
+        ((0..NINT), any::<i8>()).prop_map(|(v, c)| GStmt::SetInt(v, c)),
+        ((0..NINT), (0..NINT), 0u8..3, any::<i8>())
+            .prop_map(|(d, s, op, c)| GStmt::Arith(d, s, op, c)),
+        ((0..NOBJ), (0..NARR), (0..NINT)).prop_map(|(d, a, i)| GStmt::ArrRead(d, a, i)),
+        ((0..NARR), (0..NINT), (0..NOBJ)).prop_map(|(a, i, s)| GStmt::ArrWrite(a, i, s)),
+        ((0..NINT), (0..NARR)).prop_map(|(d, a)| GStmt::Len(d, a)),
+        (0u8..6, (0..NINT), any::<i8>()).prop_map(|(op, v, c)| GStmt::Assume(op, v, c)),
+    ];
+    if depth == 0 {
+        proptest::collection::vec(leaf, 1..5).boxed()
+    } else {
+        let inner = arb_stmts(depth - 1);
+        let inner2 = arb_stmts(depth - 1);
+        let inner3 = arb_stmts(depth - 1);
+        let inner4 = arb_stmts(depth - 1);
+        prop_oneof![
+            3 => proptest::collection::vec(leaf, 1..5),
+            1 => (0u8..6, (0..NINT), any::<i8>(), inner, inner2)
+                .prop_map(|(op, v, c, t, e)| vec![GStmt::If(op, v, c, t, e)]),
+            1 => (0u8..6, (0..NINT), any::<i8>(), inner3)
+                .prop_map(|(op, v, c, b)| vec![GStmt::While(op, v, c, b)]),
+            1 => (arb_stmts(depth - 1), inner4)
+                .prop_map(|(l, r)| vec![GStmt::Choice(l, r)]),
+        ]
+        .boxed()
+    }
+}
+
+fn cmp_of(op: u8) -> CmpOp {
+    match op % 6 {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    }
+}
+
+struct Vars {
+    objs: Vec<VarId>,
+    arrs: Vec<VarId>,
+    ints: Vec<VarId>,
+}
+
+fn emit(mb: &mut MethodBuilder, v: &Vars, stmts: &[GStmt], fresh: &mut usize, fields: &[tir::FieldId], globals: &[tir::GlobalId], cell: tir::ClassId) {
+    for s in stmts {
+        *fresh += 1;
+        match s {
+            GStmt::NewObj(a) => {
+                mb.new_obj(v.objs[*a], cell, &format!("o{fresh}"));
+            }
+            GStmt::NewArr(a) => {
+                mb.new_array(v.arrs[*a], &format!("a{fresh}"), 4);
+            }
+            GStmt::Copy(a, b) => {
+                mb.assign(v.objs[*a], v.objs[*b]);
+            }
+            GStmt::WriteField(a, f, b) => {
+                mb.write_field(v.objs[*a], fields[*f], v.objs[*b]);
+            }
+            GStmt::ReadField(a, b, f) => {
+                mb.read_field(v.objs[*a], v.objs[*b], fields[*f]);
+            }
+            GStmt::WriteGlobal(g, a) => {
+                mb.write_global(globals[*g], v.objs[*a]);
+            }
+            GStmt::ReadGlobal(a, g) => {
+                mb.read_global(v.objs[*a], globals[*g]);
+            }
+            GStmt::SetInt(i, c) => {
+                mb.assign(v.ints[*i], i64::from(*c));
+            }
+            GStmt::Arith(d, s2, op, c) => {
+                let op = match op % 3 {
+                    0 => BinOp::Add,
+                    1 => BinOp::Sub,
+                    _ => BinOp::Mul,
+                };
+                mb.binop(v.ints[*d], op, v.ints[*s2], i64::from(*c));
+            }
+            GStmt::ArrRead(d, a, i) => {
+                mb.read_array(v.objs[*d], v.arrs[*a], v.ints[*i]);
+            }
+            GStmt::ArrWrite(a, i, s2) => {
+                mb.write_array(v.arrs[*a], v.ints[*i], v.objs[*s2]);
+            }
+            GStmt::Len(d, a) => {
+                mb.array_len(v.ints[*d], v.arrs[*a]);
+            }
+            GStmt::Assume(op, a, c) => {
+                mb.assume(Cond::cmp(cmp_of(*op), v.ints[*a], Operand::Int(i64::from(*c))));
+            }
+            GStmt::If(op, a, c, t, e) => {
+                let cond = Cond::cmp(cmp_of(*op), v.ints[*a], Operand::Int(i64::from(*c)));
+                mb.begin_block();
+                emit(mb, v, t, fresh, fields, globals, cell);
+                let tb = mb.end_block();
+                mb.begin_block();
+                emit(mb, v, e, fresh, fields, globals, cell);
+                let eb = mb.end_block();
+                mb.push_if(cond, tb, eb);
+            }
+            GStmt::While(op, a, c, b) => {
+                let cond = Cond::cmp(cmp_of(*op), v.ints[*a], Operand::Int(i64::from(*c)));
+                mb.begin_block();
+                emit(mb, v, b, fresh, fields, globals, cell);
+                let body = mb.end_block();
+                mb.push_while(cond, body);
+            }
+            GStmt::Choice(l, r) => {
+                mb.begin_block();
+                emit(mb, v, l, fresh, fields, globals, cell);
+                let lb = mb.end_block();
+                mb.begin_block();
+                emit(mb, v, r, fresh, fields, globals, cell);
+                let rb = mb.end_block();
+                mb.push_choice(lb, rb);
+            }
+        }
+    }
+}
+
+fn build(stmts: &[GStmt]) -> tir::Program {
+    let mut b = ProgramBuilder::new();
+    let object = b.object_class();
+    let cell = b.class("Cell", None);
+    let fields: Vec<_> =
+        (0..NFIELD).map(|i| b.field(cell, &format!("f{i}"), Ty::Ref(object))).collect();
+    let globals: Vec<_> =
+        (0..NGLOB).map(|i| b.global(&format!("G{i}"), Ty::Ref(object))).collect();
+    let arr = b.array_class();
+    let main = b.method(None, "main", &[], None, |mb| {
+        let vars = Vars {
+            objs: (0..NOBJ).map(|i| mb.var(&format!("o{i}"), Ty::Ref(cell))).collect(),
+            arrs: (0..NARR).map(|i| mb.var(&format!("r{i}"), Ty::Ref(arr))).collect(),
+            ints: (0..NINT).map(|i| mb.var(&format!("n{i}"), Ty::Int)).collect(),
+        };
+        let mut fresh = 0usize;
+        emit(mb, &vars, stmts, &mut fresh, &fields, &globals, cell);
+    });
+    b.set_entry(main);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `print(parse(print(p))) == print(p)` for random builder programs.
+    #[test]
+    fn print_parse_roundtrip(stmts in arb_stmts(2)) {
+        let p1 = build(&stmts);
+        let text1 = tir::print_program(&p1);
+        let p2 = tir::parse(&text1)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text1}"));
+        let text2 = tir::print_program(&p2);
+        prop_assert_eq!(&text1, &text2, "unstable roundtrip");
+        // Structural invariants carried across.
+        prop_assert_eq!(p1.num_cmds(), p2.num_cmds());
+        prop_assert_eq!(p1.alloc_ids().count(), p2.alloc_ids().count());
+        prop_assert_eq!(p1.global_ids().count(), p2.global_ids().count());
+    }
+
+    /// The points-to analysis gives identical graphs on both sides of the
+    /// round trip (names identify locations).
+    #[test]
+    fn pta_stable_under_roundtrip(stmts in arb_stmts(1)) {
+        let p1 = build(&stmts);
+        let text = tir::print_program(&p1);
+        let p2 = tir::parse(&text).expect("re-parse");
+        let r1 = pta::analyze(&p1, pta::ContextPolicy::Insensitive);
+        let r2 = pta::analyze(&p2, pta::ContextPolicy::Insensitive);
+        prop_assert_eq!(r1.dump(&p1), r2.dump(&p2));
+    }
+}

@@ -1,0 +1,82 @@
+//! The §1 encapsulation client: statically check that instances of a class
+//! never escape to a static field, with refutation-backed precision.
+//!
+//! Run with: `cargo run -p thresher --example escape_check`
+
+use thresher::Thresher;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A connection pool that hands out wrappers but must never let the raw
+    // `Connection` escape to a static field. A debug-only code path would
+    // leak it — but that path is dead, and Thresher proves it.
+    let program = tir::parse(
+        r#"
+class Connection { }
+class Wrapper { field conn: Connection; }
+class Pool { field current: Connection; }
+global DEBUG_SINK: Object;
+global POOL: Pool;
+global DEBUG_ENABLED: int;
+
+fn acquire(p: Pool): Wrapper {
+  var c: Connection;
+  var w: Wrapper;
+  var d: int;
+  c = new Connection @conn0;
+  p.current = c;
+  w = new Wrapper @wrap0;
+  w.conn = c;
+  d = $DEBUG_ENABLED;
+  if (d == 1) {
+    $DEBUG_SINK = c;
+  }
+  return w;
+}
+
+fn main() {
+  var p: Pool;
+  var w: Wrapper;
+  $DEBUG_ENABLED = 0;
+  p = new Pool @pool0;
+  $POOL = p;
+  w = call acquire(p);
+}
+entry main;
+"#,
+    )?;
+
+    let thresher = Thresher::new(&program);
+    let checker = thresher.escape_checker();
+
+    let conn = program.class_by_name("Connection").unwrap();
+    let report = checker.check_class(conn);
+    println!(
+        "Connection escapes: {} (refuted pairs: {}, edges refuted: {})",
+        !report.is_encapsulated(),
+        report.refuted_pairs,
+        report.edges_refuted
+    );
+    for e in &report.escapes {
+        println!(
+            "  escape via {} -> {}",
+            program.global(e.global).name,
+            thresher.points_to().loc_name(&program, e.target)
+        );
+    }
+
+    // Note the contrast: the flow-insensitive graph *does* contain the
+    // debug edge...
+    println!("\nflow-insensitive graph:");
+    print!("{}", thresher.points_to().dump(&program));
+    println!("\n...but the DEBUG_SINK path is dead (DEBUG_ENABLED is never 1),");
+    println!("and POOL.current keeps the connection reachable only through the");
+    println!("pool object, which IS an escape — unless we only ask about the");
+    println!("debug sink:");
+    let wrapped = checker.check_site("conn0");
+    println!(
+        "conn0 escape check: encapsulated={} ({} pairs refuted)",
+        wrapped.is_encapsulated(),
+        wrapped.refuted_pairs
+    );
+    Ok(())
+}

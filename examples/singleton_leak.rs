@@ -1,0 +1,79 @@
+//! The Figure 5 leak: K9Mail's `EmailAddressAdapter` singleton.
+//!
+//! `getInstance(context)` caches an adapter in a static field; the activity
+//! passed as `context` travels through two superclass constructors into the
+//! adapter's `mContext` field, making the activity reachable from a static
+//! field forever — a confirmed real leak. Thresher *witnesses* (does not
+//! refute) the alarm and prints the path program for triage.
+//!
+//! Run with: `cargo run -p thresher --example singleton_leak`
+
+use android::{harness::ActivitySpec, library, AlarmResult};
+use tir::{Cond, CmpOp, Operand, ProgramBuilder, Ty};
+
+fn main() {
+    let mut b = ProgramBuilder::new();
+    let lib = library::install(&mut b);
+    let adapter = b.class("EmailAddressAdapter", Some(lib.resource_cursor_adapter));
+    let s_instance = b.global("EmailAddressAdapter.sInstance", Ty::Ref(adapter));
+
+    let get_instance = b.method(
+        None,
+        "getInstance",
+        &[("context", Ty::Ref(lib.context))],
+        Some(Ty::Ref(adapter)),
+        |mb| {
+            let ctx = mb.param(0);
+            let cur = mb.var("cur", Ty::Ref(adapter));
+            let fresh = mb.var("fresh", Ty::Ref(adapter));
+            let out = mb.var("out", Ty::Ref(adapter));
+            mb.read_global(cur, s_instance);
+            mb.if_then(Cond::cmp(CmpOp::Eq, cur, Operand::Null), |mb| {
+                mb.new_obj(fresh, adapter, "adr0");
+                mb.call_static(
+                    None,
+                    lib.resource_cursor_adapter_ctor,
+                    &[Operand::Var(fresh), Operand::Var(ctx)],
+                );
+                mb.write_global(s_instance, fresh);
+            });
+            mb.read_global(out, s_instance);
+            mb.ret(out);
+        },
+    );
+
+    let compose = b.class("MessageCompose", Some(lib.activity));
+    b.method(Some(compose), "onCreate", &[], None, |mb| {
+        let this = mb.this();
+        let a = mb.var("a", Ty::Ref(adapter));
+        mb.call_static(Some(a), get_instance, &[Operand::Var(this)]);
+    });
+    android::harness::generate_main(&mut b, &lib, &[ActivitySpec::new(compose, "act0")]);
+    let program = b.finish();
+
+    let report = android::ActivityLeakChecker::new(&program).check();
+    println!(
+        "alarms={} refuted={} (expected: the singleton leak survives)",
+        report.num_alarms(),
+        report.num_refuted()
+    );
+    for (alarm, result) in &report.alarms {
+        match result {
+            AlarmResult::Witnessed { path, witness } => {
+                println!(
+                    "LEAK {} ~> activity:",
+                    program.global(alarm.field).name
+                );
+                for _e in path {
+                    println!("    edge survives refutation");
+                }
+                if let Some(w) = witness {
+                    println!("  witness path program: {}", w.describe(&program));
+                }
+            }
+            AlarmResult::Refuted => {
+                println!("filtered: {}", program.global(alarm.field).name);
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The on-disk corpus must stay in sync with the generators and be fully
+//! analyzable through the CLI-facing entry points.
+
+use std::fs;
+use thresher::Thresher;
+
+fn corpus_dir() -> std::path::PathBuf {
+    // Tests run from the crate dir (crates/core); the corpus lives at the
+    // workspace root.
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("corpus");
+    p
+}
+
+#[test]
+fn corpus_files_parse_and_analyze() {
+    let dir = corpus_dir();
+    let mut count = 0;
+    for entry in fs::read_dir(&dir).expect("corpus dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("tir") {
+            continue;
+        }
+        count += 1;
+        let src = fs::read_to_string(&path).expect("read");
+        let program = tir::parse(&src)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let t = Thresher::new(&program);
+        assert!(t.points_to().num_locs() > 0, "{}", path.display());
+    }
+    assert!(count >= 10, "expected the full corpus, found {count}");
+}
+
+#[test]
+fn corpus_matches_generators() {
+    let dir = corpus_dir();
+    for app in apps::suite::all_apps() {
+        let path = dir.join(format!("{}.tir", app.name.to_lowercase()));
+        let on_disk = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e} (run `cargo run -p apps --example export_corpus`)", path.display()));
+        assert_eq!(
+            on_disk,
+            tir::print_program(&app.program),
+            "{} is stale; regenerate with `cargo run -p apps --example export_corpus`",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn fig1_corpus_file_refutes_through_cli_path() {
+    let path = corpus_dir().join("fig1_vec_null_object.tir");
+    let src = fs::read_to_string(path).expect("read fig1");
+    let program = tir::parse(&src).expect("parse");
+    let t = Thresher::new(&program);
+    assert!(!t.query_reachable("EMPTY", "act0").is_reachable());
+}

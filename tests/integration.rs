@@ -1,0 +1,91 @@
+//! Cross-crate integration tests: the paper's figures and end-to-end app
+//! checks driven through the `thresher` façade.
+
+use apps::figures;
+use thresher::{LoopMode, ReachabilityAnswer, SymexConfig, Thresher};
+
+#[test]
+fn fig1_walkthrough_via_facade() {
+    let program = figures::fig1();
+    let t = Thresher::new(&program);
+
+    // §2's refutation: the shared EMPTY array can never contain the
+    // activity (nor anything else).
+    assert!(!t.query_reachable("EMPTY", "act0").is_reachable());
+    assert!(!t.query_reachable("EMPTY", "hello0").is_reachable());
+
+    // Sanity: the real stores are reachable.
+    assert!(t.query_reachable("OBJS", "hello0").is_reachable());
+}
+
+#[test]
+fn fig1_refutation_records_severed_edges() {
+    let program = figures::fig1();
+    let t = Thresher::new(&program);
+    match t.query_reachable("EMPTY", "act0") {
+        ReachabilityAnswer::Refuted { refuted_edges } => {
+            assert!(!refuted_edges.is_empty());
+        }
+        other => panic!("expected refutation, got {other:?}"),
+    }
+}
+
+#[test]
+fn fig3_aliasing_example() {
+    let program = figures::fig3();
+    let t = Thresher::new(&program);
+    // Both stores are real.
+    assert!(t.query_reachable("OUT", "a0").is_reachable());
+    assert!(t.query_reachable("OUT", "a1").is_reachable());
+}
+
+#[test]
+fn multi_map_needs_loop_invariants() {
+    // Hypothesis 3 (§4): the drop-all loop ablation cannot distinguish the
+    // two boxes filled in loops; full inference can.
+    let program = figures::multi_map();
+
+    let full = Thresher::new(&program);
+    let answer = full.query_reachable("CLEAN", "secret0");
+    assert!(!answer.is_reachable(), "full loop inference must refute CLEAN ~> secret0");
+    assert!(full.query_reachable("CLEAN", "pub0").is_reachable());
+
+    let weak = Thresher::with_setup(
+        &program,
+        thresher::PointsToPolicy::Insensitive,
+        SymexConfig::default().with_loop_mode(LoopMode::DropAll),
+    );
+    let weak_answer = weak.query_reachable("CLEAN", "secret0");
+    assert!(
+        weak_answer.is_reachable(),
+        "drop-all loop handling must lose this refutation (and stay sound)"
+    );
+}
+
+#[test]
+fn small_app_end_to_end() {
+    let app = apps::suite::droidlife();
+    let t = Thresher::with_setup(
+        &app.program,
+        apps::builder::container_policy(&app),
+        SymexConfig::default(),
+    );
+    let report = t.check_activity_leaks();
+    assert_eq!(report.num_refuted(), 0, "DroidLife's leaks are all real");
+    assert!(report.num_alarms() >= app.true_leak_fields.len());
+}
+
+#[test]
+fn engine_stats_are_plumbed_through() {
+    let program = figures::fig1();
+    let t = Thresher::new(&program);
+    let pta = t.points_to();
+    let arr0 = pta.locs().ids().find(|&l| pta.loc_name(&program, l) == "arr0").unwrap();
+    let act0 = pta.locs().ids().find(|&l| pta.loc_name(&program, l) == "act0").unwrap();
+    let edge =
+        pta::HeapEdge::Field { base: arr0, field: program.contents_field, target: act0 };
+    let (out, stats) = t.refute_edge(&edge);
+    assert!(out.is_refuted());
+    assert!(stats.path_programs > 0);
+    assert!(stats.total_refutations() > 0);
+}

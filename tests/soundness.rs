@@ -1,0 +1,366 @@
+//! Refutation-soundness differential testing (Theorem 1).
+//!
+//! Random programs are executed by a concrete interpreter that records
+//! every heap edge (allocation site of owner, field, allocation site of
+//! value) actually produced. The refutation engine must never refute an
+//! edge that a concrete execution produced — under any configuration.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use pta::{ContextPolicy, HeapEdge, LocId, ModRef};
+use symex::{Engine, LoopMode, Representation, SymexConfig};
+use tir::{
+    AllocId, BinOp, CmpOp, Cond, FieldId, GlobalId, MethodBuilder, Operand, Program,
+    ProgramBuilder, Ty, VarId,
+};
+
+/// Abstract plan for a random program, lowered into TIR by `lower`.
+#[derive(Clone, Debug)]
+enum Step {
+    NewObj { var: usize },
+    CopyVar { dst: usize, src: usize },
+    WriteField { base: usize, field: usize, src: usize },
+    ReadField { dst: usize, base: usize, field: usize },
+    WriteGlobal { global: usize, src: usize },
+    ReadGlobal { dst: usize, global: usize },
+    SetInt { var: usize, val: i8 },
+    AddInt { dst: usize, src: usize, k: i8 },
+    /// if (int_a < int_b) { body } else { else_body }
+    Guarded { a: usize, b: usize, body: Vec<Step>, else_body: Vec<Step> },
+}
+
+const NVARS: usize = 4;
+const NINTS: usize = 3;
+const NFIELDS: usize = 2;
+const NGLOBALS: usize = 2;
+
+fn arb_steps(depth: u32) -> impl Strategy<Value = Vec<Step>> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(|var| Step::NewObj { var }),
+        ((0..NVARS), (0..NVARS)).prop_map(|(dst, src)| Step::CopyVar { dst, src }),
+        ((0..NVARS), (0..NFIELDS), (0..NVARS))
+            .prop_map(|(base, field, src)| Step::WriteField { base, field, src }),
+        ((0..NVARS), (0..NVARS), (0..NFIELDS))
+            .prop_map(|(dst, base, field)| Step::ReadField { dst, base, field }),
+        ((0..NGLOBALS), (0..NVARS)).prop_map(|(global, src)| Step::WriteGlobal { global, src }),
+        ((0..NVARS), (0..NGLOBALS)).prop_map(|(dst, global)| Step::ReadGlobal { dst, global }),
+        ((0..NINTS), -3i8..=3).prop_map(|(var, val)| Step::SetInt { var, val }),
+        ((0..NINTS), (0..NINTS), -2i8..=2)
+            .prop_map(|(dst, src, k)| Step::AddInt { dst, src, k }),
+    ];
+    if depth == 0 {
+        proptest::collection::vec(leaf, 1..6).boxed()
+    } else {
+        let inner = arb_steps(depth - 1);
+        let inner2 = arb_steps(depth - 1);
+        prop_oneof![
+            4 => proptest::collection::vec(leaf, 1..6),
+            1 => ((0..NINTS), (0..NINTS), inner, inner2).prop_map(|(a, b, body, else_body)| vec![
+                Step::Guarded { a, b, body, else_body }
+            ]),
+        ]
+        .boxed()
+    }
+}
+
+struct Lowered {
+    program: Program,
+    objs: Vec<VarId>,
+    fields: Vec<FieldId>,
+    globals: Vec<GlobalId>,
+}
+
+fn lower(steps: &[Step]) -> Lowered {
+    let mut b = ProgramBuilder::new();
+    let object = b.object_class();
+    let cell = b.class("Cell", None);
+    let fields: Vec<FieldId> =
+        (0..NFIELDS).map(|i| b.field(cell, &format!("f{i}"), Ty::Ref(object))).collect();
+    let globals: Vec<GlobalId> =
+        (0..NGLOBALS).map(|i| b.global(&format!("G{i}"), Ty::Ref(object))).collect();
+
+    let mut objs_out = Vec::new();
+    let fields2 = fields.clone();
+    let globals2 = globals.clone();
+    let main = b.method(None, "main", &[], None, |mb| {
+        let objs: Vec<VarId> =
+            (0..NVARS).map(|i| mb.var(&format!("o{i}"), Ty::Ref(cell))).collect();
+        let ints: Vec<VarId> = (0..NINTS).map(|i| mb.var(&format!("n{i}"), Ty::Int)).collect();
+        // Give every object var a distinct initial allocation so reads
+        // never fault.
+        for (i, &o) in objs.iter().enumerate() {
+            mb.new_obj(o, cell, &format!("init{i}"));
+        }
+        emit(mb, steps, cell, &objs, &ints, &fields2, &globals2, &mut 0);
+        objs_out = objs;
+    });
+    b.set_entry(main);
+    Lowered { program: b.finish(), objs: objs_out, fields, globals }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    mb: &mut MethodBuilder,
+    steps: &[Step],
+    cell: tir::ClassId,
+    objs: &[VarId],
+    ints: &[VarId],
+    fields: &[FieldId],
+    globals: &[GlobalId],
+    fresh: &mut usize,
+) {
+    for s in steps {
+        match s {
+            Step::NewObj { var } => {
+                *fresh += 1;
+                mb.new_obj(objs[*var], cell, &format!("site{fresh}"));
+            }
+            Step::CopyVar { dst, src } => {
+                mb.assign(objs[*dst], objs[*src]);
+            }
+            Step::WriteField { base, field, src } => {
+                mb.write_field(objs[*base], fields[*field], objs[*src]);
+            }
+            Step::ReadField { dst, base, field } => {
+                mb.read_field(objs[*dst], objs[*base], fields[*field]);
+            }
+            Step::WriteGlobal { global, src } => {
+                mb.write_global(globals[*global], objs[*src]);
+            }
+            Step::ReadGlobal { dst, global } => {
+                mb.read_global(objs[*dst], globals[*global]);
+            }
+            Step::SetInt { var, val } => {
+                mb.assign(ints[*var], i64::from(*val));
+            }
+            Step::AddInt { dst, src, k } => {
+                mb.binop(ints[*dst], BinOp::Add, ints[*src], i64::from(*k));
+            }
+            Step::Guarded { a, b, body, else_body } => {
+                let body = body.clone();
+                let else_body = else_body.clone();
+                let mut fresh2 = *fresh + 100;
+                mb.begin_block();
+                emit(mb, &body, cell, objs, ints, fields, globals, &mut fresh2);
+                let then_s = mb.end_block();
+                let mut fresh3 = fresh2 + 100;
+                mb.begin_block();
+                emit(mb, &else_body, cell, objs, ints, fields, globals, &mut fresh3);
+                let else_s = mb.end_block();
+                mb.push_if(Cond::cmp(CmpOp::Lt, ints[*a], ints[*b]), then_s, else_s);
+                *fresh += 300;
+            }
+        }
+    }
+}
+
+/// Concrete interpreter over the generated fragment. Object identities are
+/// (allocation-name) tagged; reads of null fields yield null.
+#[derive(Default)]
+struct Interp {
+    vars: HashMap<VarId, Option<usize>>,
+    ints: HashMap<VarId, i64>,
+    globals: HashMap<GlobalId, Option<usize>>,
+    heap: HashMap<(usize, FieldId), Option<usize>>,
+    /// Allocation site of each object.
+    site_of: Vec<AllocId>,
+    /// Produced heap edges: (owner site, field, value site).
+    field_edges: Vec<(AllocId, FieldId, AllocId)>,
+    /// Produced global edges: (global, value site).
+    global_edges: Vec<(GlobalId, AllocId)>,
+}
+
+impl Interp {
+    fn run(&mut self, program: &Program) {
+        let main = program.entry();
+        let body = program.method(main).body.clone();
+        self.stmt(program, &body);
+    }
+
+    fn stmt(&mut self, program: &Program, s: &tir::Stmt) {
+        match s {
+            tir::Stmt::Seq(ss) => {
+                for c in ss {
+                    self.stmt(program, c);
+                }
+            }
+            tir::Stmt::If { cond, then_br, else_br } => {
+                if self.cond(cond) {
+                    self.stmt(program, then_br);
+                } else {
+                    self.stmt(program, else_br);
+                }
+            }
+            tir::Stmt::Skip => {}
+            tir::Stmt::Cmd(c) => self.cmd(program, *c),
+            other => panic!("unsupported statement in random program: {other:?}"),
+        }
+    }
+
+    fn cond(&self, c: &Cond) -> bool {
+        match c {
+            Cond::True => true,
+            Cond::Nondet => true,
+            Cond::Cmp { op, lhs, rhs } => {
+                let l = self.int_val(lhs);
+                let r = self.int_val(rhs);
+                op.eval(l, r)
+            }
+        }
+    }
+
+    fn int_val(&self, o: &Operand) -> i64 {
+        match o {
+            Operand::Int(c) => *c,
+            Operand::Var(v) => self.ints.get(v).copied().unwrap_or(0),
+            Operand::Null => 0,
+        }
+    }
+
+    fn cmd(&mut self, program: &Program, c: tir::CmdId) {
+        match program.cmd(c).clone() {
+            tir::Command::New { dst, alloc, .. } => {
+                let id = self.site_of.len();
+                self.site_of.push(alloc);
+                self.vars.insert(dst, Some(id));
+            }
+            tir::Command::Assign { dst, src } => {
+                if program.var(dst).ty.is_ref() {
+                    let v = match src {
+                        Operand::Var(y) => self.vars.get(&y).copied().flatten(),
+                        _ => None,
+                    };
+                    self.vars.insert(dst, v);
+                } else {
+                    let v = self.int_val(&src);
+                    self.ints.insert(dst, v);
+                }
+            }
+            tir::Command::BinOp { dst, op, lhs, rhs } => {
+                let l = self.int_val(&lhs);
+                let r = self.int_val(&rhs);
+                let v = match op {
+                    BinOp::Add => l + r,
+                    BinOp::Sub => l - r,
+                    BinOp::Mul => l * r,
+                };
+                self.ints.insert(dst, v);
+            }
+            tir::Command::WriteField { obj, field, src } => {
+                if let Some(Some(o)) = self.vars.get(&obj).copied().map(Some) {
+                    let Some(o) = o else { return };
+                    let v = match src {
+                        Operand::Var(y) => self.vars.get(&y).copied().flatten(),
+                        _ => None,
+                    };
+                    self.heap.insert((o, field), v);
+                    if let Some(val) = v {
+                        self.field_edges.push((
+                            self.site_of[o],
+                            field,
+                            self.site_of[val],
+                        ));
+                    }
+                }
+            }
+            tir::Command::ReadField { dst, obj, field } => {
+                let v = self
+                    .vars
+                    .get(&obj)
+                    .copied()
+                    .flatten()
+                    .and_then(|o| self.heap.get(&(o, field)).copied().flatten());
+                self.vars.insert(dst, v);
+            }
+            tir::Command::WriteGlobal { global, src } => {
+                let v = match src {
+                    Operand::Var(y) => self.vars.get(&y).copied().flatten(),
+                    _ => None,
+                };
+                self.globals.insert(global, v);
+                if let Some(val) = v {
+                    self.global_edges.push((global, self.site_of[val]));
+                }
+            }
+            tir::Command::ReadGlobal { dst, global } => {
+                let v = self.globals.get(&global).copied().flatten();
+                self.vars.insert(dst, v);
+            }
+            other => panic!("unsupported command in random program: {other:?}"),
+        }
+    }
+}
+
+fn check_soundness(steps: &[Step], config: SymexConfig) -> Result<(), TestCaseError> {
+    let lowered = lower(steps);
+    let program = &lowered.program;
+    let _ = &lowered.objs;
+    let _ = &lowered.fields;
+    let _ = &lowered.globals;
+
+    let mut interp = Interp::default();
+    interp.run(program);
+
+    let pta = pta::analyze(program, ContextPolicy::Insensitive);
+    let modref = ModRef::compute(program, &pta);
+    let mut engine = Engine::new(program, &pta, &modref, config);
+
+    let loc_of = |alloc: AllocId| -> LocId {
+        let locs = pta.alloc_locs(alloc);
+        LocId(locs.iter().next().expect("allocation reached") as u32)
+    };
+
+    for (owner, field, value) in &interp.field_edges {
+        let edge =
+            HeapEdge::Field { base: loc_of(*owner), field: *field, target: loc_of(*value) };
+        let out = engine.refute_edge(&edge);
+        prop_assert!(
+            !out.is_refuted(),
+            "UNSOUND: concretely-produced edge {} was refuted\nprogram:\n{}",
+            edge.describe(program, &pta),
+            tir::print_program(program)
+        );
+    }
+    for (global, value) in &interp.global_edges {
+        let edge = HeapEdge::Global { global: *global, target: loc_of(*value) };
+        let out = engine.refute_edge(&edge);
+        prop_assert!(
+            !out.is_refuted(),
+            "UNSOUND: concretely-produced edge {} was refuted\nprogram:\n{}",
+            edge.describe(program, &pta),
+            tir::print_program(program)
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn concrete_edges_never_refuted_mixed(steps in arb_steps(1)) {
+        check_soundness(&steps, SymexConfig::default())?;
+    }
+
+    #[test]
+    fn concrete_edges_never_refuted_fully_symbolic(steps in arb_steps(1)) {
+        check_soundness(
+            &steps,
+            SymexConfig::default().with_representation(Representation::FullySymbolic),
+        )?;
+    }
+
+    #[test]
+    fn concrete_edges_never_refuted_drop_all_loops(steps in arb_steps(1)) {
+        check_soundness(
+            &steps,
+            SymexConfig::default().with_loop_mode(LoopMode::DropAll),
+        )?;
+    }
+
+    #[test]
+    fn concrete_edges_never_refuted_no_simplification(steps in arb_steps(1)) {
+        check_soundness(&steps, SymexConfig::default().with_simplification(false))?;
+    }
+}

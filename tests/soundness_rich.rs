@@ -1,0 +1,257 @@
+//! Richer refutation-soundness differential tests: random programs with
+//! helper calls, `while` loops, and `choice` branches are executed by
+//! `tir::interp` under several oracles; no concretely-produced edge may be
+//! refuted under any engine configuration.
+
+use proptest::prelude::*;
+
+use pta::{ContextPolicy, HeapEdge, LocId, ModRef};
+use symex::{Engine, LoopMode, Representation, SymexConfig};
+use tir::interp::{Interp, Oracle};
+use tir::{CmpOp, Cond, FieldId, GlobalId, MethodId, Operand, Program, ProgramBuilder, Ty, VarId};
+
+#[derive(Clone, Debug)]
+enum RStmt {
+    New(usize),
+    Copy(usize, usize),
+    Write(usize, usize, usize),
+    Read(usize, usize, usize),
+    GWrite(usize, usize),
+    GRead(usize, usize),
+    CallStore(usize, usize),
+    CallSwap(usize, usize),
+    LoopWrite { base: usize, field: usize, src: usize, iters: u8 },
+    ChoiceWrite { base: usize, field: usize, left: usize, right: usize },
+}
+
+const NV: usize = 3;
+const NF: usize = 2;
+const NG: usize = 2;
+
+fn arb_stmts() -> impl Strategy<Value = Vec<RStmt>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..NV).prop_map(RStmt::New),
+            ((0..NV), (0..NV)).prop_map(|(a, b)| RStmt::Copy(a, b)),
+            ((0..NV), (0..NF), (0..NV)).prop_map(|(a, f, b)| RStmt::Write(a, f, b)),
+            ((0..NV), (0..NV), (0..NF)).prop_map(|(a, b, f)| RStmt::Read(a, b, f)),
+            ((0..NG), (0..NV)).prop_map(|(g, a)| RStmt::GWrite(g, a)),
+            ((0..NV), (0..NG)).prop_map(|(a, g)| RStmt::GRead(a, g)),
+            ((0..NV), (0..NV)).prop_map(|(a, b)| RStmt::CallStore(a, b)),
+            ((0..NV), (0..NV)).prop_map(|(a, b)| RStmt::CallSwap(a, b)),
+            ((0..NV), (0..NF), (0..NV), 0u8..3)
+                .prop_map(|(base, field, src, iters)| RStmt::LoopWrite {
+                    base,
+                    field,
+                    src,
+                    iters
+                }),
+            ((0..NV), (0..NF), (0..NV), (0..NV)).prop_map(|(base, field, left, right)| {
+                RStmt::ChoiceWrite { base, field, left, right }
+            }),
+        ],
+        1..10,
+    )
+}
+
+struct Built {
+    program: Program,
+}
+
+fn build(stmts: &[RStmt]) -> Built {
+    let mut b = ProgramBuilder::new();
+    let object = b.object_class();
+    let cell = b.class("Cell", None);
+    let fields: Vec<FieldId> =
+        (0..NF).map(|i| b.field(cell, &format!("f{i}"), Ty::Ref(object))).collect();
+    let globals: Vec<GlobalId> =
+        (0..NG).map(|i| b.global(&format!("G{i}"), Ty::Ref(object))).collect();
+
+    // Helper: store into field f0.
+    let f0 = fields[0];
+    let store: MethodId = b.method(
+        None,
+        "store_helper",
+        &[("h", Ty::Ref(cell)), ("o", Ty::Ref(cell))],
+        None,
+        |mb| {
+            let h = mb.param(0);
+            let o = mb.param(1);
+            mb.write_field(h, f0, o);
+        },
+    );
+    // Helper: swap-ish through f1 (read + write).
+    let f1 = fields[1];
+    let swap: MethodId = b.method(
+        None,
+        "swap_helper",
+        &[("x", Ty::Ref(cell)), ("y", Ty::Ref(cell))],
+        None,
+        |mb| {
+            let x = mb.param(0);
+            let y = mb.param(1);
+            let t = mb.var("t", Ty::Ref(object));
+            mb.read_field(t, x, f1);
+            mb.write_field(y, f1, t);
+        },
+    );
+
+    let f2 = fields.clone();
+    let g2 = globals.clone();
+    let main = b.method(None, "main", &[], None, |mb| {
+        let vars: Vec<VarId> =
+            (0..NV).map(|i| mb.var(&format!("v{i}"), Ty::Ref(cell))).collect();
+        let counter = mb.var("i", Ty::Int);
+        for (i, &v) in vars.iter().enumerate() {
+            mb.new_obj(v, cell, &format!("init{i}"));
+        }
+        for (n, s) in stmts.iter().enumerate() {
+            match s {
+                RStmt::New(a) => {
+                    mb.new_obj(vars[*a], cell, &format!("s{n}"));
+                }
+                RStmt::Copy(a, b2) => {
+                    mb.assign(vars[*a], Operand::Var(vars[*b2]));
+                }
+                RStmt::Write(a, f, b2) => {
+                    mb.write_field(vars[*a], f2[*f], vars[*b2]);
+                }
+                RStmt::Read(a, b2, f) => {
+                    mb.read_field(vars[*a], vars[*b2], f2[*f]);
+                }
+                RStmt::GWrite(g, a) => {
+                    mb.write_global(g2[*g], vars[*a]);
+                }
+                RStmt::GRead(a, g) => {
+                    // Globals may be null concretely; only read after a
+                    // guaranteed init (simplest: skip the null risk by
+                    // writing first).
+                    mb.write_global(g2[*g], vars[*a]);
+                    mb.read_global(vars[*a], g2[*g]);
+                }
+                RStmt::CallStore(a, b2) => {
+                    mb.call_static(
+                        None,
+                        store,
+                        &[Operand::Var(vars[*a]), Operand::Var(vars[*b2])],
+                    );
+                }
+                RStmt::CallSwap(a, b2) => {
+                    mb.call_static(
+                        None,
+                        swap,
+                        &[Operand::Var(vars[*a]), Operand::Var(vars[*b2])],
+                    );
+                }
+                RStmt::LoopWrite { base, field, src, iters } => {
+                    mb.assign(counter, 0);
+                    mb.begin_block();
+                    mb.write_field(vars[*base], f2[*field], vars[*src]);
+                    mb.binop(counter, tir::BinOp::Add, counter, 1);
+                    let body = mb.end_block();
+                    mb.push_while(
+                        Cond::cmp(CmpOp::Lt, counter, i64::from(*iters)),
+                        body,
+                    );
+                }
+                RStmt::ChoiceWrite { base, field, left, right } => {
+                    mb.begin_block();
+                    mb.write_field(vars[*base], f2[*field], vars[*left]);
+                    let l = mb.end_block();
+                    mb.begin_block();
+                    mb.write_field(vars[*base], f2[*field], vars[*right]);
+                    let r = mb.end_block();
+                    mb.push_choice(l, r);
+                }
+            }
+        }
+    });
+    b.set_entry(main);
+    Built { program: b.finish() }
+}
+
+fn check(stmts: &[RStmt], config: SymexConfig) -> Result<(), TestCaseError> {
+    let built = build(stmts);
+    let program = &built.program;
+    let pta = pta::analyze(program, ContextPolicy::Insensitive);
+    let modref = ModRef::compute(program, &pta);
+    let mut engine = Engine::new(program, &pta, &modref, config);
+    let loc_of = |alloc: tir::AllocId| -> LocId {
+        LocId(pta.alloc_locs(alloc).iter().next().expect("reached alloc") as u32)
+    };
+
+    // Several oracles: deterministic, all-right branches, alternating.
+    let oracles = [
+        Oracle::always_first(),
+        Oracle::scripted(vec![true; 16], vec![2; 8]),
+        Oracle::scripted(
+            (0..16).map(|i| i % 2 == 0).collect(),
+            (0..8).map(|i| i % 3).collect(),
+        ),
+    ];
+    for oracle in oracles {
+        let mut interp = Interp::new(program, oracle, 100_000);
+        let trace = match interp.run() {
+            Ok(t) => t,
+            // Null dereferences are reachable in generated programs (reads
+            // of never-written fields); the partial trace is still concrete
+            // evidence.
+            Err(_) => interp.trace().clone(),
+        };
+        for (owner, field, value) in &trace.field_edges {
+            let edge = HeapEdge::Field {
+                base: loc_of(*owner),
+                field: *field,
+                target: loc_of(*value),
+            };
+            let out = engine.refute_edge(&edge);
+            prop_assert!(
+                !out.is_refuted(),
+                "UNSOUND: concrete edge {} refuted\n{}",
+                edge.describe(program, &pta),
+                tir::print_program(program)
+            );
+        }
+        for (global, value) in &trace.global_edges {
+            let edge = HeapEdge::Global { global: *global, target: loc_of(*value) };
+            let out = engine.refute_edge(&edge);
+            prop_assert!(
+                !out.is_refuted(),
+                "UNSOUND: concrete edge {} refuted\n{}",
+                edge.describe(program, &pta),
+                tir::print_program(program)
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rich_programs_mixed(stmts in arb_stmts()) {
+        check(&stmts, SymexConfig::default())?;
+    }
+
+    #[test]
+    fn rich_programs_fully_symbolic(stmts in arb_stmts()) {
+        check(
+            &stmts,
+            SymexConfig::default().with_representation(Representation::FullySymbolic),
+        )?;
+    }
+
+    #[test]
+    fn rich_programs_fully_explicit(stmts in arb_stmts()) {
+        check(
+            &stmts,
+            SymexConfig::default().with_representation(Representation::FullyExplicit),
+        )?;
+    }
+
+    #[test]
+    fn rich_programs_drop_all_loops(stmts in arb_stmts()) {
+        check(&stmts, SymexConfig::default().with_loop_mode(LoopMode::DropAll))?;
+    }
+}
