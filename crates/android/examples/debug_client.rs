@@ -48,5 +48,10 @@ fn main() {
         symex::SearchOutcome::Witnessed(w) => println!("WITNESS {}", w.describe(&p)),
         other => println!("{other:?}"),
     }
-    println!("time={:?} paths={} cmds={}", t.elapsed(), engine.stats.path_programs, engine.stats.cmds_executed);
+    println!(
+        "time={:?} paths={} cmds={}",
+        t.elapsed(),
+        engine.stats.path_programs,
+        engine.stats.cmds_executed
+    );
 }

@@ -74,21 +74,13 @@ mod tests {
 
         // Unannotated: the empty table's contents are polluted.
         let plain = pta::analyze(&p, pta::ContextPolicy::Insensitive);
-        let empty = plain
-            .locs()
-            .ids()
-            .find(|&l| plain.loc_name(&p, l) == "map_empty_arr")
-            .unwrap();
+        let empty = plain.locs().ids().find(|&l| plain.loc_name(&p, l) == "map_empty_arr").unwrap();
         assert!(!plain.pt_field(empty, p.contents_field).is_empty());
 
         // Annotated: the pollution never enters the graph.
         let opts = to_pta_options(&paper_annotations(&lib));
         let ann = pta::analyze_with(&p, pta::ContextPolicy::Insensitive, &opts);
-        let empty = ann
-            .locs()
-            .ids()
-            .find(|&l| ann.loc_name(&p, l) == "map_empty_arr")
-            .unwrap();
+        let empty = ann.locs().ids().find(|&l| ann.loc_name(&p, l) == "map_empty_arr").unwrap();
         assert!(ann.pt_field(empty, p.contents_field).is_empty(), "{}", ann.dump(&p));
     }
 }

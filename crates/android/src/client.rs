@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use pta::{BitSet, HeapEdge, HeapGraphView, LocId, ModRef, PtaResult};
-use symex::{Engine, SearchOutcome, SymexConfig, Witness};
+use symex::{AbortCounts, Engine, SearchOutcome, StopReason, SymexConfig, Witness};
 use tir::{GlobalId, Program};
 
 // Annotations are applied at the points-to level (see
@@ -51,15 +51,22 @@ impl AlarmResult {
     }
 }
 
-/// Per-run counters matching the Table 1 column groups.
+/// Per-run counters matching the Table 1 column groups, extended with
+/// abort/degradation provenance.
 #[derive(Clone, Debug, Default)]
 pub struct ClientStats {
     /// Edges refuted (`RefEdg`).
     pub edges_refuted: usize,
     /// Edges witnessed (`WitEdg`).
     pub edges_witnessed: usize,
-    /// Edge timeouts (`TO`).
+    /// Edge timeouts (`TO`): edges whose search aborted for any reason.
     pub edge_timeouts: usize,
+    /// Abort counts by reason (`edge_timeouts` broken down).
+    pub aborts: AbortCounts,
+    /// Extra (degraded) refutation attempts beyond the strict first pass.
+    pub retries: usize,
+    /// Edges decided only by a coarsened retry.
+    pub degraded_decisions: usize,
     /// Wall time of the symbolic-execution phase.
     pub symex_time: Duration,
 }
@@ -125,7 +132,7 @@ pub struct LeakClient<'a> {
 enum CachedOutcome {
     Refuted,
     Witnessed,
-    Timeout,
+    Aborted(StopReason),
 }
 
 impl<'a> LeakClient<'a> {
@@ -138,9 +145,8 @@ impl<'a> LeakClient<'a> {
         config: SymexConfig,
     ) -> Self {
         let view = HeapGraphView::new(pta);
-        let activity_class = program
-            .class_by_name("Activity")
-            .expect("Android library model not installed");
+        let activity_class =
+            program.class_by_name("Activity").expect("Android library model not installed");
         let activity_locs = pta.locs_of_class(program, activity_class);
         LeakClient {
             program,
@@ -173,19 +179,24 @@ impl<'a> LeakClient<'a> {
     }
 
     /// Decides one edge, consulting and filling the cache. Refuted edges
-    /// are deleted from the view.
+    /// are deleted from the view. The search is fault-contained and, when
+    /// the configuration allows, retried under coarser precision on abort.
     pub fn decide_edge(&mut self, edge: HeapEdge, stats: &mut ClientStats) -> CachedView {
         if let Some(c) = self.cache.get(&edge) {
             return match c {
                 CachedOutcome::Refuted => CachedView::Refuted,
                 CachedOutcome::Witnessed => CachedView::Witnessed(None),
-                CachedOutcome::Timeout => CachedView::Timeout,
+                CachedOutcome::Aborted(r) => CachedView::Aborted(r.clone()),
             };
         }
         let t0 = Instant::now();
-        let outcome = self.engine.refute_edge(&edge);
+        let decision = self.engine.refute_edge_resilient(&edge);
         stats.symex_time += t0.elapsed();
-        match outcome {
+        stats.retries += (decision.attempts - 1) as usize;
+        if decision.degraded {
+            stats.degraded_decisions += 1;
+        }
+        match decision.outcome {
             SearchOutcome::Refuted => {
                 stats.edges_refuted += 1;
                 self.cache.insert(edge, CachedOutcome::Refuted);
@@ -197,10 +208,11 @@ impl<'a> LeakClient<'a> {
                 self.cache.insert(edge, CachedOutcome::Witnessed);
                 CachedView::Witnessed(Some(w))
             }
-            SearchOutcome::Timeout => {
+            SearchOutcome::Aborted(reason) => {
                 stats.edge_timeouts += 1;
-                self.cache.insert(edge, CachedOutcome::Timeout);
-                CachedView::Timeout
+                stats.aborts.record(&reason);
+                self.cache.insert(edge, CachedOutcome::Aborted(reason.clone()));
+                CachedView::Aborted(reason)
             }
         }
     }
@@ -218,8 +230,8 @@ impl<'a> LeakClient<'a> {
                 match self.decide_edge(edge, stats) {
                     CachedView::Refuted => continue 'paths,
                     CachedView::Witnessed(w) => last_witness = w.or(last_witness),
-                    // A timeout is soundly treated as not-refuted.
-                    CachedView::Timeout => {}
+                    // An abort is soundly treated as not-refuted.
+                    CachedView::Aborted(_) => {}
                 }
             }
             return AlarmResult::Witnessed { path, witness: last_witness };
@@ -255,6 +267,6 @@ pub enum CachedView {
     Refuted,
     /// The edge is witnessed; carries the witness on first decision.
     Witnessed(Option<Witness>),
-    /// Budget exhausted; not refuted.
-    Timeout,
+    /// The search gave up for the stated reason; not refuted.
+    Aborted(StopReason),
 }

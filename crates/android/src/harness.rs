@@ -28,11 +28,7 @@ pub struct ActivitySpec {
 impl ActivitySpec {
     /// Creates a spec with the standard `onCreate` handler.
     pub fn new(class: ClassId, alloc_name: impl Into<String>) -> Self {
-        ActivitySpec {
-            class,
-            alloc_name: alloc_name.into(),
-            handlers: vec!["onCreate".to_owned()],
-        }
+        ActivitySpec { class, alloc_name: alloc_name.into(), handlers: vec!["onCreate".to_owned()] }
     }
 
     /// Adds a handler (builder style).

@@ -107,8 +107,7 @@ impl<'a> ActivityLeakChecker<'a> {
         let pta = pta::analyze_with(self.program, self.policy, &opts);
         let modref = ModRef::compute(self.program, &pta);
         let report = {
-            let client =
-                LeakClient::new(self.program, &pta, &modref, self.config.clone());
+            let client = LeakClient::new(self.program, &pta, &modref, self.config.clone());
             client.run()
         };
         (report, pta, modref)

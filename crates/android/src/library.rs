@@ -116,12 +116,11 @@ pub fn install(b: &mut ProgramBuilder) -> AndroidLib {
     // Constructor chain: ResourceCursorAdapter -> CursorAdapter -> Adapter,
     // passing the context parameter backwards until it lands in mContext
     // (exactly the Figure 5 propagation).
-    let adapter_ctor =
-        b.method(Some(adapter), "ctor", &[("ctx", Ty::Ref(context))], None, |mb| {
-            let this = mb.this();
-            let ctx = mb.param(0);
-            mb.write_field(this, adapter_context, ctx);
-        });
+    let adapter_ctor = b.method(Some(adapter), "ctor", &[("ctx", Ty::Ref(context))], None, |mb| {
+        let this = mb.this();
+        let ctx = mb.param(0);
+        mb.write_field(this, adapter_context, ctx);
+    });
     let cursor_adapter_ctor =
         b.method(Some(cursor_adapter), "ctorCursor", &[("ctx", Ty::Ref(context))], None, |mb| {
             let this = mb.this();
@@ -195,17 +194,16 @@ pub fn install(b: &mut ProgramBuilder) -> AndroidLib {
         mb.write_field(this, vec_sz, sz3);
     });
 
-    let vec_get =
-        b.method(Some(vec), "get", &[("idx", Ty::Int)], Some(Ty::Ref(object)), |mb| {
-            let arr_ty = Ty::Ref(mb.program_builder().array_class());
-            let this = mb.this();
-            let idx = mb.param(0);
-            let tbl = mb.var("tbl", arr_ty);
-            let out = mb.var("out", Ty::Ref(object));
-            mb.read_field(tbl, this, vec_tbl);
-            mb.read_array(out, tbl, idx);
-            mb.ret(out);
-        });
+    let vec_get = b.method(Some(vec), "get", &[("idx", Ty::Int)], Some(Ty::Ref(object)), |mb| {
+        let arr_ty = Ty::Ref(mb.program_builder().array_class());
+        let this = mb.this();
+        let idx = mb.param(0);
+        let tbl = mb.var("tbl", arr_ty);
+        let out = mb.var("out", Ty::Ref(object));
+        mb.read_field(tbl, this, vec_tbl);
+        mb.read_array(out, tbl, idx);
+        mb.ret(out);
+    });
 
     let vec_clear = b.method(Some(vec), "clear", &[], None, |mb| {
         let this = mb.this();
@@ -293,12 +291,8 @@ pub fn install(b: &mut ProgramBuilder) -> AndroidLib {
         },
     );
 
-    let hashmap_get = b.method(
-        Some(hashmap),
-        "get",
-        &[("key", Ty::Ref(object))],
-        Some(Ty::Ref(object)),
-        |mb| {
+    let hashmap_get =
+        b.method(Some(hashmap), "get", &[("key", Ty::Ref(object))], Some(Ty::Ref(object)), |mb| {
             let arr_ty = Ty::Ref(mb.program_builder().array_class());
             let this = mb.this();
             let key = mb.param(0);
@@ -319,15 +313,10 @@ pub fn install(b: &mut ProgramBuilder) -> AndroidLib {
                 mb.read_field(cur, cur, entry_next);
             });
             mb.ret(out);
-        },
-    );
+        });
 
-    let hashmap_remove = b.method(
-        Some(hashmap),
-        "remove",
-        &[("key", Ty::Ref(object))],
-        None,
-        |mb| {
+    let hashmap_remove =
+        b.method(Some(hashmap), "remove", &[("key", Ty::Ref(object))], None, |mb| {
             let arr_ty = Ty::Ref(mb.program_builder().array_class());
             let this = mb.this();
             let key = mb.param(0);
@@ -351,8 +340,7 @@ pub fn install(b: &mut ProgramBuilder) -> AndroidLib {
                     mb.write_field(this, map_size, size);
                 });
             });
-        },
-    );
+        });
 
     // ---- Static initializer --------------------------------------------
     let mut vec_empty_alloc = None;

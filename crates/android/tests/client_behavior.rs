@@ -4,7 +4,7 @@
 use android::{harness::ActivitySpec, library, ClientStats, LeakClient};
 use pta::{ContextPolicy, ModRef};
 use symex::SymexConfig;
-use tir::{Operand, ProgramBuilder, Ty};
+use tir::{ProgramBuilder, Ty};
 
 fn two_field_app() -> tir::Program {
     let mut b = ProgramBuilder::new();
@@ -93,12 +93,8 @@ fn timeouts_are_not_refutations() {
     let policy = ContextPolicy::containers_named(&program, library::CONTAINER_CLASSES);
     let pta = pta::analyze(&program, policy);
     let modref = ModRef::compute(&program, &pta);
-    let mut client = LeakClient::new(
-        &program,
-        &pta,
-        &modref,
-        SymexConfig::default().with_budget(0),
-    );
+    let mut client =
+        LeakClient::new(&program, &pta, &modref, SymexConfig::default().with_budget(0));
     let mut stats = ClientStats::default();
     let alarms = client.find_alarms();
     for a in alarms {

@@ -6,10 +6,7 @@ use pta::{ContextPolicy, LocId};
 use tir::{Operand, ProgramBuilder, Ty};
 
 fn loc(p: &tir::Program, r: &pta::PtaResult, name: &str) -> LocId {
-    r.locs()
-        .ids()
-        .find(|&l| r.loc_name(p, l) == name)
-        .unwrap_or_else(|| panic!("no loc {name}"))
+    r.locs().ids().find(|&l| r.loc_name(p, l) == name).unwrap_or_else(|| panic!("no loc {name}"))
 }
 
 #[test]

@@ -15,7 +15,10 @@ fn main() {
     let act = pta
         .locs()
         .ids()
-        .find(|&l| pta.loc_name(p, l).contains("_inst") && p.is_subclass(pta.class_of(l), p.class_by_name("Activity").unwrap()))
+        .find(|&l| {
+            pta.loc_name(p, l).contains("_inst")
+                && p.is_subclass(pta.class_of(l), p.class_by_name("Activity").unwrap())
+        })
         .unwrap();
     let edge = HeapEdge::Field { base: safe, field: obj_f, target: act };
     for simp in [true, false] {
@@ -25,7 +28,11 @@ fn main() {
         let out = e.refute_edge(&edge);
         println!(
             "simplification={simp} outcome={} time={:?} paths={} cmds={} subsumed={}",
-            match out { symex::SearchOutcome::Refuted => "refuted", symex::SearchOutcome::Witnessed(_) => "witnessed", _ => "timeout" },
+            match out {
+                symex::SearchOutcome::Refuted => "refuted",
+                symex::SearchOutcome::Witnessed(_) => "witnessed",
+                _ => "timeout",
+            },
             t.elapsed(),
             e.stats.path_programs,
             e.stats.cmds_executed,

@@ -284,19 +284,17 @@ pub fn declare_globals(b: &mut ProgramBuilder, lib: &AndroidLib, motif: &Motif) 
                         }
                         match inner {
                             None => {
-                                let mut mk = |mb: &mut tir::MethodBuilder,
-                                              r: tir::VarId,
-                                              i: usize| {
-                                    mb.new_obj(r, string, &format!("pick_{tag2}_{i}"));
-                                };
+                                let mut mk =
+                                    |mb: &mut tir::MethodBuilder, r: tir::VarId, i: usize| {
+                                        mb.new_obj(r, string, &format!("pick_{tag2}_{i}"));
+                                    };
                                 fan(mb, r, w, &mut mk, 0);
                             }
                             Some(inner_m) => {
-                                let mut mk = |mb: &mut tir::MethodBuilder,
-                                              r: tir::VarId,
-                                              _i: usize| {
-                                    mb.call_static(Some(r), inner_m, &[]);
-                                };
+                                let mut mk =
+                                    |mb: &mut tir::MethodBuilder, r: tir::VarId, _i: usize| {
+                                        mb.call_static(Some(r), inner_m, &[]);
+                                    };
                                 fan(mb, r, w, &mut mk, 0);
                             }
                         }
@@ -318,13 +316,8 @@ pub fn declare_globals(b: &mut ProgramBuilder, lib: &AndroidLib, motif: &Motif) 
                     mb.write_field(h, holder_obj, o);
                 },
             );
-            MotifGlobals {
-                field: Some(f),
-                aux: Vec::new(),
-                helper: Some(stash),
-                picker: None,
-            }
-            .with_picker(prev.expect("depth >= 1"))
+            MotifGlobals { field: Some(f), aux: Vec::new(), helper: Some(stash), picker: None }
+                .with_picker(prev.expect("depth >= 1"))
         }
         Motif::DiamondFalse { field, width } => {
             let f = b.global(field, Ty::Ref(lib.holder));

@@ -288,15 +288,7 @@ pub fn mega(n: usize) -> BenchApp {
 
 /// All seven apps in Table 1 order.
 pub fn all_apps() -> Vec<BenchApp> {
-    vec![
-        pulsepoint(),
-        standuptimer(),
-        droidlife(),
-        opensudoku(),
-        smspopup(),
-        ametro(),
-        k9mail(),
-    ]
+    vec![pulsepoint(), standuptimer(), droidlife(), opensudoku(), smspopup(), ametro(), k9mail()]
 }
 
 #[cfg(test)]
@@ -316,9 +308,7 @@ mod tests {
     #[test]
     fn ground_truth_is_recorded() {
         let k9 = k9mail();
-        assert!(k9
-            .true_leak_fields
-            .contains(&"K9.EmailAddressAdapter.sInstance".to_owned()));
+        assert!(k9.true_leak_fields.contains(&"K9.EmailAddressAdapter.sInstance".to_owned()));
         assert_eq!(droidlife().true_leak_fields.len(), 3);
         assert!(standuptimer().true_leak_fields.is_empty());
         assert_eq!(standuptimer().unrefutable_false_fields.len(), 1);

@@ -8,8 +8,8 @@ use apps::suite;
 fn suite_apps_roundtrip_through_text() {
     for app in suite::all_apps() {
         let text = tir::print_program(&app.program);
-        let reparsed = tir::parse(&text)
-            .unwrap_or_else(|e| panic!("{}: re-parse failed: {e}", app.name));
+        let reparsed =
+            tir::parse(&text).unwrap_or_else(|e| panic!("{}: re-parse failed: {e}", app.name));
         assert_eq!(
             app.program.num_cmds(),
             reparsed.num_cmds(),
@@ -27,11 +27,8 @@ fn suite_apps_run_in_the_interpreter() {
     use tir::interp::{Interp, Oracle};
     for app in suite::all_apps() {
         // All-maybe-taken oracle executes every handler.
-        let mut interp = Interp::new(
-            &app.program,
-            Oracle::scripted(vec![false; 64], vec![1; 16]),
-            1_000_000,
-        );
+        let mut interp =
+            Interp::new(&app.program, Oracle::scripted(vec![false; 64], vec![1; 16]), 1_000_000);
         let trace = interp.run().unwrap_or_else(|e| panic!("{}: {e}", app.name));
         assert!(trace.allocations > 0, "{}", app.name);
         // Real leaks must concretely materialize: at least one global edge.

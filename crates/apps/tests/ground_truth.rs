@@ -6,8 +6,8 @@ use android::{paper_annotations, ActivityLeakChecker};
 use apps::{builder, suite, BenchApp};
 
 fn field_outcomes(app: &BenchApp, annotated: bool) -> Vec<(String, bool)> {
-    let mut checker = ActivityLeakChecker::new(&app.program)
-        .with_policy(builder::container_policy(app));
+    let mut checker =
+        ActivityLeakChecker::new(&app.program).with_policy(builder::container_policy(app));
     if annotated {
         checker = checker.with_annotations(paper_annotations(&app.lib));
     }
@@ -125,9 +125,8 @@ fn k9mail_shape() {
     assert!(ann.len() < unann.len());
     // Annotated refutation rate must beat the un-annotated one (the
     // paper's 21% -> 63%).
-    let rate = |v: &[(String, bool)]| {
-        v.iter().filter(|(_, r)| *r).count() as f64 / v.len().max(1) as f64
-    };
+    let rate =
+        |v: &[(String, bool)]| v.iter().filter(|(_, r)| *r).count() as f64 / v.len().max(1) as f64;
     assert!(
         rate(&ann) >= rate(&unann),
         "annotated rate {:.2} < unannotated {:.2}",

@@ -1,18 +1,43 @@
-//! Criterion micro-benchmarks over the paper's experiments.
+//! Micro-benchmarks over the paper's experiments, run with a plain timing
+//! harness (`harness = false`) so the workspace needs no external bench
+//! framework.
 //!
-//! Each bench group corresponds to a table/figure; the `reproduce` binary
+//! Each group corresponds to a table/figure; the `reproduce` binary
 //! regenerates the full-format tables (with the paper's 10k budget), while
 //! these benches use small budgets so iteration counts stay reasonable.
+//!
+//! Run with `cargo bench -p bench`. Pass a substring argument to run only
+//! matching groups, e.g. `cargo bench -p bench -- loop`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
 
 use apps::figures;
 use pta::{ContextPolicy, HeapEdge, ModRef};
 use symex::{Engine, LoopMode, Representation, SymexConfig};
 
+/// Times `f` adaptively: warm up once, then repeat until ~0.2s of samples
+/// or 50 iterations, and report the per-iteration mean.
+fn time_case(group: &str, name: &str, filter: Option<&str>, mut f: impl FnMut()) {
+    if let Some(pat) = filter {
+        if !group.contains(pat) && !name.contains(pat) {
+            return;
+        }
+    }
+    f(); // warm-up
+    let budget = Duration::from_millis(200);
+    let t0 = Instant::now();
+    let mut iters = 0u32;
+    while t0.elapsed() < budget && iters < 50 {
+        f();
+        iters += 1;
+    }
+    let mean = t0.elapsed() / iters.max(1);
+    println!("{group}/{name:<28} {mean:>12.2?}  ({iters} iters)");
+}
+
 /// Figure 1/2: time to refute `arr0.contents -> act0` under each query
 /// representation (the Table 2 contrast on the running example).
-fn bench_fig1_representations(c: &mut Criterion) {
+fn bench_fig1_representations(filter: Option<&str>) {
     let program = figures::fig1();
     let pta = pta::analyze(&program, ContextPolicy::Insensitive);
     let modref = ModRef::compute(&program, &pta);
@@ -20,126 +45,95 @@ fn bench_fig1_representations(c: &mut Criterion) {
     let act0 = pta.locs().ids().find(|&l| pta.loc_name(&program, l) == "act0").unwrap();
     let edge = HeapEdge::Field { base: arr0, field: program.contents_field, target: act0 };
 
-    let mut group = c.benchmark_group("table2_fig1_refutation");
     for (name, repr) in [
         ("mixed", Representation::Mixed),
         ("fully_symbolic", Representation::FullySymbolic),
         ("fully_explicit", Representation::FullyExplicit),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &repr, |b, &repr| {
-            b.iter(|| {
-                let cfg = SymexConfig::default().with_representation(repr);
-                let mut engine = Engine::new(&program, &pta, &modref, cfg);
-                std::hint::black_box(engine.refute_edge(&edge))
-            });
+        time_case("table2_fig1_refutation", name, filter, || {
+            let cfg = SymexConfig::default().with_representation(repr);
+            let mut engine = Engine::new(&program, &pta, &modref, cfg);
+            std::hint::black_box(engine.refute_edge(&edge));
         });
     }
-    group.finish();
 }
 
 /// Hypothesis 2: the leak client on a small app with and without query
 /// simplification.
-fn bench_simplification(c: &mut Criterion) {
+fn bench_simplification(filter: Option<&str>) {
     let app = apps::suite::standuptimer();
-    let mut group = c.benchmark_group("hyp2_simplification_standuptimer");
-    group.sample_size(10);
     for (name, simplify) in [("with", true), ("without", false)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &simplify, |b, &on| {
-            b.iter(|| {
-                let cfg = SymexConfig::default().with_simplification(on).with_budget(2_000);
-                std::hint::black_box(bench::run_table1_row(&app, true, cfg))
-            });
+        time_case("hyp2_simplification_standuptimer", name, filter, || {
+            let cfg = SymexConfig::default().with_simplification(simplify).with_budget(2_000);
+            std::hint::black_box(bench::run_table1_row(&app, true, cfg));
         });
     }
-    group.finish();
 }
 
 /// Hypothesis 3: loop handling on the multi-container micro benchmark.
-fn bench_loop_modes(c: &mut Criterion) {
+fn bench_loop_modes(filter: Option<&str>) {
     let program = figures::multi_map();
     let pta = pta::analyze(&program, ContextPolicy::Insensitive);
     let modref = ModRef::compute(&program, &pta);
     let clean = pta.locs().ids().find(|&l| pta.loc_name(&program, l) == "clean0").unwrap();
-    let secret =
-        pta.locs().ids().find(|&l| pta.loc_name(&program, l) == "secret0").unwrap();
+    let secret = pta.locs().ids().find(|&l| pta.loc_name(&program, l) == "secret0").unwrap();
     let box_cls = program.class_by_name("Box").unwrap();
     let slot = program.resolve_field(box_cls, "slot").unwrap();
     let edge = HeapEdge::Field { base: clean, field: slot, target: secret };
 
-    let mut group = c.benchmark_group("hyp3_loop_modes");
     for (name, mode) in [("infer", LoopMode::Infer), ("drop_all", LoopMode::DropAll)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
-            b.iter(|| {
-                let cfg = SymexConfig::default().with_loop_mode(mode);
-                let mut engine = Engine::new(&program, &pta, &modref, cfg);
-                std::hint::black_box(engine.refute_edge(&edge))
-            });
+        time_case("hyp3_loop_modes", name, filter, || {
+            let cfg = SymexConfig::default().with_loop_mode(mode);
+            let mut engine = Engine::new(&program, &pta, &modref, cfg);
+            std::hint::black_box(engine.refute_edge(&edge));
         });
     }
-    group.finish();
 }
 
 /// Table 1 end-to-end on the two smallest apps (full pipeline timing).
-fn bench_table1_small_apps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_small_apps");
-    group.sample_size(10);
+fn bench_table1_small_apps(filter: Option<&str>) {
     for app in [apps::suite::droidlife(), apps::suite::smspopup()] {
         for annotated in [false, true] {
             let id = format!("{}_{}", app.name, if annotated { "annY" } else { "annN" });
-            group.bench_function(BenchmarkId::from_parameter(id), |b| {
-                b.iter(|| {
-                    let cfg = SymexConfig::default().with_budget(2_000);
-                    std::hint::black_box(bench::run_table1_row(&app, annotated, cfg))
-                });
+            time_case("table1_small_apps", &id, filter, || {
+                let cfg = SymexConfig::default().with_budget(2_000);
+                std::hint::black_box(bench::run_table1_row(&app, annotated, cfg));
             });
         }
     }
-    group.finish();
 }
 
 /// The up-front points-to analysis alone (the "8–46 seconds" phase of §4).
-fn bench_points_to(c: &mut Criterion) {
-    let mut group = c.benchmark_group("points_to_analysis");
+fn bench_points_to(filter: Option<&str>) {
     for app in apps::suite::all_apps() {
-        group.bench_function(BenchmarkId::from_parameter(app.name), |b| {
-            b.iter(|| {
-                std::hint::black_box(pta::analyze(
-                    &app.program,
-                    apps::builder::container_policy(&app),
-                ))
-            });
+        time_case("points_to_analysis", app.name, filter, || {
+            std::hint::black_box(pta::analyze(&app.program, apps::builder::container_policy(&app)));
         });
     }
-    group.finish();
 }
 
 /// Ablation: materialization bound 0/1/2 on the Figure 1 refutation (the
 /// paper reports bound 1 suffices; bound 0 must stay sound, just weaker).
-fn bench_materialization_bound(c: &mut Criterion) {
+fn bench_materialization_bound(filter: Option<&str>) {
     let program = figures::fig1();
     let pta = pta::analyze(&program, ContextPolicy::Insensitive);
     let modref = ModRef::compute(&program, &pta);
     let arr0 = pta.locs().ids().find(|&l| pta.loc_name(&program, l) == "arr0").unwrap();
     let act0 = pta.locs().ids().find(|&l| pta.loc_name(&program, l) == "act0").unwrap();
     let edge = HeapEdge::Field { base: arr0, field: program.contents_field, target: act0 };
-    let mut group = c.benchmark_group("ablation_materialization_bound");
     for bound in [0usize, 1, 2] {
-        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
-            b.iter(|| {
-                let cfg = SymexConfig { materialization_bound: bound, ..SymexConfig::default() };
-                let mut engine = Engine::new(&program, &pta, &modref, cfg);
-                std::hint::black_box(engine.refute_edge(&edge))
-            });
+        time_case("ablation_materialization_bound", &bound.to_string(), filter, || {
+            let cfg = SymexConfig { materialization_bound: bound, ..SymexConfig::default() };
+            let mut engine = Engine::new(&program, &pta, &modref, cfg);
+            std::hint::black_box(engine.refute_edge(&edge));
         });
     }
-    group.finish();
 }
 
 /// Ablation: context policies for the up-front analysis on the K9Mail
 /// analog (insensitive vs container-CFA vs 1-CFA vs full 1-object).
-fn bench_context_policies(c: &mut Criterion) {
+fn bench_context_policies(filter: Option<&str>) {
     let app = apps::suite::k9mail();
-    let mut group = c.benchmark_group("ablation_context_policy");
     let policies: Vec<(&str, ContextPolicy)> = vec![
         ("insensitive", ContextPolicy::Insensitive),
         ("container_cfa", apps::builder::container_policy(&app)),
@@ -147,38 +141,34 @@ fn bench_context_policies(c: &mut Criterion) {
         ("object_1", ContextPolicy::ObjectSensitive { max_depth: 1 }),
     ];
     for (name, policy) in policies {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| std::hint::black_box(pta::analyze(&app.program, policy.clone())));
+        time_case("ablation_context_policy", name, filter, || {
+            std::hint::black_box(pta::analyze(&app.program, policy.clone()));
         });
     }
-    group.finish();
 }
 
 /// Scalability: the annotated client end-to-end as the app grows.
-fn bench_scalability(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scalability_mega_app");
-    group.sample_size(10);
+fn bench_scalability(filter: Option<&str>) {
     for n in [4usize, 8, 16] {
         let app = apps::suite::mega(n);
-        group.bench_function(BenchmarkId::from_parameter(n), |b| {
-            b.iter(|| {
-                let cfg = SymexConfig::default().with_budget(2_000);
-                std::hint::black_box(bench::run_table1_row(&app, true, cfg))
-            });
+        time_case("scalability_mega_app", &n.to_string(), filter, || {
+            let cfg = SymexConfig::default().with_budget(2_000);
+            std::hint::black_box(bench::run_table1_row(&app, true, cfg));
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fig1_representations,
-    bench_simplification,
-    bench_loop_modes,
-    bench_table1_small_apps,
-    bench_points_to,
-    bench_materialization_bound,
-    bench_context_policies,
-    bench_scalability,
-);
-criterion_main!(benches);
+fn main() {
+    // Cargo's default bench runner passes --bench; ignore harness flags and
+    // treat the first non-flag argument as a name filter.
+    let filter_owned = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    let filter = filter_owned.as_deref();
+    bench_fig1_representations(filter);
+    bench_simplification(filter);
+    bench_loop_modes(filter);
+    bench_table1_small_apps(filter);
+    bench_points_to(filter);
+    bench_materialization_bound(filter);
+    bench_context_policies(filter);
+    bench_scalability(filter);
+}

@@ -77,8 +77,7 @@ fn table2(apps: &[BenchApp], budget: u64) {
     for app in apps {
         for annotated in [false, true] {
             let cfg = SymexConfig::default().with_budget(budget);
-            let cmp =
-                run_repr_comparison(app, annotated, Representation::FullySymbolic, cfg);
+            let cmp = run_repr_comparison(app, annotated, Representation::FullySymbolic, cfg);
             println!(
                 "{:<14} {:^4} {:>12.2} {:>12.2} {:>9.1}X {:>+8} {:>7}/{}",
                 cmp.name,
@@ -173,9 +172,7 @@ fn main() {
             loops();
         }
         other => {
-            eprintln!(
-                "unknown mode {other}; use table1|table2|simplification|stats|loops|all"
-            );
+            eprintln!("unknown mode {other}; use table1|table2|simplification|stats|loops|all");
             std::process::exit(2);
         }
     }

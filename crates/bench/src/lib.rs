@@ -47,6 +47,12 @@ pub struct Table1Row {
     pub edges_witnessed: usize,
     /// `TO`: edge timeouts.
     pub timeouts: usize,
+    /// Abort provenance (`timeouts` broken down by reason).
+    pub aborts: symex::AbortCounts,
+    /// Degraded refutation retries performed.
+    pub retries: usize,
+    /// Edges decided only by a coarsened retry.
+    pub degraded_decisions: usize,
     /// `T(s)`: symbolic-execution wall time.
     pub time: Duration,
 }
@@ -86,6 +92,9 @@ pub fn run_table1_row(app: &BenchApp, annotated: bool, config: SymexConfig) -> T
         edges_refuted: report.stats.edges_refuted,
         edges_witnessed: report.stats.edges_witnessed,
         timeouts: report.stats.edge_timeouts,
+        aborts: report.stats.aborts.clone(),
+        retries: report.stats.retries,
+        degraded_decisions: report.stats.degraded_decisions,
         time: report.stats.symex_time,
     }
 }
@@ -249,15 +258,10 @@ pub fn run_reason_breakdown(app: &BenchApp, annotated: bool) -> ReasonBreakdown 
     } else {
         pta::PtaOptions::default()
     };
-    let pta_result =
-        pta::analyze_with(&app.program, builder::container_policy(app), &opts);
+    let pta_result = pta::analyze_with(&app.program, builder::container_policy(app), &opts);
     let modref = pta::ModRef::compute(&app.program, &pta_result);
-    let mut client = android::LeakClient::new(
-        &app.program,
-        &pta_result,
-        &modref,
-        SymexConfig::default(),
-    );
+    let mut client =
+        android::LeakClient::new(&app.program, &pta_result, &modref, SymexConfig::default());
     let alarms = client.find_alarms();
     let mut stats = android::ClientStats::default();
     for alarm in alarms {
@@ -277,7 +281,7 @@ pub fn run_reason_breakdown(app: &BenchApp, annotated: bool) -> ReasonBreakdown 
 /// Formats a Table 1 row in the paper's column order.
 pub fn format_table1_row(r: &Table1Row) -> String {
     let pct = |n: usize, d: usize| (n * 100).checked_div(d).unwrap_or(0);
-    format!(
+    let base = format!(
         "{:<14} {:>6} {:^4} {:>6} {:>5} ({:>3}%) {:>5} ({:>3}%) {:>5} ({:>3}%) {:>5} {:>8} {:>7} {:>7} {:>3} {:>8.2}",
         r.name,
         r.size_cmds,
@@ -295,15 +299,38 @@ pub fn format_table1_row(r: &Table1Row) -> String {
         r.edges_witnessed,
         r.timeouts,
         r.time.as_secs_f64(),
-    )
+    );
+    // Abort/degradation provenance only when something actually aborted or
+    // was retried, so clean runs keep the paper's exact column layout.
+    if r.timeouts > 0 || r.retries > 0 {
+        format!(
+            "{base}  [aborts: {}; retries: {}; degraded: {}]",
+            r.aborts.describe(),
+            r.retries,
+            r.degraded_decisions
+        )
+    } else {
+        base
+    }
 }
 
 /// The Table 1 header matching [`format_table1_row`].
 pub fn table1_header() -> String {
     format!(
         "{:<14} {:>6} {:^4} {:>6} {:>12} {:>12} {:>12} {:>5} {:>8} {:>7} {:>7} {:>3} {:>8}",
-        "Benchmark", "Cmds", "Ann?", "Alrms", "RefA(%)", "TruA(%)", "FalA(%)", "Flds",
-        "RefFlds", "RefEdg", "WitEdg", "TO", "T(s)"
+        "Benchmark",
+        "Cmds",
+        "Ann?",
+        "Alrms",
+        "RefA(%)",
+        "TruA(%)",
+        "FalA(%)",
+        "Flds",
+        "RefFlds",
+        "RefEdg",
+        "WitEdg",
+        "TO",
+        "T(s)"
     )
 }
 
@@ -332,12 +359,8 @@ mod tests {
     #[test]
     fn repr_comparison_reports_slowdown() {
         let app = apps::suite::droidlife();
-        let cmp = run_repr_comparison(
-            &app,
-            false,
-            Representation::FullySymbolic,
-            SymexConfig::default(),
-        );
+        let cmp =
+            run_repr_comparison(&app, false, Representation::FullySymbolic, SymexConfig::default());
         // Precision must not differ on DroidLife (everything witnessed).
         assert_eq!(cmp.mixed_refuted, cmp.other_refuted);
         assert!(cmp.slowdown() > 0.0);

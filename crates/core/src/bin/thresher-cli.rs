@@ -100,11 +100,8 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    let thresher = Thresher::with_setup(
-        &program,
-        thresher::PointsToPolicy::Insensitive,
-        opts.config.clone(),
-    );
+    let thresher =
+        Thresher::with_setup(&program, thresher::PointsToPolicy::Insensitive, opts.config.clone());
 
     if opts.dump_pta {
         println!("== points-to graph ==");

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use pta::{BitSet, HeapEdge, HeapGraphView, LocId, ModRef, PtaResult};
-use symex::{Engine, SearchOutcome, SymexConfig};
+use symex::{AbortCounts, Engine, SearchOutcome, SymexConfig};
 use tir::{ClassId, GlobalId, Program};
 
 /// One escaping-object finding.
@@ -34,8 +34,14 @@ pub struct EscapeReport {
     pub refuted_pairs: usize,
     /// Edges refuted along the way.
     pub edges_refuted: usize,
-    /// Edge timeouts (treated as escapes, soundly).
+    /// Edge timeouts (treated as escapes, soundly): total aborted edges.
     pub edge_timeouts: usize,
+    /// Abort counts by reason (`edge_timeouts` broken down).
+    pub aborts: AbortCounts,
+    /// Extra (degraded) refutation attempts beyond the strict first pass.
+    pub retries: usize,
+    /// Edges decided only by a coarsened retry.
+    pub degraded_decisions: usize,
 }
 
 impl EscapeReport {
@@ -91,8 +97,7 @@ impl<'a> EscapeChecker<'a> {
     /// The general form: refute reachability from every global to every
     /// location in `targets`, sharing the edge cache across pairs.
     pub fn check_targets(&self, targets: BitSet) -> EscapeReport {
-        let mut engine =
-            Engine::new(self.program, self.pta, self.modref, self.config.clone());
+        let mut engine = Engine::new(self.program, self.pta, self.modref, self.config.clone());
         let mut view = HeapGraphView::new(self.pta);
         let mut cache: HashMap<HeapEdge, bool> = HashMap::new(); // edge -> refuted?
         let mut report = EscapeReport {
@@ -100,6 +105,9 @@ impl<'a> EscapeChecker<'a> {
             refuted_pairs: 0,
             edges_refuted: 0,
             edge_timeouts: 0,
+            aborts: AbortCounts::default(),
+            retries: 0,
+            degraded_decisions: 0,
         };
         for global in self.program.global_ids() {
             for t in targets.iter() {
@@ -114,10 +122,15 @@ impl<'a> EscapeChecker<'a> {
                         let refuted = match cache.get(&edge) {
                             Some(&r) => r,
                             None => {
-                                let out = engine.refute_edge(&edge);
-                                let r = out.is_refuted();
-                                if let SearchOutcome::Timeout = out {
+                                let decision = engine.refute_edge_resilient(&edge);
+                                report.retries += (decision.attempts - 1) as usize;
+                                if decision.degraded {
+                                    report.degraded_decisions += 1;
+                                }
+                                let r = decision.outcome.is_refuted();
+                                if let SearchOutcome::Aborted(reason) = &decision.outcome {
                                     report.edge_timeouts += 1;
+                                    report.aborts.record(reason);
                                 }
                                 cache.insert(edge, r);
                                 if r {

@@ -53,15 +53,18 @@
 pub mod clients;
 
 use pta::{BitSet, ContextPolicy, HeapEdge, HeapGraphView, LocId, ModRef, PtaOptions, PtaResult};
-use symex::{Engine, SearchOutcome};
+use symex::Engine;
 use tir::Program;
 
 pub use android::{
     paper_annotations, ActivityLeakChecker, Alarm, AlarmResult, Annotation, LeakReport,
 };
-pub use pta::ContextPolicy as PointsToPolicy;
 pub use clients::{Escape, EscapeChecker, EscapeReport};
-pub use symex::{LoopMode, Representation, SearchStats, SymexConfig, Witness};
+pub use pta::ContextPolicy as PointsToPolicy;
+pub use symex::{
+    AbortCounts, EdgeDecision, LoopMode, Representation, SearchOutcome, SearchStats, StopReason,
+    SymexConfig, Witness,
+};
 
 /// The outcome of a refined heap-reachability query.
 #[derive(Debug)]
@@ -107,11 +110,7 @@ impl<'p> Thresher<'p> {
 
     /// Analyzes `program` with an explicit points-to policy and engine
     /// configuration.
-    pub fn with_setup(
-        program: &'p Program,
-        policy: ContextPolicy,
-        config: SymexConfig,
-    ) -> Self {
+    pub fn with_setup(program: &'p Program, policy: ContextPolicy, config: SymexConfig) -> Self {
         Self::with_options(program, policy, config, &PtaOptions::default())
     }
 
@@ -192,11 +191,7 @@ impl<'p> Thresher<'p> {
     }
 
     /// [`Thresher::query_reachable`] with resolved ids.
-    pub fn query_reachable_loc(
-        &self,
-        global: tir::GlobalId,
-        target: LocId,
-    ) -> ReachabilityAnswer {
+    pub fn query_reachable_loc(&self, global: tir::GlobalId, target: LocId) -> ReachabilityAnswer {
         let mut engine = Engine::new(self.program, &self.pta, &self.modref, self.config.clone());
         let mut view = HeapGraphView::new(&self.pta);
         let targets = BitSet::singleton(target.index());
@@ -207,14 +202,15 @@ impl<'p> Thresher<'p> {
             };
             let mut witness = None;
             for &edge in &path {
-                match engine.refute_edge(&edge) {
+                match engine.refute_edge_resilient(&edge).outcome {
                     SearchOutcome::Refuted => {
                         view.delete(edge);
                         refuted_edges.push(edge);
                         continue 'paths;
                     }
                     SearchOutcome::Witnessed(w) => witness = Some(w),
-                    SearchOutcome::Timeout => {}
+                    // Aborts are soundly treated as not-refuted.
+                    SearchOutcome::Aborted(_) => {}
                 }
             }
             return ReachabilityAnswer::Reachable { path, witness };
@@ -230,12 +226,8 @@ impl<'p> Thresher<'p> {
     /// Runs the Android Activity-leak client over this program (requires
     /// the [`android::library`] model to be installed in the program).
     pub fn check_activity_leaks(&self) -> LeakReport {
-        let client = android::LeakClient::new(
-            self.program,
-            &self.pta,
-            &self.modref,
-            self.config.clone(),
-        );
+        let client =
+            android::LeakClient::new(self.program, &self.pta, &self.modref, self.config.clone());
         client.run()
     }
 }
@@ -291,12 +283,8 @@ entry main;
     fn refute_edge_exposes_stats() {
         let p = program();
         let t = Thresher::new(&p);
-        let box0 = t
-            .points_to()
-            .locs()
-            .ids()
-            .find(|&l| t.points_to().loc_name(&p, l) == "box0")
-            .unwrap();
+        let box0 =
+            t.points_to().locs().ids().find(|&l| t.points_to().loc_name(&p, l) == "box0").unwrap();
         let secret = t
             .points_to()
             .locs()

@@ -1,0 +1,170 @@
+//! # minicheck — a dependency-free randomized-testing harness
+//!
+//! A minimal, deterministic substitute for an external property-testing
+//! crate, vendored so the workspace builds and tests with **no network
+//! access**. It provides two things:
+//!
+//! 1. [`Rng`] — a SplitMix64 pseudo-random generator with convenience
+//!    samplers for the kinds of values the test suites need (bounded
+//!    integers, booleans, weighted choices).
+//! 2. [`run_cases`] — a case runner that executes a closure `n` times with
+//!    deterministically derived seeds and, on panic, reports the failing
+//!    case's seed so the exact input can be replayed with
+//!    [`run_seed`].
+//!
+//! Generation is intentionally plain: each test module writes its own
+//! `arb_*` functions taking `&mut Rng`. There is no shrinking — failing
+//! seeds are reported instead, and generators are kept small enough that
+//! raw counterexamples stay readable.
+
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// SplitMix64: a tiny, high-quality, splittable PRNG (public-domain
+/// algorithm by Sebastiano Vigna). Deterministic across platforms.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `usize` in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "Rng::below(0)");
+        // Modulo bias is irrelevant at test-suite bounds (all << 2^64).
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `i64` in `[lo, hi]` (inclusive).
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// A fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+
+    /// Picks an index by integer weight: `weights[i]` out of `sum(weights)`.
+    pub fn weighted(&mut self, weights: &[u64]) -> usize {
+        let total: u64 = weights.iter().sum();
+        assert!(total > 0, "Rng::weighted with zero total weight");
+        let mut roll = self.next_u64() % total;
+        for (i, &w) in weights.iter().enumerate() {
+            if roll < w {
+                return i;
+            }
+            roll -= w;
+        }
+        unreachable!()
+    }
+}
+
+/// Derives the seed for case `i` of a run with base seed `base`.
+fn case_seed(base: u64, i: u64) -> u64 {
+    // One SplitMix64 output step keyed by the case index: decorrelates
+    // neighbouring cases while staying reproducible.
+    Rng::new(base ^ i.wrapping_mul(0xA076_1D64_78BD_642F)).next_u64()
+}
+
+/// Runs `f` once per case with a deterministically derived [`Rng`].
+///
+/// On panic, prints the case index and seed (replayable via [`run_seed`])
+/// and re-raises, so the test fails with the original assertion message.
+pub fn run_cases<F: FnMut(&mut Rng)>(cases: u64, mut f: F) {
+    // A fixed base keeps CI deterministic; vary it locally by setting
+    // MINICHECK_SEED to explore fresh inputs.
+    let base = std::env::var("MINICHECK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x7468_7265_7368_6572); // "thresher"
+    for i in 0..cases {
+        let seed = case_seed(base, i);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = Rng::new(seed);
+            f(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "minicheck: case {i}/{cases} failed (seed {seed:#x}); \
+                 replay with minicheck::run_seed({seed:#x}, ...)"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Replays a single case by seed — for debugging a failure reported by
+/// [`run_cases`].
+pub fn run_seed<F: FnOnce(&mut Rng)>(seed: u64, f: F) {
+    let mut rng = Rng::new(seed);
+    f(&mut rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut rng = Rng::new(7);
+        for _ in 0..1000 {
+            let v = rng.usize_in(2, 5);
+            assert!((2..=5).contains(&v));
+            let w = rng.i64_in(-3, 3);
+            assert!((-3..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn weighted_hits_all_arms() {
+        let mut rng = Rng::new(9);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.weighted(&[4, 1, 1])] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn run_cases_executes_all() {
+        let mut n = 0;
+        run_cases(16, |_| n += 1);
+        assert_eq!(n, 16);
+    }
+}

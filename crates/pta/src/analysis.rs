@@ -10,8 +10,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use tir::{
-    AllocId, Callee, ClassId, CmdId, Command, FieldId, GlobalId, MethodId, Operand, Program,
-    VarId,
+    AllocId, Callee, ClassId, CmdId, Command, FieldId, GlobalId, MethodId, Operand, Program, VarId,
 };
 
 use crate::bitset::BitSet;
@@ -187,7 +186,9 @@ impl<'p> Solver<'p> {
     fn process_cmd(&mut self, inst: InstId, cmd_id: CmdId, cmd: &Command) {
         let contents = self.program.contents_field;
         match cmd {
-            Command::Assign { dst, src: Operand::Var(y) } if self.is_ref(*dst) && self.is_ref(*y) => {
+            Command::Assign { dst, src: Operand::Var(y) }
+                if self.is_ref(*dst) && self.is_ref(*y) =>
+            {
                 let from = self.var_node(inst, *y);
                 let to = self.var_node(inst, *dst);
                 self.add_copy(from, to);
@@ -355,10 +356,7 @@ impl<'p> Solver<'p> {
     /// True if writes into `l.f` are suppressed by an annotation.
     fn is_blocked_cell(&self, l: LocId, f: FieldId) -> bool {
         f == self.program.contents_field
-            && self
-                .options
-                .empty_contents_allocs
-                .contains(&self.locs.get(l).alloc)
+            && self.options.empty_contents_allocs.contains(&self.locs.get(l).alloc)
     }
 
     /// Context for a callee dispatched on receiver location `l` at call
@@ -491,13 +489,7 @@ impl<'p> Solver<'p> {
                     Command::WriteField { obj, field, src: Operand::Var(y) } => {
                         let base_pt = var_pt.get(obj).unwrap_or(&empty).clone();
                         let val_pt = var_pt.get(y).unwrap_or(&empty).clone();
-                        record_producers(
-                            &mut producers,
-                            &base_pt,
-                            *field,
-                            &val_pt,
-                            cmd_id,
-                        );
+                        record_producers(&mut producers, &base_pt, *field, &val_pt, cmd_id);
                     }
                     Command::WriteArray { arr, src: Operand::Var(y), .. } => {
                         let mut base_pt = var_pt.get(arr).unwrap_or(&empty).clone();
@@ -505,10 +497,7 @@ impl<'p> Solver<'p> {
                         let blocked: Vec<usize> = base_pt
                             .iter()
                             .filter(|&l| {
-                                self.is_blocked_cell(
-                                    LocId(l as u32),
-                                    self.program.contents_field,
-                                )
+                                self.is_blocked_cell(LocId(l as u32), self.program.contents_field)
                             })
                             .collect();
                         for l in blocked {
@@ -527,7 +516,10 @@ impl<'p> Solver<'p> {
                         let val_pt = var_pt.get(y).unwrap_or(&empty);
                         for t in val_pt.iter() {
                             producers
-                                .entry(HeapEdge::Global { global: *global, target: LocId(t as u32) })
+                                .entry(HeapEdge::Global {
+                                    global: *global,
+                                    target: LocId(t as u32),
+                                })
                                 .or_default()
                                 .push(cmd_id);
                         }
@@ -553,11 +545,8 @@ impl<'p> Solver<'p> {
             v.dedup();
         }
 
-        let loc_class: Vec<ClassId> = self
-            .locs
-            .ids()
-            .map(|l| self.locs.class_of(l, self.program))
-            .collect();
+        let loc_class: Vec<ClassId> =
+            self.locs.ids().map(|l| self.locs.class_of(l, self.program)).collect();
         let mut alloc_locs: HashMap<AllocId, BitSet> = HashMap::new();
         for l in self.locs.ids() {
             alloc_locs.entry(self.locs.get(l).alloc).or_default().insert(l.index());
@@ -588,11 +577,7 @@ fn record_producers(
     for b in base_pt.iter() {
         for t in val_pt.iter() {
             producers
-                .entry(HeapEdge::Field {
-                    base: LocId(b as u32),
-                    field,
-                    target: LocId(t as u32),
-                })
+                .entry(HeapEdge::Field { base: LocId(b as u32), field, target: LocId(t as u32) })
                 .or_default()
                 .push(cmd);
         }
@@ -678,8 +663,7 @@ fn main() {
 entry main;
 "#);
         let main = p.entry();
-        let got =
-            p.method(main).locals.iter().copied().find(|&v| p.var(v).name == "got").unwrap();
+        let got = p.method(main).locals.iter().copied().find(|&v| p.var(v).name == "got").unwrap();
         let names: Vec<String> =
             r.pt_var(got).iter().map(|l| r.loc_name(&p, LocId(l as u32))).collect();
         assert_eq!(names, vec!["obj0"]);
@@ -711,8 +695,7 @@ fn main() {
 entry main;
 "#);
         let main = p.entry();
-        let got =
-            p.method(main).locals.iter().copied().find(|&v| p.var(v).name == "got").unwrap();
+        let got = p.method(main).locals.iter().copied().find(|&v| p.var(v).name == "got").unwrap();
         let names: Vec<String> =
             r.pt_var(got).iter().map(|l| r.loc_name(&p, LocId(l as u32))).collect();
         // Only B::mk is a dispatch target since a only points to b0.
@@ -743,8 +726,7 @@ entry main;
             r.pt_global(g).iter().map(|l| r.loc_name(&p, LocId(l as u32))).collect();
         assert_eq!(names, vec!["stored"]);
         let main = p.entry();
-        let got =
-            p.method(main).locals.iter().copied().find(|&v| p.var(v).name == "got").unwrap();
+        let got = p.method(main).locals.iter().copied().find(|&v| p.var(v).name == "got").unwrap();
         assert_eq!(r.pt_var(got).len(), 1);
     }
 
@@ -798,9 +780,8 @@ entry main;
         // Insensitive: both reads see the same `inner` loc.
         let r0 = analyze(&p, ContextPolicy::Insensitive);
         let main = p.entry();
-        let var = |n: &str| {
-            p.method(main).locals.iter().copied().find(|&v| p.var(v).name == n).unwrap()
-        };
+        let var =
+            |n: &str| p.method(main).locals.iter().copied().find(|&v| p.var(v).name == n).unwrap();
         assert_eq!(r0.pt_var(var("a")), r0.pt_var(var("b")));
 
         // Container-sensitive on Holder: the allocations split.

@@ -111,10 +111,7 @@ impl BitSet {
 
     /// True if `self` and `other` share no elements.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(other.words.iter()).all(|(a, b)| a & b == 0)
     }
 
     /// True if every element of `self` is in `other`.

@@ -151,12 +151,8 @@ entry main;
         let r = analyze(&p, ContextPolicy::Insensitive);
         let view = HeapGraphView::new(&r);
         let root = p.global_by_name("ROOT").unwrap();
-        let leaf: BitSet = r
-            .locs()
-            .ids()
-            .filter(|&l| r.loc_name(&p, l) == "leaf0")
-            .map(|l| l.index())
-            .collect();
+        let leaf: BitSet =
+            r.locs().ids().filter(|&l| r.loc_name(&p, l) == "leaf0").map(|l| l.index()).collect();
         let path = view.find_path(&p, root, &leaf).expect("path");
         assert_eq!(path.len(), 2);
         assert!(matches!(path[0], HeapEdge::Global { .. }));
@@ -169,12 +165,8 @@ entry main;
         let r = analyze(&p, ContextPolicy::Insensitive);
         let mut view = HeapGraphView::new(&r);
         let root = p.global_by_name("ROOT").unwrap();
-        let leaf: BitSet = r
-            .locs()
-            .ids()
-            .filter(|&l| r.loc_name(&p, l) == "leaf0")
-            .map(|l| l.index())
-            .collect();
+        let leaf: BitSet =
+            r.locs().ids().filter(|&l| r.loc_name(&p, l) == "leaf0").map(|l| l.index()).collect();
         let path = view.find_path(&p, root, &leaf).expect("path");
         view.delete(path[1]);
         assert!(!view.is_reachable(&p, root, &leaf));
@@ -203,12 +195,8 @@ entry main;
         let r = analyze(&p, ContextPolicy::Insensitive);
         let mut view = HeapGraphView::new(&r);
         let root = p.global_by_name("ROOT").unwrap();
-        let leaf: BitSet = r
-            .locs()
-            .ids()
-            .filter(|&l| r.loc_name(&p, l) == "leaf0")
-            .map(|l| l.index())
-            .collect();
+        let leaf: BitSet =
+            r.locs().ids().filter(|&l| r.loc_name(&p, l) == "leaf0").map(|l| l.index()).collect();
         let path1 = view.find_path(&p, root, &leaf).expect("path 1");
         view.delete(path1[1]);
         let path2 = view.find_path(&p, root, &leaf).expect("path 2");

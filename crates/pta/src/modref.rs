@@ -111,10 +111,8 @@ impl ModRef {
                         changed |= mr.ref_fields[m.index()].union_with(&rf);
                         changed |= mr.ref_globals[m.index()].union_with(&rg);
                         for (f, locs) in cc {
-                            changed |= mr.mod_cells[m.index()]
-                                .entry(f)
-                                .or_default()
-                                .union_with(&locs);
+                            changed |=
+                                mr.mod_cells[m.index()].entry(f).or_default().union_with(&locs);
                         }
                         if al && !mr.allocates[m.index()] {
                             mr.allocates[m.index()] = true;
@@ -140,9 +138,7 @@ impl ModRef {
     /// True if `m` may write `field` of an object abstracted by a location
     /// in `locs`.
     pub fn may_write_cell(&self, m: MethodId, field: FieldId, locs: &BitSet) -> bool {
-        self.mod_cell_locs(m, field)
-            .map(|w| !w.is_disjoint(locs))
-            .unwrap_or(false)
+        self.mod_cell_locs(m, field).map(|w| !w.is_disjoint(locs)).unwrap_or(false)
     }
 
     /// Suppress the `field`-cell summary locations in `blocked` for every

@@ -40,11 +40,9 @@ impl HeapEdge {
     /// Renders the edge with human-readable location names.
     pub fn describe(&self, program: &Program, result: &PtaResult) -> String {
         match self {
-            HeapEdge::Global { global, target } => format!(
-                "{} => {}",
-                program.global(*global).name,
-                result.loc_name(program, *target)
-            ),
+            HeapEdge::Global { global, target } => {
+                format!("{} => {}", program.global(*global).name, result.loc_name(program, *target))
+            }
             HeapEdge::Field { base, field, target } => format!(
                 "{}.{} => {}",
                 result.loc_name(program, *base),
@@ -232,11 +230,7 @@ impl PtaResult {
             if self.pt_global(g).is_empty() {
                 continue;
             }
-            let _ = writeln!(
-                out,
-                "  \"${}\" [shape=box];",
-                program.global(g).name
-            );
+            let _ = writeln!(out, "  \"${}\" [shape=box];", program.global(g).name);
             for t in self.pt_global(g).iter() {
                 let _ = writeln!(
                     out,

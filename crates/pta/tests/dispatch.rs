@@ -36,11 +36,8 @@ entry main;
     .expect("parse");
     let r = analyze(&p, ContextPolicy::Insensitive);
     let g = p.global_by_name("OUT").unwrap();
-    let names: Vec<String> = r
-        .pt_global(g)
-        .iter()
-        .map(|l| r.loc_name(&p, pta::LocId(l as u32)))
-        .collect();
+    let names: Vec<String> =
+        r.pt_global(g).iter().map(|l| r.loc_name(&p, pta::LocId(l as u32))).collect();
     // B inherits A::mk; C overrides: both results flow.
     assert!(names.contains(&"fromA".to_owned()), "{names:?}");
     assert!(names.contains(&"fromC".to_owned()), "{names:?}");
@@ -233,11 +230,8 @@ entry main;
     assert_eq!(insens.pt_global(g).len(), 2);
     // Object sensitivity splits the Inner allocations per Outer receiver,
     // so a.inner.item is just pay1.
-    let names: Vec<String> = objsens
-        .pt_global(g)
-        .iter()
-        .map(|l| objsens.loc_name(&p, pta::LocId(l as u32)))
-        .collect();
+    let names: Vec<String> =
+        objsens.pt_global(g).iter().map(|l| objsens.loc_name(&p, pta::LocId(l as u32))).collect();
     assert_eq!(names, vec!["pay1"], "{}", objsens.dump(&p));
 }
 

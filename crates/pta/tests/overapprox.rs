@@ -2,7 +2,7 @@
 //! a concrete execution of a random straight-line program appears in the
 //! flow-insensitive points-to graph.
 
-use proptest::prelude::*;
+use minicheck::{run_cases, Rng};
 use std::collections::HashMap;
 
 use pta::{BitSet, ContextPolicy};
@@ -22,18 +22,18 @@ const NV: usize = 4;
 const NF: usize = 2;
 const NG: usize = 2;
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0..NV).prop_map(Op::New),
-            ((0..NV), (0..NV)).prop_map(|(a, b)| Op::Copy(a, b)),
-            ((0..NV), (0..NF), (0..NV)).prop_map(|(a, f, b)| Op::Write(a, f, b)),
-            ((0..NV), (0..NV), (0..NF)).prop_map(|(a, b, f)| Op::Read(a, b, f)),
-            ((0..NG), (0..NV)).prop_map(|(g, a)| Op::GWrite(g, a)),
-            ((0..NV), (0..NG)).prop_map(|(a, g)| Op::GRead(a, g)),
-        ],
-        1..20,
-    )
+fn arb_ops(rng: &mut Rng) -> Vec<Op> {
+    let len = rng.usize_in(1, 19);
+    (0..len)
+        .map(|_| match rng.below(6) {
+            0 => Op::New(rng.below(NV)),
+            1 => Op::Copy(rng.below(NV), rng.below(NV)),
+            2 => Op::Write(rng.below(NV), rng.below(NF), rng.below(NV)),
+            3 => Op::Read(rng.below(NV), rng.below(NV), rng.below(NF)),
+            4 => Op::GWrite(rng.below(NG), rng.below(NV)),
+            _ => Op::GRead(rng.below(NV), rng.below(NG)),
+        })
+        .collect()
 }
 
 struct Built {
@@ -53,8 +53,7 @@ fn build(ops: &[Op]) -> Built {
     let f2 = fields.clone();
     let g2 = globals.clone();
     let main = b.method(None, "main", &[], None, |mb| {
-        let vars: Vec<VarId> =
-            (0..NV).map(|i| mb.var(&format!("v{i}"), Ty::Ref(cell))).collect();
+        let vars: Vec<VarId> = (0..NV).map(|i| mb.var(&format!("v{i}"), Ty::Ref(cell))).collect();
         for (i, &v) in vars.iter().enumerate() {
             mb.new_obj(v, cell, &format!("init{i}"));
         }
@@ -90,10 +89,7 @@ fn build(ops: &[Op]) -> Built {
 type ConcreteEdges = (Vec<(String, FieldId, String)>, Vec<(GlobalId, String)>);
 
 /// Concrete execution collecting the produced edges.
-fn run_concrete(
-    built: &Built,
-    ops: &[Op],
-) -> ConcreteEdges {
+fn run_concrete(built: &Built, ops: &[Op]) -> ConcreteEdges {
     // Objects are numbered in allocation order; names follow the builder.
     let mut names: Vec<String> = Vec::new();
     let mut vars: Vec<Option<usize>> = vec![None; NV];
@@ -117,18 +113,13 @@ fn run_concrete(
                 if let Some(o) = vars[*a] {
                     heap.insert((o, built.fields[*f]), vars[*b]);
                     if let Some(val) = vars[*b] {
-                        field_edges.push((
-                            names[o].clone(),
-                            built.fields[*f],
-                            names[val].clone(),
-                        ));
+                        field_edges.push((names[o].clone(), built.fields[*f], names[val].clone()));
                     }
                 }
             }
             Op::Read(a, b, f) => {
-                vars[*a] = vars[*b]
-                    .and_then(|o| heap.get(&(o, built.fields[*f])).copied())
-                    .flatten();
+                vars[*a] =
+                    vars[*b].and_then(|o| heap.get(&(o, built.fields[*f])).copied()).flatten();
             }
             Op::GWrite(g, a) => {
                 globals[*g] = vars[*a];
@@ -142,11 +133,10 @@ fn run_concrete(
     (field_edges, global_edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn pta_over_approximates_concrete_edges(ops in arb_ops()) {
+#[test]
+fn pta_over_approximates_concrete_edges() {
+    run_cases(256, |rng| {
+        let ops = arb_ops(rng);
         let built = build(&ops);
         let (field_edges, global_edges) = run_concrete(&built, &ops);
         let r = pta::analyze(&built.program, ContextPolicy::Insensitive);
@@ -159,45 +149,38 @@ proptest! {
         for (owner, f, value) in &field_edges {
             let lo = loc_by_name(owner);
             let lv = loc_by_name(value);
-            prop_assert!(
+            assert!(
                 r.pt_field(lo, *f).contains(lv.index()),
-                "missing pta edge {owner}.{:?} -> {value}\n{}",
-                f,
+                "missing pta edge {owner}.{f:?} -> {value}\n{}",
                 r.dump(&built.program)
             );
             // The producer map must name at least one statement for the
             // edge (the witness search needs a starting point).
             let edge = pta::HeapEdge::Field { base: lo, field: *f, target: lv };
-            prop_assert!(!r.producers(&edge).is_empty(), "no producers for real edge");
+            assert!(!r.producers(&edge).is_empty(), "no producers for real edge");
         }
         for (g, value) in &global_edges {
             let lv = loc_by_name(value);
-            prop_assert!(
-                r.pt_global(*g).contains(lv.index()),
-                "missing pta global edge -> {value}"
-            );
+            assert!(r.pt_global(*g).contains(lv.index()), "missing pta global edge -> {value}");
         }
-    }
+    });
+}
 
-    /// Context-sensitive runs only ever shrink points-to sets relative to
-    /// the insensitive baseline (for this call-free fragment they must be
-    /// identical; the property guards the conflation code path).
-    #[test]
-    fn object_sensitivity_never_adds_edges(ops in arb_ops()) {
+/// Context-sensitive runs only ever shrink points-to sets relative to
+/// the insensitive baseline (for this call-free fragment they must be
+/// identical; the property guards the conflation code path).
+#[test]
+fn object_sensitivity_never_adds_edges() {
+    run_cases(256, |rng| {
+        let ops = arb_ops(rng);
         let built = build(&ops);
         let base = pta::analyze(&built.program, ContextPolicy::Insensitive);
-        let obj = pta::analyze(
-            &built.program,
-            ContextPolicy::ObjectSensitive { max_depth: 2 },
-        );
+        let obj = pta::analyze(&built.program, ContextPolicy::ObjectSensitive { max_depth: 2 });
         for g in built.program.global_ids() {
             let base_names: BitSet = base.pt_global(g).clone();
             let obj_names: BitSet = obj.pt_global(g).clone();
             // Straight-line main has no receivers, so locations coincide.
-            prop_assert_eq!(
-                base_names.iter().count(),
-                obj_names.iter().count()
-            );
+            assert_eq!(base_names.iter().count(), obj_names.iter().count());
         }
-    }
+    });
 }

@@ -118,6 +118,37 @@ pub struct ConstraintSet {
     atoms: Vec<Atom>,
 }
 
+/// Why the decision procedure could not produce an answer. Callers must
+/// treat an error conservatively: assume satisfiable when checking
+/// satisfiability (keeps refutations sound) and assume non-entailment when
+/// checking implication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolverError {
+    /// Offset normalization overflowed `i64` (e.g. `v + k` with `k` near
+    /// the representation boundary).
+    Overflow,
+    /// The constraint set exceeds the size the procedure is willing to
+    /// decide ([`MAX_ATOMS`]).
+    TooLarge,
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::Overflow => write!(f, "arithmetic overflow during normalization"),
+            SolverError::TooLarge => write!(f, "constraint set exceeds solver size cap"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// Hard cap on the number of atoms [`ConstraintSet::try_is_sat`] will
+/// decide; larger sets return [`SolverError::TooLarge`]. The engine caps
+/// path constraints at a handful of atoms (§4), so this bounds only
+/// adversarial inputs.
+pub const MAX_ATOMS: usize = 4096;
+
 /// Node in the difference graph: a symbolic value or the distinguished
 /// zero node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -174,9 +205,20 @@ impl ConstraintSet {
         self.atoms.retain(keep);
     }
 
-    /// Decides satisfiability over the integers. See the
-    /// [crate docs](self) for the completeness guarantee.
+    /// Decides satisfiability over the integers, treating solver failure
+    /// as satisfiable (the conservative direction: refutations stay sound).
+    /// See the [crate docs](self) for the completeness guarantee.
     pub fn is_sat(&self) -> bool {
+        self.try_is_sat().unwrap_or(true)
+    }
+
+    /// Decides satisfiability over the integers, reporting failures (offset
+    /// overflow, oversized inputs) instead of panicking or silently
+    /// wrapping. See the [crate docs](self) for the completeness guarantee.
+    pub fn try_is_sat(&self) -> Result<bool, SolverError> {
+        if self.atoms.len() > MAX_ATOMS {
+            return Err(SolverError::TooLarge);
+        }
         // Collect difference edges `a - b <= c` and disequality pairs.
         let mut nodes: Vec<Node> = vec![Node::Zero];
         let node_of = |n: Node, nodes: &mut Vec<Node>| -> usize {
@@ -197,7 +239,7 @@ impl ConstraintSet {
                 // Both sides over the same node: decide directly.
                 // lhs - rhs = ca - cb.
                 if !atom.op.eval(ca, cb) {
-                    return false;
+                    return Ok(false);
                 }
                 continue;
             }
@@ -205,15 +247,18 @@ impl ConstraintSet {
             let bi = node_of(b, &mut nodes);
             // value(a) + ca  op  value(b) + cb
             // i.e. a - b  op  cb - ca
-            let d = cb - ca;
+            let d = cb.checked_sub(ca).ok_or(SolverError::Overflow)?;
+            let neg_d = d.checked_neg().ok_or(SolverError::Overflow)?;
             match atom.op {
-                CmpOp::Lt => edges.push((bi, ai, d - 1)),
+                CmpOp::Lt => edges.push((bi, ai, d.checked_sub(1).ok_or(SolverError::Overflow)?)),
                 CmpOp::Le => edges.push((bi, ai, d)),
-                CmpOp::Gt => edges.push((ai, bi, -d - 1)),
-                CmpOp::Ge => edges.push((ai, bi, -d)),
+                CmpOp::Gt => {
+                    edges.push((ai, bi, neg_d.checked_sub(1).ok_or(SolverError::Overflow)?))
+                }
+                CmpOp::Ge => edges.push((ai, bi, neg_d)),
                 CmpOp::Eq => {
                     edges.push((bi, ai, d));
-                    edges.push((ai, bi, -d));
+                    edges.push((ai, bi, neg_d));
                 }
                 CmpOp::Ne => diseqs.push(((a, ca), (b, cb))),
             }
@@ -235,12 +280,12 @@ impl ConstraintSet {
                 break;
             }
             if round + 1 == n && changed {
-                return false; // negative cycle: the difference system is unsat
+                return Ok(false); // negative cycle: the difference system is unsat
             }
         }
 
         if diseqs.is_empty() {
-            return true;
+            return Ok(true);
         }
 
         // All-pairs shortest paths (Floyd-Warshall) to detect forced
@@ -276,19 +321,26 @@ impl ConstraintSet {
             // lhs = rhs forced iff a - b forced to equal cb - ca:
             //   d[bi][ai] <= cb - ca  (a - b <= cb - ca)
             //   d[ai][bi] <= ca - cb  (b - a <= ca - cb)
-            let delta = cb - ca;
-            if d[bi][ai] <= delta && d[ai][bi] <= -delta {
-                return false;
+            let delta = cb.checked_sub(ca).ok_or(SolverError::Overflow)?;
+            let neg_delta = delta.checked_neg().ok_or(SolverError::Overflow)?;
+            if d[bi][ai] <= delta && d[ai][bi] <= neg_delta {
+                return Ok(false);
             }
         }
-        true
+        Ok(true)
     }
 
     /// True if this conjunction entails `atom` (refutation-sound: may
-    /// return false negatives, never false positives).
+    /// return false negatives, never false positives). Solver failure is
+    /// treated as non-entailment.
     pub fn implies(&self, atom: &Atom) -> bool {
+        self.try_implies(atom).unwrap_or(false)
+    }
+
+    /// Entailment check reporting solver failures instead of panicking.
+    pub fn try_implies(&self, atom: &Atom) -> Result<bool, SolverError> {
         if self.atoms.contains(atom) {
-            return true;
+            return Ok(true);
         }
         let mut with_neg = self.clone();
         match atom.op {
@@ -297,11 +349,11 @@ impl ConstraintSet {
             CmpOp::Eq => {
                 let le = Atom::new(CmpOp::Le, atom.lhs, atom.rhs);
                 let ge = Atom::new(CmpOp::Ge, atom.lhs, atom.rhs);
-                return self.implies(&le) && self.implies(&ge);
+                return Ok(self.try_implies(&le)? && self.try_implies(&ge)?);
             }
             _ => with_neg.add_atom(atom.negate()),
         }
-        !with_neg.is_sat()
+        Ok(!with_neg.try_is_sat()?)
     }
 
     /// True if every atom of `other` is entailed by `self`.
@@ -445,6 +497,34 @@ mod tests {
         cs.add(CmpOp::Lt, s(1), s(2));
         cs.add(CmpOp::Lt, s(2), s(0));
         assert!(!cs.is_sat());
+    }
+
+    #[test]
+    fn overflow_reports_error_not_panic() {
+        // cb - ca overflows i64 during normalization.
+        let mut cs = ConstraintSet::new();
+        cs.add(CmpOp::Lt, Term::sym_plus(0, i64::MIN), Term::sym_plus(1, i64::MAX));
+        assert_eq!(cs.try_is_sat(), Err(SolverError::Overflow));
+        // Conservative public answers: sat (not a refutation), no entailment.
+        assert!(cs.is_sat());
+        assert!(!cs.implies(&Atom::new(CmpOp::Lt, s(0), s(1))));
+    }
+
+    #[test]
+    fn extreme_but_valid_offsets_still_decide() {
+        let mut cs = ConstraintSet::new();
+        cs.add(CmpOp::Eq, s(0), Term::sym_plus(1, i64::MAX - 1));
+        assert_eq!(cs.try_is_sat(), Ok(true));
+    }
+
+    #[test]
+    fn oversized_set_reports_too_large() {
+        let mut cs = ConstraintSet::new();
+        for i in 0..(MAX_ATOMS as i64 + 1) {
+            cs.add(CmpOp::Le, s(0), c(i));
+        }
+        assert_eq!(cs.try_is_sat(), Err(SolverError::TooLarge));
+        assert!(cs.is_sat());
     }
 
     #[test]

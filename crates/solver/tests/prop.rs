@@ -1,34 +1,34 @@
 //! Differential property tests: the decision procedure against brute-force
 //! enumeration over a small integer domain.
 
-use proptest::prelude::*;
+use minicheck::{run_cases, Rng};
 use solver::{Atom, ConstraintSet, Term};
 use tir::CmpOp;
 
 const NSYMS: u32 = 4;
 const DOMAIN: std::ops::RangeInclusive<i64> = -3..=3;
 
-fn arb_term() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        (0..NSYMS).prop_map(Term::sym),
-        (-3i64..=3).prop_map(Term::int),
-        ((0..NSYMS), -2i64..=2).prop_map(|(s, k)| Term::sym_plus(s, k)),
-    ]
+fn arb_term(rng: &mut Rng) -> Term {
+    match rng.below(3) {
+        0 => Term::sym(rng.usize_in(0, NSYMS as usize - 1) as u32),
+        1 => Term::int(rng.i64_in(-3, 3)),
+        _ => Term::sym_plus(rng.usize_in(0, NSYMS as usize - 1) as u32, rng.i64_in(-2, 2)),
+    }
 }
 
-fn arb_op() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
+const OPS: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+
+fn arb_op(rng: &mut Rng) -> CmpOp {
+    OPS[rng.below(OPS.len())]
 }
 
-fn arb_atom() -> impl Strategy<Value = Atom> {
-    (arb_op(), arb_term(), arb_term()).prop_map(|(op, l, r)| Atom::new(op, l, r))
+fn arb_atom(rng: &mut Rng) -> Atom {
+    Atom::new(arb_op(rng), arb_term(rng), arb_term(rng))
+}
+
+fn arb_atoms(rng: &mut Rng, max_len: usize) -> Vec<Atom> {
+    let n = rng.below(max_len);
+    (0..n).map(|_| arb_atom(rng)).collect()
 }
 
 fn eval_term(t: Term, env: &[i64]) -> i64 {
@@ -52,11 +52,7 @@ fn brute_sat_in(cs: &ConstraintSet, domain: std::ops::RangeInclusive<i64>) -> bo
     let mut idx = vec![0usize; n];
     loop {
         let env: Vec<i64> = idx.iter().map(|&i| vals[i]).collect();
-        if cs
-            .atoms()
-            .iter()
-            .all(|a| a.op.eval(eval_term(a.lhs, &env), eval_term(a.rhs, &env)))
-        {
+        if cs.atoms().iter().all(|a| a.op.eval(eval_term(a.lhs, &env), eval_term(a.rhs, &env))) {
             return true;
         }
         // increment mixed-radix counter
@@ -75,47 +71,55 @@ fn brute_sat_in(cs: &ConstraintSet, domain: std::ops::RangeInclusive<i64>) -> bo
     }
 }
 
-proptest! {
-    /// Refutation soundness: if the solver says unsat, brute force must find
-    /// no model (in any domain — a brute-force model disproves unsat).
-    #[test]
-    fn unsat_is_sound(atoms in proptest::collection::vec(arb_atom(), 0..6)) {
-        let cs: ConstraintSet = atoms.into_iter().collect();
+/// Refutation soundness: if the solver says unsat, brute force must find
+/// no model (in any domain — a brute-force model disproves unsat).
+#[test]
+fn unsat_is_sound() {
+    run_cases(256, |rng| {
+        let cs: ConstraintSet = arb_atoms(rng, 6).into_iter().collect();
         if !cs.is_sat() {
-            prop_assert!(!brute_sat(&cs), "solver reported unsat but a model exists: {cs:?}");
+            assert!(!brute_sat(&cs), "solver reported unsat but a model exists: {cs:?}");
         }
-    }
+    });
+}
 
-    /// Completeness on the pure difference fragment (no `!=`): solver and
-    /// brute force agree whenever brute force finds a model, and whenever the
-    /// solver reports sat the constraint graph genuinely has no negative
-    /// cycle — cross-checked by brute force over a widened domain being
-    /// consistent for small offsets.
-    #[test]
-    fn sat_complete_without_ne(
-        atoms in proptest::collection::vec(
-            (prop_oneof![Just(CmpOp::Eq), Just(CmpOp::Lt), Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge)],
-             (0..NSYMS).prop_map(Term::sym),
-             prop_oneof![(0..NSYMS).prop_map(Term::sym), (-2i64..=2).prop_map(Term::int)])
-                .prop_map(|(op, l, r)| Atom::new(op, l, r)),
-            0..5,
-        )
-    ) {
+/// Completeness on the pure difference fragment (no `!=`): solver and
+/// brute force agree whenever brute force finds a model, and whenever the
+/// solver reports sat the constraint graph genuinely has no negative
+/// cycle — cross-checked by brute force over a widened domain being
+/// consistent for small offsets.
+#[test]
+fn sat_complete_without_ne() {
+    const NO_NE: [CmpOp; 5] = [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+    run_cases(256, |rng| {
+        let n = rng.below(5);
+        let atoms: Vec<Atom> = (0..n)
+            .map(|_| {
+                let op = NO_NE[rng.below(NO_NE.len())];
+                let lhs = Term::sym(rng.usize_in(0, NSYMS as usize - 1) as u32);
+                let rhs = if rng.bool() {
+                    Term::sym(rng.usize_in(0, NSYMS as usize - 1) as u32)
+                } else {
+                    Term::int(rng.i64_in(-2, 2))
+                };
+                Atom::new(op, lhs, rhs)
+            })
+            .collect();
         let cs: ConstraintSet = atoms.into_iter().collect();
         // With at most 4 syms, constants in [-2, 2], and unit-strict
         // inequalities, any satisfiable system has a model within [-8, 8]
         // (shortest-path distances are bounded by 4 unit edges + offset 2,
         // anchored at a constant of magnitude <= 2).
-        prop_assert_eq!(cs.is_sat(), brute_sat_in(&cs, -8..=8), "mismatch on {:?}", cs);
-    }
+        assert_eq!(cs.is_sat(), brute_sat_in(&cs, -8..=8), "mismatch on {cs:?}");
+    });
+}
 
-    /// implies() must agree with semantic entailment when it answers true.
-    #[test]
-    fn implies_is_sound(
-        atoms in proptest::collection::vec(arb_atom(), 0..4),
-        goal in arb_atom(),
-    ) {
-        let cs: ConstraintSet = atoms.into_iter().collect();
+/// implies() must agree with semantic entailment when it answers true.
+#[test]
+fn implies_is_sound() {
+    run_cases(256, |rng| {
+        let cs: ConstraintSet = arb_atoms(rng, 4).into_iter().collect();
+        let goal = arb_atom(rng);
         if cs.implies(&goal) {
             // Every model of cs within the domain must satisfy goal.
             let vals: Vec<i64> = DOMAIN.collect();
@@ -128,7 +132,7 @@ proptest! {
                     .iter()
                     .all(|a| a.op.eval(eval_term(a.lhs, &env), eval_term(a.rhs, &env)));
                 if holds_cs {
-                    prop_assert!(
+                    assert!(
                         goal.op.eval(eval_term(goal.lhs, &env), eval_term(goal.rhs, &env)),
                         "cs {cs:?} claims to imply {goal:?} but {env:?} is a countermodel"
                     );
@@ -136,7 +140,7 @@ proptest! {
                 let mut i = 0;
                 loop {
                     if i == n {
-                        return Ok(());
+                        return;
                     }
                     idx[i] += 1;
                     if idx[i] < vals.len() {
@@ -147,5 +151,5 @@ proptest! {
                 }
             }
         }
-    }
+    });
 }

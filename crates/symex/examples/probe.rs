@@ -9,7 +9,8 @@ fn main() {
     let modref = ModRef::compute(&program, &pta);
     let arr0 = pta.locs().ids().find(|&l| pta.loc_name(&program, l) == "arr0").unwrap();
     let target_name = std::env::args().nth(2).unwrap_or_else(|| "act0".into());
-    let act0 = pta.locs().ids().find(|&l| pta.loc_name(&program, l) == target_name.as_str()).unwrap();
+    let act0 =
+        pta.locs().ids().find(|&l| pta.loc_name(&program, l) == target_name.as_str()).unwrap();
     let edge = HeapEdge::Field { base: arr0, field: program.contents_field, target: act0 };
     let budget: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(500);
     let cfg = SymexConfig { budget, ..SymexConfig::default() };
@@ -22,7 +23,11 @@ fn main() {
     println!(
         "budget={} outcome={:?} time={:?} paths={} cmds={} subsumed={} loops={} refs={}",
         budget,
-        match out { symex::SearchOutcome::Refuted => "refuted", symex::SearchOutcome::Witnessed(_) => "witnessed", symex::SearchOutcome::Timeout => "timeout" },
+        match out {
+            symex::SearchOutcome::Refuted => "refuted",
+            symex::SearchOutcome::Witnessed(_) => "witnessed",
+            symex::SearchOutcome::Aborted(_) => "aborted",
+        },
         t.elapsed(),
         engine.stats.path_programs,
         engine.stats.cmds_executed,

@@ -1,4 +1,8 @@
-//! Engine configuration, including the ablation switches evaluated in §4.
+//! Engine configuration, including the ablation switches evaluated in §4
+//! and the robustness knobs (deadlines, degradation ladder, fault
+//! injection).
+
+use std::time::Duration;
 
 /// Query representation (§2.2, Table 2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,6 +65,37 @@ pub struct SymexConfig {
     /// dropped — a sound weakening bounding per-transfer cost on deep
     /// searches.
     pub max_heap_cells: usize,
+    /// Cooperative wall-clock deadline per refuted edge. Checked amortized
+    /// inside the engine's budget charging, so hot loops pay ~zero cost.
+    /// `None` (the default) disables the check.
+    pub edge_deadline: Option<Duration>,
+    /// Cooperative wall-clock deadline for everything one engine does
+    /// across all its edges (measured from engine construction). Edges
+    /// started after it expires abort immediately with
+    /// [`StopReason::WallClock`].
+    ///
+    /// [`StopReason::WallClock`]: crate::StopReason::WallClock
+    pub total_deadline: Option<Duration>,
+    /// Enables the graceful degradation ladder in
+    /// [`Engine::refute_edge_resilient`]: an edge that aborts under this
+    /// configuration is retried under progressively coarser (still sound)
+    /// configurations. On by default; coarse retries may only *add*
+    /// refutations, never remove them.
+    ///
+    /// [`Engine::refute_edge_resilient`]: crate::Engine::refute_edge_resilient
+    pub degrade: bool,
+    /// When set, a query exceeding [`SymexConfig::max_heap_cells`] aborts
+    /// the search with [`StopReason::HeapCap`] instead of being truncated.
+    /// Off by default (truncation is the sound, paper-faithful behavior);
+    /// useful to detect workloads that rely on the soft cap.
+    ///
+    /// [`StopReason::HeapCap`]: crate::StopReason::HeapCap
+    pub hard_heap_cap: bool,
+    /// Fault-injection hook for tests: panic inside the backwards `new`
+    /// transfer when the allocation site carries this name. Exercises the
+    /// drivers' panic containment; never set in production configs.
+    #[doc(hidden)]
+    pub inject_panic_on_new: Option<String>,
 }
 
 impl Default for SymexConfig {
@@ -76,6 +111,11 @@ impl Default for SymexConfig {
             materialization_bound: 1,
             trace_cap: 512,
             max_heap_cells: 24,
+            edge_deadline: None,
+            total_deadline: None,
+            degrade: true,
+            hard_heap_cap: false,
+            inject_panic_on_new: None,
         }
     }
 }
@@ -109,6 +149,24 @@ impl SymexConfig {
         self.budget = budget;
         self
     }
+
+    /// Sets the per-edge wall-clock deadline (builder style).
+    pub fn with_edge_deadline(mut self, d: Duration) -> Self {
+        self.edge_deadline = Some(d);
+        self
+    }
+
+    /// Sets the whole-engine wall-clock deadline (builder style).
+    pub fn with_total_deadline(mut self, d: Duration) -> Self {
+        self.total_deadline = Some(d);
+        self
+    }
+
+    /// Enables/disables the degradation ladder (builder style).
+    pub fn with_degrade(mut self, on: bool) -> Self {
+        self.degrade = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +182,11 @@ mod tests {
         assert_eq!(c.materialization_bound, 1);
         assert_eq!(c.representation, Representation::Mixed);
         assert!(c.simplification);
+        assert_eq!(c.edge_deadline, None);
+        assert_eq!(c.total_deadline, None);
+        assert!(c.degrade);
+        assert!(!c.hard_heap_cap);
+        assert!(c.inject_panic_on_new.is_none());
     }
 
     #[test]

@@ -9,30 +9,38 @@
 //! memory constraints are discharged (the query becomes `any`) or it
 //! survives, satisfiable, to the program entry.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
 use pta::{BitSet, HeapEdge, LocId, ModRef, PtaResult};
 use tir::{Callee, CmdId, Command, MethodId, Operand, Program, Stmt, Ty, VarId};
 
-use crate::config::{Representation, SymexConfig};
+use crate::config::{LoopMode, Representation, SymexConfig};
 use crate::query::{Query, Refuted};
 use crate::region::Region;
 use crate::simplify::History;
-use crate::stats::{SearchOutcome, SearchStats, Witness};
+use crate::stats::{SearchOutcome, SearchStats, StopReason, Witness};
 use crate::value::Val;
 
-/// Terminates a search early: a witness was found, or the budget ran out.
+/// Terminates a search early: a witness was found, or the search must give
+/// up for the stated reason.
 #[derive(Clone, Debug)]
 pub(crate) enum Stop {
     Witnessed(Witness),
-    Timeout,
+    Aborted(StopReason),
 }
 
 /// The result of pushing queries backwards: the surviving sub-queries, or an
 /// early stop.
 pub(crate) type Flow = Result<Vec<Query>, Stop>;
 
-/// Hard cap on upward caller-propagation depth; exceeding it is treated as
-/// a timeout (sound: the edge is simply not refuted).
+/// Hard cap on upward caller-propagation depth; exceeding it aborts the
+/// search (sound: the edge is simply not refuted).
 const CALLER_DEPTH_CAP: usize = 40;
+
+/// Deadline polls happen on every `DEADLINE_STRIDE`-th budget charge (plus
+/// the very first one), keeping `Instant::now()` off the hot path.
+const DEADLINE_STRIDE: u32 = 64;
 
 /// Command-transfer allowance per unit of path-program budget: bounds the
 /// straight-line work a search may do between forks, so the per-edge budget
@@ -45,7 +53,9 @@ pub struct Engine<'a> {
     pub(crate) program: &'a Program,
     pub(crate) pta: &'a PtaResult,
     pub(crate) modref: &'a ModRef,
-    pub(crate) config: SymexConfig,
+    /// Engine configuration. May be adjusted between searches; the
+    /// deadline fields are snapshotted at construction time.
+    pub config: SymexConfig,
     /// Statistics accumulated across all searches run by this engine.
     pub stats: SearchStats,
     pub(crate) history: History,
@@ -53,6 +63,14 @@ pub struct Engine<'a> {
     cmd_budget_left: u64,
     call_chain: Vec<MethodId>,
     caller_depth: usize,
+    /// Wall-clock cutoff for the edge currently being refuted (the tighter
+    /// of `edge_deadline` and the remaining `total_deadline`).
+    deadline: Option<Instant>,
+    /// Wall-clock cutoff for everything this engine does, from
+    /// [`SymexConfig::total_deadline`] at construction time.
+    engine_deadline: Option<Instant>,
+    /// Charge counter used to amortize deadline polls.
+    ticks: u32,
 }
 
 impl<'a> Engine<'a> {
@@ -64,6 +82,7 @@ impl<'a> Engine<'a> {
         config: SymexConfig,
     ) -> Self {
         let budget = config.budget;
+        let engine_deadline = config.total_deadline.map(|d| Instant::now() + d);
         Engine {
             program,
             pta,
@@ -75,6 +94,9 @@ impl<'a> Engine<'a> {
             cmd_budget_left: budget.saturating_mul(CMDS_PER_PATH_PROGRAM),
             call_chain: Vec::new(),
             caller_depth: 0,
+            deadline: None,
+            engine_deadline,
+            ticks: 0,
         }
     }
 
@@ -89,6 +111,12 @@ impl<'a> Engine<'a> {
         self.budget_left = self.config.budget;
         self.cmd_budget_left = self.config.budget.saturating_mul(CMDS_PER_PATH_PROGRAM);
         self.history.clear();
+        self.ticks = 0;
+        self.deadline =
+            match (self.config.edge_deadline.map(|d| Instant::now() + d), self.engine_deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
         let producers: Vec<CmdId> = self.pta.producers(edge).to_vec();
         if producers.is_empty() {
             // Nothing can produce the edge: it is vacuously refuted. (This
@@ -106,10 +134,69 @@ impl<'a> Engine<'a> {
             match self.search_from(cmd, q0) {
                 Ok(()) => {}
                 Err(Stop::Witnessed(w)) => return SearchOutcome::Witnessed(w),
-                Err(Stop::Timeout) => return SearchOutcome::Timeout,
+                Err(Stop::Aborted(reason)) => return SearchOutcome::Aborted(reason),
             }
         }
         SearchOutcome::Refuted
+    }
+
+    /// Fault-contained [`Engine::refute_edge`]: a panic anywhere in the
+    /// search (transfer functions, solver, query bookkeeping) is caught and
+    /// converted into the sound `Aborted(Panic)` outcome instead of
+    /// unwinding into the caller. The engine stays usable afterwards —
+    /// `refute_edge` re-initializes all per-edge state on entry.
+    pub fn refute_edge_contained(&mut self, edge: &HeapEdge) -> SearchOutcome {
+        let result = catch_unwind(AssertUnwindSafe(|| self.refute_edge(edge)));
+        match result {
+            Ok(out) => out,
+            Err(payload) => {
+                SearchOutcome::Aborted(StopReason::Panic(panic_message(payload.as_ref())))
+            }
+        }
+    }
+
+    /// Fault-contained refutation with graceful degradation: if the search
+    /// aborts under the configured precision, retry under progressively
+    /// coarser — but still sound — configurations (drop loop-invariant
+    /// inference, then path atoms, then halve the heap-cell cap) while the
+    /// deadline allows. A coarse refutation is still a refutation, so the
+    /// ladder can only *add* refutations relative to a single strict pass.
+    pub fn refute_edge_resilient(&mut self, edge: &HeapEdge) -> EdgeDecision {
+        let first = self.refute_edge_contained(edge);
+        let reason = match first {
+            SearchOutcome::Refuted | SearchOutcome::Witnessed(_) => {
+                return EdgeDecision { outcome: first, attempts: 1, degraded: false };
+            }
+            SearchOutcome::Aborted(ref r) => r.clone(),
+        };
+        let mut attempts = 1;
+        if self.config.degrade {
+            for coarse in degradation_ladder(&self.config) {
+                if self.past_engine_deadline() {
+                    break;
+                }
+                attempts += 1;
+                let saved = std::mem::replace(&mut self.config, coarse);
+                let out = self.refute_edge_contained(edge);
+                self.config = saved;
+                match out {
+                    SearchOutcome::Aborted(_) => continue,
+                    // Refuted or Witnessed: the coarse pass decided the
+                    // edge. Both are sound to report (a coarse witness only
+                    // means "not refuted", same as the abort it replaces).
+                    decided => {
+                        return EdgeDecision { outcome: decided, attempts, degraded: true };
+                    }
+                }
+            }
+        }
+        EdgeDecision { outcome: SearchOutcome::Aborted(reason), attempts, degraded: false }
+    }
+
+    /// True once the engine-wide deadline (from
+    /// [`SymexConfig::total_deadline`]) has expired.
+    pub fn past_engine_deadline(&self) -> bool {
+        self.engine_deadline.is_some_and(|dl| Instant::now() >= dl)
     }
 
     /// Builds the initial query asserting that `edge` holds, e.g.
@@ -164,9 +251,10 @@ impl<'a> Engine<'a> {
     /// Charges `n` path programs against the budget.
     pub(crate) fn charge(&mut self, n: u64) -> Result<(), Stop> {
         self.stats.path_programs += n;
+        self.poll_deadline()?;
         if self.budget_left < n {
             self.budget_left = 0;
-            return Err(Stop::Timeout);
+            return Err(Stop::Aborted(StopReason::ForkBudget));
         }
         self.budget_left -= n;
         Ok(())
@@ -174,10 +262,24 @@ impl<'a> Engine<'a> {
 
     /// Charges one command transfer against the work allowance.
     pub(crate) fn charge_cmd(&mut self) -> Result<(), Stop> {
+        self.poll_deadline()?;
         if self.cmd_budget_left == 0 {
-            return Err(Stop::Timeout);
+            return Err(Stop::Aborted(StopReason::WorkBudget));
         }
         self.cmd_budget_left -= 1;
+        Ok(())
+    }
+
+    /// Amortized cooperative deadline check: reads the clock on the first
+    /// charge after [`Engine::refute_edge`] and then once every
+    /// [`DEADLINE_STRIDE`] charges. Free when no deadline is configured.
+    #[inline]
+    fn poll_deadline(&mut self) -> Result<(), Stop> {
+        let Some(dl) = self.deadline else { return Ok(()) };
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks % DEADLINE_STRIDE == 1 && Instant::now() >= dl {
+            return Err(Stop::Aborted(StopReason::WallClock));
+        }
         Ok(())
     }
 
@@ -374,12 +476,7 @@ impl<'a> Engine<'a> {
                                 continue;
                             }
                         }
-                    } else if qt
-                        .region(s)
-                        .as_locs()
-                        .map(|l| l.is_disjoint(&dl))
-                        .unwrap_or(true)
-                    {
+                    } else if qt.region(s).as_locs().map(|l| l.is_disjoint(&dl)).unwrap_or(true) {
                         // PSE-style oracle check without narrowing.
                         self.stats.count_refutation(Refuted::EmptyRegion);
                         continue;
@@ -470,9 +567,7 @@ impl<'a> Engine<'a> {
         match q.region(cell.obj).as_locs() {
             Some(locs) => self.modref.may_write_cell(t, cell.field, locs),
             // Data-region owner cannot occur; be conservative.
-            None => !self.modref.mod_fields(t).is_disjoint(&BitSet::singleton(
-                cell.field.index(),
-            )),
+            None => !self.modref.mod_fields(t).is_disjoint(&BitSet::singleton(cell.field.index())),
         }
     }
 
@@ -645,8 +740,7 @@ impl<'a> Engine<'a> {
         // Query-history subsumption at the procedure boundary (§3.3).
         if self.config.simplification {
             let strict = self.config.representation == Representation::FullySymbolic;
-            if self.history.subsumes_at(crate::simplify::Point::MethodEntry(method), &q, strict)
-            {
+            if self.history.subsumes_at(crate::simplify::Point::MethodEntry(method), &q, strict) {
                 self.stats.subsumed += 1;
                 return Ok(());
             }
@@ -670,7 +764,7 @@ impl<'a> Engine<'a> {
             return Ok(());
         }
         if self.caller_depth >= CALLER_DEPTH_CAP {
-            return Err(Stop::Timeout);
+            return Err(Stop::Aborted(StopReason::CallerDepth));
         }
         if callers.len() > 1 {
             self.charge(callers.len() as u64 - 1)?;
@@ -678,12 +772,8 @@ impl<'a> Engine<'a> {
         for c in callers {
             let caller_m = self.program.cmd_method(c);
             let Some(q2) = self.bind_params(c, method, q.clone())? else { continue };
-            let path = self
-                .program
-                .method(caller_m)
-                .body
-                .path_to(c)
-                .expect("call site in caller body");
+            let path =
+                self.program.method(caller_m).body.path_to(c).expect("call site in caller body");
             let body = self.program.method(caller_m).body.clone();
             self.caller_depth += 1;
             let saved_chain = std::mem::take(&mut self.call_chain);
@@ -709,9 +799,52 @@ impl<'a> Engine<'a> {
 
     /// Builds a witness record from a discharged or entry-satisfiable query.
     pub(crate) fn make_witness(&self, q: &Query) -> Witness {
-        Witness {
-            trace: q.trace.clone(),
-            final_query: q.describe(self.program),
-        }
+        Witness { trace: q.trace.clone(), final_query: q.describe(self.program) }
+    }
+}
+
+/// Outcome of [`Engine::refute_edge_resilient`], with retry provenance.
+#[derive(Clone, Debug)]
+pub struct EdgeDecision {
+    /// The final outcome for the edge.
+    pub outcome: SearchOutcome,
+    /// Total refutation attempts (1 = the strict pass alone).
+    pub attempts: u32,
+    /// True when the outcome came from a coarsened (degraded) retry rather
+    /// than the originally configured precision.
+    pub degraded: bool,
+}
+
+/// The graceful degradation ladder: successively coarser — but still sound —
+/// configurations derived from `base`. Each step over-approximates the
+/// previous one, so any refutation it produces is still a valid proof.
+fn degradation_ladder(base: &SymexConfig) -> Vec<SymexConfig> {
+    let mut steps = Vec::new();
+    let mut cfg = base.clone();
+    cfg.degrade = false;
+    cfg.inject_panic_on_new = None;
+    if cfg.loop_mode != LoopMode::DropAll {
+        cfg.loop_mode = LoopMode::DropAll;
+        steps.push(cfg.clone());
+    }
+    if cfg.max_path_atoms > 0 {
+        cfg.max_path_atoms = 0;
+        steps.push(cfg.clone());
+    }
+    if cfg.max_heap_cells > 4 {
+        cfg.max_heap_cells /= 2;
+        steps.push(cfg);
+    }
+    steps
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }

@@ -65,9 +65,9 @@ mod transfer;
 mod value;
 
 pub use config::{LoopMode, Representation, SymexConfig};
-pub use engine::Engine;
+pub use engine::{EdgeDecision, Engine};
 pub use query::{HeapCell, Query, Refuted};
 pub use region::Region;
 pub use replay::{validate_witness, ReplayVerdict};
-pub use stats::{RefutationCounts, SearchOutcome, SearchStats, Witness};
+pub use stats::{AbortCounts, RefutationCounts, SearchOutcome, SearchStats, StopReason, Witness};
 pub use value::{SymId, Val};

@@ -265,15 +265,23 @@ impl Query {
     }
 
     /// True if the pure and path constraints are jointly satisfiable.
+    /// Solver failures are absorbed as "satisfiable" (refutation-sound);
+    /// use [`Query::try_pure_sat`] to surface them.
     pub fn pure_sat(&self) -> bool {
+        self.try_pure_sat().unwrap_or(true)
+    }
+
+    /// True if the pure and path constraints are jointly satisfiable,
+    /// reporting solver failures (overflow, oversized sets) to the caller.
+    pub fn try_pure_sat(&self) -> Result<bool, solver::SolverError> {
         if self.path.is_empty() {
-            return self.pure.is_sat();
+            return self.pure.try_is_sat();
         }
         let mut all = self.pure.clone();
         for a in self.path.atoms() {
             all.add_atom(*a);
         }
-        all.is_sat()
+        all.try_is_sat()
     }
 
     /// The combined pure+path constraint set.
@@ -446,13 +454,8 @@ impl Query {
         let _ = &mark;
         // Close over pure atoms: an atom linking a live sym keeps its other
         // sym live.
-        let all_atoms: Vec<Atom> = self
-            .pure
-            .atoms()
-            .iter()
-            .chain(self.path.atoms())
-            .copied()
-            .collect();
+        let all_atoms: Vec<Atom> =
+            self.pure.atoms().iter().chain(self.path.atoms()).copied().collect();
         let mut changed = true;
         while changed {
             changed = false;
@@ -509,9 +512,8 @@ impl Query {
                 }
             }
             let vacuous = |a: &Atom| {
-                a.syms().any(|s| {
-                    !structural.contains(s as usize) && occurrences.get(&s) == Some(&1)
-                })
+                a.syms()
+                    .any(|s| !structural.contains(s as usize) && occurrences.get(&s) == Some(&1))
             };
             let before = self.pure.len() + self.path.len();
             self.pure.retain(|a| !vacuous(a));
@@ -558,31 +560,28 @@ impl Query {
             return false;
         }
         let mut map: BTreeMap<SymId, SymId> = BTreeMap::new();
-        let match_val = |q: &Query,
-                         map: &mut BTreeMap<SymId, SymId>,
-                         mine: Val,
-                         theirs: Val|
-         -> bool {
-            match (mine, theirs) {
-                (Val::Sym(a), Val::Sym(b)) => {
-                    if let Some(&m) = map.get(&b) {
-                        return m == a;
+        let match_val =
+            |q: &Query, map: &mut BTreeMap<SymId, SymId>, mine: Val, theirs: Val| -> bool {
+                match (mine, theirs) {
+                    (Val::Sym(a), Val::Sym(b)) => {
+                        if let Some(&m) = map.get(&b) {
+                            return m == a;
+                        }
+                        let ok = if strict_regions {
+                            q.region(a) == other.region(b)
+                        } else {
+                            q.region(a).is_subset(other.region(b))
+                        };
+                        if ok {
+                            map.insert(b, a);
+                        }
+                        ok
                     }
-                    let ok = if strict_regions {
-                        q.region(a) == other.region(b)
-                    } else {
-                        q.region(a).is_subset(other.region(b))
-                    };
-                    if ok {
-                        map.insert(b, a);
-                    }
-                    ok
+                    (Val::Null, Val::Null) => true,
+                    (Val::Int(x), Val::Int(y)) => x == y,
+                    _ => false,
                 }
-                (Val::Null, Val::Null) => true,
-                (Val::Int(x), Val::Int(y)) => x == y,
-                _ => false,
-            }
-        };
+            };
 
         for (var, &theirs) in &other.locals {
             let Some(&mine) = self.locals.get(var) else { return false };
@@ -737,10 +736,7 @@ mod tests {
         let mut q = Query::new();
         let s = q.fresh_sym(locs(&[1, 2]));
         assert!(q.narrow(s, &[2, 3].into_iter().collect()).is_ok());
-        assert_eq!(
-            q.narrow(s, &[4].into_iter().collect()),
-            Err(Refuted::EmptyRegion)
-        );
+        assert_eq!(q.narrow(s, &[4].into_iter().collect()), Err(Refuted::EmptyRegion));
     }
 
     #[test]
@@ -806,8 +802,7 @@ mod tests {
         let f = FieldId(0);
         q.heap.push(HeapCell { obj: o, field: f, val: Val::Null, idx: Some(Val::Sym(i1)) });
         let v = q.fresh_sym(locs(&[5]));
-        q.heap
-            .push(HeapCell { obj: o, field: f, val: Val::Sym(v), idx: Some(Val::Sym(i2)) });
+        q.heap.push(HeapCell { obj: o, field: f, val: Val::Sym(v), idx: Some(Val::Sym(i2)) });
         assert!(q.dedupe_cells().is_ok());
         assert_eq!(q.heap.len(), 2);
     }
@@ -874,12 +869,7 @@ mod tests {
         let mut q = Query::new();
         let live = q.fresh_sym(Region::Data);
         let o = q.fresh_sym(locs(&[1]));
-        q.heap.push(HeapCell {
-            obj: o,
-            field: FieldId(0),
-            val: Val::Sym(live),
-            idx: None,
-        });
+        q.heap.push(HeapCell { obj: o, field: FieldId(0), val: Val::Sym(live), idx: None });
         let mid = q.fresh_sym(Region::Data);
         q.pure.add(CmpOp::Eq, Term::sym(live.0), Term::sym(mid.0));
         q.pure.add(CmpOp::Eq, Term::sym(mid.0), Term::int(5));

@@ -55,15 +55,11 @@ pub fn validate_witness(
         }
         // b reachable from a's call sites or vice versa (one hop).
         let calls = |m: MethodId, n: MethodId| {
-            program
-                .method_cmds(m)
-                .into_iter()
-                .any(|c| pta.call_targets(c).contains(&n))
+            program.method_cmds(m).into_iter().any(|c| pta.call_targets(c).contains(&n))
         };
         calls(a, b) || calls(b, a)
     };
-    let methods: Vec<MethodId> =
-        witness.trace.iter().map(|&c| program.cmd_method(c)).collect();
+    let methods: Vec<MethodId> = witness.trace.iter().map(|&c| program.cmd_method(c)).collect();
     for (i, pair) in methods.windows(2).enumerate() {
         if !related(pair[0], pair[1]) {
             return ReplayVerdict::DisconnectedStep { index: i + 1 };
@@ -152,9 +148,6 @@ entry main;
         let c1 = p.method_cmds(island)[0];
         let c2 = p.method_cmds(main)[0];
         let w = Witness { trace: vec![c1, c2], final_query: "any".into() };
-        assert_eq!(
-            validate_witness(&p, &r, &w),
-            ReplayVerdict::DisconnectedStep { index: 1 }
-        );
+        assert_eq!(validate_witness(&p, &r, &w), ReplayVerdict::DisconnectedStep { index: 1 });
     }
 }

@@ -42,10 +42,7 @@ impl History {
 
     /// True if a weaker-or-equal query was already explored at `point`.
     pub(crate) fn subsumes_at(&self, point: Point, q: &Query, strict: bool) -> bool {
-        self.map
-            .get(&point)
-            .map(|qs| qs.iter().any(|old| q.entails(old, strict)))
-            .unwrap_or(false)
+        self.map.get(&point).map(|qs| qs.iter().any(|old| q.entails(old, strict))).unwrap_or(false)
     }
 
     /// Records `q` at `point`.

@@ -1,4 +1,4 @@
-//! Search outcomes, witnesses, and statistics.
+//! Search outcomes, abort provenance, witnesses, and statistics.
 
 use tir::{CmdId, Program};
 
@@ -18,9 +18,54 @@ pub struct Witness {
 impl Witness {
     /// Renders the witness trace using program names.
     pub fn describe(&self, program: &Program) -> String {
-        let steps: Vec<String> =
-            self.trace.iter().map(|&c| program.describe_cmd(c)).collect();
+        let steps: Vec<String> = self.trace.iter().map(|&c| program.describe_cmd(c)).collect();
         format!("[{}] final: {}", steps.join(" <- "), self.final_query)
+    }
+}
+
+/// Why a search gave up without an answer. Every variant is *sound to
+/// ignore*: an aborted edge is treated exactly like a witnessed one (not
+/// refuted), so the only cost of an abort is precision, never soundness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The path-program (fork) budget was exhausted.
+    ForkBudget,
+    /// The straight-line command-transfer allowance was exhausted.
+    WorkBudget,
+    /// A cooperative wall-clock deadline expired
+    /// ([`SymexConfig::edge_deadline`] / [`SymexConfig::total_deadline`]).
+    ///
+    /// [`SymexConfig::edge_deadline`]: crate::SymexConfig::edge_deadline
+    /// [`SymexConfig::total_deadline`]: crate::SymexConfig::total_deadline
+    WallClock,
+    /// Upward caller propagation exceeded the hard depth cap.
+    CallerDepth,
+    /// A panic inside the search was caught and contained; the payload
+    /// message is preserved for diagnosis.
+    Panic(String),
+    /// The constraint solver could not decide a query (e.g. arithmetic
+    /// overflow while normalizing); treated as satisfiable, i.e. the path
+    /// stays alive and the edge is not refuted.
+    SolverFailure,
+    /// A query exceeded the hard heap-cell limit (only with
+    /// [`SymexConfig::hard_heap_cap`]; the default soft cap truncates
+    /// instead).
+    ///
+    /// [`SymexConfig::hard_heap_cap`]: crate::SymexConfig::hard_heap_cap
+    HeapCap,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::ForkBudget => write!(f, "fork budget exhausted"),
+            StopReason::WorkBudget => write!(f, "work budget exhausted"),
+            StopReason::WallClock => write!(f, "wall-clock deadline"),
+            StopReason::CallerDepth => write!(f, "caller depth cap"),
+            StopReason::Panic(msg) => write!(f, "contained panic: {msg}"),
+            StopReason::SolverFailure => write!(f, "solver failure"),
+            StopReason::HeapCap => write!(f, "hard heap-cell cap"),
+        }
     }
 }
 
@@ -31,9 +76,9 @@ pub enum SearchOutcome {
     Refuted,
     /// A full (over-approximate) path-program witness was found.
     Witnessed(Witness),
-    /// The exploration budget was exhausted; soundly treated as
-    /// not-refuted.
-    Timeout,
+    /// The search gave up for the stated reason; soundly treated as
+    /// not-refuted (exactly like a witnessed edge).
+    Aborted(StopReason),
 }
 
 impl SearchOutcome {
@@ -47,9 +92,91 @@ impl SearchOutcome {
         matches!(self, SearchOutcome::Witnessed(_))
     }
 
-    /// True for [`SearchOutcome::Timeout`].
+    /// True for [`SearchOutcome::Aborted`] (historical name: every abort is
+    /// treated like the paper's timeout).
     pub fn is_timeout(&self) -> bool {
-        matches!(self, SearchOutcome::Timeout)
+        self.is_aborted()
+    }
+
+    /// True for [`SearchOutcome::Aborted`].
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, SearchOutcome::Aborted(_))
+    }
+
+    /// The abort reason, if this outcome is an abort.
+    pub fn abort_reason(&self) -> Option<&StopReason> {
+        match self {
+            SearchOutcome::Aborted(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Per-reason abort counters, aggregated by drivers across edges.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AbortCounts {
+    /// Aborts from fork-budget exhaustion.
+    pub fork_budget: u64,
+    /// Aborts from work-budget exhaustion.
+    pub work_budget: u64,
+    /// Aborts from wall-clock deadlines.
+    pub wall_clock: u64,
+    /// Aborts from the caller-depth cap.
+    pub caller_depth: u64,
+    /// Aborts from contained panics.
+    pub panic: u64,
+    /// Aborts from solver failures.
+    pub solver_failure: u64,
+    /// Aborts from the hard heap-cell cap.
+    pub heap_cap: u64,
+}
+
+impl AbortCounts {
+    /// Records one abort by reason.
+    pub fn record(&mut self, reason: &StopReason) {
+        match reason {
+            StopReason::ForkBudget => self.fork_budget += 1,
+            StopReason::WorkBudget => self.work_budget += 1,
+            StopReason::WallClock => self.wall_clock += 1,
+            StopReason::CallerDepth => self.caller_depth += 1,
+            StopReason::Panic(_) => self.panic += 1,
+            StopReason::SolverFailure => self.solver_failure += 1,
+            StopReason::HeapCap => self.heap_cap += 1,
+        }
+    }
+
+    /// Total aborts across reasons.
+    pub fn total(&self) -> u64 {
+        self.fork_budget
+            + self.work_budget
+            + self.wall_clock
+            + self.caller_depth
+            + self.panic
+            + self.solver_failure
+            + self.heap_cap
+    }
+
+    /// A compact single-line rendering of the non-zero counters.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        for (n, label) in [
+            (self.fork_budget, "fork-budget"),
+            (self.work_budget, "work-budget"),
+            (self.wall_clock, "wall-clock"),
+            (self.caller_depth, "caller-depth"),
+            (self.panic, "panic"),
+            (self.solver_failure, "solver"),
+            (self.heap_cap, "heap-cap"),
+        ] {
+            if n > 0 {
+                parts.push(format!("{label}={n}"));
+            }
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join(" ")
+        }
     }
 }
 
@@ -113,10 +240,14 @@ mod tests {
     #[test]
     fn outcome_predicates() {
         assert!(SearchOutcome::Refuted.is_refuted());
-        assert!(SearchOutcome::Timeout.is_timeout());
+        let a = SearchOutcome::Aborted(StopReason::ForkBudget);
+        assert!(a.is_aborted());
+        assert!(a.is_timeout());
+        assert_eq!(a.abort_reason(), Some(&StopReason::ForkBudget));
         let w = SearchOutcome::Witnessed(Witness { trace: Vec::new(), final_query: "any".into() });
         assert!(w.is_witnessed());
         assert!(!w.is_refuted());
+        assert!(w.abort_reason().is_none());
     }
 
     #[test]
@@ -127,5 +258,27 @@ mod tests {
         s.count_refutation(Refuted::EmptyRegion);
         assert_eq!(s.refutations.pure, 2);
         assert_eq!(s.total_refutations(), 3);
+    }
+
+    #[test]
+    fn abort_counts_record_and_describe() {
+        let mut a = AbortCounts::default();
+        assert_eq!(a.describe(), "none");
+        a.record(&StopReason::ForkBudget);
+        a.record(&StopReason::ForkBudget);
+        a.record(&StopReason::Panic("boom".into()));
+        assert_eq!(a.fork_budget, 2);
+        assert_eq!(a.panic, 1);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.describe(), "fork-budget=2 panic=1");
+    }
+
+    #[test]
+    fn stop_reason_display() {
+        assert_eq!(StopReason::WallClock.to_string(), "wall-clock deadline");
+        assert_eq!(
+            StopReason::Panic("index out of bounds".into()).to_string(),
+            "contained panic: index out of bounds"
+        );
     }
 }

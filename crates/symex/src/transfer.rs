@@ -9,6 +9,7 @@ use tir::{BinOp, CmdId, CmpOp, Command, Cond, FieldId, GlobalId, Operand, VarId}
 use crate::config::Representation;
 use crate::engine::{Engine, Flow, Stop};
 use crate::query::{HeapCell, Query, Refuted};
+use crate::stats::StopReason;
 use crate::value::Val;
 
 impl Engine<'_> {
@@ -17,7 +18,9 @@ impl Engine<'_> {
     pub(crate) fn exec_cmd_back(&mut self, cmd_id: CmdId, mut q: Query) -> Flow {
         self.charge_cmd()?;
         self.stats.cmds_executed += 1;
-        if self.stats.cmds_executed.is_multiple_of(50_000) && std::env::var_os("SYMEX_PROGRESS").is_some() {
+        if self.stats.cmds_executed.is_multiple_of(50_000)
+            && std::env::var_os("SYMEX_PROGRESS").is_some()
+        {
             eprintln!(
                 "progress: cmds={} paths={} heap_cells_now={}",
                 self.stats.cmds_executed,
@@ -70,9 +73,7 @@ impl Engine<'_> {
                     Command::WriteGlobal { global, src } => {
                         self.exec_write_global_back(q, *global, *src)
                     }
-                    Command::New { dst, alloc, .. } => {
-                        self.exec_new_back(q, *dst, *alloc, None)
-                    }
+                    Command::New { dst, alloc, .. } => self.exec_new_back(q, *dst, *alloc, None),
                     Command::NewArray { dst, alloc, len } => {
                         self.exec_new_back(q, *dst, *alloc, Some(*len))
                     }
@@ -96,31 +97,43 @@ impl Engine<'_> {
     /// (a discharged satisfiable query is `any`).
     fn finish(&mut self, qs: Vec<Query>) -> Flow {
         let cap = self.config.max_heap_cells;
-        let qs: Vec<Query> = qs
-            .into_iter()
-            .map(|mut q| {
-                // Bound query size: drop the newest cells beyond the cap
-                // (sound weakening; keeps transfers and entailment cheap).
-                while q.heap.len() > cap {
-                    q.heap.pop();
-                }
-                q
-            })
-            .collect();
+        let hard_cap = self.config.hard_heap_cap;
+        let mut capped = Vec::with_capacity(qs.len());
+        for mut q in qs {
+            // Bound query size: drop the newest cells beyond the cap
+            // (sound weakening; keeps transfers and entailment cheap). With
+            // `hard_heap_cap` the overflow aborts instead, surfacing
+            // workloads that depend on the truncation.
+            if q.heap.len() > cap && hard_cap {
+                return Err(Stop::Aborted(StopReason::HeapCap));
+            }
+            while q.heap.len() > cap {
+                q.heap.pop();
+            }
+            capped.push(q);
+        }
         let mut out = Vec::new();
         if self.config.representation == Representation::FullyExplicit {
-            for q in qs {
+            for q in capped {
                 self.explode(q, &mut out)?;
             }
         } else {
-            out = qs;
+            out = capped;
         }
         if out.len() > 1 {
             self.charge(out.len() as u64 - 1)?;
         }
         for q in &out {
-            if q.is_discharged() && q.ret_slot.is_none() && q.pure_sat() {
-                return Err(Stop::Witnessed(self.make_witness(q)));
+            if q.is_discharged() && q.ret_slot.is_none() {
+                // A solver failure means we cannot show the discharged
+                // query inconsistent, but reporting it as a witness would
+                // hide the failure — abort with provenance instead (equally
+                // sound: the edge stays unrefuted either way).
+                match q.try_pure_sat() {
+                    Ok(true) => return Err(Stop::Witnessed(self.make_witness(q))),
+                    Ok(false) => {}
+                    Err(_) => return Err(Stop::Aborted(StopReason::SolverFailure)),
+                }
             }
         }
         Ok(out)
@@ -235,21 +248,30 @@ impl Engine<'_> {
         };
         match (op, lhs, rhs) {
             (_, Operand::Int(a), Operand::Int(b)) => {
+                // Checked arithmetic: an overflowing constant fold would
+                // either panic (debug) or silently disagree with the
+                // concrete wrapping semantics (release). Dropping the
+                // constraint instead is a sound weakening.
                 let r = match op {
-                    BinOp::Add => a + b,
-                    BinOp::Sub => a - b,
-                    BinOp::Mul => a * b,
+                    BinOp::Add => a.checked_add(b),
+                    BinOp::Sub => a.checked_sub(b),
+                    BinOp::Mul => a.checked_mul(b),
                 };
+                let Some(r) = r else { return Ok(vec![q]) };
                 q.add_pure(CmpOp::Eq, v_term, Term::int(r))?;
             }
             (BinOp::Add, Operand::Var(y), Operand::Int(c))
             | (BinOp::Add, Operand::Int(c), Operand::Var(y)) => {
                 let w = self.int_term(&mut q, y)?;
-                q.add_pure(CmpOp::Eq, v_term, offset(w, c))?;
+                let Some(t) = offset(w, c) else { return Ok(vec![q]) };
+                q.add_pure(CmpOp::Eq, v_term, t)?;
             }
             (BinOp::Sub, Operand::Var(y), Operand::Int(c)) => {
                 let w = self.int_term(&mut q, y)?;
-                q.add_pure(CmpOp::Eq, v_term, offset(w, -c))?;
+                let Some(t) = c.checked_neg().and_then(|nc| offset(w, nc)) else {
+                    return Ok(vec![q]);
+                };
+                q.add_pure(CmpOp::Eq, v_term, t)?;
             }
             _ => {
                 // Multiplication or var-var arithmetic: outside the solver
@@ -343,13 +365,8 @@ impl Engine<'_> {
         idx: Option<Operand>,
         src: Operand,
     ) -> Flow {
-        let cell_ids: Vec<usize> = q
-            .heap
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.field == field)
-            .map(|(i, _)| i)
-            .collect();
+        let cell_ids: Vec<usize> =
+            q.heap.iter().enumerate().filter(|(_, c)| c.field == field).map(|(i, _)| i).collect();
         if cell_ids.is_empty() {
             return Ok(vec![q]);
         }
@@ -392,12 +409,8 @@ impl Engine<'_> {
             Some(op) => Some(self.int_operand(&mut q, *op)?),
             None => None,
         };
-        let cells: Vec<(crate::value::SymId, Option<Val>)> = q
-            .heap
-            .iter()
-            .filter(|c| c.field == field)
-            .map(|c| (c.obj, c.idx))
-            .collect();
+        let cells: Vec<(crate::value::SymId, Option<Val>)> =
+            q.heap.iter().filter(|c| c.field == field).map(|c| (c.obj, c.idx)).collect();
         for (cell_obj, cell_idx) in cells {
             if cell_obj != base_sym {
                 // Distinct symbols: possibly disaliased; the disequality is
@@ -409,8 +422,7 @@ impl Engine<'_> {
                     // Same array object: the indices must differ.
                     let wt = val_term(*wi)?;
                     let ct = val_term(*ci)?;
-                    q.add_pure(CmpOp::Ne, wt, ct)
-                        .map_err(|_| Refuted::Separation)?;
+                    q.add_pure(CmpOp::Ne, wt, ct).map_err(|_| Refuted::Separation)?;
                 }
                 _ => return Err(Refuted::Separation),
             }
@@ -495,6 +507,11 @@ impl Engine<'_> {
         alloc: tir::AllocId,
         array_len: Option<Operand>,
     ) -> Result<Vec<Query>, Refuted> {
+        if let Some(victim) = &self.config.inject_panic_on_new {
+            if self.program.alloc(alloc).name == *victim {
+                panic!("injected fault at allocation site {victim}");
+            }
+        }
         let Some(v) = q.locals.remove(&dst) else { return Ok(vec![q]) };
         let s = match v {
             Val::Sym(s) => s,
@@ -508,13 +525,8 @@ impl Engine<'_> {
             _ => return Err(Refuted::Allocation),
         }
         // Fields are null/zero at birth; array length is initialized.
-        let own_cells: Vec<usize> = q
-            .heap
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.obj == s)
-            .map(|(i, _)| i)
-            .collect();
+        let own_cells: Vec<usize> =
+            q.heap.iter().enumerate().filter(|(_, c)| c.obj == s).map(|(i, _)| i).collect();
         for i in own_cells.into_iter().rev() {
             let cell = q.heap.remove(i);
             if cell.field == self.program.len_field {
@@ -538,9 +550,9 @@ impl Engine<'_> {
         // The instance cannot be referenced before its allocation.
         let occurs_elsewhere = q.locals.values().any(|&w| w == Val::Sym(s))
             || q.statics.values().any(|&w| w == Val::Sym(s))
-            || q.heap.iter().any(|c| {
-                c.obj == s || c.val == Val::Sym(s) || c.idx == Some(Val::Sym(s))
-            })
+            || q.heap
+                .iter()
+                .any(|c| c.obj == s || c.val == Val::Sym(s) || c.idx == Some(Val::Sym(s)))
             || q.ret_slot == Some(Val::Sym(s));
         if occurs_elsewhere {
             return Err(Refuted::Allocation);
@@ -573,11 +585,7 @@ impl Engine<'_> {
     /// the guard mentions a value the query is already tracking ("only when
     /// the queries on each side of the branch are different", §3.2), and the
     /// path-constraint set is capped (§4).
-    pub(crate) fn apply_cond(
-        &mut self,
-        cond: &Cond,
-        mut q: Query,
-    ) -> Result<Option<Query>, Stop> {
+    pub(crate) fn apply_cond(&mut self, cond: &Cond, mut q: Query) -> Result<Option<Query>, Stop> {
         let Cond::Cmp { op, lhs, rhs } = cond else { return Ok(Some(q)) };
         let is_ref_operand = |o: &Operand| match o {
             Operand::Null => true,
@@ -696,11 +704,12 @@ fn val_term(v: Val) -> Result<Term, Refuted> {
     }
 }
 
-/// `base + c` as a term.
-fn offset(base: Term, c: i64) -> Term {
+/// `base + c` as a term; `None` when folding the offsets would overflow
+/// (callers drop the constraint — a sound weakening).
+fn offset(base: Term, c: i64) -> Option<Term> {
     match base {
-        Term::Sym(s) => Term::sym_plus(s, c),
-        Term::SymPlus(s, k) => Term::sym_plus(s, k + c),
-        Term::Const(k) => Term::int(k + c),
+        Term::Sym(s) => Some(Term::sym_plus(s, c)),
+        Term::SymPlus(s, k) => k.checked_add(c).map(|kc| Term::sym_plus(s, kc)),
+        Term::Const(k) => k.checked_add(c).map(Term::int),
     }
 }

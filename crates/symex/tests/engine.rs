@@ -345,7 +345,8 @@ fn fig1_refutation_needs_path_constraints() {
 #[test]
 fn fig1_refuted_under_all_representations() {
     let s = fig1();
-    for repr in [Representation::Mixed, Representation::FullySymbolic, Representation::FullyExplicit]
+    for repr in
+        [Representation::Mixed, Representation::FullySymbolic, Representation::FullyExplicit]
     {
         let cfg = SymexConfig::default().with_representation(repr);
         let out = s.engine(cfg).refute_edge(&s.array_edge("arr0", "act0"));

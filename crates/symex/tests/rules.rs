@@ -13,10 +13,7 @@ fn run(src: &str) -> (Program, PtaResult, ModRef) {
 }
 
 fn loc(p: &Program, r: &PtaResult, name: &str) -> LocId {
-    r.locs()
-        .ids()
-        .find(|&l| r.loc_name(p, l) == name)
-        .unwrap_or_else(|| panic!("no loc {name}"))
+    r.locs().ids().find(|&l| r.loc_name(p, l) == name).unwrap_or_else(|| panic!("no loc {name}"))
 }
 
 fn global_edge(p: &Program, r: &PtaResult, g: &str, t: &str) -> HeapEdge {
@@ -222,8 +219,10 @@ fn main() {
 entry main;
 "#);
     let contents = p.contents_field;
-    let e1 = HeapEdge::Field { base: loc(&p, &r, "arr0"), field: contents, target: loc(&p, &r, "str0") };
-    let e2 = HeapEdge::Field { base: loc(&p, &r, "arr0"), field: contents, target: loc(&p, &r, "act0") };
+    let e1 =
+        HeapEdge::Field { base: loc(&p, &r, "arr0"), field: contents, target: loc(&p, &r, "str0") };
+    let e2 =
+        HeapEdge::Field { base: loc(&p, &r, "arr0"), field: contents, target: loc(&p, &r, "act0") };
     assert!(refute(&p, &r, &m, &e1).is_witnessed());
     assert!(refute(&p, &r, &m, &e2).is_witnessed());
 }
@@ -442,7 +441,9 @@ fn main() {
 }
 entry main;
 "#);
-    for repr in [Representation::Mixed, Representation::FullyExplicit, Representation::FullySymbolic] {
+    for repr in
+        [Representation::Mixed, Representation::FullyExplicit, Representation::FullySymbolic]
+    {
         let cfg = SymexConfig::default().with_representation(repr);
         let mut e = Engine::new(&p, &r, &m, cfg);
         let out = e.refute_edge(&field_edge(&p, &r, "Box", "item", "box0", "act0"));

@@ -115,10 +115,7 @@ impl ProgramBuilder {
     ///
     /// Panics if a class with the same name already exists.
     pub fn class(&mut self, name: &str, superclass: Option<ClassId>) -> ClassId {
-        assert!(
-            !self.classes.iter().any(|c| c.name == name),
-            "duplicate class name {name}"
-        );
+        assert!(!self.classes.iter().any(|c| c.name == name), "duplicate class name {name}");
         let sup = superclass.unwrap_or(self.object_class);
         self.class_raw(name, Some(sup))
     }
@@ -159,10 +156,7 @@ impl ProgramBuilder {
     ///
     /// Panics if a global with the same name already exists.
     pub fn global(&mut self, name: &str, ty: Ty) -> GlobalId {
-        assert!(
-            !self.globals.iter().any(|g| g.name == name),
-            "duplicate global name {name}"
-        );
+        assert!(!self.globals.iter().any(|g| g.name == name), "duplicate global name {name}");
         let id = GlobalId::from_index(self.globals.len());
         self.globals.push(Global { name: name.to_owned(), ty });
         id
@@ -208,10 +202,10 @@ impl ProgramBuilder {
 
     /// Defines the body of a previously declared method.
     pub fn define_method(&mut self, id: MethodId, f: impl FnOnce(&mut MethodBuilder)) {
-        let mut mb = MethodBuilder { pb: self, method: id, frames: vec![Vec::new()] };
+        let mut mb = MethodBuilder { pb: self, method: id, current: Vec::new(), outer: Vec::new() };
         f(&mut mb);
-        let stmts = mb.frames.pop().expect("method builder frame");
-        assert!(mb.frames.is_empty(), "unbalanced control-flow nesting");
+        assert!(mb.outer.is_empty(), "unbalanced control-flow nesting");
+        let stmts = std::mem::take(&mut mb.current);
         self.methods[id.index()].body = Stmt::Seq(stmts);
     }
 
@@ -278,7 +272,13 @@ impl ProgramBuilder {
 pub struct MethodBuilder<'a> {
     pb: &'a mut ProgramBuilder,
     method: MethodId,
-    frames: Vec<Vec<Stmt>>,
+    /// The statement frame currently receiving commands. Representing the
+    /// innermost frame as a plain field (instead of the top of a stack)
+    /// makes "no open frame" unrepresentable, so the builder never panics
+    /// on frame access.
+    current: Vec<Stmt>,
+    /// Enclosing frames suspended by open nested blocks, outermost first.
+    outer: Vec<Vec<Stmt>>,
 }
 
 impl<'a> MethodBuilder<'a> {
@@ -343,7 +343,7 @@ impl<'a> MethodBuilder<'a> {
         let id = CmdId::from_index(self.pb.cmds.len());
         self.pb.cmds.push(cmd);
         self.pb.cmd_method.push(self.method);
-        self.frames.last_mut().expect("frame").push(Stmt::Cmd(id));
+        self.current.push(Stmt::Cmd(id));
         id
     }
 
@@ -486,9 +486,9 @@ impl<'a> MethodBuilder<'a> {
     }
 
     fn nested(&mut self, f: impl FnOnce(&mut MethodBuilder)) -> Stmt {
-        self.frames.push(Vec::new());
+        self.begin_block();
         f(self);
-        Stmt::Seq(self.frames.pop().expect("nested frame"))
+        self.end_block()
     }
 
     /// `if (cond) { then } else { else }`
@@ -500,11 +500,7 @@ impl<'a> MethodBuilder<'a> {
     ) {
         let then_br = self.nested(then_f);
         let else_br = self.nested(else_f);
-        self.frames.last_mut().expect("frame").push(Stmt::If {
-            cond,
-            then_br: Box::new(then_br),
-            else_br: Box::new(else_br),
-        });
+        self.push_if(cond, then_br, else_br);
     }
 
     /// `if (cond) { then }`
@@ -515,16 +511,13 @@ impl<'a> MethodBuilder<'a> {
     /// `while (cond) { body }`
     pub fn while_(&mut self, cond: Cond, body_f: impl FnOnce(&mut MethodBuilder)) {
         let body = self.nested(body_f);
-        self.frames
-            .last_mut()
-            .expect("frame")
-            .push(Stmt::While { cond, body: Box::new(body) });
+        self.push_while(cond, body);
     }
 
     /// Non-deterministic loop: run the body zero or more times.
     pub fn loop_(&mut self, body_f: impl FnOnce(&mut MethodBuilder)) {
         let body = self.nested(body_f);
-        self.frames.last_mut().expect("frame").push(Stmt::Loop(Box::new(body)));
+        self.push_loop(body);
     }
 
     /// Non-deterministic branch.
@@ -535,10 +528,7 @@ impl<'a> MethodBuilder<'a> {
     ) {
         let left = self.nested(left_f);
         let right = self.nested(right_f);
-        self.frames
-            .last_mut()
-            .expect("frame")
-            .push(Stmt::Choice(Box::new(left), Box::new(right)));
+        self.push_choice(left, right);
     }
 
     /// Non-deterministically run `f` or skip it.
@@ -556,23 +546,21 @@ impl<'a> MethodBuilder<'a> {
 
     /// Opens a nested statement block.
     pub fn begin_block(&mut self) {
-        self.frames.push(Vec::new());
+        self.outer.push(std::mem::take(&mut self.current));
     }
 
     /// Closes the innermost block opened by [`MethodBuilder::begin_block`]
-    /// and returns it as a statement.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no nested block is open.
+    /// and returns it as a statement. Calling it with no open block simply
+    /// drains the method-level frame (the parser and the closure-based
+    /// combinators always keep begin/end balanced).
     pub fn end_block(&mut self) -> Stmt {
-        assert!(self.frames.len() > 1, "end_block without begin_block");
-        Stmt::Seq(self.frames.pop().expect("frame"))
+        let enclosing = self.outer.pop().unwrap_or_default();
+        Stmt::Seq(std::mem::replace(&mut self.current, enclosing))
     }
 
     /// Appends `if (cond) then_br else else_br` built from explicit blocks.
     pub fn push_if(&mut self, cond: Cond, then_br: Stmt, else_br: Stmt) {
-        self.frames.last_mut().expect("frame").push(Stmt::If {
+        self.current.push(Stmt::If {
             cond,
             then_br: Box::new(then_br),
             else_br: Box::new(else_br),
@@ -581,23 +569,17 @@ impl<'a> MethodBuilder<'a> {
 
     /// Appends `while (cond) body` built from an explicit block.
     pub fn push_while(&mut self, cond: Cond, body: Stmt) {
-        self.frames
-            .last_mut()
-            .expect("frame")
-            .push(Stmt::While { cond, body: Box::new(body) });
+        self.current.push(Stmt::While { cond, body: Box::new(body) });
     }
 
     /// Appends a non-deterministic loop built from an explicit block.
     pub fn push_loop(&mut self, body: Stmt) {
-        self.frames.last_mut().expect("frame").push(Stmt::Loop(Box::new(body)));
+        self.current.push(Stmt::Loop(Box::new(body)));
     }
 
     /// Appends a non-deterministic choice built from explicit blocks.
     pub fn push_choice(&mut self, left: Stmt, right: Stmt) {
-        self.frames
-            .last_mut()
-            .expect("frame")
-            .push(Stmt::Choice(Box::new(left), Box::new(right)));
+        self.current.push(Stmt::Choice(Box::new(left), Box::new(right)));
     }
 }
 

@@ -601,9 +601,7 @@ fn main() {
 entry main;
 "#;
         let p = crate::parse(src).expect("parse");
-        let t = Interp::new(&p, Oracle::scripted(vec![true], vec![]), 1000)
-            .run()
-            .expect("run");
+        let t = Interp::new(&p, Oracle::scripted(vec![true], vec![]), 1000).run().expect("run");
         let (_, alloc) = t.global_edges[0];
         assert_eq!(p.alloc(alloc).name, "right");
     }

@@ -42,18 +42,25 @@ use crate::ids::{ClassId, MethodId, VarId};
 use crate::program::{Program, Ty};
 use crate::stmt::{BinOp, CmpOp, Cond, Operand};
 
-/// A parse or name-resolution error, with a 1-based source line.
+/// A parse or name-resolution error, with a 1-based source position.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line where the error was detected.
     pub line: usize,
+    /// 1-based column where the error was detected; 0 when the error has no
+    /// precise column (e.g. name-resolution errors reported per line).
+    pub column: usize,
     /// Human-readable description.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.column > 0 {
+            write!(f, "line {}:{}: {}", self.line, self.column, self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -75,18 +82,22 @@ enum Tok {
 struct SpannedTok {
     tok: Tok,
     line: usize,
+    column: usize,
 }
 
 fn lex(src: &str) -> PResult<Vec<SpannedTok>> {
     let mut out = Vec::new();
     let mut line = 1usize;
+    let mut line_start = 0usize;
     let bytes = src.as_bytes();
     let mut i = 0;
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let column = i - line_start + 1;
         match c {
             '\n' => {
                 line += 1;
+                line_start = i + 1;
                 i += 1;
             }
             ' ' | '\t' | '\r' => i += 1,
@@ -102,7 +113,7 @@ fn lex(src: &str) -> PResult<Vec<SpannedTok>> {
                 {
                     i += 1;
                 }
-                out.push(SpannedTok { tok: Tok::Ident(src[start..i].to_owned()), line });
+                out.push(SpannedTok { tok: Tok::Ident(src[start..i].to_owned()), line, column });
             }
             '0'..='9' => {
                 let start = i;
@@ -111,9 +122,10 @@ fn lex(src: &str) -> PResult<Vec<SpannedTok>> {
                 }
                 let n: i64 = src[start..i].parse().map_err(|_| ParseError {
                     line,
+                    column,
                     message: format!("integer literal out of range: {}", &src[start..i]),
                 })?;
-                out.push(SpannedTok { tok: Tok::Int(n), line });
+                out.push(SpannedTok { tok: Tok::Int(n), line, column });
             }
             _ => {
                 let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
@@ -126,7 +138,7 @@ fn lex(src: &str) -> PResult<Vec<SpannedTok>> {
                     _ => None,
                 };
                 if let Some(p) = p2 {
-                    out.push(SpannedTok { tok: Tok::Punct(p), line });
+                    out.push(SpannedTok { tok: Tok::Punct(p), line, column });
                     i += 2;
                     continue;
                 }
@@ -153,12 +165,13 @@ fn lex(src: &str) -> PResult<Vec<SpannedTok>> {
                 };
                 match p1 {
                     Some(p) => {
-                        out.push(SpannedTok { tok: Tok::Punct(p), line });
+                        out.push(SpannedTok { tok: Tok::Punct(p), line, column });
                         i += 1;
                     }
                     None => {
                         return Err(ParseError {
                             line,
+                            column,
                             message: format!("unexpected character {c:?}"),
                         })
                     }
@@ -166,7 +179,7 @@ fn lex(src: &str) -> PResult<Vec<SpannedTok>> {
             }
         }
     }
-    out.push(SpannedTok { tok: Tok::Eof, line });
+    out.push(SpannedTok { tok: Tok::Eof, line, column: bytes.len() - line_start + 1 });
     Ok(out)
 }
 
@@ -278,6 +291,10 @@ impl Parser {
         self.toks[self.pos].line
     }
 
+    fn column(&self) -> usize {
+        self.toks[self.pos].column
+    }
+
     fn bump(&mut self) -> Tok {
         let t = self.toks[self.pos].tok.clone();
         if self.pos + 1 < self.toks.len() {
@@ -287,7 +304,7 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
-        Err(ParseError { line: self.line(), message: message.into() })
+        Err(ParseError { line: self.line(), column: self.column(), message: message.into() })
     }
 
     fn expect_punct(&mut self, p: &'static str) -> PResult<()> {
@@ -295,6 +312,7 @@ impl Parser {
             Tok::Punct(q) if q == p => Ok(()),
             other => Err(ParseError {
                 line: self.toks[self.pos.saturating_sub(1)].line,
+                column: self.toks[self.pos.saturating_sub(1)].column,
                 message: format!("expected `{p}`, found {other:?}"),
             }),
         }
@@ -314,6 +332,7 @@ impl Parser {
             Tok::Ident(s) => Ok(s),
             other => Err(ParseError {
                 line: self.toks[self.pos.saturating_sub(1)].line,
+                column: self.toks[self.pos.saturating_sub(1)].column,
                 message: format!("expected identifier, found {other:?}"),
             }),
         }
@@ -341,7 +360,8 @@ impl Parser {
     }
 
     fn parse_program(&mut self) -> PResult<SProgram> {
-        let mut p = SProgram { classes: Vec::new(), globals: Vec::new(), fns: Vec::new(), entry: None };
+        let mut p =
+            SProgram { classes: Vec::new(), globals: Vec::new(), fns: Vec::new(), entry: None };
         loop {
             if matches!(self.peek(), Tok::Eof) {
                 break;
@@ -618,11 +638,13 @@ impl Parser {
                 Tok::Int(n) => Ok(SOperand::Int(-n)),
                 other => Err(ParseError {
                     line: self.toks[self.pos.saturating_sub(1)].line,
+                    column: 0,
                     message: format!("expected integer after `-`, found {other:?}"),
                 }),
             },
             other => Err(ParseError {
                 line: self.toks[self.pos.saturating_sub(1)].line,
+                column: 0,
                 message: format!("expected operand, found {other:?}"),
             }),
         }
@@ -647,6 +669,7 @@ impl Parser {
             other => {
                 return Err(ParseError {
                     line: self.toks[self.pos.saturating_sub(1)].line,
+                    column: 0,
                     message: format!("expected comparison operator, found {other:?}"),
                 })
             }
@@ -672,6 +695,7 @@ impl Lowerer {
             STy::Array => Ty::Ref(b.array_class()),
             STy::Class(name) => Ty::Ref(*self.class_ids.get(name).ok_or_else(|| ParseError {
                 line,
+                column: 0,
                 message: format!("unknown class {name}"),
             })?),
         })
@@ -687,6 +711,7 @@ impl<'l> BodyCx<'l> {
     fn var(&self, name: &str, line: usize) -> PResult<VarId> {
         self.vars.get(name).copied().ok_or_else(|| ParseError {
             line,
+            column: 0,
             message: format!("unknown variable {name}"),
         })
     }
@@ -708,7 +733,6 @@ impl<'l> BodyCx<'l> {
             }
         })
     }
-
 }
 
 /// Parses the textual IR syntax into a validated [`Program`].
@@ -736,6 +760,7 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
         if lower.class_ids.contains_key(&sc.name) {
             return Err(ParseError {
                 line: sc.line,
+                column: 0,
                 message: format!("duplicate class {}", sc.name),
             });
         }
@@ -746,6 +771,7 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
         if let Some(sup) = &sc.superclass {
             let sup_id = *lower.class_ids.get(sup).ok_or_else(|| ParseError {
                 line: sc.line,
+                column: 0,
                 message: format!("unknown superclass {sup}"),
             })?;
             let id = lower.class_ids[&sc.name];
@@ -778,18 +804,15 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
                 if pname != "this" {
                     return Err(ParseError {
                         line: sm.line,
-                        message: format!(
-                            "first parameter of method {} must be `this`",
-                            sm.name
-                        ),
+                        column: 0,
+                        message: format!("first parameter of method {} must be `this`", sm.name),
                     });
                 }
                 continue;
             }
             params.push((pname.clone(), lower.ty(b, pty, sm.line)?));
         }
-        let params_ref: Vec<(&str, Ty)> =
-            params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let params_ref: Vec<(&str, Ty)> = params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         let ret = match &sm.ret {
             Some(t) => Some(lower.ty(b, t, sm.line)?),
             None => None,
@@ -821,21 +844,19 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
     }
 
     if let Some((entry, line)) = &sp.entry {
-        let id = *lower.method_ids.get(&(String::new(), entry.clone())).ok_or_else(|| {
-            ParseError { line: *line, message: format!("unknown entry function {entry}") }
-        })?;
+        let id =
+            *lower.method_ids.get(&(String::new(), entry.clone())).ok_or_else(|| ParseError {
+                line: *line,
+                column: 0,
+                message: format!("unknown entry function {entry}"),
+            })?;
         b.set_entry(id);
     }
 
-    b.try_finish().map_err(|e| ParseError { line: 0, message: e.message })
+    b.try_finish().map_err(|e| ParseError { line: 0, column: 0, message: e.message })
 }
 
-fn lower_body(
-    b: &mut ProgramBuilder,
-    lower: &Lowerer,
-    id: MethodId,
-    sm: &SMethod,
-) -> PResult<()> {
+fn lower_body(b: &mut ProgramBuilder, lower: &Lowerer, id: MethodId, sm: &SMethod) -> PResult<()> {
     let mut result: PResult<()> = Ok(());
     b.define_method(id, |mb| {
         let mut cx = BodyCx { lower, vars: HashMap::new() };
@@ -932,6 +953,7 @@ fn field_of(
         Ty::Int => {
             return Err(ParseError {
                 line,
+                column: 0,
                 message: format!("field access on integer variable {}", mb.var_name(base)),
             })
         }
@@ -939,6 +961,7 @@ fn field_of(
     let _ = cx;
     mb.resolve_field(class, fname).ok_or_else(|| ParseError {
         line,
+        column: 0,
         message: format!("no field {fname} on class of {}", mb.var_name(base)),
     })
 }
@@ -976,6 +999,7 @@ fn lower_assign(
                 SRvalue::Global(g) => {
                     let gid = *cx.lower.global_ids.get(g).ok_or_else(|| ParseError {
                         line,
+                        column: 0,
                         message: format!("unknown global {g}"),
                     })?;
                     mb.read_global(dst, gid);
@@ -983,6 +1007,7 @@ fn lower_assign(
                 SRvalue::New { class, site } => {
                     let cid = *cx.lower.class_ids.get(class).ok_or_else(|| ParseError {
                         line,
+                        column: 0,
                         message: format!("unknown class {class}"),
                     })?;
                     mb.new_obj(dst, cid, site);
@@ -1012,6 +1037,7 @@ fn lower_assign(
         SLvalue::Global(g) => {
             let gid = *cx.lower.global_ids.get(g).ok_or_else(|| ParseError {
                 line,
+                column: 0,
                 message: format!("unknown global {g}"),
             })?;
             let src = rvalue_as_operand(cx, rhs, line)?;
@@ -1026,6 +1052,7 @@ fn rvalue_as_operand(cx: &BodyCx, rhs: &SRvalue, line: usize) -> PResult<Operand
         SRvalue::Operand(o) => cx.operand(o, line),
         _ => Err(ParseError {
             line,
+            column: 0,
             message: "compound right-hand side not allowed here; use a temporary".to_owned(),
         }),
     }
@@ -1049,6 +1076,7 @@ fn lower_call(
             let key = (class.clone().unwrap_or_default(), method.clone());
             let mid = *cx.lower.method_ids.get(&key).ok_or_else(|| ParseError {
                 line,
+                column: 0,
                 message: format!(
                     "unknown function {}{}",
                     class.as_deref().map(|c| format!("{c}::")).unwrap_or_default(),

@@ -111,7 +111,8 @@ fn print_stmt(program: &Program, s: &Stmt, indent: usize, out: &mut String) {
         Stmt::If { cond: c, then_br, else_br } => {
             let _ = writeln!(out, "{pad}if ({}) {{", cond(program, c));
             print_stmt(program, then_br, indent + 2, out);
-            if matches!(**else_br, Stmt::Seq(ref v) if v.is_empty()) || matches!(**else_br, Stmt::Skip)
+            if matches!(**else_br, Stmt::Seq(ref v) if v.is_empty())
+                || matches!(**else_br, Stmt::Skip)
             {
                 let _ = writeln!(out, "{pad}}}");
             } else {
@@ -206,7 +207,12 @@ pub fn print_cmd(program: &Program, cmd: &Command) -> String {
             let args_s: Vec<String> = args.iter().map(|a| operand(program, *a)).collect();
             let call = match callee {
                 Callee::Virtual { receiver, method } => {
-                    format!("call {}.{}({})", program.var(*receiver).name, method, args_s.join(", "))
+                    format!(
+                        "call {}.{}({})",
+                        program.var(*receiver).name,
+                        method,
+                        args_s.join(", ")
+                    )
                 }
                 Callee::Static { method } => {
                     let m = program.method(*method);

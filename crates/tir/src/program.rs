@@ -208,33 +208,22 @@ impl Program {
 
     /// Finds a class by name.
     pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
-        self.classes
-            .iter()
-            .position(|c| c.name == name)
-            .map(ClassId::from_index)
+        self.classes.iter().position(|c| c.name == name).map(ClassId::from_index)
     }
 
     /// Finds a global by name.
     pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
-        self.globals
-            .iter()
-            .position(|g| g.name == name)
-            .map(GlobalId::from_index)
+        self.globals.iter().position(|g| g.name == name).map(GlobalId::from_index)
     }
 
     /// Finds the method named `name` declared directly on `class`.
     pub fn method_on(&self, class: ClassId, name: &str) -> Option<MethodId> {
-        self.class(class)
-            .methods
-            .iter()
-            .copied()
-            .find(|&m| self.method(m).name == name)
+        self.class(class).methods.iter().copied().find(|&m| self.method(m).name == name)
     }
 
     /// Finds a free function by name.
     pub fn free_function(&self, name: &str) -> Option<MethodId> {
-        self.method_ids()
-            .find(|&m| self.method(m).class.is_none() && self.method(m).name == name)
+        self.method_ids().find(|&m| self.method(m).class.is_none() && self.method(m).name == name)
     }
 
     /// Resolves a virtual call `name` on dynamic class `class` by walking the

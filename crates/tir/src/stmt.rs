@@ -147,11 +147,7 @@ impl Cond {
     /// The negation of this condition. `Nondet` negates to itself.
     pub fn negate(&self) -> Cond {
         match self {
-            Cond::True => Cond::Cmp {
-                op: CmpOp::Ne,
-                lhs: Operand::Int(0),
-                rhs: Operand::Int(0),
-            },
+            Cond::True => Cond::Cmp { op: CmpOp::Ne, lhs: Operand::Int(0), rhs: Operand::Int(0) },
             Cond::Nondet => Cond::Nondet,
             Cond::Cmp { op, lhs, rhs } => Cond::Cmp { op: op.negate(), lhs: *lhs, rhs: *rhs },
         }
@@ -563,11 +559,8 @@ mod tests {
 
     #[test]
     fn command_def_and_uses() {
-        let c = Command::WriteField {
-            obj: VarId(0),
-            field: FieldId(0),
-            src: Operand::Var(VarId(1)),
-        };
+        let c =
+            Command::WriteField { obj: VarId(0), field: FieldId(0), src: Operand::Var(VarId(1)) };
         assert_eq!(c.def(), None);
         assert_eq!(c.uses(), vec![VarId(0), VarId(1)]);
 

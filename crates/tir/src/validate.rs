@@ -105,7 +105,10 @@ fn validate_method(program: &Program, m: MethodId) -> Result<(), ValidateError> 
     };
     let check_ref = |v: VarId, what: &str| -> Result<(), ValidateError> {
         if !program.var(v).ty.is_ref() {
-            return err(format!("{name}: {what} requires a reference, got {}", program.var(v).name));
+            return err(format!(
+                "{name}: {what} requires a reference, got {}",
+                program.var(v).name
+            ));
         }
         Ok(())
     };
@@ -145,8 +148,7 @@ fn validate_method(program: &Program, m: MethodId) -> Result<(), ValidateError> 
                 }
                 Callee::Static { method } => {
                     let callee_m = program.method(*method);
-                    let expected =
-                        callee_m.params.len() - usize::from(callee_m.class.is_some());
+                    let expected = callee_m.params.len() - usize::from(callee_m.class.is_some());
                     // Instance methods called statically (constructors) pass
                     // the receiver as the first explicit argument.
                     let given = args.len() - usize::from(callee_m.class.is_some());

@@ -1,7 +1,7 @@
 //! Printer/parser round-trip property tests: random programs built through
 //! the builder API survive `print → parse → print` unchanged.
 
-use proptest::prelude::*;
+use minicheck::{run_cases, Rng};
 use tir::{BinOp, CmpOp, Cond, MethodBuilder, Operand, ProgramBuilder, Ty, VarId};
 
 #[derive(Clone, Debug)]
@@ -30,40 +30,53 @@ const NINT: usize = 3;
 const NFIELD: usize = 2;
 const NGLOB: usize = 2;
 
-fn arb_stmts(depth: u32) -> BoxedStrategy<Vec<GStmt>> {
-    let leaf = prop_oneof![
-        (0..NOBJ).prop_map(GStmt::NewObj),
-        (0..NARR).prop_map(GStmt::NewArr),
-        ((0..NOBJ), (0..NOBJ)).prop_map(|(a, b)| GStmt::Copy(a, b)),
-        ((0..NOBJ), (0..NFIELD), (0..NOBJ)).prop_map(|(a, f, b)| GStmt::WriteField(a, f, b)),
-        ((0..NOBJ), (0..NOBJ), (0..NFIELD)).prop_map(|(a, b, f)| GStmt::ReadField(a, b, f)),
-        ((0..NGLOB), (0..NOBJ)).prop_map(|(g, a)| GStmt::WriteGlobal(g, a)),
-        ((0..NOBJ), (0..NGLOB)).prop_map(|(a, g)| GStmt::ReadGlobal(a, g)),
-        ((0..NINT), any::<i8>()).prop_map(|(v, c)| GStmt::SetInt(v, c)),
-        ((0..NINT), (0..NINT), 0u8..3, any::<i8>())
-            .prop_map(|(d, s, op, c)| GStmt::Arith(d, s, op, c)),
-        ((0..NOBJ), (0..NARR), (0..NINT)).prop_map(|(d, a, i)| GStmt::ArrRead(d, a, i)),
-        ((0..NARR), (0..NINT), (0..NOBJ)).prop_map(|(a, i, s)| GStmt::ArrWrite(a, i, s)),
-        ((0..NINT), (0..NARR)).prop_map(|(d, a)| GStmt::Len(d, a)),
-        (0u8..6, (0..NINT), any::<i8>()).prop_map(|(op, v, c)| GStmt::Assume(op, v, c)),
-    ];
+fn arb_i8(rng: &mut Rng) -> i8 {
+    rng.i64_in(i64::from(i8::MIN), i64::from(i8::MAX)) as i8
+}
+
+fn arb_leaf(rng: &mut Rng) -> GStmt {
+    match rng.below(13) {
+        0 => GStmt::NewObj(rng.below(NOBJ)),
+        1 => GStmt::NewArr(rng.below(NARR)),
+        2 => GStmt::Copy(rng.below(NOBJ), rng.below(NOBJ)),
+        3 => GStmt::WriteField(rng.below(NOBJ), rng.below(NFIELD), rng.below(NOBJ)),
+        4 => GStmt::ReadField(rng.below(NOBJ), rng.below(NOBJ), rng.below(NFIELD)),
+        5 => GStmt::WriteGlobal(rng.below(NGLOB), rng.below(NOBJ)),
+        6 => GStmt::ReadGlobal(rng.below(NOBJ), rng.below(NGLOB)),
+        7 => GStmt::SetInt(rng.below(NINT), arb_i8(rng)),
+        8 => GStmt::Arith(rng.below(NINT), rng.below(NINT), rng.below(3) as u8, arb_i8(rng)),
+        9 => GStmt::ArrRead(rng.below(NOBJ), rng.below(NARR), rng.below(NINT)),
+        10 => GStmt::ArrWrite(rng.below(NARR), rng.below(NINT), rng.below(NOBJ)),
+        11 => GStmt::Len(rng.below(NINT), rng.below(NARR)),
+        _ => GStmt::Assume(rng.below(6) as u8, rng.below(NINT), arb_i8(rng)),
+    }
+}
+
+fn arb_leaf_vec(rng: &mut Rng) -> Vec<GStmt> {
+    let n = rng.usize_in(1, 4);
+    (0..n).map(|_| arb_leaf(rng)).collect()
+}
+
+fn arb_stmts(rng: &mut Rng, depth: u32) -> Vec<GStmt> {
     if depth == 0 {
-        proptest::collection::vec(leaf, 1..5).boxed()
-    } else {
-        let inner = arb_stmts(depth - 1);
-        let inner2 = arb_stmts(depth - 1);
-        let inner3 = arb_stmts(depth - 1);
-        let inner4 = arb_stmts(depth - 1);
-        prop_oneof![
-            3 => proptest::collection::vec(leaf, 1..5),
-            1 => (0u8..6, (0..NINT), any::<i8>(), inner, inner2)
-                .prop_map(|(op, v, c, t, e)| vec![GStmt::If(op, v, c, t, e)]),
-            1 => (0u8..6, (0..NINT), any::<i8>(), inner3)
-                .prop_map(|(op, v, c, b)| vec![GStmt::While(op, v, c, b)]),
-            1 => (arb_stmts(depth - 1), inner4)
-                .prop_map(|(l, r)| vec![GStmt::Choice(l, r)]),
-        ]
-        .boxed()
+        return arb_leaf_vec(rng);
+    }
+    match rng.weighted(&[3, 1, 1, 1]) {
+        0 => arb_leaf_vec(rng),
+        1 => vec![GStmt::If(
+            rng.below(6) as u8,
+            rng.below(NINT),
+            arb_i8(rng),
+            arb_stmts(rng, depth - 1),
+            arb_stmts(rng, depth - 1),
+        )],
+        2 => vec![GStmt::While(
+            rng.below(6) as u8,
+            rng.below(NINT),
+            arb_i8(rng),
+            arb_stmts(rng, depth - 1),
+        )],
+        _ => vec![GStmt::Choice(arb_stmts(rng, depth - 1), arb_stmts(rng, depth - 1))],
     }
 }
 
@@ -84,7 +97,15 @@ struct Vars {
     ints: Vec<VarId>,
 }
 
-fn emit(mb: &mut MethodBuilder, v: &Vars, stmts: &[GStmt], fresh: &mut usize, fields: &[tir::FieldId], globals: &[tir::GlobalId], cell: tir::ClassId) {
+fn emit(
+    mb: &mut MethodBuilder,
+    v: &Vars,
+    stmts: &[GStmt],
+    fresh: &mut usize,
+    fields: &[tir::FieldId],
+    globals: &[tir::GlobalId],
+    cell: tir::ClassId,
+) {
     for s in stmts {
         *fresh += 1;
         match s {
@@ -168,8 +189,7 @@ fn build(stmts: &[GStmt]) -> tir::Program {
     let cell = b.class("Cell", None);
     let fields: Vec<_> =
         (0..NFIELD).map(|i| b.field(cell, &format!("f{i}"), Ty::Ref(object))).collect();
-    let globals: Vec<_> =
-        (0..NGLOB).map(|i| b.global(&format!("G{i}"), Ty::Ref(object))).collect();
+    let globals: Vec<_> = (0..NGLOB).map(|i| b.global(&format!("G{i}"), Ty::Ref(object))).collect();
     let arr = b.array_class();
     let main = b.method(None, "main", &[], None, |mb| {
         let vars = Vars {
@@ -184,33 +204,34 @@ fn build(stmts: &[GStmt]) -> tir::Program {
     b.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// `print(parse(print(p))) == print(p)` for random builder programs.
-    #[test]
-    fn print_parse_roundtrip(stmts in arb_stmts(2)) {
+/// `print(parse(print(p))) == print(p)` for random builder programs.
+#[test]
+fn print_parse_roundtrip() {
+    run_cases(128, |rng| {
+        let stmts = arb_stmts(rng, 2);
         let p1 = build(&stmts);
         let text1 = tir::print_program(&p1);
-        let p2 = tir::parse(&text1)
-            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text1}"));
+        let p2 = tir::parse(&text1).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text1}"));
         let text2 = tir::print_program(&p2);
-        prop_assert_eq!(&text1, &text2, "unstable roundtrip");
+        assert_eq!(&text1, &text2, "unstable roundtrip");
         // Structural invariants carried across.
-        prop_assert_eq!(p1.num_cmds(), p2.num_cmds());
-        prop_assert_eq!(p1.alloc_ids().count(), p2.alloc_ids().count());
-        prop_assert_eq!(p1.global_ids().count(), p2.global_ids().count());
-    }
+        assert_eq!(p1.num_cmds(), p2.num_cmds());
+        assert_eq!(p1.alloc_ids().count(), p2.alloc_ids().count());
+        assert_eq!(p1.global_ids().count(), p2.global_ids().count());
+    });
+}
 
-    /// The points-to analysis gives identical graphs on both sides of the
-    /// round trip (names identify locations).
-    #[test]
-    fn pta_stable_under_roundtrip(stmts in arb_stmts(1)) {
+/// The points-to analysis gives identical graphs on both sides of the
+/// round trip (names identify locations).
+#[test]
+fn pta_stable_under_roundtrip() {
+    run_cases(128, |rng| {
+        let stmts = arb_stmts(rng, 1);
         let p1 = build(&stmts);
         let text = tir::print_program(&p1);
         let p2 = tir::parse(&text).expect("re-parse");
         let r1 = pta::analyze(&p1, pta::ContextPolicy::Insensitive);
         let r2 = pta::analyze(&p2, pta::ContextPolicy::Insensitive);
-        prop_assert_eq!(r1.dump(&p1), r2.dump(&p2));
-    }
+        assert_eq!(r1.dump(&p1), r2.dump(&p2));
+    });
 }

@@ -19,11 +19,8 @@ fn main() {
 
     for repr in [Representation::Mixed, Representation::FullySymbolic] {
         let config = SymexConfig::default().with_representation(repr);
-        let thresher = Thresher::with_setup(
-            &program,
-            thresher::PointsToPolicy::Insensitive,
-            config,
-        );
+        let thresher =
+            Thresher::with_setup(&program, thresher::PointsToPolicy::Insensitive, config);
         // OUT may point to a0 (the direct store) and to a1 (read out of
         // x.f through the possible alias y = x).
         let mut total_paths = 0;
@@ -39,17 +36,12 @@ fn main() {
         let n_class = program.class_by_name("N").unwrap();
         let f = program.resolve_field(n_class, "f").unwrap();
         for base_name in ["nx", "ny"] {
-            let Some(base) =
-                pta.locs().ids().find(|&l| pta.loc_name(&program, l) == base_name)
+            let Some(base) = pta.locs().ids().find(|&l| pta.loc_name(&program, l) == base_name)
             else {
                 continue;
             };
             for t in pta.pt_field(base, f).iter() {
-                let edge = pta::HeapEdge::Field {
-                    base,
-                    field: f,
-                    target: pta::LocId(t as u32),
-                };
+                let edge = pta::HeapEdge::Field { base, field: f, target: pta::LocId(t as u32) };
                 let (out, stats) = thresher.refute_edge(&edge);
                 total_paths += stats.path_programs;
                 println!(
@@ -58,7 +50,7 @@ fn main() {
                     match out {
                         symex::SearchOutcome::Refuted => "refuted",
                         symex::SearchOutcome::Witnessed(_) => "witnessed",
-                        symex::SearchOutcome::Timeout => "timeout",
+                        symex::SearchOutcome::Aborted(_) => "aborted",
                     },
                     stats.path_programs
                 );

@@ -50,10 +50,7 @@ entry main;
                 }
             }
             ReachabilityAnswer::Refuted { refuted_edges } => {
-                println!(
-                    "CACHE ~> {target}: REFUTED ({} edge(s) severed)",
-                    refuted_edges.len()
-                );
+                println!("CACHE ~> {target}: REFUTED ({} edge(s) severed)", refuted_edges.len());
             }
         }
     }

@@ -9,7 +9,7 @@
 //! Run with: `cargo run -p thresher --example singleton_leak`
 
 use android::{harness::ActivitySpec, library, AlarmResult};
-use tir::{Cond, CmpOp, Operand, ProgramBuilder, Ty};
+use tir::{CmpOp, Cond, Operand, ProgramBuilder, Ty};
 
 fn main() {
     let mut b = ProgramBuilder::new();
@@ -60,10 +60,7 @@ fn main() {
     for (alarm, result) in &report.alarms {
         match result {
             AlarmResult::Witnessed { path, witness } => {
-                println!(
-                    "LEAK {} ~> activity:",
-                    program.global(alarm.field).name
-                );
+                println!("LEAK {} ~> activity:", program.global(alarm.field).name);
                 for _e in path {
                     println!("    edge survives refutation");
                 }

@@ -25,8 +25,7 @@ fn corpus_files_parse_and_analyze() {
         }
         count += 1;
         let src = fs::read_to_string(&path).expect("read");
-        let program = tir::parse(&src)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let program = tir::parse(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         let t = Thresher::new(&program);
         assert!(t.points_to().num_locs() > 0, "{}", path.display());
     }
@@ -38,8 +37,9 @@ fn corpus_matches_generators() {
     let dir = corpus_dir();
     for app in apps::suite::all_apps() {
         let path = dir.join(format!("{}.tir", app.name.to_lowercase()));
-        let on_disk = fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("{}: {e} (run `cargo run -p apps --example export_corpus`)", path.display()));
+        let on_disk = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("{}: {e} (run `cargo run -p apps --example export_corpus`)", path.display())
+        });
         assert_eq!(
             on_disk,
             tir::print_program(&app.program),

@@ -1,0 +1,224 @@
+//! Corpus-wide fault containment: under tiny budgets and short deadlines
+//! the analysis must degrade (abort per edge) rather than crash, and the
+//! resilient driver must never lose a refutation the strict seed
+//! configuration finds.
+
+use std::fs;
+use std::time::Duration;
+
+use pta::{ContextPolicy, HeapEdge, LocId, ModRef, PtaResult};
+use symex::{Engine, SearchOutcome, StopReason, SymexConfig};
+use tir::Program;
+
+fn corpus_dir() -> std::path::PathBuf {
+    // Tests run from the crate dir (crates/core); the corpus lives at the
+    // workspace root.
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("corpus");
+    p
+}
+
+fn corpus_programs() -> Vec<(String, Program)> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(corpus_dir()).expect("corpus dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("tir") {
+            continue;
+        }
+        let src = fs::read_to_string(&path).expect("read");
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let program = tir::parse(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        out.push((name, program));
+    }
+    assert!(out.len() >= 10, "expected the full corpus, found {}", out.len());
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Every may edge of the flow-insensitive heap graph: field edges from
+/// `heap_entries` plus global edges from the global points-to sets.
+fn all_edges(program: &Program, pta: &PtaResult) -> Vec<HeapEdge> {
+    let mut edges = Vec::new();
+    for (base, field, targets) in pta.heap_entries() {
+        for t in targets.iter() {
+            edges.push(HeapEdge::Field { base, field, target: LocId(t as u32) });
+        }
+    }
+    for global in program.global_ids() {
+        for t in pta.pt_global(global).iter() {
+            edges.push(HeapEdge::Global { global, target: LocId(t as u32) });
+        }
+    }
+    edges
+}
+
+/// Per-file cap so the sweep stays fast on the bigger apps.
+const EDGE_CAP: usize = 25;
+
+#[test]
+fn corpus_sweeps_under_pressure_without_crashing() {
+    for (name, program) in corpus_programs() {
+        let pta = pta::analyze(&program, ContextPolicy::Insensitive);
+        let modref = ModRef::compute(&program, &pta);
+        let cfg =
+            SymexConfig::default().with_budget(20).with_edge_deadline(Duration::from_millis(5));
+        let mut engine = Engine::new(&program, &pta, &modref, cfg);
+        for edge in all_edges(&program, &pta).into_iter().take(EDGE_CAP) {
+            let decision = engine.refute_edge_resilient(&edge);
+            // Totality: the driver must return one of the three outcome
+            // kinds (never panic, never hang past its deadlines).
+            match decision.outcome {
+                SearchOutcome::Refuted
+                | SearchOutcome::Witnessed(_)
+                | SearchOutcome::Aborted(_) => {}
+            }
+            assert!(decision.attempts >= 1, "{name}: zero attempts recorded");
+        }
+    }
+}
+
+#[test]
+fn resilient_driver_never_flips_a_seed_refutation() {
+    for (name, program) in corpus_programs() {
+        let pta = pta::analyze(&program, ContextPolicy::Insensitive);
+        let modref = ModRef::compute(&program, &pta);
+        for edge in all_edges(&program, &pta).into_iter().take(EDGE_CAP) {
+            // Seed behavior: a strict single pass under the default config
+            // (fresh engine per edge, like `Thresher::refute_edge`).
+            let mut strict = Engine::new(&program, &pta, &modref, SymexConfig::default());
+            if !strict.refute_edge(&edge).is_refuted() {
+                continue;
+            }
+            let mut resilient = Engine::new(&program, &pta, &modref, SymexConfig::default());
+            let decision = resilient.refute_edge_resilient(&edge);
+            assert!(
+                decision.outcome.is_refuted(),
+                "{name}: resilient driver lost a seed refutation of {edge:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn escape_checker_survives_injected_panic() {
+    let program = tir::parse(
+        r#"
+class Box { field item: Object; }
+global CACHE: Box;
+fn main() {
+  var b: Box;
+  var s: Object;
+  b = new Box @box0;
+  s = new Object @secret0;
+  b.item = s;
+  $CACHE = b;
+}
+entry main;
+"#,
+    )
+    .expect("parse");
+    let mut cfg = SymexConfig::default().with_degrade(false);
+    cfg.inject_panic_on_new = Some("box0".into());
+    let t = thresher::Thresher::with_setup(&program, ContextPolicy::Insensitive, cfg);
+    // The injected fault panics inside every search that reaches box0's
+    // allocation; the checker must finish anyway and account for it.
+    let report = t.escape_checker().check_site("secret0");
+    assert!(report.aborts.panic >= 1, "expected contained panics, got {:?}", report.aborts);
+    // Aborted edges are conservatively kept, so the pair is not proven
+    // encapsulated — degraded precision, not a crash.
+    assert!(!report.is_encapsulated());
+}
+
+#[test]
+fn escape_checker_ladder_recovers_from_injected_panic() {
+    // A false `box0.item -> secret0` edge whose refutation must walk back
+    // through box0's allocation (the store's value has an unresolved
+    // `from` constraint until then), so the injected fault fires on the
+    // strict pass; the ladder strips it and refutes coarsely.
+    let program = tir::parse(
+        r#"
+class Box { field item: Object; field other: Box; }
+global PUB: Box;
+fn main() {
+  var b: Box;
+  var u: Object;
+  var s: Object;
+  var i: int;
+  b = new Box @box0;
+  u = new Object @pub0;
+  i = 0;
+  while (i < 3) {
+    b.other = b;
+    i = i + 1;
+  }
+  s = new Object @secret0;
+  b.item = u;
+  u = s;
+  $PUB = b;
+}
+entry main;
+"#,
+    )
+    .expect("parse");
+    let cfg = SymexConfig { inject_panic_on_new: Some("box0".into()), ..SymexConfig::default() };
+    let t = thresher::Thresher::with_setup(&program, ContextPolicy::Insensitive, cfg);
+    let report = t.escape_checker().check_site("secret0");
+    assert!(report.is_encapsulated(), "ladder should recover the refutation");
+    assert!(report.degraded_decisions >= 1);
+    assert!(report.retries >= 1);
+}
+
+#[test]
+fn zero_engine_deadline_degrades_whole_corpus_run() {
+    // A zero total deadline must not crash or hang: every edge aborts
+    // with WallClock (the ladder is skipped once the engine deadline is
+    // past) and the sweep completes immediately.
+    let (name, program) = &corpus_programs()[0];
+    let pta = pta::analyze(program, ContextPolicy::Insensitive);
+    let modref = ModRef::compute(program, &pta);
+    let cfg = SymexConfig::default().with_total_deadline(Duration::ZERO);
+    let mut engine = Engine::new(program, &pta, &modref, cfg);
+    for edge in all_edges(program, &pta).into_iter().take(EDGE_CAP) {
+        let decision = engine.refute_edge_resilient(&edge);
+        match decision.outcome {
+            SearchOutcome::Aborted(StopReason::WallClock) => {}
+            SearchOutcome::Refuted => {
+                // Vacuous edges (no producers) refute before any charge;
+                // that is fine — refutation is always sound to report.
+            }
+            other => {
+                panic!("{name}: expected WallClock abort or vacuous refutation, got {other:?}")
+            }
+        }
+        assert!(!decision.degraded, "{name}: ladder must not run past the engine deadline");
+    }
+}
+
+#[test]
+fn pressured_outcomes_are_a_subset_flip_to_abort_only() {
+    // Degrading pressure may turn decisions into aborts, but it must not
+    // invent refutations of edges the seed config witnesses, nor flip
+    // refuted edges to witnessed. (Aborts in either direction are fine.)
+    let (_, program) = &corpus_programs()[0];
+    let pta = pta::analyze(program, ContextPolicy::Insensitive);
+    let modref = ModRef::compute(program, &pta);
+    for edge in all_edges(program, &pta).into_iter().take(EDGE_CAP) {
+        let mut seed = Engine::new(program, &pta, &modref, SymexConfig::default());
+        let seed_out = seed.refute_edge(&edge);
+        let cfg =
+            SymexConfig::default().with_budget(20).with_edge_deadline(Duration::from_millis(5));
+        let mut pressured = Engine::new(program, &pta, &modref, cfg);
+        let out = pressured.refute_edge_resilient(&edge).outcome;
+        match (&seed_out, &out) {
+            (SearchOutcome::Refuted, SearchOutcome::Witnessed(_)) => {
+                panic!("pressure flipped a refutation to a witness for {edge:?}")
+            }
+            (SearchOutcome::Witnessed(_), SearchOutcome::Refuted) => {
+                panic!("pressure invented a refutation for witnessed {edge:?}")
+            }
+            _ => {}
+        }
+    }
+}

@@ -82,8 +82,7 @@ fn engine_stats_are_plumbed_through() {
     let pta = t.points_to();
     let arr0 = pta.locs().ids().find(|&l| pta.loc_name(&program, l) == "arr0").unwrap();
     let act0 = pta.locs().ids().find(|&l| pta.loc_name(&program, l) == "act0").unwrap();
-    let edge =
-        pta::HeapEdge::Field { base: arr0, field: program.contents_field, target: act0 };
+    let edge = pta::HeapEdge::Field { base: arr0, field: program.contents_field, target: act0 };
     let (out, stats) = t.refute_edge(&edge);
     assert!(out.is_refuted());
     assert!(stats.path_programs > 0);

@@ -5,7 +5,7 @@
 //! value) actually produced. The refutation engine must never refute an
 //! edge that a concrete execution produced — under any configuration.
 
-use proptest::prelude::*;
+use minicheck::{run_cases, Rng};
 use std::collections::HashMap;
 
 use pta::{ContextPolicy, HeapEdge, LocId, ModRef};
@@ -18,16 +18,47 @@ use tir::{
 /// Abstract plan for a random program, lowered into TIR by `lower`.
 #[derive(Clone, Debug)]
 enum Step {
-    NewObj { var: usize },
-    CopyVar { dst: usize, src: usize },
-    WriteField { base: usize, field: usize, src: usize },
-    ReadField { dst: usize, base: usize, field: usize },
-    WriteGlobal { global: usize, src: usize },
-    ReadGlobal { dst: usize, global: usize },
-    SetInt { var: usize, val: i8 },
-    AddInt { dst: usize, src: usize, k: i8 },
+    NewObj {
+        var: usize,
+    },
+    CopyVar {
+        dst: usize,
+        src: usize,
+    },
+    WriteField {
+        base: usize,
+        field: usize,
+        src: usize,
+    },
+    ReadField {
+        dst: usize,
+        base: usize,
+        field: usize,
+    },
+    WriteGlobal {
+        global: usize,
+        src: usize,
+    },
+    ReadGlobal {
+        dst: usize,
+        global: usize,
+    },
+    SetInt {
+        var: usize,
+        val: i8,
+    },
+    AddInt {
+        dst: usize,
+        src: usize,
+        k: i8,
+    },
     /// if (int_a < int_b) { body } else { else_body }
-    Guarded { a: usize, b: usize, body: Vec<Step>, else_body: Vec<Step> },
+    Guarded {
+        a: usize,
+        b: usize,
+        body: Vec<Step>,
+        else_body: Vec<Step>,
+    },
 }
 
 const NVARS: usize = 4;
@@ -35,32 +66,49 @@ const NINTS: usize = 3;
 const NFIELDS: usize = 2;
 const NGLOBALS: usize = 2;
 
-fn arb_steps(depth: u32) -> impl Strategy<Value = Vec<Step>> {
-    let leaf = prop_oneof![
-        (0..NVARS).prop_map(|var| Step::NewObj { var }),
-        ((0..NVARS), (0..NVARS)).prop_map(|(dst, src)| Step::CopyVar { dst, src }),
-        ((0..NVARS), (0..NFIELDS), (0..NVARS))
-            .prop_map(|(base, field, src)| Step::WriteField { base, field, src }),
-        ((0..NVARS), (0..NVARS), (0..NFIELDS))
-            .prop_map(|(dst, base, field)| Step::ReadField { dst, base, field }),
-        ((0..NGLOBALS), (0..NVARS)).prop_map(|(global, src)| Step::WriteGlobal { global, src }),
-        ((0..NVARS), (0..NGLOBALS)).prop_map(|(dst, global)| Step::ReadGlobal { dst, global }),
-        ((0..NINTS), -3i8..=3).prop_map(|(var, val)| Step::SetInt { var, val }),
-        ((0..NINTS), (0..NINTS), -2i8..=2)
-            .prop_map(|(dst, src, k)| Step::AddInt { dst, src, k }),
-    ];
+fn arb_leaf(rng: &mut Rng) -> Step {
+    match rng.below(8) {
+        0 => Step::NewObj { var: rng.below(NVARS) },
+        1 => Step::CopyVar { dst: rng.below(NVARS), src: rng.below(NVARS) },
+        2 => Step::WriteField {
+            base: rng.below(NVARS),
+            field: rng.below(NFIELDS),
+            src: rng.below(NVARS),
+        },
+        3 => Step::ReadField {
+            dst: rng.below(NVARS),
+            base: rng.below(NVARS),
+            field: rng.below(NFIELDS),
+        },
+        4 => Step::WriteGlobal { global: rng.below(NGLOBALS), src: rng.below(NVARS) },
+        5 => Step::ReadGlobal { dst: rng.below(NVARS), global: rng.below(NGLOBALS) },
+        6 => Step::SetInt { var: rng.below(NINTS), val: rng.i64_in(-3, 3) as i8 },
+        _ => Step::AddInt {
+            dst: rng.below(NINTS),
+            src: rng.below(NINTS),
+            k: rng.i64_in(-2, 2) as i8,
+        },
+    }
+}
+
+fn arb_leaf_vec(rng: &mut Rng) -> Vec<Step> {
+    let n = rng.usize_in(1, 5);
+    (0..n).map(|_| arb_leaf(rng)).collect()
+}
+
+fn arb_steps(rng: &mut Rng, depth: u32) -> Vec<Step> {
     if depth == 0 {
-        proptest::collection::vec(leaf, 1..6).boxed()
+        return arb_leaf_vec(rng);
+    }
+    if rng.weighted(&[4, 1]) == 0 {
+        arb_leaf_vec(rng)
     } else {
-        let inner = arb_steps(depth - 1);
-        let inner2 = arb_steps(depth - 1);
-        prop_oneof![
-            4 => proptest::collection::vec(leaf, 1..6),
-            1 => ((0..NINTS), (0..NINTS), inner, inner2).prop_map(|(a, b, body, else_body)| vec![
-                Step::Guarded { a, b, body, else_body }
-            ]),
-        ]
-        .boxed()
+        vec![Step::Guarded {
+            a: rng.below(NINTS),
+            b: rng.below(NINTS),
+            body: arb_steps(rng, depth - 1),
+            else_body: arb_steps(rng, depth - 1),
+        }]
     }
 }
 
@@ -256,11 +304,7 @@ impl Interp {
                     };
                     self.heap.insert((o, field), v);
                     if let Some(val) = v {
-                        self.field_edges.push((
-                            self.site_of[o],
-                            field,
-                            self.site_of[val],
-                        ));
+                        self.field_edges.push((self.site_of[o], field, self.site_of[val]));
                     }
                 }
             }
@@ -292,7 +336,7 @@ impl Interp {
     }
 }
 
-fn check_soundness(steps: &[Step], config: SymexConfig) -> Result<(), TestCaseError> {
+fn check_soundness(steps: &[Step], config: SymexConfig) {
     let lowered = lower(steps);
     let program = &lowered.program;
     let _ = &lowered.objs;
@@ -312,10 +356,9 @@ fn check_soundness(steps: &[Step], config: SymexConfig) -> Result<(), TestCaseEr
     };
 
     for (owner, field, value) in &interp.field_edges {
-        let edge =
-            HeapEdge::Field { base: loc_of(*owner), field: *field, target: loc_of(*value) };
+        let edge = HeapEdge::Field { base: loc_of(*owner), field: *field, target: loc_of(*value) };
         let out = engine.refute_edge(&edge);
-        prop_assert!(
+        assert!(
             !out.is_refuted(),
             "UNSOUND: concretely-produced edge {} was refuted\nprogram:\n{}",
             edge.describe(program, &pta),
@@ -325,42 +368,46 @@ fn check_soundness(steps: &[Step], config: SymexConfig) -> Result<(), TestCaseEr
     for (global, value) in &interp.global_edges {
         let edge = HeapEdge::Global { global: *global, target: loc_of(*value) };
         let out = engine.refute_edge(&edge);
-        prop_assert!(
+        assert!(
             !out.is_refuted(),
             "UNSOUND: concretely-produced edge {} was refuted\nprogram:\n{}",
             edge.describe(program, &pta),
             tir::print_program(program)
         );
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn concrete_edges_never_refuted_mixed() {
+    run_cases(64, |rng| {
+        let steps = arb_steps(rng, 1);
+        check_soundness(&steps, SymexConfig::default());
+    });
+}
 
-    #[test]
-    fn concrete_edges_never_refuted_mixed(steps in arb_steps(1)) {
-        check_soundness(&steps, SymexConfig::default())?;
-    }
-
-    #[test]
-    fn concrete_edges_never_refuted_fully_symbolic(steps in arb_steps(1)) {
+#[test]
+fn concrete_edges_never_refuted_fully_symbolic() {
+    run_cases(64, |rng| {
+        let steps = arb_steps(rng, 1);
         check_soundness(
             &steps,
             SymexConfig::default().with_representation(Representation::FullySymbolic),
-        )?;
-    }
+        );
+    });
+}
 
-    #[test]
-    fn concrete_edges_never_refuted_drop_all_loops(steps in arb_steps(1)) {
-        check_soundness(
-            &steps,
-            SymexConfig::default().with_loop_mode(LoopMode::DropAll),
-        )?;
-    }
+#[test]
+fn concrete_edges_never_refuted_drop_all_loops() {
+    run_cases(64, |rng| {
+        let steps = arb_steps(rng, 1);
+        check_soundness(&steps, SymexConfig::default().with_loop_mode(LoopMode::DropAll));
+    });
+}
 
-    #[test]
-    fn concrete_edges_never_refuted_no_simplification(steps in arb_steps(1)) {
-        check_soundness(&steps, SymexConfig::default().with_simplification(false))?;
-    }
+#[test]
+fn concrete_edges_never_refuted_no_simplification() {
+    run_cases(64, |rng| {
+        let steps = arb_steps(rng, 1);
+        check_soundness(&steps, SymexConfig::default().with_simplification(false));
+    });
 }

@@ -3,7 +3,7 @@
 //! `tir::interp` under several oracles; no concretely-produced edge may be
 //! refuted under any engine configuration.
 
-use proptest::prelude::*;
+use minicheck::{run_cases, Rng};
 
 use pta::{ContextPolicy, HeapEdge, LocId, ModRef};
 use symex::{Engine, LoopMode, Representation, SymexConfig};
@@ -28,30 +28,32 @@ const NV: usize = 3;
 const NF: usize = 2;
 const NG: usize = 2;
 
-fn arb_stmts() -> impl Strategy<Value = Vec<RStmt>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0..NV).prop_map(RStmt::New),
-            ((0..NV), (0..NV)).prop_map(|(a, b)| RStmt::Copy(a, b)),
-            ((0..NV), (0..NF), (0..NV)).prop_map(|(a, f, b)| RStmt::Write(a, f, b)),
-            ((0..NV), (0..NV), (0..NF)).prop_map(|(a, b, f)| RStmt::Read(a, b, f)),
-            ((0..NG), (0..NV)).prop_map(|(g, a)| RStmt::GWrite(g, a)),
-            ((0..NV), (0..NG)).prop_map(|(a, g)| RStmt::GRead(a, g)),
-            ((0..NV), (0..NV)).prop_map(|(a, b)| RStmt::CallStore(a, b)),
-            ((0..NV), (0..NV)).prop_map(|(a, b)| RStmt::CallSwap(a, b)),
-            ((0..NV), (0..NF), (0..NV), 0u8..3)
-                .prop_map(|(base, field, src, iters)| RStmt::LoopWrite {
-                    base,
-                    field,
-                    src,
-                    iters
-                }),
-            ((0..NV), (0..NF), (0..NV), (0..NV)).prop_map(|(base, field, left, right)| {
-                RStmt::ChoiceWrite { base, field, left, right }
-            }),
-        ],
-        1..10,
-    )
+fn arb_stmts(rng: &mut Rng) -> Vec<RStmt> {
+    let len = rng.usize_in(1, 9);
+    (0..len)
+        .map(|_| match rng.below(10) {
+            0 => RStmt::New(rng.below(NV)),
+            1 => RStmt::Copy(rng.below(NV), rng.below(NV)),
+            2 => RStmt::Write(rng.below(NV), rng.below(NF), rng.below(NV)),
+            3 => RStmt::Read(rng.below(NV), rng.below(NV), rng.below(NF)),
+            4 => RStmt::GWrite(rng.below(NG), rng.below(NV)),
+            5 => RStmt::GRead(rng.below(NV), rng.below(NG)),
+            6 => RStmt::CallStore(rng.below(NV), rng.below(NV)),
+            7 => RStmt::CallSwap(rng.below(NV), rng.below(NV)),
+            8 => RStmt::LoopWrite {
+                base: rng.below(NV),
+                field: rng.below(NF),
+                src: rng.below(NV),
+                iters: rng.below(3) as u8,
+            },
+            _ => RStmt::ChoiceWrite {
+                base: rng.below(NV),
+                field: rng.below(NF),
+                left: rng.below(NV),
+                right: rng.below(NV),
+            },
+        })
+        .collect()
 }
 
 struct Built {
@@ -69,38 +71,27 @@ fn build(stmts: &[RStmt]) -> Built {
 
     // Helper: store into field f0.
     let f0 = fields[0];
-    let store: MethodId = b.method(
-        None,
-        "store_helper",
-        &[("h", Ty::Ref(cell)), ("o", Ty::Ref(cell))],
-        None,
-        |mb| {
+    let store: MethodId =
+        b.method(None, "store_helper", &[("h", Ty::Ref(cell)), ("o", Ty::Ref(cell))], None, |mb| {
             let h = mb.param(0);
             let o = mb.param(1);
             mb.write_field(h, f0, o);
-        },
-    );
+        });
     // Helper: swap-ish through f1 (read + write).
     let f1 = fields[1];
-    let swap: MethodId = b.method(
-        None,
-        "swap_helper",
-        &[("x", Ty::Ref(cell)), ("y", Ty::Ref(cell))],
-        None,
-        |mb| {
+    let swap: MethodId =
+        b.method(None, "swap_helper", &[("x", Ty::Ref(cell)), ("y", Ty::Ref(cell))], None, |mb| {
             let x = mb.param(0);
             let y = mb.param(1);
             let t = mb.var("t", Ty::Ref(object));
             mb.read_field(t, x, f1);
             mb.write_field(y, f1, t);
-        },
-    );
+        });
 
     let f2 = fields.clone();
     let g2 = globals.clone();
     let main = b.method(None, "main", &[], None, |mb| {
-        let vars: Vec<VarId> =
-            (0..NV).map(|i| mb.var(&format!("v{i}"), Ty::Ref(cell))).collect();
+        let vars: Vec<VarId> = (0..NV).map(|i| mb.var(&format!("v{i}"), Ty::Ref(cell))).collect();
         let counter = mb.var("i", Ty::Int);
         for (i, &v) in vars.iter().enumerate() {
             mb.new_obj(v, cell, &format!("init{i}"));
@@ -130,18 +121,10 @@ fn build(stmts: &[RStmt]) -> Built {
                     mb.read_global(vars[*a], g2[*g]);
                 }
                 RStmt::CallStore(a, b2) => {
-                    mb.call_static(
-                        None,
-                        store,
-                        &[Operand::Var(vars[*a]), Operand::Var(vars[*b2])],
-                    );
+                    mb.call_static(None, store, &[Operand::Var(vars[*a]), Operand::Var(vars[*b2])]);
                 }
                 RStmt::CallSwap(a, b2) => {
-                    mb.call_static(
-                        None,
-                        swap,
-                        &[Operand::Var(vars[*a]), Operand::Var(vars[*b2])],
-                    );
+                    mb.call_static(None, swap, &[Operand::Var(vars[*a]), Operand::Var(vars[*b2])]);
                 }
                 RStmt::LoopWrite { base, field, src, iters } => {
                     mb.assign(counter, 0);
@@ -149,10 +132,7 @@ fn build(stmts: &[RStmt]) -> Built {
                     mb.write_field(vars[*base], f2[*field], vars[*src]);
                     mb.binop(counter, tir::BinOp::Add, counter, 1);
                     let body = mb.end_block();
-                    mb.push_while(
-                        Cond::cmp(CmpOp::Lt, counter, i64::from(*iters)),
-                        body,
-                    );
+                    mb.push_while(Cond::cmp(CmpOp::Lt, counter, i64::from(*iters)), body);
                 }
                 RStmt::ChoiceWrite { base, field, left, right } => {
                     mb.begin_block();
@@ -170,7 +150,7 @@ fn build(stmts: &[RStmt]) -> Built {
     Built { program: b.finish() }
 }
 
-fn check(stmts: &[RStmt], config: SymexConfig) -> Result<(), TestCaseError> {
+fn check(stmts: &[RStmt], config: SymexConfig) {
     let built = build(stmts);
     let program = &built.program;
     let pta = pta::analyze(program, ContextPolicy::Insensitive);
@@ -184,10 +164,7 @@ fn check(stmts: &[RStmt], config: SymexConfig) -> Result<(), TestCaseError> {
     let oracles = [
         Oracle::always_first(),
         Oracle::scripted(vec![true; 16], vec![2; 8]),
-        Oracle::scripted(
-            (0..16).map(|i| i % 2 == 0).collect(),
-            (0..8).map(|i| i % 3).collect(),
-        ),
+        Oracle::scripted((0..16).map(|i| i % 2 == 0).collect(), (0..8).map(|i| i % 3).collect()),
     ];
     for oracle in oracles {
         let mut interp = Interp::new(program, oracle, 100_000);
@@ -199,13 +176,10 @@ fn check(stmts: &[RStmt], config: SymexConfig) -> Result<(), TestCaseError> {
             Err(_) => interp.trace().clone(),
         };
         for (owner, field, value) in &trace.field_edges {
-            let edge = HeapEdge::Field {
-                base: loc_of(*owner),
-                field: *field,
-                target: loc_of(*value),
-            };
+            let edge =
+                HeapEdge::Field { base: loc_of(*owner), field: *field, target: loc_of(*value) };
             let out = engine.refute_edge(&edge);
-            prop_assert!(
+            assert!(
                 !out.is_refuted(),
                 "UNSOUND: concrete edge {} refuted\n{}",
                 edge.describe(program, &pta),
@@ -215,7 +189,7 @@ fn check(stmts: &[RStmt], config: SymexConfig) -> Result<(), TestCaseError> {
         for (global, value) in &trace.global_edges {
             let edge = HeapEdge::Global { global: *global, target: loc_of(*value) };
             let out = engine.refute_edge(&edge);
-            prop_assert!(
+            assert!(
                 !out.is_refuted(),
                 "UNSOUND: concrete edge {} refuted\n{}",
                 edge.describe(program, &pta),
@@ -223,35 +197,36 @@ fn check(stmts: &[RStmt], config: SymexConfig) -> Result<(), TestCaseError> {
             );
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn rich_programs_mixed() {
+    run_cases(48, |rng| {
+        let stmts = arb_stmts(rng);
+        check(&stmts, SymexConfig::default());
+    });
+}
 
-    #[test]
-    fn rich_programs_mixed(stmts in arb_stmts()) {
-        check(&stmts, SymexConfig::default())?;
-    }
+#[test]
+fn rich_programs_fully_symbolic() {
+    run_cases(48, |rng| {
+        let stmts = arb_stmts(rng);
+        check(&stmts, SymexConfig::default().with_representation(Representation::FullySymbolic));
+    });
+}
 
-    #[test]
-    fn rich_programs_fully_symbolic(stmts in arb_stmts()) {
-        check(
-            &stmts,
-            SymexConfig::default().with_representation(Representation::FullySymbolic),
-        )?;
-    }
+#[test]
+fn rich_programs_fully_explicit() {
+    run_cases(48, |rng| {
+        let stmts = arb_stmts(rng);
+        check(&stmts, SymexConfig::default().with_representation(Representation::FullyExplicit));
+    });
+}
 
-    #[test]
-    fn rich_programs_fully_explicit(stmts in arb_stmts()) {
-        check(
-            &stmts,
-            SymexConfig::default().with_representation(Representation::FullyExplicit),
-        )?;
-    }
-
-    #[test]
-    fn rich_programs_drop_all_loops(stmts in arb_stmts()) {
-        check(&stmts, SymexConfig::default().with_loop_mode(LoopMode::DropAll))?;
-    }
+#[test]
+fn rich_programs_drop_all_loops() {
+    run_cases(48, |rng| {
+        let stmts = arb_stmts(rng);
+        check(&stmts, SymexConfig::default().with_loop_mode(LoopMode::DropAll));
+    });
 }
