@@ -220,6 +220,7 @@ impl<'a> LeakClient<'a> {
     /// Triages one alarm: refute edges along paths until the alarm's
     /// endpoints are disconnected, or some path is fully witnessed.
     pub fn triage(&mut self, alarm: Alarm, stats: &mut ClientStats) -> AlarmResult {
+        let _span = obs::span_with(obs::SpanKind::Alarm, || self.describe_alarm(&alarm));
         let target = BitSet::singleton(alarm.activity.index());
         'paths: loop {
             let Some(path) = self.view.find_path(self.program, alarm.field, &target) else {
@@ -240,11 +241,21 @@ impl<'a> LeakClient<'a> {
 
     /// Runs the full pipeline: enumerate alarms, triage each, aggregate.
     pub fn run(mut self) -> LeakReport {
+        let _span = obs::span(obs::SpanKind::Client, "activity-leak");
         let alarms = self.find_alarms();
+        obs::add(obs::Counter::AlarmsFound, alarms.len() as u64);
         let mut stats = ClientStats::default();
         let mut results = Vec::new();
         for alarm in alarms {
             let r = self.triage(alarm, &mut stats);
+            obs::add(
+                if r.is_refuted() {
+                    obs::Counter::AlarmsRefuted
+                } else {
+                    obs::Counter::AlarmsWitnessed
+                },
+                1,
+            );
             results.push((alarm, r));
         }
         LeakReport { alarms: results, stats }

@@ -6,7 +6,15 @@
 //! reproduce simplification [--budget N]          # §4 hypothesis 2
 //! reproduce loops                                # §4 hypothesis 3
 //! reproduce all [--budget N]                     # everything
+//!
+//! snapshot options (table1 / all):
+//!   --snapshot-out <path>   where to write the perf snapshot JSON
+//!                           (default BENCH_<unix-time>.json)
+//!   --no-snapshot           skip writing the snapshot
 //! ```
+//!
+//! Table 1 runs additionally emit a machine-readable perf snapshot
+//! (`thresher.bench_snapshot/1`) so results can be diffed across commits.
 //!
 //! Absolute times are hardware-dependent; the *shape* (who wins, by what
 //! factor, where timeouts fall) is the reproduction target — see
@@ -14,8 +22,8 @@
 
 use apps::BenchApp;
 use bench::{
-    format_table1_row, run_loop_ablation, run_repr_comparison, run_simplification_ablation,
-    run_table1_row, table1_header,
+    format_table1_row, perf_snapshot_json, run_loop_ablation, run_repr_comparison,
+    run_simplification_ablation, run_table1_row, table1_header, Table1Row,
 };
 use symex::{Representation, SymexConfig};
 
@@ -42,10 +50,11 @@ fn selected_apps(args: &[String]) -> Vec<BenchApp> {
         .collect()
 }
 
-fn table1(apps: &[BenchApp], budget: u64) {
+fn table1(apps: &[BenchApp], budget: u64) -> Vec<Table1Row> {
     println!("== Table 1: filtering effectiveness and computational effort ==");
     println!("{}", table1_header());
     let mut totals = [0usize; 8];
+    let mut rows = Vec::new();
     for app in apps {
         for annotated in [false, true] {
             let cfg = SymexConfig::default().with_budget(budget);
@@ -56,6 +65,7 @@ fn table1(apps: &[BenchApp], budget: u64) {
             totals[idx + 1] += row.refuted_alarms;
             totals[idx + 2] += row.true_alarms;
             totals[idx + 3] += row.false_alarms;
+            rows.push(row);
         }
     }
     println!(
@@ -66,6 +76,30 @@ fn table1(apps: &[BenchApp], budget: u64) {
         "Total  Ann?=Y: alarms={} refuted={} true={} false={}",
         totals[4], totals[5], totals[6], totals[7]
     );
+    rows
+}
+
+/// Writes the perf snapshot next to the working directory (or to
+/// `--snapshot-out`), named `BENCH_<unix-time>.json` by default.
+fn write_snapshot(args: &[String], rows: &[Table1Row], budget: u64) {
+    if rows.is_empty() || args.iter().any(|a| a == "--no-snapshot") {
+        return;
+    }
+    let unix_time_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let path = args
+        .iter()
+        .position(|a| a == "--snapshot-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("BENCH_{unix_time_s}.json"));
+    let payload = perf_snapshot_json(rows, unix_time_s, budget);
+    match std::fs::write(&path, payload) {
+        Ok(()) => println!("perf snapshot written to {path}"),
+        Err(e) => eprintln!("warning: cannot write snapshot {path}: {e}"),
+    }
 }
 
 fn table2(apps: &[BenchApp], budget: u64) {
@@ -155,13 +189,16 @@ fn main() {
     let budget = parse_budget(&args);
     let apps = selected_apps(&args);
     match mode {
-        "table1" => table1(&apps, budget),
+        "table1" => {
+            let rows = table1(&apps, budget);
+            write_snapshot(&args, &rows, budget);
+        }
         "table2" => table2(&apps, budget),
         "simplification" => simplification(&apps, budget),
         "stats" => stats(&apps),
         "loops" => loops(),
         "all" => {
-            table1(&apps, budget);
+            let rows = table1(&apps, budget);
             println!();
             table2(&apps, budget);
             println!();
@@ -170,6 +207,7 @@ fn main() {
             stats(&apps);
             println!();
             loops();
+            write_snapshot(&args, &rows, budget);
         }
         other => {
             eprintln!("unknown mode {other}; use table1|table2|simplification|stats|loops|all");

@@ -314,6 +314,56 @@ pub fn format_table1_row(r: &Table1Row) -> String {
     }
 }
 
+/// Schema identifier written into every perf snapshot (see
+/// [`perf_snapshot_json`]).
+pub const SNAPSHOT_SCHEMA: &str = "thresher.bench_snapshot/1";
+
+impl Table1Row {
+    /// A structured JSON view of the row, mirroring the printed columns
+    /// plus abort/degradation provenance.
+    pub fn to_value(&self) -> obs::json::Value {
+        use obs::json::Value;
+        let aborts = self
+            .aborts
+            .by_key()
+            .iter()
+            .map(|(k, n)| ((*k).to_owned(), Value::uint(*n)))
+            .collect::<Vec<_>>();
+        Value::Obj(vec![
+            ("name".to_owned(), Value::str(self.name)),
+            ("size_cmds".to_owned(), Value::uint(self.size_cmds as u64)),
+            ("annotated".to_owned(), Value::Bool(self.annotated)),
+            ("alarms".to_owned(), Value::uint(self.alarms as u64)),
+            ("refuted_alarms".to_owned(), Value::uint(self.refuted_alarms as u64)),
+            ("true_alarms".to_owned(), Value::uint(self.true_alarms as u64)),
+            ("false_alarms".to_owned(), Value::uint(self.false_alarms as u64)),
+            ("fields".to_owned(), Value::uint(self.fields as u64)),
+            ("refuted_fields".to_owned(), Value::uint(self.refuted_fields as u64)),
+            ("edges_refuted".to_owned(), Value::uint(self.edges_refuted as u64)),
+            ("edges_witnessed".to_owned(), Value::uint(self.edges_witnessed as u64)),
+            ("timeouts".to_owned(), Value::uint(self.timeouts as u64)),
+            ("aborts".to_owned(), Value::Obj(aborts)),
+            ("retries".to_owned(), Value::uint(self.retries as u64)),
+            ("degraded_decisions".to_owned(), Value::uint(self.degraded_decisions as u64)),
+            ("time_s".to_owned(), Value::Float(self.time.as_secs_f64())),
+        ])
+    }
+}
+
+/// Serializes a machine-readable perf snapshot of a Table 1 run — the
+/// payload of the `BENCH_<timestamp>.json` files the `reproduce` binary
+/// emits so runs can be diffed across commits.
+pub fn perf_snapshot_json(rows: &[Table1Row], unix_time_s: u64, budget: u64) -> String {
+    use obs::json::Value;
+    Value::Obj(vec![
+        ("schema".to_owned(), Value::str(SNAPSHOT_SCHEMA)),
+        ("unix_time_s".to_owned(), Value::uint(unix_time_s)),
+        ("budget".to_owned(), Value::uint(budget)),
+        ("rows".to_owned(), Value::Arr(rows.iter().map(Table1Row::to_value).collect())),
+    ])
+    .to_json()
+}
+
 /// The Table 1 header matching [`format_table1_row`].
 pub fn table1_header() -> String {
     format!(

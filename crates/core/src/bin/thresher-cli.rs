@@ -13,10 +13,14 @@
 //!   --representation <mixed|symbolic|explicit>
 //!   --loops <infer|drop-all>
 //!   --no-simplification
+//!   --report-out <path>        write a machine-readable RunReport JSON
+//!   --trace-out <path>         write a Chrome trace-event JSON
+//!                              (Perfetto / chrome://tracing)
 //! ```
 
 use std::process::ExitCode;
 
+use thresher::obs::{self, MemRecorder, RingCapacity, SpanKind};
 use thresher::{LoopMode, ReachabilityAnswer, Representation, SymexConfig, Thresher};
 
 struct Options {
@@ -25,6 +29,8 @@ struct Options {
     queries: Vec<(String, String)>,
     leaks: bool,
     config: SymexConfig,
+    report_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -34,6 +40,8 @@ fn parse_args() -> Result<Options, String> {
     let mut queries = Vec::new();
     let mut leaks = false;
     let mut config = SymexConfig::default();
+    let mut report_out = None;
+    let mut trace_out = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--dump-pta" => dump_pta = true,
@@ -63,6 +71,12 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("bad loop mode {other:?}")),
                 };
             }
+            "--report-out" => {
+                report_out = Some(args.next().ok_or("--report-out needs a path")?);
+            }
+            "--trace-out" => {
+                trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
+            }
             other if path.is_none() && !other.starts_with("--") => {
                 path = Some(other.to_owned());
             }
@@ -75,6 +89,8 @@ fn parse_args() -> Result<Options, String> {
         queries,
         leaks,
         config,
+        report_out,
+        trace_out,
     })
 }
 
@@ -85,6 +101,13 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
+    };
+    // Install the recorder before any analysis so the run span covers
+    // everything. The recorder is deliberately static (obs install leaks).
+    let recorder = if opts.report_out.is_some() || opts.trace_out.is_some() {
+        Some(MemRecorder::install_static(RingCapacity::default()))
+    } else {
+        None
     };
     let src = match std::fs::read_to_string(&opts.path) {
         Ok(s) => s,
@@ -100,12 +123,30 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+
+    let code = {
+        let _run = obs::span_with(SpanKind::Run, || opts.path.clone());
+        analyze(&opts, &program)
+    };
+
+    if let Some(rec) = recorder {
+        if let Err(e) = write_outputs(&opts, rec) {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    code
+}
+
+/// The whole analysis, separated out so the `Run` span closes (and is
+/// recorded) before the trace/report files are written.
+fn analyze(opts: &Options, program: &tir::Program) -> ExitCode {
     let thresher =
-        Thresher::with_setup(&program, thresher::PointsToPolicy::Insensitive, opts.config.clone());
+        Thresher::with_setup(program, thresher::PointsToPolicy::Insensitive, opts.config.clone());
 
     if opts.dump_pta {
         println!("== points-to graph ==");
-        print!("{}", thresher.points_to().dump(&program));
+        print!("{}", thresher.points_to().dump(program));
     }
 
     let mut any_reachable = false;
@@ -123,7 +164,7 @@ fn main() -> ExitCode {
                 any_reachable = true;
                 println!("{g} ~> {l}: REACHABLE");
                 for e in &path {
-                    println!("    {}", e.describe(&program, thresher.points_to()));
+                    println!("    {}", e.describe(program, thresher.points_to()));
                 }
             }
             ReachabilityAnswer::Refuted { refuted_edges } => {
@@ -151,4 +192,17 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn write_outputs(opts: &Options, rec: &MemRecorder) -> Result<(), String> {
+    if let Some(path) = &opts.report_out {
+        let report = rec.run_report(&[("program", &opts.path), ("tool", "thresher-cli")]);
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write report {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, rec.chrome_trace())
+            .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+    }
+    Ok(())
 }

@@ -97,6 +97,7 @@ impl<'a> EscapeChecker<'a> {
     /// The general form: refute reachability from every global to every
     /// location in `targets`, sharing the edge cache across pairs.
     pub fn check_targets(&self, targets: BitSet) -> EscapeReport {
+        let _span = obs::span(obs::SpanKind::Client, "escape-checker");
         let mut engine = Engine::new(self.program, self.pta, self.modref, self.config.clone());
         let mut view = HeapGraphView::new(self.pta);
         let mut cache: HashMap<HeapEdge, bool> = HashMap::new(); // edge -> refuted?

@@ -60,6 +60,7 @@ pub use android::{
     paper_annotations, ActivityLeakChecker, Alarm, AlarmResult, Annotation, LeakReport,
 };
 pub use clients::{Escape, EscapeChecker, EscapeReport};
+pub use obs;
 pub use pta::ContextPolicy as PointsToPolicy;
 pub use symex::{
     AbortCounts, EdgeDecision, LoopMode, Representation, SearchOutcome, SearchStats, StopReason,
@@ -121,6 +122,7 @@ impl<'p> Thresher<'p> {
         config: SymexConfig,
         options: &PtaOptions,
     ) -> Self {
+        let _span = obs::span(obs::SpanKind::Setup, "points-to + mod/ref");
         let pta = pta::analyze_with(program, policy, options);
         let modref = ModRef::compute(program, &pta);
         Thresher { program, config, pta, modref }
@@ -192,6 +194,13 @@ impl<'p> Thresher<'p> {
 
     /// [`Thresher::query_reachable`] with resolved ids.
     pub fn query_reachable_loc(&self, global: tir::GlobalId, target: LocId) -> ReachabilityAnswer {
+        let _span = obs::span_with(obs::SpanKind::Query, || {
+            format!(
+                "{} ~> {}",
+                self.program.global(global).name,
+                self.pta.loc_name(self.program, target)
+            )
+        });
         let mut engine = Engine::new(self.program, &self.pta, &self.modref, self.config.clone());
         let mut view = HeapGraphView::new(&self.pta);
         let targets = BitSet::singleton(target.index());

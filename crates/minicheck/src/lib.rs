@@ -19,7 +19,7 @@
 
 #![warn(missing_docs)]
 
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// SplitMix64: a tiny, high-quality, splittable PRNG (public-domain
 /// algorithm by Sebastiano Vigna). Deterministic across platforms.
@@ -95,8 +95,10 @@ fn case_seed(base: u64, i: u64) -> u64 {
 
 /// Runs `f` once per case with a deterministically derived [`Rng`].
 ///
-/// On panic, prints the case index and seed (replayable via [`run_seed`])
-/// and re-raises, so the test fails with the original assertion message.
+/// On panic, re-panics with a message that carries the case index, the
+/// seed (replayable via [`run_seed`]), and the original assertion text —
+/// one combined payload instead of a stray `eprintln!` plus re-raise, so
+/// nothing is printed outside the test harness.
 pub fn run_cases<F: FnMut(&mut Rng)>(cases: u64, mut f: F) {
     // A fixed base keeps CI deterministic; vary it locally by setting
     // MINICHECK_SEED to explore fresh inputs.
@@ -111,11 +113,17 @@ pub fn run_cases<F: FnMut(&mut Rng)>(cases: u64, mut f: F) {
             f(&mut rng);
         }));
         if let Err(payload) = result {
-            eprintln!(
+            let original = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_owned()
+            };
+            panic!(
                 "minicheck: case {i}/{cases} failed (seed {seed:#x}); \
-                 replay with minicheck::run_seed({seed:#x}, ...)"
+                 replay with minicheck::run_seed({seed:#x}, ...): {original}"
             );
-            resume_unwind(payload);
         }
     }
 }

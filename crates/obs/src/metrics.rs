@@ -1,0 +1,359 @@
+//! Typed counters, log-scale histograms, and the atomic registry backing
+//! them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! metric_enum {
+    ($(#[$meta:meta])* $vis:vis enum $enum_name:ident {
+        $($(#[$vmeta:meta])* $variant:ident => $name:literal,)+
+    }) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        $vis enum $enum_name {
+            $($(#[$vmeta])* $variant,)+
+        }
+
+        impl $enum_name {
+            /// Every variant, in declaration (and report) order.
+            pub const ALL: &'static [$enum_name] = &[$($enum_name::$variant,)+];
+
+            /// Number of variants.
+            pub const COUNT: usize = $enum_name::ALL.len();
+
+            /// Stable snake_case name used in the [`RunReport`] schema.
+            ///
+            /// [`RunReport`]: crate::RunReport
+            pub fn name(self) -> &'static str {
+                match self {
+                    $($enum_name::$variant => $name,)+
+                }
+            }
+
+            /// Dense index of the variant.
+            #[inline]
+            pub fn index(self) -> usize {
+                self as usize
+            }
+        }
+    };
+}
+
+metric_enum! {
+    /// Every counter the pipeline maintains. Adding a variant extends the
+    /// report schema; renaming one is a schema break (bump the report
+    /// version).
+    pub enum Counter {
+        // --- edge decisions (driver level) ---
+        /// Edges proven infeasible.
+        EdgesRefuted => "edges_refuted",
+        /// Edges with a surviving path-program witness.
+        EdgesWitnessed => "edges_witnessed",
+        /// Edges whose search gave up (any [`StopReason`]).
+        ///
+        /// [`StopReason`]: https://docs.rs/thresher
+        EdgesAborted => "edges_aborted",
+        /// Aborts: fork budget exhausted.
+        AbortForkBudget => "aborts_fork_budget",
+        /// Aborts: work budget exhausted.
+        AbortWorkBudget => "aborts_work_budget",
+        /// Aborts: wall-clock deadline.
+        AbortWallClock => "aborts_wall_clock",
+        /// Aborts: caller depth cap.
+        AbortCallerDepth => "aborts_caller_depth",
+        /// Aborts: contained panic.
+        AbortPanic => "aborts_panic",
+        /// Aborts: solver failure.
+        AbortSolverFailure => "aborts_solver_failure",
+        /// Aborts: hard heap-cell cap.
+        AbortHeapCap => "aborts_heap_cap",
+        /// Degradation-ladder retries beyond the strict first attempt.
+        DegradedRetries => "degraded_retries",
+        /// Edges decided only by a coarsened retry.
+        DegradedDecisions => "degraded_decisions",
+        // --- search internals (engine level) ---
+        /// Path programs (query forks) explored.
+        PathPrograms => "path_programs",
+        /// Backwards command transfers applied.
+        CmdsExecuted => "cmds_executed",
+        /// Queries dropped by history subsumption.
+        Subsumed => "subsumed",
+        /// Loop-invariant fixed points run.
+        LoopFixpoints => "loop_fixpoints",
+        /// Loop widenings (pure constraints dropped past the iteration cap).
+        LoopWidenings => "loop_widenings",
+        /// Loop drop-all fallbacks (far past the iteration cap).
+        LoopDropAllFallbacks => "loop_drop_all_fallbacks",
+        /// Calls skipped via the frame rule (irrelevant mod/ref).
+        CallsSkippedIrrelevant => "calls_skipped_irrelevant",
+        /// Calls skipped for exceeding the stack bound.
+        CallsSkippedDepth => "calls_skipped_depth",
+        /// Refutations: empty `from` region.
+        RefutedEmptyRegion => "refuted_empty_region",
+        /// Refutations: separation contradiction.
+        RefutedSeparation => "refuted_separation",
+        /// Refutations: pure-constraint contradiction.
+        RefutedPure => "refuted_pure",
+        /// Refutations: pre-allocation contradiction.
+        RefutedAllocation => "refuted_allocation",
+        /// Refutations: contradiction at program entry.
+        RefutedEntry => "refuted_entry",
+        // --- decision procedure ---
+        /// Satisfiability/entailment queries answered.
+        SolverCalls => "solver_calls",
+        /// Satisfiable verdicts.
+        SolverSat => "solver_sat",
+        /// Unsatisfiable verdicts.
+        SolverUnsat => "solver_unsat",
+        /// Solver failures (overflow, oversized sets).
+        SolverFailures => "solver_failures",
+        // --- points-to analysis ---
+        /// Worklist propagation rounds.
+        PtaPropagations => "pta_propagations",
+        /// Constraint-graph nodes created.
+        PtaNodes => "pta_nodes",
+        /// Method instances analyzed (method × context).
+        PtaInstances => "pta_instances",
+        // --- clients ---
+        /// Alarms reported by the flow-insensitive analysis.
+        AlarmsFound => "alarms_found",
+        /// Alarms fully refuted.
+        AlarmsRefuted => "alarms_refuted",
+        /// Alarms with a surviving witnessed path.
+        AlarmsWitnessed => "alarms_witnessed",
+    }
+}
+
+metric_enum! {
+    /// Every histogram the pipeline maintains. Buckets are powers of two
+    /// (see [`bucket_index`]).
+    pub enum Hist {
+        /// Latency of one decision-procedure call, nanoseconds.
+        SolverNanos => "solver_call_ns",
+        /// Latency of one full edge refutation (all attempts), microseconds.
+        EdgeMicros => "edge_refutation_us",
+        /// Exact heap cells held by a query at each command transfer.
+        HeapCells => "query_heap_cells",
+        /// Points-to worklist length at each propagation round.
+        PtaWorklist => "pta_worklist_len",
+        /// Path-program witness trace length at discharge.
+        WitnessTraceLen => "witness_trace_len",
+    }
+}
+
+/// Number of log₂ buckets: one for zero plus one per bit of `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The bucket an observation lands in: `0 → 0`, otherwise
+/// `⌊log₂ v⌋ + 1` — so bucket `i ≥ 1` covers `[2^(i-1), 2^i)` and
+/// `u64::MAX` lands in bucket 64.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (0 for bucket 0, else `2^(i-1)`).
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+struct HistCells {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCells {
+    fn new() -> Self {
+        HistCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating: the sum is diagnostic, wrap-around would mislead.
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(v);
+            match self.sum.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((bucket_lower_bound(i), n));
+            }
+        }
+        HistSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time view of one histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Saturating sum of observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// `(bucket lower bound, count)` pairs for non-empty buckets, in
+    /// ascending bound order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Atomic storage for every [`Counter`] and [`Hist`]. Thread-safe; all
+/// operations are relaxed atomics (per-metric totals are exact, cross-
+/// metric consistency is not promised mid-run).
+pub struct Registry {
+    counters: [AtomicU64; Counter::COUNT],
+    hists: Vec<HistCells>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates a zeroed registry.
+    pub fn new() -> Self {
+        Registry {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: (0..Hist::COUNT).map(|_| HistCells::new()).collect(),
+        }
+    }
+
+    /// Adds `n` to `c`.
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        self.counters[c.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `v` into `h`.
+    #[inline]
+    pub fn observe(&self, h: Hist, v: u64) {
+        self.hists[h.index()].observe(v);
+    }
+
+    /// Current value of `c`.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of `h`.
+    pub fn histogram(&self, h: Hist) -> HistSnapshot {
+        self.hists[h.index()].snapshot()
+    }
+
+    /// Zeroes every metric.
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        for h in &self.hists {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::COUNT);
+        let mut hnames: Vec<&str> = Hist::ALL.iter().map(|h| h.name()).collect();
+        hnames.sort_unstable();
+        hnames.dedup();
+        assert_eq!(hnames.len(), Hist::COUNT);
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        assert_eq!(bucket_index((1u64 << 63) - 1), 63);
+        assert_eq!(bucket_lower_bound(0), 0);
+        assert_eq!(bucket_lower_bound(1), 1);
+        assert_eq!(bucket_lower_bound(64), 1u64 << 63);
+        // Every value lands in the bucket whose range covers it.
+        for v in [0u64, 1, 2, 3, 5, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v >= bucket_lower_bound(i), "{v} below bucket {i}");
+            if i < 64 {
+                assert!(v < bucket_lower_bound(i + 1), "{v} above bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn registry_counts_and_snapshots() {
+        let r = Registry::new();
+        r.add(Counter::SolverCalls, 2);
+        r.add(Counter::SolverCalls, 3);
+        assert_eq!(r.counter(Counter::SolverCalls), 5);
+        assert_eq!(r.counter(Counter::SolverSat), 0);
+
+        r.observe(Hist::HeapCells, 0);
+        r.observe(Hist::HeapCells, 1);
+        r.observe(Hist::HeapCells, 7);
+        r.observe(Hist::HeapCells, u64::MAX);
+        let s = r.histogram(Hist::HeapCells);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.max, u64::MAX);
+        // 0 + 1 + 7 + MAX saturates.
+        assert_eq!(s.sum, u64::MAX);
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (4, 1), (1u64 << 63, 1)]);
+
+        r.reset();
+        assert_eq!(r.counter(Counter::SolverCalls), 0);
+        assert_eq!(r.histogram(Hist::HeapCells).count, 0);
+    }
+}

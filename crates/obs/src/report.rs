@@ -1,0 +1,139 @@
+//! The versioned machine-readable run report.
+
+use crate::json::Value;
+use crate::{Counter, Hist, HistSnapshot, Registry};
+
+/// Schema identifier written into every report. Renaming a metric or
+/// restructuring the report is a schema break: bump the `/1`.
+pub const SCHEMA: &str = "thresher.run_report/1";
+
+/// An aggregated, versioned snapshot of one run's metrics, serializable to
+/// JSON without any external dependency. Shape:
+///
+/// ```json
+/// {
+///   "schema": "thresher.run_report/1",
+///   "meta": {"program": "...", ...},
+///   "counters": {"edges_refuted": 3, ...},
+///   "histograms": {
+///     "solver_call_ns": {"count": 9, "sum": 120, "max": 40,
+///                        "buckets": [[0, 2], [32, 7]]},
+///     ...
+///   },
+///   "dropped_trace_events": 0
+/// }
+/// ```
+///
+/// Every counter and histogram appears, including zero ones — consumers can
+/// rely on key presence across runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// Free-form identification pairs (program, client, config...).
+    pub meta: Vec<(String, String)>,
+    /// `(name, value)` for every [`Counter`], in declaration order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, snapshot)` for every [`Hist`], in declaration order.
+    pub histograms: Vec<(&'static str, HistSnapshot)>,
+    /// Trace events discarded because the recorder ring was full.
+    pub dropped_trace_events: u64,
+}
+
+impl RunReport {
+    /// Snapshots `registry` into a report.
+    pub fn from_registry(registry: &Registry, meta: &[(&str, &str)], dropped: u64) -> RunReport {
+        RunReport {
+            meta: meta.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
+            counters: Counter::ALL.iter().map(|c| (c.name(), registry.counter(*c))).collect(),
+            histograms: Hist::ALL.iter().map(|h| (h.name(), registry.histogram(*h))).collect(),
+            dropped_trace_events: dropped,
+        }
+    }
+
+    /// Looks up a counter by its schema name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram snapshot by its schema name.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.histograms.iter().find(|(n, _)| *n == name).map(|(_, s)| s)
+    }
+
+    /// The report as a JSON value (see the type docs for the shape).
+    pub fn to_value(&self) -> Value {
+        let meta =
+            self.meta.iter().map(|(k, v)| (k.clone(), Value::str(v.clone()))).collect::<Vec<_>>();
+        let counters =
+            self.counters.iter().map(|(n, v)| ((*n).to_owned(), Value::uint(*v))).collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(n, s)| ((*n).to_owned(), hist_value(s)))
+            .collect::<Vec<_>>();
+        Value::Obj(vec![
+            ("schema".to_owned(), Value::str(SCHEMA)),
+            ("meta".to_owned(), Value::Obj(meta)),
+            ("counters".to_owned(), Value::Obj(counters)),
+            ("histograms".to_owned(), Value::Obj(histograms)),
+            ("dropped_trace_events".to_owned(), Value::uint(self.dropped_trace_events)),
+        ])
+    }
+
+    /// The report as a JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+}
+
+fn hist_value(s: &HistSnapshot) -> Value {
+    let buckets = s
+        .buckets
+        .iter()
+        .map(|(lo, n)| Value::Arr(vec![Value::uint(*lo), Value::uint(*n)]))
+        .collect();
+    Value::Obj(vec![
+        ("count".to_owned(), Value::uint(s.count)),
+        ("sum".to_owned(), Value::uint(s.sum)),
+        ("max".to_owned(), Value::uint(s.max)),
+        ("buckets".to_owned(), Value::Arr(buckets)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let reg = Registry::new();
+        reg.add(Counter::EdgesRefuted, 3);
+        reg.add(Counter::SolverCalls, 7);
+        reg.observe(Hist::SolverNanos, 0);
+        reg.observe(Hist::SolverNanos, 40);
+        let report = RunReport::from_registry(&reg, &[("program", "fig1.tir")], 2);
+
+        assert_eq!(report.counter("edges_refuted"), Some(3));
+        assert_eq!(report.counter("no_such_counter"), None);
+        assert_eq!(report.histogram("solver_call_ns").unwrap().count, 2);
+
+        let parsed = json::parse(&report.to_json()).expect("report JSON parses");
+        assert_eq!(parsed.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        assert_eq!(
+            parsed.get("meta").and_then(|m| m.get("program")).and_then(Value::as_str),
+            Some("fig1.tir")
+        );
+        let counters = parsed.get("counters").expect("counters");
+        assert_eq!(counters.get("edges_refuted").and_then(Value::as_u64), Some(3));
+        // All counters present, zeros included.
+        for c in Counter::ALL {
+            assert!(counters.get(c.name()).is_some(), "missing {}", c.name());
+        }
+        let hist = parsed.get("histograms").and_then(|h| h.get("solver_call_ns")).expect("hist");
+        assert_eq!(hist.get("count").and_then(Value::as_u64), Some(2));
+        assert_eq!(hist.get("max").and_then(Value::as_u64), Some(40));
+        let buckets = hist.get("buckets").and_then(Value::as_arr).expect("buckets");
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(parsed.get("dropped_trace_events").and_then(Value::as_u64), Some(2));
+    }
+}

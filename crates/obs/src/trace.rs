@@ -1,0 +1,93 @@
+//! Chrome trace-event (Trace Event Format) export.
+
+use crate::json::Value;
+use crate::TraceEvent;
+
+/// Serializes events as a Chrome trace-event JSON document (the object
+/// form, `{"traceEvents": [...]}`), loadable in Perfetto or
+/// `chrome://tracing`. Spans become complete (`"ph": "X"`) events; instants
+/// become `"ph": "i"` with thread scope. The span kind is the event
+/// category, the label the event name, and the recorded nesting depth rides
+/// along in `args.depth`.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let trace_events: Vec<Value> = events.iter().map(event_value).collect();
+    Value::Obj(vec![
+        ("traceEvents".to_owned(), Value::Arr(trace_events)),
+        ("displayTimeUnit".to_owned(), Value::str("ms")),
+    ])
+    .to_json()
+}
+
+fn event_value(ev: &TraceEvent) -> Value {
+    let mut fields = vec![
+        ("name".to_owned(), Value::str(ev.label.clone())),
+        ("cat".to_owned(), Value::str(ev.kind.name())),
+        ("ph".to_owned(), Value::str(if ev.instant { "i" } else { "X" })),
+        ("ts".to_owned(), Value::uint(ev.ts_us)),
+    ];
+    if ev.instant {
+        fields.push(("s".to_owned(), Value::str("t")));
+    } else {
+        fields.push(("dur".to_owned(), Value::uint(ev.dur_us)));
+    }
+    fields.push(("pid".to_owned(), Value::Int(1)));
+    fields.push(("tid".to_owned(), Value::uint(u64::from(ev.tid))));
+    fields.push((
+        "args".to_owned(),
+        Value::Obj(vec![("depth".to_owned(), Value::uint(u64::from(ev.depth)))]),
+    ));
+    Value::Obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::SpanKind;
+
+    #[test]
+    fn trace_shape() {
+        let events = vec![
+            TraceEvent {
+                kind: SpanKind::Edge,
+                label: "e0".into(),
+                ts_us: 10,
+                dur_us: 5,
+                tid: 1,
+                depth: 1,
+                instant: false,
+            },
+            TraceEvent {
+                kind: SpanKind::Message,
+                label: "note".into(),
+                ts_us: 12,
+                dur_us: 0,
+                tid: 1,
+                depth: 2,
+                instant: true,
+            },
+        ];
+        let parsed = json::parse(&chrome_trace_json(&events)).expect("trace JSON parses");
+        let items = parsed.get("traceEvents").and_then(Value::as_arr).expect("traceEvents");
+        assert_eq!(items.len(), 2);
+
+        let span = &items[0];
+        assert_eq!(span.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(span.get("cat").and_then(Value::as_str), Some("edge"));
+        assert_eq!(span.get("name").and_then(Value::as_str), Some("e0"));
+        assert_eq!(span.get("ts").and_then(Value::as_u64), Some(10));
+        assert_eq!(span.get("dur").and_then(Value::as_u64), Some(5));
+        assert_eq!(span.get("args").and_then(|a| a.get("depth")).and_then(Value::as_u64), Some(1));
+
+        let instant = &items[1];
+        assert_eq!(instant.get("ph").and_then(Value::as_str), Some("i"));
+        assert_eq!(instant.get("s").and_then(Value::as_str), Some("t"));
+        assert!(instant.get("dur").is_none());
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let parsed = json::parse(&chrome_trace_json(&[])).expect("parses");
+        assert_eq!(parsed.get("traceEvents").and_then(Value::as_arr).map(<[Value]>::len), Some(0));
+    }
+}

@@ -114,6 +114,7 @@ impl<'p> Solver<'p> {
             return id;
         }
         let id = NodeId(u32::try_from(self.nodes.len()).expect("node overflow"));
+        obs::add(obs::Counter::PtaNodes, 1);
         self.nodes.push(kind);
         self.node_index.insert(kind, id);
         self.pts.push(BitSet::new());
@@ -143,6 +144,7 @@ impl<'p> Solver<'p> {
             return id;
         }
         let id = InstId(u32::try_from(self.insts.len()).expect("instance overflow"));
+        obs::add(obs::Counter::PtaInstances, 1);
         self.insts.push((method, ctx));
         self.inst_index.insert((method, ctx), id);
         self.reached_methods.insert(method.index());
@@ -378,8 +380,13 @@ impl<'p> Solver<'p> {
     }
 
     fn solve(&mut self, entry: MethodId) {
+        let _span = obs::span(obs::SpanKind::Pta, "points-to solve");
         self.instance(entry, Ctx::None);
         while let Some(node) = self.worklist.pop_front() {
+            if obs::enabled() {
+                obs::add(obs::Counter::PtaPropagations, 1);
+                obs::observe(obs::Hist::PtaWorklist, self.worklist.len() as u64 + 1);
+            }
             let pts = self.pts[node.0 as usize].clone();
             // Copy edges.
             let succs: Vec<NodeId> = self.copy_succs[node.0 as usize].iter().copied().collect();

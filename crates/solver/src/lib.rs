@@ -215,7 +215,29 @@ impl ConstraintSet {
     /// Decides satisfiability over the integers, reporting failures (offset
     /// overflow, oversized inputs) instead of panicking or silently
     /// wrapping. See the [crate docs](self) for the completeness guarantee.
+    ///
+    /// Every call is metered: one [`obs::Counter::SolverCalls`] bump, a
+    /// verdict counter, and a latency observation — plus a fine-grained
+    /// span when an installed recorder asks for one.
     pub fn try_is_sat(&self) -> Result<bool, SolverError> {
+        let timer = obs::timer();
+        let _span =
+            obs::span_with(obs::SpanKind::SolverCall, || format!("is_sat/{}", self.atoms.len()));
+        let result = self.try_is_sat_inner();
+        if obs::enabled() {
+            obs::add(obs::Counter::SolverCalls, 1);
+            let verdict = match &result {
+                Ok(true) => obs::Counter::SolverSat,
+                Ok(false) => obs::Counter::SolverUnsat,
+                Err(_) => obs::Counter::SolverFailures,
+            };
+            obs::add(verdict, 1);
+            obs::observe_elapsed_ns(obs::Hist::SolverNanos, timer);
+        }
+        result
+    }
+
+    fn try_is_sat_inner(&self) -> Result<bool, SolverError> {
         if self.atoms.len() > MAX_ATOMS {
             return Err(SolverError::TooLarge);
         }

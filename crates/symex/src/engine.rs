@@ -162,7 +162,36 @@ impl<'a> Engine<'a> {
     /// deadline allows. A coarse refutation is still a refutation, so the
     /// ladder can only *add* refutations relative to a single strict pass.
     pub fn refute_edge_resilient(&mut self, edge: &HeapEdge) -> EdgeDecision {
-        let first = self.refute_edge_contained(edge);
+        let timer = obs::timer();
+        let _span = obs::span_with(obs::SpanKind::Edge, || edge.describe(self.program, self.pta));
+        let decision = self.refute_edge_resilient_inner(edge);
+        if obs::enabled() {
+            // This is the *only* site bumping the edge-outcome and
+            // degradation counters, so report totals match driver-level
+            // tallies exactly.
+            let outcome = match &decision.outcome {
+                SearchOutcome::Refuted => obs::Counter::EdgesRefuted,
+                SearchOutcome::Witnessed(_) => obs::Counter::EdgesWitnessed,
+                SearchOutcome::Aborted(_) => obs::Counter::EdgesAborted,
+            };
+            obs::add(outcome, 1);
+            obs::add(obs::Counter::DegradedRetries, u64::from(decision.attempts.saturating_sub(1)));
+            if decision.degraded {
+                obs::add(obs::Counter::DegradedDecisions, 1);
+            }
+            if let SearchOutcome::Witnessed(w) = &decision.outcome {
+                obs::observe(obs::Hist::WitnessTraceLen, w.trace.len() as u64);
+            }
+            obs::observe_elapsed_us(obs::Hist::EdgeMicros, timer);
+        }
+        decision
+    }
+
+    fn refute_edge_resilient_inner(&mut self, edge: &HeapEdge) -> EdgeDecision {
+        let first = {
+            let _attempt = obs::span(obs::SpanKind::Attempt, "strict");
+            self.refute_edge_contained(edge)
+        };
         let reason = match first {
             SearchOutcome::Refuted | SearchOutcome::Witnessed(_) => {
                 return EdgeDecision { outcome: first, attempts: 1, degraded: false };
@@ -177,7 +206,11 @@ impl<'a> Engine<'a> {
                 }
                 attempts += 1;
                 let saved = std::mem::replace(&mut self.config, coarse);
-                let out = self.refute_edge_contained(edge);
+                let out = {
+                    let _attempt =
+                        obs::span_with(obs::SpanKind::Attempt, || format!("coarse-{attempts}"));
+                    self.refute_edge_contained(edge)
+                };
                 self.config = saved;
                 match out {
                     SearchOutcome::Aborted(_) => continue,
@@ -230,6 +263,7 @@ impl<'a> Engine<'a> {
     /// Runs one witness search from statement `start` with post-query `q0`.
     /// `Ok(())` means every path program was refuted.
     pub(crate) fn search_from(&mut self, start: CmdId, q0: Query) -> Result<(), Stop> {
+        let _span = obs::span_with(obs::SpanKind::Path, || self.program.describe_cmd(start));
         self.charge(1)?;
         let method = self.program.cmd_method(start);
         let path = self
@@ -250,7 +284,7 @@ impl<'a> Engine<'a> {
 
     /// Charges `n` path programs against the budget.
     pub(crate) fn charge(&mut self, n: u64) -> Result<(), Stop> {
-        self.stats.path_programs += n;
+        self.stats.add_path_programs(n);
         self.poll_deadline()?;
         if self.budget_left < n {
             self.budget_left = 0;
@@ -444,7 +478,7 @@ impl<'a> Engine<'a> {
                 || q.heap.iter().any(|cell| self.cell_may_be_written(t, cell, &q))
         });
         if !dst_relevant && !mods_relevant {
-            self.stats.calls_skipped_irrelevant += 1;
+            self.stats.add_call_skipped_irrelevant();
             return Ok(vec![q]);
         }
 
@@ -453,7 +487,7 @@ impl<'a> Engine<'a> {
         let too_deep = self.call_chain.len() >= self.config.max_call_depth;
         let recursive = targets.iter().any(|t| self.call_chain.contains(t));
         if too_deep || recursive || targets.is_empty() {
-            self.stats.calls_skipped_depth += 1;
+            self.stats.add_call_skipped_depth();
             return Ok(vec![self.skip_call(cmd_id, &targets, q)]);
         }
 
@@ -741,7 +775,7 @@ impl<'a> Engine<'a> {
         if self.config.simplification {
             let strict = self.config.representation == Representation::FullySymbolic;
             if self.history.subsumes_at(crate::simplify::Point::MethodEntry(method), &q, strict) {
-                self.stats.subsumed += 1;
+                self.stats.add_subsumed();
                 return Ok(());
             }
             self.history.insert(crate::simplify::Point::MethodEntry(method), q.clone());

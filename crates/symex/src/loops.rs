@@ -45,7 +45,8 @@ impl Engine<'_> {
         if seed.is_empty() {
             return Ok(Vec::new());
         }
-        self.stats.loop_fixpoints += 1;
+        self.stats.add_loop_fixpoint();
+        let _span = obs::span_with(obs::SpanKind::LoopFixpoint, || format!("seed={}", seed.len()));
         if self.config.loop_mode == LoopMode::DropAll {
             let mut out = Vec::new();
             for q in seed {
@@ -105,10 +106,12 @@ impl Engine<'_> {
                 // Widening: past the iteration cap, drop loop-derived pure
                 // constraints.
                 if round + 1 >= cap {
+                    obs::add(obs::Counter::LoopWidenings, 1);
                     q2.drop_atoms_since(mark);
                 }
                 // Fallback: far past the cap, weaken to the drop-all state.
                 if round + 1 >= 3 * cap {
+                    obs::add(obs::Counter::LoopDropAllFallbacks, 1);
                     q2 = self.drop_loop_affected(body, q2);
                 }
                 q2.gc();

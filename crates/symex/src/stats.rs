@@ -16,10 +16,29 @@ pub struct Witness {
 }
 
 impl Witness {
+    /// The rendered trace steps, most recent last — the single source both
+    /// [`Witness::describe`] and [`Witness::to_value`] draw from, so the
+    /// human and machine renderings cannot diverge.
+    pub fn steps(&self, program: &Program) -> Vec<String> {
+        self.trace.iter().map(|&c| program.describe_cmd(c)).collect()
+    }
+
     /// Renders the witness trace using program names.
     pub fn describe(&self, program: &Program) -> String {
-        let steps: Vec<String> = self.trace.iter().map(|&c| program.describe_cmd(c)).collect();
-        format!("[{}] final: {}", steps.join(" <- "), self.final_query)
+        format!("[{}] final: {}", self.steps(program).join(" <- "), self.final_query)
+    }
+
+    /// A structured JSON view of the witness (`steps` + `final_query`),
+    /// suitable for embedding in machine-readable output.
+    pub fn to_value(&self, program: &Program) -> obs::json::Value {
+        use obs::json::Value;
+        Value::Obj(vec![
+            (
+                "steps".to_owned(),
+                Value::Arr(self.steps(program).into_iter().map(Value::str).collect()),
+            ),
+            ("final_query".to_owned(), Value::str(self.final_query.clone())),
+        ])
     }
 }
 
@@ -55,6 +74,51 @@ pub enum StopReason {
     HeapCap,
 }
 
+impl StopReason {
+    /// Stable kebab-case key for this reason — the label used by
+    /// [`AbortCounts::describe`] and parseable back via [`FromStr`]. The
+    /// panic payload is not part of the key.
+    ///
+    /// [`FromStr`]: std::str::FromStr
+    pub fn key(&self) -> &'static str {
+        match self {
+            StopReason::ForkBudget => "fork-budget",
+            StopReason::WorkBudget => "work-budget",
+            StopReason::WallClock => "wall-clock",
+            StopReason::CallerDepth => "caller-depth",
+            StopReason::Panic(_) => "panic",
+            StopReason::SolverFailure => "solver-failure",
+            StopReason::HeapCap => "heap-cap",
+        }
+    }
+
+    /// The obs counter tallying aborts with this reason.
+    pub fn counter(&self) -> obs::Counter {
+        match self {
+            StopReason::ForkBudget => obs::Counter::AbortForkBudget,
+            StopReason::WorkBudget => obs::Counter::AbortWorkBudget,
+            StopReason::WallClock => obs::Counter::AbortWallClock,
+            StopReason::CallerDepth => obs::Counter::AbortCallerDepth,
+            StopReason::Panic(_) => obs::Counter::AbortPanic,
+            StopReason::SolverFailure => obs::Counter::AbortSolverFailure,
+            StopReason::HeapCap => obs::Counter::AbortHeapCap,
+        }
+    }
+
+    /// Every reason once (panic with an empty payload), in key order.
+    pub fn all() -> [StopReason; 7] {
+        [
+            StopReason::ForkBudget,
+            StopReason::WorkBudget,
+            StopReason::WallClock,
+            StopReason::CallerDepth,
+            StopReason::Panic(String::new()),
+            StopReason::SolverFailure,
+            StopReason::HeapCap,
+        ]
+    }
+}
+
 impl std::fmt::Display for StopReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -66,6 +130,43 @@ impl std::fmt::Display for StopReason {
             StopReason::SolverFailure => write!(f, "solver failure"),
             StopReason::HeapCap => write!(f, "hard heap-cell cap"),
         }
+    }
+}
+
+/// A [`StopReason`] rendering that could not be parsed back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseStopReasonError(String);
+
+impl std::fmt::Display for ParseStopReasonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown stop reason {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseStopReasonError {}
+
+impl std::str::FromStr for StopReason {
+    type Err = ParseStopReasonError;
+
+    /// Parses either the stable [`StopReason::key`] or the [`Display`]
+    /// rendering, so both forms round-trip. A panic's payload survives the
+    /// Display round-trip ("contained panic: msg") but not the key form.
+    ///
+    /// [`Display`]: std::fmt::Display
+    fn from_str(s: &str) -> Result<StopReason, ParseStopReasonError> {
+        if let Some(msg) = s.strip_prefix("contained panic: ") {
+            return Ok(StopReason::Panic(msg.to_owned()));
+        }
+        Ok(match s {
+            "fork-budget" | "fork budget exhausted" => StopReason::ForkBudget,
+            "work-budget" | "work budget exhausted" => StopReason::WorkBudget,
+            "wall-clock" | "wall-clock deadline" => StopReason::WallClock,
+            "caller-depth" | "caller depth cap" => StopReason::CallerDepth,
+            "panic" => StopReason::Panic(String::new()),
+            "solver-failure" | "solver failure" => StopReason::SolverFailure,
+            "heap-cap" | "hard heap-cell cap" => StopReason::HeapCap,
+            _ => return Err(ParseStopReasonError(s.to_owned())),
+        })
     }
 }
 
@@ -132,7 +233,9 @@ pub struct AbortCounts {
 }
 
 impl AbortCounts {
-    /// Records one abort by reason.
+    /// Records one abort by reason. This is the *only* place the per-reason
+    /// obs abort counters are bumped, so driver-level [`AbortCounts`] and
+    /// the [`obs`] registry agree exactly by construction.
     pub fn record(&mut self, reason: &StopReason) {
         match reason {
             StopReason::ForkBudget => self.fork_budget += 1,
@@ -143,6 +246,20 @@ impl AbortCounts {
             StopReason::SolverFailure => self.solver_failure += 1,
             StopReason::HeapCap => self.heap_cap += 1,
         }
+        obs::add(reason.counter(), 1);
+    }
+
+    /// `(stable key, count)` pairs in [`StopReason::all`] order.
+    pub fn by_key(&self) -> [(&'static str, u64); 7] {
+        [
+            ("fork-budget", self.fork_budget),
+            ("work-budget", self.work_budget),
+            ("wall-clock", self.wall_clock),
+            ("caller-depth", self.caller_depth),
+            ("panic", self.panic),
+            ("solver-failure", self.solver_failure),
+            ("heap-cap", self.heap_cap),
+        ]
     }
 
     /// Total aborts across reasons.
@@ -156,18 +273,12 @@ impl AbortCounts {
             + self.heap_cap
     }
 
-    /// A compact single-line rendering of the non-zero counters.
+    /// A compact single-line rendering of the non-zero counters. Labels are
+    /// the stable [`StopReason::key`] strings, so each `label=count` part
+    /// parses back to its reason.
     pub fn describe(&self) -> String {
         let mut parts = Vec::new();
-        for (n, label) in [
-            (self.fork_budget, "fork-budget"),
-            (self.work_budget, "work-budget"),
-            (self.wall_clock, "wall-clock"),
-            (self.caller_depth, "caller-depth"),
-            (self.panic, "panic"),
-            (self.solver_failure, "solver"),
-            (self.heap_cap, "heap-cap"),
-        ] {
+        for (label, n) in self.by_key() {
             if n > 0 {
                 parts.push(format!("{label}={n}"));
             }
@@ -215,15 +326,70 @@ pub struct RefutationCounts {
 }
 
 impl SearchStats {
-    /// Records one refutation.
+    /// Records one refutation. Like every `SearchStats` mutator, this is
+    /// the single recording site for its metric: the per-engine field and
+    /// the global [`obs`] counter move together, so report totals match
+    /// engine stats exactly.
     pub fn count_refutation(&mut self, r: Refuted) {
-        match r {
-            Refuted::EmptyRegion => self.refutations.empty_region += 1,
-            Refuted::Separation => self.refutations.separation += 1,
-            Refuted::Pure => self.refutations.pure += 1,
-            Refuted::Allocation => self.refutations.allocation += 1,
-            Refuted::Entry => self.refutations.entry += 1,
-        }
+        let counter = match r {
+            Refuted::EmptyRegion => {
+                self.refutations.empty_region += 1;
+                obs::Counter::RefutedEmptyRegion
+            }
+            Refuted::Separation => {
+                self.refutations.separation += 1;
+                obs::Counter::RefutedSeparation
+            }
+            Refuted::Pure => {
+                self.refutations.pure += 1;
+                obs::Counter::RefutedPure
+            }
+            Refuted::Allocation => {
+                self.refutations.allocation += 1;
+                obs::Counter::RefutedAllocation
+            }
+            Refuted::Entry => {
+                self.refutations.entry += 1;
+                obs::Counter::RefutedEntry
+            }
+        };
+        obs::add(counter, 1);
+    }
+
+    /// Records `n` explored path programs (query forks).
+    pub fn add_path_programs(&mut self, n: u64) {
+        self.path_programs += n;
+        obs::add(obs::Counter::PathPrograms, n);
+    }
+
+    /// Records one backwards command transfer.
+    pub fn add_cmd_executed(&mut self) {
+        self.cmds_executed += 1;
+        obs::add(obs::Counter::CmdsExecuted, 1);
+    }
+
+    /// Records one query dropped by history subsumption.
+    pub fn add_subsumed(&mut self) {
+        self.subsumed += 1;
+        obs::add(obs::Counter::Subsumed, 1);
+    }
+
+    /// Records one loop-invariant fixed point.
+    pub fn add_loop_fixpoint(&mut self) {
+        self.loop_fixpoints += 1;
+        obs::add(obs::Counter::LoopFixpoints, 1);
+    }
+
+    /// Records one call skipped via the frame rule.
+    pub fn add_call_skipped_irrelevant(&mut self) {
+        self.calls_skipped_irrelevant += 1;
+        obs::add(obs::Counter::CallsSkippedIrrelevant, 1);
+    }
+
+    /// Records one call skipped for exceeding the stack bound.
+    pub fn add_call_skipped_depth(&mut self) {
+        self.calls_skipped_depth += 1;
+        obs::add(obs::Counter::CallsSkippedDepth, 1);
     }
 
     /// Total refutations across reasons.
@@ -271,6 +437,8 @@ mod tests {
         assert_eq!(a.panic, 1);
         assert_eq!(a.total(), 3);
         assert_eq!(a.describe(), "fork-budget=2 panic=1");
+        a.record(&StopReason::SolverFailure);
+        assert_eq!(a.describe(), "fork-budget=2 panic=1 solver-failure=1");
     }
 
     #[test]
@@ -280,5 +448,59 @@ mod tests {
             StopReason::Panic("index out of bounds".into()).to_string(),
             "contained panic: index out of bounds"
         );
+    }
+
+    #[test]
+    fn stop_reason_round_trips() {
+        for reason in StopReason::all() {
+            // Key form round-trips every variant (panic loses its payload).
+            assert_eq!(reason.key().parse::<StopReason>().as_ref(), Ok(&reason), "{reason:?}");
+            // Display form round-trips too, payload included.
+            assert_eq!(reason.to_string().parse::<StopReason>().as_ref(), Ok(&reason));
+        }
+        let p = StopReason::Panic("boom: nested".into());
+        assert_eq!(p.to_string().parse::<StopReason>(), Ok(p.clone()));
+        assert_eq!(p.key().parse::<StopReason>(), Ok(StopReason::Panic(String::new())));
+        assert!("never heard of it".parse::<StopReason>().is_err());
+        // Describe labels are exactly the parseable keys.
+        let a = AbortCounts { solver_failure: 1, ..AbortCounts::default() };
+        for part in a.describe().split(' ') {
+            let (label, _) = part.split_once('=').expect("label=count");
+            assert!(label.parse::<StopReason>().is_ok(), "{label}");
+        }
+    }
+
+    #[test]
+    fn abort_keys_match_stop_reasons() {
+        let a = AbortCounts::default();
+        for ((label, _), reason) in a.by_key().iter().zip(StopReason::all()) {
+            assert_eq!(*label, reason.key());
+        }
+    }
+
+    #[test]
+    fn witness_describe_and_value_agree() {
+        let p: Program = tir::parse(
+            r#"
+fn main() {
+  var o: Object;
+  o = new Object @obj0;
+}
+entry main;
+"#,
+        )
+        .expect("parse");
+        let cmd = p.method_ids().flat_map(|m| p.method_cmds(m)).next().expect("a command");
+        let w = Witness { trace: vec![cmd], final_query: "final state".into() };
+        let described = w.describe(&p);
+        let v = w.to_value(&p);
+        let steps = v.get("steps").and_then(obs::json::Value::as_arr).expect("steps");
+        assert_eq!(steps.len(), 1);
+        // Every structured step appears verbatim in the human rendering.
+        for s in steps {
+            assert!(described.contains(s.as_str().unwrap()), "{described}");
+        }
+        assert_eq!(v.get("final_query").and_then(obs::json::Value::as_str), Some("final state"));
+        assert!(described.ends_with("final: final state"));
     }
 }

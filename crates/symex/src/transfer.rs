@@ -12,30 +12,40 @@ use crate::query::{HeapCell, Query, Refuted};
 use crate::stats::StopReason;
 use crate::value::Val;
 
+/// Whether per-command trace messages are requested (`SYMEX_TRACE`). The
+/// environment is consulted once — this runs on every command transfer.
+fn trace_cmds() -> bool {
+    static TRACE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *TRACE.get_or_init(|| std::env::var_os("SYMEX_TRACE").is_some())
+}
+
 impl Engine<'_> {
     /// Applies the backwards transfer of one command. Returns the surviving
     /// pre-queries; an empty vector means every case was refuted.
     pub(crate) fn exec_cmd_back(&mut self, cmd_id: CmdId, mut q: Query) -> Flow {
         self.charge_cmd()?;
-        self.stats.cmds_executed += 1;
-        if self.stats.cmds_executed.is_multiple_of(50_000)
-            && std::env::var_os("SYMEX_PROGRESS").is_some()
-        {
-            eprintln!(
-                "progress: cmds={} paths={} heap_cells_now={}",
-                self.stats.cmds_executed,
-                self.stats.path_programs,
-                q.heap.len()
-            );
+        self.stats.add_cmd_executed();
+        obs::observe(obs::Hist::HeapCells, q.heap.len() as u64);
+        if self.stats.cmds_executed.is_multiple_of(50_000) {
+            obs::instant_with(obs::SpanKind::Message, || {
+                format!(
+                    "progress: cmds={} paths={} heap_cells_now={}",
+                    self.stats.cmds_executed,
+                    self.stats.path_programs,
+                    q.heap.len()
+                )
+            });
         }
         q.record(cmd_id, self.config.trace_cap);
-        if std::env::var_os("SYMEX_TRACE").is_some() {
-            eprintln!(
-                "[{}] {} || {}",
-                self.program.describe_cmd(cmd_id),
-                tir::print_cmd(self.program, self.program.cmd(cmd_id)),
-                q.describe(self.program)
-            );
+        if trace_cmds() {
+            obs::instant_with(obs::SpanKind::Message, || {
+                format!(
+                    "[{}] {} || {}",
+                    self.program.describe_cmd(cmd_id),
+                    tir::print_cmd(self.program, self.program.cmd(cmd_id)),
+                    q.describe(self.program)
+                )
+            });
         }
         let program = self.program;
         let cmd = program.cmd(cmd_id);
