@@ -7,12 +7,19 @@
 //! *filtered* when source and sink become disconnected, and *reported* when
 //! every edge of some path is witnessed (or times out, which is soundly
 //! treated as witnessed).
+//!
+//! Edge decisions are delegated to the [`RefutationScheduler`], which owns
+//! the shared edge-decision cache and can fan independent decisions over
+//! worker threads ([`LeakClient::with_jobs`]) without changing any reported
+//! number.
 
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
 
 use pta::{BitSet, HeapEdge, HeapGraphView, LocId, ModRef, PtaResult};
-use symex::{AbortCounts, Engine, SearchOutcome, StopReason, SymexConfig, Witness};
+use symex::{
+    AbortCounts, EdgeAnswer, JobVerdict, ReachJob, RefutationScheduler, StopReason, SymexConfig,
+    Tally, Witness,
+};
 use tir::{GlobalId, Program};
 
 // Annotations are applied at the points-to level (see
@@ -67,8 +74,26 @@ pub struct ClientStats {
     pub retries: usize,
     /// Edges decided only by a coarsened retry.
     pub degraded_decisions: usize,
-    /// Wall time of the symbolic-execution phase.
-    pub symex_time: Duration,
+    /// Pending path edges descheduled because an earlier edge of their path
+    /// was refuted (never searched — distinct from aborted).
+    pub edges_descheduled: usize,
+    /// Total symbolic-execution compute time (summed per edge; under
+    /// `--jobs N` the wall clock is smaller).
+    pub symex_time: std::time::Duration,
+}
+
+impl ClientStats {
+    /// Folds one scheduler [`Tally`] into these counters.
+    fn absorb(&mut self, t: &Tally) {
+        self.edges_refuted += t.edges_refuted as usize;
+        self.edges_witnessed += t.edges_witnessed as usize;
+        self.edge_timeouts += t.edge_timeouts as usize;
+        self.aborts.merge(&t.aborts);
+        self.retries += t.retries as usize;
+        self.degraded_decisions += t.degraded_decisions as usize;
+        self.edges_descheduled += t.edges_descheduled as usize;
+        self.symex_time += t.symex_time;
+    }
 }
 
 /// The full leak report for one app/configuration.
@@ -117,27 +142,20 @@ impl LeakReport {
     }
 }
 
-/// The leak-detection client. Owns the edge-result cache and the deletion
-/// overlay; borrows the analysis results.
+/// The leak-detection client. Owns the deletion overlay and the refutation
+/// scheduler (and through it the shared edge-decision cache); borrows the
+/// analysis results.
 pub struct LeakClient<'a> {
     program: &'a Program,
     pta: &'a PtaResult,
     view: HeapGraphView<'a>,
-    engine: Engine<'a>,
-    cache: HashMap<HeapEdge, CachedOutcome>,
+    sched: RefutationScheduler<'a>,
     activity_locs: BitSet,
-}
-
-#[derive(Clone, Debug, PartialEq, Eq)]
-enum CachedOutcome {
-    Refuted,
-    Witnessed,
-    Aborted(StopReason),
 }
 
 impl<'a> LeakClient<'a> {
     /// Creates a client over an (optionally annotation-aware) analysis
-    /// result.
+    /// result. Runs sequentially by default; see [`LeakClient::with_jobs`].
     pub fn new(
         program: &'a Program,
         pta: &'a PtaResult,
@@ -152,15 +170,22 @@ impl<'a> LeakClient<'a> {
             program,
             pta,
             view,
-            engine: Engine::new(program, pta, modref, config),
-            cache: HashMap::new(),
+            sched: RefutationScheduler::new(program, pta, modref, config, 1),
             activity_locs,
         }
     }
 
-    /// Read access to the engine statistics.
+    /// Sets the scheduler thread count (1 = sequential; reported numbers
+    /// are identical for every setting).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.sched.set_jobs(jobs);
+        self
+    }
+
+    /// Read access to the merged engine statistics (across all decisions
+    /// committed so far, whichever thread computed them).
     pub fn engine_stats(&self) -> &symex::SearchStats {
-        &self.engine.stats
+        self.sched.stats()
     }
 
     /// Enumerates the (field, Activity) alarms of the annotated points-to
@@ -178,42 +203,21 @@ impl<'a> LeakClient<'a> {
         out
     }
 
-    /// Decides one edge, consulting and filling the cache. Refuted edges
-    /// are deleted from the view. The search is fault-contained and, when
-    /// the configuration allows, retried under coarser precision on abort.
+    /// Decides one edge, consulting and filling the shared decision cache.
+    /// Refuted edges are deleted from the view. The search is
+    /// fault-contained and, when the configuration allows, retried under
+    /// coarser precision on abort.
     pub fn decide_edge(&mut self, edge: HeapEdge, stats: &mut ClientStats) -> CachedView {
-        if let Some(c) = self.cache.get(&edge) {
-            return match c {
-                CachedOutcome::Refuted => CachedView::Refuted,
-                CachedOutcome::Witnessed => CachedView::Witnessed(None),
-                CachedOutcome::Aborted(r) => CachedView::Aborted(r.clone()),
-            };
-        }
-        let t0 = Instant::now();
-        let decision = self.engine.refute_edge_resilient(&edge);
-        stats.symex_time += t0.elapsed();
-        stats.retries += (decision.attempts - 1) as usize;
-        if decision.degraded {
-            stats.degraded_decisions += 1;
-        }
-        match decision.outcome {
-            SearchOutcome::Refuted => {
-                stats.edges_refuted += 1;
-                self.cache.insert(edge, CachedOutcome::Refuted);
+        let mut tally = Tally::default();
+        let answer = self.sched.decide_edge(edge, &mut tally);
+        stats.absorb(&tally);
+        match answer {
+            EdgeAnswer::Refuted => {
                 self.view.delete(edge);
                 CachedView::Refuted
             }
-            SearchOutcome::Witnessed(w) => {
-                stats.edges_witnessed += 1;
-                self.cache.insert(edge, CachedOutcome::Witnessed);
-                CachedView::Witnessed(Some(w))
-            }
-            SearchOutcome::Aborted(reason) => {
-                stats.edge_timeouts += 1;
-                stats.aborts.record(&reason);
-                self.cache.insert(edge, CachedOutcome::Aborted(reason.clone()));
-                CachedView::Aborted(reason)
-            }
+            EdgeAnswer::Witnessed(w) => CachedView::Witnessed(w),
+            EdgeAnswer::Aborted(r) => CachedView::Aborted(r),
         }
     }
 
@@ -221,33 +225,36 @@ impl<'a> LeakClient<'a> {
     /// endpoints are disconnected, or some path is fully witnessed.
     pub fn triage(&mut self, alarm: Alarm, stats: &mut ClientStats) -> AlarmResult {
         let _span = obs::span_with(obs::SpanKind::Alarm, || self.describe_alarm(&alarm));
-        let target = BitSet::singleton(alarm.activity.index());
-        'paths: loop {
-            let Some(path) = self.view.find_path(self.program, alarm.field, &target) else {
-                return AlarmResult::Refuted;
-            };
-            let mut last_witness = None;
-            for &edge in &path {
-                match self.decide_edge(edge, stats) {
-                    CachedView::Refuted => continue 'paths,
-                    CachedView::Witnessed(w) => last_witness = w.or(last_witness),
-                    // An abort is soundly treated as not-refuted.
-                    CachedView::Aborted(_) => {}
-                }
-            }
-            return AlarmResult::Witnessed { path, witness: last_witness };
+        let job =
+            ReachJob { source: alarm.field, targets: BitSet::singleton(alarm.activity.index()) };
+        let outcome = self.sched.run(&mut self.view, std::slice::from_ref(&job));
+        stats.absorb(&outcome.tally);
+        match outcome.verdicts.into_iter().next().expect("one verdict per job") {
+            JobVerdict::Refuted { .. } => AlarmResult::Refuted,
+            JobVerdict::Witnessed { path, witness } => AlarmResult::Witnessed { path, witness },
         }
     }
 
-    /// Runs the full pipeline: enumerate alarms, triage each, aggregate.
+    /// Runs the full pipeline: enumerate alarms, triage all of them in one
+    /// scheduler batch (so worker threads can speculate across alarms),
+    /// aggregate.
     pub fn run(mut self) -> LeakReport {
         let _span = obs::span(obs::SpanKind::Client, "activity-leak");
         let alarms = self.find_alarms();
         obs::add(obs::Counter::AlarmsFound, alarms.len() as u64);
+        let jobs: Vec<ReachJob> = alarms
+            .iter()
+            .map(|a| ReachJob { source: a.field, targets: BitSet::singleton(a.activity.index()) })
+            .collect();
+        let outcome = self.sched.run(&mut self.view, &jobs);
         let mut stats = ClientStats::default();
+        stats.absorb(&outcome.tally);
         let mut results = Vec::new();
-        for alarm in alarms {
-            let r = self.triage(alarm, &mut stats);
+        for (alarm, verdict) in alarms.into_iter().zip(outcome.verdicts) {
+            let r = match verdict {
+                JobVerdict::Refuted { .. } => AlarmResult::Refuted,
+                JobVerdict::Witnessed { path, witness } => AlarmResult::Witnessed { path, witness },
+            };
             obs::add(
                 if r.is_refuted() {
                     obs::Counter::AlarmsRefuted

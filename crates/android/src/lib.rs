@@ -61,24 +61,33 @@ pub struct ActivityLeakChecker<'a> {
     policy: ContextPolicy,
     config: SymexConfig,
     annotations: Vec<Annotation>,
+    jobs: usize,
 }
 
 impl<'a> ActivityLeakChecker<'a> {
     /// Creates a checker with the paper's default configuration
     /// (container-sensitive points-to analysis, mixed representation,
-    /// un-annotated library).
+    /// un-annotated library, sequential refutation).
     pub fn new(program: &'a Program) -> Self {
         ActivityLeakChecker {
             program,
             policy: ContextPolicy::containers_named(program, library::CONTAINER_CLASSES),
             config: SymexConfig::default(),
             annotations: Vec::new(),
+            jobs: 1,
         }
     }
 
     /// Overrides the points-to context policy.
     pub fn with_policy(mut self, policy: ContextPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the refutation-scheduler thread count (1 = sequential; the
+    /// report is identical for every setting).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
         self
     }
 
@@ -107,7 +116,8 @@ impl<'a> ActivityLeakChecker<'a> {
         let pta = pta::analyze_with(self.program, self.policy, &opts);
         let modref = ModRef::compute(self.program, &pta);
         let report = {
-            let client = LeakClient::new(self.program, &pta, &modref, self.config.clone());
+            let client = LeakClient::new(self.program, &pta, &modref, self.config.clone())
+                .with_jobs(self.jobs);
             client.run()
         };
         (report, pta, modref)

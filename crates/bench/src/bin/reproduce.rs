@@ -5,9 +5,10 @@
 //! reproduce table2 [--budget N] [--apps a,b,c]   # Table 2 (fully symbolic vs mixed)
 //! reproduce simplification [--budget N]          # §4 hypothesis 2
 //! reproduce loops                                # §4 hypothesis 3
+//! reproduce jobs [--budget N] [--apps a,b,c]     # --jobs scaling sweep (1, 2, all cores)
 //! reproduce all [--budget N]                     # everything
 //!
-//! snapshot options (table1 / all):
+//! snapshot options (table1 / jobs / all):
 //!   --snapshot-out <path>   where to write the perf snapshot JSON
 //!                           (default BENCH_<unix-time>.json)
 //!   --no-snapshot           skip writing the snapshot
@@ -22,8 +23,9 @@
 
 use apps::BenchApp;
 use bench::{
-    format_table1_row, perf_snapshot_json, run_loop_ablation, run_repr_comparison,
-    run_simplification_ablation, run_table1_row, table1_header, Table1Row,
+    format_table1_row, perf_snapshot_json_with_sweep, run_jobs_sweep, run_loop_ablation,
+    run_repr_comparison, run_simplification_ablation, run_table1_row, table1_header,
+    JobsSweepPoint, Table1Row,
 };
 use symex::{Representation, SymexConfig};
 
@@ -81,7 +83,7 @@ fn table1(apps: &[BenchApp], budget: u64) -> Vec<Table1Row> {
 
 /// Writes the perf snapshot next to the working directory (or to
 /// `--snapshot-out`), named `BENCH_<unix-time>.json` by default.
-fn write_snapshot(args: &[String], rows: &[Table1Row], budget: u64) {
+fn write_snapshot(args: &[String], rows: &[Table1Row], budget: u64, sweep: &[JobsSweepPoint]) {
     if rows.is_empty() || args.iter().any(|a| a == "--no-snapshot") {
         return;
     }
@@ -95,11 +97,30 @@ fn write_snapshot(args: &[String], rows: &[Table1Row], budget: u64) {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| format!("BENCH_{unix_time_s}.json"));
-    let payload = perf_snapshot_json(rows, unix_time_s, budget);
+    let payload = perf_snapshot_json_with_sweep(rows, unix_time_s, budget, sweep);
     match std::fs::write(&path, payload) {
         Ok(()) => println!("perf snapshot written to {path}"),
         Err(e) => eprintln!("warning: cannot write snapshot {path}: {e}"),
     }
+}
+
+/// Runs the `--jobs` scaling sweep (1, 2, all cores) over a full Table 1
+/// pass and prints the wall-clock scaling table.
+fn jobs_sweep(apps: &[BenchApp], budget: u64) -> (Vec<JobsSweepPoint>, Vec<Table1Row>) {
+    // Always include a 4-thread point so snapshots are comparable across
+    // hosts, even when the sweep host has fewer cores.
+    let cores = thresher::default_jobs();
+    let mut jobs_list = vec![1usize, 2, 4, cores];
+    jobs_list.sort_unstable();
+    jobs_list.dedup();
+    println!("== --jobs scaling: full Table 1 pass per thread count ({cores} core(s)) ==");
+    let (points, rows) = run_jobs_sweep(apps, budget, &jobs_list);
+    println!("{:>6} {:>12} {:>12}", "jobs", "wall T(s)", "speedup");
+    let baseline = points.iter().find(|p| p.jobs == 1).map_or(points[0].wall, |p| p.wall);
+    for p in &points {
+        println!("{:>6} {:>12.2} {:>11.2}x", p.jobs, p.wall.as_secs_f64(), p.speedup_vs(baseline));
+    }
+    (points, rows)
 }
 
 fn table2(apps: &[BenchApp], budget: u64) {
@@ -191,12 +212,16 @@ fn main() {
     match mode {
         "table1" => {
             let rows = table1(&apps, budget);
-            write_snapshot(&args, &rows, budget);
+            write_snapshot(&args, &rows, budget, &[]);
         }
         "table2" => table2(&apps, budget),
         "simplification" => simplification(&apps, budget),
         "stats" => stats(&apps),
         "loops" => loops(),
+        "jobs" => {
+            let (points, rows) = jobs_sweep(&apps, budget);
+            write_snapshot(&args, &rows, budget, &points);
+        }
         "all" => {
             let rows = table1(&apps, budget);
             println!();
@@ -207,10 +232,12 @@ fn main() {
             stats(&apps);
             println!();
             loops();
-            write_snapshot(&args, &rows, budget);
+            write_snapshot(&args, &rows, budget, &[]);
         }
         other => {
-            eprintln!("unknown mode {other}; use table1|table2|simplification|stats|loops|all");
+            eprintln!(
+                "unknown mode {other}; use table1|table2|simplification|stats|loops|jobs|all"
+            );
             std::process::exit(2);
         }
     }

@@ -57,11 +57,25 @@ pub struct Table1Row {
     pub time: Duration,
 }
 
-/// Runs the leak client over `app` in one annotation configuration.
+/// Runs the leak client over `app` in one annotation configuration
+/// (sequential refutation; see [`run_table1_row_with_jobs`]).
 pub fn run_table1_row(app: &BenchApp, annotated: bool, config: SymexConfig) -> Table1Row {
+    run_table1_row_with_jobs(app, annotated, config, 1)
+}
+
+/// [`run_table1_row`] with an explicit refutation thread count. Every
+/// counter in the returned row is identical for every `jobs` value; only
+/// the wall clock changes.
+pub fn run_table1_row_with_jobs(
+    app: &BenchApp,
+    annotated: bool,
+    config: SymexConfig,
+    jobs: usize,
+) -> Table1Row {
     let mut checker = ActivityLeakChecker::new(&app.program)
         .with_policy(builder::container_policy(app))
-        .with_config(config);
+        .with_config(config)
+        .with_jobs(jobs);
     if annotated {
         checker = checker.with_annotations(paper_annotations(&app.lib));
     }
@@ -278,6 +292,53 @@ pub fn run_reason_breakdown(app: &BenchApp, annotated: bool) -> ReasonBreakdown 
     }
 }
 
+/// One point of a `--jobs` scaling sweep: the wall-clock time of a full
+/// Table 1 pass (all apps, both annotation configurations) at one
+/// refutation thread count.
+#[derive(Clone, Debug)]
+pub struct JobsSweepPoint {
+    /// Refutation worker threads used.
+    pub jobs: usize,
+    /// End-to-end wall-clock time of the pass.
+    pub wall: Duration,
+}
+
+impl JobsSweepPoint {
+    /// Speedup of this point relative to `baseline` (the `jobs = 1` wall
+    /// clock).
+    pub fn speedup_vs(&self, baseline: Duration) -> f64 {
+        baseline.as_secs_f64() / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs a full Table 1 pass once per entry of `jobs_list`, wall-clocking
+/// each pass. Returns the sweep points plus the rows of the first pass
+/// (the counters are identical across passes — the scheduler is
+/// deterministic — so one copy suffices for the snapshot).
+pub fn run_jobs_sweep(
+    apps: &[BenchApp],
+    budget: u64,
+    jobs_list: &[usize],
+) -> (Vec<JobsSweepPoint>, Vec<Table1Row>) {
+    let mut points = Vec::new();
+    let mut first_rows = Vec::new();
+    for &jobs in jobs_list {
+        let t0 = Instant::now();
+        let mut rows = Vec::new();
+        for app in apps {
+            for annotated in [false, true] {
+                let cfg = SymexConfig::default().with_budget(budget);
+                rows.push(run_table1_row_with_jobs(app, annotated, cfg, jobs));
+            }
+        }
+        points.push(JobsSweepPoint { jobs, wall: t0.elapsed() });
+        if first_rows.is_empty() {
+            first_rows = rows;
+        }
+    }
+    (points, first_rows)
+}
+
 /// Formats a Table 1 row in the paper's column order.
 pub fn format_table1_row(r: &Table1Row) -> String {
     let pct = |n: usize, d: usize| (n * 100).checked_div(d).unwrap_or(0);
@@ -354,14 +415,45 @@ impl Table1Row {
 /// payload of the `BENCH_<timestamp>.json` files the `reproduce` binary
 /// emits so runs can be diffed across commits.
 pub fn perf_snapshot_json(rows: &[Table1Row], unix_time_s: u64, budget: u64) -> String {
+    perf_snapshot_json_with_sweep(rows, unix_time_s, budget, &[])
+}
+
+/// [`perf_snapshot_json`] extended with a `--jobs` scaling sweep. When
+/// `sweep` is non-empty an additional (additive, so same schema id)
+/// `jobs_sweep` key records `{jobs, wall_time_s, speedup_vs_1}` per point;
+/// speedups are relative to the sweep's `jobs = 1` entry.
+pub fn perf_snapshot_json_with_sweep(
+    rows: &[Table1Row],
+    unix_time_s: u64,
+    budget: u64,
+    sweep: &[JobsSweepPoint],
+) -> String {
     use obs::json::Value;
-    Value::Obj(vec![
+    let mut fields = vec![
         ("schema".to_owned(), Value::str(SNAPSHOT_SCHEMA)),
         ("unix_time_s".to_owned(), Value::uint(unix_time_s)),
         ("budget".to_owned(), Value::uint(budget)),
         ("rows".to_owned(), Value::Arr(rows.iter().map(Table1Row::to_value).collect())),
-    ])
-    .to_json()
+    ];
+    if !sweep.is_empty() {
+        let baseline = sweep.iter().find(|p| p.jobs == 1).map_or_else(|| sweep[0].wall, |p| p.wall);
+        let points = sweep
+            .iter()
+            .map(|p| {
+                Value::Obj(vec![
+                    ("jobs".to_owned(), Value::uint(p.jobs as u64)),
+                    ("wall_time_s".to_owned(), Value::Float(p.wall.as_secs_f64())),
+                    ("speedup_vs_1".to_owned(), Value::Float(p.speedup_vs(baseline))),
+                ])
+            })
+            .collect();
+        // Wall-clock scaling is only meaningful relative to the cores the
+        // sweep actually had; record them so snapshots from different
+        // hosts can be compared honestly.
+        fields.push(("host_cpus".to_owned(), Value::uint(thresher::default_jobs() as u64)));
+        fields.push(("jobs_sweep".to_owned(), Value::Arr(points)));
+    }
+    Value::Obj(fields).to_json()
 }
 
 /// The Table 1 header matching [`format_table1_row`].

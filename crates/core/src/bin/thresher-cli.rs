@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! thresher-cli <program.tir> [options]
+//! thresher-cli --diff-reports <a.json> <b.json>
 //!
 //! options:
 //!   --dump-pta                 print the flow-insensitive points-to graph
@@ -9,6 +10,9 @@
 //!                              abstract location (repeatable)
 //!   --leaks                    run the Android Activity-leak client
 //!                              (requires the Android model classes)
+//!   --jobs <N>                 refutation worker threads (default: all
+//!                              cores; 1 = sequential; reported numbers are
+//!                              identical for every setting)
 //!   --budget <N>               path-program budget per edge (default 10000)
 //!   --representation <mixed|symbolic|explicit>
 //!   --loops <infer|drop-all>
@@ -16,10 +20,16 @@
 //!   --report-out <path>        write a machine-readable RunReport JSON
 //!   --trace-out <path>         write a Chrome trace-event JSON
 //!                              (Perfetto / chrome://tracing)
+//!
+//! --diff-reports compares two RunReport JSON files modulo timing: the
+//! meta block, *_ns/*_us histograms, dropped_trace_events, and
+//! trace_threads are excluded. Exits 0 when equivalent, 1 when not — the
+//! CI determinism gate for `--jobs`.
 //! ```
 
 use std::process::ExitCode;
 
+use thresher::obs::json::{self, Value};
 use thresher::obs::{self, MemRecorder, RingCapacity, SpanKind};
 use thresher::{LoopMode, ReachabilityAnswer, Representation, SymexConfig, Thresher};
 
@@ -28,22 +38,34 @@ struct Options {
     dump_pta: bool,
     queries: Vec<(String, String)>,
     leaks: bool,
+    jobs: usize,
     config: SymexConfig,
     report_out: Option<String>,
     trace_out: Option<String>,
 }
 
-fn parse_args() -> Result<Options, String> {
+enum Mode {
+    Analyze(Options),
+    DiffReports(String, String),
+}
+
+fn parse_args() -> Result<Mode, String> {
     let mut args = std::env::args().skip(1).peekable();
     let mut path = None;
     let mut dump_pta = false;
     let mut queries = Vec::new();
     let mut leaks = false;
+    let mut jobs = thresher::default_jobs();
     let mut config = SymexConfig::default();
     let mut report_out = None;
     let mut trace_out = None;
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--diff-reports" => {
+                let a = args.next().ok_or("--diff-reports needs <a.json> <b.json>")?;
+                let b = args.next().ok_or("--diff-reports needs <a.json> <b.json>")?;
+                return Ok(Mode::DiffReports(a, b));
+            }
             "--dump-pta" => dump_pta = true,
             "--leaks" => leaks = true,
             "--no-simplification" => config.simplification = false,
@@ -51,6 +73,10 @@ fn parse_args() -> Result<Options, String> {
                 let g = args.next().ok_or("--query needs <GLOBAL> <LOC>")?;
                 let l = args.next().ok_or("--query needs <GLOBAL> <LOC>")?;
                 queries.push((g, l));
+            }
+            "--jobs" => {
+                let n = args.next().ok_or("--jobs needs a number")?;
+                jobs = n.parse::<usize>().map_err(|_| format!("bad jobs {n}"))?.max(1);
             }
             "--budget" => {
                 let n = args.next().ok_or("--budget needs a number")?;
@@ -83,20 +109,31 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    Ok(Options {
+    Ok(Mode::Analyze(Options {
         path: path.ok_or("usage: thresher-cli <program.tir> [options]")?,
         dump_pta,
         queries,
         leaks,
+        jobs,
         config,
         report_out,
         trace_out,
-    })
+    }))
 }
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
-        Ok(o) => o,
+        Ok(Mode::Analyze(o)) => o,
+        Ok(Mode::DiffReports(a, b)) => {
+            return match diff_reports(&a, &b) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::from(1),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
+                }
+            };
+        }
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
@@ -142,7 +179,8 @@ fn main() -> ExitCode {
 /// recorded) before the trace/report files are written.
 fn analyze(opts: &Options, program: &tir::Program) -> ExitCode {
     let thresher =
-        Thresher::with_setup(program, thresher::PointsToPolicy::Insensitive, opts.config.clone());
+        Thresher::with_setup(program, thresher::PointsToPolicy::Insensitive, opts.config.clone())
+            .with_jobs(opts.jobs);
 
     if opts.dump_pta {
         println!("== points-to graph ==");
@@ -199,10 +237,97 @@ fn write_outputs(opts: &Options, rec: &MemRecorder) -> Result<(), String> {
         let report = rec.run_report(&[("program", &opts.path), ("tool", "thresher-cli")]);
         std::fs::write(path, report.to_json())
             .map_err(|e| format!("cannot write report {path}: {e}"))?;
+        eprintln!(
+            "report: {} trace event(s) recorded, {} dropped, {} thread(s) -> {path}",
+            rec.events().len(),
+            rec.dropped_events(),
+            rec.trace_threads(),
+        );
     }
     if let Some(path) = &opts.trace_out {
         std::fs::write(path, rec.chrome_trace())
             .map_err(|e| format!("cannot write trace {path}: {e}"))?;
     }
     Ok(())
+}
+
+/// Compares two run-report JSON files modulo timing-dependent data.
+///
+/// Excluded from the comparison: the `meta` object (paths/config strings),
+/// any histogram whose name ends in `_ns` or `_us` (wall-clock
+/// observations), `dropped_trace_events`, and `trace_threads` (both are
+/// functions of trace volume and thread count, not of analysis results).
+/// Everything else — every counter and every deterministic histogram — must
+/// match exactly. Prints each difference; returns `Ok(true)` when
+/// equivalent.
+fn diff_reports(path_a: &str, path_b: &str) -> Result<bool, String> {
+    let load = |path: &str| -> Result<Value, String> {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        json::parse(&src).map_err(|e| format!("{path}: bad JSON: {e:?}"))
+    };
+    let a = load(path_a)?;
+    let b = load(path_b)?;
+    let mut same = true;
+    let mut differ = |what: &str, va: String, vb: String| {
+        println!("differs: {what}: {va} ({path_a}) vs {vb} ({path_b})");
+        same = false;
+    };
+
+    let schema_of = |v: &Value| v.get("schema").and_then(Value::as_str).unwrap_or("?").to_owned();
+    if schema_of(&a) != schema_of(&b) {
+        differ("schema", schema_of(&a), schema_of(&b));
+    }
+
+    // Counters: compare the union of keys so a missing counter is a
+    // difference, not a silent skip.
+    let obj_keys = |v: &Value, section: &str| -> Vec<String> {
+        match v.get(section) {
+            Some(Value::Obj(pairs)) => pairs.iter().map(|(k, _)| k.clone()).collect(),
+            _ => Vec::new(),
+        }
+    };
+    let mut counter_keys = obj_keys(&a, "counters");
+    for k in obj_keys(&b, "counters") {
+        if !counter_keys.contains(&k) {
+            counter_keys.push(k);
+        }
+    }
+    for key in &counter_keys {
+        let get = |v: &Value| {
+            v.get("counters")
+                .and_then(|c| c.get(key))
+                .and_then(Value::as_u64)
+                .map_or_else(|| "<missing>".to_owned(), |n| n.to_string())
+        };
+        let (va, vb) = (get(&a), get(&b));
+        if va != vb {
+            differ(&format!("counter {key}"), va, vb);
+        }
+    }
+
+    let mut hist_keys = obj_keys(&a, "histograms");
+    for k in obj_keys(&b, "histograms") {
+        if !hist_keys.contains(&k) {
+            hist_keys.push(k);
+        }
+    }
+    for key in &hist_keys {
+        if key.ends_with("_ns") || key.ends_with("_us") {
+            continue; // wall-clock histogram: timing-dependent by design
+        }
+        let get = |v: &Value| {
+            v.get("histograms")
+                .and_then(|h| h.get(key))
+                .map_or_else(|| "<missing>".to_owned(), Value::to_json)
+        };
+        let (va, vb) = (get(&a), get(&b));
+        if va != vb {
+            differ(&format!("histogram {key}"), va, vb);
+        }
+    }
+
+    if same {
+        println!("reports are equivalent (modulo timing): {path_a} == {path_b}");
+    }
+    Ok(same)
 }

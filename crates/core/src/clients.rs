@@ -8,10 +8,8 @@
 //! static field — the generalization of the Activity-leak client to any
 //! type.
 
-use std::collections::HashMap;
-
 use pta::{BitSet, HeapEdge, HeapGraphView, LocId, ModRef, PtaResult};
-use symex::{AbortCounts, Engine, SearchOutcome, SymexConfig};
+use symex::{AbortCounts, JobVerdict, ReachJob, RefutationScheduler, SymexConfig};
 use tir::{ClassId, GlobalId, Program};
 
 /// One escaping-object finding.
@@ -57,17 +55,26 @@ pub struct EscapeChecker<'a> {
     pta: &'a PtaResult,
     modref: &'a ModRef,
     config: SymexConfig,
+    jobs: usize,
 }
 
 impl<'a> EscapeChecker<'a> {
-    /// Creates a checker over existing analysis results.
+    /// Creates a checker over existing analysis results (sequential
+    /// refutation; see [`EscapeChecker::with_jobs`]).
     pub fn new(
         program: &'a Program,
         pta: &'a PtaResult,
         modref: &'a ModRef,
         config: SymexConfig,
     ) -> Self {
-        EscapeChecker { program, pta, modref, config }
+        EscapeChecker { program, pta, modref, config, jobs: 1 }
+    }
+
+    /// Sets the refutation-scheduler thread count (1 = sequential; the
+    /// report is identical for every setting).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// Checks whether any instance of `class` (or a subclass) can be
@@ -95,58 +102,42 @@ impl<'a> EscapeChecker<'a> {
     }
 
     /// The general form: refute reachability from every global to every
-    /// location in `targets`, sharing the edge cache across pairs.
+    /// location in `targets`, sharing the edge-decision cache across pairs
+    /// (and, with `jobs > 1`, deciding independent edges in parallel).
     pub fn check_targets(&self, targets: BitSet) -> EscapeReport {
         let _span = obs::span(obs::SpanKind::Client, "escape-checker");
-        let mut engine = Engine::new(self.program, self.pta, self.modref, self.config.clone());
+        let mut sched = RefutationScheduler::new(
+            self.program,
+            self.pta,
+            self.modref,
+            self.config.clone(),
+            self.jobs,
+        );
         let mut view = HeapGraphView::new(self.pta);
-        let mut cache: HashMap<HeapEdge, bool> = HashMap::new(); // edge -> refuted?
+        let mut pairs = Vec::new();
+        let mut jobs = Vec::new();
+        for global in self.program.global_ids() {
+            for t in targets.iter() {
+                pairs.push((global, LocId(t as u32)));
+                jobs.push(ReachJob { source: global, targets: BitSet::singleton(t) });
+            }
+        }
+        let outcome = sched.run(&mut view, &jobs);
+        let t = &outcome.tally;
         let mut report = EscapeReport {
             escapes: Vec::new(),
             refuted_pairs: 0,
-            edges_refuted: 0,
-            edge_timeouts: 0,
-            aborts: AbortCounts::default(),
-            retries: 0,
-            degraded_decisions: 0,
+            edges_refuted: t.edges_refuted as usize,
+            edge_timeouts: t.edge_timeouts as usize,
+            aborts: t.aborts.clone(),
+            retries: t.retries as usize,
+            degraded_decisions: t.degraded_decisions as usize,
         };
-        for global in self.program.global_ids() {
-            for t in targets.iter() {
-                let target = LocId(t as u32);
-                let tset = BitSet::singleton(t);
-                'paths: loop {
-                    let Some(path) = view.find_path(self.program, global, &tset) else {
-                        report.refuted_pairs += 1;
-                        break;
-                    };
-                    for &edge in &path {
-                        let refuted = match cache.get(&edge) {
-                            Some(&r) => r,
-                            None => {
-                                let decision = engine.refute_edge_resilient(&edge);
-                                report.retries += (decision.attempts - 1) as usize;
-                                if decision.degraded {
-                                    report.degraded_decisions += 1;
-                                }
-                                let r = decision.outcome.is_refuted();
-                                if let SearchOutcome::Aborted(reason) = &decision.outcome {
-                                    report.edge_timeouts += 1;
-                                    report.aborts.record(reason);
-                                }
-                                cache.insert(edge, r);
-                                if r {
-                                    report.edges_refuted += 1;
-                                    view.delete(edge);
-                                }
-                                r
-                            }
-                        };
-                        if refuted {
-                            continue 'paths;
-                        }
-                    }
+        for ((global, target), verdict) in pairs.into_iter().zip(outcome.verdicts) {
+            match verdict {
+                JobVerdict::Refuted { .. } => report.refuted_pairs += 1,
+                JobVerdict::Witnessed { path, .. } => {
                     report.escapes.push(Escape { global, target, path });
-                    break;
                 }
             }
         }

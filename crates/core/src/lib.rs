@@ -57,14 +57,15 @@ use symex::Engine;
 use tir::Program;
 
 pub use android::{
-    paper_annotations, ActivityLeakChecker, Alarm, AlarmResult, Annotation, LeakReport,
+    paper_annotations, ActivityLeakChecker, Alarm, AlarmResult, Annotation, ClientStats, LeakReport,
 };
 pub use clients::{Escape, EscapeChecker, EscapeReport};
 pub use obs;
 pub use pta::ContextPolicy as PointsToPolicy;
 pub use symex::{
-    AbortCounts, EdgeDecision, LoopMode, Representation, SearchOutcome, SearchStats, StopReason,
-    SymexConfig, Witness,
+    default_jobs, AbortCounts, EdgeAnswer, EdgeDecision, JobVerdict, LoopMode, ReachJob,
+    RefutationScheduler, Representation, SchedulerOutcome, SearchOutcome, SearchStats, StopReason,
+    SymexConfig, Tally, Witness,
 };
 
 /// The outcome of a refined heap-reachability query.
@@ -100,6 +101,7 @@ pub struct Thresher<'p> {
     config: SymexConfig,
     pta: PtaResult,
     modref: ModRef,
+    jobs: usize,
 }
 
 impl<'p> Thresher<'p> {
@@ -125,7 +127,16 @@ impl<'p> Thresher<'p> {
         let _span = obs::span(obs::SpanKind::Setup, "points-to + mod/ref");
         let pta = pta::analyze_with(program, policy, options);
         let modref = ModRef::compute(program, &pta);
-        Thresher { program, config, pta, modref }
+        Thresher { program, config, pta, modref, jobs: 1 }
+    }
+
+    /// Sets the refutation-scheduler thread count used by the query and
+    /// client entry points (1 = sequential, the default; every reported
+    /// number is identical for every setting). See [`default_jobs`] for the
+    /// all-cores value.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// The underlying points-to result.
@@ -192,7 +203,10 @@ impl<'p> Thresher<'p> {
         Some(self.query_reachable_loc(global, target))
     }
 
-    /// [`Thresher::query_reachable`] with resolved ids.
+    /// [`Thresher::query_reachable`] with resolved ids. Edge decisions go
+    /// through a [`RefutationScheduler`], so repeated edges are decided
+    /// once per query and, with [`Thresher::with_jobs`], independent edges
+    /// are decided in parallel.
     pub fn query_reachable_loc(&self, global: tir::GlobalId, target: LocId) -> ReachabilityAnswer {
         let _span = obs::span_with(obs::SpanKind::Query, || {
             format!(
@@ -201,28 +215,21 @@ impl<'p> Thresher<'p> {
                 self.pta.loc_name(self.program, target)
             )
         });
-        let mut engine = Engine::new(self.program, &self.pta, &self.modref, self.config.clone());
+        let mut sched = RefutationScheduler::new(
+            self.program,
+            &self.pta,
+            &self.modref,
+            self.config.clone(),
+            self.jobs,
+        );
         let mut view = HeapGraphView::new(&self.pta);
-        let targets = BitSet::singleton(target.index());
-        let mut refuted_edges = Vec::new();
-        'paths: loop {
-            let Some(path) = view.find_path(self.program, global, &targets) else {
-                return ReachabilityAnswer::Refuted { refuted_edges };
-            };
-            let mut witness = None;
-            for &edge in &path {
-                match engine.refute_edge_resilient(&edge).outcome {
-                    SearchOutcome::Refuted => {
-                        view.delete(edge);
-                        refuted_edges.push(edge);
-                        continue 'paths;
-                    }
-                    SearchOutcome::Witnessed(w) => witness = Some(w),
-                    // Aborts are soundly treated as not-refuted.
-                    SearchOutcome::Aborted(_) => {}
-                }
+        let job = ReachJob { source: global, targets: BitSet::singleton(target.index()) };
+        let outcome = sched.run(&mut view, std::slice::from_ref(&job));
+        match outcome.verdicts.into_iter().next().expect("one verdict per job") {
+            JobVerdict::Refuted { refuted_edges } => ReachabilityAnswer::Refuted { refuted_edges },
+            JobVerdict::Witnessed { path, witness } => {
+                ReachabilityAnswer::Reachable { path, witness }
             }
-            return ReachabilityAnswer::Reachable { path, witness };
         }
     }
 
@@ -230,13 +237,15 @@ impl<'p> Thresher<'p> {
     /// encapsulation/escape client).
     pub fn escape_checker(&self) -> EscapeChecker<'_> {
         EscapeChecker::new(self.program, &self.pta, &self.modref, self.config.clone())
+            .with_jobs(self.jobs)
     }
 
     /// Runs the Android Activity-leak client over this program (requires
     /// the [`android::library`] model to be installed in the program).
     pub fn check_activity_leaks(&self) -> LeakReport {
         let client =
-            android::LeakClient::new(self.program, &self.pta, &self.modref, self.config.clone());
+            android::LeakClient::new(self.program, &self.pta, &self.modref, self.config.clone())
+                .with_jobs(self.jobs);
         client.run()
     }
 }

@@ -1,0 +1,190 @@
+//! Captured metric deltas for deferred, deterministic accounting.
+//!
+//! The parallel refutation scheduler computes edge decisions speculatively
+//! on worker threads, but only *commits* them — in the canonical sequential
+//! order — on the coordinator. To keep report totals byte-identical across
+//! thread counts, the metrics a speculative computation emits must not hit
+//! the global [`Recorder`](crate::Recorder) immediately: [`capture`] runs a
+//! closure with a thread-local buffer installed, collecting every
+//! [`add`](crate::add)/[`observe`](crate::observe) into a [`MetricsDelta`],
+//! and [`MetricsDelta::replay`] applies the batch to the global recorder at
+//! commit time. Trace events (spans, instants) are *not* buffered — they
+//! pass straight to the ring and are excluded from determinism guarantees.
+
+use std::cell::RefCell;
+
+use crate::{Counter, Hist};
+
+/// A batch of counter increments and raw (unbucketed) histogram
+/// observations, captured on one thread and replayable later. Replaying the
+/// delta produces exactly the same registry state as recording the
+/// original calls directly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsDelta {
+    counters: [u64; Counter::COUNT],
+    observations: Vec<(Hist, u64)>,
+}
+
+impl Default for MetricsDelta {
+    fn default() -> Self {
+        MetricsDelta { counters: [0; Counter::COUNT], observations: Vec::new() }
+    }
+}
+
+impl MetricsDelta {
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty() && self.counters.iter().all(|&n| n == 0)
+    }
+
+    /// Captured total for counter `c`.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()]
+    }
+
+    /// Captured observations, in emission order.
+    pub fn observations(&self) -> &[(Hist, u64)] {
+        &self.observations
+    }
+
+    fn add(&mut self, c: Counter, n: u64) {
+        self.counters[c.index()] = self.counters[c.index()].saturating_add(n);
+    }
+
+    fn observe(&mut self, h: Hist, v: u64) {
+        self.observations.push((h, v));
+    }
+
+    /// Applies the batch to the installed global recorder (a no-op when
+    /// recording is disabled). Writes bypass any capture buffer active on
+    /// the calling thread: replay is the commit step, not a re-emission.
+    pub fn replay(&self) {
+        let Some(r) = crate::installed() else { return };
+        for (i, &n) in self.counters.iter().enumerate() {
+            if n > 0 {
+                r.add(Counter::ALL[i], n);
+            }
+        }
+        for &(h, v) in &self.observations {
+            r.observe(h, v);
+        }
+    }
+}
+
+thread_local! {
+    static CAPTURE: RefCell<Option<Box<MetricsDelta>>> = const { RefCell::new(None) };
+}
+
+/// Routes `add` into the active capture buffer, if any. Returns `true`
+/// when the value was buffered (the caller must then skip the recorder).
+#[inline]
+pub(crate) fn buffered_add(c: Counter, n: u64) -> bool {
+    CAPTURE.with(|cell| match cell.borrow_mut().as_mut() {
+        Some(d) => {
+            d.add(c, n);
+            true
+        }
+        None => false,
+    })
+}
+
+/// Routes `observe` into the active capture buffer, if any.
+#[inline]
+pub(crate) fn buffered_observe(h: Hist, v: u64) -> bool {
+    CAPTURE.with(|cell| match cell.borrow_mut().as_mut() {
+        Some(d) => {
+            d.observe(h, v);
+            true
+        }
+        None => false,
+    })
+}
+
+/// Runs `f` with metric capture active on this thread: every counter add
+/// and histogram observation `f` emits lands in the returned
+/// [`MetricsDelta`] instead of the global recorder. Captures nest (the
+/// innermost buffer wins). When recording is disabled, `f` runs without any
+/// buffering and the delta is empty — the delta only matters for what the
+/// recorder would have seen.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, MetricsDelta) {
+    if !crate::enabled() {
+        return (f(), MetricsDelta::default());
+    }
+    let prev = CAPTURE.with(|c| c.borrow_mut().replace(Box::default()));
+    // Restore the previous buffer even if `f` unwinds, or every later
+    // metric on this thread would be swallowed by a leaked buffer.
+    struct Restore(Option<Box<MetricsDelta>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CAPTURE.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let restore = Restore(prev);
+    let r = f();
+    let delta = CAPTURE.with(|c| c.borrow_mut().take()).map(|b| *b).unwrap_or_default();
+    drop(restore);
+    (r, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemRecorder, RingCapacity};
+
+    #[test]
+    fn capture_buffers_and_replay_applies() {
+        let _serial = crate::test_lock();
+        let rec = MemRecorder::install_static(RingCapacity::default());
+        rec.reset();
+
+        let ((), delta) = capture(|| {
+            crate::add(Counter::EdgesRefuted, 2);
+            crate::observe(Hist::HeapCells, 5);
+        });
+        // Nothing reached the recorder yet.
+        assert_eq!(rec.counter(Counter::EdgesRefuted), 0);
+        assert_eq!(rec.histogram(Hist::HeapCells).count, 0);
+        assert_eq!(delta.counter(Counter::EdgesRefuted), 2);
+        assert_eq!(delta.observations(), &[(Hist::HeapCells, 5)]);
+        assert!(!delta.is_empty());
+
+        delta.replay();
+        assert_eq!(rec.counter(Counter::EdgesRefuted), 2);
+        assert_eq!(rec.histogram(Hist::HeapCells).count, 1);
+        assert_eq!(rec.histogram(Hist::HeapCells).sum, 5);
+        crate::uninstall();
+    }
+
+    #[test]
+    fn captures_nest_and_restore() {
+        let _serial = crate::test_lock();
+        let rec = MemRecorder::install_static(RingCapacity::default());
+        rec.reset();
+
+        let ((), outer) = capture(|| {
+            crate::add(Counter::SolverCalls, 1);
+            let ((), inner) = capture(|| crate::add(Counter::SolverCalls, 10));
+            assert_eq!(inner.counter(Counter::SolverCalls), 10);
+            crate::add(Counter::SolverCalls, 2);
+        });
+        assert_eq!(outer.counter(Counter::SolverCalls), 3);
+        assert_eq!(rec.counter(Counter::SolverCalls), 0);
+
+        // After capture ends, metrics flow to the recorder again.
+        crate::add(Counter::SolverCalls, 7);
+        assert_eq!(rec.counter(Counter::SolverCalls), 7);
+        crate::uninstall();
+    }
+
+    #[test]
+    fn capture_disabled_is_passthrough() {
+        let _serial = crate::test_lock();
+        crate::uninstall();
+        let (v, delta) = capture(|| {
+            crate::add(Counter::SolverCalls, 1);
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(delta.is_empty());
+    }
+}

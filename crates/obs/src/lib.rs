@@ -50,12 +50,14 @@
 
 pub mod json;
 
+mod delta;
 mod event;
 mod mem;
 mod metrics;
 mod report;
 mod trace;
 
+pub use delta::{capture, MetricsDelta};
 pub use event::{SpanKind, TraceEvent};
 pub use mem::{MemRecorder, RingCapacity};
 pub use metrics::{bucket_index, bucket_lower_bound, Counter, Hist, HistSnapshot, Registry};
@@ -127,17 +129,33 @@ pub fn installed() -> Option<&'static dyn Recorder> {
     }
 }
 
-/// Adds `n` to counter `c` on the installed recorder, if any.
+/// Adds `n` to counter `c` on the installed recorder, if any. Inside an
+/// active [`capture`] on this thread, the add is buffered into the capture's
+/// [`MetricsDelta`] instead.
 #[inline]
 pub fn add(c: Counter, n: u64) {
+    if !enabled() {
+        return;
+    }
+    if delta::buffered_add(c, n) {
+        return;
+    }
     if let Some(r) = installed() {
         r.add(c, n);
     }
 }
 
 /// Records observation `v` into histogram `h` on the installed recorder.
+/// Inside an active [`capture`] on this thread, the observation is buffered
+/// into the capture's [`MetricsDelta`] instead.
 #[inline]
 pub fn observe(h: Hist, v: u64) {
+    if !enabled() {
+        return;
+    }
+    if delta::buffered_observe(h, v) {
+        return;
+    }
     if let Some(r) = installed() {
         r.observe(h, v);
     }

@@ -32,6 +32,8 @@ pub struct MemRecorder {
 struct Ring {
     events: Vec<TraceEvent>,
     capacity: usize,
+    /// Distinct thread ids that emitted events (dropped ones included).
+    tids: std::collections::HashSet<u32>,
 }
 
 impl MemRecorder {
@@ -40,7 +42,11 @@ impl MemRecorder {
     pub fn new(capacity: RingCapacity) -> Self {
         MemRecorder {
             registry: Registry::new(),
-            ring: Mutex::new(Ring { events: Vec::new(), capacity: capacity.0 }),
+            ring: Mutex::new(Ring {
+                events: Vec::new(),
+                capacity: capacity.0,
+                tids: std::collections::HashSet::new(),
+            }),
             dropped: AtomicU64::new(0),
             record_fine: true,
         }
@@ -86,10 +92,17 @@ impl MemRecorder {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Distinct threads that emitted trace events (dropped events count the
+    /// thread too) — with worker pools this tells whether trace truncation
+    /// hit a run that fanned out.
+    pub fn trace_threads(&self) -> u64 {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).tids.len() as u64
+    }
+
     /// Builds a versioned [`RunReport`] from the current metrics. `meta`
     /// carries free-form run identification (program name, client, config).
     pub fn run_report(&self, meta: &[(&str, &str)]) -> RunReport {
-        RunReport::from_registry(&self.registry, meta, self.dropped_events())
+        RunReport::from_registry(&self.registry, meta, self.dropped_events(), self.trace_threads())
     }
 
     /// Serializes the recorded events as Chrome trace-event JSON.
@@ -102,6 +115,7 @@ impl MemRecorder {
         self.registry.reset();
         let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
         ring.events.clear();
+        ring.tids.clear();
         self.dropped.store(0, Ordering::Relaxed);
     }
 }
@@ -117,6 +131,7 @@ impl Recorder for MemRecorder {
 
     fn event(&self, ev: TraceEvent) {
         let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.tids.insert(ev.tid);
         if ring.events.len() < ring.capacity {
             ring.events.push(ev);
         } else {

@@ -53,6 +53,9 @@ metric_enum! {
         ///
         /// [`StopReason`]: https://docs.rs/thresher
         EdgesAborted => "edges_aborted",
+        /// Path edges descheduled because an earlier edge of their path was
+        /// already refuted (the path died before they were needed).
+        EdgesDescheduled => "edges_descheduled",
         /// Aborts: fork budget exhausted.
         AbortForkBudget => "aborts_fork_budget",
         /// Aborts: work budget exhausted.

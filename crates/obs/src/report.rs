@@ -20,7 +20,8 @@ pub const SCHEMA: &str = "thresher.run_report/1";
 ///                        "buckets": [[0, 2], [32, 7]]},
 ///     ...
 ///   },
-///   "dropped_trace_events": 0
+///   "dropped_trace_events": 0,
+///   "trace_threads": 1
 /// }
 /// ```
 ///
@@ -36,16 +37,24 @@ pub struct RunReport {
     pub histograms: Vec<(&'static str, HistSnapshot)>,
     /// Trace events discarded because the recorder ring was full.
     pub dropped_trace_events: u64,
+    /// Distinct threads that emitted trace events during the run.
+    pub trace_threads: u64,
 }
 
 impl RunReport {
     /// Snapshots `registry` into a report.
-    pub fn from_registry(registry: &Registry, meta: &[(&str, &str)], dropped: u64) -> RunReport {
+    pub fn from_registry(
+        registry: &Registry,
+        meta: &[(&str, &str)],
+        dropped: u64,
+        trace_threads: u64,
+    ) -> RunReport {
         RunReport {
             meta: meta.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
             counters: Counter::ALL.iter().map(|c| (c.name(), registry.counter(*c))).collect(),
             histograms: Hist::ALL.iter().map(|h| (h.name(), registry.histogram(*h))).collect(),
             dropped_trace_events: dropped,
+            trace_threads,
         }
     }
 
@@ -76,6 +85,7 @@ impl RunReport {
             ("counters".to_owned(), Value::Obj(counters)),
             ("histograms".to_owned(), Value::Obj(histograms)),
             ("dropped_trace_events".to_owned(), Value::uint(self.dropped_trace_events)),
+            ("trace_threads".to_owned(), Value::uint(self.trace_threads)),
         ])
     }
 
@@ -111,7 +121,7 @@ mod tests {
         reg.add(Counter::SolverCalls, 7);
         reg.observe(Hist::SolverNanos, 0);
         reg.observe(Hist::SolverNanos, 40);
-        let report = RunReport::from_registry(&reg, &[("program", "fig1.tir")], 2);
+        let report = RunReport::from_registry(&reg, &[("program", "fig1.tir")], 2, 3);
 
         assert_eq!(report.counter("edges_refuted"), Some(3));
         assert_eq!(report.counter("no_such_counter"), None);
@@ -135,5 +145,6 @@ mod tests {
         let buckets = hist.get("buckets").and_then(Value::as_arr).expect("buckets");
         assert_eq!(buckets.len(), 2);
         assert_eq!(parsed.get("dropped_trace_events").and_then(Value::as_u64), Some(2));
+        assert_eq!(parsed.get("trace_threads").and_then(Value::as_u64), Some(3));
     }
 }

@@ -46,7 +46,7 @@ enum NodeKind {
     Ret(InstId),
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct NodeId(u32);
 
 /// A pending receiver-indexed call: dispatch is re-run as the receiver's
@@ -388,8 +388,12 @@ impl<'p> Solver<'p> {
                 obs::observe(obs::Hist::PtaWorklist, self.worklist.len() as u64 + 1);
             }
             let pts = self.pts[node.0 as usize].clone();
-            // Copy edges.
-            let succs: Vec<NodeId> = self.copy_succs[node.0 as usize].iter().copied().collect();
+            // Copy edges, in node order: the successor set iterates in hash
+            // order, which varies per process and would make propagation
+            // counts — and on-demand node/location numbering — differ
+            // between otherwise identical runs.
+            let mut succs: Vec<NodeId> = self.copy_succs[node.0 as usize].iter().copied().collect();
+            succs.sort_unstable();
             for s in succs {
                 if self.pts[s.0 as usize].union_with(&pts) {
                     self.worklist.push_back(s);

@@ -8,7 +8,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use tir::{GlobalId, Program};
+use tir::{FieldId, GlobalId, Program};
 
 use crate::bitset::BitSet;
 use crate::loc::LocId;
@@ -56,6 +56,15 @@ impl<'a> HeapGraphView<'a> {
         targets: &BitSet,
     ) -> Option<Vec<HeapEdge>> {
         let _ = program;
+        // Successor index in canonical (base, field) order: the underlying
+        // heap map iterates in hash order, which varies across processes, and
+        // the BFS tie-break (which shortest path wins) must not.
+        let mut succ: HashMap<LocId, Vec<(FieldId, &BitSet)>> = HashMap::new();
+        let mut entries: Vec<_> = self.result.heap_entries().collect();
+        entries.sort_by_key(|&(base, field, _)| (base.index(), field.index()));
+        for (base, field, targets) in entries {
+            succ.entry(base).or_default().push((field, targets));
+        }
         // BFS over locations; parent pointers reconstruct the edge path.
         let mut parent: HashMap<LocId, HeapEdge> = HashMap::new();
         let mut queue: VecDeque<LocId> = VecDeque::new();
@@ -79,14 +88,11 @@ impl<'a> HeapGraphView<'a> {
         }
         while found.is_none() {
             let Some(cur) = queue.pop_front() else { break };
-            // Expand all field edges out of `cur`.
-            for (base, field, succs) in self.result.heap_entries() {
-                if base != cur {
-                    continue;
-                }
+            // Expand all field edges out of `cur`, in (field, target) order.
+            for &(field, succs) in succ.get(&cur).map(Vec::as_slice).unwrap_or(&[]) {
                 for t in succs.iter() {
                     let loc = LocId(t as u32);
-                    let edge = HeapEdge::Field { base, field, target: loc };
+                    let edge = HeapEdge::Field { base: cur, field, target: loc };
                     if self.is_deleted(&edge) || seen.contains(&loc) {
                         continue;
                     }

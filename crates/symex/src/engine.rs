@@ -117,13 +117,14 @@ impl<'a> Engine<'a> {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
             };
-        let producers: Vec<CmdId> = self.pta.producers(edge).to_vec();
+        let pta = self.pta;
+        let producers = pta.producers(edge);
         if producers.is_empty() {
             // Nothing can produce the edge: it is vacuously refuted. (This
             // happens when an annotation removed the only producers.)
             return SearchOutcome::Refuted;
         }
-        for cmd in producers {
+        for &cmd in producers {
             let q0 = match self.initial_query(edge) {
                 Ok(q) => q,
                 Err(r) => {
@@ -232,6 +233,15 @@ impl<'a> Engine<'a> {
         self.engine_deadline.is_some_and(|dl| Instant::now() >= dl)
     }
 
+    /// Overrides the engine-wide deadline with an absolute instant. The
+    /// parallel scheduler uses this to share one global cutoff across all
+    /// worker engines — each engine otherwise snapshots its own
+    /// `total_deadline` at construction time, which would multiply the
+    /// allowance by the number of workers.
+    pub fn set_deadline_at(&mut self, deadline: Option<Instant>) {
+        self.engine_deadline = deadline;
+    }
+
     /// Builds the initial query asserting that `edge` holds, e.g.
     /// `v̂1·f ↦ v̂2 ∧ v̂1 from {base} ∧ v̂2 from {target}` (§3.1).
     pub fn initial_query(&self, edge: &HeapEdge) -> Result<Query, Refuted> {
@@ -274,8 +284,11 @@ impl<'a> Engine<'a> {
             .expect("command not found in its own method body");
         self.call_chain.clear();
         self.caller_depth = 0;
-        let body = self.program.method(method).body.clone();
-        let qs = self.back_pos(&body, &path, q0, true)?;
+        // Borrow the body straight out of the shared program (lifetime 'a,
+        // decoupled from `self`) instead of cloning the statement tree.
+        let program = self.program;
+        let body = &program.method(method).body;
+        let qs = self.back_pos(body, &path, q0, true)?;
         for q in qs {
             self.propagate_up(method, q)?;
         }
@@ -465,7 +478,8 @@ impl<'a> Engine<'a> {
         let Command::Call { dst, callee: _, .. } = self.program.cmd(cmd_id) else {
             unreachable!("exec_call_back on non-call");
         };
-        let targets: Vec<MethodId> = self.pta.call_targets(cmd_id).to_vec();
+        let pta = self.pta;
+        let targets = pta.call_targets(cmd_id);
 
         // Frame rule: skip the call outright if it cannot affect the query.
         // Relevance is checked per cell at location granularity: a callee
@@ -488,14 +502,14 @@ impl<'a> Engine<'a> {
         let recursive = targets.iter().any(|t| self.call_chain.contains(t));
         if too_deep || recursive || targets.is_empty() {
             self.stats.add_call_skipped_depth();
-            return Ok(vec![self.skip_call(cmd_id, &targets, q)]);
+            return Ok(vec![self.skip_call(cmd_id, targets, q)]);
         }
 
         if targets.len() > 1 {
             self.charge(targets.len() as u64 - 1)?;
         }
         let mut out = Vec::new();
-        for t in targets {
+        for &t in targets {
             let mut qt = q.clone();
             // Receiver narrowing: only locations that dispatch to `t` are
             // compatible with taking this target.
@@ -529,8 +543,9 @@ impl<'a> Engine<'a> {
                 qt.locals.remove(d);
             }
             self.call_chain.push(t);
-            let body = self.program.method(t).body.clone();
-            let entry_qs = self.exec_stmt_back(&body, qt);
+            let program = self.program;
+            let body = &program.method(t).body;
+            let entry_qs = self.exec_stmt_back(body, qt);
             self.call_chain.pop();
             for mut qe in entry_qs? {
                 // A pending return that was never consumed means the callee
@@ -644,17 +659,20 @@ impl<'a> Engine<'a> {
         callee: MethodId,
         mut q: Query,
     ) -> Result<Option<Query>, Stop> {
-        let Command::Call { callee: ckind, args, .. } = self.program.cmd(cmd_id).clone() else {
+        // Borrow the call command and callee signature out of the shared
+        // program (lifetime 'a) instead of cloning them per binding.
+        let program = self.program;
+        let Command::Call { callee: ckind, args, .. } = program.cmd(cmd_id) else {
             unreachable!("bind_params on non-call");
         };
         // The call site is part of the path program; record it so witness
         // traces stay connected through upward propagation.
         q.record(cmd_id, self.config.trace_cap);
-        let callee_m = self.program.method(callee).clone();
+        let callee_m = program.method(callee);
         let is_instance = callee_m.class.is_some();
         // Assemble (param, actual) pairs including the receiver.
         let mut pairs: Vec<(VarId, Operand)> = Vec::new();
-        match (&ckind, is_instance) {
+        match (ckind, is_instance) {
             (Callee::Virtual { receiver, .. }, true) => {
                 pairs.push((callee_m.params[0], Operand::Var(*receiver)));
                 for (p, a) in callee_m.params[1..].iter().zip(args.iter()) {
@@ -692,7 +710,7 @@ impl<'a> Engine<'a> {
         // The receiver of a virtual call additionally narrows to locations
         // dispatching to this callee (handled in exec_call_back when
         // entering; on upward propagation do it here).
-        if let (Callee::Virtual { receiver, .. }, true) = (&ckind, is_instance) {
+        if let (Callee::Virtual { receiver, .. }, true) = (ckind, is_instance) {
             if let Some(&Val::Sym(s)) = q.locals.get(receiver) {
                 if self.config.representation != Representation::FullySymbolic {
                     let dl = self.dispatch_locs(cmd_id, callee);
@@ -791,7 +809,8 @@ impl<'a> Engine<'a> {
             };
         }
 
-        let callers: Vec<CmdId> = self.pta.callers(method).to_vec();
+        let pta = self.pta;
+        let callers = pta.callers(method);
         if callers.is_empty() {
             // Unreachable code cannot witness anything.
             self.stats.count_refutation(Refuted::Entry);
@@ -803,15 +822,15 @@ impl<'a> Engine<'a> {
         if callers.len() > 1 {
             self.charge(callers.len() as u64 - 1)?;
         }
-        for c in callers {
+        for &c in callers {
             let caller_m = self.program.cmd_method(c);
             let Some(q2) = self.bind_params(c, method, q.clone())? else { continue };
-            let path =
-                self.program.method(caller_m).body.path_to(c).expect("call site in caller body");
-            let body = self.program.method(caller_m).body.clone();
+            let program = self.program;
+            let body = &program.method(caller_m).body;
+            let path = body.path_to(c).expect("call site in caller body");
             self.caller_depth += 1;
             let saved_chain = std::mem::take(&mut self.call_chain);
-            let qs = self.back_pos(&body, &path, q2, false);
+            let qs = self.back_pos(body, &path, q2, false);
             self.call_chain = saved_chain;
             let qs = match qs {
                 Ok(qs) => qs,

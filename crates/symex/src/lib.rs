@@ -56,6 +56,7 @@
 mod config;
 mod engine;
 mod loops;
+pub mod parallel;
 mod query;
 mod region;
 pub mod replay;
@@ -66,6 +67,9 @@ mod value;
 
 pub use config::{LoopMode, Representation, SymexConfig};
 pub use engine::{EdgeDecision, Engine};
+pub use parallel::{
+    default_jobs, EdgeAnswer, JobVerdict, ReachJob, RefutationScheduler, SchedulerOutcome, Tally,
+};
 pub use query::{HeapCell, Query, Refuted};
 pub use region::Region;
 pub use replay::{validate_witness, ReplayVerdict};

@@ -1,0 +1,709 @@
+//! Parallel edge-refutation scheduling with a shared decision cache.
+//!
+//! Heap-reachability drivers (the leak client, the escape checker, the
+//! facade's `query_reachable`) all run the same loop: find a heap path,
+//! refute its edges in order, delete refuted edges, repeat. Edge decisions
+//! dominate the wall clock and are independent of one another — each is a
+//! pure function of `(edge, config)`, because [`Engine::refute_edge`]
+//! resets all per-edge state on entry and never consults the deletion
+//! overlay. That makes them the natural unit of parallelism.
+//!
+//! # Design: sequential coordinator, speculative workers
+//!
+//! The naive parallelization (decide all edges of all paths concurrently,
+//! then merge) does not reproduce the sequential run: the sequential loop
+//! never decides the edges *after* the first refuted edge of a path, and a
+//! later job's paths depend on which edges earlier jobs deleted. Since the
+//! scheduler must produce byte-identical reports for every `--jobs`
+//! setting, the coordinator thread runs exactly the historical sequential
+//! loop and remains the only place where decisions are *committed* —
+//! worker threads merely warm a shared cache:
+//!
+//! - **Workers** pull speculative hints (edges of paths the coordinator has
+//!   seen or is about to see), claim them in the lock-striped cache
+//!   (vacant → in-flight), compute the decision on their own [`Engine`],
+//!   and publish the result. All metrics emitted during the computation are
+//!   buffered into an [`obs::MetricsDelta`] instead of the global registry.
+//! - The **coordinator** demands edges in path order: a cached decision is
+//!   used as-is, an in-flight one is awaited, a vacant one is computed
+//!   inline. At first demand the decision is committed: its buffered
+//!   metrics are replayed into the registry, its [`SearchStats`] delta is
+//!   merged, and the driver tally is bumped. Speculative results that are
+//!   never demanded are never accounted, so totals are independent of the
+//!   worker count.
+//! - When a path dies (an edge is refuted), its pending hints are
+//!   **descheduled** via a shared cancellation token and counted under
+//!   [`obs::Counter::EdgesDescheduled`] — distinct from aborted searches.
+//!
+//! With `jobs = 1` no threads are spawned and no hints are queued: the
+//! run *is* the historical sequential loop.
+//!
+//! # Determinism caveat
+//!
+//! A decision is a pure function of `(edge, config)` except for wall-clock
+//! deadlines ([`SymexConfig::edge_deadline`]/`total_deadline`): under a
+//! deadline, a speculative worker may time out where the sequential run
+//! would have decided the edge (or vice versa). Runs that need bit-exact
+//! reproducibility across `--jobs` settings should not set deadlines; the
+//! budget-based limits are deterministic.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use pta::{BitSet, HeapEdge, HeapGraphView, ModRef, PtaResult};
+use tir::{GlobalId, Program};
+
+use crate::engine::{EdgeDecision, Engine};
+use crate::stats::{AbortCounts, SearchOutcome, SearchStats, StopReason, Witness};
+use crate::SymexConfig;
+
+/// Lock stripes in the shared edge-decision cache. Edges hash to stripes,
+/// so contention is spread without a global lock.
+const STRIPES: usize = 16;
+
+/// The scheduler parallelism to use when the caller asks for "all cores".
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// One reachability job: sever every heap path from `source` to any
+/// location in `targets`, or witness one.
+#[derive(Clone, Debug)]
+pub struct ReachJob {
+    /// The global variable at the path source.
+    pub source: GlobalId,
+    /// The abstract locations at the path sink.
+    pub targets: BitSet,
+}
+
+/// The verdict for one [`ReachJob`].
+#[derive(Clone, Debug)]
+pub enum JobVerdict {
+    /// Every candidate path was severed by sound edge refutations.
+    Refuted {
+        /// The edges this job refuted (in refutation order).
+        refuted_edges: Vec<HeapEdge>,
+    },
+    /// A path survived with every edge witnessed (or aborted, which is
+    /// soundly treated as not-refuted).
+    Witnessed {
+        /// The surviving path.
+        path: Vec<HeapEdge>,
+        /// A witness for one of the path's edges, when a fresh decision
+        /// produced one.
+        witness: Option<Witness>,
+    },
+}
+
+impl JobVerdict {
+    /// True if reachability was refuted.
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, JobVerdict::Refuted { .. })
+    }
+}
+
+/// Driver-level accounting for the decisions committed by one scheduler
+/// call. Every count is bumped exactly once, at commit time on the
+/// coordinator, so tallies are identical for every worker count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Edges refuted.
+    pub edges_refuted: u64,
+    /// Edges witnessed.
+    pub edges_witnessed: u64,
+    /// Edges whose search aborted (soundly treated as not-refuted).
+    pub edge_timeouts: u64,
+    /// `edge_timeouts` broken down by reason.
+    pub aborts: AbortCounts,
+    /// Extra (degraded) refutation attempts beyond the strict first pass.
+    pub retries: u64,
+    /// Edges decided only by a coarsened retry.
+    pub degraded_decisions: u64,
+    /// Pending path edges descheduled because an earlier edge of their path
+    /// was refuted (the path died before they were needed).
+    pub edges_descheduled: u64,
+    /// Sum of per-edge decision times (compute time, not wall clock — under
+    /// parallel execution the wall clock is smaller).
+    pub symex_time: Duration,
+}
+
+/// The result of one [`RefutationScheduler::run`] call.
+#[derive(Debug)]
+pub struct SchedulerOutcome {
+    /// One verdict per input job, in job order.
+    pub verdicts: Vec<JobVerdict>,
+    /// Accounting for the decisions this call committed.
+    pub tally: Tally,
+}
+
+/// The answer [`RefutationScheduler::decide_edge`] gives for one edge.
+#[derive(Debug)]
+pub enum EdgeAnswer {
+    /// The edge is refuted.
+    Refuted,
+    /// The edge is witnessed; carries the witness on the committing (first)
+    /// demand, `None` on later cache hits.
+    Witnessed(Option<Witness>),
+    /// The search gave up for the stated reason; not refuted.
+    Aborted(StopReason),
+}
+
+/// Everything one edge computation produced, parked in the cache until the
+/// coordinator demands (and thereby accounts) it.
+#[derive(Clone)]
+struct CacheEntry {
+    decision: EdgeDecision,
+    stats: SearchStats,
+    obs: obs::MetricsDelta,
+    elapsed: Duration,
+}
+
+enum Slot {
+    /// Claimed by some thread; the result will appear as `Done`.
+    InFlight,
+    /// Computed, possibly not yet accounted.
+    Done(Box<CacheEntry>),
+}
+
+struct Stripe {
+    map: Mutex<HashMap<HeapEdge, Slot>>,
+    /// Signalled when an in-flight entry of this stripe becomes done.
+    ready: Condvar,
+}
+
+struct CacheStripes {
+    stripes: Vec<Stripe>,
+}
+
+impl CacheStripes {
+    fn new() -> Self {
+        let stripes = (0..STRIPES)
+            .map(|_| Stripe { map: Mutex::new(HashMap::new()), ready: Condvar::new() })
+            .collect();
+        CacheStripes { stripes }
+    }
+
+    fn stripe(&self, edge: &HeapEdge) -> &Stripe {
+        let h = match edge {
+            HeapEdge::Global { global, target } => global.index() ^ (target.index() << 3),
+            HeapEdge::Field { base, field, target } => {
+                base.index() ^ (field.index() << 2) ^ (target.index() << 5)
+            }
+        };
+        &self.stripes[h % STRIPES]
+    }
+}
+
+/// A speculative work item: decide `edge` unless its path died first.
+struct Hint {
+    edge: HeapEdge,
+    cancel: Arc<AtomicBool>,
+}
+
+/// The per-run speculation queue shared between coordinator and workers.
+struct RunQueue {
+    queue: Mutex<VecDeque<Hint>>,
+    ready: Condvar,
+    done: AtomicBool,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl RunQueue {
+    fn new() -> Self {
+        RunQueue {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn push(&self, hints: Vec<Hint>) {
+        if hints.is_empty() {
+            return;
+        }
+        let mut q = lock(&self.queue);
+        q.extend(hints);
+        drop(q);
+        self.ready.notify_all();
+    }
+
+    /// Blocks for the next hint; `None` once the run is over (any backlog
+    /// is abandoned — its results would never be demanded).
+    fn pop(&self) -> Option<Hint> {
+        let mut q = lock(&self.queue);
+        loop {
+            if self.done.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(h) = q.pop_front() {
+                return Some(h);
+            }
+            q = self.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn finish(&self) {
+        self.done.store(true, Ordering::Release);
+        // Take the lock so no worker can be between its done-check and its
+        // wait when the wakeup fires.
+        drop(lock(&self.queue));
+        self.ready.notify_all();
+    }
+}
+
+/// Runs one edge decision with all metric emission buffered, and packages
+/// the result for deferred accounting.
+fn compute(engine: &mut Engine<'_>, edge: &HeapEdge) -> CacheEntry {
+    let before = engine.stats.clone();
+    let t0 = Instant::now();
+    let (decision, delta) = obs::capture(|| engine.refute_edge_resilient(edge));
+    CacheEntry {
+        decision,
+        stats: engine.stats.delta_since(&before),
+        obs: delta,
+        elapsed: t0.elapsed(),
+    }
+}
+
+/// The worker loop: claim speculative hints and publish their decisions.
+fn worker(queue: &RunQueue, cache: &CacheStripes, mut engine: Engine<'_>) {
+    while let Some(hint) = queue.pop() {
+        if hint.cancel.load(Ordering::Relaxed) {
+            continue;
+        }
+        let stripe = cache.stripe(&hint.edge);
+        {
+            let mut map = lock(&stripe.map);
+            if map.contains_key(&hint.edge) {
+                continue;
+            }
+            map.insert(hint.edge, Slot::InFlight);
+        }
+        let entry = compute(&mut engine, &hint.edge);
+        let mut map = lock(&stripe.map);
+        map.insert(hint.edge, Slot::Done(Box::new(entry)));
+        drop(map);
+        stripe.ready.notify_all();
+    }
+}
+
+/// Coordinator-side demand for one edge: cache hit, await, or compute
+/// inline; commit (account) the decision on first demand.
+fn demand<'a>(
+    edge: HeapEdge,
+    cache: &CacheStripes,
+    engine: &mut Engine<'a>,
+    committed: &mut HashMap<HeapEdge, EdgeDecision>,
+    stats: &mut SearchStats,
+    tally: &mut Tally,
+) -> EdgeAnswer {
+    if let Some(d) = committed.get(&edge) {
+        // Already accounted: answer from the committed decision; no witness
+        // on cache hits (mirrors the historical per-client caches).
+        return match &d.outcome {
+            SearchOutcome::Refuted => EdgeAnswer::Refuted,
+            SearchOutcome::Witnessed(_) => EdgeAnswer::Witnessed(None),
+            SearchOutcome::Aborted(r) => EdgeAnswer::Aborted(r.clone()),
+        };
+    }
+    let stripe = cache.stripe(&edge);
+    let entry: CacheEntry = 'get: {
+        let mut map = lock(&stripe.map);
+        loop {
+            match map.get(&edge) {
+                Some(Slot::Done(e)) => break 'get (**e).clone(),
+                Some(Slot::InFlight) => {
+                    map = stripe.ready.wait(map).unwrap_or_else(|e| e.into_inner());
+                }
+                None => {
+                    map.insert(edge, Slot::InFlight);
+                    break;
+                }
+            }
+        }
+        drop(map);
+        let entry = compute(engine, &edge);
+        let mut map = lock(&stripe.map);
+        map.insert(edge, Slot::Done(Box::new(entry.clone())));
+        drop(map);
+        stripe.ready.notify_all();
+        entry
+    };
+    // Commit: this is the only place buffered metrics reach the registry
+    // and the only recording site for the per-reason abort counters, so
+    // totals are identical for every worker count.
+    entry.obs.replay();
+    stats.merge(&entry.stats);
+    tally.symex_time += entry.elapsed;
+    tally.retries += u64::from(entry.decision.attempts.saturating_sub(1));
+    if entry.decision.degraded {
+        tally.degraded_decisions += 1;
+    }
+    let answer = match &entry.decision.outcome {
+        SearchOutcome::Refuted => {
+            tally.edges_refuted += 1;
+            EdgeAnswer::Refuted
+        }
+        SearchOutcome::Witnessed(w) => {
+            tally.edges_witnessed += 1;
+            EdgeAnswer::Witnessed(Some(w.clone()))
+        }
+        SearchOutcome::Aborted(r) => {
+            tally.edge_timeouts += 1;
+            tally.aborts.record(r);
+            EdgeAnswer::Aborted(r.clone())
+        }
+    };
+    committed.insert(edge, entry.decision);
+    answer
+}
+
+/// The sequential refute-and-reroute loop for one job, demanding edge
+/// decisions through the shared cache.
+#[allow(clippy::too_many_arguments)]
+fn run_job<'a>(
+    program: &'a Program,
+    view: &mut HeapGraphView<'_>,
+    job: &ReachJob,
+    queue: Option<&RunQueue>,
+    cache: &CacheStripes,
+    engine: &mut Engine<'a>,
+    committed: &mut HashMap<HeapEdge, EdgeDecision>,
+    stats: &mut SearchStats,
+    tally: &mut Tally,
+) -> JobVerdict {
+    let mut refuted_edges = Vec::new();
+    'paths: loop {
+        let Some(path) = view.find_path(program, job.source, &job.targets) else {
+            return JobVerdict::Refuted { refuted_edges };
+        };
+        let cancel = Arc::new(AtomicBool::new(false));
+        if let Some(q) = queue {
+            q.push(
+                path.iter()
+                    .filter(|e| !committed.contains_key(e))
+                    .map(|&edge| Hint { edge, cancel: cancel.clone() })
+                    .collect(),
+            );
+        }
+        let mut last_witness = None;
+        for (i, &edge) in path.iter().enumerate() {
+            match demand(edge, cache, engine, committed, stats, tally) {
+                EdgeAnswer::Refuted => {
+                    view.delete(edge);
+                    refuted_edges.push(edge);
+                    // The rest of this path is moot: deschedule its pending
+                    // edges. The count only looks at coordinator-committed
+                    // state, so it is identical for every worker count.
+                    cancel.store(true, Ordering::Relaxed);
+                    let descheduled =
+                        path[i + 1..].iter().filter(|e| !committed.contains_key(e)).count() as u64;
+                    if descheduled > 0 {
+                        tally.edges_descheduled += descheduled;
+                        obs::add(obs::Counter::EdgesDescheduled, descheduled);
+                    }
+                    continue 'paths;
+                }
+                EdgeAnswer::Witnessed(w) => last_witness = w.or(last_witness),
+                // An abort is soundly treated as not-refuted.
+                EdgeAnswer::Aborted(_) => {}
+            }
+        }
+        return JobVerdict::Witnessed { path, witness: last_witness };
+    }
+}
+
+/// A parallel refutation scheduler over one analyzed program. Owns the
+/// shared edge-decision cache, the committed-decision log, and the merged
+/// engine statistics; these persist across [`RefutationScheduler::run`]
+/// calls, so repeated calls (e.g. triaging alarms one at a time) share
+/// decisions exactly like the historical per-client caches did.
+pub struct RefutationScheduler<'a> {
+    program: &'a Program,
+    pta: &'a PtaResult,
+    modref: &'a ModRef,
+    config: SymexConfig,
+    jobs: usize,
+    /// One absolute cutoff shared by the coordinator and every worker
+    /// engine — a per-engine `total_deadline` would multiply the allowance
+    /// by the worker count.
+    deadline_at: Option<Instant>,
+    engine: Engine<'a>,
+    cache: CacheStripes,
+    committed: HashMap<HeapEdge, EdgeDecision>,
+    stats: SearchStats,
+}
+
+impl<'a> RefutationScheduler<'a> {
+    /// Creates a scheduler. `jobs` is the total thread count (coordinator
+    /// included); `1` means fully sequential, values are clamped to at
+    /// least 1.
+    pub fn new(
+        program: &'a Program,
+        pta: &'a PtaResult,
+        modref: &'a ModRef,
+        config: SymexConfig,
+        jobs: usize,
+    ) -> Self {
+        let deadline_at = config.total_deadline.map(|d| Instant::now() + d);
+        let mut engine = Engine::new(program, pta, modref, config.clone());
+        engine.set_deadline_at(deadline_at);
+        RefutationScheduler {
+            program,
+            pta,
+            modref,
+            config,
+            jobs: jobs.max(1),
+            deadline_at,
+            engine,
+            cache: CacheStripes::new(),
+            committed: HashMap::new(),
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// The configured thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Overrides the thread count (clamped to at least 1).
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
+    }
+
+    /// The merged engine statistics of every decision committed so far.
+    pub fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+
+    /// Every committed edge decision, in canonical edge order — independent
+    /// of thread count and commit order.
+    pub fn decisions(&self) -> Vec<(HeapEdge, EdgeDecision)> {
+        let mut v: Vec<_> = self.committed.iter().map(|(e, d)| (*e, d.clone())).collect();
+        v.sort_by_key(|&(e, _)| e);
+        v
+    }
+
+    /// Decides a single edge through the shared cache, committing it on
+    /// first demand (sequentially, on the calling thread). Accounting goes
+    /// into `tally`.
+    pub fn decide_edge(&mut self, edge: HeapEdge, tally: &mut Tally) -> EdgeAnswer {
+        demand(edge, &self.cache, &mut self.engine, &mut self.committed, &mut self.stats, tally)
+    }
+
+    /// Runs the given jobs in order over `view`. The verdicts, committed
+    /// decisions, statistics, and report metrics are identical for every
+    /// `jobs` setting (see the module docs for the deadline caveat); the
+    /// wall clock is not.
+    pub fn run(&mut self, view: &mut HeapGraphView<'_>, work: &[ReachJob]) -> SchedulerOutcome {
+        let mut tally = Tally::default();
+        let mut verdicts = Vec::with_capacity(work.len());
+        let workers = self.jobs - 1;
+        if workers == 0 {
+            // Sequential fast path: no threads, no queue, no speculation —
+            // this is the historical driver loop verbatim.
+            for job in work {
+                verdicts.push(run_job(
+                    self.program,
+                    view,
+                    job,
+                    None,
+                    &self.cache,
+                    &mut self.engine,
+                    &mut self.committed,
+                    &mut self.stats,
+                    &mut tally,
+                ));
+            }
+            return SchedulerOutcome { verdicts, tally };
+        }
+
+        let program = self.program;
+        let pta = self.pta;
+        let modref = self.modref;
+        let deadline_at = self.deadline_at;
+        let cache = &self.cache;
+        let engine = &mut self.engine;
+        let committed = &mut self.committed;
+        let stats = &mut self.stats;
+        let queue = RunQueue::new();
+        std::thread::scope(|s| {
+            for i in 0..workers {
+                let cfg = self.config.clone();
+                let queue = &queue;
+                std::thread::Builder::new()
+                    .name(format!("refute-{i}"))
+                    .spawn_scoped(s, move || {
+                        let mut e = Engine::new(program, pta, modref, cfg);
+                        e.set_deadline_at(deadline_at);
+                        worker(queue, cache, e);
+                    })
+                    .expect("spawn refutation worker");
+            }
+            // Pre-seed speculation with every job's initial path so workers
+            // chew on later jobs while the coordinator walks earlier ones.
+            // Later deletions may invalidate these paths; that only wastes
+            // speculative work, never correctness.
+            let seed = Arc::new(AtomicBool::new(false));
+            let mut seen = HashSet::new();
+            let mut seeds = Vec::new();
+            for job in work {
+                if let Some(path) = view.find_path(program, job.source, &job.targets) {
+                    for edge in path {
+                        if !committed.contains_key(&edge) && seen.insert(edge) {
+                            seeds.push(Hint { edge, cancel: seed.clone() });
+                        }
+                    }
+                }
+            }
+            queue.push(seeds);
+            for job in work {
+                verdicts.push(run_job(
+                    program,
+                    view,
+                    job,
+                    Some(&queue),
+                    cache,
+                    engine,
+                    committed,
+                    stats,
+                    &mut tally,
+                ));
+            }
+            queue.finish();
+        });
+        SchedulerOutcome { verdicts, tally }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta::ContextPolicy;
+
+    fn setup(src: &str) -> (Program, PtaResult, ModRef) {
+        let p = tir::parse(src).expect("parse");
+        let r = pta::analyze(&p, ContextPolicy::Insensitive);
+        let m = ModRef::compute(&p, &r);
+        (p, r, m)
+    }
+
+    const SRC: &str = r#"
+class Box { field item: Object; field spare: Object; }
+global CACHE: Box;
+global OTHER: Box;
+fn main() {
+  var b: Box;
+  var c: Box;
+  var secret: Object;
+  var s: Object;
+  var flag: int;
+  b = new Box @box0;
+  c = new Box @box1;
+  secret = new Object @secret0;
+  s = new Object @str0;
+  flag = 0;
+  if (flag == 1) {
+    b.item = secret;
+  }
+  b.item = s;
+  c.spare = s;
+  $CACHE = b;
+  $OTHER = c;
+}
+entry main;
+"#;
+
+    fn jobs_for(p: &Program, pta: &PtaResult, names: &[(&str, &str)]) -> Vec<ReachJob> {
+        names
+            .iter()
+            .map(|(g, l)| {
+                let source = p.global_by_name(g).unwrap();
+                let target = pta.locs().ids().find(|&loc| pta.loc_name(p, loc) == *l).unwrap();
+                ReachJob { source, targets: BitSet::singleton(target.index()) }
+            })
+            .collect()
+    }
+
+    fn run_with(jobs: usize) -> (Vec<bool>, Tally, SearchStats, Vec<(HeapEdge, EdgeDecision)>) {
+        let (p, r, m) = setup(SRC);
+        let work = jobs_for(
+            &p,
+            &r,
+            &[("CACHE", "secret0"), ("CACHE", "str0"), ("OTHER", "str0"), ("OTHER", "secret0")],
+        );
+        let mut sched = RefutationScheduler::new(&p, &r, &m, SymexConfig::default(), jobs);
+        let mut view = HeapGraphView::new(&r);
+        let out = sched.run(&mut view, &work);
+        let refuted: Vec<bool> = out.verdicts.iter().map(JobVerdict::is_refuted).collect();
+        (refuted, out.tally, sched.stats().clone(), sched.decisions())
+    }
+
+    #[test]
+    fn verdicts_match_expectations() {
+        let (refuted, tally, stats, _) = run_with(1);
+        assert_eq!(refuted, [true, false, false, true]);
+        assert!(tally.edges_refuted > 0);
+        assert!(tally.edges_witnessed > 0);
+        assert!(stats.cmds_executed > 0);
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic() {
+        let seq = run_with(1);
+        for jobs in [2, 4, 8] {
+            let par = run_with(jobs);
+            assert_eq!(seq.0, par.0, "verdicts differ at jobs={jobs}");
+            // Compare tallies minus the timing field.
+            let mut a = seq.1.clone();
+            let mut b = par.1.clone();
+            a.symex_time = Duration::ZERO;
+            b.symex_time = Duration::ZERO;
+            assert_eq!(a, b, "tally differs at jobs={jobs}");
+            assert_eq!(seq.2, par.2, "search stats differ at jobs={jobs}");
+            let key = |d: &[(HeapEdge, EdgeDecision)]| {
+                d.iter()
+                    .map(|(e, d)| (*e, d.outcome.is_refuted(), d.attempts, d.degraded))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(key(&seq.3), key(&par.3), "decisions differ at jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn cache_persists_across_run_calls() {
+        let (p, r, m) = setup(SRC);
+        let work = jobs_for(&p, &r, &[("CACHE", "str0"), ("OTHER", "str0")]);
+        let mut sched = RefutationScheduler::new(&p, &r, &m, SymexConfig::default(), 1);
+        let mut view = HeapGraphView::new(&r);
+        let first = sched.run(&mut view, &work[..1]);
+        let decided =
+            first.tally.edges_refuted + first.tally.edges_witnessed + first.tally.edge_timeouts;
+        assert!(decided > 0);
+        // Re-running the same job hits only committed decisions.
+        let again = sched.run(&mut view, &work[..1]);
+        assert_eq!(again.tally, Tally::default());
+    }
+
+    #[test]
+    fn decide_edge_commits_once() {
+        let (p, r, m) = setup(SRC);
+        let g = p.global_by_name("CACHE").unwrap();
+        let target = r.locs().ids().find(|&l| r.loc_name(&p, l) == "box0").unwrap();
+        let edge = HeapEdge::Global { global: g, target };
+        let mut sched = RefutationScheduler::new(&p, &r, &m, SymexConfig::default(), 1);
+        let mut tally = Tally::default();
+        let first = sched.decide_edge(edge, &mut tally);
+        assert!(matches!(first, EdgeAnswer::Witnessed(Some(_))));
+        assert_eq!(tally.edges_witnessed, 1);
+        let second = sched.decide_edge(edge, &mut tally);
+        assert!(matches!(second, EdgeAnswer::Witnessed(None)));
+        assert_eq!(tally.edges_witnessed, 1, "cache hit must not re-account");
+    }
+}

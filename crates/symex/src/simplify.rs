@@ -6,6 +6,13 @@
 //! one, it is dropped — refuting the weaker query refutes the stronger one.
 //! Loop heads get the same treatment locally inside
 //! [`loop_fixpoint`](crate::engine::Engine).
+//!
+//! Each stored query is interned with a precomputed [`SubKey`] — compact
+//! bitmasks over its local/static/field footprint. Entailment `q ⊨ old`
+//! requires every constraint of `old` to be matched in `q`, so
+//! `old.key ⊆ q.key` is a *necessary* condition; the key check rejects most
+//! non-matches in a few word operations before the structural
+//! [`Query::entails`] walk runs.
 
 use std::collections::HashMap;
 
@@ -20,10 +27,54 @@ pub(crate) enum Point {
     MethodEntry(MethodId),
 }
 
+/// Interned subsumption key: Bloom-style one-word masks of the query's
+/// constraint footprint. For `q.entails(old, _)` to hold, `old`'s locals,
+/// statics, and heap fields must each be present in `q`, so
+/// `old_key.subset_of(q_key)` is necessary for entailment (never the other
+/// way: a set bit only says "some id hashing here is present").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct SubKey {
+    locals: u64,
+    statics: u64,
+    fields: u64,
+}
+
+#[inline]
+fn mask(index: usize) -> u64 {
+    1u64 << (index & 63)
+}
+
+impl SubKey {
+    /// Computes the key for `q`.
+    pub(crate) fn of(q: &Query) -> SubKey {
+        let mut key = SubKey::default();
+        for var in q.locals.keys() {
+            key.locals |= mask(var.index());
+        }
+        for g in q.statics.keys() {
+            key.statics |= mask(g.index());
+        }
+        for cell in &q.heap {
+            key.fields |= mask(cell.field.index());
+        }
+        key
+    }
+
+    /// True when every footprint bit of `self` is present in `other` — the
+    /// necessary condition for a query with key `other` to entail one with
+    /// key `self`.
+    #[inline]
+    pub(crate) fn subset_of(&self, other: &SubKey) -> bool {
+        self.locals & !other.locals == 0
+            && self.statics & !other.statics == 0
+            && self.fields & !other.fields == 0
+    }
+}
+
 /// Bounded per-point query history.
 #[derive(Debug, Default)]
 pub(crate) struct History {
-    map: HashMap<Point, Vec<Query>>,
+    map: HashMap<Point, Vec<(SubKey, Query)>>,
 }
 
 /// Cap on stored queries per point; beyond it the oldest entries rotate
@@ -42,7 +93,9 @@ impl History {
 
     /// True if a weaker-or-equal query was already explored at `point`.
     pub(crate) fn subsumes_at(&self, point: Point, q: &Query, strict: bool) -> bool {
-        self.map.get(&point).map(|qs| qs.iter().any(|old| q.entails(old, strict))).unwrap_or(false)
+        let Some(entries) = self.map.get(&point) else { return false };
+        let key = SubKey::of(q);
+        entries.iter().any(|(old_key, old)| old_key.subset_of(&key) && q.entails(old, strict))
     }
 
     /// Records `q` at `point`.
@@ -51,7 +104,14 @@ impl History {
         if qs.len() >= PER_POINT_CAP {
             qs.remove(0);
         }
-        qs.push(q);
+        let key = SubKey::of(&q);
+        qs.push((key, q));
+    }
+
+    /// Number of queries stored at `point` (test support).
+    #[cfg(test)]
+    fn len_at(&self, point: Point) -> usize {
+        self.map.get(&point).map(Vec::len).unwrap_or(0)
     }
 }
 
@@ -107,7 +167,7 @@ mod tests {
             q.locals.insert(VarId(0), Val::Sym(s));
             h.insert(p, q);
         }
-        assert_eq!(h.map[&p].len(), PER_POINT_CAP);
+        assert_eq!(h.len_at(p), PER_POINT_CAP);
     }
 
     #[test]
@@ -117,5 +177,24 @@ mod tests {
         h.insert(p, Query::new());
         h.clear();
         assert!(!h.subsumes_at(p, &Query::new(), false));
+    }
+
+    #[test]
+    fn subkey_subset_tracks_footprint() {
+        let mut small = Query::new();
+        let s = small.fresh_sym(Region::singleton(1));
+        small.locals.insert(VarId(0), Val::Sym(s));
+
+        let mut big = small.clone();
+        let t = big.fresh_sym(Region::singleton(2));
+        big.locals.insert(VarId(1), Val::Sym(t));
+
+        let ks = SubKey::of(&small);
+        let kb = SubKey::of(&big);
+        assert!(ks.subset_of(&kb));
+        assert!(!kb.subset_of(&ks));
+        // The key filter is only a necessary condition, so the reject
+        // direction must be exact: `big` has a local `small` lacks.
+        assert!(!small.entails(&big, false));
     }
 }

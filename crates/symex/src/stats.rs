@@ -249,6 +249,19 @@ impl AbortCounts {
         obs::add(reason.counter(), 1);
     }
 
+    /// Adds `other`'s counts field-wise, *without* touching the obs
+    /// registry — the obs adds happened at the original [`AbortCounts::record`]
+    /// call, and merging already-recorded tallies must not repeat them.
+    pub fn merge(&mut self, other: &AbortCounts) {
+        self.fork_budget += other.fork_budget;
+        self.work_budget += other.work_budget;
+        self.wall_clock += other.wall_clock;
+        self.caller_depth += other.caller_depth;
+        self.panic += other.panic;
+        self.solver_failure += other.solver_failure;
+        self.heap_cap += other.heap_cap;
+    }
+
     /// `(stable key, count)` pairs in [`StopReason::all`] order.
     pub fn by_key(&self) -> [(&'static str, u64); 7] {
         [
@@ -292,7 +305,7 @@ impl AbortCounts {
 }
 
 /// Counters accumulated across searches by one engine.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Path programs (query forks) explored.
     pub path_programs: u64,
@@ -311,7 +324,7 @@ pub struct SearchStats {
 }
 
 /// Per-reason refutation counters.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RefutationCounts {
     /// Empty `from` region.
     pub empty_region: u64,
@@ -396,6 +409,47 @@ impl SearchStats {
     pub fn total_refutations(&self) -> u64 {
         let r = &self.refutations;
         r.empty_region + r.separation + r.pure + r.allocation + r.entry
+    }
+
+    /// The field-wise difference `self - before`. Used by the parallel
+    /// scheduler to extract what one edge decision contributed to a worker
+    /// engine's running totals. `before` must be an earlier snapshot of the
+    /// same engine's stats (every field monotonically non-decreasing).
+    pub fn delta_since(&self, before: &SearchStats) -> SearchStats {
+        SearchStats {
+            path_programs: self.path_programs - before.path_programs,
+            cmds_executed: self.cmds_executed - before.cmds_executed,
+            refutations: RefutationCounts {
+                empty_region: self.refutations.empty_region - before.refutations.empty_region,
+                separation: self.refutations.separation - before.refutations.separation,
+                pure: self.refutations.pure - before.refutations.pure,
+                allocation: self.refutations.allocation - before.refutations.allocation,
+                entry: self.refutations.entry - before.refutations.entry,
+            },
+            subsumed: self.subsumed - before.subsumed,
+            loop_fixpoints: self.loop_fixpoints - before.loop_fixpoints,
+            calls_skipped_irrelevant: self.calls_skipped_irrelevant
+                - before.calls_skipped_irrelevant,
+            calls_skipped_depth: self.calls_skipped_depth - before.calls_skipped_depth,
+        }
+    }
+
+    /// Adds `other`'s counts into `self` field-wise, *without* touching the
+    /// obs registry — merging accounts numbers that were already recorded
+    /// (or captured) once; double-recording them would break the
+    /// single-recording-site discipline.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.path_programs += other.path_programs;
+        self.cmds_executed += other.cmds_executed;
+        self.refutations.empty_region += other.refutations.empty_region;
+        self.refutations.separation += other.refutations.separation;
+        self.refutations.pure += other.refutations.pure;
+        self.refutations.allocation += other.refutations.allocation;
+        self.refutations.entry += other.refutations.entry;
+        self.subsumed += other.subsumed;
+        self.loop_fixpoints += other.loop_fixpoints;
+        self.calls_skipped_irrelevant += other.calls_skipped_irrelevant;
+        self.calls_skipped_depth += other.calls_skipped_depth;
     }
 }
 

@@ -1,0 +1,227 @@
+//! End-to-end guarantees of the parallel refutation scheduler: every
+//! reported number — the `LeakReport`, the merged `SearchStats`, and the
+//! machine-readable `RunReport` — must be identical for every `--jobs`
+//! setting, and edges descheduled by early path cancellation must be
+//! counted distinctly from aborted edges.
+//!
+//! Tests that install the process-global recorder serialize on
+//! `obs::test_lock()` and reset the recorder up front (same discipline as
+//! `observability.rs`).
+
+use std::fs;
+
+use thresher::obs::{self, Counter, MemRecorder, RingCapacity, SpanKind};
+use thresher::{
+    ActivityLeakChecker, AlarmResult, ClientStats, LeakReport, ReachJob, RefutationScheduler,
+    SymexConfig,
+};
+
+fn corpus_dir() -> std::path::PathBuf {
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("corpus");
+    p
+}
+
+fn load(name: &str) -> tir::Program {
+    let src = fs::read_to_string(corpus_dir().join(name)).expect("read corpus file");
+    tir::parse(&src).expect("parse corpus file")
+}
+
+/// One shared static recorder for this test binary (installs leak, so
+/// cycling one per test would grow without bound).
+fn recorder() -> &'static MemRecorder {
+    use std::sync::OnceLock;
+    static REC: OnceLock<&'static MemRecorder> = OnceLock::new();
+    let rec = *REC.get_or_init(|| MemRecorder::install_static(RingCapacity::default()));
+    obs::install(rec);
+    rec
+}
+
+type AlarmDigest = (tir::GlobalId, pta::LocId, bool, Vec<pta::HeapEdge>);
+
+/// Deterministic digest of a leak report: everything except wall-clock
+/// time.
+fn digest(report: &LeakReport) -> (Vec<AlarmDigest>, ClientStatsDigest) {
+    let alarms = report
+        .alarms
+        .iter()
+        .map(|(a, r)| {
+            let path = match r {
+                AlarmResult::Refuted => Vec::new(),
+                AlarmResult::Witnessed { path, .. } => path.clone(),
+            };
+            (a.field, a.activity, r.is_refuted(), path)
+        })
+        .collect();
+    (alarms, stats_digest(&report.stats))
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct ClientStatsDigest {
+    edges_refuted: usize,
+    edges_witnessed: usize,
+    edge_timeouts: usize,
+    aborts: thresher::AbortCounts,
+    retries: usize,
+    degraded_decisions: usize,
+    edges_descheduled: usize,
+}
+
+fn stats_digest(s: &ClientStats) -> ClientStatsDigest {
+    ClientStatsDigest {
+        edges_refuted: s.edges_refuted,
+        edges_witnessed: s.edges_witnessed,
+        edge_timeouts: s.edge_timeouts,
+        aborts: s.aborts.clone(),
+        retries: s.retries,
+        degraded_decisions: s.degraded_decisions,
+        edges_descheduled: s.edges_descheduled,
+    }
+}
+
+/// Runs the full leak client on `program` under the recorder and returns
+/// the report digest plus the run report.
+fn instrumented_run(program: &tir::Program, jobs: usize) -> (LeakReport, obs::RunReport) {
+    let rec = recorder();
+    rec.reset();
+    let report = {
+        let _run = obs::span(SpanKind::Run, "corpus");
+        ActivityLeakChecker::new(program).with_jobs(jobs).check()
+    };
+    obs::uninstall();
+    let run_report = rec.run_report(&[("program", "corpus")]);
+    (report, run_report)
+}
+
+/// Timing-independent view of a run report: all counters plus the
+/// deterministic (non-`_ns`/`_us`) histograms. `dropped_trace_events` and
+/// `trace_threads` are trace-volume artifacts, excluded by design.
+fn report_digest(r: &obs::RunReport) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> =
+        r.counters.iter().map(|(n, v)| ((*n).to_owned(), v.to_string())).collect();
+    for (name, snap) in &r.histograms {
+        if name.ends_with("_ns") || name.ends_with("_us") {
+            continue;
+        }
+        out.push(((*name).to_owned(), format!("{snap:?}")));
+    }
+    out
+}
+
+#[test]
+fn jobs_settings_produce_identical_reports() {
+    let _serial = obs::test_lock();
+
+    for name in ["droidlife.tir", "pulsepoint.tir"] {
+        let program = load(name);
+        let (report1, run1) = instrumented_run(&program, 1);
+        let (report4, run4) = instrumented_run(&program, 4);
+
+        assert_eq!(digest(&report1), digest(&report4), "{name}: leak report differs");
+        assert_eq!(
+            report_digest(&run1),
+            report_digest(&run4),
+            "{name}: run report differs between --jobs 1 and --jobs 4"
+        );
+    }
+}
+
+#[test]
+fn search_stats_are_identical_across_jobs() {
+    let _serial = obs::test_lock();
+    obs::uninstall();
+
+    let program = load("droidlife.tir");
+    let run = |jobs: usize| {
+        let policy =
+            pta::ContextPolicy::containers_named(&program, android::library::CONTAINER_CLASSES);
+        let pta_result = pta::analyze(&program, policy);
+        let modref = pta::ModRef::compute(&program, &pta_result);
+        let mut client =
+            android::LeakClient::new(&program, &pta_result, &modref, SymexConfig::default())
+                .with_jobs(jobs);
+        let alarms = client.find_alarms();
+        let mut stats = android::ClientStats::default();
+        for alarm in alarms {
+            let _ = client.triage(alarm, &mut stats);
+        }
+        client.engine_stats().clone()
+    };
+    assert_eq!(run(1), run(4), "merged SearchStats differ between --jobs 1 and --jobs 4");
+}
+
+/// A path whose first edge is refuted leaves its remaining edges
+/// undecided: they are *descheduled*, never searched, and must be counted
+/// separately from aborts.
+const DESCHEDULE_SRC: &str = r#"
+class Box { field item: Object; }
+global CACHE: Box;
+global FLAG: int;
+fn main() {
+  var b: Box;
+  var o: Object;
+  var f: int;
+  b = new Box @box0;
+  o = new Object @obj0;
+  b.item = o;
+  $FLAG = 0;
+  f = $FLAG;
+  if (f == 1) {
+    $CACHE = b;
+  }
+}
+entry main;
+"#;
+
+#[test]
+fn descheduled_edges_are_counted_distinctly_from_aborts() {
+    let _serial = obs::test_lock();
+    let rec = recorder();
+    rec.reset();
+
+    let program = tir::parse(DESCHEDULE_SRC).expect("parse");
+    let pta_result = pta::analyze(&program, pta::ContextPolicy::Insensitive);
+    let modref = pta::ModRef::compute(&program, &pta_result);
+    let global = program.global_by_name("CACHE").expect("CACHE");
+    let target = pta_result
+        .locs()
+        .ids()
+        .find(|&l| pta_result.loc_name(&program, l) == "obj0")
+        .expect("obj0");
+
+    let run = |jobs: usize| {
+        let mut sched =
+            RefutationScheduler::new(&program, &pta_result, &modref, SymexConfig::default(), jobs);
+        let mut view = pta::HeapGraphView::new(&pta_result);
+        let job = ReachJob { source: global, targets: pta::BitSet::singleton(target.index()) };
+        sched.run(&mut view, std::slice::from_ref(&job))
+    };
+
+    let outcome = run(1);
+    obs::uninstall();
+
+    // The dead `$CACHE = b` store is refuted at path index 0; the live
+    // `b.item = o` edge behind it is descheduled, not aborted.
+    assert!(outcome.verdicts[0].is_refuted());
+    assert_eq!(outcome.tally.edges_refuted, 1, "{:?}", outcome.tally);
+    assert_eq!(outcome.tally.edges_descheduled, 1, "{:?}", outcome.tally);
+    assert_eq!(outcome.tally.edge_timeouts, 0, "{:?}", outcome.tally);
+    assert_eq!(outcome.tally.edges_witnessed, 0, "{:?}", outcome.tally);
+
+    // The obs counter tracks the tally, and aborted stays at zero.
+    assert_eq!(rec.counter(Counter::EdgesDescheduled), 1);
+    assert_eq!(rec.counter(Counter::EdgesAborted), 0);
+
+    // Descheduling is deterministic: the count is identical under worker
+    // threads (which may speculatively compute the descheduled edge, but
+    // never commit it). Only the wall-clock field may differ.
+    let parallel = run(4);
+    let timeless = |t: &thresher::Tally| {
+        let mut t = t.clone();
+        t.symex_time = std::time::Duration::ZERO;
+        t
+    };
+    assert_eq!(timeless(&outcome.tally), timeless(&parallel.tally));
+}
