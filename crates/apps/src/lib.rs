@@ -23,6 +23,7 @@
 pub mod builder;
 pub mod figures;
 pub mod motifs;
+pub mod scale;
 pub mod suite;
 
 pub use builder::{build_app, ActivityDef, BenchApp};

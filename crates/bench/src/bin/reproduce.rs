@@ -6,16 +6,26 @@
 //! reproduce simplification [--budget N]          # §4 hypothesis 2
 //! reproduce loops                                # §4 hypothesis 3
 //! reproduce jobs [--budget N] [--apps a,b,c]     # --jobs scaling sweep (1, 2, all cores)
+//! reproduce pta [--scale N] [--assert-fewer-propagations]
+//!                                                # points-to solver comparison
 //! reproduce all [--budget N]                     # everything
 //!
-//! snapshot options (table1 / jobs / all):
+//! snapshot options (table1 / jobs / pta / all; table1 and all include the pta breakdown):
 //!   --snapshot-out <path>   where to write the perf snapshot JSON
 //!                           (default BENCH_<unix-time>.json)
 //!   --no-snapshot           skip writing the snapshot
 //! ```
 //!
 //! Table 1 runs additionally emit a machine-readable perf snapshot
-//! (`thresher.bench_snapshot/1`) so results can be diffed across commits.
+//! (`thresher.bench_snapshot/2`) so results can be diffed across commits.
+//!
+//! The `pta` mode solves every suite app plus one generated
+//! `apps::scale` program (default `--scale 16`) under both points-to
+//! fixpoint strategies, reading the effort counters back from serialized
+//! run reports. `--assert-fewer-propagations` turns the comparison into a
+//! regression gate: the process exits non-zero unless the delta solver
+//! performs strictly fewer propagations than the reference on the scaled
+//! corpus — the CI guard for the difference-propagation rewrite.
 //!
 //! Absolute times are hardware-dependent; the *shape* (who wins, by what
 //! factor, where timeouts fall) is the reproduction target — see
@@ -23,9 +33,9 @@
 
 use apps::BenchApp;
 use bench::{
-    format_table1_row, perf_snapshot_json_with_sweep, run_jobs_sweep, run_loop_ablation,
+    format_table1_row, perf_snapshot_json_full, run_jobs_sweep, run_loop_ablation, run_pta_bench,
     run_repr_comparison, run_simplification_ablation, run_table1_row, table1_header,
-    JobsSweepPoint, Table1Row,
+    JobsSweepPoint, PtaBenchPoint, Table1Row,
 };
 use symex::{Representation, SymexConfig};
 
@@ -83,8 +93,14 @@ fn table1(apps: &[BenchApp], budget: u64) -> Vec<Table1Row> {
 
 /// Writes the perf snapshot next to the working directory (or to
 /// `--snapshot-out`), named `BENCH_<unix-time>.json` by default.
-fn write_snapshot(args: &[String], rows: &[Table1Row], budget: u64, sweep: &[JobsSweepPoint]) {
-    if rows.is_empty() || args.iter().any(|a| a == "--no-snapshot") {
+fn write_snapshot(
+    args: &[String],
+    rows: &[Table1Row],
+    budget: u64,
+    sweep: &[JobsSweepPoint],
+    pta: &[PtaBenchPoint],
+) {
+    if (rows.is_empty() && pta.is_empty()) || args.iter().any(|a| a == "--no-snapshot") {
         return;
     }
     let unix_time_s = std::time::SystemTime::now()
@@ -97,7 +113,7 @@ fn write_snapshot(args: &[String], rows: &[Table1Row], budget: u64, sweep: &[Job
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| format!("BENCH_{unix_time_s}.json"));
-    let payload = perf_snapshot_json_with_sweep(rows, unix_time_s, budget, sweep);
+    let payload = perf_snapshot_json_full(rows, unix_time_s, budget, sweep, pta);
     match std::fs::write(&path, payload) {
         Ok(()) => println!("perf snapshot written to {path}"),
         Err(e) => eprintln!("warning: cannot write snapshot {path}: {e}"),
@@ -121,6 +137,50 @@ fn jobs_sweep(apps: &[BenchApp], budget: u64) -> (Vec<JobsSweepPoint>, Vec<Table
         println!("{:>6} {:>12.2} {:>11.2}x", p.jobs, p.wall.as_secs_f64(), p.speedup_vs(baseline));
     }
     (points, rows)
+}
+
+/// Runs the points-to solver comparison and prints it as a table. With
+/// `assert_gate`, exits non-zero unless the delta solver performed
+/// strictly fewer propagations than the reference on the scaled corpus.
+fn pta_bench(scale: usize, assert_gate: bool) -> Vec<PtaBenchPoint> {
+    println!("== points-to solver: delta propagation vs full-set reference (scale {scale}) ==");
+    println!(
+        "{:<14} {:>10} {:>10} {:>8} {:>12} {:>12} {:>8}",
+        "Program", "solver", "T(s)", "nodes", "props", "deltas", "sccs"
+    );
+    let points = run_pta_bench(scale);
+    for p in &points {
+        println!(
+            "{:<14} {:>10} {:>10.4} {:>8} {:>12} {:>12} {:>8}",
+            p.program,
+            p.solver.name(),
+            p.solve_s,
+            p.nodes,
+            p.propagations,
+            p.deltas_pushed,
+            p.sccs_collapsed,
+        );
+    }
+    let scaled_name = format!("scaled-{scale}");
+    let find = |solver: pta::SolverKind| {
+        points.iter().find(|p| p.program == scaled_name && p.solver == solver)
+    };
+    if let (Some(d), Some(r)) = (find(pta::SolverKind::Delta), find(pta::SolverKind::Reference)) {
+        let pct = 100.0 * d.propagations as f64 / (r.propagations as f64).max(1.0);
+        println!(
+            "scaled corpus: delta {} vs reference {} propagations ({pct:.1}% of reference)",
+            d.propagations, r.propagations
+        );
+        if assert_gate && d.propagations >= r.propagations {
+            eprintln!(
+                "FAIL: delta solver did not perform fewer propagations than the reference \
+                 ({} >= {})",
+                d.propagations, r.propagations
+            );
+            std::process::exit(1);
+        }
+    }
+    points
 }
 
 fn table2(apps: &[BenchApp], budget: u64) {
@@ -209,10 +269,18 @@ fn main() {
     let mode = args.first().map(String::as_str).unwrap_or("all");
     let budget = parse_budget(&args);
     let apps = selected_apps(&args);
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
     match mode {
         "table1" => {
             let rows = table1(&apps, budget);
-            write_snapshot(&args, &rows, budget, &[]);
+            println!();
+            let points = pta_bench(scale, false);
+            write_snapshot(&args, &rows, budget, &[], &points);
         }
         "table2" => table2(&apps, budget),
         "simplification" => simplification(&apps, budget),
@@ -220,7 +288,12 @@ fn main() {
         "loops" => loops(),
         "jobs" => {
             let (points, rows) = jobs_sweep(&apps, budget);
-            write_snapshot(&args, &rows, budget, &points);
+            write_snapshot(&args, &rows, budget, &points, &[]);
+        }
+        "pta" => {
+            let gate = args.iter().any(|a| a == "--assert-fewer-propagations");
+            let points = pta_bench(scale, gate);
+            write_snapshot(&args, &[], budget, &[], &points);
         }
         "all" => {
             let rows = table1(&apps, budget);
@@ -232,11 +305,13 @@ fn main() {
             stats(&apps);
             println!();
             loops();
-            write_snapshot(&args, &rows, budget, &[]);
+            println!();
+            let points = pta_bench(scale, false);
+            write_snapshot(&args, &rows, budget, &[], &points);
         }
         other => {
             eprintln!(
-                "unknown mode {other}; use table1|table2|simplification|stats|loops|jobs|all"
+                "unknown mode {other}; use table1|table2|simplification|stats|loops|jobs|pta|all"
             );
             std::process::exit(2);
         }

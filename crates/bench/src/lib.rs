@@ -339,6 +339,110 @@ pub fn run_jobs_sweep(
     (points, first_rows)
 }
 
+/// One measured point of the points-to solver benchmark: one program
+/// under one fixpoint strategy. Effort counters are read back from the
+/// serialized run report (not from in-process state), so the numbers the
+/// snapshot records are exactly the numbers `--diff-reports` compares.
+#[derive(Clone, Debug)]
+pub struct PtaBenchPoint {
+    /// Program name (an app, or `scaled-N` for the generated corpus).
+    pub program: String,
+    /// Generator scale, when the program came from [`apps::scale`].
+    pub scale: Option<usize>,
+    /// Fixpoint strategy that produced this point.
+    pub solver: pta::SolverKind,
+    /// Solve wall time in seconds.
+    pub solve_s: f64,
+    /// `pta_propagations` from the run report.
+    pub propagations: u64,
+    /// `pta_deltas_pushed` from the run report.
+    pub deltas_pushed: u64,
+    /// `pta_sccs_collapsed` from the run report.
+    pub sccs_collapsed: u64,
+    /// `pta_nodes` from the run report (solver-independent).
+    pub nodes: u64,
+}
+
+/// Solves `program` once with `solver` under `rec`, timing the solve and
+/// reading the effort counters back out of a serialized run report.
+fn measure_pta(
+    rec: &obs::MemRecorder,
+    name: &str,
+    scale: Option<usize>,
+    program: &tir::Program,
+    policy: pta::ContextPolicy,
+    solver: pta::SolverKind,
+) -> PtaBenchPoint {
+    rec.reset();
+    let opts = pta::PtaOptions { solver, ..Default::default() };
+    let t0 = Instant::now();
+    let result = pta::analyze_with(program, policy, &opts);
+    let solve_s = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&result);
+    let report = obs::json::parse(
+        &rec.run_report(&[("program", name), ("pta_solver", solver.name())]).to_json(),
+    )
+    .expect("run report serializes to valid JSON");
+    let counter = |key: &str| {
+        report
+            .get("counters")
+            .and_then(|c| c.get(key))
+            .and_then(obs::json::Value::as_u64)
+            .unwrap_or(0)
+    };
+    PtaBenchPoint {
+        program: name.to_owned(),
+        scale,
+        solver,
+        solve_s,
+        propagations: counter("pta_propagations"),
+        deltas_pushed: counter("pta_deltas_pushed"),
+        sccs_collapsed: counter("pta_sccs_collapsed"),
+        nodes: counter("pta_nodes"),
+    }
+}
+
+/// Benchmarks both points-to fixpoint strategies over every suite app and
+/// one [`apps::scale`] program of the given `scale`. Returns two points
+/// (delta, then reference) per program. Installs a fresh static metric
+/// recorder; any previously installed recorder is replaced.
+pub fn run_pta_bench(scale: usize) -> Vec<PtaBenchPoint> {
+    let rec = obs::MemRecorder::install_static(obs::RingCapacity::default());
+    let mut points = Vec::new();
+    let mut both =
+        |name: &str, sc: Option<usize>, program: &tir::Program, policy: &pta::ContextPolicy| {
+            for solver in [pta::SolverKind::Delta, pta::SolverKind::Reference] {
+                points.push(measure_pta(rec, name, sc, program, policy.clone(), solver));
+            }
+        };
+    for app in apps::suite::all_apps() {
+        both(app.name, None, &app.program, &builder::container_policy(&app));
+    }
+    let scaled = apps::scale::scaled_program(scale);
+    both(&format!("scaled-{scale}"), Some(scale), &scaled, &pta::ContextPolicy::Insensitive);
+    points
+}
+
+impl PtaBenchPoint {
+    /// A structured JSON view of the point for the perf snapshot.
+    pub fn to_value(&self) -> obs::json::Value {
+        use obs::json::Value;
+        let mut fields = vec![
+            ("program".to_owned(), Value::str(&self.program)),
+            ("solver".to_owned(), Value::str(self.solver.name())),
+            ("pta_solve_s".to_owned(), Value::Float(self.solve_s)),
+            ("pta_propagations".to_owned(), Value::uint(self.propagations)),
+            ("pta_deltas_pushed".to_owned(), Value::uint(self.deltas_pushed)),
+            ("pta_sccs_collapsed".to_owned(), Value::uint(self.sccs_collapsed)),
+            ("pta_nodes".to_owned(), Value::uint(self.nodes)),
+        ];
+        if let Some(s) = self.scale {
+            fields.insert(1, ("scale".to_owned(), Value::uint(s as u64)));
+        }
+        Value::Obj(fields)
+    }
+}
+
 /// Formats a Table 1 row in the paper's column order.
 pub fn format_table1_row(r: &Table1Row) -> String {
     let pct = |n: usize, d: usize| (n * 100).checked_div(d).unwrap_or(0);
@@ -377,7 +481,7 @@ pub fn format_table1_row(r: &Table1Row) -> String {
 
 /// Schema identifier written into every perf snapshot (see
 /// [`perf_snapshot_json`]).
-pub const SNAPSHOT_SCHEMA: &str = "thresher.bench_snapshot/1";
+pub const SNAPSHOT_SCHEMA: &str = "thresher.bench_snapshot/2";
 
 impl Table1Row {
     /// A structured JSON view of the row, mirroring the printed columns
@@ -419,14 +523,28 @@ pub fn perf_snapshot_json(rows: &[Table1Row], unix_time_s: u64, budget: u64) -> 
 }
 
 /// [`perf_snapshot_json`] extended with a `--jobs` scaling sweep. When
-/// `sweep` is non-empty an additional (additive, so same schema id)
-/// `jobs_sweep` key records `{jobs, wall_time_s, speedup_vs_1}` per point;
-/// speedups are relative to the sweep's `jobs = 1` entry.
+/// `sweep` is non-empty an additional `jobs_sweep` key records
+/// `{jobs, wall_time_s, speedup_vs_1}` per point; speedups are relative
+/// to the sweep's `jobs = 1` entry.
 pub fn perf_snapshot_json_with_sweep(
     rows: &[Table1Row],
     unix_time_s: u64,
     budget: u64,
     sweep: &[JobsSweepPoint],
+) -> String {
+    perf_snapshot_json_full(rows, unix_time_s, budget, sweep, &[])
+}
+
+/// The full snapshot serializer (schema `thresher.bench_snapshot/2`):
+/// Table 1 rows, an optional `--jobs` sweep, and an optional `pta` phase
+/// breakdown of [`PtaBenchPoint`]s (per program × solver: solve wall
+/// time, propagation/delta/SCC effort counters).
+pub fn perf_snapshot_json_full(
+    rows: &[Table1Row],
+    unix_time_s: u64,
+    budget: u64,
+    sweep: &[JobsSweepPoint],
+    pta_points: &[PtaBenchPoint],
 ) -> String {
     use obs::json::Value;
     let mut fields = vec![
@@ -452,6 +570,12 @@ pub fn perf_snapshot_json_with_sweep(
         // hosts can be compared honestly.
         fields.push(("host_cpus".to_owned(), Value::uint(thresher::default_jobs() as u64)));
         fields.push(("jobs_sweep".to_owned(), Value::Arr(points)));
+    }
+    if !pta_points.is_empty() {
+        fields.push((
+            "pta".to_owned(),
+            Value::Arr(pta_points.iter().map(PtaBenchPoint::to_value).collect()),
+        ));
     }
     Value::Obj(fields).to_json()
 }

@@ -17,6 +17,13 @@
 //!   --representation <mixed|symbolic|explicit>
 //!   --loops <infer|drop-all>
 //!   --no-simplification
+//!   --pta-solver <delta|reference>
+//!                              points-to fixpoint strategy (default: delta;
+//!                              reference is the full-set differential
+//!                              oracle — both produce identical results)
+//!   --pta-stats                print points-to solver counters (nodes,
+//!                              instances, propagations, deltas pushed,
+//!                              SCCs collapsed) after the analysis
 //!   --report-out <path>        write a machine-readable RunReport JSON
 //!   --trace-out <path>         write a Chrome trace-event JSON
 //!                              (Perfetto / chrome://tracing)
@@ -24,14 +31,20 @@
 //! --diff-reports compares two RunReport JSON files modulo timing: the
 //! meta block, *_ns/*_us histograms, dropped_trace_events, and
 //! trace_threads are excluded. Exits 0 when equivalent, 1 when not — the
-//! CI determinism gate for `--jobs`.
+//! CI determinism gate for `--jobs`. When the two reports record different
+//! `pta_solver` strategies, the strategy-dependent solver metrics
+//! (propagation/delta/SCC counters, worklist and delta-size histograms)
+//! are additionally excluded, so delta-vs-reference runs must agree on
+//! every *result*-derived number.
 //! ```
 
 use std::process::ExitCode;
 
 use thresher::obs::json::{self, Value};
-use thresher::obs::{self, MemRecorder, RingCapacity, SpanKind};
-use thresher::{LoopMode, ReachabilityAnswer, Representation, SymexConfig, Thresher};
+use thresher::obs::{self, Counter, MemRecorder, RingCapacity, SpanKind};
+use thresher::{
+    LoopMode, PtaOptions, ReachabilityAnswer, Representation, SolverKind, SymexConfig, Thresher,
+};
 
 struct Options {
     path: String,
@@ -40,6 +53,8 @@ struct Options {
     leaks: bool,
     jobs: usize,
     config: SymexConfig,
+    pta_solver: SolverKind,
+    pta_stats: bool,
     report_out: Option<String>,
     trace_out: Option<String>,
 }
@@ -57,6 +72,8 @@ fn parse_args() -> Result<Mode, String> {
     let mut leaks = false;
     let mut jobs = thresher::default_jobs();
     let mut config = SymexConfig::default();
+    let mut pta_solver = SolverKind::default();
+    let mut pta_stats = false;
     let mut report_out = None;
     let mut trace_out = None;
     while let Some(a) = args.next() {
@@ -97,6 +114,11 @@ fn parse_args() -> Result<Mode, String> {
                     other => return Err(format!("bad loop mode {other:?}")),
                 };
             }
+            "--pta-solver" => {
+                let k = args.next().ok_or("--pta-solver needs <delta|reference>")?;
+                pta_solver = k.parse()?;
+            }
+            "--pta-stats" => pta_stats = true,
             "--report-out" => {
                 report_out = Some(args.next().ok_or("--report-out needs a path")?);
             }
@@ -116,6 +138,8 @@ fn parse_args() -> Result<Mode, String> {
         leaks,
         jobs,
         config,
+        pta_solver,
+        pta_stats,
         report_out,
         trace_out,
     }))
@@ -141,7 +165,9 @@ fn main() -> ExitCode {
     };
     // Install the recorder before any analysis so the run span covers
     // everything. The recorder is deliberately static (obs install leaks).
-    let recorder = if opts.report_out.is_some() || opts.trace_out.is_some() {
+    // --pta-stats also needs it: the solver counters only accumulate when
+    // a recorder is installed.
+    let recorder = if opts.report_out.is_some() || opts.trace_out.is_some() || opts.pta_stats {
         Some(MemRecorder::install_static(RingCapacity::default()))
     } else {
         None
@@ -167,6 +193,9 @@ fn main() -> ExitCode {
     };
 
     if let Some(rec) = recorder {
+        if opts.pta_stats {
+            print_pta_stats(&opts, rec);
+        }
         if let Err(e) = write_outputs(&opts, rec) {
             eprintln!("error: {e}");
             return ExitCode::from(2);
@@ -175,12 +204,30 @@ fn main() -> ExitCode {
     code
 }
 
+/// Prints the points-to solver counters accumulated in the obs registry.
+fn print_pta_stats(opts: &Options, rec: &MemRecorder) {
+    println!("== pta stats ({} solver) ==", opts.pta_solver.name());
+    for (label, counter) in [
+        ("nodes", Counter::PtaNodes),
+        ("method instances", Counter::PtaInstances),
+        ("propagations", Counter::PtaPropagations),
+        ("deltas pushed", Counter::PtaDeltasPushed),
+        ("sccs collapsed", Counter::PtaSccsCollapsed),
+    ] {
+        println!("  {label}: {}", rec.counter(counter));
+    }
+}
+
 /// The whole analysis, separated out so the `Run` span closes (and is
 /// recorded) before the trace/report files are written.
 fn analyze(opts: &Options, program: &tir::Program) -> ExitCode {
-    let thresher =
-        Thresher::with_setup(program, thresher::PointsToPolicy::Insensitive, opts.config.clone())
-            .with_jobs(opts.jobs);
+    let thresher = Thresher::with_options(
+        program,
+        thresher::PointsToPolicy::Insensitive,
+        opts.config.clone(),
+        &PtaOptions { solver: opts.pta_solver, ..Default::default() },
+    )
+    .with_jobs(opts.jobs);
 
     if opts.dump_pta {
         println!("== points-to graph ==");
@@ -234,7 +281,11 @@ fn analyze(opts: &Options, program: &tir::Program) -> ExitCode {
 
 fn write_outputs(opts: &Options, rec: &MemRecorder) -> Result<(), String> {
     if let Some(path) = &opts.report_out {
-        let report = rec.run_report(&[("program", &opts.path), ("tool", "thresher-cli")]);
+        let report = rec.run_report(&[
+            ("program", &opts.path),
+            ("tool", "thresher-cli"),
+            ("pta_solver", opts.pta_solver.name()),
+        ]);
         std::fs::write(path, report.to_json())
             .map_err(|e| format!("cannot write report {path}: {e}"))?;
         eprintln!(
@@ -278,6 +329,17 @@ fn diff_reports(path_a: &str, path_b: &str) -> Result<bool, String> {
         differ("schema", schema_of(&a), schema_of(&b));
     }
 
+    // When the reports come from different fixpoint strategies, counters
+    // that measure *how* the fixpoint was reached (rather than what it is)
+    // legitimately differ; everything result-derived must still match.
+    let solver_of = |v: &Value| {
+        v.get("meta").and_then(|m| m.get("pta_solver")).and_then(Value::as_str).map(str::to_owned)
+    };
+    let cross_solver = solver_of(&a) != solver_of(&b);
+    const STRATEGY_COUNTERS: [&str; 3] =
+        ["pta_propagations", "pta_deltas_pushed", "pta_sccs_collapsed"];
+    const STRATEGY_HISTS: [&str; 2] = ["pta_worklist_len", "pta_delta_size"];
+
     // Counters: compare the union of keys so a missing counter is a
     // difference, not a silent skip.
     let obj_keys = |v: &Value, section: &str| -> Vec<String> {
@@ -293,6 +355,9 @@ fn diff_reports(path_a: &str, path_b: &str) -> Result<bool, String> {
         }
     }
     for key in &counter_keys {
+        if cross_solver && STRATEGY_COUNTERS.contains(&key.as_str()) {
+            continue; // fixpoint-strategy metric: differs by design
+        }
         let get = |v: &Value| {
             v.get("counters")
                 .and_then(|c| c.get(key))
@@ -314,6 +379,9 @@ fn diff_reports(path_a: &str, path_b: &str) -> Result<bool, String> {
     for key in &hist_keys {
         if key.ends_with("_ns") || key.ends_with("_us") {
             continue; // wall-clock histogram: timing-dependent by design
+        }
+        if cross_solver && STRATEGY_HISTS.contains(&key.as_str()) {
+            continue; // fixpoint-strategy metric: differs by design
         }
         let get = |v: &Value| {
             v.get("histograms")

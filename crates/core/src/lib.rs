@@ -52,7 +52,7 @@
 
 pub mod clients;
 
-use pta::{BitSet, ContextPolicy, HeapEdge, HeapGraphView, LocId, ModRef, PtaOptions, PtaResult};
+use pta::{BitSet, ContextPolicy, HeapEdge, HeapGraphView, LocId, ModRef, PtaResult};
 use symex::Engine;
 use tir::Program;
 
@@ -62,6 +62,7 @@ pub use android::{
 pub use clients::{Escape, EscapeChecker, EscapeReport};
 pub use obs;
 pub use pta::ContextPolicy as PointsToPolicy;
+pub use pta::{PtaOptions, SolverKind};
 pub use symex::{
     default_jobs, AbortCounts, EdgeAnswer, EdgeDecision, JobVerdict, LoopMode, ReachJob,
     RefutationScheduler, Representation, SchedulerOutcome, SearchOutcome, SearchStats, StopReason,

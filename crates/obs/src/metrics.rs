@@ -117,6 +117,10 @@ metric_enum! {
         PtaNodes => "pta_nodes",
         /// Method instances analyzed (method × context).
         PtaInstances => "pta_instances",
+        /// Delta pushes along copy edges that added at least one location.
+        PtaDeltasPushed => "pta_deltas_pushed",
+        /// Copy-graph strongly connected components collapsed online.
+        PtaSccsCollapsed => "pta_sccs_collapsed",
         // --- clients ---
         /// Alarms reported by the flow-insensitive analysis.
         AlarmsFound => "alarms_found",
@@ -139,6 +143,8 @@ metric_enum! {
         HeapCells => "query_heap_cells",
         /// Points-to worklist length at each propagation round.
         PtaWorklist => "pta_worklist_len",
+        /// Delta-set size drained at each difference-propagation round.
+        PtaDeltaLen => "pta_delta_size",
         /// Path-program witness trace length at discharge.
         WitnessTraceLen => "witness_trace_len",
     }

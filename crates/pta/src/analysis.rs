@@ -6,6 +6,24 @@
 //! (per abstract location), and return-value nodes. Field reads/writes and
 //! virtual calls are *complex* constraints indexed on their base/receiver
 //! node and re-processed as that node's points-to set grows.
+//!
+//! Two fixpoint engines share that constraint graph (see [`SolverKind`]):
+//!
+//! * **Delta propagation** (the default): each node keeps an `old/delta`
+//!   split — `old` holds locations already pushed downstream, `delta` the
+//!   ones not yet propagated. A worklist round drains one node's delta,
+//!   pushes only those bits along copy edges, and re-evaluates the node's
+//!   complex constraints against the delta alone. Copy cycles — ubiquitous
+//!   with call-graph-on-the-fly analyses, where parameter/return wiring
+//!   closes loops — are detected lazily (when a copy edge propagates
+//!   nothing and both endpoint sets are equal) and collapsed into a
+//!   representative node via union-find, Nuutila/LCD style.
+//! * **Reference**: the textbook full-set worklist solver, kept as the
+//!   differential-testing oracle.
+//!
+//! Both engines renumber abstract locations canonically after solving
+//! ([`LocTable::canonicalize`]), so their final [`PtaResult`]s are
+//! identical bit for bit.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -65,6 +83,17 @@ struct RecvCall {
     seen: BitSet,
 }
 
+/// Inserts `v` into a sorted vector if absent; returns true if inserted.
+fn insert_sorted(list: &mut Vec<NodeId>, v: NodeId) -> bool {
+    match list.binary_search(&v) {
+        Ok(_) => false,
+        Err(pos) => {
+            list.insert(pos, v);
+            true
+        }
+    }
+}
+
 struct Solver<'p> {
     program: &'p Program,
     policy: ContextPolicy,
@@ -73,13 +102,27 @@ struct Solver<'p> {
     inst_index: HashMap<(MethodId, Ctx), InstId>,
     nodes: Vec<NodeKind>,
     node_index: HashMap<NodeKind, NodeId>,
+    /// Points-to sets: the full set under the reference solver; the
+    /// already-propagated "old" half of the old/delta split under the
+    /// delta solver.
     pts: Vec<BitSet>,
-    copy_succs: Vec<HashSet<NodeId>>,
+    /// Locations not yet pushed downstream. Delta solver only; always
+    /// disjoint from the node's `pts`, and non-empty only while the node
+    /// sits on the worklist.
+    delta: Vec<BitSet>,
+    /// Copy successors, sorted by raw node id and dedup'd: the iteration
+    /// order *is* the deterministic propagation order.
+    copy_succs: Vec<Vec<NodeId>>,
     loads: Vec<Vec<(FieldId, NodeId)>>,
     stores: Vec<Vec<(FieldId, NodeId)>>,
     recv_calls: Vec<Vec<usize>>,
     calls: Vec<RecvCall>,
     worklist: VecDeque<NodeId>,
+    /// Union-find over nodes for online cycle collapsing; stays the
+    /// identity under the reference solver.
+    parent: Vec<u32>,
+    /// Copy edges already probed for a cycle (LCD fires once per edge).
+    lcd_attempted: HashSet<(NodeId, NodeId)>,
     /// (caller cmd, callee method) call-graph edges.
     call_edges: HashSet<(CmdId, MethodId)>,
     reached_methods: BitSet,
@@ -97,12 +140,15 @@ impl<'p> Solver<'p> {
             nodes: Vec::new(),
             node_index: HashMap::new(),
             pts: Vec::new(),
+            delta: Vec::new(),
             copy_succs: Vec::new(),
             loads: Vec::new(),
             stores: Vec::new(),
             recv_calls: Vec::new(),
             calls: Vec::new(),
             worklist: VecDeque::new(),
+            parent: Vec::new(),
+            lcd_attempted: HashSet::new(),
             call_edges: HashSet::new(),
             reached_methods: BitSet::new(),
             options: PtaOptions::default(),
@@ -118,23 +164,103 @@ impl<'p> Solver<'p> {
         self.nodes.push(kind);
         self.node_index.insert(kind, id);
         self.pts.push(BitSet::new());
-        self.copy_succs.push(HashSet::new());
+        self.delta.push(BitSet::new());
+        self.copy_succs.push(Vec::new());
         self.loads.push(Vec::new());
         self.stores.push(Vec::new());
         self.recv_calls.push(Vec::new());
+        self.parent.push(id.0);
         id
     }
 
+    /// Union-find lookup with path halving. The identity under the
+    /// reference solver, which never links nodes.
+    fn find(&mut self, n: NodeId) -> NodeId {
+        let mut x = n.0 as usize;
+        while self.parent[x] as usize != x {
+            let grand = self.parent[self.parent[x] as usize];
+            self.parent[x] = grand;
+            x = grand as usize;
+        }
+        NodeId(x as u32)
+    }
+
+    /// Read-only union-find lookup (no path compression), for post-solve
+    /// passes over `&self`.
+    fn find_read(&self, n: usize) -> usize {
+        let mut x = n;
+        while self.parent[x] as usize != x {
+            x = self.parent[x] as usize;
+        }
+        x
+    }
+
     fn add_loc(&mut self, node: NodeId, loc: LocId) {
-        if self.pts[node.0 as usize].insert(loc.index()) {
-            self.worklist.push_back(node);
+        match self.options.solver {
+            SolverKind::Reference => {
+                if self.pts[node.0 as usize].insert(loc.index()) {
+                    self.worklist.push_back(node);
+                }
+            }
+            SolverKind::Delta => {
+                let n = self.find(node);
+                let i = n.0 as usize;
+                if self.pts[i].contains(loc.index()) {
+                    return;
+                }
+                let was_empty = self.delta[i].is_empty();
+                if self.delta[i].insert(loc.index()) && was_empty {
+                    self.worklist.push_back(n);
+                }
+            }
         }
     }
 
     fn add_copy(&mut self, from: NodeId, to: NodeId) {
-        if self.copy_succs[from.0 as usize].insert(to) && !self.pts[from.0 as usize].is_empty() {
-            self.worklist.push_back(from);
+        match self.options.solver {
+            SolverKind::Reference => {
+                if insert_sorted(&mut self.copy_succs[from.0 as usize], to)
+                    && !self.pts[from.0 as usize].is_empty()
+                {
+                    self.worklist.push_back(from);
+                }
+            }
+            SolverKind::Delta => {
+                let f = self.find(from);
+                let t = self.find(to);
+                if f == t {
+                    return;
+                }
+                if insert_sorted(&mut self.copy_succs[f.0 as usize], t) {
+                    // Everything already propagated out of `f` must reach
+                    // the new successor now; `f`'s pending delta follows
+                    // through the worklist (`f` is queued whenever its
+                    // delta is non-empty).
+                    let old = self.pts[f.0 as usize].clone();
+                    if !old.is_empty() {
+                        self.push_delta(t, &old);
+                    }
+                }
+            }
         }
+    }
+
+    /// Folds `bits \ old(t)` into `delta(t)`, enqueueing `t` when its delta
+    /// transitions from empty to non-empty. Returns true if anything new
+    /// arrived.
+    fn push_delta(&mut self, t: NodeId, bits: &BitSet) -> bool {
+        let i = t.0 as usize;
+        let old = &self.pts[i];
+        let delta = &mut self.delta[i];
+        let was_empty = delta.is_empty();
+        if !delta.union_with_delta(bits, old) {
+            return false;
+        }
+        obs::add(obs::Counter::PtaDeltasPushed, 1);
+        if was_empty {
+            self.worklist.push_back(t);
+        }
+        true
     }
 
     /// Gets or creates the instance of `method` under `ctx`, analyzing its
@@ -185,6 +311,73 @@ impl<'p> Solver<'p> {
         }
     }
 
+    /// Registers a load constraint `dst = base.f` and seeds it: the
+    /// reference solver re-queues the base node, the delta solver runs the
+    /// new constraint against the base's already-propagated set at once
+    /// (the pending delta reaches it through the worklist).
+    fn register_load(&mut self, base: NodeId, f: FieldId, dst: NodeId) {
+        match self.options.solver {
+            SolverKind::Reference => {
+                self.loads[base.0 as usize].push((f, dst));
+                if !self.pts[base.0 as usize].is_empty() {
+                    self.worklist.push_back(base);
+                }
+            }
+            SolverKind::Delta => {
+                let b = self.find(base);
+                self.loads[b.0 as usize].push((f, dst));
+                let old = self.pts[b.0 as usize].clone();
+                if !old.is_empty() {
+                    self.eval_load(&old, f, dst);
+                }
+            }
+        }
+    }
+
+    /// Registers a store constraint `base.f = src`; seeding mirrors
+    /// [`Solver::register_load`].
+    fn register_store(&mut self, base: NodeId, f: FieldId, src: NodeId) {
+        match self.options.solver {
+            SolverKind::Reference => {
+                self.stores[base.0 as usize].push((f, src));
+                if !self.pts[base.0 as usize].is_empty() {
+                    self.worklist.push_back(base);
+                }
+            }
+            SolverKind::Delta => {
+                let b = self.find(base);
+                self.stores[b.0 as usize].push((f, src));
+                let old = self.pts[b.0 as usize].clone();
+                if !old.is_empty() {
+                    self.eval_store(&old, f, src);
+                }
+            }
+        }
+    }
+
+    /// Registers a receiver-indexed call; seeding mirrors
+    /// [`Solver::register_load`].
+    fn register_recv_call(&mut self, recv: NodeId, call: RecvCall) {
+        let idx = self.calls.len();
+        self.calls.push(call);
+        match self.options.solver {
+            SolverKind::Reference => {
+                self.recv_calls[recv.0 as usize].push(idx);
+                if !self.pts[recv.0 as usize].is_empty() {
+                    self.worklist.push_back(recv);
+                }
+            }
+            SolverKind::Delta => {
+                let r = self.find(recv);
+                self.recv_calls[r.0 as usize].push(idx);
+                let old = self.pts[r.0 as usize].clone();
+                if !old.is_empty() {
+                    self.eval_recv_call(idx, &old);
+                }
+            }
+        }
+    }
+
     fn process_cmd(&mut self, inst: InstId, cmd_id: CmdId, cmd: &Command) {
         let contents = self.program.contents_field;
         match cmd {
@@ -198,18 +391,12 @@ impl<'p> Solver<'p> {
             Command::ReadField { dst, obj, field } if self.is_ref(*dst) => {
                 let base = self.var_node(inst, *obj);
                 let to = self.var_node(inst, *dst);
-                self.loads[base.0 as usize].push((*field, to));
-                if !self.pts[base.0 as usize].is_empty() {
-                    self.worklist.push_back(base);
-                }
+                self.register_load(base, *field, to);
             }
             Command::WriteField { obj, field, src: Operand::Var(y) } if self.is_ref(*y) => {
                 let base = self.var_node(inst, *obj);
                 let from = self.var_node(inst, *y);
-                self.stores[base.0 as usize].push((*field, from));
-                if !self.pts[base.0 as usize].is_empty() {
-                    self.worklist.push_back(base);
-                }
+                self.register_store(base, *field, from);
             }
             Command::ReadGlobal { dst, global } if self.is_ref(*dst) => {
                 let from = self.node(NodeKind::Global(*global));
@@ -224,18 +411,12 @@ impl<'p> Solver<'p> {
             Command::ReadArray { dst, arr, .. } if self.is_ref(*dst) => {
                 let base = self.var_node(inst, *arr);
                 let to = self.var_node(inst, *dst);
-                self.loads[base.0 as usize].push((contents, to));
-                if !self.pts[base.0 as usize].is_empty() {
-                    self.worklist.push_back(base);
-                }
+                self.register_load(base, contents, to);
             }
             Command::WriteArray { arr, src: Operand::Var(y), .. } if self.is_ref(*y) => {
                 let base = self.var_node(inst, *arr);
                 let from = self.var_node(inst, *y);
-                self.stores[base.0 as usize].push((contents, from));
-                if !self.pts[base.0 as usize].is_empty() {
-                    self.worklist.push_back(base);
-                }
+                self.register_store(base, contents, from);
             }
             Command::New { dst, alloc, .. } => {
                 let loc = self.alloc_loc(inst, *alloc);
@@ -250,8 +431,7 @@ impl<'p> Solver<'p> {
             Command::Call { dst, callee, args } => match callee {
                 Callee::Virtual { receiver, method } => {
                     let recv = self.var_node(inst, *receiver);
-                    let idx = self.calls.len();
-                    self.calls.push(RecvCall {
+                    let call = RecvCall {
                         caller: inst,
                         cmd: cmd_id,
                         fixed_target: None,
@@ -259,11 +439,8 @@ impl<'p> Solver<'p> {
                         dst: *dst,
                         args: args.clone(),
                         seen: BitSet::new(),
-                    });
-                    self.recv_calls[recv.0 as usize].push(idx);
-                    if !self.pts[recv.0 as usize].is_empty() {
-                        self.worklist.push_back(recv);
-                    }
+                    };
+                    self.register_recv_call(recv, call);
                 }
                 Callee::Static { method } => {
                     let callee_m = self.program.method(*method);
@@ -277,8 +454,7 @@ impl<'p> Solver<'p> {
                             _ => return, // receiver null/constant: no-op call
                         };
                         let recv = self.var_node(inst, recv_var);
-                        let idx = self.calls.len();
-                        self.calls.push(RecvCall {
+                        let call = RecvCall {
                             caller: inst,
                             cmd: cmd_id,
                             fixed_target: Some(*method),
@@ -286,11 +462,8 @@ impl<'p> Solver<'p> {
                             dst: *dst,
                             args: args[1..].to_vec(),
                             seen: BitSet::new(),
-                        });
-                        self.recv_calls[recv.0 as usize].push(idx);
-                        if !self.pts[recv.0 as usize].is_empty() {
-                            self.worklist.push_back(recv);
-                        }
+                        };
+                        self.register_recv_call(recv, call);
                     } else {
                         // Free function: per-site under 1-CFA, otherwise
                         // context-insensitive.
@@ -379,96 +552,349 @@ impl<'p> Solver<'p> {
         Ctx::Recv(l)
     }
 
+    /// Applies a load constraint `dst = base.f` for each base location in
+    /// `bits`.
+    fn eval_load(&mut self, bits: &BitSet, f: FieldId, dst: NodeId) {
+        for l in bits.iter() {
+            let fnode = self.node(NodeKind::Field(LocId(l as u32), f));
+            self.add_copy(fnode, dst);
+        }
+    }
+
+    /// Applies a store constraint `base.f = src` for each base location in
+    /// `bits`, unless the target cell is covered by an empty-contents
+    /// annotation.
+    fn eval_store(&mut self, bits: &BitSet, f: FieldId, src: NodeId) {
+        for l in bits.iter() {
+            let lid = LocId(l as u32);
+            if self.is_blocked_cell(lid, f) {
+                continue;
+            }
+            let fnode = self.node(NodeKind::Field(lid, f));
+            self.add_copy(src, fnode);
+        }
+    }
+
+    /// Dispatches receiver-indexed call `ci` on each receiver location in
+    /// `bits` not yet seen.
+    fn eval_recv_call(&mut self, ci: usize, bits: &BitSet) {
+        for l in bits.iter() {
+            if self.calls[ci].seen.contains(l) {
+                continue;
+            }
+            self.calls[ci].seen.insert(l);
+            let lid = LocId(l as u32);
+            let class = self.locs.class_of(lid, self.program);
+            let call = self.calls[ci].clone();
+            let target = match call.fixed_target {
+                Some(t) => {
+                    // Only dispatch if the receiver location's class is
+                    // compatible with the target's class.
+                    let tc = self.program.method(t).class.expect("instance method");
+                    if !self.program.is_subclass(class, tc) {
+                        continue;
+                    }
+                    t
+                }
+                None => match self.program.resolve_method(class, &call.method_name) {
+                    Some(t) => t,
+                    None => continue,
+                },
+            };
+            let ctx = self.callee_ctx(target, lid, self.calls[ci].cmd);
+            let callee_inst = self.instance(target, ctx);
+            self.bind_call(
+                call.caller,
+                call.cmd,
+                callee_inst,
+                target,
+                Some(lid),
+                call.dst,
+                &call.args,
+            );
+        }
+    }
+
     fn solve(&mut self, entry: MethodId) {
         let _span = obs::span(obs::SpanKind::Pta, "points-to solve");
+        match self.options.solver {
+            SolverKind::Reference => self.solve_reference(entry),
+            SolverKind::Delta => self.solve_delta(entry),
+        }
+    }
+
+    /// The textbook worklist: re-propagates a node's *full* points-to set
+    /// to every copy successor and re-evaluates every complex constraint
+    /// against the full set on each round.
+    fn solve_reference(&mut self, entry: MethodId) {
         self.instance(entry, Ctx::None);
         while let Some(node) = self.worklist.pop_front() {
             if obs::enabled() {
                 obs::add(obs::Counter::PtaPropagations, 1);
                 obs::observe(obs::Hist::PtaWorklist, self.worklist.len() as u64 + 1);
             }
-            let pts = self.pts[node.0 as usize].clone();
-            // Copy edges, in node order: the successor set iterates in hash
-            // order, which varies per process and would make propagation
-            // counts — and on-demand node/location numbering — differ
-            // between otherwise identical runs.
-            let mut succs: Vec<NodeId> = self.copy_succs[node.0 as usize].iter().copied().collect();
-            succs.sort_unstable();
+            let i = node.0 as usize;
+            let pts = self.pts[i].clone();
+            let succs = self.copy_succs[i].clone();
             for s in succs {
                 if self.pts[s.0 as usize].union_with(&pts) {
                     self.worklist.push_back(s);
                 }
             }
-            // Loads: x = base.f — add copy Field(l, f) → x for each l.
-            let loads = self.loads[node.0 as usize].clone();
+            let loads = self.loads[i].clone();
             for (f, dst) in loads {
-                for l in pts.iter() {
-                    let fnode = self.node(NodeKind::Field(LocId(l as u32), f));
-                    self.add_copy(fnode, dst);
-                }
+                self.eval_load(&pts, f, dst);
             }
-            // Stores: base.f = y — add copy y → Field(l, f), unless the
-            // target cell is covered by an empty-contents annotation.
-            let stores = self.stores[node.0 as usize].clone();
+            let stores = self.stores[i].clone();
             for (f, src) in stores {
-                for l in pts.iter() {
-                    let lid = LocId(l as u32);
-                    if self.is_blocked_cell(lid, f) {
-                        continue;
-                    }
-                    let fnode = self.node(NodeKind::Field(lid, f));
-                    self.add_copy(src, fnode);
-                }
+                self.eval_store(&pts, f, src);
             }
-            // Receiver-indexed calls.
-            let call_ids = self.recv_calls[node.0 as usize].clone();
+            let call_ids = self.recv_calls[i].clone();
             for ci in call_ids {
-                for l in pts.iter() {
-                    if self.calls[ci].seen.contains(l) {
-                        continue;
-                    }
-                    self.calls[ci].seen.insert(l);
-                    let lid = LocId(l as u32);
-                    let class = self.locs.class_of(lid, self.program);
-                    let call = self.calls[ci].clone();
-                    let target = match call.fixed_target {
-                        Some(t) => {
-                            // Only dispatch if the receiver location's class
-                            // is compatible with the target's class.
-                            let tc = self.program.method(t).class.expect("instance method");
-                            if !self.program.is_subclass(class, tc) {
-                                continue;
-                            }
-                            t
-                        }
-                        None => match self.program.resolve_method(class, &call.method_name) {
-                            Some(t) => t,
-                            None => continue,
-                        },
-                    };
-                    let ctx = self.callee_ctx(target, lid, self.calls[ci].cmd);
-                    let callee_inst = self.instance(target, ctx);
-                    self.bind_call(
-                        call.caller,
-                        call.cmd,
-                        callee_inst,
-                        target,
-                        Some(lid),
-                        call.dst,
-                        &call.args,
-                    );
-                }
+                self.eval_recv_call(ci, &pts);
             }
         }
     }
 
+    /// Difference propagation: each round drains one node's delta, merges
+    /// it into the node's old set, pushes only the delta along copy edges,
+    /// and re-evaluates complex constraints against the delta alone. A
+    /// copy edge that propagates nothing between equal sets triggers lazy
+    /// cycle detection ([`Solver::try_collapse`]).
+    fn solve_delta(&mut self, entry: MethodId) {
+        self.instance(entry, Ctx::None);
+        'pop: while let Some(node) = self.worklist.pop_front() {
+            let n = self.find(node);
+            let i = n.0 as usize;
+            if self.delta[i].is_empty() {
+                continue; // stale entry: already drained or collapsed away
+            }
+            let d = std::mem::take(&mut self.delta[i]);
+            self.pts[i].union_with(&d);
+            if obs::enabled() {
+                obs::add(obs::Counter::PtaPropagations, 1);
+                obs::observe(obs::Hist::PtaWorklist, self.worklist.len() as u64 + 1);
+                obs::observe(obs::Hist::PtaDeltaLen, d.len() as u64);
+            }
+            let succs = self.copy_succs[i].clone();
+            for s_raw in succs {
+                let s = self.find(s_raw);
+                if s == n {
+                    continue;
+                }
+                if !self.push_delta(s, &d) && self.try_collapse(n, s) {
+                    // `n` was swallowed by a cycle collapse. Its
+                    // representative was re-enqueued with the full merged
+                    // set (which includes `d`), so the rest of this round
+                    // — remaining successors and complex constraints — is
+                    // subsumed by the representative's next round.
+                    continue 'pop;
+                }
+            }
+            let loads = self.loads[i].clone();
+            for (f, dst) in loads {
+                self.eval_load(&d, f, dst);
+            }
+            let stores = self.stores[i].clone();
+            for (f, src) in stores {
+                self.eval_store(&d, f, src);
+            }
+            let call_ids = self.recv_calls[i].clone();
+            for ci in call_ids {
+                self.eval_recv_call(ci, &d);
+            }
+        }
+    }
+
+    /// Lazy cycle detection, fired when propagating `n → s` added nothing:
+    /// if the endpoint sets are equal — the cheap necessary condition for
+    /// `n` and `s` to sit on a common copy cycle — probe the copy graph
+    /// from `n` and collapse every SCC found. Each (n, s) edge is probed
+    /// at most once. Returns true if `n` itself was collapsed.
+    fn try_collapse(&mut self, n: NodeId, s: NodeId) -> bool {
+        if !self.lcd_attempted.insert((n, s)) {
+            return false;
+        }
+        if !self.sets_equal(n, s) {
+            return false;
+        }
+        self.collapse_cycles_from(n)
+    }
+
+    /// Element-wise equality of the full (old ∪ delta) sets. Word vectors
+    /// can differ by trailing zero words, so derived `Eq` is not usable.
+    fn sets_equal(&self, a: NodeId, b: NodeId) -> bool {
+        let fa = self.full_set(a);
+        let fb = self.full_set(b);
+        fa.is_subset(&fb) && fb.is_subset(&fa)
+    }
+
+    fn full_set(&self, x: NodeId) -> BitSet {
+        let i = x.0 as usize;
+        let mut s = self.pts[i].clone();
+        s.union_with(&self.delta[i]);
+        s
+    }
+
+    /// The current successors of `v`, union-find-resolved with self-loops
+    /// dropped, in deterministic (stored) order.
+    fn resolved_succs(&mut self, v: NodeId) -> Vec<NodeId> {
+        let raw = self.copy_succs[v.0 as usize].clone();
+        let mut out = Vec::with_capacity(raw.len());
+        for s in raw {
+            let r = self.find(s);
+            if r != v {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// Runs (iterative) Tarjan over the resolved copy graph reachable from
+    /// `origin` and collapses every SCC of size ≥ 2 into its minimum-id
+    /// member — the deterministic representative choice. Merged state:
+    /// points-to sets, deltas, successor lists (re-sorted and dedup'd, so
+    /// propagation order stays canonical), and pending complex
+    /// constraints. The representative's old set is flushed back into its
+    /// delta and the node re-enqueued: every member's constraints must see
+    /// the locations the other members had already propagated. Returns
+    /// true if `origin` was part of a collapsed SCC.
+    fn collapse_cycles_from(&mut self, origin: NodeId) -> bool {
+        let root = self.find(origin);
+        let mut index: HashMap<NodeId, u32> = HashMap::new();
+        let mut lowlink: HashMap<NodeId, u32> = HashMap::new();
+        let mut on_stack: HashSet<NodeId> = HashSet::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut sccs: Vec<Vec<NodeId>> = Vec::new();
+        let mut next_index = 0u32;
+        let mut frames: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
+
+        index.insert(root, next_index);
+        lowlink.insert(root, next_index);
+        next_index += 1;
+        stack.push(root);
+        on_stack.insert(root);
+        let root_succs = self.resolved_succs(root);
+        frames.push((root, root_succs, 0));
+
+        while let Some(top) = frames.last_mut() {
+            let v = top.0;
+            let next_child = if top.2 < top.1.len() {
+                let w = top.1[top.2];
+                top.2 += 1;
+                Some(w)
+            } else {
+                None
+            };
+            match next_child {
+                Some(w) => {
+                    if let Some(&wi) = index.get(&w) {
+                        if on_stack.contains(&w) {
+                            let low = lowlink[&v].min(wi);
+                            lowlink.insert(v, low);
+                        }
+                    } else {
+                        index.insert(w, next_index);
+                        lowlink.insert(w, next_index);
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack.insert(w);
+                        let succs = self.resolved_succs(w);
+                        frames.push((w, succs, 0));
+                    }
+                }
+                None => {
+                    frames.pop();
+                    let low = lowlink[&v];
+                    if let Some(parent) = frames.last() {
+                        let pv = parent.0;
+                        if low < lowlink[&pv] {
+                            lowlink.insert(pv, low);
+                        }
+                    }
+                    if low == index[&v] {
+                        let mut scc = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack.remove(&w);
+                            scc.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        if scc.len() > 1 {
+                            sccs.push(scc);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut origin_collapsed = false;
+        for scc in sccs {
+            let rep = *scc.iter().min().expect("non-empty scc");
+            obs::add(obs::Counter::PtaSccsCollapsed, 1);
+            origin_collapsed |= scc.contains(&root);
+            let ri = rep.0 as usize;
+            for &m in &scc {
+                if m == rep {
+                    continue;
+                }
+                let mi = m.0 as usize;
+                self.parent[mi] = rep.0;
+                let mpts = std::mem::take(&mut self.pts[mi]);
+                self.pts[ri].union_with(&mpts);
+                let mdelta = std::mem::take(&mut self.delta[mi]);
+                self.delta[ri].union_with(&mdelta);
+                let msuccs = std::mem::take(&mut self.copy_succs[mi]);
+                self.copy_succs[ri].extend(msuccs);
+                let mloads = std::mem::take(&mut self.loads[mi]);
+                self.loads[ri].extend(mloads);
+                let mstores = std::mem::take(&mut self.stores[mi]);
+                self.stores[ri].extend(mstores);
+                let mcalls = std::mem::take(&mut self.recv_calls[mi]);
+                self.recv_calls[ri].extend(mcalls);
+            }
+            // Normalize the merged successor list: resolve, drop edges
+            // internal to the collapsed cycle, restore sorted-dedup'd
+            // order.
+            let mut succs = std::mem::take(&mut self.copy_succs[ri]);
+            for s in succs.iter_mut() {
+                *s = self.find(*s);
+            }
+            succs.retain(|&s| s != rep);
+            succs.sort_unstable();
+            succs.dedup();
+            self.copy_succs[ri] = succs;
+            // Flush old back into delta: one full re-evaluation round for
+            // the merged node covers every member-to-member hand-off.
+            let old = std::mem::take(&mut self.pts[ri]);
+            self.delta[ri].union_with(&old);
+            if !self.delta[ri].is_empty() {
+                self.worklist.push_back(rep);
+            }
+        }
+        origin_collapsed
+    }
+
     fn finish(mut self) -> PtaResult {
-        // Conflate per-instance variable points-to sets.
+        // Canonical location renumbering: interning order is a fixpoint-
+        // strategy artifact; the published numbering must not be.
+        let perm = self.locs.canonicalize(self.program);
+        let remap = |bs: &BitSet| -> BitSet { bs.iter().map(|l| perm[l].index()).collect() };
+        let n_nodes = self.nodes.len();
+        let reps: Vec<usize> = (0..n_nodes).map(|i| self.find_read(i)).collect();
+        let resolved: Vec<BitSet> = (0..n_nodes)
+            .map(|i| if reps[i] == i { remap(&self.pts[i]) } else { BitSet::new() })
+            .collect();
+
+        // Conflate per-instance variable points-to sets. Collapsed members
+        // read their representative's set under their own node kind.
         let mut var_pt: HashMap<VarId, BitSet> = HashMap::new();
         let mut global_pt: Vec<BitSet> = vec![BitSet::new(); self.program.global_ids().count()];
         let mut heap: HashMap<(LocId, FieldId), BitSet> = HashMap::new();
         for (i, kind) in self.nodes.iter().enumerate() {
-            let pts = &self.pts[i];
+            let pts = &resolved[reps[i]];
             if pts.is_empty() {
                 continue;
             }
@@ -480,7 +906,7 @@ impl<'p> Solver<'p> {
                     global_pt[g.index()].union_with(pts);
                 }
                 NodeKind::Field(l, f) => {
-                    heap.entry((*l, *f)).or_default().union_with(pts);
+                    heap.entry((perm[l.index()], *f)).or_default().union_with(pts);
                 }
                 NodeKind::Ret(_) => {}
             }
@@ -604,6 +1030,42 @@ pub fn analyze(program: &Program, policy: ContextPolicy) -> PtaResult {
     analyze_with(program, policy, &PtaOptions::default())
 }
 
+/// Which fixpoint engine [`analyze_with`] runs. Both produce the same
+/// [`PtaResult`], bit for bit; only the amount of work differs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Difference propagation with online cycle collapsing: nodes keep an
+    /// old/delta split, only deltas flow along copy edges, and copy cycles
+    /// are merged into a representative node via union-find.
+    #[default]
+    Delta,
+    /// The textbook full-set worklist solver, kept as the differential-
+    /// testing reference for [`SolverKind::Delta`].
+    Reference,
+}
+
+impl SolverKind {
+    /// Stable lowercase name, used in run-report meta and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Delta => "delta",
+            SolverKind::Reference => "reference",
+        }
+    }
+}
+
+impl std::str::FromStr for SolverKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "delta" => Ok(SolverKind::Delta),
+            "reference" => Ok(SolverKind::Reference),
+            other => Err(format!("unknown solver {other:?} (expected delta|reference)")),
+        }
+    }
+}
+
 /// Extra inputs to the analysis.
 #[derive(Clone, Debug, Default)]
 pub struct PtaOptions {
@@ -612,6 +1074,8 @@ pub struct PtaOptions {
     /// Stores into (and hence loads out of) the `contents` field of these
     /// arrays are suppressed.
     pub empty_contents_allocs: Vec<tir::AllocId>,
+    /// Fixpoint engine selection; [`SolverKind::Delta`] unless overridden.
+    pub solver: SolverKind,
 }
 
 /// Runs the points-to analysis with annotations (see [`PtaOptions`]).
@@ -852,5 +1316,98 @@ entry main;
         let helper = p.free_function("helper").unwrap();
         assert_eq!(r.callers(helper).len(), 2);
         assert!(r.is_reached(helper));
+    }
+
+    #[test]
+    fn copy_cycles_collapse_to_one_set() {
+        // x → y → z → x via assignments in a loop body: all three share
+        // one fixpoint set; the delta solver must collapse the cycle and
+        // still agree with the reference solver.
+        let src = r#"
+fn main() {
+  var x: Object;
+  var y: Object;
+  var z: Object;
+  x = new Object @a0;
+  while (0 == 0) {
+    y = x;
+    z = y;
+    x = z;
+  }
+  y = new Object @b0;
+}
+entry main;
+"#;
+        let p = parse(src).expect("parse");
+        for solver in [SolverKind::Delta, SolverKind::Reference] {
+            let opts = PtaOptions { solver, ..PtaOptions::default() };
+            let r = analyze_with(&p, ContextPolicy::Insensitive, &opts);
+            let main = p.entry();
+            let var = |n: &str| {
+                p.method(main).locals.iter().copied().find(|&v| p.var(v).name == n).unwrap()
+            };
+            let names = |v| {
+                let mut ns: Vec<String> =
+                    r.pt_var(v).iter().map(|l| r.loc_name(&p, LocId(l as u32))).collect();
+                ns.sort();
+                ns
+            };
+            assert_eq!(names(var("x")), vec!["a0", "b0"], "{solver:?}");
+            assert_eq!(names(var("z")), vec!["a0", "b0"], "{solver:?}");
+            assert_eq!(names(var("y")), vec!["a0", "b0"], "{solver:?}");
+        }
+    }
+
+    #[test]
+    fn solvers_agree_on_recursive_flows() {
+        // Mutual recursion threads a parameter cycle through calls and a
+        // field; both solvers must reach the same result.
+        let src = r#"
+class Cell { field item: Object; }
+global OUT: Object;
+fn ping(o: Object, c: Cell): Object {
+  var r: Object;
+  c.item = o;
+  r = call pong(o, c);
+  return r;
+}
+fn pong(o: Object, c: Cell): Object {
+  var r: Object;
+  var got: Object;
+  got = c.item;
+  if (0 == 0) {
+    r = call ping(o, c);
+    got = r;
+  }
+  return got;
+}
+fn main() {
+  var o: Object;
+  var c: Cell;
+  var out: Object;
+  o = new Object @seed;
+  c = new Cell @cell;
+  out = call ping(o, c);
+  $OUT = out;
+}
+entry main;
+"#;
+        let p = parse(src).expect("parse");
+        let delta = analyze_with(
+            &p,
+            ContextPolicy::Insensitive,
+            &PtaOptions { solver: SolverKind::Delta, ..PtaOptions::default() },
+        );
+        let reference = analyze_with(
+            &p,
+            ContextPolicy::Insensitive,
+            &PtaOptions { solver: SolverKind::Reference, ..PtaOptions::default() },
+        );
+        let g = p.global_by_name("OUT").unwrap();
+        assert_eq!(delta.pt_global(g), reference.pt_global(g));
+        assert!(!delta.pt_global(g).is_empty());
+        let names: Vec<String> =
+            delta.pt_global(g).iter().map(|l| delta.loc_name(&p, LocId(l as u32))).collect();
+        assert_eq!(names, vec!["seed"]);
     }
 }

@@ -66,15 +66,53 @@ impl BitSet {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Index one past the last non-zero word (trailing zero words carry no
+    /// elements, so they never need to be copied or allocated for).
+    fn effective_len(&self) -> usize {
+        self.words.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1)
+    }
+
     /// Adds every element of `other`; returns true if `self` changed.
     pub fn union_with(&mut self, other: &BitSet) -> bool {
-        if other.words.len() > self.words.len() {
-            self.words.resize(other.words.len(), 0);
+        let n = other.effective_len();
+        if n == 0 {
+            return false;
+        }
+        if n > self.words.len() {
+            self.words.resize(n, 0);
         }
         let mut changed = false;
-        for (i, &w) in other.words.iter().enumerate() {
+        for (i, &w) in other.words[..n].iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
             let before = self.words[i];
             self.words[i] |= w;
+            changed |= self.words[i] != before;
+        }
+        changed
+    }
+
+    /// Adds every element of `other` that is *not* in `exclude`; returns
+    /// true if `self` gained at least one element. This is the difference-
+    /// propagation kernel: `delta.union_with_delta(&incoming, &old)` folds
+    /// only genuinely new locations into the pending delta, word by word.
+    pub fn union_with_delta(&mut self, other: &BitSet, exclude: &BitSet) -> bool {
+        let n = other.effective_len();
+        if n == 0 {
+            return false;
+        }
+        let mut changed = false;
+        for (i, &w) in other.words[..n].iter().enumerate() {
+            let fresh = w & !exclude.words.get(i).copied().unwrap_or(0);
+            if fresh == 0 {
+                continue;
+            }
+            if i >= self.words.len() {
+                self.words.resize(n, 0);
+            }
+            let before = self.words[i];
+            self.words[i] |= fresh;
             changed |= self.words[i] != before;
         }
         changed
@@ -122,11 +160,15 @@ impl BitSet {
             .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
     }
 
-    /// Iterates over elements in ascending order.
+    /// Iterates over elements in ascending order. Zero words are skipped
+    /// whole, and within a word each set bit is found with
+    /// `trailing_zeros` instead of probing all 64 positions.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64).filter_map(move |b| if w & (1 << b) != 0 { Some(wi * 64 + b) } else { None })
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w != 0)
+            .flat_map(|(wi, &w)| WordBits { word: w, base: wi * 64 })
     }
 
     /// The single element, if the set has exactly one.
@@ -138,6 +180,25 @@ impl BitSet {
         } else {
             None
         }
+    }
+}
+
+/// Iterator over the set bits of a single word.
+struct WordBits {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for WordBits {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let b = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + b)
     }
 }
 
@@ -211,6 +272,77 @@ mod tests {
         let two: BitSet = [1, 9].into_iter().collect();
         assert_eq!(two.as_singleton(), None);
         assert_eq!(BitSet::new().as_singleton(), None);
+    }
+
+    #[test]
+    fn subtract_at_word_boundaries() {
+        // Elements straddling the 64-bit word boundary, with `other` both
+        // shorter and longer than `self`.
+        let mut a: BitSet = [0, 63, 64, 127, 128].into_iter().collect();
+        let shorter: BitSet = [63].into_iter().collect();
+        assert!(a.subtract(&shorter));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 64, 127, 128]);
+
+        let longer: BitSet = [0, 127, 128, 500].into_iter().collect();
+        assert!(a.subtract(&longer));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![64]);
+        // Subtracting a set that shares nothing reports no change.
+        let disjoint: BitSet = [63, 65].into_iter().collect();
+        assert!(!a.subtract(&disjoint));
+    }
+
+    #[test]
+    fn intersect_at_word_boundaries() {
+        let mut a: BitSet = [63, 64, 127, 128].into_iter().collect();
+        // `other` shorter than `self`: everything beyond its words drops.
+        let short: BitSet = [63, 64].into_iter().collect();
+        assert!(a.intersect_with(&short));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![63, 64]);
+
+        // `other` longer than `self`: extra words are irrelevant.
+        let mut b: BitSet = [64].into_iter().collect();
+        let long: BitSet = [64, 1000].into_iter().collect();
+        assert!(!b.intersect_with(&long));
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![64]);
+
+        // Intersecting with the empty set empties and reports a change.
+        let mut c: BitSet = [0].into_iter().collect();
+        assert!(c.intersect_with(&BitSet::new()));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn union_with_empty_is_noop() {
+        let mut a: BitSet = [1, 70].into_iter().collect();
+        assert!(!a.union_with(&BitSet::new()));
+        // A set whose words are all zero (insert + remove) is still empty.
+        let mut hollow = BitSet::singleton(130);
+        hollow.remove(130);
+        assert!(!a.union_with(&hollow));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn union_with_delta_filters_exclude() {
+        let old: BitSet = [1, 64].into_iter().collect();
+        let incoming: BitSet = [1, 2, 64, 129].into_iter().collect();
+        let mut delta = BitSet::new();
+        assert!(delta.union_with_delta(&incoming, &old));
+        assert_eq!(delta.iter().collect::<Vec<_>>(), vec![2, 129]);
+        // Re-pushing the same bits adds nothing.
+        assert!(!delta.union_with_delta(&incoming, &old));
+        // Everything excluded: no change, no growth.
+        let mut d2 = BitSet::new();
+        assert!(!d2.union_with_delta(&old, &incoming));
+        assert!(d2.is_empty());
+    }
+
+    #[test]
+    fn iter_skips_zero_words() {
+        // Only words 0 and 8 are populated; iteration must still be exact.
+        let s: BitSet = [5, 512, 575].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5, 512, 575]);
+        assert_eq!(s.len(), 3);
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod loc;
 mod modref;
 mod result;
 
-pub use analysis::{analyze, analyze_with, PtaOptions};
+pub use analysis::{analyze, analyze_with, PtaOptions, SolverKind};
 pub use bitset::BitSet;
 pub use context::ContextPolicy;
 pub use graph::HeapGraphView;

@@ -99,6 +99,52 @@ impl LocTable {
         d
     }
 
+    /// Renumbers every location into a canonical order independent of the
+    /// order in which the solver interned them, and returns the permutation
+    /// `perm[old.index()] = new id`.
+    ///
+    /// The sort key is the chain of allocation-site names (index-qualified
+    /// as a tiebreaker) from the outermost context qualifier down to the
+    /// site itself. The index chain is unique per location (two locations
+    /// with equal chains would be the same `AbsLoc`), so the order is
+    /// total and every fixpoint strategy arrives at the same numbering
+    /// regardless of interning order; leading with names keeps the
+    /// numbering stable across print/parse round trips, which renumber
+    /// allocation sites but preserve their labels.
+    pub(crate) fn canonicalize(&mut self, program: &Program) -> Vec<LocId> {
+        let chains: Vec<(Vec<&str>, Vec<usize>)> = (0..self.locs.len())
+            .map(|i| {
+                let mut names = Vec::new();
+                let mut chain = Vec::new();
+                let mut cur = Some(LocId(i as u32));
+                while let Some(c) = cur {
+                    let loc = self.get(c);
+                    names.push(program.alloc(loc.alloc).name.as_str());
+                    chain.push(loc.alloc.index());
+                    cur = loc.ctx;
+                }
+                names.reverse(); // outermost qualifier first
+                chain.reverse();
+                (names, chain)
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..self.locs.len()).collect();
+        order.sort_unstable_by(|&a, &b| chains[a].cmp(&chains[b]));
+        let mut perm = vec![LocId(0); self.locs.len()];
+        for (new, &old) in order.iter().enumerate() {
+            perm[old] = LocId(new as u32);
+        }
+        self.locs = order
+            .iter()
+            .map(|&old| {
+                let loc = self.locs[old];
+                AbsLoc { alloc: loc.alloc, ctx: loc.ctx.map(|c| perm[c.index()]) }
+            })
+            .collect();
+        self.index = self.locs.iter().enumerate().map(|(i, &l)| (l, LocId(i as u32))).collect();
+        perm
+    }
+
     /// Human-readable name, e.g. `vec0` or `vec0.arr1`.
     pub fn name(&self, id: LocId, program: &Program) -> String {
         let loc = self.get(id);
