@@ -77,6 +77,17 @@ pub struct ClientStats {
     /// Pending path edges descheduled because an earlier edge of their path
     /// was refuted (never searched — distinct from aborted).
     pub edges_descheduled: usize,
+    /// Committed decisions reused from the persistent cache (zero without
+    /// an attached store).
+    pub cache_hits: usize,
+    /// Committed decisions computed live for lack of a cache record.
+    pub cache_misses: usize,
+    /// Committed decisions recomputed because an edit invalidated their
+    /// cache record.
+    pub cache_invalidated: usize,
+    /// Path programs explored by live (non-cache) computation; zero on a
+    /// fully warm run.
+    pub fresh_path_programs: u64,
     /// Total symbolic-execution compute time (summed per edge; under
     /// `--jobs N` the wall clock is smaller).
     pub symex_time: std::time::Duration,
@@ -92,6 +103,10 @@ impl ClientStats {
         self.retries += t.retries as usize;
         self.degraded_decisions += t.degraded_decisions as usize;
         self.edges_descheduled += t.edges_descheduled as usize;
+        self.cache_hits += t.cache_hits as usize;
+        self.cache_misses += t.cache_misses as usize;
+        self.cache_invalidated += t.cache_invalidated as usize;
+        self.fresh_path_programs += t.fresh_path_programs;
         self.symex_time += t.symex_time;
     }
 }
@@ -179,6 +194,14 @@ impl<'a> LeakClient<'a> {
     /// are identical for every setting).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.sched.set_jobs(jobs);
+        self
+    }
+
+    /// Attaches a persistent decision store: decisions are warm-started
+    /// from disk when their fingerprint matches and (in read-write mode)
+    /// written through on commit.
+    pub fn with_store(mut self, store: std::sync::Arc<symex::DecisionStore>) -> Self {
+        self.sched.set_store(store);
         self
     }
 

@@ -47,8 +47,11 @@ pub mod library;
 pub use annotations::{map_only_annotations, paper_annotations, to_pta_options, Annotation};
 pub use client::{Alarm, AlarmResult, ClientStats, LeakClient, LeakReport};
 
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use pta::{ContextPolicy, ModRef, PtaResult};
-use symex::SymexConfig;
+use symex::{CacheMode, DecisionStore, SymexConfig};
 use tir::Program;
 
 /// Convenience front door: run the points-to analysis, mod/ref, and the
@@ -62,6 +65,7 @@ pub struct ActivityLeakChecker<'a> {
     config: SymexConfig,
     annotations: Vec<Annotation>,
     jobs: usize,
+    cache: Option<(PathBuf, CacheMode)>,
 }
 
 impl<'a> ActivityLeakChecker<'a> {
@@ -75,6 +79,7 @@ impl<'a> ActivityLeakChecker<'a> {
             config: SymexConfig::default(),
             annotations: Vec::new(),
             jobs: 1,
+            cache: None,
         }
     }
 
@@ -103,6 +108,16 @@ impl<'a> ActivityLeakChecker<'a> {
         self
     }
 
+    /// Attaches a persistent refutation cache rooted at `dir` (see
+    /// `symex::persist`): decisions whose fingerprint matches a stored
+    /// record are warm-started without symbolic execution. An unopenable
+    /// store degrades to a cold (cache-free) run with a warning — it never
+    /// fails the check. [`CacheMode::Off`] is a no-op.
+    pub fn with_cache(mut self, dir: impl Into<PathBuf>, mode: CacheMode) -> Self {
+        self.cache = if mode == CacheMode::Off { None } else { Some((dir.into(), mode)) };
+        self
+    }
+
     /// Runs the full pipeline and returns the leak report.
     pub fn check(self) -> LeakReport {
         let (report, _, _) = self.check_with_analyses();
@@ -116,8 +131,19 @@ impl<'a> ActivityLeakChecker<'a> {
         let pta = pta::analyze_with(self.program, self.policy, &opts);
         let modref = ModRef::compute(self.program, &pta);
         let report = {
-            let client = LeakClient::new(self.program, &pta, &modref, self.config.clone())
+            let mut client = LeakClient::new(self.program, &pta, &modref, self.config.clone())
                 .with_jobs(self.jobs);
+            if let Some((dir, mode)) = &self.cache {
+                match DecisionStore::open(dir, *mode, self.program) {
+                    Ok(store) => client = client.with_store(Arc::new(store)),
+                    Err(e) => {
+                        eprintln!(
+                            "warning: cannot open cache {}: {e}; running cold",
+                            dir.display()
+                        );
+                    }
+                }
+            }
             client.run()
         };
         (report, pta, modref)

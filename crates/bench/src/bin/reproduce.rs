@@ -8,6 +8,8 @@
 //! reproduce jobs [--budget N] [--apps a,b,c]     # --jobs scaling sweep (1, 2, all cores)
 //! reproduce pta [--scale N] [--assert-fewer-propagations]
 //!                                                # points-to solver comparison
+//! reproduce incremental [--budget N] [--apps a,b,c] [--cache-dir DIR]
+//!                                                # persistent-cache cold vs warm
 //! reproduce all [--budget N]                     # everything
 //!
 //! snapshot options (table1 / jobs / pta / all; table1 and all include the pta breakdown):
@@ -18,6 +20,15 @@
 //!
 //! Table 1 runs additionally emit a machine-readable perf snapshot
 //! (`thresher.bench_snapshot/2`) so results can be diffed across commits.
+//!
+//! The `incremental` mode runs every selected app cold then warm against
+//! a persistent refutation cache and prints the wall-clock comparison.
+//! It is always a gate: the process exits non-zero unless every warm run
+//! answers every committed edge decision from the store (`cache_hits ==
+//! decisions`) with **zero** live path-program explorations and a report
+//! that agrees with the cold run on every verdict and edge counter. The
+//! cache directory defaults to a fresh temp directory; `--cache-dir`
+//! overrides it (useful for inspecting the store afterwards).
 //!
 //! The `pta` mode solves every suite app plus one generated
 //! `apps::scale` program (default `--scale 16`) under both points-to
@@ -183,6 +194,65 @@ fn pta_bench(scale: usize, assert_gate: bool) -> Vec<PtaBenchPoint> {
     points
 }
 
+/// Runs the persistent-cache cold/warm comparison and gate over every
+/// selected app. Each app gets its own subdirectory of `root` so a stale
+/// store can never warm another app's cold run.
+fn incremental(apps: &[BenchApp], budget: u64, root: &std::path::Path) -> bool {
+    println!("== incremental: persistent refutation cache, cold vs warm ==");
+    println!(
+        "{:<14} {:>10} {:>10} {:>9} {:>10} {:>6} {:>7} {:>11} {:>6}",
+        "Benchmark",
+        "cold T(s)",
+        "warm T(s)",
+        "speedup",
+        "decisions",
+        "hits",
+        "misses",
+        "fresh paths",
+        "gate"
+    );
+    let mut ok = true;
+    for app in apps {
+        let dir = root.join(app.name);
+        // A fresh directory per invocation: the first run must be cold.
+        if dir.exists() {
+            if let Err(e) = std::fs::remove_dir_all(&dir) {
+                eprintln!("warning: cannot clear {}: {e}", dir.display());
+            }
+        }
+        let cfg = SymexConfig::default().with_budget(budget);
+        let p = bench::run_incremental(app, &dir, cfg);
+        let pure = p.warm_is_pure();
+        ok &= pure;
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>8.1}x {:>10} {:>6} {:>7} {:>11} {:>6}",
+            p.name,
+            p.cold.as_secs_f64(),
+            p.warm.as_secs_f64(),
+            p.speedup(),
+            p.decisions,
+            p.warm_hits,
+            p.warm_misses,
+            p.warm_fresh_paths,
+            if pure { "ok" } else { "FAIL" },
+        );
+        if !pure {
+            eprintln!(
+                "FAIL: {}: warm run was not served purely from the cache \
+                 (hits={} misses={} invalidated={} fresh_paths={} decisions={} agree={})",
+                p.name,
+                p.warm_hits,
+                p.warm_misses,
+                p.warm_invalidated,
+                p.warm_fresh_paths,
+                p.decisions,
+                p.reports_agree,
+            );
+        }
+    }
+    ok
+}
+
 fn table2(apps: &[BenchApp], budget: u64) {
     println!("== Table 2: fully symbolic representation vs mixed ==");
     println!(
@@ -295,6 +365,20 @@ fn main() {
             let points = pta_bench(scale, gate);
             write_snapshot(&args, &[], budget, &[], &points);
         }
+        "incremental" => {
+            let root = args
+                .iter()
+                .position(|a| a == "--cache-dir")
+                .and_then(|i| args.get(i + 1))
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| {
+                    std::env::temp_dir()
+                        .join(format!("thresher-incremental-{}", std::process::id()))
+                });
+            if !incremental(&apps, budget, &root) {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             let rows = table1(&apps, budget);
             println!();
@@ -311,7 +395,8 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown mode {other}; use table1|table2|simplification|stats|loops|jobs|pta|all"
+                "unknown mode {other}; use \
+                 table1|table2|simplification|stats|loops|jobs|pta|incremental|all"
             );
             std::process::exit(2);
         }

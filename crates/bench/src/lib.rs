@@ -13,11 +13,12 @@
 
 #![warn(missing_docs)]
 
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 use android::{paper_annotations, ActivityLeakChecker};
 use apps::{builder, BenchApp};
-use symex::{LoopMode, Representation, SymexConfig};
+use symex::{CacheMode, LoopMode, Representation, SymexConfig};
 use thresher::Thresher;
 
 /// One measured Table 1 row.
@@ -440,6 +441,101 @@ impl PtaBenchPoint {
             fields.insert(1, ("scale".to_owned(), Value::uint(s as u64)));
         }
         Value::Obj(fields)
+    }
+}
+
+/// One cold-vs-warm measurement of the persistent refutation cache on one
+/// app: a cold run (fresh cache directory) populates the store, a warm
+/// rerun over the unchanged program must answer every committed edge
+/// decision from disk without exploring a single path program.
+#[derive(Clone, Debug)]
+pub struct IncrementalPoint {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Cold (cache-populating) wall-clock time.
+    pub cold: Duration,
+    /// Warm (cache-served) wall-clock time.
+    pub warm: Duration,
+    /// Committed edge decisions per run (identical cold and warm).
+    pub decisions: usize,
+    /// Warm-run decisions served from the store (`cache_hits`).
+    pub warm_hits: usize,
+    /// Warm-run decisions computed live (`cache_misses`; must be 0).
+    pub warm_misses: usize,
+    /// Warm-run decisions recomputed after invalidation (must be 0 on an
+    /// unchanged program).
+    pub warm_invalidated: usize,
+    /// Path programs explored live during the warm run (must be 0: the
+    /// whole point of the cache).
+    pub warm_fresh_paths: u64,
+    /// Do the cold and warm reports agree on every alarm verdict and
+    /// every edge counter?
+    pub reports_agree: bool,
+}
+
+impl IncrementalPoint {
+    /// Cold / warm wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.cold.as_secs_f64() / self.warm.as_secs_f64().max(1e-9)
+    }
+
+    /// The incremental-soundness gate: the warm run reproduced the cold
+    /// report entirely from the store — every decision a hit, zero live
+    /// path explorations.
+    pub fn warm_is_pure(&self) -> bool {
+        self.reports_agree
+            && self.warm_misses == 0
+            && self.warm_invalidated == 0
+            && self.warm_fresh_paths == 0
+            && self.warm_hits == self.decisions
+    }
+}
+
+/// Result equivalence for the incremental gate: same alarms in the same
+/// order with the same verdicts, and the same edge counters. (Cache
+/// counters are deliberately not compared — they are the run's cold/warm
+/// provenance, not its result.)
+fn leak_reports_agree(a: &android::LeakReport, b: &android::LeakReport) -> bool {
+    a.alarms.len() == b.alarms.len()
+        && a.alarms
+            .iter()
+            .zip(&b.alarms)
+            .all(|((aa, ra), (ab, rb))| aa == ab && ra.is_refuted() == rb.is_refuted())
+        && a.stats.edges_refuted == b.stats.edges_refuted
+        && a.stats.edges_witnessed == b.stats.edges_witnessed
+        && a.stats.edge_timeouts == b.stats.edge_timeouts
+        && a.stats.retries == b.stats.retries
+        && a.stats.degraded_decisions == b.stats.degraded_decisions
+        && a.stats.edges_descheduled == b.stats.edges_descheduled
+}
+
+/// Runs the leak client twice over `app` against a persistent cache
+/// rooted at `cache_dir` — cold then warm — and checks that the warm run
+/// was served entirely from the store. The caller provides a *fresh*
+/// directory (an existing store would make the first run warm).
+pub fn run_incremental(app: &BenchApp, cache_dir: &Path, config: SymexConfig) -> IncrementalPoint {
+    let run = || {
+        let t0 = Instant::now();
+        let report = ActivityLeakChecker::new(&app.program)
+            .with_policy(builder::container_policy(app))
+            .with_config(config.clone())
+            .with_cache(cache_dir, CacheMode::ReadWrite)
+            .check();
+        (t0.elapsed(), report)
+    };
+    let (cold, cold_report) = run();
+    let (warm, warm_report) = run();
+    let s = &warm_report.stats;
+    IncrementalPoint {
+        name: app.name,
+        cold,
+        warm,
+        decisions: s.cache_hits + s.cache_misses + s.cache_invalidated,
+        warm_hits: s.cache_hits,
+        warm_misses: s.cache_misses,
+        warm_invalidated: s.cache_invalidated,
+        warm_fresh_paths: s.fresh_path_programs,
+        reports_agree: leak_reports_agree(&cold_report, &warm_report),
     }
 }
 

@@ -27,10 +27,20 @@
 //!   --report-out <path>        write a machine-readable RunReport JSON
 //!   --trace-out <path>         write a Chrome trace-event JSON
 //!                              (Perfetto / chrome://tracing)
+//!   --cache-dir <DIR>          persistent refutation cache directory:
+//!                              edge decisions are fingerprinted and
+//!                              warm-started across runs; editing a method
+//!                              invalidates exactly the decisions whose
+//!                              call-graph slice contains it
+//!   --cache <read-write|read|off>
+//!                              cache mode (default read-write when
+//!                              --cache-dir is given; off otherwise)
 //!
 //! --diff-reports compares two RunReport JSON files modulo timing: the
 //! meta block, *_ns/*_us histograms, dropped_trace_events, and
-//! trace_threads are excluded. Exits 0 when equivalent, 1 when not — the
+//! trace_threads are excluded. `cache_*` counters are also excluded —
+//! they report cache effectiveness (cold vs warm), never analysis
+//! results, and the incremental gate compares cold and warm reports. Exits 0 when equivalent, 1 when not — the
 //! CI determinism gate for `--jobs`. When the two reports record different
 //! `pta_solver` strategies, the strategy-dependent solver metrics
 //! (propagation/delta/SCC counters, worklist and delta-size histograms)
@@ -43,7 +53,8 @@ use std::process::ExitCode;
 use thresher::obs::json::{self, Value};
 use thresher::obs::{self, Counter, MemRecorder, RingCapacity, SpanKind};
 use thresher::{
-    LoopMode, PtaOptions, ReachabilityAnswer, Representation, SolverKind, SymexConfig, Thresher,
+    CacheMode, LoopMode, PtaOptions, ReachabilityAnswer, Representation, SolverKind, SymexConfig,
+    Thresher,
 };
 
 struct Options {
@@ -57,10 +68,12 @@ struct Options {
     pta_stats: bool,
     report_out: Option<String>,
     trace_out: Option<String>,
+    cache_dir: Option<String>,
+    cache_mode: CacheMode,
 }
 
 enum Mode {
-    Analyze(Options),
+    Analyze(Box<Options>),
     DiffReports(String, String),
 }
 
@@ -76,6 +89,8 @@ fn parse_args() -> Result<Mode, String> {
     let mut pta_stats = false;
     let mut report_out = None;
     let mut trace_out = None;
+    let mut cache_dir = None;
+    let mut cache_mode = CacheMode::ReadWrite;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--diff-reports" => {
@@ -125,13 +140,20 @@ fn parse_args() -> Result<Mode, String> {
             "--trace-out" => {
                 trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
             }
+            "--cache-dir" => {
+                cache_dir = Some(args.next().ok_or("--cache-dir needs a directory")?);
+            }
+            "--cache" => {
+                let m = args.next().ok_or("--cache needs <read-write|read|off>")?;
+                cache_mode = m.parse()?;
+            }
             other if path.is_none() && !other.starts_with("--") => {
                 path = Some(other.to_owned());
             }
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    Ok(Mode::Analyze(Options {
+    Ok(Mode::Analyze(Box::new(Options {
         path: path.ok_or("usage: thresher-cli <program.tir> [options]")?,
         dump_pta,
         queries,
@@ -142,12 +164,14 @@ fn parse_args() -> Result<Mode, String> {
         pta_stats,
         report_out,
         trace_out,
-    }))
+        cache_dir,
+        cache_mode,
+    })))
 }
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
-        Ok(Mode::Analyze(o)) => o,
+        Ok(Mode::Analyze(o)) => *o,
         Ok(Mode::DiffReports(a, b)) => {
             return match diff_reports(&a, &b) {
                 Ok(true) => ExitCode::SUCCESS,
@@ -221,13 +245,24 @@ fn print_pta_stats(opts: &Options, rec: &MemRecorder) {
 /// The whole analysis, separated out so the `Run` span closes (and is
 /// recorded) before the trace/report files are written.
 fn analyze(opts: &Options, program: &tir::Program) -> ExitCode {
-    let thresher = Thresher::with_options(
+    let mut thresher = Thresher::with_options(
         program,
         thresher::PointsToPolicy::Insensitive,
         opts.config.clone(),
         &PtaOptions { solver: opts.pta_solver, ..Default::default() },
     )
     .with_jobs(opts.jobs);
+    if let Some(dir) = &opts.cache_dir {
+        if opts.cache_mode != CacheMode::Off {
+            thresher = match thresher.with_cache(std::path::Path::new(dir), opts.cache_mode) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot open cache {dir}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+        }
+    }
 
     if opts.dump_pta {
         println!("== points-to graph ==");
@@ -307,7 +342,9 @@ fn write_outputs(opts: &Options, rec: &MemRecorder) -> Result<(), String> {
 /// Excluded from the comparison: the `meta` object (paths/config strings),
 /// any histogram whose name ends in `_ns` or `_us` (wall-clock
 /// observations), `dropped_trace_events`, and `trace_threads` (both are
-/// functions of trace volume and thread count, not of analysis results).
+/// functions of trace volume and thread count, not of analysis results),
+/// and `cache_*` counters (cold/warm cache effectiveness, never results —
+/// the incremental gate compares cold and warm reports directly).
 /// Everything else — every counter and every deterministic histogram — must
 /// match exactly. Prints each difference; returns `Ok(true)` when
 /// equivalent.
@@ -355,6 +392,9 @@ fn diff_reports(path_a: &str, path_b: &str) -> Result<bool, String> {
         }
     }
     for key in &counter_keys {
+        if key.starts_with("cache_") {
+            continue; // cache-effectiveness metric (cold vs warm): differs by design
+        }
         if cross_solver && STRATEGY_COUNTERS.contains(&key.as_str()) {
             continue; // fixpoint-strategy metric: differs by design
         }

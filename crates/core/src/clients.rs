@@ -8,8 +8,10 @@
 //! static field — the generalization of the Activity-leak client to any
 //! type.
 
+use std::sync::Arc;
+
 use pta::{BitSet, HeapEdge, HeapGraphView, LocId, ModRef, PtaResult};
-use symex::{AbortCounts, JobVerdict, ReachJob, RefutationScheduler, SymexConfig};
+use symex::{AbortCounts, DecisionStore, JobVerdict, ReachJob, RefutationScheduler, SymexConfig};
 use tir::{ClassId, GlobalId, Program};
 
 /// One escaping-object finding.
@@ -56,6 +58,7 @@ pub struct EscapeChecker<'a> {
     modref: &'a ModRef,
     config: SymexConfig,
     jobs: usize,
+    store: Option<Arc<DecisionStore>>,
 }
 
 impl<'a> EscapeChecker<'a> {
@@ -67,13 +70,20 @@ impl<'a> EscapeChecker<'a> {
         modref: &'a ModRef,
         config: SymexConfig,
     ) -> Self {
-        EscapeChecker { program, pta, modref, config, jobs: 1 }
+        EscapeChecker { program, pta, modref, config, jobs: 1, store: None }
     }
 
     /// Sets the refutation-scheduler thread count (1 = sequential; the
     /// report is identical for every setting).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Attaches a persistent decision store: every check warm-starts
+    /// from it and (in read-write mode) writes decisions through.
+    pub fn with_store(mut self, store: Arc<DecisionStore>) -> Self {
+        self.store = Some(store);
         self
     }
 
@@ -113,6 +123,9 @@ impl<'a> EscapeChecker<'a> {
             self.config.clone(),
             self.jobs,
         );
+        if let Some(store) = &self.store {
+            sched.set_store(store.clone());
+        }
         let mut view = HeapGraphView::new(self.pta);
         let mut pairs = Vec::new();
         let mut jobs = Vec::new();

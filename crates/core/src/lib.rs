@@ -52,6 +52,9 @@
 
 pub mod clients;
 
+use std::path::Path;
+use std::sync::Arc;
+
 use pta::{BitSet, ContextPolicy, HeapEdge, HeapGraphView, LocId, ModRef, PtaResult};
 use symex::Engine;
 use tir::Program;
@@ -64,9 +67,9 @@ pub use obs;
 pub use pta::ContextPolicy as PointsToPolicy;
 pub use pta::{PtaOptions, SolverKind};
 pub use symex::{
-    default_jobs, AbortCounts, EdgeAnswer, EdgeDecision, JobVerdict, LoopMode, ReachJob,
-    RefutationScheduler, Representation, SchedulerOutcome, SearchOutcome, SearchStats, StopReason,
-    SymexConfig, Tally, Witness,
+    default_jobs, AbortCounts, CacheMode, DecisionStore, EdgeAnswer, EdgeDecision, JobVerdict,
+    LoopMode, ReachJob, RefutationScheduler, Representation, SchedulerOutcome, SearchOutcome,
+    SearchStats, StopReason, SymexConfig, Tally, Witness,
 };
 
 /// The outcome of a refined heap-reachability query.
@@ -103,6 +106,7 @@ pub struct Thresher<'p> {
     pta: PtaResult,
     modref: ModRef,
     jobs: usize,
+    cache: Option<Arc<DecisionStore>>,
 }
 
 impl<'p> Thresher<'p> {
@@ -128,7 +132,7 @@ impl<'p> Thresher<'p> {
         let _span = obs::span(obs::SpanKind::Setup, "points-to + mod/ref");
         let pta = pta::analyze_with(program, policy, options);
         let modref = ModRef::compute(program, &pta);
-        Thresher { program, config, pta, modref, jobs: 1 }
+        Thresher { program, config, pta, modref, jobs: 1, cache: None }
     }
 
     /// Sets the refutation-scheduler thread count used by the query and
@@ -138,6 +142,40 @@ impl<'p> Thresher<'p> {
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
         self
+    }
+
+    /// Attaches a persistent, content-addressed refutation cache rooted at
+    /// `dir` (see `symex::persist`). Decisions whose fingerprint — edge,
+    /// producer statements, engine configuration, and the canonical text of
+    /// every method in the edge's call-graph slice — matches a stored record
+    /// are warm-started without any symbolic execution; in
+    /// [`CacheMode::ReadWrite`] fresh decisions are written through.
+    /// [`CacheMode::Off`] leaves the façade cache-free (no I/O at all).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or opening the store. A
+    /// *corrupt* store is not an error: damaged lines are skipped (counted
+    /// in `cache_skipped_corrupt`) and the run degrades to cold.
+    pub fn with_cache(mut self, dir: &Path, mode: CacheMode) -> std::io::Result<Self> {
+        if mode == CacheMode::Off {
+            self.cache = None;
+            return Ok(self);
+        }
+        self.cache = Some(Arc::new(DecisionStore::open(dir, mode, self.program)?));
+        Ok(self)
+    }
+
+    /// Attaches an already-open decision store (shared with other
+    /// consumers). See [`Thresher::with_cache`].
+    pub fn with_store(mut self, store: Arc<DecisionStore>) -> Self {
+        self.cache = Some(store);
+        self
+    }
+
+    /// The attached decision store, if any.
+    pub fn cache(&self) -> Option<&Arc<DecisionStore>> {
+        self.cache.as_ref()
     }
 
     /// The underlying points-to result.
@@ -223,6 +261,9 @@ impl<'p> Thresher<'p> {
             self.config.clone(),
             self.jobs,
         );
+        if let Some(store) = &self.cache {
+            sched.set_store(store.clone());
+        }
         let mut view = HeapGraphView::new(&self.pta);
         let job = ReachJob { source: global, targets: BitSet::singleton(target.index()) };
         let outcome = sched.run(&mut view, std::slice::from_ref(&job));
@@ -237,16 +278,24 @@ impl<'p> Thresher<'p> {
     /// Creates an [`EscapeChecker`] over this analysis (the §1
     /// encapsulation/escape client).
     pub fn escape_checker(&self) -> EscapeChecker<'_> {
-        EscapeChecker::new(self.program, &self.pta, &self.modref, self.config.clone())
-            .with_jobs(self.jobs)
+        let mut checker =
+            EscapeChecker::new(self.program, &self.pta, &self.modref, self.config.clone())
+                .with_jobs(self.jobs);
+        if let Some(store) = &self.cache {
+            checker = checker.with_store(store.clone());
+        }
+        checker
     }
 
     /// Runs the Android Activity-leak client over this program (requires
     /// the [`android::library`] model to be installed in the program).
     pub fn check_activity_leaks(&self) -> LeakReport {
-        let client =
+        let mut client =
             android::LeakClient::new(self.program, &self.pta, &self.modref, self.config.clone())
                 .with_jobs(self.jobs);
+        if let Some(store) = &self.cache {
+            client = client.with_store(store.clone());
+        }
         client.run()
     }
 }

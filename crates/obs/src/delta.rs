@@ -47,6 +47,23 @@ impl MetricsDelta {
         &self.observations
     }
 
+    /// Rebuilds a delta from previously-serialized parts: per-counter
+    /// totals as `(counter, n)` pairs plus ordered histogram
+    /// observations. Replaying the result produces the same registry
+    /// state as replaying the original — this is the deserialization
+    /// counterpart of [`Self::counter`]/[`Self::observations`] used by
+    /// the persistent refutation cache.
+    pub fn from_parts(
+        counters: impl IntoIterator<Item = (Counter, u64)>,
+        observations: Vec<(Hist, u64)>,
+    ) -> Self {
+        let mut d = MetricsDelta { counters: [0; Counter::COUNT], observations };
+        for (c, n) in counters {
+            d.add(c, n);
+        }
+        d
+    }
+
     fn add(&mut self, c: Counter, n: u64) {
         self.counters[c.index()] = self.counters[c.index()].saturating_add(n);
     }

@@ -35,6 +35,16 @@ macro_rules! metric_enum {
             pub fn index(self) -> usize {
                 self as usize
             }
+
+            /// Inverse of [`Self::name`]: resolves a stable snake_case
+            /// name back to its variant (for deserializing persisted
+            /// metric records).
+            pub fn from_name(name: &str) -> Option<Self> {
+                match name {
+                    $($name => Some($enum_name::$variant),)+
+                    _ => None,
+                }
+            }
         }
     };
 }
@@ -121,6 +131,18 @@ metric_enum! {
         PtaDeltasPushed => "pta_deltas_pushed",
         /// Copy-graph strongly connected components collapsed online.
         PtaSccsCollapsed => "pta_sccs_collapsed",
+        // --- persistent refutation cache ---
+        /// Disk-cache decisions reused verbatim (committed by the
+        /// coordinator from a valid, current-fingerprint record).
+        CacheHits => "cache_hits",
+        /// Edge decisions computed live because no disk record existed.
+        CacheMisses => "cache_misses",
+        /// Edge decisions recomputed because the stored fingerprint no
+        /// longer matched the program slice (stale after an edit).
+        CacheInvalidated => "cache_invalidated",
+        /// Cache records or files skipped as corrupt, truncated, or
+        /// version-mismatched (each skip degrades that lookup to cold).
+        CacheSkippedCorrupt => "cache_skipped_corrupt",
         // --- clients ---
         /// Alarms reported by the flow-insensitive analysis.
         AlarmsFound => "alarms_found",
@@ -317,6 +339,18 @@ mod tests {
         hnames.sort_unstable();
         hnames.dedup();
         assert_eq!(hnames.len(), Hist::COUNT);
+    }
+
+    #[test]
+    fn names_round_trip_through_from_name() {
+        for &c in Counter::ALL {
+            assert_eq!(Counter::from_name(c.name()), Some(c));
+        }
+        for &h in Hist::ALL {
+            assert_eq!(Hist::from_name(h.name()), Some(h));
+        }
+        assert_eq!(Counter::from_name("no_such_counter"), None);
+        assert_eq!(Hist::from_name("no_such_hist"), None);
     }
 
     #[test]

@@ -57,6 +57,7 @@ mod config;
 mod engine;
 mod loops;
 pub mod parallel;
+pub mod persist;
 mod query;
 mod region;
 pub mod replay;
@@ -70,6 +71,7 @@ pub use engine::{EdgeDecision, Engine};
 pub use parallel::{
     default_jobs, EdgeAnswer, JobVerdict, ReachJob, RefutationScheduler, SchedulerOutcome, Tally,
 };
+pub use persist::{CacheMode, DecisionStore, Fingerprinter, PersistedDecision};
 pub use query::{HeapCell, Query, Refuted};
 pub use region::Region;
 pub use replay::{validate_witness, ReplayVerdict};

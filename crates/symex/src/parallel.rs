@@ -56,6 +56,7 @@ use pta::{BitSet, HeapEdge, HeapGraphView, ModRef, PtaResult};
 use tir::{GlobalId, Program};
 
 use crate::engine::{EdgeDecision, Engine};
+use crate::persist::{DecisionStore, Fingerprinter, PersistedDecision};
 use crate::stats::{AbortCounts, SearchOutcome, SearchStats, StopReason, Witness};
 use crate::SymexConfig;
 
@@ -124,8 +125,24 @@ pub struct Tally {
     /// Pending path edges descheduled because an earlier edge of their path
     /// was refuted (the path died before they were needed).
     pub edges_descheduled: u64,
+    /// Committed decisions reused verbatim from the persistent store
+    /// (zero when no store is attached).
+    pub cache_hits: u64,
+    /// Committed decisions computed live because the store had no record
+    /// for their fingerprint (zero when no store is attached).
+    pub cache_misses: u64,
+    /// Committed decisions recomputed because the store's record for the
+    /// same edge carried a stale fingerprint — i.e. an edit invalidated
+    /// it (zero when no store is attached).
+    pub cache_invalidated: u64,
+    /// Path programs explored by live (non-disk) computations committed
+    /// this run. Zero proves a fully warm run performed no symex path
+    /// exploration at all, even though the replayed report counters are
+    /// byte-identical to the cold run's.
+    pub fresh_path_programs: u64,
     /// Sum of per-edge decision times (compute time, not wall clock — under
-    /// parallel execution the wall clock is smaller).
+    /// parallel execution the wall clock is smaller). Disk hits contribute
+    /// the *original* computation's time, keeping warm tallies comparable.
     pub symex_time: Duration,
 }
 
@@ -158,6 +175,35 @@ struct CacheEntry {
     stats: SearchStats,
     obs: obs::MetricsDelta,
     elapsed: Duration,
+    /// True when the entry was loaded from the persistent store rather
+    /// than computed in this process. Provenance is a function of the
+    /// disk state alone — never of the thread count — so the cache
+    /// counters derived from it at commit time are jobs-invariant.
+    from_disk: bool,
+}
+
+/// The persistent warm-start tier below the in-memory striped cache: the
+/// shared on-disk store plus the fingerprinter mapping edges to content
+/// keys. Shared read-only between the coordinator and every worker.
+struct DiskTier<'a> {
+    program: &'a Program,
+    store: Arc<DecisionStore>,
+    fpr: Fingerprinter<'a>,
+}
+
+/// Looks `edge` up in the persistent store. A hit yields a committable
+/// entry flagged `from_disk`; any miss (no record, stale fingerprint —
+/// stale records key under the old fingerprint, so they simply fail the
+/// lookup) falls through to a live computation.
+fn consult_disk(disk: &DiskTier<'_>, edge: &HeapEdge) -> Option<CacheEntry> {
+    let d = disk.store.lookup(disk.fpr.fingerprint(edge))?;
+    Some(CacheEntry {
+        decision: d.decision,
+        stats: d.stats,
+        obs: d.obs,
+        elapsed: d.elapsed,
+        from_disk: true,
+    })
 }
 
 enum Slot {
@@ -267,11 +313,18 @@ fn compute(engine: &mut Engine<'_>, edge: &HeapEdge) -> CacheEntry {
         stats: engine.stats.delta_since(&before),
         obs: delta,
         elapsed: t0.elapsed(),
+        from_disk: false,
     }
 }
 
-/// The worker loop: claim speculative hints and publish their decisions.
-fn worker(queue: &RunQueue, cache: &CacheStripes, mut engine: Engine<'_>) {
+/// The worker loop: claim speculative hints and publish their decisions,
+/// consulting the persistent tier before computing.
+fn worker(
+    queue: &RunQueue,
+    cache: &CacheStripes,
+    disk: Option<&DiskTier<'_>>,
+    mut engine: Engine<'_>,
+) {
     while let Some(hint) = queue.pop() {
         if hint.cancel.load(Ordering::Relaxed) {
             continue;
@@ -284,7 +337,9 @@ fn worker(queue: &RunQueue, cache: &CacheStripes, mut engine: Engine<'_>) {
             }
             map.insert(hint.edge, Slot::InFlight);
         }
-        let entry = compute(&mut engine, &hint.edge);
+        let entry = disk
+            .and_then(|d| consult_disk(d, &hint.edge))
+            .unwrap_or_else(|| compute(&mut engine, &hint.edge));
         let mut map = lock(&stripe.map);
         map.insert(hint.edge, Slot::Done(Box::new(entry)));
         drop(map);
@@ -294,9 +349,11 @@ fn worker(queue: &RunQueue, cache: &CacheStripes, mut engine: Engine<'_>) {
 
 /// Coordinator-side demand for one edge: cache hit, await, or compute
 /// inline; commit (account) the decision on first demand.
+#[allow(clippy::too_many_arguments)]
 fn demand<'a>(
     edge: HeapEdge,
     cache: &CacheStripes,
+    disk: Option<&DiskTier<'a>>,
     engine: &mut Engine<'a>,
     committed: &mut HashMap<HeapEdge, EdgeDecision>,
     stats: &mut SearchStats,
@@ -327,7 +384,8 @@ fn demand<'a>(
             }
         }
         drop(map);
-        let entry = compute(engine, &edge);
+        let entry =
+            disk.and_then(|d| consult_disk(d, &edge)).unwrap_or_else(|| compute(engine, &edge));
         let mut map = lock(&stripe.map);
         map.insert(edge, Slot::Done(Box::new(entry.clone())));
         drop(map);
@@ -336,9 +394,41 @@ fn demand<'a>(
     };
     // Commit: this is the only place buffered metrics reach the registry
     // and the only recording site for the per-reason abort counters, so
-    // totals are identical for every worker count.
+    // totals are identical for every worker count. The cache counters
+    // follow the same discipline: provenance travels on the entry, and
+    // only demanded (committed) decisions are counted.
     entry.obs.replay();
     stats.merge(&entry.stats);
+    if let Some(d) = disk {
+        let fp = d.fpr.fingerprint(&edge);
+        let key = d.fpr.edge_key(&edge);
+        if entry.from_disk {
+            tally.cache_hits += 1;
+            obs::add(obs::Counter::CacheHits, 1);
+        } else {
+            if d.store.has_stale(&key, fp) {
+                tally.cache_invalidated += 1;
+                obs::add(obs::Counter::CacheInvalidated, 1);
+            } else {
+                tally.cache_misses += 1;
+                obs::add(obs::Counter::CacheMisses, 1);
+            }
+            d.store.record(
+                d.program,
+                fp,
+                &key,
+                &PersistedDecision {
+                    decision: entry.decision.clone(),
+                    stats: entry.stats.clone(),
+                    obs: entry.obs.clone(),
+                    elapsed: entry.elapsed,
+                },
+            );
+        }
+    }
+    if !entry.from_disk {
+        tally.fresh_path_programs += entry.stats.path_programs;
+    }
     tally.symex_time += entry.elapsed;
     tally.retries += u64::from(entry.decision.attempts.saturating_sub(1));
     if entry.decision.degraded {
@@ -372,6 +462,7 @@ fn run_job<'a>(
     job: &ReachJob,
     queue: Option<&RunQueue>,
     cache: &CacheStripes,
+    disk: Option<&DiskTier<'a>>,
     engine: &mut Engine<'a>,
     committed: &mut HashMap<HeapEdge, EdgeDecision>,
     stats: &mut SearchStats,
@@ -393,7 +484,7 @@ fn run_job<'a>(
         }
         let mut last_witness = None;
         for (i, &edge) in path.iter().enumerate() {
-            match demand(edge, cache, engine, committed, stats, tally) {
+            match demand(edge, cache, disk, engine, committed, stats, tally) {
                 EdgeAnswer::Refuted => {
                     view.delete(edge);
                     refuted_edges.push(edge);
@@ -435,6 +526,8 @@ pub struct RefutationScheduler<'a> {
     deadline_at: Option<Instant>,
     engine: Engine<'a>,
     cache: CacheStripes,
+    /// The optional persistent warm-start tier below the striped cache.
+    disk: Option<DiskTier<'a>>,
     committed: HashMap<HeapEdge, EdgeDecision>,
     stats: SearchStats,
 }
@@ -462,9 +555,30 @@ impl<'a> RefutationScheduler<'a> {
             deadline_at,
             engine,
             cache: CacheStripes::new(),
+            disk: None,
             committed: HashMap::new(),
             stats: SearchStats::default(),
         }
+    }
+
+    /// Attaches a persistent [`DecisionStore`] as the warm-start tier
+    /// below the in-memory striped cache: workers and the coordinator
+    /// consult it before computing, and the coordinator writes every
+    /// live-computed decision through at commit (in read-write mode).
+    /// Fingerprints are derived from this scheduler's program, points-to
+    /// result, and configuration.
+    pub fn with_store(mut self, store: Arc<DecisionStore>) -> Self {
+        self.set_store(store);
+        self
+    }
+
+    /// Setter form of [`RefutationScheduler::with_store`].
+    pub fn set_store(&mut self, store: Arc<DecisionStore>) {
+        self.disk = Some(DiskTier {
+            program: self.program,
+            fpr: Fingerprinter::new(self.program, self.pta, &self.config),
+            store,
+        });
     }
 
     /// The configured thread count.
@@ -494,7 +608,15 @@ impl<'a> RefutationScheduler<'a> {
     /// first demand (sequentially, on the calling thread). Accounting goes
     /// into `tally`.
     pub fn decide_edge(&mut self, edge: HeapEdge, tally: &mut Tally) -> EdgeAnswer {
-        demand(edge, &self.cache, &mut self.engine, &mut self.committed, &mut self.stats, tally)
+        demand(
+            edge,
+            &self.cache,
+            self.disk.as_ref(),
+            &mut self.engine,
+            &mut self.committed,
+            &mut self.stats,
+            tally,
+        )
     }
 
     /// Runs the given jobs in order over `view`. The verdicts, committed
@@ -515,6 +637,7 @@ impl<'a> RefutationScheduler<'a> {
                     job,
                     None,
                     &self.cache,
+                    self.disk.as_ref(),
                     &mut self.engine,
                     &mut self.committed,
                     &mut self.stats,
@@ -529,6 +652,7 @@ impl<'a> RefutationScheduler<'a> {
         let modref = self.modref;
         let deadline_at = self.deadline_at;
         let cache = &self.cache;
+        let disk = self.disk.as_ref();
         let engine = &mut self.engine;
         let committed = &mut self.committed;
         let stats = &mut self.stats;
@@ -542,7 +666,7 @@ impl<'a> RefutationScheduler<'a> {
                     .spawn_scoped(s, move || {
                         let mut e = Engine::new(program, pta, modref, cfg);
                         e.set_deadline_at(deadline_at);
-                        worker(queue, cache, e);
+                        worker(queue, cache, disk, e);
                     })
                     .expect("spawn refutation worker");
             }
@@ -570,6 +694,7 @@ impl<'a> RefutationScheduler<'a> {
                     job,
                     Some(&queue),
                     cache,
+                    disk,
                     engine,
                     committed,
                     stats,
@@ -689,6 +814,59 @@ entry main;
         // Re-running the same job hits only committed decisions.
         let again = sched.run(&mut view, &work[..1]);
         assert_eq!(again.tally, Tally::default());
+    }
+
+    #[test]
+    fn disk_tier_warm_starts_schedulers() {
+        use crate::persist::CacheMode;
+        let dir = std::env::temp_dir().join("thresher-parallel-disk-tier");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (p, r, m) = setup(SRC);
+        let work = jobs_for(&p, &r, &[("CACHE", "secret0"), ("CACHE", "str0"), ("OTHER", "str0")]);
+
+        let cold_store =
+            Arc::new(DecisionStore::open(&dir, CacheMode::ReadWrite, &p).expect("open"));
+        let mut cold = RefutationScheduler::new(&p, &r, &m, SymexConfig::default(), 1)
+            .with_store(cold_store.clone());
+        let mut view = HeapGraphView::new(&r);
+        let cold_out = cold.run(&mut view, &work);
+        let decided = cold_out.tally.cache_misses + cold_out.tally.cache_invalidated;
+        assert!(decided > 0);
+        assert_eq!(cold_out.tally.cache_hits, 0, "first run must be all misses");
+        assert_eq!(cold_out.tally.cache_invalidated, 0);
+        assert!(cold_out.tally.fresh_path_programs > 0);
+        assert_eq!(cold_store.len() as u64, decided, "write-through persists each decision");
+
+        for jobs in [1, 4] {
+            let store = Arc::new(DecisionStore::open(&dir, CacheMode::Read, &p).expect("reopen"));
+            let mut warm = RefutationScheduler::new(&p, &r, &m, SymexConfig::default(), jobs)
+                .with_store(store);
+            let mut view = HeapGraphView::new(&r);
+            let warm_out = warm.run(&mut view, &work);
+            let warm_refuted: Vec<bool> =
+                warm_out.verdicts.iter().map(JobVerdict::is_refuted).collect();
+            let cold_refuted: Vec<bool> =
+                cold_out.verdicts.iter().map(JobVerdict::is_refuted).collect();
+            assert_eq!(warm_refuted, cold_refuted, "jobs={jobs}");
+            assert_eq!(warm_out.tally.cache_hits, decided, "jobs={jobs}");
+            assert_eq!(warm_out.tally.cache_misses, 0, "jobs={jobs}");
+            assert_eq!(warm_out.tally.cache_invalidated, 0, "jobs={jobs}");
+            assert_eq!(
+                warm_out.tally.fresh_path_programs, 0,
+                "warm run must perform zero live path explorations (jobs={jobs})"
+            );
+            // Replayed deltas reproduce the cold run's merged stats.
+            assert_eq!(warm.stats(), cold.stats(), "jobs={jobs}");
+        }
+
+        // A different config must not reuse the records.
+        let store = Arc::new(DecisionStore::open(&dir, CacheMode::Read, &p).expect("reopen"));
+        let cfg = SymexConfig::default().with_budget(9_999);
+        let mut other = RefutationScheduler::new(&p, &r, &m, cfg, 1).with_store(store);
+        let mut view = HeapGraphView::new(&r);
+        let other_out = other.run(&mut view, &work);
+        assert_eq!(other_out.tally.cache_hits, 0, "config change must miss");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

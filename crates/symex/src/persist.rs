@@ -1,0 +1,916 @@
+//! Persistent cross-run refutation cache (`thresher.cache/1`).
+//!
+//! Edge decisions are pure functions of the program slice they examine,
+//! so they survive across processes: every decision the coordinator
+//! commits can be written through to an append-only JSONL store keyed by
+//! a content fingerprint, and a later run reuses any record whose
+//! fingerprint still matches. The fingerprint covers everything a search
+//! consults — the edge itself, its producer commands, the
+//! precision-relevant engine configuration, and the canonical printed
+//! text plus local points-to facts of every method in the edge's
+//! call-graph slice — so editing one method invalidates exactly the
+//! decisions whose slice contains it (or whose points-to facts it
+//! shifts) and nothing else. See DESIGN.md §14 for the invalidation
+//! soundness argument.
+//!
+//! # Store format
+//!
+//! One JSONL file (`decisions.jsonl`) per cache directory. The first
+//! line is a header `{"schema":"thresher.cache/1"}`; every other line is
+//! one decision record serialized with [`obs::json`]. Corruption
+//! degrades, never propagates: an unparseable or unresolvable line is
+//! skipped (counted under [`obs::Counter::CacheSkippedCorrupt`]), a
+//! truncated tail is just another skipped line, and a header mismatch
+//! discards the whole file — every failure mode falls back to a cold
+//! computation through the engine's existing resilience ladder, never a
+//! panic and never a wrong answer.
+//!
+//! # Identity across runs
+//!
+//! Nothing in a record or a fingerprint uses a numeric id: edges are
+//! rendered through canonical location/global/field names, methods
+//! through their canonical `Class.name` text, and witness traces as
+//! `(method name, command ordinal)` pairs resolved against the current
+//! program at load. Records therefore survive print/parse round trips
+//! and edits to unrelated methods, which renumber ids but preserve
+//! names.
+
+use std::collections::{HashMap, HashSet};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use obs::json::Value;
+use obs::{Counter, Hist, MetricsDelta};
+use pta::{HeapEdge, LocId, PtaResult};
+use tir::{CmdId, MethodId, Program};
+
+use crate::engine::EdgeDecision;
+use crate::stats::{RefutationCounts, SearchOutcome, SearchStats, StopReason, Witness};
+use crate::SymexConfig;
+
+/// The store schema identifier; a mismatch discards the whole file.
+pub const CACHE_SCHEMA: &str = "thresher.cache/1";
+
+/// File name of the decision store inside a cache directory.
+pub const CACHE_FILE: &str = "decisions.jsonl";
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a content hashing
+// ---------------------------------------------------------------------------
+
+/// Incremental FNV-1a 64-bit hasher (zero-dependency, stable across
+/// platforms and runs — unlike `DefaultHasher`, whose seed varies).
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        // Length-prefix-free framing: a NUL cannot appear in IR text, so
+        // adjacent fields cannot be confused by concatenation.
+        self.write(&[0]);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+/// Computes content fingerprints for edge decisions over one analyzed
+/// program. Per-method content hashes are precomputed; per-edge
+/// fingerprints are memoized behind a mutex so coordinator and workers
+/// can share one instance.
+pub struct Fingerprinter<'a> {
+    program: &'a Program,
+    pta: &'a PtaResult,
+    /// Canonical rendering of every precision-relevant config field.
+    config_key: String,
+    /// Per-method content hash, indexed by `MethodId`.
+    method_hash: Vec<u64>,
+    memo: Mutex<HashMap<HeapEdge, u64>>,
+}
+
+impl<'a> Fingerprinter<'a> {
+    /// Builds a fingerprinter, hashing every method's canonical content
+    /// up front.
+    pub fn new(program: &'a Program, pta: &'a PtaResult, config: &SymexConfig) -> Self {
+        let method_hash =
+            program.method_ids().map(|m| Self::hash_method(program, pta, m)).collect();
+        Fingerprinter {
+            program,
+            pta,
+            config_key: config_fingerprint_key(config),
+            method_hash,
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The canonical content hash of one method: its printed text plus
+    /// the points-to facts the search may consult while inside it (the
+    /// from-set of every local, and the dispatch targets of every call).
+    /// Any points-to shift that can influence a search through this
+    /// method shows up in some local's from-set, because Andersen's
+    /// closure folds loaded globals and fields into the loading local.
+    fn hash_method(program: &Program, pta: &PtaResult, m: MethodId) -> u64 {
+        let mut h = Fnv::new();
+        h.write_str(&program.method_name(m));
+        h.write_str(&tir::print_method_text(program, m));
+        for &v in &program.method(m).locals {
+            h.write_str(&program.var(v).name);
+            let mut names: Vec<String> =
+                pta.pt_var(v).iter().map(|i| pta.loc_name(program, LocId(i as u32))).collect();
+            names.sort_unstable();
+            for n in &names {
+                h.write_str(n);
+            }
+        }
+        for c in program.method_cmds(m) {
+            for &t in pta.call_targets(c) {
+                h.write_str(&program.method_name(t));
+            }
+        }
+        h.finish()
+    }
+
+    /// Canonical, id-free description of an edge — the invalidation key
+    /// linking records for the *same* edge across fingerprint changes.
+    pub fn edge_key(&self, edge: &HeapEdge) -> String {
+        let p = self.program;
+        match edge {
+            HeapEdge::Global { global, target } => {
+                format!("${} => {}", p.global(*global).name, self.pta.loc_name(p, *target))
+            }
+            HeapEdge::Field { base, field, target } => {
+                let f = p.field(*field);
+                format!(
+                    "{}.{}::{} => {}",
+                    self.pta.loc_name(p, *base),
+                    p.class(f.owner).name,
+                    f.name,
+                    self.pta.loc_name(p, *target)
+                )
+            }
+        }
+    }
+
+    /// The edge's mod-ref/call-graph slice: every method transitively
+    /// reachable from the producers' methods along the call graph, in
+    /// either direction (callees the search may enter, callers it may
+    /// propagate into). Sorted by canonical method name.
+    pub fn slice(&self, edge: &HeapEdge) -> Vec<MethodId> {
+        let mut set = HashSet::new();
+        let mut work = Vec::new();
+        for &c in self.pta.producers(edge) {
+            let m = self.program.cmd_method(c);
+            if set.insert(m) {
+                work.push(m);
+            }
+        }
+        while let Some(m) = work.pop() {
+            for c in self.program.method_cmds(m) {
+                for &t in self.pta.call_targets(c) {
+                    if set.insert(t) {
+                        work.push(t);
+                    }
+                }
+            }
+            for &c in self.pta.callers(m) {
+                let cm = self.program.cmd_method(c);
+                if set.insert(cm) {
+                    work.push(cm);
+                }
+            }
+        }
+        let mut v: Vec<MethodId> = set.into_iter().collect();
+        v.sort_by_key(|&m| self.program.method_name(m));
+        v
+    }
+
+    /// The content fingerprint keying this edge's decision record:
+    /// FNV-1a over the edge key, every producer command's rendering, the
+    /// config key, and every slice method's (name, content hash) pair.
+    pub fn fingerprint(&self, edge: &HeapEdge) -> u64 {
+        if let Some(&fp) = lock(&self.memo).get(edge) {
+            return fp;
+        }
+        let mut h = Fnv::new();
+        h.write_str(CACHE_SCHEMA);
+        h.write_str(&self.edge_key(edge));
+        for &c in self.pta.producers(edge) {
+            h.write_str(&self.program.method_name(self.program.cmd_method(c)));
+            h.write_str(&tir::print_cmd(self.program, self.program.cmd(c)));
+        }
+        h.write_str(&self.config_key);
+        for m in self.slice(edge) {
+            h.write_str(&self.program.method_name(m));
+            h.write_u64(self.method_hash[m.index()]);
+        }
+        let fp = h.finish();
+        lock(&self.memo).insert(*edge, fp);
+        fp
+    }
+}
+
+/// Canonical rendering of every [`SymexConfig`] field that can change a
+/// decision. All fields participate — including the deadlines and the
+/// fault-injection hook — so a record is only ever reused under the
+/// exact configuration that produced it.
+fn config_fingerprint_key(c: &SymexConfig) -> String {
+    format!(
+        "repr={:?};loop={:?};simp={};budget={};call_depth={};path_atoms={};iter_cap={};\
+         mat_bound={};trace_cap={};heap_cells={};edge_deadline={:?};total_deadline={:?};\
+         degrade={};hard_heap_cap={};inject={:?}",
+        c.representation,
+        c.loop_mode,
+        c.simplification,
+        c.budget,
+        c.max_call_depth,
+        c.max_path_atoms,
+        c.loop_iter_cap,
+        c.materialization_bound,
+        c.trace_cap,
+        c.max_heap_cells,
+        c.edge_deadline,
+        c.total_deadline,
+        c.degrade,
+        c.hard_heap_cap,
+        c.inject_panic_on_new,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------------
+
+/// Cache access policy for [`DecisionStore`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Read existing records and append newly committed decisions.
+    #[default]
+    ReadWrite,
+    /// Read existing records; never write.
+    Read,
+    /// Ignore the cache entirely (no store is opened).
+    Off,
+}
+
+impl std::str::FromStr for CacheMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CacheMode, String> {
+        match s {
+            "read-write" => Ok(CacheMode::ReadWrite),
+            "read" => Ok(CacheMode::Read),
+            "off" => Ok(CacheMode::Off),
+            other => Err(format!("unknown cache mode {other:?} (read-write|read|off)")),
+        }
+    }
+}
+
+/// Everything one committed edge decision produced — the persisted
+/// mirror of the scheduler's in-memory cache entry. Replaying `obs` and
+/// merging `stats` at commit reproduces the cold run's report exactly.
+#[derive(Clone)]
+pub struct PersistedDecision {
+    /// The decision (outcome, attempts, degradation flag).
+    pub decision: EdgeDecision,
+    /// Engine-statistics delta of the original computation.
+    pub stats: SearchStats,
+    /// Buffered metrics of the original computation.
+    pub obs: MetricsDelta,
+    /// Compute time of the original computation.
+    pub elapsed: Duration,
+}
+
+struct StoreInner {
+    records: HashMap<u64, PersistedDecision>,
+    /// Edge key → fingerprints present, for stale-record (invalidation)
+    /// detection.
+    edge_fps: HashMap<String, HashSet<u64>>,
+    file: Option<std::fs::File>,
+}
+
+/// The on-disk decision store: a versioned, append-only JSONL file of
+/// fingerprint-keyed decision records, loaded (and resolved against the
+/// current program) once at open. Thread-safe; lookups clone.
+pub struct DecisionStore {
+    mode: CacheMode,
+    path: PathBuf,
+    skipped_corrupt: u64,
+    inner: Mutex<StoreInner>,
+}
+
+impl DecisionStore {
+    /// Opens (and in read-write mode creates) the store under `dir`,
+    /// loading every resolvable record. Corrupt lines are skipped and
+    /// counted — once, here, under [`Counter::CacheSkippedCorrupt`] — and
+    /// a header mismatch discards the whole file (rewritten fresh in
+    /// read-write mode). Only I/O that makes the store unusable (an
+    /// uncreatable directory, an unopenable append handle) errors.
+    pub fn open(dir: &Path, mode: CacheMode, program: &Program) -> std::io::Result<DecisionStore> {
+        assert!(mode != CacheMode::Off, "CacheMode::Off opens no store");
+        if mode == CacheMode::ReadWrite {
+            std::fs::create_dir_all(dir)?;
+        }
+        let path = dir.join(CACHE_FILE);
+        let resolver = MethodResolver::new(program);
+        let mut records = HashMap::new();
+        let mut edge_fps: HashMap<String, HashSet<u64>> = HashMap::new();
+        let mut skipped = 0u64;
+        let mut discard_file = false;
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let mut lines = text.lines();
+                match lines.next() {
+                    Some(header) if header_ok(header) => {
+                        for line in lines {
+                            if line.trim().is_empty() {
+                                continue;
+                            }
+                            match parse_record(program, &resolver, line) {
+                                Some((fp, edge_key, d)) => {
+                                    edge_fps.entry(edge_key).or_default().insert(fp);
+                                    records.insert(fp, d);
+                                }
+                                None => skipped += 1,
+                            }
+                        }
+                    }
+                    Some(_) => {
+                        // Version/schema mismatch: the whole file is
+                        // unusable. Degrade to cold; start fresh on write.
+                        skipped += 1;
+                        discard_file = true;
+                    }
+                    None => {}
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(_) => {
+                // Unreadable (permissions, I/O error): degrade to cold.
+                skipped += 1;
+                discard_file = true;
+            }
+        }
+        let file = if mode == CacheMode::ReadWrite {
+            let fresh = discard_file || !path.exists();
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(!fresh)
+                .write(true)
+                .truncate(fresh)
+                .open(&path)?;
+            if fresh {
+                writeln!(f, "{}", header_line())?;
+            }
+            Some(f)
+        } else {
+            None
+        };
+        if skipped > 0 {
+            obs::add(Counter::CacheSkippedCorrupt, skipped);
+        }
+        Ok(DecisionStore {
+            mode,
+            path,
+            skipped_corrupt: skipped,
+            inner: Mutex::new(StoreInner { records, edge_fps, file }),
+        })
+    }
+
+    /// The store's access mode.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// Path of the backing JSONL file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records (and files) skipped as corrupt, truncated, or
+    /// version-mismatched at open.
+    pub fn skipped_corrupt(&self) -> u64 {
+        self.skipped_corrupt
+    }
+
+    /// Number of loaded (resolvable) records.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).records.len()
+    }
+
+    /// True when no record loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The record stored under `fp`, if any.
+    pub fn lookup(&self, fp: u64) -> Option<PersistedDecision> {
+        lock(&self.inner).records.get(&fp).cloned()
+    }
+
+    /// True when a record exists for this edge under a *different*
+    /// fingerprint — i.e. an edit invalidated a previously cached
+    /// decision for the same edge.
+    pub fn has_stale(&self, edge_key: &str, fp: u64) -> bool {
+        lock(&self.inner).edge_fps.get(edge_key).is_some_and(|s| s.iter().any(|&f| f != fp))
+    }
+
+    /// Writes one committed decision through to disk (read-write mode
+    /// only; a no-op otherwise or when `fp` is already stored). A
+    /// decision whose witness cannot be rendered canonically is silently
+    /// not persisted — it will simply be recomputed next run.
+    pub fn record(&self, program: &Program, fp: u64, edge_key: &str, d: &PersistedDecision) {
+        if self.mode != CacheMode::ReadWrite {
+            return;
+        }
+        let mut inner = lock(&self.inner);
+        if inner.records.contains_key(&fp) {
+            return;
+        }
+        let Some(value) = serialize_record(program, fp, edge_key, d) else { return };
+        if let Some(f) = &mut inner.file {
+            // A failed append leaves the in-memory tier intact; worst
+            // case the next run recomputes (and the partial line is
+            // skipped as corrupt).
+            let _ = writeln!(f, "{}", value.to_json());
+        }
+        inner.edge_fps.entry(edge_key.to_owned()).or_default().insert(fp);
+        inner.records.insert(fp, d.clone());
+    }
+}
+
+fn header_line() -> String {
+    Value::Obj(vec![("schema".to_owned(), Value::str(CACHE_SCHEMA))]).to_json()
+}
+
+fn header_ok(line: &str) -> bool {
+    obs::json::parse(line)
+        .ok()
+        .and_then(|v| v.get("schema").and_then(Value::as_str).map(|s| s == CACHE_SCHEMA))
+        .unwrap_or(false)
+}
+
+// ---------------------------------------------------------------------------
+// Record (de)serialization
+// ---------------------------------------------------------------------------
+
+/// Name-keyed method/command resolution for witness traces.
+struct MethodResolver {
+    by_name: HashMap<String, MethodId>,
+    cmds: HashMap<MethodId, Vec<CmdId>>,
+}
+
+impl MethodResolver {
+    fn new(program: &Program) -> Self {
+        let mut by_name = HashMap::new();
+        let mut cmds = HashMap::new();
+        for m in program.method_ids() {
+            by_name.insert(program.method_name(m), m);
+            cmds.insert(m, program.method_cmds(m));
+        }
+        MethodResolver { by_name, cmds }
+    }
+
+    fn resolve(&self, name: &str, ordinal: usize) -> Option<CmdId> {
+        let m = *self.by_name.get(name)?;
+        self.cmds.get(&m)?.get(ordinal).copied()
+    }
+}
+
+fn serialize_witness(program: &Program, w: &Witness) -> Option<Value> {
+    let mut steps = Vec::with_capacity(w.trace.len());
+    for &c in &w.trace {
+        let m = program.cmd_method(c);
+        let ordinal = program.method_cmds(m).iter().position(|&x| x == c)?;
+        steps.push(Value::Arr(vec![
+            Value::str(program.method_name(m)),
+            Value::uint(ordinal as u64),
+        ]));
+    }
+    Some(Value::Obj(vec![
+        ("trace".to_owned(), Value::Arr(steps)),
+        ("final_query".to_owned(), Value::str(w.final_query.clone())),
+    ]))
+}
+
+fn parse_witness(resolver: &MethodResolver, v: &Value) -> Option<Witness> {
+    let mut trace = Vec::new();
+    for step in v.get("trace")?.as_arr()? {
+        let pair = step.as_arr()?;
+        let [name, ordinal] = pair else { return None };
+        let c = resolver.resolve(name.as_str()?, usize::try_from(ordinal.as_u64()?).ok()?)?;
+        trace.push(c);
+    }
+    let final_query = v.get("final_query")?.as_str()?.to_owned();
+    Some(Witness { trace, final_query })
+}
+
+fn serialize_outcome(program: &Program, o: &SearchOutcome) -> Option<Value> {
+    Some(match o {
+        SearchOutcome::Refuted => Value::Obj(vec![("kind".to_owned(), Value::str("refuted"))]),
+        SearchOutcome::Witnessed(w) => Value::Obj(vec![
+            ("kind".to_owned(), Value::str("witnessed")),
+            ("witness".to_owned(), serialize_witness(program, w)?),
+        ]),
+        SearchOutcome::Aborted(r) => Value::Obj(vec![
+            ("kind".to_owned(), Value::str("aborted")),
+            ("reason".to_owned(), Value::str(r.to_string())),
+        ]),
+    })
+}
+
+fn parse_outcome(resolver: &MethodResolver, v: &Value) -> Option<SearchOutcome> {
+    match v.get("kind")?.as_str()? {
+        "refuted" => Some(SearchOutcome::Refuted),
+        "witnessed" => Some(SearchOutcome::Witnessed(parse_witness(resolver, v.get("witness")?)?)),
+        "aborted" => {
+            let reason: StopReason = v.get("reason")?.as_str()?.parse().ok()?;
+            Some(SearchOutcome::Aborted(reason))
+        }
+        _ => None,
+    }
+}
+
+/// Field order doubles as the schema: (name, getter) pairs shared by the
+/// serializer and the parser so they cannot drift apart.
+const STAT_FIELDS: [&str; 11] = [
+    "path_programs",
+    "cmds_executed",
+    "subsumed",
+    "loop_fixpoints",
+    "calls_skipped_irrelevant",
+    "calls_skipped_depth",
+    "refuted_empty_region",
+    "refuted_separation",
+    "refuted_pure",
+    "refuted_allocation",
+    "refuted_entry",
+];
+
+fn stats_values(s: &SearchStats) -> [u64; 11] {
+    [
+        s.path_programs,
+        s.cmds_executed,
+        s.subsumed,
+        s.loop_fixpoints,
+        s.calls_skipped_irrelevant,
+        s.calls_skipped_depth,
+        s.refutations.empty_region,
+        s.refutations.separation,
+        s.refutations.pure,
+        s.refutations.allocation,
+        s.refutations.entry,
+    ]
+}
+
+fn serialize_stats(s: &SearchStats) -> Value {
+    Value::Obj(
+        STAT_FIELDS
+            .iter()
+            .zip(stats_values(s))
+            .map(|(&k, v)| (k.to_owned(), Value::uint(v)))
+            .collect(),
+    )
+}
+
+fn parse_stats(v: &Value) -> Option<SearchStats> {
+    let mut n = [0u64; 11];
+    for (slot, &key) in n.iter_mut().zip(STAT_FIELDS.iter()) {
+        *slot = v.get(key)?.as_u64()?;
+    }
+    Some(SearchStats {
+        path_programs: n[0],
+        cmds_executed: n[1],
+        subsumed: n[2],
+        loop_fixpoints: n[3],
+        calls_skipped_irrelevant: n[4],
+        calls_skipped_depth: n[5],
+        refutations: RefutationCounts {
+            empty_region: n[6],
+            separation: n[7],
+            pure: n[8],
+            allocation: n[9],
+            entry: n[10],
+        },
+    })
+}
+
+fn serialize_delta(d: &MetricsDelta) -> Value {
+    let counters = Counter::ALL
+        .iter()
+        .filter(|&&c| d.counter(c) > 0)
+        .map(|&c| Value::Arr(vec![Value::str(c.name()), Value::uint(d.counter(c))]))
+        .collect();
+    let observations = d
+        .observations()
+        .iter()
+        .map(|&(h, v)| Value::Arr(vec![Value::str(h.name()), Value::uint(v)]))
+        .collect();
+    Value::Obj(vec![
+        ("counters".to_owned(), Value::Arr(counters)),
+        ("observations".to_owned(), Value::Arr(observations)),
+    ])
+}
+
+fn parse_delta(v: &Value) -> Option<MetricsDelta> {
+    let mut counters = Vec::new();
+    for pair in v.get("counters")?.as_arr()? {
+        let [name, n] = pair.as_arr()? else { return None };
+        counters.push((Counter::from_name(name.as_str()?)?, n.as_u64()?));
+    }
+    let mut observations = Vec::new();
+    for pair in v.get("observations")?.as_arr()? {
+        let [name, val] = pair.as_arr()? else { return None };
+        observations.push((Hist::from_name(name.as_str()?)?, val.as_u64()?));
+    }
+    Some(MetricsDelta::from_parts(counters, observations))
+}
+
+fn serialize_record(
+    program: &Program,
+    fp: u64,
+    edge_key: &str,
+    d: &PersistedDecision,
+) -> Option<Value> {
+    Some(Value::Obj(vec![
+        ("fp".to_owned(), Value::str(format!("{fp:016x}"))),
+        ("edge".to_owned(), Value::str(edge_key)),
+        ("outcome".to_owned(), serialize_outcome(program, &d.decision.outcome)?),
+        ("attempts".to_owned(), Value::uint(u64::from(d.decision.attempts))),
+        ("degraded".to_owned(), Value::Bool(d.decision.degraded)),
+        ("stats".to_owned(), serialize_stats(&d.stats)),
+        ("obs".to_owned(), serialize_delta(&d.obs)),
+        (
+            "elapsed_ns".to_owned(),
+            Value::uint(d.elapsed.as_nanos().min(u128::from(u64::MAX)) as u64),
+        ),
+    ]))
+}
+
+fn parse_record(
+    program: &Program,
+    resolver: &MethodResolver,
+    line: &str,
+) -> Option<(u64, String, PersistedDecision)> {
+    let _ = program;
+    let v = obs::json::parse(line).ok()?;
+    let fp = u64::from_str_radix(v.get("fp")?.as_str()?, 16).ok()?;
+    let edge_key = v.get("edge")?.as_str()?.to_owned();
+    let outcome = parse_outcome(resolver, v.get("outcome")?)?;
+    let attempts = u32::try_from(v.get("attempts")?.as_u64()?).ok()?;
+    let degraded = match v.get("degraded")? {
+        Value::Bool(b) => *b,
+        _ => return None,
+    };
+    let stats = parse_stats(v.get("stats")?)?;
+    let obs = parse_delta(v.get("obs")?)?;
+    let elapsed = Duration::from_nanos(v.get("elapsed_ns")?.as_u64()?);
+    Some((
+        fp,
+        edge_key,
+        PersistedDecision {
+            decision: EdgeDecision { outcome, attempts, degraded },
+            stats,
+            obs,
+            elapsed,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta::ContextPolicy;
+
+    const SRC: &str = r#"
+class Box { field item: Object; }
+global CACHE: Box;
+fn helper(o: Object): Object {
+  return o;
+}
+fn main() {
+  var b: Box;
+  var s: Object;
+  b = new Box @box0;
+  s = new Object @str0;
+  s = call helper(s);
+  b.item = s;
+  $CACHE = b;
+}
+entry main;
+"#;
+
+    fn setup(src: &str) -> (Program, PtaResult) {
+        let p = tir::parse(src).expect("parse");
+        let r = pta::analyze(&p, ContextPolicy::Insensitive);
+        (p, r)
+    }
+
+    fn some_edge(p: &Program, r: &PtaResult) -> HeapEdge {
+        let g = p.global_by_name("CACHE").unwrap();
+        let target = r.pt_global(g).iter().next().unwrap();
+        HeapEdge::Global { global: g, target: LocId(target as u32) }
+    }
+
+    fn sample_decision() -> PersistedDecision {
+        let stats = SearchStats { path_programs: 3, cmds_executed: 17, ..Default::default() };
+        let obs = MetricsDelta::from_parts(
+            [(Counter::EdgesRefuted, 1), (Counter::PathPrograms, 3)],
+            vec![(Hist::EdgeMicros, 42)],
+        );
+        PersistedDecision {
+            decision: EdgeDecision {
+                outcome: SearchOutcome::Refuted,
+                attempts: 1,
+                degraded: false,
+            },
+            stats,
+            obs,
+            elapsed: Duration::from_micros(42),
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_edit_sensitive() {
+        let (p, r) = setup(SRC);
+        let cfg = SymexConfig::default();
+        let edge = some_edge(&p, &r);
+        let fpr1 = Fingerprinter::new(&p, &r, &cfg);
+        let fpr2 = Fingerprinter::new(&p, &r, &cfg);
+        assert_eq!(fpr1.fingerprint(&edge), fpr2.fingerprint(&edge), "not deterministic");
+
+        // A print/parse round trip renumbers ids but preserves content.
+        let p2 = tir::parse(&tir::print_program(&p)).expect("round trip");
+        let r2 = pta::analyze(&p2, ContextPolicy::Insensitive);
+        let edge2 = some_edge(&p2, &r2);
+        let fpr3 = Fingerprinter::new(&p2, &r2, &cfg);
+        assert_eq!(fpr1.fingerprint(&edge), fpr3.fingerprint(&edge2), "not id-free");
+        assert_eq!(fpr1.edge_key(&edge), fpr3.edge_key(&edge2));
+
+        // Editing a slice method changes the fingerprint.
+        let edited = SRC.replace("return o;", "var t: Object;\n  t = o;\n  return t;");
+        let (p3, r3) = setup(&edited);
+        let edge3 = some_edge(&p3, &r3);
+        let fpr4 = Fingerprinter::new(&p3, &r3, &cfg);
+        assert_ne!(fpr1.fingerprint(&edge), fpr4.fingerprint(&edge3), "edit not detected");
+        assert_eq!(fpr1.edge_key(&edge), fpr4.edge_key(&edge3), "edge key must survive edits");
+
+        // A different config changes the fingerprint too.
+        let fpr5 = Fingerprinter::new(&p, &r, &cfg.clone().with_budget(7));
+        assert_ne!(fpr1.fingerprint(&edge), fpr5.fingerprint(&edge));
+    }
+
+    #[test]
+    fn slice_contains_producers_and_callees() {
+        let (p, r) = setup(SRC);
+        let fpr = Fingerprinter::new(&p, &r, &SymexConfig::default());
+        let edge = some_edge(&p, &r);
+        let names: Vec<String> = fpr.slice(&edge).into_iter().map(|m| p.method_name(m)).collect();
+        assert!(names.contains(&"main".to_owned()), "{names:?}");
+        assert!(names.contains(&"helper".to_owned()), "{names:?}");
+    }
+
+    #[test]
+    fn store_round_trips_records() {
+        let (p, r) = setup(SRC);
+        let fpr = Fingerprinter::new(&p, &r, &SymexConfig::default());
+        let edge = some_edge(&p, &r);
+        let fp = fpr.fingerprint(&edge);
+        let key = fpr.edge_key(&edge);
+        let dir = std::env::temp_dir().join(format!("thresher-persist-{fp:x}"));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let store = DecisionStore::open(&dir, CacheMode::ReadWrite, &p).unwrap();
+        assert!(store.is_empty());
+        store.record(&p, fp, &key, &sample_decision());
+        assert_eq!(store.len(), 1);
+        drop(store);
+
+        let store = DecisionStore::open(&dir, CacheMode::Read, &p).unwrap();
+        assert_eq!(store.skipped_corrupt(), 0);
+        let d = store.lookup(fp).expect("record survives reopen");
+        assert!(d.decision.outcome.is_refuted());
+        assert_eq!(d.stats.path_programs, 3);
+        assert_eq!(d.obs.counter(Counter::EdgesRefuted), 1);
+        assert_eq!(d.obs.observations(), &[(Hist::EdgeMicros, 42)]);
+        assert_eq!(d.elapsed, Duration::from_micros(42));
+        assert!(!store.has_stale(&key, fp));
+        assert!(store.has_stale(&key, fp ^ 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn witness_round_trips_by_name_and_ordinal() {
+        let (p, r) = setup(SRC);
+        let resolver = MethodResolver::new(&p);
+        let main = p.method_ids().find(|&m| p.method_name(m) == "main").unwrap();
+        let cmds = p.method_cmds(main);
+        let w = Witness { trace: vec![cmds[0], cmds[2]], final_query: "q".to_owned() };
+        let v = serialize_witness(&p, &w).unwrap();
+        let back = parse_witness(&resolver, &v).unwrap();
+        assert_eq!(back.trace, w.trace);
+        assert_eq!(back.final_query, w.final_query);
+        let _ = r;
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_not_fatal() {
+        let (p, _r) = setup(SRC);
+        let dir = std::env::temp_dir().join("thresher-persist-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = serialize_record(&p, 7, "$CACHE => box0", &sample_decision()).unwrap();
+        std::fs::write(
+            dir.join(CACHE_FILE),
+            format!(
+                "{}\nnot json at all\n{}\n{{\"fp\":\"zz\"}}\n{{\"truncat",
+                header_line(),
+                good.to_json()
+            ),
+        )
+        .unwrap();
+        let store = DecisionStore::open(&dir, CacheMode::Read, &p).unwrap();
+        assert_eq!(store.len(), 1, "the good record loads");
+        assert_eq!(store.skipped_corrupt(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_discards_file() {
+        let (p, _r) = setup(SRC);
+        let dir = std::env::temp_dir().join("thresher-persist-version");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = serialize_record(&p, 7, "$CACHE => box0", &sample_decision()).unwrap();
+        std::fs::write(
+            dir.join(CACHE_FILE),
+            format!("{{\"schema\":\"thresher.cache/999\"}}\n{}", good.to_json()),
+        )
+        .unwrap();
+        let store = DecisionStore::open(&dir, CacheMode::Read, &p).unwrap();
+        assert!(store.is_empty(), "mismatched file must be ignored wholesale");
+        assert_eq!(store.skipped_corrupt(), 1);
+
+        // Read-write mode starts the file over with a fresh header.
+        let store = DecisionStore::open(&dir, CacheMode::ReadWrite, &p).unwrap();
+        store.record(&p, 7, "$CACHE => box0", &sample_decision());
+        drop(store);
+        let store = DecisionStore::open(&dir, CacheMode::Read, &p).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.skipped_corrupt(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_mode_never_writes() {
+        let (p, _r) = setup(SRC);
+        let dir = std::env::temp_dir().join("thresher-persist-readonly");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(CACHE_FILE), format!("{}\n", header_line())).unwrap();
+        let store = DecisionStore::open(&dir, CacheMode::Read, &p).unwrap();
+        store.record(&p, 7, "$CACHE => box0", &sample_decision());
+        assert!(store.is_empty());
+        drop(store);
+        let text = std::fs::read_to_string(dir.join(CACHE_FILE)).unwrap();
+        assert_eq!(text.lines().count(), 1, "read mode must not append");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_mode_parses() {
+        assert_eq!("read-write".parse::<CacheMode>(), Ok(CacheMode::ReadWrite));
+        assert_eq!("read".parse::<CacheMode>(), Ok(CacheMode::Read));
+        assert_eq!("off".parse::<CacheMode>(), Ok(CacheMode::Off));
+        assert!("rw".parse::<CacheMode>().is_err());
+    }
+}

@@ -56,6 +56,6 @@ pub mod validate;
 pub use builder::{MethodBuilder, ProgramBuilder};
 pub use ids::{AllocId, ClassId, CmdId, FieldId, GlobalId, MethodId, VarId};
 pub use parser::{parse, ParseError};
-pub use printer::{print_cmd, print_program};
+pub use printer::{print_cmd, print_method_text, print_program};
 pub use program::{AllocSite, Class, Field, Global, Method, Program, Ty, VarInfo};
 pub use stmt::{BinOp, Callee, CmpOp, Command, Cond, Operand, Stmt};

@@ -57,6 +57,16 @@ fn print_class(program: &Program, c: ClassId, out: &mut String) {
     let _ = writeln!(out, "}}");
 }
 
+/// Renders one method — signature and body — in the textual IR syntax.
+/// The rendering is canonical (independent of numeric ids), which makes
+/// it a stable content key for caches that must survive print/parse
+/// round trips and edits to unrelated methods.
+pub fn print_method_text(program: &Program, m: MethodId) -> String {
+    let mut out = String::new();
+    print_method(program, m, 0, &mut out);
+    out
+}
+
 fn print_method(program: &Program, m: MethodId, indent: usize, out: &mut String) {
     let method = program.method(m);
     let pad = " ".repeat(indent);

@@ -222,3 +222,134 @@ fn pressured_outcomes_are_a_subset_flip_to_abort_only() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Persistent-cache fault containment: a damaged `decisions.jsonl` must
+// degrade the run to cold — never panic, never change an answer.
+
+/// Decides the capped canonical edge set of `program` through a scheduler
+/// backed by `dir`, returning the per-edge refuted bits, the tally, and the
+/// store's corrupt-line count.
+fn decide_cached(
+    program: &Program,
+    dir: &std::path::Path,
+    mode: symex::CacheMode,
+) -> (Vec<bool>, symex::Tally, u64) {
+    use std::sync::Arc;
+    let pta = pta::analyze(program, ContextPolicy::Insensitive);
+    let modref = ModRef::compute(program, &pta);
+    let mut edges = all_edges(program, &pta);
+    edges.sort(); // heap_entries iterates a HashMap; canonicalize the cap
+    edges.truncate(EDGE_CAP);
+    let store = symex::DecisionStore::open(dir, mode, program).expect("open store despite damage");
+    let skipped = store.skipped_corrupt();
+    let mut sched =
+        symex::RefutationScheduler::new(program, &pta, &modref, SymexConfig::default(), 1)
+            .with_store(Arc::new(store));
+    let mut tally = symex::Tally::default();
+    let refuted = edges
+        .iter()
+        .map(|e| matches!(sched.decide_edge(*e, &mut tally), symex::EdgeAnswer::Refuted))
+        .collect();
+    (refuted, tally, skipped)
+}
+
+fn cache_test_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("thresher-fault-cache-{tag}-{}", std::process::id()))
+}
+
+fn small_corpus_program() -> Program {
+    let src = fs::read_to_string(corpus_dir().join("droidlife.tir")).expect("read droidlife");
+    tir::parse(&src).expect("parse droidlife")
+}
+
+#[test]
+fn bit_flipped_cache_records_degrade_to_cold() {
+    let program = small_corpus_program();
+    let dir = cache_test_dir("bitflip");
+    let _ = fs::remove_dir_all(&dir);
+    let (cold, _, _) = decide_cached(&program, &dir, symex::CacheMode::ReadWrite);
+
+    // Flip a byte in the middle of every record line (the header survives).
+    let path = dir.join(symex::persist::CACHE_FILE);
+    let text = fs::read_to_string(&path).expect("read cache file");
+    let mangled: Vec<String> = text
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            if i == 0 || line.len() < 8 {
+                line.to_owned()
+            } else {
+                let mut bytes = line.as_bytes().to_vec();
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x5a;
+                String::from_utf8_lossy(&bytes).into_owned()
+            }
+        })
+        .collect();
+    fs::write(&path, mangled.join("\n") + "\n").expect("write mangled cache");
+
+    let (warm, tally, skipped) = decide_cached(&program, &dir, symex::CacheMode::Read);
+    assert_eq!(cold, warm, "corrupt cache changed an answer");
+    assert!(skipped > 0, "no corrupt line was detected");
+    assert_eq!(tally.cache_hits, 0, "a mangled record was served");
+    assert_eq!(tally.cache_misses, cold.len() as u64, "every decision must recompute cold");
+}
+
+#[test]
+fn truncated_cache_degrades_to_cold() {
+    let program = small_corpus_program();
+    let dir = cache_test_dir("truncate");
+    let _ = fs::remove_dir_all(&dir);
+    let (cold, _, _) = decide_cached(&program, &dir, symex::CacheMode::ReadWrite);
+
+    // Cut the file mid-record: everything before the cut stays usable,
+    // the severed line is skipped, nothing panics.
+    let path = dir.join(symex::persist::CACHE_FILE);
+    let bytes = fs::read(&path).expect("read cache file");
+    let cut = bytes.len() * 3 / 5;
+    fs::write(&path, &bytes[..cut]).expect("truncate cache");
+
+    let (warm, tally, skipped) = decide_cached(&program, &dir, symex::CacheMode::Read);
+    assert_eq!(cold, warm, "truncated cache changed an answer");
+    assert!(skipped >= 1, "the severed record was not counted as corrupt");
+    assert_eq!(
+        tally.cache_hits + tally.cache_misses,
+        cold.len() as u64,
+        "every edge is either served from the surviving prefix or recomputed"
+    );
+    assert_eq!(tally.fresh_path_programs > 0, tally.cache_misses > 0);
+}
+
+#[test]
+fn wrong_version_cache_is_discarded_then_rebuilt() {
+    let program = small_corpus_program();
+    let dir = cache_test_dir("version");
+    let _ = fs::remove_dir_all(&dir);
+    let (cold, _, _) = decide_cached(&program, &dir, symex::CacheMode::ReadWrite);
+
+    // A future/foreign schema version makes the whole file unusable.
+    let path = dir.join(symex::persist::CACHE_FILE);
+    let text = fs::read_to_string(&path).expect("read cache file");
+    let mut lines: Vec<&str> = text.lines().collect();
+    let bad_header = "{\"schema\":\"thresher.cache/999\"}";
+    lines[0] = bad_header;
+    fs::write(&path, lines.join("\n") + "\n").expect("write wrong-version cache");
+
+    // Read-write reopen: degrade to cold AND start a fresh file.
+    let (warm, tally, skipped) = decide_cached(&program, &dir, symex::CacheMode::ReadWrite);
+    assert_eq!(cold, warm, "version-mismatched cache changed an answer");
+    assert_eq!(skipped, 1, "the mismatched header counts as one skipped record");
+    assert_eq!(tally.cache_hits, 0, "a record outlived its schema");
+    assert_eq!(tally.cache_misses, cold.len() as u64);
+
+    // The rewrite restored a valid store: the next run is fully warm.
+    let (rewarm, tally2, skipped2) = decide_cached(&program, &dir, symex::CacheMode::Read);
+    assert_eq!(cold, rewarm);
+    assert_eq!(skipped2, 0, "the rebuilt store must be clean");
+    assert_eq!(tally2.cache_hits, cold.len() as u64);
+    assert_eq!(tally2.cache_misses, 0);
+    assert_eq!(tally2.fresh_path_programs, 0);
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,383 @@
+//! Interpreter-backed soundness fuzzing for the persistent refutation
+//! cache.
+//!
+//! Random programs — compositions of the corpus motifs (field chains,
+//! call rings, global hand-offs, virtual dispatch fans, concrete loops,
+//! non-deterministic choices) — are executed by the real `tir::interp`
+//! under random oracle schedules. Every field/global edge the concrete
+//! run produces must map to an *unrefuted* points-to edge, and the
+//! property must survive the whole cache lifecycle:
+//!
+//! 1. **cold** — decisions computed live and written through to a fresh
+//!    on-disk [`DecisionStore`];
+//! 2. **warm** — a second scheduler over the same directory must serve
+//!    every decision from disk (zero misses, zero live path programs)
+//!    and still refute none of the concrete edges;
+//! 3. **`--jobs 4`** — a parallel scheduler consulting the same store
+//!    must witness (never refute) reachability for every concrete
+//!    global hand-off.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use minicheck::{run_cases, Rng};
+use pta::{BitSet, ContextPolicy, HeapEdge, HeapGraphView, LocId, ModRef, PtaResult};
+use symex::{
+    CacheMode, DecisionStore, EdgeAnswer, JobVerdict, ReachJob, RefutationScheduler, SymexConfig,
+    Tally,
+};
+use tir::interp::{Interp, Oracle};
+use tir::{CmpOp, Cond, GlobalId, Operand, Program, ProgramBuilder, Ty, VarId};
+
+/// Data vars in the pool (`d0`, `d1`).
+const ND: usize = 2;
+/// Object vars in the pool (`o0`..`o2`).
+const NO: usize = 3;
+/// Object-typed globals (`G0`, `G1`).
+const NG: usize = 2;
+
+/// One random motif, mirroring the corpus generator's structural
+/// vocabulary (`apps::scale`): linked-data stores, copy rings through
+/// calls, global hand-offs, dispatch fans, loops.
+#[derive(Clone, Debug)]
+enum Motif {
+    /// `d_a.next = d_b`
+    LinkNext { a: usize, b: usize },
+    /// `d.payload = o`
+    StorePayload { d: usize, o: usize },
+    /// `t = d_from.payload; d_to.payload = t`
+    LoadStore { from: usize, to: usize },
+    /// `call ring0(d, o)` — the store happens two calls deep.
+    RingStore { d: usize, o: usize },
+    /// `call handoff(o)` — writes `$G0` inside the callee.
+    Handoff { o: usize },
+    /// `$G = o`
+    GWrite { g: usize, o: usize },
+    /// `t = $G; d.payload = t`
+    GReadStore { g: usize, d: usize },
+    /// `b = new SubA/SubB; b.slot = o; t = call b.get(); d.payload = t`
+    /// (`SubA::get` returns the slot, `SubB::get` returns null).
+    DispatchStore { sub_b: bool, o: usize, d: usize },
+    /// `i = 0; while (i < iters) { d.payload = o; i = i + 1; }`
+    LoopStore { d: usize, o: usize, iters: u8 },
+    /// `choice { d.payload = left } or { d.payload = right }` — resolved
+    /// by the oracle schedule.
+    ChoiceStore { d: usize, left: usize, right: usize },
+    /// `loop { d.payload = o; }` — iteration count from the oracle.
+    NondetStore { d: usize, o: usize },
+}
+
+fn arb_motifs(rng: &mut Rng) -> Vec<Motif> {
+    let len = rng.usize_in(2, 8);
+    (0..len)
+        .map(|_| match rng.below(11) {
+            0 => Motif::LinkNext { a: rng.below(ND), b: rng.below(ND) },
+            1 => Motif::StorePayload { d: rng.below(ND), o: rng.below(NO) },
+            2 => Motif::LoadStore { from: rng.below(ND), to: rng.below(ND) },
+            3 => Motif::RingStore { d: rng.below(ND), o: rng.below(NO) },
+            4 => Motif::Handoff { o: rng.below(NO) },
+            5 => Motif::GWrite { g: rng.below(NG), o: rng.below(NO) },
+            6 => Motif::GReadStore { g: rng.below(NG), d: rng.below(ND) },
+            7 => Motif::DispatchStore { sub_b: rng.bool(), o: rng.below(NO), d: rng.below(ND) },
+            8 => Motif::LoopStore { d: rng.below(ND), o: rng.below(NO), iters: rng.below(3) as u8 },
+            9 => Motif::ChoiceStore { d: rng.below(ND), left: rng.below(NO), right: rng.below(NO) },
+            _ => Motif::NondetStore { d: rng.below(ND), o: rng.below(NO) },
+        })
+        .collect()
+}
+
+fn arb_oracle(rng: &mut Rng) -> Oracle {
+    let choices = (0..rng.usize_in(0, 16)).map(|_| rng.bool()).collect();
+    let loop_iters = (0..rng.usize_in(0, 8)).map(|_| rng.below(3) as u32).collect();
+    Oracle::scripted(choices, loop_iters)
+}
+
+fn build(motifs: &[Motif]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let object = b.object_class();
+    let data = b.class("Data", None);
+    let next_f = b.field(data, "next", Ty::Ref(data));
+    let payload_f = b.field(data, "payload", Ty::Ref(object));
+    let base = b.class("Base", None);
+    let slot_f = b.field(base, "slot", Ty::Ref(object));
+    let sub_a = b.class("SubA", Some(base));
+    let sub_b = b.class("SubB", Some(base));
+    let globals: Vec<GlobalId> =
+        (0..NG).map(|i| b.global(&format!("G{i}"), Ty::Ref(object))).collect();
+
+    // Dispatch fan: SubA::get hands the slot back, SubB::get drops it.
+    b.method(Some(base), "get", &[], Some(Ty::Ref(object)), |mb| {
+        let r = mb.var("r", Ty::Ref(object));
+        mb.read_field(r, mb.this(), slot_f);
+        mb.ret(r);
+    });
+    b.method(Some(sub_a), "get", &[], Some(Ty::Ref(object)), |mb| {
+        let r = mb.var("r", Ty::Ref(object));
+        mb.read_field(r, mb.this(), slot_f);
+        mb.ret(r);
+    });
+    b.method(Some(sub_b), "get", &[], Some(Ty::Ref(object)), |mb| {
+        mb.ret(Operand::Null);
+    });
+
+    // Copy ring: the payload store happens two static calls deep.
+    let ring2 =
+        b.method(None, "ring2", &[("d", Ty::Ref(data)), ("o", Ty::Ref(object))], None, |mb| {
+            let (d, o) = (mb.param(0), mb.param(1));
+            mb.write_field(d, payload_f, o);
+        });
+    let ring1 =
+        b.method(None, "ring1", &[("d", Ty::Ref(data)), ("o", Ty::Ref(object))], None, |mb| {
+            let (d, o) = (mb.param(0), mb.param(1));
+            mb.call_static(None, ring2, &[Operand::Var(d), Operand::Var(o)]);
+        });
+    let ring0 =
+        b.method(None, "ring0", &[("d", Ty::Ref(data)), ("o", Ty::Ref(object))], None, |mb| {
+            let (d, o) = (mb.param(0), mb.param(1));
+            mb.call_static(None, ring1, &[Operand::Var(d), Operand::Var(o)]);
+        });
+
+    // Global hand-off through a callee.
+    let g0 = globals[0];
+    let handoff = b.method(None, "handoff", &[("o", Ty::Ref(object))], None, |mb| {
+        let o = mb.param(0);
+        mb.write_global(g0, o);
+    });
+
+    let main = b.method(None, "main", &[], None, |mb| {
+        let d: Vec<VarId> = (0..ND).map(|i| mb.var(&format!("d{i}"), Ty::Ref(data))).collect();
+        let o: Vec<VarId> = (0..NO).map(|i| mb.var(&format!("o{i}"), Ty::Ref(object))).collect();
+        let bv = mb.var("bv", Ty::Ref(base));
+        let tv = mb.var("tv", Ty::Ref(object));
+        let iv = mb.var("iv", Ty::Int);
+        for (i, &dv) in d.iter().enumerate() {
+            mb.new_obj(dv, data, &format!("data{i}"));
+        }
+        for (i, &ov) in o.iter().enumerate() {
+            mb.new_obj(ov, object, &format!("obj{i}"));
+        }
+        for (k, m) in motifs.iter().enumerate() {
+            match m {
+                Motif::LinkNext { a, b } => {
+                    mb.write_field(d[*a], next_f, d[*b]);
+                }
+                Motif::StorePayload { d: di, o: oi } => {
+                    mb.write_field(d[*di], payload_f, o[*oi]);
+                }
+                Motif::LoadStore { from, to } => {
+                    mb.read_field(tv, d[*from], payload_f);
+                    mb.write_field(d[*to], payload_f, tv);
+                }
+                Motif::RingStore { d: di, o: oi } => {
+                    mb.call_static(None, ring0, &[Operand::Var(d[*di]), Operand::Var(o[*oi])]);
+                }
+                Motif::Handoff { o: oi } => {
+                    mb.call_static(None, handoff, &[Operand::Var(o[*oi])]);
+                }
+                Motif::GWrite { g, o: oi } => {
+                    mb.write_global(globals[*g], o[*oi]);
+                }
+                Motif::GReadStore { g, d: di } => {
+                    mb.read_global(tv, globals[*g]);
+                    mb.write_field(d[*di], payload_f, tv);
+                }
+                Motif::DispatchStore { sub_b: use_b, o: oi, d: di } => {
+                    let class = if *use_b { sub_b } else { sub_a };
+                    mb.new_obj(bv, class, &format!("disp{k}"));
+                    mb.write_field(bv, slot_f, o[*oi]);
+                    mb.call_virtual(Some(tv), bv, "get", &[]);
+                    mb.write_field(d[*di], payload_f, tv);
+                }
+                Motif::LoopStore { d: di, o: oi, iters } => {
+                    mb.assign(iv, 0);
+                    let (dv, ov) = (d[*di], o[*oi]);
+                    mb.while_(Cond::cmp(CmpOp::Lt, iv, i64::from(*iters)), |mb| {
+                        mb.write_field(dv, payload_f, ov);
+                        mb.binop(iv, tir::BinOp::Add, iv, 1);
+                    });
+                }
+                Motif::ChoiceStore { d: di, left, right } => {
+                    let (dv, lv, rv) = (d[*di], o[*left], o[*right]);
+                    mb.choice(
+                        |mb| {
+                            mb.write_field(dv, payload_f, lv);
+                        },
+                        |mb| {
+                            mb.write_field(dv, payload_f, rv);
+                        },
+                    );
+                }
+                Motif::NondetStore { d: di, o: oi } => {
+                    let (dv, ov) = (d[*di], o[*oi]);
+                    mb.loop_(|mb| {
+                        mb.write_field(dv, payload_f, ov);
+                    });
+                }
+            }
+        }
+    });
+    b.set_entry(main);
+    b.finish()
+}
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_cache_dir() -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("thresher-interp-fuzz-{}-{n}", std::process::id()))
+}
+
+/// Maps a concrete allocation site to its abstract location (unique under
+/// the insensitive policy).
+fn loc_of(pta: &PtaResult, alloc: tir::AllocId) -> LocId {
+    LocId(pta.alloc_locs(alloc).iter().next().expect("reached allocation has a location") as u32)
+}
+
+/// The deduplicated abstract image of a concrete trace.
+fn concrete_edges(pta: &PtaResult, trace: &tir::interp::Trace) -> Vec<HeapEdge> {
+    let mut seen = HashSet::new();
+    let mut edges = Vec::new();
+    for (owner, field, value) in &trace.field_edges {
+        let e = HeapEdge::Field {
+            base: loc_of(pta, *owner),
+            field: *field,
+            target: loc_of(pta, *value),
+        };
+        if seen.insert(e) {
+            edges.push(e);
+        }
+    }
+    for (global, value) in &trace.global_edges {
+        let e = HeapEdge::Global { global: *global, target: loc_of(pta, *value) };
+        if seen.insert(e) {
+            edges.push(e);
+        }
+    }
+    edges
+}
+
+fn assert_unrefuted(
+    sched: &mut RefutationScheduler<'_>,
+    edges: &[HeapEdge],
+    program: &Program,
+    pta: &PtaResult,
+    phase: &str,
+) -> Tally {
+    let mut tally = Tally::default();
+    for e in edges {
+        let answer = sched.decide_edge(*e, &mut tally);
+        assert!(
+            !matches!(answer, EdgeAnswer::Refuted),
+            "UNSOUND ({phase}): concretely-produced edge {} was refuted\nprogram:\n{}",
+            e.describe(program, pta),
+            tir::print_program(program)
+        );
+    }
+    tally
+}
+
+#[test]
+fn cache_lifecycle_never_refutes_concrete_edges() {
+    run_cases(64, |rng| {
+        let motifs = arb_motifs(rng);
+        let program = build(&motifs);
+        let mut interp = Interp::new(&program, arb_oracle(rng), 100_000);
+        // Even a faulted run's partial trace is ground truth: everything
+        // recorded did concretely happen.
+        let trace = match interp.run() {
+            Ok(t) => t,
+            Err(_) => interp.trace().clone(),
+        };
+
+        let pta = pta::analyze(&program, ContextPolicy::Insensitive);
+        let modref = ModRef::compute(&program, &pta);
+        let edges = concrete_edges(&pta, &trace);
+        let config = SymexConfig::default();
+        let dir = fresh_cache_dir();
+
+        // Cold: live decisions, written through to the fresh store.
+        {
+            let store = DecisionStore::open(&dir, CacheMode::ReadWrite, &program)
+                .expect("open fresh store");
+            let mut sched = RefutationScheduler::new(&program, &pta, &modref, config.clone(), 1)
+                .with_store(Arc::new(store));
+            let t = assert_unrefuted(&mut sched, &edges, &program, &pta, "cold");
+            assert_eq!(t.cache_hits, 0, "a fresh store cannot produce hits");
+        }
+
+        // Warm: every decision must come from disk, with zero live
+        // exploration, and still refute nothing concrete.
+        {
+            let store = DecisionStore::open(&dir, CacheMode::Read, &program)
+                .expect("reopen store read-only");
+            let mut sched = RefutationScheduler::new(&program, &pta, &modref, config.clone(), 1)
+                .with_store(Arc::new(store));
+            let t = assert_unrefuted(&mut sched, &edges, &program, &pta, "warm");
+            assert_eq!(t.cache_misses, 0, "warm run recomputed a decision");
+            assert_eq!(t.cache_invalidated, 0, "unchanged program invalidated a decision");
+            assert_eq!(t.fresh_path_programs, 0, "warm run explored path programs");
+            assert_eq!(t.cache_hits, edges.len() as u64);
+        }
+
+        // Parallel warm start: reachability for every concrete global
+        // hand-off must be witnessed, not refuted, under --jobs 4.
+        let jobs: Vec<ReachJob> = {
+            let mut seen = HashSet::new();
+            trace
+                .global_edges
+                .iter()
+                .map(|(g, value)| (*g, loc_of(&pta, *value)))
+                .filter(|pair| seen.insert(*pair))
+                .map(|(g, loc)| ReachJob { source: g, targets: BitSet::singleton(loc.index()) })
+                .collect()
+        };
+        if !jobs.is_empty() {
+            let store = DecisionStore::open(&dir, CacheMode::ReadWrite, &program)
+                .expect("reopen store read-write");
+            let mut sched = RefutationScheduler::new(&program, &pta, &modref, config, 4)
+                .with_store(Arc::new(store));
+            let mut view = HeapGraphView::new(&pta);
+            let outcome = sched.run(&mut view, &jobs);
+            for (job, verdict) in jobs.iter().zip(&outcome.verdicts) {
+                assert!(
+                    matches!(verdict, JobVerdict::Witnessed { .. }),
+                    "UNSOUND (--jobs 4): concretely-reached global {} ~> target was refuted\n\
+                     program:\n{}",
+                    program.global(job.source).name,
+                    tir::print_program(&program)
+                );
+            }
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+#[test]
+fn oracle_schedules_explore_both_choice_arms() {
+    // Generator sanity: across a handful of seeds the scripted oracles
+    // must actually exercise both arms of ChoiceStore and non-zero
+    // nondet-loop iterations, otherwise the fuzzer is weaker than it
+    // claims.
+    let mut stored_left = false;
+    let mut stored_right = false;
+    let mut looped = false;
+    run_cases(32, |rng| {
+        let motifs =
+            vec![Motif::ChoiceStore { d: 0, left: 0, right: 1 }, Motif::NondetStore { d: 1, o: 2 }];
+        let program = build(&motifs);
+        let mut interp = Interp::new(&program, arb_oracle(rng), 10_000);
+        let trace = interp.run().expect("tiny program runs");
+        for (_, _, value) in &trace.field_edges {
+            let name = &program.alloc(*value).name;
+            stored_left |= name == "obj0";
+            stored_right |= name == "obj1";
+            looped |= name == "obj2";
+        }
+    });
+    assert!(stored_left, "no schedule took the left choice arm");
+    assert!(stored_right, "no schedule took the right choice arm");
+    assert!(looped, "no schedule ran the nondet loop");
+}
