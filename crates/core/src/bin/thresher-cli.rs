@@ -46,10 +46,18 @@
 //! (propagation/delta/SCC counters, worklist and delta-size histograms)
 //! are additionally excluded, so delta-vs-reference runs must agree on
 //! every *result*-derived number.
+//!
+//! Exit codes follow the contract in `thresher::exit`, shared with
+//! `thresher-serve`: 0 = completed with nothing reachable, 1 = completed
+//! with findings (a reachable query or surviving leak), 2 = completed
+//! without findings but with aborted (deadline/budget) searches, 64 =
+//! usage error, 65 = parse error, 66 = unreadable input, 74 = output or
+//! cache I/O error.
 //! ```
 
 use std::process::ExitCode;
 
+use thresher::exit;
 use thresher::obs::json::{self, Value};
 use thresher::obs::{self, Counter, MemRecorder, RingCapacity, SpanKind};
 use thresher::{
@@ -178,13 +186,13 @@ fn main() -> ExitCode {
                 Ok(false) => ExitCode::from(1),
                 Err(e) => {
                     eprintln!("error: {e}");
-                    ExitCode::from(2)
+                    ExitCode::from(exit::NOINPUT)
                 }
             };
         }
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(exit::USAGE);
         }
     };
     // Install the recorder before any analysis so the run span covers
@@ -200,14 +208,14 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot read {}: {e}", opts.path);
-            return ExitCode::from(2);
+            return ExitCode::from(exit::NOINPUT);
         }
     };
     let program = match tir::parse(&src) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{}: parse error: {e}", opts.path);
-            return ExitCode::from(1);
+            return ExitCode::from(exit::DATAERR);
         }
     };
 
@@ -222,7 +230,7 @@ fn main() -> ExitCode {
         }
         if let Err(e) = write_outputs(&opts, rec) {
             eprintln!("error: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(exit::IOERR);
         }
     }
     code
@@ -258,7 +266,7 @@ fn analyze(opts: &Options, program: &tir::Program) -> ExitCode {
                 Ok(t) => t,
                 Err(e) => {
                     eprintln!("error: cannot open cache {dir}: {e}");
-                    return ExitCode::from(2);
+                    return ExitCode::from(exit::IOERR);
                 }
             };
         }
@@ -269,19 +277,21 @@ fn analyze(opts: &Options, program: &tir::Program) -> ExitCode {
         print!("{}", thresher.points_to().dump(program));
     }
 
-    let mut any_reachable = false;
+    let mut outcome = exit::Outcome::new();
     for (g, l) in &opts.queries {
-        if program.global_by_name(g).is_none() {
+        let Some(global) = program.global_by_name(g) else {
             eprintln!("error: no global named {g}");
-            return ExitCode::from(2);
-        }
-        let Some(answer) = thresher.try_query_reachable(g, l) else {
-            eprintln!("error: no abstract location named {l}");
-            return ExitCode::from(2);
+            return ExitCode::from(exit::USAGE);
         };
+        let Some(target) = thresher.resolve_loc(l) else {
+            eprintln!("error: no abstract location named {l}");
+            return ExitCode::from(exit::USAGE);
+        };
+        let (answer, tally) = thresher.query_reachable_loc_tally(global, target);
+        outcome.record_aborts(tally.edge_timeouts > 0);
         match answer {
             ReachabilityAnswer::Reachable { path, .. } => {
-                any_reachable = true;
+                outcome.record_findings(true);
                 println!("{g} ~> {l}: REACHABLE");
                 for e in &path {
                     println!("    {}", e.describe(program, thresher.points_to()));
@@ -303,15 +313,12 @@ fn analyze(opts: &Options, program: &tir::Program) -> ExitCode {
         for (alarm, result) in &report.alarms {
             let verdict = if result.is_refuted() { "filtered" } else { "LEAK" };
             println!("  {verdict}: {}", program.global(alarm.field).name);
-            any_reachable |= !result.is_refuted();
+            outcome.record_findings(!result.is_refuted());
         }
+        outcome.record_aborts(report.stats.edge_timeouts > 0);
     }
 
-    if any_reachable {
-        ExitCode::from(3)
-    } else {
-        ExitCode::SUCCESS
-    }
+    ExitCode::from(outcome.code())
 }
 
 fn write_outputs(opts: &Options, rec: &MemRecorder) -> Result<(), String> {

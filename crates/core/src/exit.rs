@@ -1,0 +1,111 @@
+//! The process exit-code contract shared by `thresher-cli` and
+//! `thresher-serve`.
+//!
+//! Shell callers need to distinguish three things a refutation run can
+//! tell them — *nothing reachable*, *something reachable*, and *the
+//! answer is incomplete* — from the ways a run can fail before producing
+//! an answer at all. The contract follows BSD `sysexits.h` for the
+//! failure band (64+) and keeps the small codes for analysis outcomes:
+//!
+//! | code | name | meaning |
+//! |---|---|---|
+//! | 0 | [`OK`] | completed; every query refuted / no surviving alarms |
+//! | 1 | [`FINDINGS`] | completed; something reachable / a leak survived |
+//! | 2 | [`DEGRADED`] | completed with no findings, but some searches aborted (deadline/budget) — "refuted" may be incomplete |
+//! | 64 | [`USAGE`] | command-line usage error (bad flag, unknown query name) |
+//! | 65 | [`DATAERR`] | program parse error |
+//! | 66 | [`NOINPUT`] | input file missing or unreadable |
+//! | 70 | [`SOFTWARE`] | contained internal error |
+//! | 74 | [`IOERR`] | cannot write outputs or open the cache |
+//! | 75 | [`TEMPFAIL`] | transient overload (`thresher-serve`: shed/draining) |
+//!
+//! Findings dominate degradation (a witnessed leak is a definite answer
+//! regardless of aborts elsewhere), and any pre-answer failure dominates
+//! both. `--diff-reports` keeps its own tiny contract: 0 equivalent,
+//! 1 different, plus the 64+ failure band.
+
+/// Completed; nothing reachable, no surviving alarms.
+pub const OK: u8 = 0;
+/// Completed; at least one query reachable or one alarm survived.
+pub const FINDINGS: u8 = 1;
+/// Completed without findings, but at least one edge search aborted —
+/// the refutation may be incomplete.
+pub const DEGRADED: u8 = 2;
+/// Command-line usage error (`EX_USAGE`).
+pub const USAGE: u8 = 64;
+/// Input program failed to parse (`EX_DATAERR`).
+pub const DATAERR: u8 = 65;
+/// Input file missing or unreadable (`EX_NOINPUT`).
+pub const NOINPUT: u8 = 66;
+/// Contained internal error (`EX_SOFTWARE`).
+pub const SOFTWARE: u8 = 70;
+/// Output or cache I/O failure (`EX_IOERR`).
+pub const IOERR: u8 = 74;
+/// Transient overload; retry later (`EX_TEMPFAIL`).
+pub const TEMPFAIL: u8 = 75;
+
+/// Accumulates analysis outcomes into the final exit code.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Outcome {
+    findings: bool,
+    degraded: bool,
+}
+
+impl Outcome {
+    /// A fresh outcome (exit code [`OK`]).
+    pub fn new() -> Self {
+        Outcome::default()
+    }
+
+    /// Records whether a query/client run surfaced a finding (a reachable
+    /// path or a surviving alarm).
+    pub fn record_findings(&mut self, any: bool) {
+        self.findings |= any;
+    }
+
+    /// Records whether any edge search in a run aborted (deadline,
+    /// budget, contained panic, ...).
+    pub fn record_aborts(&mut self, any: bool) {
+        self.degraded |= any;
+    }
+
+    /// The exit code under the contract: findings dominate degradation.
+    pub fn code(&self) -> u8 {
+        if self.findings {
+            FINDINGS
+        } else if self.degraded {
+            DEGRADED
+        } else {
+            OK
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_findings_over_degraded() {
+        let mut o = Outcome::new();
+        assert_eq!(o.code(), OK);
+        o.record_aborts(true);
+        assert_eq!(o.code(), DEGRADED);
+        o.record_findings(true);
+        assert_eq!(o.code(), FINDINGS);
+        // Sticky: later clean runs don't clear earlier findings.
+        o.record_findings(false);
+        o.record_aborts(false);
+        assert_eq!(o.code(), FINDINGS);
+    }
+
+    #[test]
+    fn failure_band_is_sysexits() {
+        assert_eq!(USAGE, 64);
+        assert_eq!(DATAERR, 65);
+        assert_eq!(NOINPUT, 66);
+        assert_eq!(SOFTWARE, 70);
+        assert_eq!(IOERR, 74);
+        assert_eq!(TEMPFAIL, 75);
+    }
+}

@@ -51,6 +51,8 @@
 #![warn(missing_docs)]
 
 pub mod clients;
+pub mod exit;
+pub mod serve;
 
 use std::path::Path;
 use std::sync::Arc;
@@ -69,7 +71,7 @@ pub use pta::{PtaOptions, SolverKind};
 pub use symex::{
     default_jobs, AbortCounts, CacheMode, DecisionStore, EdgeAnswer, EdgeDecision, JobVerdict,
     LoopMode, ReachJob, RefutationScheduler, Representation, SchedulerOutcome, SearchOutcome,
-    SearchStats, StopReason, SymexConfig, Tally, Witness,
+    SearchStats, StopReason, StoreLimits, SymexConfig, Tally, Witness,
 };
 
 /// The outcome of a refined heap-reachability query.
@@ -247,6 +249,18 @@ impl<'p> Thresher<'p> {
     /// once per query and, with [`Thresher::with_jobs`], independent edges
     /// are decided in parallel.
     pub fn query_reachable_loc(&self, global: tir::GlobalId, target: LocId) -> ReachabilityAnswer {
+        self.query_reachable_loc_tally(global, target).0
+    }
+
+    /// [`Thresher::query_reachable_loc`], additionally returning the
+    /// scheduler's decision [`Tally`] — the abort provenance callers need
+    /// to distinguish a complete refutation from a degraded one (see the
+    /// [`exit`] contract).
+    pub fn query_reachable_loc_tally(
+        &self,
+        global: tir::GlobalId,
+        target: LocId,
+    ) -> (ReachabilityAnswer, Tally) {
         let _span = obs::span_with(obs::SpanKind::Query, || {
             format!(
                 "{} ~> {}",
@@ -267,12 +281,13 @@ impl<'p> Thresher<'p> {
         let mut view = HeapGraphView::new(&self.pta);
         let job = ReachJob { source: global, targets: BitSet::singleton(target.index()) };
         let outcome = sched.run(&mut view, std::slice::from_ref(&job));
-        match outcome.verdicts.into_iter().next().expect("one verdict per job") {
+        let answer = match outcome.verdicts.into_iter().next().expect("one verdict per job") {
             JobVerdict::Refuted { refuted_edges } => ReachabilityAnswer::Refuted { refuted_edges },
             JobVerdict::Witnessed { path, witness } => {
                 ReachabilityAnswer::Reachable { path, witness }
             }
-        }
+        };
+        (answer, outcome.tally)
     }
 
     /// Creates an [`EscapeChecker`] over this analysis (the §1

@@ -1,0 +1,88 @@
+//! Fault injection for the daemon's robustness suite.
+//!
+//! A request may carry `"inject": "<fault>"` in its params; when the daemon
+//! was started with fault injection enabled (`--inject`), the named fault
+//! is forced *inside* that request's isolation boundary — the tests then
+//! prove the daemon survives, only the targeted request fails (with a
+//! structured, [`StopReason`](symex::StopReason)-tagged error), and
+//! untouched requests keep answering byte-identically.
+//!
+//! Without `--inject` the parameter is rejected as a bad request, so a
+//! production daemon cannot be made to hurt itself over the wire.
+
+use std::io::Write;
+use std::path::Path;
+use std::str::FromStr;
+
+/// A forcible mid-request failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside the request handler (contained by `catch_unwind`).
+    Panic,
+    /// Busy-wait past the request's deadline (a runaway request).
+    Stall,
+    /// Append a syntactically corrupt line to the program's decision-store
+    /// file mid-request (must be skipped, not trusted, on the next open).
+    CorruptCache,
+    /// Append a torn (truncated, unterminated) record to the decision-store
+    /// file, as a crash mid-`write(2)` would (must self-heal on reopen).
+    TornWrite,
+}
+
+impl Fault {
+    /// The stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Fault::Panic => "panic",
+            Fault::Stall => "stall",
+            Fault::CorruptCache => "corrupt-cache",
+            Fault::TornWrite => "torn-write",
+        }
+    }
+}
+
+impl FromStr for Fault {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "panic" => Ok(Fault::Panic),
+            "stall" => Ok(Fault::Stall),
+            "corrupt-cache" => Ok(Fault::CorruptCache),
+            "torn-write" => Ok(Fault::TornWrite),
+            other => Err(format!(
+                "unknown fault {other:?} (want panic | stall | corrupt-cache | torn-write)"
+            )),
+        }
+    }
+}
+
+/// Appends a syntactically invalid line to the decision store in `dir`.
+pub fn corrupt_store(dir: &Path) -> std::io::Result<()> {
+    append(dir, b"{\"corrupt\": this is not JSON\n")
+}
+
+/// Appends an unterminated record fragment to the decision store in `dir`,
+/// simulating a write torn by a crash.
+pub fn tear_store(dir: &Path) -> std::io::Result<()> {
+    append(dir, b"{\"v\":1,\"fp\":\"12345\",\"edge\":\"torn")
+}
+
+fn append(dir: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let path = dir.join(symex::persist::CACHE_FILE);
+    let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
+    f.write_all(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for f in [Fault::Panic, Fault::Stall, Fault::CorruptCache, Fault::TornWrite] {
+            assert_eq!(f.as_str().parse::<Fault>(), Ok(f));
+        }
+        assert!("fire".parse::<Fault>().is_err());
+    }
+}

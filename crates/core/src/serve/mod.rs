@@ -1,0 +1,1081 @@
+//! `thresher-serve`: a fault-isolated resident analysis daemon.
+//!
+//! The one-shot CLI pays the whole pipeline — parse, points-to, mod/ref —
+//! on every invocation. The daemon keeps those results *resident* and
+//! answers a stream of requests over newline-delimited JSON (stdin/stdout,
+//! and optionally a TCP listener), with three robustness guarantees the
+//! CLI never needed:
+//!
+//! 1. **Fault isolation.** Every request runs under [`obs::capture`] +
+//!    `catch_unwind` with its own deadline and a fair share of a global
+//!    path-program budget. A panicking or runaway request produces a
+//!    structured error (tagged with [`StopReason`](symex::StopReason)
+//!    provenance) while the daemon keeps serving, and its metrics delta is
+//!    never committed half-applied to the global recorder.
+//! 2. **Admission control.** A bounded pending queue sheds load with a
+//!    `retry_after_ms` hint instead of queueing unboundedly; per-client
+//!    token buckets stop one chatty client from starving the rest; a
+//!    drain signal (shutdown request, stdin EOF, or SIGTERM via
+//!    [`request_drain`]) finishes in-flight work and then exits cleanly.
+//! 3. **Bounded residency.** At most [`ServeConfig::max_resident`]
+//!    programs stay loaded (least-recently-used eviction, counted in
+//!    `programs_evicted`), and each program's persistent
+//!    [`DecisionStore`] carries a byte cap that triggers generation-based
+//!    compaction (see `symex::persist`).
+//!
+//! Request metrics are buffered per request and replayed into the global
+//! recorder only after the request completes, so a per-request
+//! [`RunReport`](obs::RunReport) (params `"report": true`) is
+//! byte-comparable — modulo timing — with a one-shot `thresher-cli` run of
+//! the same work (`--diff-reports`).
+//!
+//! See [`protocol`] for the wire format and [`faults`] for the injection
+//! hooks behind `--inject`.
+
+pub mod faults;
+pub mod protocol;
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::net::TcpListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use obs::json::Value;
+use obs::{Counter, Hist, MetricsDelta, Registry, RunReport};
+use pta::{BitSet, ContextPolicy, HeapGraphView, ModRef, PtaOptions, PtaResult};
+use symex::{
+    CacheMode, DecisionStore, JobVerdict, ReachJob, RefutationScheduler, StoreLimits, SymexConfig,
+};
+use tir::Program;
+
+use faults::Fault;
+use protocol::{err_response, ok_response, parse_request, ErrorCode, Request, ServeError};
+
+/// Process-global drain flag, set by [`request_drain`] (safe to call from a
+/// signal handler: it is a single relaxed atomic store).
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// Asks every running daemon in this process to drain and exit: in-flight
+/// and already-queued requests finish, new ones are rejected. This is the
+/// SIGTERM hook — it only touches one atomic, so it is async-signal-safe.
+pub fn request_drain() {
+    DRAIN.store(true, Ordering::Relaxed);
+}
+
+/// True once [`request_drain`] has been called.
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::Relaxed)
+}
+
+/// Daemon tuning knobs. The defaults suit an interactive local daemon.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Request-handler threads.
+    pub workers: usize,
+    /// Refutation-scheduler threads *per request* (1 = sequential; every
+    /// reported number is identical for every setting).
+    pub jobs: usize,
+    /// Pending-queue bound; requests beyond it are shed with
+    /// `retry_after_ms`.
+    pub queue_cap: usize,
+    /// Resident-program bound (least-recently-used eviction beyond it).
+    pub max_resident: usize,
+    /// Default per-request deadline (params `deadline_ms` overrides).
+    pub request_deadline: Duration,
+    /// Global path-program budget divided fairly among concurrently
+    /// executing requests. The default (`10_000 ×` workers) gives a solo
+    /// request exactly the one-shot CLI's default budget.
+    pub global_budget: u64,
+    /// Token-bucket refill rate per client, requests/second.
+    pub rate_per_sec: f64,
+    /// Token-bucket burst capacity per client.
+    pub burst: f64,
+    /// Root directory for per-program persistent decision stores; `None`
+    /// disables caching.
+    pub cache_root: Option<PathBuf>,
+    /// Per-program decision-store byte cap (compaction threshold).
+    pub cache_bytes_cap: u64,
+    /// Honor the `"inject"` request parameter (see [`faults`]).
+    pub inject: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = 2;
+        ServeConfig {
+            workers,
+            jobs: 1,
+            queue_cap: 64,
+            max_resident: 8,
+            request_deadline: Duration::from_secs(60),
+            global_budget: 10_000 * workers as u64,
+            rate_per_sec: 100.0,
+            burst: 200.0,
+            cache_root: None,
+            cache_bytes_cap: 4 * 1024 * 1024,
+            inject: false,
+        }
+    }
+}
+
+/// End-of-run accounting, also mirrored into [`obs`] counters
+/// (`requests_admitted`, `requests_completed`, `requests_shed`,
+/// `requests_panicked`, `requests_timed_out`, `programs_evicted`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Requests accepted into the pending queue.
+    pub admitted: u64,
+    /// Requests that produced an `ok` response.
+    pub completed: u64,
+    /// Requests shed at admission (queue full, rate-limited, draining).
+    pub shed: u64,
+    /// Requests whose handler panicked (contained).
+    pub panicked: u64,
+    /// Requests whose deadline expired (in queue or while running).
+    pub timed_out: u64,
+    /// Programs evicted by residency pressure.
+    pub evicted: u64,
+}
+
+/// One resident program: parsed TIR plus the points-to and mod/ref results
+/// every request reuses, the per-program decision store, and the metrics
+/// delta of the load itself (replayed into per-request reports so they
+/// match a one-shot run that did its own loading).
+struct Resident {
+    program: Program,
+    pta: PtaResult,
+    modref: ModRef,
+    store: Option<Arc<DecisionStore>>,
+    store_dir: Option<PathBuf>,
+    load_obs: Mutex<MetricsDelta>,
+    last_used: AtomicU64,
+}
+
+struct Residency {
+    map: HashMap<String, Arc<Resident>>,
+    tick: u64,
+}
+
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+type Out = Arc<Mutex<Box<dyn Write + Send>>>;
+
+struct Job {
+    req: Request,
+    deadline: Instant,
+    out: Out,
+}
+
+#[derive(Default)]
+struct Counts {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    panicked: AtomicU64,
+    timed_out: AtomicU64,
+    evicted: AtomicU64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Continue,
+    Shutdown,
+}
+
+struct Shared {
+    config: ServeConfig,
+    queue: Mutex<VecDeque<Job>>,
+    cond: Condvar,
+    residency: Mutex<Residency>,
+    buckets: Mutex<HashMap<String, Bucket>>,
+    draining: AtomicBool,
+    active: AtomicUsize,
+    started: Instant,
+    counts: Counts,
+}
+
+/// The resident analysis daemon. Construct with [`Daemon::new`], then call
+/// [`Daemon::run`] with the primary transport (stdin/stdout in the
+/// `thresher-serve` binary; in-memory buffers in tests), optionally after
+/// [`Daemon::start_listener`] for TCP clients.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    listener: Mutex<Option<JoinHandle<()>>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Daemon {
+    /// A daemon with the given configuration (not yet serving).
+    pub fn new(config: ServeConfig) -> Self {
+        Daemon {
+            shared: Arc::new(Shared {
+                config,
+                queue: Mutex::new(VecDeque::new()),
+                cond: Condvar::new(),
+                residency: Mutex::new(Residency { map: HashMap::new(), tick: 0 }),
+                buckets: Mutex::new(HashMap::new()),
+                draining: AtomicBool::new(false),
+                active: AtomicUsize::new(0),
+                started: Instant::now(),
+                counts: Counts::default(),
+            }),
+            listener: Mutex::new(None),
+            conns: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Serves requests from `input` until EOF, a `shutdown` request, or
+    /// [`request_drain`]; then drains — queued and in-flight requests
+    /// finish, workers exit — and returns the run's accounting.
+    pub fn run<R: BufRead, W: Write + Send + 'static>(
+        &self,
+        mut input: R,
+        output: W,
+    ) -> RunSummary {
+        let out: Out = Arc::new(Mutex::new(Box::new(output)));
+        let workers: Vec<JoinHandle<()>> = (0..self.shared.config.workers.max(1))
+            .map(|_| {
+                let shared = self.shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let mut buf = String::new();
+        loop {
+            if self.shared.is_draining() {
+                break;
+            }
+            buf.clear();
+            match input.read_line(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    let line = buf.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    if self.shared.handle_line(line, "stdio", &out) == Flow::Shutdown {
+                        break;
+                    }
+                }
+            }
+        }
+
+        self.shared.begin_drain();
+        for h in workers {
+            let _ = h.join();
+        }
+        if let Some(h) = self.listener.lock().unwrap().take() {
+            let _ = h.join();
+        }
+        for h in self.conns.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+        if let Ok(mut o) = out.lock() {
+            let _ = o.flush();
+        }
+        self.shared.summary()
+    }
+
+    /// Runs a newline-delimited request script through an in-memory
+    /// transport and returns the response lines (test/bench convenience).
+    pub fn run_script(&self, script: &str) -> (Vec<String>, RunSummary) {
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf::default();
+        let summary = self.run(std::io::Cursor::new(script.to_owned()), buf.clone());
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).expect("utf-8 responses");
+        (text.lines().map(str::to_owned).collect(), summary)
+    }
+
+    /// Number of currently resident programs (always at most
+    /// [`ServeConfig::max_resident`]).
+    pub fn resident_count(&self) -> usize {
+        self.shared.residency.lock().unwrap().map.len()
+    }
+
+    /// Additionally accepts TCP clients on `listener` (one thread per
+    /// connection, each line handled exactly like a stdin line; the
+    /// client's token-bucket identity defaults to its peer address). The
+    /// accept loop and every connection wind down when the daemon drains.
+    pub fn start_listener(&self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let shared = self.shared.clone();
+        let conns = self.conns.clone();
+        let handle = std::thread::spawn(move || loop {
+            if shared.is_draining() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    let Ok(write_half) = stream.try_clone() else { continue };
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+                    let out: Out = Arc::new(Mutex::new(Box::new(write_half)));
+                    let shared = shared.clone();
+                    let h = std::thread::spawn(move || {
+                        conn_loop(&shared, stream, &format!("tcp:{peer}"), &out);
+                    });
+                    conns.lock().unwrap().push(h);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(_) => break,
+            }
+        });
+        self.listener.lock().unwrap().replace(handle);
+        Ok(())
+    }
+}
+
+/// One TCP connection: lines in, responses out, until EOF or drain. Reads
+/// run under a 100ms timeout so drain is noticed promptly.
+fn conn_loop(shared: &Arc<Shared>, stream: std::net::TcpStream, client: &str, out: &Out) {
+    let mut reader = std::io::BufReader::new(stream);
+    let mut buf = String::new();
+    loop {
+        if shared.is_draining() {
+            break;
+        }
+        match reader.read_line(&mut buf) {
+            Ok(0) => break,
+            Ok(_) if buf.ends_with('\n') => {
+                let line = buf.trim().to_owned();
+                buf.clear();
+                if line.is_empty() {
+                    continue;
+                }
+                if shared.handle_line(&line, client, out) == Flow::Shutdown {
+                    break;
+                }
+            }
+            // Timeout with a partial line buffered: keep accumulating.
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+}
+
+impl Shared {
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed) || drain_requested()
+    }
+
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+        self.cond.notify_all();
+    }
+
+    fn summary(&self) -> RunSummary {
+        RunSummary {
+            admitted: self.counts.admitted.load(Ordering::Relaxed),
+            completed: self.counts.completed.load(Ordering::Relaxed),
+            shed: self.counts.shed.load(Ordering::Relaxed),
+            panicked: self.counts.panicked.load(Ordering::Relaxed),
+            timed_out: self.counts.timed_out.load(Ordering::Relaxed),
+            evicted: self.counts.evicted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Dispatches one request line: cheap methods answer inline on the
+    /// transport thread; analysis methods go through admission control into
+    /// the pending queue.
+    fn handle_line(self: &Arc<Self>, line: &str, default_client: &str, out: &Out) -> Flow {
+        let req = match parse_request(line, default_client) {
+            Ok(r) => r,
+            Err(e) => {
+                write_line(out, &err_response(&Value::Null, &e));
+                return Flow::Continue;
+            }
+        };
+        match req.method.as_str() {
+            "health" => {
+                let body = self.health_body();
+                write_line(out, &ok_response(&req.id, body));
+                Flow::Continue
+            }
+            "shutdown" => {
+                self.begin_drain();
+                write_line(
+                    out,
+                    &ok_response(
+                        &req.id,
+                        Value::Obj(vec![("draining".to_owned(), Value::Bool(true))]),
+                    ),
+                );
+                Flow::Shutdown
+            }
+            // `evict` goes through the queue (not inline) so it stays FIFO
+            // with the analysis requests that precede it.
+            "load_program" | "analyze" | "query_edge" | "evict" => {
+                self.admit(req, out);
+                Flow::Continue
+            }
+            other => {
+                let e = ServeError::bad_request(format!("unknown method {other:?}"));
+                write_line(out, &err_response(&req.id, &e));
+                Flow::Continue
+            }
+        }
+    }
+
+    fn health_body(&self) -> Value {
+        let residency = self.residency.lock().unwrap();
+        let mut names: Vec<&String> = residency.map.keys().collect();
+        names.sort();
+        let programs = Value::Arr(names.into_iter().map(|n| Value::str(n.clone())).collect());
+        let depth = self.queue.lock().unwrap().len();
+        Value::Obj(vec![
+            ("programs".to_owned(), programs),
+            ("queue_depth".to_owned(), Value::uint(depth as u64)),
+            ("active".to_owned(), Value::uint(self.active.load(Ordering::Relaxed) as u64)),
+            ("draining".to_owned(), Value::Bool(self.is_draining())),
+            ("uptime_ms".to_owned(), Value::uint(self.started.elapsed().as_millis() as u64)),
+        ])
+    }
+
+    /// Admission control: drain check, per-client token bucket, bounded
+    /// queue. Shed requests get an immediate structured error with a
+    /// backoff hint; admitted requests are queued for a worker.
+    fn admit(self: &Arc<Self>, req: Request, out: &Out) {
+        if self.is_draining() {
+            self.shed(&req, out, &ServeError::draining());
+            return;
+        }
+        if !self.bucket_allow(&req.client) {
+            self.shed(&req, out, &ServeError::rate_limited(100));
+            return;
+        }
+        let deadline_ms = req.params.get("deadline_ms").and_then(Value::as_u64);
+        let deadline = Instant::now()
+            + deadline_ms.map_or(self.config.request_deadline, Duration::from_millis);
+        let mut queue = self.queue.lock().unwrap();
+        if queue.len() >= self.config.queue_cap {
+            drop(queue);
+            self.shed(&req, out, &ServeError::overloaded(100));
+            return;
+        }
+        queue.push_back(Job { req, deadline, out: out.clone() });
+        let depth = queue.len() as u64;
+        drop(queue);
+        self.counts.admitted.fetch_add(1, Ordering::Relaxed);
+        obs::add(Counter::RequestsAdmitted, 1);
+        obs::observe(Hist::QueueDepth, depth);
+        self.cond.notify_one();
+    }
+
+    fn shed(&self, req: &Request, out: &Out, e: &ServeError) {
+        self.counts.shed.fetch_add(1, Ordering::Relaxed);
+        obs::add(Counter::RequestsShed, 1);
+        write_line(out, &err_response(&req.id, e));
+    }
+
+    /// Takes one token from `client`'s bucket (refilled at
+    /// [`ServeConfig::rate_per_sec`] up to [`ServeConfig::burst`]).
+    fn bucket_allow(&self, client: &str) -> bool {
+        let mut buckets = self.buckets.lock().unwrap();
+        let now = Instant::now();
+        let bucket = buckets
+            .entry(client.to_owned())
+            .or_insert_with(|| Bucket { tokens: self.config.burst, refilled: now });
+        let elapsed = now.duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.config.rate_per_sec).min(self.config.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Looks up a resident program and touches its LRU stamp.
+    fn resident(&self, name: &str) -> Result<Arc<Resident>, ServeError> {
+        let mut residency = self.residency.lock().unwrap();
+        residency.tick += 1;
+        let tick = residency.tick;
+        match residency.map.get(name) {
+            Some(r) => {
+                r.last_used.store(tick, Ordering::Relaxed);
+                Ok(r.clone())
+            }
+            None => Err(ServeError::not_loaded(name)),
+        }
+    }
+
+    /// Inserts (or replaces) a resident program, then enforces the
+    /// residency bound by evicting least-recently-used entries.
+    fn insert_resident(&self, name: &str, resident: Arc<Resident>) {
+        let mut residency = self.residency.lock().unwrap();
+        residency.tick += 1;
+        let tick = residency.tick;
+        resident.last_used.store(tick, Ordering::Relaxed);
+        residency.map.insert(name.to_owned(), resident);
+        while residency.map.len() > self.config.max_resident.max(1) {
+            let victim = residency
+                .map
+                .iter()
+                .min_by_key(|(_, r)| r.last_used.load(Ordering::Relaxed))
+                .map(|(n, _)| n.clone());
+            match victim {
+                Some(n) => {
+                    residency.map.remove(&n);
+                    self.counts.evicted.fetch_add(1, Ordering::Relaxed);
+                    obs::add(Counter::ProgramsEvicted, 1);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The per-request path-program budget: the requested (or CLI-default)
+    /// budget, capped at this request's fair share of the global budget
+    /// across currently executing requests. A solo request on a default
+    /// daemon gets exactly the one-shot CLI default.
+    fn fair_budget(&self, requested: Option<u64>) -> u64 {
+        let active = self.active.load(Ordering::Relaxed).max(1) as u64;
+        let share = (self.config.global_budget / active).max(1);
+        requested.unwrap_or(10_000).min(share)
+    }
+
+    /// The engine configuration for one request. Deliberately does NOT set
+    /// `total_deadline`: the deadline duration is part of the decision
+    /// fingerprint (`symex::persist`), so a per-request remaining-time value
+    /// would give every request a unique fingerprint and starve the
+    /// resident cache. Deadlines are enforced at the daemon level instead
+    /// (queue-expiry pre-check, post-completion check) and the path-program
+    /// budget bounds engine work; a solo request's config is identical to a
+    /// default one-shot CLI run's, so stores warm-start across both.
+    fn engine_config(&self, requested: Option<u64>) -> SymexConfig {
+        SymexConfig { budget: self.fair_budget(requested), ..SymexConfig::default() }
+    }
+
+    // ---- request handlers (run on a worker, inside capture+catch_unwind) ----
+
+    fn execute(&self, req: &Request, deadline: Instant) -> Result<Value, ServeError> {
+        match req.method.as_str() {
+            "load_program" => self.do_load(req),
+            "analyze" => self.do_analyze(req, deadline),
+            "query_edge" => self.do_query(req, deadline),
+            "evict" => {
+                let name = param_str(req, "program")?;
+                let evicted = self.residency.lock().unwrap().map.remove(name).is_some();
+                Ok(Value::Obj(vec![("evicted".to_owned(), Value::Bool(evicted))]))
+            }
+            other => Err(ServeError::bad_request(format!("unknown method {other:?}"))),
+        }
+    }
+
+    fn do_load(&self, req: &Request) -> Result<Value, ServeError> {
+        let name = req
+            .params
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ServeError::bad_request("load_program needs params.name"))?;
+        let src = if let Some(s) = req.params.get("source").and_then(Value::as_str) {
+            s.to_owned()
+        } else if let Some(path) = req.params.get("path").and_then(Value::as_str) {
+            std::fs::read_to_string(path)
+                .map_err(|e| ServeError::internal(format!("cannot read {path}: {e}")))?
+        } else {
+            return Err(ServeError::bad_request("load_program needs params.source or params.path"));
+        };
+        let program =
+            tir::parse(&src).map_err(|e| ServeError::bad_request(format!("parse error: {e}")))?;
+        let pta = pta::analyze_with(&program, ContextPolicy::Insensitive, &PtaOptions::default());
+        let modref = ModRef::compute(&program, &pta);
+
+        let (store, store_dir, cache) = match &self.config.cache_root {
+            Some(root) => {
+                let dir = root.join(sanitize(name));
+                match DecisionStore::open_with_limits(
+                    &dir,
+                    CacheMode::ReadWrite,
+                    &program,
+                    StoreLimits::with_max_bytes(self.config.cache_bytes_cap),
+                ) {
+                    Ok(s) => {
+                        let desc = if s.lock_contended() { "read-only" } else { "read-write" };
+                        (Some(Arc::new(s)), Some(dir), desc)
+                    }
+                    // A broken cache degrades the program to cold; it never
+                    // fails the load.
+                    Err(_) => (None, None, "off"),
+                }
+            }
+            None => (None, None, "off"),
+        };
+
+        let locs = pta.locs().ids().count() as u64;
+        let resident = Arc::new(Resident {
+            program,
+            pta,
+            modref,
+            store,
+            store_dir,
+            load_obs: Mutex::new(MetricsDelta::default()),
+            last_used: AtomicU64::new(0),
+        });
+        self.insert_resident(name, resident);
+        Ok(Value::Obj(vec![
+            ("program".to_owned(), Value::str(name)),
+            ("locs".to_owned(), Value::uint(locs)),
+            ("cache".to_owned(), Value::str(cache)),
+        ]))
+    }
+
+    fn do_query(&self, req: &Request, deadline: Instant) -> Result<Value, ServeError> {
+        let name = param_str(req, "program")?;
+        let res = self.resident(name)?;
+        self.maybe_fault(req, &res, deadline)?;
+        let global_name = param_str(req, "global")?;
+        let loc_name = param_str(req, "loc")?;
+        let global = res
+            .program
+            .global_by_name(global_name)
+            .ok_or_else(|| ServeError::bad_request(format!("no global named {global_name}")))?;
+        let target = res
+            .pta
+            .locs()
+            .ids()
+            .find(|&l| res.pta.loc_name(&res.program, l) == loc_name)
+            .ok_or_else(|| {
+                ServeError::bad_request(format!("no abstract location named {loc_name}"))
+            })?;
+
+        let config = self.engine_config(req.params.get("budget").and_then(Value::as_u64));
+        let mut sched =
+            RefutationScheduler::new(&res.program, &res.pta, &res.modref, config, self.config.jobs);
+        if let Some(store) = &res.store {
+            sched.set_store(store.clone());
+        }
+        let mut view = HeapGraphView::new(&res.pta);
+        let job = ReachJob { source: global, targets: BitSet::singleton(target.index()) };
+        let outcome = sched.run(&mut view, std::slice::from_ref(&job));
+        let verdict = outcome.verdicts.into_iter().next().expect("one verdict per job");
+        let mut body = match verdict {
+            JobVerdict::Refuted { refuted_edges } => vec![
+                ("reachable".to_owned(), Value::Bool(false)),
+                ("refuted_edges".to_owned(), Value::uint(refuted_edges.len() as u64)),
+            ],
+            JobVerdict::Witnessed { path, .. } => {
+                let edges =
+                    path.iter().map(|e| Value::str(e.describe(&res.program, &res.pta))).collect();
+                vec![
+                    ("reachable".to_owned(), Value::Bool(true)),
+                    ("path".to_owned(), Value::Arr(edges)),
+                ]
+            }
+        };
+        body.push(("edge_timeouts".to_owned(), Value::uint(outcome.tally.edge_timeouts)));
+        Ok(Value::Obj(body))
+    }
+
+    fn do_analyze(&self, req: &Request, deadline: Instant) -> Result<Value, ServeError> {
+        let name = param_str(req, "program")?;
+        let res = self.resident(name)?;
+        self.maybe_fault(req, &res, deadline)?;
+        if res.program.class_by_name("Activity").is_none() {
+            return Err(ServeError::bad_request(format!(
+                "program {name:?} has no Android library model (no class Activity); \
+                 analyze needs one"
+            )));
+        }
+        let config = self.engine_config(req.params.get("budget").and_then(Value::as_u64));
+        let mut client = android::LeakClient::new(&res.program, &res.pta, &res.modref, config)
+            .with_jobs(self.config.jobs);
+        if let Some(store) = &res.store {
+            client = client.with_store(store.clone());
+        }
+        let report = client.run();
+        let alarms = report
+            .alarms
+            .iter()
+            .map(|(alarm, result)| {
+                Value::Obj(vec![
+                    ("field".to_owned(), Value::str(res.program.global(alarm.field).name.clone())),
+                    ("refuted".to_owned(), Value::Bool(result.is_refuted())),
+                ])
+            })
+            .collect();
+        Ok(Value::Obj(vec![
+            ("alarms".to_owned(), Value::Arr(alarms)),
+            ("num_alarms".to_owned(), Value::uint(report.num_alarms() as u64)),
+            ("num_refuted".to_owned(), Value::uint(report.num_refuted() as u64)),
+            ("edges_refuted".to_owned(), Value::uint(report.stats.edges_refuted as u64)),
+            ("edges_witnessed".to_owned(), Value::uint(report.stats.edges_witnessed as u64)),
+            ("edge_timeouts".to_owned(), Value::uint(report.stats.edge_timeouts as u64)),
+        ]))
+    }
+
+    /// Honors a request's `"inject"` parameter (only with
+    /// [`ServeConfig::inject`]; see [`faults`]).
+    fn maybe_fault(
+        &self,
+        req: &Request,
+        res: &Resident,
+        deadline: Instant,
+    ) -> Result<(), ServeError> {
+        let Some(name) = req.params.get("inject").and_then(Value::as_str) else {
+            return Ok(());
+        };
+        if !self.config.inject {
+            return Err(ServeError::bad_request(
+                "fault injection is disabled (start the daemon with --inject)",
+            ));
+        }
+        let fault: Fault = name.parse().map_err(ServeError::bad_request)?;
+        match fault {
+            Fault::Panic => panic!("injected fault: panic"),
+            Fault::Stall => {
+                // A runaway request: blow through the deadline, then let the
+                // post-completion check turn the answer into a deadline
+                // error.
+                let stop = deadline + Duration::from_millis(50);
+                while Instant::now() < stop {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Ok(())
+            }
+            Fault::CorruptCache | Fault::TornWrite => {
+                let dir = res.store_dir.as_deref().ok_or_else(|| {
+                    ServeError::bad_request("cache faults need a daemon cache (--cache-dir)")
+                })?;
+                let damage = match fault {
+                    Fault::CorruptCache => faults::corrupt_store(dir),
+                    _ => faults::tear_store(dir),
+                };
+                damage.map_err(|e| ServeError::internal(format!("fault injection failed: {e}")))
+            }
+        }
+    }
+
+    /// Builds the optional per-request [`RunReport`]: the program's load
+    /// delta (so the report covers the same work as a one-shot run) plus
+    /// this request's own delta, replayed into a fresh registry.
+    fn request_report(&self, req: &Request, delta: &MetricsDelta) -> Value {
+        let registry = Registry::new();
+        if req.method != "load_program" {
+            if let Some(name) = req.params.get("program").and_then(Value::as_str) {
+                if let Some(res) = self.residency.lock().unwrap().map.get(name).cloned() {
+                    res.load_obs.lock().unwrap().replay_into(&registry);
+                }
+            }
+        }
+        delta.replay_into(&registry);
+        RunReport::from_registry(&registry, &[("tool", "thresher-serve")], 0, 0).to_value()
+    }
+}
+
+/// One request-handler thread: pop, check the deadline, run the handler
+/// inside capture + `catch_unwind`, commit the metrics delta, respond.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(j) = queue.pop_front() {
+                    break Some(j);
+                }
+                if shared.is_draining() {
+                    break None;
+                }
+                let (q, _) = shared.cond.wait_timeout(queue, Duration::from_millis(100)).unwrap();
+                queue = q;
+            }
+        };
+        let Some(job) = job else { return };
+
+        if Instant::now() >= job.deadline {
+            shared.counts.timed_out.fetch_add(1, Ordering::Relaxed);
+            obs::add(Counter::RequestsTimedOut, 1);
+            let e = ServeError::deadline("deadline expired while queued");
+            write_line(&job.out, &err_response(&job.req.id, &e));
+            continue;
+        }
+
+        shared.active.fetch_add(1, Ordering::Relaxed);
+        // catch_unwind sits INSIDE the capture closure so a panicking
+        // handler still yields its (discarded) delta instead of unwinding
+        // through the capture machinery; the daemon-level serve counters
+        // below are bumped outside the capture so they land on the global
+        // recorder, never in a per-request report.
+        let (result, delta) = obs::capture(|| {
+            catch_unwind(AssertUnwindSafe(|| shared.execute(&job.req, job.deadline)))
+        });
+        shared.active.fetch_sub(1, Ordering::Relaxed);
+
+        let line = match result {
+            Err(payload) => {
+                shared.counts.panicked.fetch_add(1, Ordering::Relaxed);
+                obs::add(Counter::RequestsPanicked, 1);
+                let e = ServeError::panic(panic_message(payload.as_ref()));
+                err_response(&job.req.id, &e)
+            }
+            Ok(Err(e)) => {
+                if e.code == ErrorCode::Deadline {
+                    shared.counts.timed_out.fetch_add(1, Ordering::Relaxed);
+                    obs::add(Counter::RequestsTimedOut, 1);
+                }
+                err_response(&job.req.id, &e)
+            }
+            Ok(Ok(body)) => {
+                if Instant::now() > job.deadline {
+                    shared.counts.timed_out.fetch_add(1, Ordering::Relaxed);
+                    obs::add(Counter::RequestsTimedOut, 1);
+                    let e = ServeError::deadline("request completed after its deadline");
+                    err_response(&job.req.id, &e)
+                } else {
+                    // A successful request commits its buffered metrics to
+                    // the global recorder; failed requests discard theirs,
+                    // so a contained panic can't half-apply.
+                    delta.replay();
+                    if job.req.method == "load_program" {
+                        if let Some(name) = job.req.params.get("name").and_then(Value::as_str) {
+                            if let Ok(res) = shared.resident(name) {
+                                *res.load_obs.lock().unwrap() = delta.clone();
+                            }
+                        }
+                    }
+                    shared.counts.completed.fetch_add(1, Ordering::Relaxed);
+                    obs::add(Counter::RequestsCompleted, 1);
+                    let mut body = body;
+                    if wants_report(&job.req) {
+                        if let Value::Obj(fields) = &mut body {
+                            fields.push((
+                                "report".to_owned(),
+                                shared.request_report(&job.req, &delta),
+                            ));
+                        }
+                    }
+                    ok_response(&job.req.id, body)
+                }
+            }
+        };
+        write_line(&job.out, &line);
+    }
+}
+
+fn wants_report(req: &Request) -> bool {
+    matches!(req.params.get("report"), Some(Value::Bool(true)))
+}
+
+fn param_str<'r>(req: &'r Request, key: &str) -> Result<&'r str, ServeError> {
+    req.params
+        .get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::bad_request(format!("{} needs params.{key}", req.method)))
+}
+
+fn write_line(out: &Out, line: &str) {
+    if let Ok(mut o) = out.lock() {
+        let _ = writeln!(o, "{line}");
+        let _ = o.flush();
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Maps a program name onto a filesystem-safe cache-directory name.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROGRAM: &str = r#"
+class Box { field item: Object; }
+global CACHE: Box;
+fn main() {
+  var b: Box;
+  var secret: Object;
+  var s: Object;
+  b = new Box @box0;
+  secret = new Object @secret0;
+  s = new Object @str0;
+  b.item = s;
+  $CACHE = b;
+}
+entry main;
+"#;
+
+    fn load_line(id: u64) -> String {
+        let params = Value::Obj(vec![
+            ("name".to_owned(), Value::str("boxy")),
+            ("source".to_owned(), Value::str(PROGRAM)),
+        ]);
+        Value::Obj(vec![
+            ("id".to_owned(), Value::uint(id)),
+            ("method".to_owned(), Value::str("load_program")),
+            ("params".to_owned(), params),
+        ])
+        .to_json()
+    }
+
+    fn response_for(lines: &[String], id: u64) -> &str {
+        lines
+            .iter()
+            .find(|l| {
+                obs::json::parse(l).ok().and_then(|v| v.get("id").and_then(Value::as_u64))
+                    == Some(id)
+            })
+            .unwrap_or_else(|| panic!("no response with id {id} in {lines:?}"))
+    }
+
+    #[test]
+    fn load_query_health_shutdown() {
+        let daemon = Daemon::new(ServeConfig::default());
+        let script = format!(
+            "{}\n\
+             {{\"id\": 2, \"method\": \"query_edge\", \"params\": {{\"program\": \"boxy\", \"global\": \"CACHE\", \"loc\": \"secret0\"}}}}\n\
+             {{\"id\": 3, \"method\": \"query_edge\", \"params\": {{\"program\": \"boxy\", \"global\": \"CACHE\", \"loc\": \"str0\"}}}}\n\
+             {{\"id\": 4, \"method\": \"health\"}}\n\
+             {{\"id\": 5, \"method\": \"shutdown\"}}\n",
+            load_line(1)
+        );
+        let (lines, summary) = daemon.run_script(&script);
+        let ok = |id| {
+            obs::json::parse(response_for(&lines, id))
+                .unwrap()
+                .get("ok")
+                .cloned()
+                .unwrap_or_else(|| panic!("id {id} not ok: {lines:?}"))
+        };
+        assert_eq!(ok(1).get("program").and_then(Value::as_str), Some("boxy"));
+        assert!(matches!(ok(2).get("reachable"), Some(Value::Bool(false))));
+        assert!(matches!(ok(3).get("reachable"), Some(Value::Bool(true))));
+        let health = ok(4);
+        assert!(matches!(health.get("draining"), Some(Value::Bool(false))));
+        assert!(matches!(ok(5).get("draining"), Some(Value::Bool(true))));
+        assert_eq!(summary.admitted, 3);
+        assert_eq!(summary.completed, 3);
+        assert_eq!(summary.panicked, 0);
+    }
+
+    #[test]
+    fn unknown_method_and_bad_json_answer_inline() {
+        let daemon = Daemon::new(ServeConfig::default());
+        let (lines, summary) =
+            daemon.run_script("{\"id\": 1, \"method\": \"transmogrify\"}\nnot json at all\n");
+        assert_eq!(lines.len(), 2);
+        assert!(response_for(&lines, 1).contains("bad-request"));
+        assert!(lines.iter().any(|l| l.contains("invalid JSON")));
+        assert_eq!(summary.admitted, 0);
+    }
+
+    #[test]
+    fn rate_limit_sheds_with_hint() {
+        let config = ServeConfig { rate_per_sec: 0.0, burst: 1.0, ..ServeConfig::default() };
+        let daemon = Daemon::new(config);
+        // Both name a program that is not loaded: the first is admitted and
+        // fails with not-loaded, the second never gets a token.
+        let (lines, summary) = daemon.run_script(
+            "{\"id\": 1, \"method\": \"query_edge\", \"params\": {\"program\": \"ghost\", \"global\": \"G\", \"loc\": \"l\"}}\n\
+             {\"id\": 2, \"method\": \"query_edge\", \"params\": {\"program\": \"ghost\", \"global\": \"G\", \"loc\": \"l\"}}\n",
+        );
+        assert!(response_for(&lines, 1).contains("not-loaded"));
+        let shed = obs::json::parse(response_for(&lines, 2)).unwrap();
+        let err = shed.get("err").expect("err");
+        assert_eq!(err.get("code").and_then(Value::as_str), Some("rate-limited"));
+        assert!(err.get("retry_after_ms").and_then(Value::as_u64).is_some());
+        assert_eq!(summary.admitted, 1);
+        assert_eq!(summary.shed, 1);
+    }
+
+    #[test]
+    fn eviction_enforces_residency_bound() {
+        let config = ServeConfig { max_resident: 2, ..ServeConfig::default() };
+        let daemon = Daemon::new(config);
+        let mut script = String::new();
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            let params = Value::Obj(vec![
+                ("name".to_owned(), Value::str(*name)),
+                ("source".to_owned(), Value::str(PROGRAM)),
+            ]);
+            let line = Value::Obj(vec![
+                ("id".to_owned(), Value::uint(i as u64 + 1)),
+                ("method".to_owned(), Value::str("load_program")),
+                ("params".to_owned(), params),
+            ])
+            .to_json();
+            script.push_str(&line);
+            script.push('\n');
+        }
+        script.push_str("{\"id\": 9, \"method\": \"health\"}\n");
+        // The health snapshot races the queued loads, so check the summary
+        // instead of the inline response.
+        let (_lines, summary) = daemon.run_script(&script);
+        assert_eq!(summary.completed, 3);
+        assert_eq!(summary.evicted, 1);
+    }
+
+    #[test]
+    fn injection_requires_opt_in() {
+        let daemon = Daemon::new(ServeConfig::default());
+        let script = format!(
+            "{}\n\
+             {{\"id\": 2, \"method\": \"query_edge\", \"params\": {{\"program\": \"boxy\", \"global\": \"CACHE\", \"loc\": \"str0\", \"inject\": \"panic\"}}}}\n",
+            load_line(1)
+        );
+        let (lines, summary) = daemon.run_script(&script);
+        let v = obs::json::parse(response_for(&lines, 2)).unwrap();
+        let err = v.get("err").expect("err");
+        assert_eq!(err.get("code").and_then(Value::as_str), Some("bad-request"));
+        assert_eq!(summary.panicked, 0);
+    }
+
+    #[test]
+    fn contained_panic_keeps_serving() {
+        let config = ServeConfig { inject: true, workers: 1, ..ServeConfig::default() };
+        let daemon = Daemon::new(config);
+        let script = format!(
+            "{}\n\
+             {{\"id\": 2, \"method\": \"query_edge\", \"params\": {{\"program\": \"boxy\", \"global\": \"CACHE\", \"loc\": \"str0\", \"inject\": \"panic\"}}}}\n\
+             {{\"id\": 3, \"method\": \"query_edge\", \"params\": {{\"program\": \"boxy\", \"global\": \"CACHE\", \"loc\": \"str0\"}}}}\n",
+            load_line(1)
+        );
+        let (lines, summary) = daemon.run_script(&script);
+        let v = obs::json::parse(response_for(&lines, 2)).unwrap();
+        let err = v.get("err").expect("panicked request errs");
+        assert_eq!(err.get("code").and_then(Value::as_str), Some("panic"));
+        assert_eq!(err.get("stop_reason").and_then(Value::as_str), Some("panic"));
+        let v = obs::json::parse(response_for(&lines, 3)).unwrap();
+        assert!(matches!(v.get("ok").and_then(|o| o.get("reachable")), Some(Value::Bool(true))));
+        assert_eq!(summary.panicked, 1);
+        assert_eq!(summary.completed, 2);
+    }
+}

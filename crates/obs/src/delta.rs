@@ -72,18 +72,38 @@ impl MetricsDelta {
         self.observations.push((h, v));
     }
 
-    /// Applies the batch to the installed global recorder (a no-op when
-    /// recording is disabled). Writes bypass any capture buffer active on
-    /// the calling thread: replay is the commit step, not a re-emission.
+    /// Applies the batch through [`add`](crate::add)/[`observe`](crate::observe)
+    /// (a no-op when recording is disabled). A [`capture`] active on the
+    /// calling thread therefore buffers the replayed metrics like any other
+    /// emission — exactly once — so a higher-level consumer (e.g. a
+    /// per-request report in `thresher-serve`) sees everything the
+    /// scheduler commits beneath it. With no capture active, the batch goes
+    /// straight to the installed recorder as before.
     pub fn replay(&self) {
-        let Some(r) = crate::installed() else { return };
+        if !crate::enabled() {
+            return;
+        }
         for (i, &n) in self.counters.iter().enumerate() {
             if n > 0 {
-                r.add(Counter::ALL[i], n);
+                crate::add(Counter::ALL[i], n);
             }
         }
         for &(h, v) in &self.observations {
-            r.observe(h, v);
+            crate::observe(h, v);
+        }
+    }
+
+    /// Applies the batch to an explicit registry, independent of the
+    /// global recorder or any capture — the rendering step for building a
+    /// standalone [`RunReport`](crate::RunReport) out of captured deltas.
+    pub fn replay_into(&self, registry: &crate::Registry) {
+        for (i, &n) in self.counters.iter().enumerate() {
+            if n > 0 {
+                registry.add(Counter::ALL[i], n);
+            }
+        }
+        for &(h, v) in &self.observations {
+            registry.observe(h, v);
         }
     }
 }
@@ -190,6 +210,46 @@ mod tests {
         // After capture ends, metrics flow to the recorder again.
         crate::add(Counter::SolverCalls, 7);
         assert_eq!(rec.counter(Counter::SolverCalls), 7);
+        crate::uninstall();
+    }
+
+    #[test]
+    fn replay_respects_active_capture() {
+        let _serial = crate::test_lock();
+        let rec = MemRecorder::install_static(RingCapacity::default());
+        rec.reset();
+
+        let ((), inner) = capture(|| {
+            crate::add(Counter::EdgesRefuted, 4);
+            crate::observe(Hist::HeapCells, 9);
+        });
+        // Replaying inside an outer capture buffers instead of committing,
+        // so a per-request capture sees scheduler-committed metrics.
+        let ((), outer) = capture(|| inner.replay());
+        assert_eq!(rec.counter(Counter::EdgesRefuted), 0);
+        assert_eq!(outer.counter(Counter::EdgesRefuted), 4);
+        assert_eq!(outer.observations(), &[(Hist::HeapCells, 9)]);
+
+        outer.replay();
+        assert_eq!(rec.counter(Counter::EdgesRefuted), 4);
+        crate::uninstall();
+    }
+
+    #[test]
+    fn replay_into_targets_explicit_registry() {
+        let _serial = crate::test_lock();
+        let rec = MemRecorder::install_static(RingCapacity::default());
+        rec.reset();
+        let ((), delta) = capture(|| {
+            crate::add(Counter::SolverCalls, 3);
+            crate::observe(Hist::HeapCells, 2);
+        });
+        let reg = crate::Registry::new();
+        delta.replay_into(&reg);
+        assert_eq!(reg.counter(Counter::SolverCalls), 3);
+        assert_eq!(reg.histogram(Hist::HeapCells).count, 1);
+        // The global recorder stays untouched.
+        assert_eq!(rec.counter(Counter::SolverCalls), 0);
         crate::uninstall();
     }
 

@@ -143,6 +143,13 @@ metric_enum! {
         /// Cache records or files skipped as corrupt, truncated, or
         /// version-mismatched (each skip degrades that lookup to cold).
         CacheSkippedCorrupt => "cache_skipped_corrupt",
+        /// Read-write store opens that lost the advisory lock to another
+        /// process and degraded to read-only.
+        CacheLockContended => "cache_lock_contended",
+        /// Store compactions run because the JSONL exceeded its size cap.
+        CacheCompactions => "cache_compactions",
+        /// Records dropped (least-recently-hit first) by compactions.
+        CacheRecordsDropped => "cache_records_dropped",
         // --- clients ---
         /// Alarms reported by the flow-insensitive analysis.
         AlarmsFound => "alarms_found",
@@ -150,6 +157,21 @@ metric_enum! {
         AlarmsRefuted => "alarms_refuted",
         /// Alarms with a surviving witnessed path.
         AlarmsWitnessed => "alarms_witnessed",
+        // --- resident service (thresher-serve) ---
+        /// Requests accepted into the daemon's pending queue.
+        RequestsAdmitted => "requests_admitted",
+        /// Admitted requests that completed with an `ok` response.
+        RequestsCompleted => "requests_completed",
+        /// Requests rejected by admission control (queue full, rate
+        /// limited, or draining).
+        RequestsShed => "requests_shed",
+        /// Requests whose handler panicked; the panic was contained and
+        /// answered with a structured error.
+        RequestsPanicked => "requests_panicked",
+        /// Requests rejected or failed because their deadline expired.
+        RequestsTimedOut => "requests_timed_out",
+        /// Resident programs evicted by the LRU residency cap.
+        ProgramsEvicted => "programs_evicted",
     }
 }
 
@@ -169,6 +191,8 @@ metric_enum! {
         PtaDeltaLen => "pta_delta_size",
         /// Path-program witness trace length at discharge.
         WitnessTraceLen => "witness_trace_len",
+        /// Daemon pending-queue depth sampled at each admission.
+        QueueDepth => "serve_queue_depth",
     }
 }
 

@@ -56,6 +56,13 @@ pub const CACHE_SCHEMA: &str = "thresher.cache/1";
 /// File name of the decision store inside a cache directory.
 pub const CACHE_FILE: &str = "decisions.jsonl";
 
+/// File name of the advisory write lock inside a cache directory.
+pub const LOCK_FILE: &str = "decisions.lock";
+
+/// Scratch file used by compaction; a leftover one (from a crash mid-
+/// compaction) is ignored by readers and removed at the next open.
+pub const TMP_FILE: &str = "decisions.jsonl.tmp";
+
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
@@ -295,6 +302,26 @@ impl std::str::FromStr for CacheMode {
     }
 }
 
+/// Residency limits for a [`DecisionStore`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreLimits {
+    /// Size cap in bytes for the backing JSONL. When an append pushes the
+    /// file past the cap, the store compacts: records are rewritten
+    /// most-recently-hit first until the file fits in half the cap
+    /// (hysteresis), and the remainder are dropped — they are pure
+    /// decisions, so a dropped record only means one future recomputation,
+    /// never a changed answer. `None` (the default) leaves growth
+    /// unbounded.
+    pub max_bytes: Option<u64>,
+}
+
+impl StoreLimits {
+    /// Limits with a byte cap on the backing file.
+    pub fn with_max_bytes(bytes: u64) -> Self {
+        StoreLimits { max_bytes: Some(bytes) }
+    }
+}
+
 /// Everything one committed edge decision produced — the persisted
 /// mirror of the scheduler's in-memory cache entry. Replaying `obs` and
 /// merging `stats` at commit reproduces the cold run's report exactly.
@@ -315,16 +342,36 @@ struct StoreInner {
     /// Edge key → fingerprints present, for stale-record (invalidation)
     /// detection.
     edge_fps: HashMap<String, HashSet<u64>>,
+    /// Fingerprint → edge key, so compaction can re-serialize records.
+    fp_edge: HashMap<u64, String>,
+    /// Fingerprint → last-hit generation, the compaction eviction order.
+    hit_gen: HashMap<u64, u64>,
+    /// Monotonic lookup generation.
+    gen: u64,
+    /// Current byte length of the backing file (tracked, not re-stat'ed).
+    bytes: u64,
     file: Option<std::fs::File>,
 }
 
 /// The on-disk decision store: a versioned, append-only JSONL file of
 /// fingerprint-keyed decision records, loaded (and resolved against the
 /// current program) once at open. Thread-safe; lookups clone.
+///
+/// Read-write opens take an advisory lock file ([`LOCK_FILE`]) so two
+/// processes can never interleave appends into one JSONL: the loser
+/// degrades to read-only (counted under
+/// [`Counter::CacheLockContended`]) instead of corrupting the store. A
+/// lock left behind by a dead process (crash, `kill -9`) is detected by
+/// pid liveness and stolen.
 pub struct DecisionStore {
     mode: CacheMode,
     path: PathBuf,
     skipped_corrupt: u64,
+    limits: StoreLimits,
+    /// The lock file this store owns (removed on drop), if any.
+    lock_path: Option<PathBuf>,
+    /// True when a read-write open lost the lock and degraded to read.
+    lock_contended: bool,
     inner: Mutex<StoreInner>,
 }
 
@@ -336,9 +383,36 @@ impl DecisionStore {
     /// read-write mode). Only I/O that makes the store unusable (an
     /// uncreatable directory, an unopenable append handle) errors.
     pub fn open(dir: &Path, mode: CacheMode, program: &Program) -> std::io::Result<DecisionStore> {
+        Self::open_with_limits(dir, mode, program, StoreLimits::default())
+    }
+
+    /// [`DecisionStore::open`] with explicit residency limits (see
+    /// [`StoreLimits`]).
+    pub fn open_with_limits(
+        dir: &Path,
+        mode: CacheMode,
+        program: &Program,
+        limits: StoreLimits,
+    ) -> std::io::Result<DecisionStore> {
         assert!(mode != CacheMode::Off, "CacheMode::Off opens no store");
+        let mut mode = mode;
+        let mut lock_path = None;
+        let mut lock_contended = false;
         if mode == CacheMode::ReadWrite {
             std::fs::create_dir_all(dir)?;
+            // A leftover compaction scratch file (crash mid-compaction)
+            // is never read; clear it so it cannot accumulate.
+            let _ = std::fs::remove_file(dir.join(TMP_FILE));
+            match acquire_lock(dir) {
+                Some(p) => lock_path = Some(p),
+                None => {
+                    // Another live process owns the store: degrade to
+                    // read-only instead of risking interleaved appends.
+                    mode = CacheMode::Read;
+                    lock_contended = true;
+                    obs::add(Counter::CacheLockContended, 1);
+                }
+            }
         }
         let path = dir.join(CACHE_FILE);
         let resolver = MethodResolver::new(program);
@@ -380,6 +454,7 @@ impl DecisionStore {
                 discard_file = true;
             }
         }
+        let mut bytes = 0u64;
         let file = if mode == CacheMode::ReadWrite {
             let fresh = discard_file || !path.exists();
             let mut f = std::fs::OpenOptions::new()
@@ -391,6 +466,7 @@ impl DecisionStore {
             if fresh {
                 writeln!(f, "{}", header_line())?;
             }
+            bytes = f.metadata().map(|m| m.len()).unwrap_or(0);
             Some(f)
         } else {
             None
@@ -398,11 +474,27 @@ impl DecisionStore {
         if skipped > 0 {
             obs::add(Counter::CacheSkippedCorrupt, skipped);
         }
+        let fp_edge: HashMap<u64, String> = edge_fps
+            .iter()
+            .flat_map(|(key, fps)| fps.iter().map(move |&fp| (fp, key.clone())))
+            .collect();
+        let hit_gen = records.keys().map(|&fp| (fp, 0)).collect();
         Ok(DecisionStore {
             mode,
             path,
             skipped_corrupt: skipped,
-            inner: Mutex::new(StoreInner { records, edge_fps, file }),
+            limits,
+            lock_path,
+            lock_contended,
+            inner: Mutex::new(StoreInner {
+                records,
+                edge_fps,
+                fp_edge,
+                hit_gen,
+                gen: 0,
+                bytes,
+                file,
+            }),
         })
     }
 
@@ -422,6 +514,22 @@ impl DecisionStore {
         self.skipped_corrupt
     }
 
+    /// True when a read-write open lost the advisory lock to another live
+    /// process and degraded to read-only.
+    pub fn lock_contended(&self) -> bool {
+        self.lock_contended
+    }
+
+    /// The residency limits this store was opened with.
+    pub fn limits(&self) -> StoreLimits {
+        self.limits
+    }
+
+    /// Tracked byte length of the backing JSONL file (0 in read mode).
+    pub fn file_bytes(&self) -> u64 {
+        lock(&self.inner).bytes
+    }
+
     /// Number of loaded (resolvable) records.
     pub fn len(&self) -> usize {
         lock(&self.inner).records.len()
@@ -432,9 +540,17 @@ impl DecisionStore {
         self.len() == 0
     }
 
-    /// The record stored under `fp`, if any.
+    /// The record stored under `fp`, if any. A hit refreshes the record's
+    /// generation, protecting it from size-cap compaction.
     pub fn lookup(&self, fp: u64) -> Option<PersistedDecision> {
-        lock(&self.inner).records.get(&fp).cloned()
+        let mut inner = lock(&self.inner);
+        inner.gen += 1;
+        let g = inner.gen;
+        let d = inner.records.get(&fp).cloned();
+        if d.is_some() {
+            inner.hit_gen.insert(fp, g);
+        }
+        d
     }
 
     /// True when a record exists for this edge under a *different*
@@ -457,14 +573,133 @@ impl DecisionStore {
             return;
         }
         let Some(value) = serialize_record(program, fp, edge_key, d) else { return };
+        let line = value.to_json();
         if let Some(f) = &mut inner.file {
             // A failed append leaves the in-memory tier intact; worst
             // case the next run recomputes (and the partial line is
             // skipped as corrupt).
-            let _ = writeln!(f, "{}", value.to_json());
+            let _ = writeln!(f, "{line}");
+            inner.bytes += line.len() as u64 + 1;
         }
         inner.edge_fps.entry(edge_key.to_owned()).or_default().insert(fp);
+        inner.fp_edge.insert(fp, edge_key.to_owned());
+        inner.gen += 1;
+        let g = inner.gen;
+        inner.hit_gen.insert(fp, g);
         inner.records.insert(fp, d.clone());
+        if self.limits.max_bytes.is_some_and(|cap| inner.bytes > cap) {
+            self.compact_locked(program, &mut inner);
+        }
+    }
+
+    /// Rewrites the backing file keeping records most-recently-hit first
+    /// until it fits in half the size cap, dropping the rest. Writes go to
+    /// a scratch file atomically renamed over the store, so a crash at any
+    /// point leaves either the old or the new file — never a torn one.
+    fn compact_locked(&self, program: &Program, inner: &mut StoreInner) {
+        let Some(cap) = self.limits.max_bytes else { return };
+        if inner.file.is_none() {
+            return;
+        }
+        let budget = (cap / 2).max(header_line().len() as u64 + 1);
+        let mut fps: Vec<u64> = inner.records.keys().copied().collect();
+        fps.sort_by_key(|fp| std::cmp::Reverse(inner.hit_gen.get(fp).copied().unwrap_or(0)));
+        let mut out = String::new();
+        out.push_str(&header_line());
+        out.push('\n');
+        let mut kept = HashSet::new();
+        for fp in fps {
+            let Some(key) = inner.fp_edge.get(&fp) else { continue };
+            let Some(d) = inner.records.get(&fp) else { continue };
+            let Some(v) = serialize_record(program, fp, key, d) else { continue };
+            let line = v.to_json();
+            if out.len() as u64 + line.len() as u64 + 1 > budget {
+                break;
+            }
+            out.push_str(&line);
+            out.push('\n');
+            kept.insert(fp);
+        }
+        let tmp = self.path.with_file_name(TMP_FILE);
+        // Any I/O failure here keeps the current (oversized but valid)
+        // file; the next append retries the compaction.
+        if std::fs::write(&tmp, &out).is_err() {
+            return;
+        }
+        if std::fs::rename(&tmp, &self.path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        match std::fs::OpenOptions::new().append(true).open(&self.path) {
+            Ok(f) => inner.file = Some(f),
+            // The renamed file is intact; this store just stops appending.
+            Err(_) => inner.file = None,
+        }
+        let dropped = (inner.records.len() - kept.len()) as u64;
+        inner.records.retain(|fp, _| kept.contains(fp));
+        inner.fp_edge.retain(|fp, _| kept.contains(fp));
+        inner.hit_gen.retain(|fp, _| kept.contains(fp));
+        for fps in inner.edge_fps.values_mut() {
+            fps.retain(|fp| kept.contains(fp));
+        }
+        inner.edge_fps.retain(|_, fps| !fps.is_empty());
+        inner.bytes = out.len() as u64;
+        obs::add(Counter::CacheCompactions, 1);
+        if dropped > 0 {
+            obs::add(Counter::CacheRecordsDropped, dropped);
+        }
+    }
+}
+
+impl Drop for DecisionStore {
+    fn drop(&mut self) {
+        if let Some(p) = &self.lock_path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+/// Tries to take the advisory write lock in `dir`: atomically creates
+/// [`LOCK_FILE`] containing this process's pid. A lock whose recorded pid
+/// is no longer alive (crashed owner) is stolen once. Returns the owned
+/// lock path, or `None` when another live process holds it.
+fn acquire_lock(dir: &Path) -> Option<PathBuf> {
+    let path = dir.join(LOCK_FILE);
+    for attempt in 0..2 {
+        match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{}", std::process::id());
+                return Some(path);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                if attempt == 0 && lock_holder_is_dead(&path) {
+                    let _ = std::fs::remove_file(&path);
+                    continue;
+                }
+                return None;
+            }
+            Err(_) => return None,
+        }
+    }
+    None
+}
+
+/// True when the pid recorded in the lock file provably no longer runs.
+/// Unknown (unparseable pid, non-Linux hosts) counts as alive — degrading
+/// to read-only is always safe; stealing a live lock is not.
+fn lock_holder_is_dead(path: &Path) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else { return false };
+    let Ok(pid) = text.trim().parse::<u32>() else { return false };
+    if pid == std::process::id() {
+        return false;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        !Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
     }
 }
 
@@ -903,6 +1138,102 @@ entry main;
         drop(store);
         let text = std::fs::read_to_string(dir.join(CACHE_FILE)).unwrap();
         assert_eq!(text.lines().count(), 1, "read mode must not append");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_lock_degrades_second_writer() {
+        let (p, _r) = setup(SRC);
+        let dir = std::env::temp_dir().join("thresher-persist-lock");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let a = DecisionStore::open(&dir, CacheMode::ReadWrite, &p).unwrap();
+        assert!(!a.lock_contended());
+        assert_eq!(a.mode(), CacheMode::ReadWrite);
+
+        // Same store, second writer: must degrade to read-only, not
+        // interleave appends.
+        let b = DecisionStore::open(&dir, CacheMode::ReadWrite, &p).unwrap();
+        assert!(b.lock_contended());
+        assert_eq!(b.mode(), CacheMode::Read);
+        b.record(&p, 7, "$CACHE => box0", &sample_decision());
+        assert!(b.is_empty(), "degraded store must not write");
+
+        // Read mode never contends.
+        let r = DecisionStore::open(&dir, CacheMode::Read, &p).unwrap();
+        assert!(!r.lock_contended());
+
+        // Dropping the owner releases the lock for the next writer.
+        drop(a);
+        let c = DecisionStore::open(&dir, CacheMode::ReadWrite, &p).unwrap();
+        assert!(!c.lock_contended());
+        assert_eq!(c.mode(), CacheMode::ReadWrite);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_from_dead_process_is_stolen() {
+        let (p, _r) = setup(SRC);
+        let dir = std::env::temp_dir().join("thresher-persist-stale-lock");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A pid far above any real pid_max: provably dead on Linux.
+        std::fs::write(dir.join(LOCK_FILE), "999999999\n").unwrap();
+        let store = DecisionStore::open(&dir, CacheMode::ReadWrite, &p).unwrap();
+        #[cfg(target_os = "linux")]
+        {
+            assert!(!store.lock_contended(), "dead owner's lock must be stolen");
+            assert_eq!(store.mode(), CacheMode::ReadWrite);
+        }
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn size_cap_compaction_keeps_recently_hit_and_bounds_file() {
+        let (p, _r) = setup(SRC);
+        let dir = std::env::temp_dir().join("thresher-persist-compact");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cap = 2048u64;
+        let store = DecisionStore::open_with_limits(
+            &dir,
+            CacheMode::ReadWrite,
+            &p,
+            StoreLimits::with_max_bytes(cap),
+        )
+        .unwrap();
+        let hot = 1_000u64;
+        for i in 0..40u64 {
+            store.record(&p, hot + i, &format!("$CACHE => box{i}"), &sample_decision());
+            // Keep the first record hot: every compaction must spare it.
+            assert!(store.lookup(hot).is_some(), "hot record evicted at step {i}");
+        }
+        assert!(store.file_bytes() <= cap, "file over cap: {}", store.file_bytes());
+        assert!(store.len() < 40, "compaction never dropped anything");
+        drop(store);
+
+        // The rewritten file is valid and the kept records survive reopen.
+        let back = DecisionStore::open(&dir, CacheMode::Read, &p).unwrap();
+        assert_eq!(back.skipped_corrupt(), 0, "compacted file must be clean");
+        assert!(back.lookup(hot).is_some());
+        let on_disk = std::fs::metadata(dir.join(CACHE_FILE)).unwrap().len();
+        assert!(on_disk <= cap);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leftover_compaction_scratch_is_ignored_and_cleared() {
+        let (p, _r) = setup(SRC);
+        let dir = std::env::temp_dir().join("thresher-persist-scratch");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Simulate a kill -9 mid-compaction: a half-written scratch file.
+        std::fs::write(dir.join(TMP_FILE), "{\"fp\":\"trunc").unwrap();
+        let store = DecisionStore::open(&dir, CacheMode::ReadWrite, &p).unwrap();
+        store.record(&p, 7, "$CACHE => box0", &sample_decision());
+        assert!(!dir.join(TMP_FILE).exists(), "scratch file must be cleared at open");
+        assert_eq!(store.len(), 1);
+        drop(store);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

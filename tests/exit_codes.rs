@@ -1,0 +1,102 @@
+//! The documented process exit-code contract (`thresher::exit`), exercised
+//! end-to-end against the real binaries: analysis outcomes (0/1/2) and the
+//! sysexits failure band (64+), shared by `thresher-cli` and
+//! `thresher-serve`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+const PROGRAM: &str = r#"
+class Box { field item: Object; }
+global CACHE: Box;
+fn main() {
+  var b: Box;
+  var secret: Object;
+  var s: Object;
+  b = new Box @box0;
+  secret = new Object @secret0;
+  s = new Object @str0;
+  b.item = s;
+  $CACHE = b;
+}
+entry main;
+"#;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("thresher-exit-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn cli(args: &[&str]) -> Option<i32> {
+    Command::new(env!("CARGO_BIN_EXE_thresher-cli"))
+        .args(args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run thresher-cli")
+        .code()
+}
+
+#[test]
+fn cli_analysis_outcomes() {
+    let dir = tmp("outcomes");
+    let path = dir.join("boxy.tir");
+    fs::write(&path, PROGRAM).expect("write program");
+    let p = path.to_str().unwrap();
+
+    // Completed, everything refuted -> 0.
+    assert_eq!(cli(&[p, "--query", "CACHE", "secret0"]), Some(0));
+    // Completed with a finding (reachable) -> 1.
+    assert_eq!(cli(&[p, "--query", "CACHE", "str0"]), Some(1));
+    // Findings dominate refutations when both are queried.
+    assert_eq!(cli(&[p, "--query", "CACHE", "secret0", "--query", "CACHE", "str0"]), Some(1));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_failure_band() {
+    let dir = tmp("failures");
+    let good = dir.join("boxy.tir");
+    fs::write(&good, PROGRAM).expect("write program");
+    let bad = dir.join("broken.tir");
+    fs::write(&bad, "class {{{ not tir").expect("write broken program");
+
+    // Usage errors -> 64.
+    assert_eq!(cli(&["--definitely-not-a-flag"]), Some(64));
+    assert_eq!(cli(&[good.to_str().unwrap(), "--query", "NO_SUCH_GLOBAL", "str0"]), Some(64));
+    // Missing input -> 66.
+    assert_eq!(cli(&[dir.join("missing.tir").to_str().unwrap()]), Some(66));
+    // Parse error -> 65.
+    assert_eq!(cli(&[bad.to_str().unwrap()]), Some(65));
+    // --diff-reports with unreadable inputs -> 66.
+    assert_eq!(cli(&["--diff-reports", "no-such-a.json", "no-such-b.json"]), Some(66));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_shares_the_contract() {
+    // Usage error -> 64.
+    let code = Command::new(env!("CARGO_BIN_EXE_thresher-serve"))
+        .arg("--definitely-not-a-flag")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run thresher-serve")
+        .code();
+    assert_eq!(code, Some(64));
+
+    // A clean drain (EOF with no requests) -> 0.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_thresher-serve"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn thresher-serve");
+    child.stdin.take().unwrap().write_all(b"").unwrap();
+    let status = child.wait().expect("wait");
+    assert_eq!(status.code(), Some(0));
+}
