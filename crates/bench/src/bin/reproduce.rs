@@ -15,14 +15,17 @@
 //! reproduce serve [--apps a,b,c] [--rounds N]    # resident daemon vs cold pipeline
 //! reproduce all [--budget N]                     # everything
 //!
-//! snapshot options (table1 / jobs / pta / all; table1 and all include the pta breakdown):
+//! snapshot options (table1 / jobs / pta / serve / all; table1 and all include the pta breakdown):
 //!   --snapshot-out <path>   where to write the perf snapshot JSON
 //!                           (default BENCH_<unix-time>.json)
 //!   --no-snapshot           skip writing the snapshot
 //! ```
 //!
 //! Table 1 runs additionally emit a machine-readable perf snapshot
-//! (`thresher.bench_snapshot/2`) so results can be diffed across commits.
+//! (`thresher.bench_snapshot/3`) so results can be diffed across commits.
+//! The `serve` mode records the daemon's request-latency quantiles
+//! (p50/p99, from the `cost` blocks attached to every response) and the
+//! summed per-phase cost splits into the snapshot's `serve` section.
 //!
 //! The `incremental` mode runs every selected app cold then warm against
 //! a persistent refutation cache and prints the wall-clock comparison.
@@ -49,7 +52,7 @@ use apps::BenchApp;
 use bench::{
     format_table1_row, perf_snapshot_json_full, run_jobs_sweep, run_loop_ablation, run_pta_bench,
     run_repr_comparison, run_simplification_ablation, run_table1_row, table1_header,
-    JobsSweepPoint, PtaBenchPoint, Table1Row,
+    JobsSweepPoint, PtaBenchPoint, ServeLatencyPoint, Table1Row,
 };
 use symex::{Representation, SymexConfig};
 
@@ -113,8 +116,11 @@ fn write_snapshot(
     budget: u64,
     sweep: &[JobsSweepPoint],
     pta: &[PtaBenchPoint],
+    serve: &[ServeLatencyPoint],
 ) {
-    if (rows.is_empty() && pta.is_empty()) || args.iter().any(|a| a == "--no-snapshot") {
+    if (rows.is_empty() && pta.is_empty() && serve.is_empty())
+        || args.iter().any(|a| a == "--no-snapshot")
+    {
         return;
     }
     let unix_time_s = std::time::SystemTime::now()
@@ -127,7 +133,7 @@ fn write_snapshot(
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| format!("BENCH_{unix_time_s}.json"));
-    let payload = perf_snapshot_json_full(rows, unix_time_s, budget, sweep, pta);
+    let payload = perf_snapshot_json_full(rows, unix_time_s, budget, sweep, pta, serve);
     match std::fs::write(&path, payload) {
         Ok(()) => println!("perf snapshot written to {path}"),
         Err(e) => eprintln!("warning: cannot write snapshot {path}: {e}"),
@@ -292,14 +298,21 @@ fn incremental(apps: &[BenchApp], budget: u64, root: &std::path::Path) -> bool {
 /// the comparison isolates residency itself; the gate fails the process
 /// if any request errors or any resident answer drifts from its cold
 /// counterpart.
-fn serve_bench(apps: &[BenchApp], rounds: usize) -> bool {
+fn serve_bench(apps: &[BenchApp], rounds: usize) -> (bool, Vec<ServeLatencyPoint>) {
     use obs::json::{parse as parse_json, Value};
     use thresher::serve::{Daemon, ServeConfig};
 
     println!("== serve: resident daemon vs cold per-request pipeline ({rounds} round(s)) ==");
     println!(
-        "{:<14} {:>10} {:>12} {:>9} {:>8} {:>9}",
-        "Benchmark", "cold T(s)", "resident T(s)", "speedup", "alarms", "refuted"
+        "{:<14} {:>10} {:>12} {:>9} {:>8} {:>9} {:>9} {:>9}",
+        "Benchmark",
+        "cold T(s)",
+        "resident T(s)",
+        "speedup",
+        "alarms",
+        "refuted",
+        "p50(us)",
+        "p99(us)"
     );
     let config = || ServeConfig {
         workers: 1,
@@ -321,8 +334,23 @@ fn serve_bench(apps: &[BenchApp], rounds: usize) -> bool {
         let ok = parse_json(line).ok()?.get("ok").cloned()?;
         Some((ok.get("num_alarms")?.as_u64()?, ok.get("num_refuted")?.as_u64()?))
     };
+    // (wall, parse, pta, symex, cache) out of an ok response's cost block.
+    let cost_sample = |line: &str| -> Option<(u64, u64, u64, u64, u64)> {
+        let ok = parse_json(line).ok()?.get("ok").cloned()?;
+        let cost = ok.get("cost")?.clone();
+        let phases = cost.get("phases")?.clone();
+        let p = |k: &str| phases.get(k).and_then(Value::as_u64).unwrap_or(0);
+        Some((
+            cost.get("wall_us")?.as_u64()?,
+            p("parse_us"),
+            p("pta_us"),
+            p("symex_us"),
+            p("cache_us"),
+        ))
+    };
 
     let mut all_ok = true;
+    let mut points = Vec::new();
     for app in apps {
         let source = tir::print_program(&app.program);
         let load = request(
@@ -365,22 +393,38 @@ fn serve_bench(apps: &[BenchApp], rounds: usize) -> bool {
         let agree = answers.len() == rounds && answers.iter().all(|a| Some(*a) == cold_answer);
         all_ok &= summary.completed == 1 + rounds as u64 && agree;
 
+        // Latency quantiles + phase splits of the resident analyses, from
+        // the cost blocks the daemon attaches to every response (the load
+        // is excluded: it is paid once, not per request).
+        let samples: Vec<_> = lines
+            .iter()
+            .filter(|l| {
+                parse_json(l).ok().and_then(|v| v.get("id").and_then(Value::as_u64)) != Some(1)
+            })
+            .filter_map(|l| cost_sample(l))
+            .collect();
+        all_ok &= samples.len() == rounds;
+        let point = ServeLatencyPoint::from_samples(app.name, &samples);
+
         let (alarms, refuted) = cold_answer.unwrap_or((0, 0));
         println!(
-            "{:<14} {:>10.3} {:>12.3} {:>8.2}x {:>8} {:>9}{}",
+            "{:<14} {:>10.3} {:>12.3} {:>8.2}x {:>8} {:>9} {:>9} {:>9}{}",
             app.name,
             cold.as_secs_f64(),
             resident.as_secs_f64(),
             cold.as_secs_f64() / resident.as_secs_f64().max(1e-9),
             alarms,
             refuted,
+            point.p50_us,
+            point.p99_us,
             if agree { "" } else { "  ANSWER DRIFT" },
         );
+        points.push(point);
     }
     if !all_ok {
         eprintln!("FAIL: a serve request errored or a resident answer drifted from cold");
     }
-    all_ok
+    (all_ok, points)
 }
 
 fn table2(apps: &[BenchApp], budget: u64) {
@@ -480,7 +524,7 @@ fn main() {
             let rows = table1(&apps, budget);
             println!();
             let points = pta_bench(scale, false);
-            write_snapshot(&args, &rows, budget, &[], &points);
+            write_snapshot(&args, &rows, budget, &[], &points, &[]);
         }
         "table2" => table2(&apps, budget),
         "simplification" => simplification(&apps, budget),
@@ -489,7 +533,7 @@ fn main() {
         "jobs" => {
             let gate = args.iter().any(|a| a == "--assert-scaling");
             let (points, rows) = jobs_sweep(&apps, budget, gate);
-            write_snapshot(&args, &rows, budget, &points, &[]);
+            write_snapshot(&args, &rows, budget, &points, &[], &[]);
         }
         "serve" => {
             let rounds = args
@@ -498,14 +542,16 @@ fn main() {
                 .and_then(|i| args.get(i + 1))
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(3);
-            if !serve_bench(&apps, rounds) {
+            let (ok, points) = serve_bench(&apps, rounds);
+            write_snapshot(&args, &[], budget, &[], &[], &points);
+            if !ok {
                 std::process::exit(1);
             }
         }
         "pta" => {
             let gate = args.iter().any(|a| a == "--assert-fewer-propagations");
             let points = pta_bench(scale, gate);
-            write_snapshot(&args, &[], budget, &[], &points);
+            write_snapshot(&args, &[], budget, &[], &points, &[]);
         }
         "incremental" => {
             let root = args
@@ -533,7 +579,7 @@ fn main() {
             loops();
             println!();
             let points = pta_bench(scale, false);
-            write_snapshot(&args, &rows, budget, &[], &points);
+            write_snapshot(&args, &rows, budget, &[], &points, &[]);
         }
         other => {
             eprintln!(

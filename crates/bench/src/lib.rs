@@ -576,8 +576,80 @@ pub fn format_table1_row(r: &Table1Row) -> String {
 }
 
 /// Schema identifier written into every perf snapshot (see
-/// [`perf_snapshot_json`]).
-pub const SNAPSHOT_SCHEMA: &str = "thresher.bench_snapshot/2";
+/// [`perf_snapshot_json`]). Version 3 added the `serve` section
+/// (daemon latency quantiles + per-phase cost splits).
+pub const SNAPSHOT_SCHEMA: &str = "thresher.bench_snapshot/3";
+
+/// One `reproduce serve` measurement: request-latency quantiles and the
+/// summed per-phase cost splits of a resident daemon answering `rounds`
+/// analyses of one app, straight from the response `cost` blocks.
+#[derive(Clone, Debug)]
+pub struct ServeLatencyPoint {
+    /// Benchmark name.
+    pub name: String,
+    /// Resident (post-load) requests measured.
+    pub requests: u64,
+    /// Median request wall time, microseconds (nearest rank).
+    pub p50_us: u64,
+    /// 99th-percentile request wall time, microseconds (nearest rank).
+    pub p99_us: u64,
+    /// Worst request wall time, microseconds.
+    pub max_us: u64,
+    /// Summed `cost.phases.parse_us` over the measured requests.
+    pub parse_us: u64,
+    /// Summed `cost.phases.pta_us`.
+    pub pta_us: u64,
+    /// Summed `cost.phases.symex_us`.
+    pub symex_us: u64,
+    /// Summed `cost.phases.cache_us`.
+    pub cache_us: u64,
+}
+
+impl ServeLatencyPoint {
+    /// Builds a point from per-request `(wall_us, parse, pta, symex,
+    /// cache)` cost samples. Quantiles are exact nearest-rank (the sample
+    /// set is small and fully retained).
+    pub fn from_samples(name: impl Into<String>, samples: &[(u64, u64, u64, u64, u64)]) -> Self {
+        let mut window = obs::SlidingWindow::new(samples.len().max(1));
+        for &(wall, ..) in samples {
+            window.push(wall);
+        }
+        let sum = |f: fn(&(u64, u64, u64, u64, u64)) -> u64| samples.iter().map(f).sum();
+        ServeLatencyPoint {
+            name: name.into(),
+            requests: samples.len() as u64,
+            p50_us: window.quantile(0.5).unwrap_or(0),
+            p99_us: window.quantile(0.99).unwrap_or(0),
+            max_us: window.max().unwrap_or(0),
+            parse_us: sum(|s| s.1),
+            pta_us: sum(|s| s.2),
+            symex_us: sum(|s| s.3),
+            cache_us: sum(|s| s.4),
+        }
+    }
+
+    /// A structured JSON view of the point, for the snapshot's `serve`
+    /// section.
+    pub fn to_value(&self) -> obs::json::Value {
+        use obs::json::Value;
+        Value::Obj(vec![
+            ("name".to_owned(), Value::str(self.name.clone())),
+            ("requests".to_owned(), Value::uint(self.requests)),
+            ("p50_us".to_owned(), Value::uint(self.p50_us)),
+            ("p99_us".to_owned(), Value::uint(self.p99_us)),
+            ("max_us".to_owned(), Value::uint(self.max_us)),
+            (
+                "phases_us".to_owned(),
+                Value::Obj(vec![
+                    ("parse".to_owned(), Value::uint(self.parse_us)),
+                    ("pta".to_owned(), Value::uint(self.pta_us)),
+                    ("symex".to_owned(), Value::uint(self.symex_us)),
+                    ("cache".to_owned(), Value::uint(self.cache_us)),
+                ]),
+            ),
+        ])
+    }
+}
 
 impl Table1Row {
     /// A structured JSON view of the row, mirroring the printed columns
@@ -628,19 +700,22 @@ pub fn perf_snapshot_json_with_sweep(
     budget: u64,
     sweep: &[JobsSweepPoint],
 ) -> String {
-    perf_snapshot_json_full(rows, unix_time_s, budget, sweep, &[])
+    perf_snapshot_json_full(rows, unix_time_s, budget, sweep, &[], &[])
 }
 
-/// The full snapshot serializer (schema `thresher.bench_snapshot/2`):
-/// Table 1 rows, an optional `--jobs` sweep, and an optional `pta` phase
+/// The full snapshot serializer (schema `thresher.bench_snapshot/3`):
+/// Table 1 rows, an optional `--jobs` sweep, an optional `pta` phase
 /// breakdown of [`PtaBenchPoint`]s (per program × solver: solve wall
-/// time, propagation/delta/SCC effort counters).
+/// time, propagation/delta/SCC effort counters), and an optional `serve`
+/// section of [`ServeLatencyPoint`]s (daemon latency quantiles +
+/// per-phase cost splits).
 pub fn perf_snapshot_json_full(
     rows: &[Table1Row],
     unix_time_s: u64,
     budget: u64,
     sweep: &[JobsSweepPoint],
     pta_points: &[PtaBenchPoint],
+    serve_points: &[ServeLatencyPoint],
 ) -> String {
     use obs::json::Value;
     let mut fields = vec![
@@ -671,6 +746,12 @@ pub fn perf_snapshot_json_full(
         fields.push((
             "pta".to_owned(),
             Value::Arr(pta_points.iter().map(PtaBenchPoint::to_value).collect()),
+        ));
+    }
+    if !serve_points.is_empty() {
+        fields.push((
+            "serve".to_owned(),
+            Value::Arr(serve_points.iter().map(ServeLatencyPoint::to_value).collect()),
         ));
     }
     Value::Obj(fields).to_json()

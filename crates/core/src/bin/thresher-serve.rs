@@ -30,6 +30,17 @@
 //!                              (fault injection; dev/test only)
 //!   --report-out <path>        write the daemon-lifetime RunReport JSON on
 //!                              exit
+//!   --metrics-addr <addr:port> serve Prometheus text exposition
+//!                              (counters, gauges, histogram buckets,
+//!                              sliding-window quantiles) over HTTP GET
+//!   --window <N>               sliding-window size for latency/queue
+//!                              quantiles (default 512 samples)
+//!   --slow-log <path>          append span tree + cost block of slow
+//!                              requests to a bounded JSONL file
+//!   --slow-threshold-ms <N>    requests at or above this wall time go to
+//!                              the slow log (default 1000)
+//!   --slow-log-bytes <N>       slow-log size cap; past it the oldest half
+//!                              is truncated away (default 1048576)
 //!
 //! The daemon serves requests from stdin and answers on stdout, one JSON
 //! object per line (see thresher::serve::protocol). It exits — after
@@ -47,6 +58,7 @@ use thresher::serve::{request_drain, Daemon, ServeConfig};
 struct Options {
     config: ServeConfig,
     listen: Option<String>,
+    metrics_addr: Option<String>,
     report_out: Option<String>,
 }
 
@@ -58,6 +70,7 @@ fn next_num(args: &mut impl Iterator<Item = String>, what: &str) -> Result<u64, 
 fn parse_args() -> Result<Options, String> {
     let mut config = ServeConfig::default();
     let mut listen = None;
+    let mut metrics_addr = None;
     let mut report_out = None;
     let mut global_budget = None;
     let mut args = std::env::args().skip(1);
@@ -88,12 +101,26 @@ fn parse_args() -> Result<Options, String> {
             "--report-out" => {
                 report_out = Some(args.next().ok_or("--report-out needs a path")?);
             }
+            "--metrics-addr" => {
+                metrics_addr = Some(args.next().ok_or("--metrics-addr needs <addr:port>")?);
+            }
+            "--window" => config.window = next_num(&mut args, "--window")?.max(1) as usize,
+            "--slow-log" => {
+                config.slow_log = Some(args.next().ok_or("--slow-log needs a path")?.into());
+            }
+            "--slow-threshold-ms" => {
+                config.slow_threshold =
+                    std::time::Duration::from_millis(next_num(&mut args, "--slow-threshold-ms")?);
+            }
+            "--slow-log-bytes" => {
+                config.slow_log_bytes_cap = next_num(&mut args, "--slow-log-bytes")?;
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
     // The fair-share default tracks the (possibly overridden) worker count.
     config.global_budget = global_budget.unwrap_or(10_000 * config.workers as u64);
-    Ok(Options { config, listen, report_out })
+    Ok(Options { config, listen, metrics_addr, report_out })
 }
 
 /// Routes SIGTERM to the drain flag. `signal(2)` with a plain function
@@ -127,10 +154,11 @@ fn main() -> ExitCode {
         }
     };
 
-    // The recorder aggregates every completed request's replayed metrics
-    // into the daemon-lifetime report.
-    let recorder =
-        opts.report_out.is_some().then(|| MemRecorder::install_static(RingCapacity::default()));
+    // The recorder is always installed, not just under --report-out:
+    // per-request cost blocks, the metrics exposition, and the slow log are
+    // all carved out of captured deltas, and obs::capture only buffers
+    // while a recorder is live.
+    let recorder = MemRecorder::install_static(RingCapacity::default());
 
     install_sigterm_handler();
 
@@ -148,6 +176,20 @@ fn main() -> ExitCode {
             return ExitCode::from(exit::IOERR);
         }
         eprintln!("thresher-serve: listening on {addr}");
+    }
+    if let Some(addr) = &opts.metrics_addr {
+        let listener = match std::net::TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: cannot listen on {addr}: {e}");
+                return ExitCode::from(exit::IOERR);
+            }
+        };
+        if let Err(e) = daemon.start_metrics_listener(listener) {
+            eprintln!("error: cannot start metrics listener on {addr}: {e}");
+            return ExitCode::from(exit::IOERR);
+        }
+        eprintln!("thresher-serve: metrics on {addr}");
     }
 
     let stdin = std::io::stdin();
@@ -167,8 +209,8 @@ fn main() -> ExitCode {
         summary.evicted,
     );
 
-    if let (Some(path), Some(rec)) = (&opts.report_out, recorder) {
-        let report = rec.run_report(&[("tool", "thresher-serve")]);
+    if let Some(path) = &opts.report_out {
+        let report = recorder.run_report(&[("tool", "thresher-serve")]);
         if let Err(e) = std::fs::write(path, report.to_json()) {
             eprintln!("error: cannot write report {path}: {e}");
             return ExitCode::from(exit::IOERR);

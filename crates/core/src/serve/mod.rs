@@ -35,6 +35,8 @@
 pub mod faults;
 pub mod protocol;
 
+mod telemetry;
+
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
 use std::net::TcpListener;
@@ -55,6 +57,7 @@ use tir::Program;
 
 use faults::Fault;
 use protocol::{err_response, ok_response, parse_request, ErrorCode, Request, ServeError};
+use telemetry::{cost_value, Phases, SlowLog, Telemetry};
 
 /// Process-global drain flag, set by [`request_drain`] (safe to call from a
 /// signal handler: it is a single relaxed atomic store).
@@ -102,6 +105,17 @@ pub struct ServeConfig {
     pub cache_bytes_cap: u64,
     /// Honor the `"inject"` request parameter (see [`faults`]).
     pub inject: bool,
+    /// Sliding-window capacity for the per-method latency and queue
+    /// rings behind the `metrics` method.
+    pub window: usize,
+    /// Slow-request JSONL log path; `None` disables slow-request
+    /// forensics.
+    pub slow_log: Option<PathBuf>,
+    /// Requests whose wall time reaches this threshold are appended to
+    /// the slow log (when one is configured).
+    pub slow_threshold: Duration,
+    /// Slow-log byte cap; past it the oldest entries are dropped.
+    pub slow_log_bytes_cap: u64,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +133,10 @@ impl Default for ServeConfig {
             cache_root: None,
             cache_bytes_cap: 4 * 1024 * 1024,
             inject: false,
+            window: 512,
+            slow_log: None,
+            slow_threshold: Duration::from_secs(1),
+            slow_log_bytes_cap: 1024 * 1024,
         }
     }
 }
@@ -171,6 +189,7 @@ type Out = Arc<Mutex<Box<dyn Write + Send>>>;
 struct Job {
     req: Request,
     deadline: Instant,
+    queued_at: Instant,
     out: Out,
 }
 
@@ -200,6 +219,7 @@ struct Shared {
     active: AtomicUsize,
     started: Instant,
     counts: Counts,
+    telemetry: Telemetry,
 }
 
 /// The resident analysis daemon. Construct with [`Daemon::new`], then call
@@ -209,12 +229,16 @@ struct Shared {
 pub struct Daemon {
     shared: Arc<Shared>,
     listener: Mutex<Option<JoinHandle<()>>>,
+    metrics_listener: Mutex<Option<JoinHandle<()>>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl Daemon {
     /// A daemon with the given configuration (not yet serving).
     pub fn new(config: ServeConfig) -> Self {
+        let slow =
+            config.slow_log.clone().map(|path| SlowLog::new(path, config.slow_log_bytes_cap));
+        let telemetry = Telemetry::new(config.window, slow);
         Daemon {
             shared: Arc::new(Shared {
                 config,
@@ -226,8 +250,10 @@ impl Daemon {
                 active: AtomicUsize::new(0),
                 started: Instant::now(),
                 counts: Counts::default(),
+                telemetry,
             }),
             listener: Mutex::new(None),
+            metrics_listener: Mutex::new(None),
             conns: Arc::new(Mutex::new(Vec::new())),
         }
     }
@@ -273,6 +299,9 @@ impl Daemon {
             let _ = h.join();
         }
         if let Some(h) = self.listener.lock().unwrap().take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.metrics_listener.lock().unwrap().take() {
             let _ = h.join();
         }
         for h in self.conns.lock().unwrap().drain(..) {
@@ -345,6 +374,68 @@ impl Daemon {
         self.listener.lock().unwrap().replace(handle);
         Ok(())
     }
+
+    /// Additionally serves the Prometheus text exposition over HTTP on
+    /// `listener` (the `--metrics-addr` flag). Each connection gets one
+    /// minimal HTTP/1.0 response with the current exposition and is then
+    /// closed — enough for `curl` and any Prometheus scraper, with zero
+    /// dependencies. Winds down when the daemon drains.
+    pub fn start_metrics_listener(&self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let shared = self.shared.clone();
+        let handle = std::thread::spawn(move || loop {
+            if shared.is_draining() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => serve_metrics_conn(&shared, stream),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(_) => break,
+            }
+        });
+        self.metrics_listener.lock().unwrap().replace(handle);
+        Ok(())
+    }
+
+    /// The current Prometheus exposition (what the `metrics` method and
+    /// the `--metrics-addr` endpoint serve), for embedding callers.
+    pub fn exposition(&self) -> String {
+        self.shared.exposition()
+    }
+}
+
+/// One metrics-endpoint connection: swallow the request head, answer with
+/// the exposition, close.
+fn serve_metrics_conn(shared: &Arc<Shared>, stream: std::net::TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    {
+        let mut reader = std::io::BufReader::new(&stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) if line.trim().is_empty() => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+    }
+    let body = shared.exposition();
+    let mut stream = stream;
+    let _ = write!(
+        stream,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.flush();
 }
 
 /// One TCP connection: lines in, responses out, until EOF or drain. Reads
@@ -381,6 +472,22 @@ fn conn_loop(shared: &Arc<Shared>, stream: std::net::TcpStream, client: &str, ou
 impl Shared {
     fn is_draining(&self) -> bool {
         self.draining.load(Ordering::Relaxed) || drain_requested()
+    }
+
+    /// Bumps a daemon-level counter on BOTH sinks: the global recorder
+    /// (daemon-lifetime `--report-out` report) and the internal telemetry
+    /// registry (the `metrics` exposition). Keeping every daemon-level
+    /// emission behind this helper is what makes the two totals provably
+    /// equal.
+    fn tally(&self, c: Counter, n: u64) {
+        obs::add(c, n);
+        self.telemetry.registry.add(c, n);
+    }
+
+    /// Histogram twin of [`Self::tally`].
+    fn sample(&self, h: Hist, v: u64) {
+        obs::observe(h, v);
+        self.telemetry.registry.observe(h, v);
     }
 
     fn begin_drain(&self) {
@@ -430,7 +537,16 @@ impl Shared {
             // `evict` goes through the queue (not inline) so it stays FIFO
             // with the analysis requests that precede it.
             "load_program" | "analyze" | "query_edge" | "evict" => {
-                self.admit(req, out);
+                self.admit(req, out, false);
+                Flow::Continue
+            }
+            // The observability plane also stays FIFO with analysis
+            // requests (a `metrics` response reflects everything admitted
+            // before it) but is *privileged*: it bypasses the token bucket
+            // and the queue cap, because the telemetry that explains an
+            // overload must stay readable during one.
+            "metrics" | "slowlog" => {
+                self.admit(req, out, true);
                 Flow::Continue
             }
             other => {
@@ -441,55 +557,128 @@ impl Shared {
         }
     }
 
-    fn health_body(&self) -> Value {
+    /// Per-resident decision-store sizes, name-sorted, plus their total.
+    fn store_sizes(&self) -> (Vec<(String, u64)>, u64) {
         let residency = self.residency.lock().unwrap();
-        let mut names: Vec<&String> = residency.map.keys().collect();
-        names.sort();
-        let programs = Value::Arr(names.into_iter().map(|n| Value::str(n.clone())).collect());
+        let mut sizes: Vec<(String, u64)> = residency
+            .map
+            .iter()
+            .map(|(n, r)| (n.clone(), r.store.as_ref().map_or(0, |s| s.file_bytes())))
+            .collect();
+        sizes.sort();
+        let total = sizes.iter().map(|(_, b)| b).sum();
+        (sizes, total)
+    }
+
+    fn health_body(&self) -> Value {
+        let (sizes, store_bytes) = self.store_sizes();
+        let programs = Value::Arr(sizes.iter().map(|(n, _)| Value::str(n.clone())).collect());
+        let stores = Value::Obj(sizes.into_iter().map(|(n, b)| (n, Value::uint(b))).collect());
         let depth = self.queue.lock().unwrap().len();
+        let uptime = self.started.elapsed();
         Value::Obj(vec![
             ("programs".to_owned(), programs),
+            ("stores".to_owned(), stores),
+            ("store_bytes".to_owned(), Value::uint(store_bytes)),
             ("queue_depth".to_owned(), Value::uint(depth as u64)),
             ("active".to_owned(), Value::uint(self.active.load(Ordering::Relaxed) as u64)),
+            (
+                "peak_active".to_owned(),
+                Value::uint(self.telemetry.peak_active.load(Ordering::Relaxed)),
+            ),
             ("draining".to_owned(), Value::Bool(self.is_draining())),
-            ("uptime_ms".to_owned(), Value::uint(self.started.elapsed().as_millis() as u64)),
+            ("uptime_ms".to_owned(), Value::uint(uptime.as_millis() as u64)),
+            ("uptime_s".to_owned(), Value::uint(uptime.as_secs())),
         ])
+    }
+
+    /// The Prometheus text exposition: daemon gauges, recent-window
+    /// quantiles, and every counter/histogram in the telemetry registry.
+    fn exposition(&self) -> String {
+        let mut p = obs::prom::PromText::new();
+        let (_, store_bytes) = self.store_sizes();
+        let resident = self.residency.lock().unwrap().map.len();
+        p.gauge("thresher_serve_resident_programs", "programs currently resident", resident as f64);
+        p.gauge(
+            "thresher_serve_store_bytes",
+            "total bytes of resident decision stores",
+            store_bytes as f64,
+        );
+        p.gauge(
+            "thresher_serve_queue_depth",
+            "pending requests in the queue",
+            self.queue.lock().unwrap().len() as f64,
+        );
+        p.gauge(
+            "thresher_serve_active_requests",
+            "requests currently executing",
+            self.active.load(Ordering::Relaxed) as f64,
+        );
+        p.gauge(
+            "thresher_serve_peak_active_requests",
+            "high-water mark of concurrently executing requests",
+            self.telemetry.peak_active.load(Ordering::Relaxed) as f64,
+        );
+        p.gauge(
+            "thresher_serve_uptime_seconds",
+            "seconds since the daemon started",
+            self.started.elapsed().as_secs_f64(),
+        );
+        p.gauge(
+            "thresher_serve_draining",
+            "1 while the daemon is draining",
+            u64::from(self.is_draining()) as f64,
+        );
+        self.telemetry.windows_into(&mut p);
+        p.registry("thresher_", &self.telemetry.registry);
+        p.finish()
     }
 
     /// Admission control: drain check, per-client token bucket, bounded
     /// queue. Shed requests get an immediate structured error with a
-    /// backoff hint; admitted requests are queued for a worker.
-    fn admit(self: &Arc<Self>, req: Request, out: &Out) {
+    /// backoff hint plus the recent queue-wait estimate; admitted requests
+    /// are queued for a worker. Privileged (observability) requests skip
+    /// the bucket and the queue cap — see [`Self::handle_line`].
+    fn admit(self: &Arc<Self>, req: Request, out: &Out, privileged: bool) {
         if self.is_draining() {
-            self.shed(&req, out, &ServeError::draining());
+            self.shed(&req, out, ServeError::draining());
             return;
         }
-        if !self.bucket_allow(&req.client) {
-            self.shed(&req, out, &ServeError::rate_limited(100));
+        if !privileged && !self.bucket_allow(&req.client) {
+            self.shed(&req, out, ServeError::rate_limited(100));
             return;
         }
         let deadline_ms = req.params.get("deadline_ms").and_then(Value::as_u64);
         let deadline = Instant::now()
             + deadline_ms.map_or(self.config.request_deadline, Duration::from_millis);
         let mut queue = self.queue.lock().unwrap();
-        if queue.len() >= self.config.queue_cap {
+        if !privileged && queue.len() >= self.config.queue_cap {
             drop(queue);
-            self.shed(&req, out, &ServeError::overloaded(100));
+            self.shed(&req, out, ServeError::overloaded(100));
             return;
         }
-        queue.push_back(Job { req, deadline, out: out.clone() });
-        let depth = queue.len() as u64;
-        drop(queue);
+        // Tally BEFORE the push (still under the queue lock): a worker
+        // that pops this job and renders the exposition must already see
+        // it counted, so `requests_admitted` in a `metrics` response
+        // deterministically includes the scrape itself.
+        let depth = queue.len() as u64 + 1;
         self.counts.admitted.fetch_add(1, Ordering::Relaxed);
-        obs::add(Counter::RequestsAdmitted, 1);
-        obs::observe(Hist::QueueDepth, depth);
+        self.tally(Counter::RequestsAdmitted, 1);
+        self.sample(Hist::QueueDepth, depth);
+        self.telemetry.record_queue_depth(depth);
+        queue.push_back(Job { req, deadline, queued_at: Instant::now(), out: out.clone() });
+        drop(queue);
         self.cond.notify_one();
     }
 
-    fn shed(&self, req: &Request, out: &Out, e: &ServeError) {
+    fn shed(&self, req: &Request, out: &Out, e: ServeError) {
+        // Shed responses carry the recent queue-wait estimate so a client
+        // can tell a backed-up daemon (large) from a rate-limit blip
+        // (small) without another round trip.
+        let e = e.with_queue_wait(self.telemetry.queue_wait_hint_ms());
         self.counts.shed.fetch_add(1, Ordering::Relaxed);
-        obs::add(Counter::RequestsShed, 1);
-        write_line(out, &err_response(&req.id, e));
+        self.tally(Counter::RequestsShed, 1);
+        write_line(out, &err_response(&req.id, &e));
     }
 
     /// Takes one token from `client`'s bucket (refilled at
@@ -543,7 +732,7 @@ impl Shared {
                 Some(n) => {
                     residency.map.remove(&n);
                     self.counts.evicted.fetch_add(1, Ordering::Relaxed);
-                    obs::add(Counter::ProgramsEvicted, 1);
+                    self.tally(Counter::ProgramsEvicted, 1);
                 }
                 None => break,
             }
@@ -574,21 +763,44 @@ impl Shared {
 
     // ---- request handlers (run on a worker, inside capture+catch_unwind) ----
 
-    fn execute(&self, req: &Request, deadline: Instant) -> Result<Value, ServeError> {
+    fn execute(
+        &self,
+        req: &Request,
+        deadline: Instant,
+        phases: &mut Phases,
+    ) -> Result<Value, ServeError> {
         match req.method.as_str() {
-            "load_program" => self.do_load(req),
-            "analyze" => self.do_analyze(req, deadline),
-            "query_edge" => self.do_query(req, deadline),
+            "load_program" => self.do_load(req, phases),
+            "analyze" => self.do_analyze(req, deadline, phases),
+            "query_edge" => self.do_query(req, deadline, phases),
             "evict" => {
                 let name = param_str(req, "program")?;
                 let evicted = self.residency.lock().unwrap().map.remove(name).is_some();
                 Ok(Value::Obj(vec![("evicted".to_owned(), Value::Bool(evicted))]))
             }
+            "metrics" => Ok(Value::Obj(vec![
+                ("format".to_owned(), Value::str("prometheus-text-0.0.4")),
+                ("exposition".to_owned(), Value::str(self.exposition())),
+            ])),
+            "slowlog" => {
+                let limit = req.params.get("limit").and_then(Value::as_u64).unwrap_or(32) as usize;
+                let (enabled, path, entries) = match &self.telemetry.slow {
+                    Some(log) => {
+                        (true, Value::str(log.path().display().to_string()), log.read(limit.max(1)))
+                    }
+                    None => (false, Value::Null, Vec::new()),
+                };
+                Ok(Value::Obj(vec![
+                    ("enabled".to_owned(), Value::Bool(enabled)),
+                    ("path".to_owned(), path),
+                    ("entries".to_owned(), Value::Arr(entries)),
+                ]))
+            }
             other => Err(ServeError::bad_request(format!("unknown method {other:?}"))),
         }
     }
 
-    fn do_load(&self, req: &Request) -> Result<Value, ServeError> {
+    fn do_load(&self, req: &Request, phases: &mut Phases) -> Result<Value, ServeError> {
         let name = req
             .params
             .get("name")
@@ -602,12 +814,17 @@ impl Shared {
         } else {
             return Err(ServeError::bad_request("load_program needs params.source or params.path"));
         };
-        let program =
-            tir::parse(&src).map_err(|e| ServeError::bad_request(format!("parse error: {e}")))?;
-        let pta = pta::analyze_with(&program, ContextPolicy::Insensitive, &PtaOptions::default());
-        let modref = ModRef::compute(&program, &pta);
+        let program = phases
+            .time("parse", || tir::parse(&src))
+            .map_err(|e| ServeError::bad_request(format!("parse error: {e}")))?;
+        let (pta, modref) = phases.time("pta", || {
+            let pta =
+                pta::analyze_with(&program, ContextPolicy::Insensitive, &PtaOptions::default());
+            let modref = ModRef::compute(&program, &pta);
+            (pta, modref)
+        });
 
-        let (store, store_dir, cache) = match &self.config.cache_root {
+        let (store, store_dir, cache) = phases.time("cache", || match &self.config.cache_root {
             Some(root) => {
                 let dir = root.join(sanitize(name));
                 match DecisionStore::open_with_limits(
@@ -626,7 +843,7 @@ impl Shared {
                 }
             }
             None => (None, None, "off"),
-        };
+        });
 
         let locs = pta.locs().ids().count() as u64;
         let resident = Arc::new(Resident {
@@ -646,7 +863,12 @@ impl Shared {
         ]))
     }
 
-    fn do_query(&self, req: &Request, deadline: Instant) -> Result<Value, ServeError> {
+    fn do_query(
+        &self,
+        req: &Request,
+        deadline: Instant,
+        phases: &mut Phases,
+    ) -> Result<Value, ServeError> {
         let name = param_str(req, "program")?;
         let res = self.resident(name)?;
         self.maybe_fault(req, &res, deadline)?;
@@ -666,6 +888,7 @@ impl Shared {
             })?;
 
         let config = self.engine_config(req.params.get("budget").and_then(Value::as_u64));
+        phases.note_budget(config.budget);
         let mut sched =
             RefutationScheduler::new(&res.program, &res.pta, &res.modref, config, self.config.jobs);
         if let Some(store) = &res.store {
@@ -673,7 +896,7 @@ impl Shared {
         }
         let mut view = HeapGraphView::new(&res.pta);
         let job = ReachJob { source: global, targets: BitSet::singleton(target.index()) };
-        let outcome = sched.run(&mut view, std::slice::from_ref(&job));
+        let outcome = phases.time("symex", || sched.run(&mut view, std::slice::from_ref(&job)));
         let verdict = outcome.verdicts.into_iter().next().expect("one verdict per job");
         let mut body = match verdict {
             JobVerdict::Refuted { refuted_edges } => vec![
@@ -693,7 +916,12 @@ impl Shared {
         Ok(Value::Obj(body))
     }
 
-    fn do_analyze(&self, req: &Request, deadline: Instant) -> Result<Value, ServeError> {
+    fn do_analyze(
+        &self,
+        req: &Request,
+        deadline: Instant,
+        phases: &mut Phases,
+    ) -> Result<Value, ServeError> {
         let name = param_str(req, "program")?;
         let res = self.resident(name)?;
         self.maybe_fault(req, &res, deadline)?;
@@ -704,12 +932,13 @@ impl Shared {
             )));
         }
         let config = self.engine_config(req.params.get("budget").and_then(Value::as_u64));
+        phases.note_budget(config.budget);
         let mut client = android::LeakClient::new(&res.program, &res.pta, &res.modref, config)
             .with_jobs(self.config.jobs);
         if let Some(store) = &res.store {
             client = client.with_store(store.clone());
         }
-        let report = client.run();
+        let report = phases.time("symex", || client.run());
         let alarms = report
             .alarms
             .iter()
@@ -790,7 +1019,9 @@ impl Shared {
 }
 
 /// One request-handler thread: pop, check the deadline, run the handler
-/// inside capture + `catch_unwind`, commit the metrics delta, respond.
+/// inside capture + `catch_unwind`, commit the metrics delta, attach the
+/// cost block, respond — and feed the telemetry plane (latency windows,
+/// queue-wait samples, slow log) along the way.
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let job = {
@@ -808,50 +1039,64 @@ fn worker_loop(shared: &Arc<Shared>) {
         };
         let Some(job) = job else { return };
 
+        let queue_wait_us = u64::try_from(job.queued_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+        shared.sample(Hist::QueueWaitMicros, queue_wait_us);
+        shared.telemetry.record_queue_wait(queue_wait_us);
+
         if Instant::now() >= job.deadline {
             shared.counts.timed_out.fetch_add(1, Ordering::Relaxed);
-            obs::add(Counter::RequestsTimedOut, 1);
+            shared.tally(Counter::RequestsTimedOut, 1);
             let e = ServeError::deadline("deadline expired while queued");
             write_line(&job.out, &err_response(&job.req.id, &e));
             continue;
         }
 
-        shared.active.fetch_add(1, Ordering::Relaxed);
+        let active = shared.active.fetch_add(1, Ordering::Relaxed) + 1;
+        shared.telemetry.note_active(active as u64);
+        let mut phases = Phases::start();
         // catch_unwind sits INSIDE the capture closure so a panicking
         // handler still yields its (discarded) delta instead of unwinding
         // through the capture machinery; the daemon-level serve counters
         // below are bumped outside the capture so they land on the global
-        // recorder, never in a per-request report.
+        // recorder (and the telemetry registry), never in a per-request
+        // report.
         let (result, delta) = obs::capture(|| {
-            catch_unwind(AssertUnwindSafe(|| shared.execute(&job.req, job.deadline)))
+            catch_unwind(AssertUnwindSafe(|| shared.execute(&job.req, job.deadline, &mut phases)))
         });
         shared.active.fetch_sub(1, Ordering::Relaxed);
 
-        let line = match result {
+        let wall_us = phases.elapsed_us();
+        shared.sample(Hist::RequestMicros, wall_us);
+        shared.telemetry.record_latency(&job.req.method, wall_us);
+
+        let (line, outcome) = match result {
             Err(payload) => {
                 shared.counts.panicked.fetch_add(1, Ordering::Relaxed);
-                obs::add(Counter::RequestsPanicked, 1);
+                shared.tally(Counter::RequestsPanicked, 1);
                 let e = ServeError::panic(panic_message(payload.as_ref()));
-                err_response(&job.req.id, &e)
+                (err_response(&job.req.id, &e), "panic".to_owned())
             }
             Ok(Err(e)) => {
                 if e.code == ErrorCode::Deadline {
                     shared.counts.timed_out.fetch_add(1, Ordering::Relaxed);
-                    obs::add(Counter::RequestsTimedOut, 1);
+                    shared.tally(Counter::RequestsTimedOut, 1);
                 }
-                err_response(&job.req.id, &e)
+                (err_response(&job.req.id, &e), format!("err:{}", e.code.as_str()))
             }
             Ok(Ok(body)) => {
                 if Instant::now() > job.deadline {
                     shared.counts.timed_out.fetch_add(1, Ordering::Relaxed);
-                    obs::add(Counter::RequestsTimedOut, 1);
+                    shared.tally(Counter::RequestsTimedOut, 1);
                     let e = ServeError::deadline("request completed after its deadline");
-                    err_response(&job.req.id, &e)
+                    (err_response(&job.req.id, &e), "err:deadline".to_owned())
                 } else {
                     // A successful request commits its buffered metrics to
-                    // the global recorder; failed requests discard theirs,
-                    // so a contained panic can't half-apply.
+                    // the global recorder AND the telemetry registry;
+                    // failed requests discard theirs, so a contained panic
+                    // can't half-apply. Both sinks see the same deltas,
+                    // which is why exposition totals match report totals.
                     delta.replay();
+                    delta.replay_into(&shared.telemetry.registry);
                     if job.req.method == "load_program" {
                         if let Some(name) = job.req.params.get("name").and_then(Value::as_str) {
                             if let Ok(res) = shared.resident(name) {
@@ -860,20 +1105,51 @@ fn worker_loop(shared: &Arc<Shared>) {
                         }
                     }
                     shared.counts.completed.fetch_add(1, Ordering::Relaxed);
-                    obs::add(Counter::RequestsCompleted, 1);
+                    shared.tally(Counter::RequestsCompleted, 1);
                     let mut body = body;
-                    if wants_report(&job.req) {
-                        if let Value::Obj(fields) = &mut body {
+                    if let Value::Obj(fields) = &mut body {
+                        // Every queued method answers with its cost block;
+                        // strip it before byte-comparing answers (it holds
+                        // wall-clock times). The counts inside are delta-
+                        // derived and jobs-invariant.
+                        fields.push((
+                            "cost".to_owned(),
+                            cost_value(&delta, &phases, wall_us, queue_wait_us),
+                        ));
+                        if wants_report(&job.req) {
                             fields.push((
                                 "report".to_owned(),
                                 shared.request_report(&job.req, &delta),
                             ));
                         }
                     }
-                    ok_response(&job.req.id, body)
+                    (ok_response(&job.req.id, body), "ok".to_owned())
                 }
             }
         };
+
+        // Slow-request forensics: any executed request (ok, error, or
+        // contained panic) past the threshold leaves its span list + cost
+        // block in the bounded JSONL log.
+        if let Some(slow) = &shared.telemetry.slow {
+            let threshold_us =
+                u64::try_from(shared.config.slow_threshold.as_micros()).unwrap_or(u64::MAX);
+            if wall_us >= threshold_us {
+                let entry = Value::Obj(vec![
+                    ("ts_us".to_owned(), Value::uint(obs::now_us())),
+                    ("id".to_owned(), job.req.id.clone()),
+                    ("method".to_owned(), Value::str(job.req.method.clone())),
+                    ("client".to_owned(), Value::str(job.req.client.clone())),
+                    ("outcome".to_owned(), Value::str(outcome)),
+                    ("queue_wait_us".to_owned(), Value::uint(queue_wait_us)),
+                    ("spans".to_owned(), phases.spans_value()),
+                    ("cost".to_owned(), cost_value(&delta, &phases, wall_us, queue_wait_us)),
+                ]);
+                slow.append(&entry);
+                shared.tally(Counter::RequestsSlow, 1);
+            }
+        }
+
         write_line(&job.out, &line);
     }
 }

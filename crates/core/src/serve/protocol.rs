@@ -74,6 +74,10 @@ pub struct ServeError {
     pub stop_reason: Option<&'static str>,
     /// Backoff hint for shed requests.
     pub retry_after_ms: Option<u64>,
+    /// Recent queue-wait estimate (window p90) attached to shed
+    /// responses, so clients can tell overload (large) from a transient
+    /// rate-limit blip (small) without a round trip to `health`.
+    pub queue_wait_ms: Option<u64>,
 }
 
 impl ServeError {
@@ -84,6 +88,7 @@ impl ServeError {
             message: message.into(),
             stop_reason: None,
             retry_after_ms: None,
+            queue_wait_ms: None,
         }
     }
 
@@ -94,6 +99,7 @@ impl ServeError {
             message: format!("program {name:?} is not resident (load_program first)"),
             stop_reason: None,
             retry_after_ms: None,
+            queue_wait_ms: None,
         }
     }
 
@@ -104,6 +110,7 @@ impl ServeError {
             message: "pending queue full".to_owned(),
             stop_reason: None,
             retry_after_ms: Some(retry_after_ms),
+            queue_wait_ms: None,
         }
     }
 
@@ -114,6 +121,7 @@ impl ServeError {
             message: "client request budget exhausted".to_owned(),
             stop_reason: None,
             retry_after_ms: Some(retry_after_ms),
+            queue_wait_ms: None,
         }
     }
 
@@ -124,6 +132,7 @@ impl ServeError {
             message: "daemon is draining; no new requests".to_owned(),
             stop_reason: None,
             retry_after_ms: None,
+            queue_wait_ms: None,
         }
     }
 
@@ -135,6 +144,7 @@ impl ServeError {
             message: message.into(),
             stop_reason: Some(symex::StopReason::WallClock.key()),
             retry_after_ms: None,
+            queue_wait_ms: None,
         }
     }
 
@@ -145,7 +155,14 @@ impl ServeError {
             stop_reason: Some(symex::StopReason::Panic(payload.clone()).key()),
             message: format!("request handler panicked: {payload}"),
             retry_after_ms: None,
+            queue_wait_ms: None,
         }
+    }
+
+    /// Attaches a recent queue-wait estimate (for shed responses).
+    pub fn with_queue_wait(mut self, ms: Option<u64>) -> Self {
+        self.queue_wait_ms = ms;
+        self
     }
 
     /// An internal failure.
@@ -155,6 +172,7 @@ impl ServeError {
             message: message.into(),
             stop_reason: None,
             retry_after_ms: None,
+            queue_wait_ms: None,
         }
     }
 }
@@ -206,6 +224,9 @@ pub fn err_response(id: &Value, e: &ServeError) -> String {
     if let Some(ms) = e.retry_after_ms {
         fields.push(("retry_after_ms".to_owned(), Value::uint(ms)));
     }
+    if let Some(ms) = e.queue_wait_ms {
+        fields.push(("queue_wait_ms".to_owned(), Value::uint(ms)));
+    }
     Value::Obj(vec![("id".to_owned(), id.clone()), ("err".to_owned(), Value::Obj(fields))])
         .to_json()
 }
@@ -251,5 +272,12 @@ mod tests {
         let v = obs::json::parse(&line).unwrap();
         let err = v.get("err").unwrap();
         assert_eq!(err.get("retry_after_ms").and_then(Value::as_u64), Some(100));
+        assert!(err.get("queue_wait_ms").is_none());
+
+        let shed = ServeError::overloaded(100).with_queue_wait(Some(250));
+        let line = err_response(&Value::Null, &shed);
+        let v = obs::json::parse(&line).unwrap();
+        let err = v.get("err").unwrap();
+        assert_eq!(err.get("queue_wait_ms").and_then(Value::as_u64), Some(250));
     }
 }

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod prom;
 
 mod delta;
 mod event;
@@ -56,13 +57,17 @@ mod mem;
 mod metrics;
 mod report;
 mod trace;
+mod window;
 
 pub use delta::{capture, MetricsDelta};
 pub use event::{SpanKind, TraceEvent};
 pub use mem::{MemRecorder, RingCapacity};
-pub use metrics::{bucket_index, bucket_lower_bound, Counter, Hist, HistSnapshot, Registry};
+pub use metrics::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Counter, Hist, HistSnapshot, Registry,
+};
 pub use report::RunReport;
 pub use trace::chrome_trace_json;
+pub use window::SlidingWindow;
 
 use std::cell::Cell;
 use std::ptr;

@@ -172,6 +172,9 @@ metric_enum! {
         RequestsTimedOut => "requests_timed_out",
         /// Resident programs evicted by the LRU residency cap.
         ProgramsEvicted => "programs_evicted",
+        /// Requests whose wall time crossed the daemon's slow-request
+        /// threshold and were appended to the slow log.
+        RequestsSlow => "requests_slow",
     }
 }
 
@@ -193,6 +196,12 @@ metric_enum! {
         WitnessTraceLen => "witness_trace_len",
         /// Daemon pending-queue depth sampled at each admission.
         QueueDepth => "serve_queue_depth",
+        /// Daemon request wall time from dequeue to response, microseconds.
+        /// (The `_us` suffix keeps it out of `--diff-reports` identity.)
+        RequestMicros => "serve_request_us",
+        /// Daemon time spent queued before a worker picked the request up,
+        /// microseconds.
+        QueueWaitMicros => "serve_queue_wait_us",
     }
 }
 
@@ -218,6 +227,19 @@ pub fn bucket_lower_bound(i: usize) -> u64 {
         0
     } else {
         1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper bound of the bucket whose lower bound is `lb`: 0 for
+/// the zero bucket, `u64::MAX` for the top bucket, otherwise `2·lb − 1`.
+#[inline]
+pub fn bucket_upper_bound(lb: u64) -> u64 {
+    if lb == 0 {
+        0
+    } else if lb >= 1u64 << 63 {
+        u64::MAX
+    } else {
+        2 * lb - 1
     }
 }
 
@@ -291,6 +313,52 @@ pub struct HistSnapshot {
     /// `(bucket lower bound, count)` pairs for non-empty buckets, in
     /// ascending bound order.
     pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`, clamped) of the
+    /// recorded distribution, or `None` when nothing was observed.
+    ///
+    /// The estimate is the nearest-rank order statistic resolved to bucket
+    /// precision: the rank's log₂ bucket is found exactly, then the value
+    /// is linearly interpolated across the bucket by rank.
+    ///
+    /// **Error bound.** The true nearest-rank quantile and the returned
+    /// estimate always lie in the same bucket `[2^(i−1), 2^i)`, so the
+    /// estimate is within a factor of two of the truth (`est/true` in
+    /// `(1/2, 2)`), and the *additive* error is below the bucket width
+    /// `2^(i−1)`. Exact cases: a quantile landing in the zero bucket
+    /// returns exactly 0, the last rank returns the exact recorded
+    /// maximum (so `quantile(1.0) == max`), and no estimate ever exceeds
+    /// the maximum.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest rank, 1-based: the smallest r with r ≥ q·count.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if target == self.count {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for &(lb, n) in &self.buckets {
+            seen += n;
+            if seen < target {
+                continue;
+            }
+            if lb == 0 {
+                return Some(0);
+            }
+            let ub = bucket_upper_bound(lb);
+            // Spread the bucket's n ranks evenly across [lb, ub].
+            let rank_in_bucket = target - (seen - n); // 1-based
+            let frac = (rank_in_bucket - 1) as f64 / n as f64;
+            let est = lb as f64 + frac * (ub - lb) as f64;
+            return Some((est as u64).min(self.max));
+        }
+        Some(self.max)
+    }
 }
 
 /// Atomic storage for every [`Counter`] and [`Hist`]. Thread-safe; all
@@ -398,6 +466,85 @@ mod tests {
                 assert!(v < bucket_lower_bound(i + 1), "{v} above bucket {i}");
             }
         }
+    }
+
+    #[test]
+    fn quantile_exact_on_synthetic_distributions() {
+        // Empty histogram: no quantile.
+        assert_eq!(HistSnapshot::default().quantile(0.5), None);
+
+        // All zeros: every quantile is exactly 0.
+        let r = Registry::new();
+        for _ in 0..10 {
+            r.observe(Hist::HeapCells, 0);
+        }
+        let s = r.histogram(Hist::HeapCells);
+        assert_eq!(s.quantile(0.0), Some(0));
+        assert_eq!(s.quantile(0.5), Some(0));
+        assert_eq!(s.quantile(1.0), Some(0));
+
+        // One observation per power of two: each bucket holds one rank, so
+        // interpolation puts every rank at its bucket's lower bound.
+        let r = Registry::new();
+        for i in 0..8u32 {
+            r.observe(Hist::HeapCells, 1 << i); // 1, 2, 4, ..., 128
+        }
+        let s = r.histogram(Hist::HeapCells);
+        assert_eq!(s.quantile(1.0 / 8.0), Some(1));
+        assert_eq!(s.quantile(0.5), Some(8));
+        assert_eq!(s.quantile(1.0), Some(128)); // exact max
+
+        // A single value repeated: every quantile collapses onto it. Low
+        // ranks interpolate inside [4096, 8191] (where 5000 lives) and the
+        // max clamp caps everything at the true value.
+        let r = Registry::new();
+        for _ in 0..100 {
+            r.observe(Hist::SolverNanos, 5000);
+        }
+        let s = r.histogram(Hist::SolverNanos);
+        assert_eq!(s.quantile(0.01), Some(4096)); // rank 1, bucket floor
+        assert_eq!(s.quantile(0.5), Some(5000)); // interpolates past max, clamped
+        assert_eq!(s.quantile(0.99), Some(5000));
+        assert_eq!(s.quantile(1.0), Some(5000));
+    }
+
+    #[test]
+    fn quantile_error_bound_property() {
+        // For random distributions, the estimate must share a log₂ bucket
+        // with the true nearest-rank order statistic (factor-2 bound).
+        minicheck::run_cases(200, |rng| {
+            let r = Registry::new();
+            let n = rng.usize_in(1, 400);
+            let mut vals: Vec<u64> = (0..n)
+                .map(|_| match rng.below(3) {
+                    0 => rng.next_u64() % 16,      // small values, zero bucket
+                    1 => rng.next_u64() % 100_000, // mid range
+                    _ => rng.next_u64(),           // full u64 range
+                })
+                .collect();
+            for &v in &vals {
+                r.observe(Hist::HeapCells, v);
+            }
+            vals.sort_unstable();
+            let s = r.histogram(Hist::HeapCells);
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                let est = s.quantile(q).expect("non-empty");
+                let target = ((q * n as f64).ceil() as usize).clamp(1, n);
+                let truth = vals[target - 1];
+                assert_eq!(
+                    bucket_index(est),
+                    bucket_index(truth),
+                    "q={q} est={est} truth={truth} (n={n})"
+                );
+                if truth > 0 {
+                    let ratio = est as f64 / truth as f64;
+                    assert!(ratio > 0.5 && ratio < 2.0, "q={q} ratio={ratio}");
+                } else {
+                    assert_eq!(est, 0);
+                }
+            }
+            assert_eq!(s.quantile(1.0), Some(*vals.last().unwrap()));
+        });
     }
 
     #[test]

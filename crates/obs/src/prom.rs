@@ -1,0 +1,336 @@
+//! Hand-rolled Prometheus text exposition (format 0.0.4), zero deps.
+//!
+//! [`PromText`] renders counters, gauges, labeled samples, and the
+//! registry's log₂ histograms into the plain-text scrape format. Escaping
+//! follows the same minimal-and-explicit convention as [`crate::json`]:
+//! label values escape exactly `\`, `"`, and newline, nothing else.
+//!
+//! Histogram buckets are **cumulative** `le` buckets, derived exactly from
+//! the log₂ layout: bucket `i ≥ 1` covers `[2^(i−1), 2^i)`, so its
+//! inclusive upper bound is the integer `2^i − 1` (the zero bucket gets
+//! `le="0"`, the top bucket `le="18446744073709551615"`), followed by the
+//! mandatory `+Inf` bucket, `_sum`, and `_count` series.
+//!
+//! [`parse`] is the matching minimal reader used by tests and CI scrape
+//! gates to prove the exposition round-trips.
+
+use crate::metrics::{bucket_upper_bound, Counter, Hist, HistSnapshot, Registry};
+
+/// Incremental builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+/// True for names Prometheus accepts: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Escapes a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+pub fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".to_owned()
+        } else {
+            "-Inf".to_owned()
+        }
+    } else if v.is_nan() {
+        "NaN".to_owned()
+    } else if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        if !help.is_empty() {
+            // HELP text escapes `\` and newline only (no quotes involved).
+            let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+            self.out.push_str(&format!("# HELP {name} {help}\n"));
+        }
+        self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+    }
+
+    /// A monotonically increasing counter (name should end in `_total`).
+    pub fn counter(&mut self, name: &str, help: &str, v: u64) {
+        self.header(name, help, "counter");
+        self.out.push_str(&format!("{name} {v}\n"));
+    }
+
+    /// A point-in-time gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, v: f64) {
+        self.header(name, help, "gauge");
+        self.out.push_str(&format!("{name} {}\n", fmt_f64(v)));
+    }
+
+    /// One raw sample line with labels, no HELP/TYPE header — for series
+    /// families the caller headers once (e.g. windowed quantiles).
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, val)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                debug_assert!(valid_name(k), "invalid label name {k:?}");
+                self.out.push_str(&format!("{k}=\"{}\"", escape_label(val)));
+            }
+            self.out.push('}');
+        }
+        self.out.push_str(&format!(" {}\n", fmt_f64(v)));
+    }
+
+    /// A TYPE header without samples (for labeled families emitted via
+    /// [`Self::sample`]).
+    pub fn family(&mut self, name: &str, help: &str, kind: &str) {
+        self.header(name, help, kind);
+    }
+
+    /// A full log₂ histogram as cumulative `le` buckets + `_sum`/`_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &HistSnapshot) {
+        self.header(name, help, "histogram");
+        let mut cumulative = 0u64;
+        for &(lb, n) in &snap.buckets {
+            cumulative += n;
+            let le = bucket_upper_bound(lb);
+            self.out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        self.out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
+        self.out.push_str(&format!("{name}_sum {}\n", snap.sum));
+        self.out.push_str(&format!("{name}_count {}\n", snap.count));
+    }
+
+    /// Every counter (as `<prefix><name>_total`) and histogram (as
+    /// `<prefix><name>`) in `registry`, in declaration order. Zero-valued
+    /// counters are emitted too: the exposition is the wire form of the
+    /// run report, which also keeps zeros.
+    pub fn registry(&mut self, prefix: &str, registry: &Registry) {
+        for &c in Counter::ALL {
+            self.counter(&format!("{prefix}{}_total", c.name()), "", registry.counter(c));
+        }
+        for &h in Hist::ALL {
+            self.histogram(&format!("{prefix}{}", h.name()), "", &registry.histogram(h));
+        }
+    }
+
+    /// The rendered document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs in document order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of the label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses an exposition document back into samples (comments and blank
+/// lines skipped). Errors name the offending line. This is the test/CI
+/// round-trip reader, not a general Prometheus client.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_sample(line)?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let err = |m: &str| format!("{m}: {line:?}");
+    let name_end = line
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+        .ok_or_else(|| err("sample has no value"))?;
+    let name = &line[..name_end];
+    if !valid_name(name) {
+        return Err(err("invalid metric name"));
+    }
+    let mut rest = &line[name_end..];
+    let mut labels = Vec::new();
+    if let Some(stripped) = rest.strip_prefix('{') {
+        let mut chars = stripped.char_indices().peekable();
+        let mut key = String::new();
+        let mut state = 0u8; // 0 = key, 1 = value, 2 = after value
+        let mut val = String::new();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match state {
+                0 => match c {
+                    '=' => {
+                        match chars.next() {
+                            Some((_, '"')) => {}
+                            _ => return Err(err("label value must be quoted")),
+                        }
+                        state = 1;
+                    }
+                    '}' if key.is_empty() => {
+                        end = Some(i + 1);
+                        break;
+                    }
+                    c if c.is_ascii_alphanumeric() || c == '_' || c == ':' => key.push(c),
+                    _ => return Err(err("invalid label name")),
+                },
+                1 => match c {
+                    '\\' => match chars.next() {
+                        Some((_, 'n')) => val.push('\n'),
+                        Some((_, e @ ('\\' | '"'))) => val.push(e),
+                        _ => return Err(err("bad escape in label value")),
+                    },
+                    '"' => {
+                        labels.push((std::mem::take(&mut key), std::mem::take(&mut val)));
+                        state = 2;
+                    }
+                    _ => val.push(c),
+                },
+                _ => match c {
+                    ',' => state = 0,
+                    '}' => {
+                        end = Some(i + 1);
+                        break;
+                    }
+                    _ => return Err(err("expected , or } after label")),
+                },
+            }
+        }
+        let end = end.ok_or_else(|| err("unterminated label set"))?;
+        rest = &stripped[end..];
+    }
+    let value_text = rest.trim();
+    if value_text.is_empty() {
+        return Err(err("sample has no value"));
+    }
+    let value = match value_text {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        t => t.parse::<f64>().map_err(|_| err("bad sample value"))?,
+    };
+    Ok(Sample { name: name.to_owned(), labels, value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Counter, Hist, Registry};
+
+    #[test]
+    fn names_and_escaping() {
+        assert!(valid_name("thresher_requests_total"));
+        assert!(valid_name("_x:y"));
+        assert!(!valid_name("9lives"));
+        assert!(!valid_name("has-dash"));
+        assert!(!valid_name(""));
+        assert_eq!(escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn document_round_trips_through_parse() {
+        let mut p = PromText::new();
+        p.counter("demo_requests_total", "requests served", 42);
+        p.gauge("demo_uptime_seconds", "", 1.5);
+        p.family("demo_latency_us", "windowed latency", "gauge");
+        p.sample("demo_latency_us", &[("method", "analyze"), ("quantile", "0.99")], 7.0);
+        p.sample("demo_note", &[("text", "a\"b\\c\nd")], 0.0);
+        let text = p.finish();
+        let samples = parse(&text).unwrap();
+        assert_eq!(samples.len(), 4);
+        assert_eq!(
+            samples[0],
+            Sample { name: "demo_requests_total".into(), labels: vec![], value: 42.0 }
+        );
+        assert_eq!(samples[2].label("method"), Some("analyze"));
+        assert_eq!(samples[2].label("quantile"), Some("0.99"));
+        assert_eq!(samples[3].label("text"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_log2_bounds() {
+        let r = Registry::new();
+        for v in [0, 1, 3, 3, 9] {
+            r.observe(Hist::HeapCells, v);
+        }
+        let mut p = PromText::new();
+        p.histogram("h", "", &r.histogram(Hist::HeapCells));
+        let samples = parse(&p.finish()).unwrap();
+        let bucket = |le: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == "h_bucket" && s.label("le") == Some(le))
+                .unwrap_or_else(|| panic!("no le={le}"))
+                .value
+        };
+        // 0 → le=0; 1 → le=1; 3,3 → bucket [2,4) le=3; 9 → bucket [8,16) le=15.
+        assert_eq!(bucket("0"), 1.0);
+        assert_eq!(bucket("1"), 2.0);
+        assert_eq!(bucket("3"), 4.0);
+        assert_eq!(bucket("15"), 5.0);
+        assert_eq!(bucket("+Inf"), 5.0);
+        let sum = samples.iter().find(|s| s.name == "h_sum").unwrap().value;
+        let count = samples.iter().find(|s| s.name == "h_count").unwrap().value;
+        assert_eq!(sum, 16.0);
+        assert_eq!(count, 5.0);
+    }
+
+    #[test]
+    fn registry_exposition_covers_every_metric_including_zeros() {
+        let r = Registry::new();
+        r.add(Counter::SolverCalls, 3);
+        r.observe(Hist::SolverNanos, 100);
+        let mut p = PromText::new();
+        p.registry("thresher_", &r);
+        let samples = parse(&p.finish()).unwrap();
+        let get = |n: &str| samples.iter().find(|s| s.name == n).map(|s| s.value);
+        assert_eq!(get("thresher_solver_calls_total"), Some(3.0));
+        assert_eq!(get("thresher_edges_refuted_total"), Some(0.0));
+        assert_eq!(get("thresher_solver_call_ns_count"), Some(1.0));
+        // Every counter appears.
+        for &c in Counter::ALL {
+            assert!(get(&format!("thresher_{}_total", c.name())).is_some(), "missing {}", c.name());
+        }
+    }
+}

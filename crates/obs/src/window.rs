@@ -1,0 +1,143 @@
+//! Fixed-capacity sliding windows over recent observations.
+//!
+//! The log₂ histograms in [`metrics`](crate::Registry) aggregate the whole
+//! process lifetime; a serving daemon also needs *recent* behavior ("p99
+//! over the last N requests") so drift is visible while the process stays
+//! up. [`SlidingWindow`] keeps the last `cap` raw `u64` samples in a ring
+//! and answers **exact** nearest-rank quantiles over that window (the
+//! window is small, so sorting a copy is cheap) — unlike
+//! [`HistSnapshot::quantile`](crate::HistSnapshot::quantile), which trades
+//! a factor-2 error bound for O(1) memory over unbounded streams.
+
+/// A ring of the most recent `cap` observations.
+#[derive(Clone, Debug)]
+pub struct SlidingWindow {
+    cap: usize,
+    buf: Vec<u64>,
+    next: usize,
+    pushed: u64,
+}
+
+impl SlidingWindow {
+    /// An empty window holding at most `cap` samples (`cap` ≥ 1 enforced).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        SlidingWindow { cap, buf: Vec::with_capacity(cap.min(4096)), next: 0, pushed: 0 }
+    }
+
+    /// Records one sample, evicting the oldest once the window is full.
+    pub fn push(&mut self, v: u64) {
+        if self.buf.len() < self.cap {
+            self.buf.push(v);
+        } else {
+            self.buf[self.next] = v;
+        }
+        self.next = (self.next + 1) % self.cap;
+        self.pushed = self.pushed.saturating_add(1);
+    }
+
+    /// Samples currently held (at most the capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no sample was ever pushed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Lifetime count of pushes (including samples already evicted).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Largest sample currently in the window.
+    pub fn max(&self) -> Option<u64> {
+        self.buf.iter().copied().max()
+    }
+
+    /// The exact nearest-rank `q`-quantile (`q` in `[0, 1]`, clamped) of
+    /// the samples currently in the window, or `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let mut sorted = self.buf.clone();
+        sorted.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_has_no_quantiles() {
+        let w = SlidingWindow::new(8);
+        assert!(w.is_empty());
+        assert_eq!(w.quantile(0.5), None);
+        assert_eq!(w.max(), None);
+    }
+
+    #[test]
+    fn quantiles_are_exact_nearest_rank() {
+        let mut w = SlidingWindow::new(100);
+        for v in 1..=10 {
+            w.push(v);
+        }
+        assert_eq!(w.quantile(0.0), Some(1));
+        assert_eq!(w.quantile(0.1), Some(1));
+        assert_eq!(w.quantile(0.5), Some(5));
+        assert_eq!(w.quantile(0.91), Some(10));
+        assert_eq!(w.quantile(1.0), Some(10));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut w = SlidingWindow::new(4);
+        for v in [100, 200, 1, 2, 3, 4] {
+            w.push(v);
+        }
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.pushed(), 6);
+        // 100 and 200 were evicted.
+        assert_eq!(w.max(), Some(4));
+        assert_eq!(w.quantile(1.0), Some(4));
+        assert_eq!(w.quantile(0.25), Some(1));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut w = SlidingWindow::new(0);
+        w.push(7);
+        w.push(9);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.quantile(0.5), Some(9));
+    }
+
+    #[test]
+    fn window_matches_exact_quantiles_on_random_streams() {
+        minicheck::run_cases(100, |rng| {
+            let cap = rng.usize_in(1, 64);
+            let n = rng.usize_in(1, 200);
+            let mut w = SlidingWindow::new(cap);
+            let mut all: Vec<u64> = Vec::new();
+            for _ in 0..n {
+                let v = rng.next_u64() % 10_000;
+                w.push(v);
+                all.push(v);
+            }
+            // The window must agree with a from-scratch computation over
+            // the last `cap` samples.
+            let mut tail: Vec<u64> = all[all.len().saturating_sub(cap)..].to_vec();
+            tail.sort_unstable();
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                let rank = ((q * tail.len() as f64).ceil() as usize).clamp(1, tail.len());
+                assert_eq!(w.quantile(q), Some(tail[rank - 1]), "cap={cap} n={n} q={q}");
+            }
+        });
+    }
+}

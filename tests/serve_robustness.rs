@@ -90,11 +90,26 @@ fn response_for(lines: &[String], id: u64) -> Value {
         .unwrap_or_else(|| panic!("no response with id {id} in {lines:#?}"))
 }
 
+/// Serializes an `ok` body with the `cost` block removed: cost carries
+/// wall-clock phase timings (answer-invariant but not byte-stable), so
+/// byte-identity comparisons exclude it, exactly like `--diff-reports`
+/// excludes `_ns`/`_us` histograms.
+fn strip_cost(body: &Value) -> String {
+    match body {
+        Value::Obj(fields) => {
+            Value::Obj(fields.iter().filter(|(k, _)| k != "cost").cloned().collect::<Vec<_>>())
+                .to_json()
+        }
+        other => other.to_json(),
+    }
+}
+
 fn ok_body(lines: &[String], id: u64) -> String {
-    response_for(lines, id)
-        .get("ok")
-        .unwrap_or_else(|| panic!("id {id} is not ok: {:?}", response_for(lines, id).to_json()))
-        .to_json()
+    strip_cost(
+        response_for(lines, id).get("ok").unwrap_or_else(|| {
+            panic!("id {id} is not ok: {:?}", response_for(lines, id).to_json())
+        }),
+    )
 }
 
 fn err_code(lines: &[String], id: u64) -> String {
@@ -521,7 +536,7 @@ fn sigkill_leaves_store_next_daemon_self_heals() {
             reader.read_line(&mut line).unwrap();
             if let Ok(v) = obs::json::parse(&line) {
                 if v.get("id").and_then(Value::as_u64) == Some(2) {
-                    first_answer = v.get("ok").expect("query ok").to_json();
+                    first_answer = strip_cost(v.get("ok").expect("query ok"));
                 }
             }
         }
