@@ -46,6 +46,7 @@ pub fn scaled_program(scale: usize) -> Program {
     let mut sub_b = Vec::new();
     let mut g_glob = Vec::new();
     let mut h_glob = Vec::new();
+    let mut x_glob = Vec::new();
     for m in 0..scale {
         let d = b.class(&format!("Data{m}"), None);
         data.push(d);
@@ -58,6 +59,7 @@ pub fn scaled_program(scale: usize) -> Program {
         sub_b.push(b.class(&format!("SubB{m}"), Some(bs)));
         g_glob.push(b.global(&format!("G{m}"), Ty::Ref(object)));
         h_glob.push(b.global(&format!("H{m}"), Ty::Ref(d)));
+        x_glob.push(b.global(&format!("X{m}"), Ty::Ref(object)));
     }
     let obj = Ty::Ref(object);
     let mut rings: Vec<Vec<MethodId>> = Vec::new();
@@ -174,6 +176,23 @@ pub fn scaled_program(scale: usize) -> Program {
             let got = mb.var("got", obj);
             mb.call_virtual(Some(got), recv, "get", &[Operand::Var(out)]);
             mb.write_global(g_glob[m], got);
+
+            // Copy-cycle motif: three locals assigned in a ring form an
+            // immediate var-level copy cycle (Andersen is flow-insensitive,
+            // so `u = w` closes it without any loop), and the module reads
+            // its predecessor's `X` global while publishing its own, so the
+            // per-module cycles chain through X{0..scale} into one
+            // program-wide SCC — the shape the online collapser (and the
+            // incremental SCC-split path) must handle at every scale.
+            let u = mb.var("u", obj);
+            let v = mb.var("v", obj);
+            let w = mb.var("w", obj);
+            mb.new_obj(u, object, &format!("cyc{m}"));
+            mb.assign(v, u);
+            mb.assign(w, v);
+            mb.assign(u, w);
+            mb.read_global(u, x_glob[(m + scale - 1) % scale]);
+            mb.write_global(x_glob[m], w);
             mb.ret_void();
         });
     }
@@ -221,5 +240,65 @@ mod tests {
         // The ring smears every module's seed into every module's global.
         let g0 = p.global_by_name("G0").unwrap();
         assert!(delta.pt_global(g0).len() >= 3);
+    }
+
+    /// A hand-built three-variable assignment ring must be detected and
+    /// collapsed by the delta solver's lazy cycle detection — the unit
+    /// the scaled corpus's copy-cycle motif exercises in bulk.
+    #[test]
+    fn hand_built_copy_cycle_collapses() {
+        use pta::{analyze_with, ContextPolicy, PtaOptions, SolverKind};
+        let mut b = ProgramBuilder::new();
+        let object = b.object_class();
+        let obj = Ty::Ref(object);
+        let main = b.method(None, "main", &[], None, |mb| {
+            let a = mb.var("a", obj);
+            let x = mb.var("x", obj);
+            let y = mb.var("y", obj);
+            mb.new_obj(a, object, "seed");
+            mb.assign(x, a);
+            mb.assign(y, x);
+            mb.assign(a, y);
+            mb.ret_void();
+        });
+        b.set_entry(main);
+        let p = b.finish();
+
+        let _serial = obs::test_lock();
+        let rec = obs::MemRecorder::install_static(obs::RingCapacity::default());
+        rec.reset();
+        let delta = analyze_with(&p, ContextPolicy::Insensitive, &PtaOptions::default());
+        assert!(
+            rec.counter(obs::Counter::PtaSccsCollapsed) >= 1,
+            "three-variable assignment ring was not collapsed"
+        );
+        let reference = analyze_with(
+            &p,
+            ContextPolicy::Insensitive,
+            &PtaOptions { solver: SolverKind::Reference, ..Default::default() },
+        );
+        assert_eq!(delta.dump(&p), reference.dump(&p));
+    }
+
+    /// The multi-module copy-cycle motif must give the collapser real work
+    /// at every scale, and collapsing must never change the answer.
+    #[test]
+    fn copy_cycle_motif_collapses_at_several_scales() {
+        use pta::{analyze_with, ContextPolicy, PtaOptions, SolverKind};
+        let _serial = obs::test_lock();
+        let rec = obs::MemRecorder::install_static(obs::RingCapacity::default());
+        for scale in [2, 4, 8] {
+            let p = scaled_program(scale);
+            rec.reset();
+            let delta = analyze_with(&p, ContextPolicy::Insensitive, &PtaOptions::default());
+            let collapsed = rec.counter(obs::Counter::PtaSccsCollapsed);
+            assert!(collapsed >= 1, "no SCC collapsed at scale {scale}");
+            let reference = analyze_with(
+                &p,
+                ContextPolicy::Insensitive,
+                &PtaOptions { solver: SolverKind::Reference, ..Default::default() },
+            );
+            assert_eq!(delta.dump(&p), reference.dump(&p), "solvers disagree at scale {scale}");
+        }
     }
 }

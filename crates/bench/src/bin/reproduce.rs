@@ -10,19 +10,21 @@
 //!                                                # the gate warns + skips on 1-core hosts
 //! reproduce pta [--scale N] [--assert-fewer-propagations]
 //!                                                # points-to solver comparison
+//! reproduce edits [--scale N] [--edits N] [--assert-edit-ratio]
+//!                                                # incremental edit re-analysis vs from-scratch
 //! reproduce incremental [--budget N] [--apps a,b,c] [--cache-dir DIR]
 //!                                                # persistent-cache cold vs warm
 //! reproduce serve [--apps a,b,c] [--rounds N]    # resident daemon vs cold pipeline
 //! reproduce all [--budget N]                     # everything
 //!
-//! snapshot options (table1 / jobs / pta / serve / all; table1 and all include the pta breakdown):
+//! snapshot options (table1 / jobs / pta / edits / serve / all; table1 and all include the pta breakdown):
 //!   --snapshot-out <path>   where to write the perf snapshot JSON
 //!                           (default BENCH_<unix-time>.json)
 //!   --no-snapshot           skip writing the snapshot
 //! ```
 //!
 //! Table 1 runs additionally emit a machine-readable perf snapshot
-//! (`thresher.bench_snapshot/3`) so results can be diffed across commits.
+//! (`thresher.bench_snapshot/4`) so results can be diffed across commits.
 //! The `serve` mode records the daemon's request-latency quantiles
 //! (p50/p99, from the `cost` blocks attached to every response) and the
 //! summed per-phase cost splits into the snapshot's `serve` section.
@@ -42,7 +44,20 @@
 //! run reports. `--assert-fewer-propagations` turns the comparison into a
 //! regression gate: the process exits non-zero unless the delta solver
 //! performs strictly fewer propagations than the reference on the scaled
-//! corpus — the CI guard for the difference-propagation rewrite.
+//! corpus — the CI guard for the difference-propagation rewrite. The mode
+//! also scans generator scales for the wall-time crossover point: the
+//! smallest corpus where the delta solver's bookkeeping pays for itself.
+//!
+//! The `edits` mode replays single-statement edits (remove a statement,
+//! restore it) through a resident incremental points-to analysis on every
+//! suite app plus the scaled corpus, comparing each edit solve against a
+//! from-scratch solve of the edited program. After **every** batch the
+//! canonicalized incremental state is checked byte-for-byte against a
+//! from-scratch `SolverKind::Reference` solve; any divergence fails the
+//! process unconditionally. `--assert-edit-ratio` adds the perf gate:
+//! edit-solve propagations on the scaled corpus must total ≤ 25% of the
+//! from-scratch propagations — the CI guard for the incremental-edit
+//! pipeline.
 //!
 //! Absolute times are hardware-dependent; the *shape* (who wins, by what
 //! factor, where timeouts fall) is the reproduction target — see
@@ -50,9 +65,10 @@
 
 use apps::BenchApp;
 use bench::{
-    format_table1_row, perf_snapshot_json_full, run_jobs_sweep, run_loop_ablation, run_pta_bench,
-    run_repr_comparison, run_simplification_ablation, run_table1_row, table1_header,
-    JobsSweepPoint, PtaBenchPoint, ServeLatencyPoint, Table1Row,
+    format_table1_row, perf_snapshot_json_full, pta_walltime_crossover, run_edit_bench,
+    run_jobs_sweep, run_loop_ablation, run_pta_bench, run_repr_comparison,
+    run_simplification_ablation, run_table1_row, table1_header, EditBenchPoint, JobsSweepPoint,
+    PtaBenchPoint, ServeLatencyPoint, Table1Row,
 };
 use symex::{Representation, SymexConfig};
 
@@ -117,8 +133,9 @@ fn write_snapshot(
     sweep: &[JobsSweepPoint],
     pta: &[PtaBenchPoint],
     serve: &[ServeLatencyPoint],
+    edits: &[EditBenchPoint],
 ) {
-    if (rows.is_empty() && pta.is_empty() && serve.is_empty())
+    if (rows.is_empty() && pta.is_empty() && serve.is_empty() && edits.is_empty())
         || args.iter().any(|a| a == "--no-snapshot")
     {
         return;
@@ -133,7 +150,7 @@ fn write_snapshot(
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| format!("BENCH_{unix_time_s}.json"));
-    let payload = perf_snapshot_json_full(rows, unix_time_s, budget, sweep, pta, serve);
+    let payload = perf_snapshot_json_full(rows, unix_time_s, budget, sweep, pta, serve, edits);
     match std::fs::write(&path, payload) {
         Ok(()) => println!("perf snapshot written to {path}"),
         Err(e) => eprintln!("warning: cannot write snapshot {path}: {e}"),
@@ -224,6 +241,89 @@ fn pta_bench(scale: usize, assert_gate: bool) -> Vec<PtaBenchPoint> {
                 "FAIL: delta solver did not perform fewer propagations than the reference \
                  ({} >= {})",
                 d.propagations, r.propagations
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // Wall-time crossover scan: propagation counts favour the delta
+    // solver everywhere, but its bookkeeping has a constant cost — find
+    // the corpus size where wall time starts favouring it too.
+    let scales: Vec<usize> =
+        [1, 2, 4, 8, 16, 32].iter().copied().filter(|s| *s <= scale.max(16)).collect();
+    let (samples, crossover) = pta_walltime_crossover(&scales);
+    println!("wall-time crossover scan (best of 3 per point):");
+    println!("{:>8} {:>12} {:>14}", "scale", "delta (us)", "reference (us)");
+    for s in &samples {
+        println!("{:>8} {:>12.0} {:>14.0}", s.scale, s.delta_s * 1e6, s.reference_s * 1e6);
+    }
+    match crossover {
+        Some(s) => println!("wall-time crossover: delta overtakes reference at scale {s}"),
+        None => println!(
+            "wall-time crossover: not reached up to scale {} (delta wins on propagations only)",
+            scales.last().copied().unwrap_or(0)
+        ),
+    }
+    points
+}
+
+/// Runs the incremental edit benchmark and prints it as a table. The
+/// reference oracle is always a gate (any divergence exits non-zero);
+/// with `assert_ratio`, edit-solve propagations on the scaled corpus must
+/// additionally total ≤ 25% of the from-scratch propagations.
+fn edits_bench(scale: usize, max_edits: usize, assert_ratio: bool) -> Vec<EditBenchPoint> {
+    println!(
+        "== incremental edits: single-statement edit re-analysis vs from-scratch \
+         (scale {scale}, {max_edits} batches/program) =="
+    );
+    println!(
+        "{:<14} {:>6} {:>10} {:>12} {:>8} {:>8} {:>9} {:>9} {:>12} {:>7}",
+        "Program",
+        "edits",
+        "rebuilds",
+        "edit props",
+        "scratch",
+        "ratio",
+        "p50(us)",
+        "p99(us)",
+        "scr p50(us)",
+        "oracle"
+    );
+    let points = run_edit_bench(scale, max_edits);
+    let mut oracle_ok = true;
+    for p in &points {
+        oracle_ok &= p.oracle_ok;
+        println!(
+            "{:<14} {:>6} {:>10} {:>12} {:>8} {:>7.1}% {:>9} {:>9} {:>12} {:>7}",
+            p.program,
+            p.edits,
+            p.rebuilds,
+            p.edit_propagations,
+            p.scratch_propagations,
+            100.0 * p.propagation_ratio(),
+            p.p50_us,
+            p.p99_us,
+            p.scratch_p50_us,
+            if p.oracle_ok { "ok" } else { "FAIL" },
+        );
+    }
+    if !oracle_ok {
+        eprintln!(
+            "FAIL: incremental state diverged from a from-scratch reference solve after an edit"
+        );
+        std::process::exit(1);
+    }
+    let scaled_name = format!("scaled-{scale}");
+    if let Some(p) = points.iter().find(|p| p.program == scaled_name) {
+        let pct = 100.0 * p.propagation_ratio();
+        println!(
+            "scaled corpus: edit-solve {} vs from-scratch {} propagations ({pct:.1}% of scratch)",
+            p.edit_propagations, p.scratch_propagations
+        );
+        if assert_ratio && p.propagation_ratio() > 0.25 {
+            eprintln!(
+                "FAIL: edit-solve propagations exceeded 25% of from-scratch on the scaled \
+                 corpus ({pct:.1}%)"
             );
             std::process::exit(1);
         }
@@ -524,7 +624,7 @@ fn main() {
             let rows = table1(&apps, budget);
             println!();
             let points = pta_bench(scale, false);
-            write_snapshot(&args, &rows, budget, &[], &points, &[]);
+            write_snapshot(&args, &rows, budget, &[], &points, &[], &[]);
         }
         "table2" => table2(&apps, budget),
         "simplification" => simplification(&apps, budget),
@@ -533,7 +633,7 @@ fn main() {
         "jobs" => {
             let gate = args.iter().any(|a| a == "--assert-scaling");
             let (points, rows) = jobs_sweep(&apps, budget, gate);
-            write_snapshot(&args, &rows, budget, &points, &[], &[]);
+            write_snapshot(&args, &rows, budget, &points, &[], &[], &[]);
         }
         "serve" => {
             let rounds = args
@@ -543,7 +643,7 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(3);
             let (ok, points) = serve_bench(&apps, rounds);
-            write_snapshot(&args, &[], budget, &[], &[], &points);
+            write_snapshot(&args, &[], budget, &[], &[], &points, &[]);
             if !ok {
                 std::process::exit(1);
             }
@@ -551,7 +651,18 @@ fn main() {
         "pta" => {
             let gate = args.iter().any(|a| a == "--assert-fewer-propagations");
             let points = pta_bench(scale, gate);
-            write_snapshot(&args, &[], budget, &[], &points, &[]);
+            write_snapshot(&args, &[], budget, &[], &points, &[], &[]);
+        }
+        "edits" => {
+            let max_edits = args
+                .iter()
+                .position(|a| a == "--edits")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(16);
+            let gate = args.iter().any(|a| a == "--assert-edit-ratio");
+            let points = edits_bench(scale, max_edits, gate);
+            write_snapshot(&args, &[], budget, &[], &[], &[], &points);
         }
         "incremental" => {
             let root = args
@@ -579,12 +690,12 @@ fn main() {
             loops();
             println!();
             let points = pta_bench(scale, false);
-            write_snapshot(&args, &rows, budget, &[], &points, &[]);
+            write_snapshot(&args, &rows, budget, &[], &points, &[], &[]);
         }
         other => {
             eprintln!(
                 "unknown mode {other}; use \
-                 table1|table2|simplification|stats|loops|jobs|pta|incremental|serve|all"
+                 table1|table2|simplification|stats|loops|jobs|pta|edits|incremental|serve|all"
             );
             std::process::exit(2);
         }

@@ -444,6 +444,260 @@ impl PtaBenchPoint {
     }
 }
 
+/// One wall-time sample of the scaled corpus under both fixpoint
+/// strategies, for the crossover scan `reproduce pta` prints.
+#[derive(Clone, Copy, Debug)]
+pub struct CrossoverSample {
+    /// Generator scale of the measured program.
+    pub scale: usize,
+    /// Best-of-three delta-solver wall time, seconds.
+    pub delta_s: f64,
+    /// Best-of-three reference-solver wall time, seconds.
+    pub reference_s: f64,
+}
+
+/// Times both solvers on [`apps::scale`] programs at each of `scales`
+/// (best of three runs per point, to shave scheduler noise) and returns
+/// the samples plus the first scale where the delta solver's wall time
+/// beats the reference solver's — the point where delta bookkeeping pays
+/// for itself.
+pub fn pta_walltime_crossover(scales: &[usize]) -> (Vec<CrossoverSample>, Option<usize>) {
+    let time_solver = |program: &tir::Program, solver: pta::SolverKind| -> f64 {
+        let opts = pta::PtaOptions { solver, ..Default::default() };
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(pta::analyze_with(
+                    program,
+                    pta::ContextPolicy::Insensitive,
+                    &opts,
+                ));
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mut samples = Vec::new();
+    let mut crossover = None;
+    for &scale in scales {
+        let program = apps::scale::scaled_program(scale);
+        let sample = CrossoverSample {
+            scale,
+            delta_s: time_solver(&program, pta::SolverKind::Delta),
+            reference_s: time_solver(&program, pta::SolverKind::Reference),
+        };
+        if crossover.is_none() && sample.delta_s < sample.reference_s {
+            crossover = Some(scale);
+        }
+        samples.push(sample);
+    }
+    (samples, crossover)
+}
+
+/// Aggregated measurements of single-statement edits driven through the
+/// incremental points-to pipeline on one program: summed edit-solve vs
+/// from-scratch propagations, edit-solve latency quantiles, and whether
+/// the canonicalized incremental state matched a from-scratch
+/// `SolverKind::Reference` solve after every single batch.
+#[derive(Clone, Debug)]
+pub struct EditBenchPoint {
+    /// Program name (an app, or `scaled-N` for the generated corpus).
+    pub program: String,
+    /// Generator scale, when the program came from [`apps::scale`].
+    pub scale: Option<usize>,
+    /// Single-statement edit batches measured (each candidate statement
+    /// contributes a removal and a re-addition).
+    pub edits: u64,
+    /// Summed `EditSolveStats::propagations` across the batches.
+    pub edit_propagations: u64,
+    /// Summed propagations of a from-scratch delta solve of the edited
+    /// program, one solve per batch — what a non-incremental pipeline
+    /// would have paid.
+    pub scratch_propagations: u64,
+    /// Batches that took the deletion-then-rederive path.
+    pub rebuilds: u64,
+    /// Median edit-solve latency, microseconds (nearest rank).
+    pub p50_us: u64,
+    /// 99th-percentile edit-solve latency, microseconds.
+    pub p99_us: u64,
+    /// Worst edit-solve latency, microseconds.
+    pub max_us: u64,
+    /// Median from-scratch solve latency, microseconds, for contrast.
+    pub scratch_p50_us: u64,
+    /// True iff the reference oracle matched byte-for-byte after every
+    /// batch.
+    pub oracle_ok: bool,
+}
+
+impl EditBenchPoint {
+    /// Edit-solve propagations as a fraction of from-scratch propagations
+    /// (the CI gate requires ≤ 0.25 on the scaled corpus).
+    pub fn propagation_ratio(&self) -> f64 {
+        self.edit_propagations as f64 / (self.scratch_propagations as f64).max(1.0)
+    }
+
+    /// A structured JSON view of the point for the snapshot's `edits`
+    /// section.
+    pub fn to_value(&self) -> obs::json::Value {
+        use obs::json::Value;
+        let mut fields = vec![
+            ("program".to_owned(), Value::str(&self.program)),
+            ("edits".to_owned(), Value::uint(self.edits)),
+            ("edit_propagations".to_owned(), Value::uint(self.edit_propagations)),
+            ("scratch_propagations".to_owned(), Value::uint(self.scratch_propagations)),
+            ("propagation_ratio".to_owned(), Value::Float(self.propagation_ratio())),
+            ("rebuilds".to_owned(), Value::uint(self.rebuilds)),
+            ("p50_us".to_owned(), Value::uint(self.p50_us)),
+            ("p99_us".to_owned(), Value::uint(self.p99_us)),
+            ("max_us".to_owned(), Value::uint(self.max_us)),
+            ("scratch_p50_us".to_owned(), Value::uint(self.scratch_p50_us)),
+            ("oracle_ok".to_owned(), Value::Bool(self.oracle_ok)),
+        ];
+        if let Some(s) = self.scale {
+            fields.insert(1, ("scale".to_owned(), Value::uint(s as u64)));
+        }
+        Value::Obj(fields)
+    }
+}
+
+/// Statements eligible as single-statement edit subjects: every command
+/// whose printed text round-trips through the edit parser (validated on a
+/// throwaway clone, so allocation-site uniqueness and control-flow
+/// restrictions are enforced by the edit layer itself, not re-encoded
+/// here). Sorted by (method, ordinal) for determinism.
+fn edit_candidates(program: &tir::Program) -> Vec<(String, usize, String)> {
+    let mut methods: Vec<tir::MethodId> =
+        program.methods_by_name().values().flatten().copied().collect();
+    methods.sort_by_key(|m| m.index());
+    let mut out = Vec::new();
+    for m in methods {
+        let name = program.method_name(m);
+        for (at, cid) in program.method_cmds(m).iter().enumerate() {
+            let text = format!("{};", tir::print_cmd(program, program.cmd(*cid)));
+            // Allocation sites stay reserved after removal, so a `new`
+            // can never be re-added under its original name.
+            if text.contains('@') {
+                continue;
+            }
+            let mut probe = program.clone();
+            let remove = tir::EditOp::RemoveStmt { method: name.clone(), at };
+            let add = tir::EditOp::AddStmt { method: name.clone(), at, text: text.clone() };
+            if tir::apply_edits(&mut probe, std::slice::from_ref(&remove)).is_ok()
+                && tir::apply_edits(&mut probe, std::slice::from_ref(&add)).is_ok()
+            {
+                out.push((name.clone(), at, text));
+            }
+        }
+    }
+    out
+}
+
+/// Drives up to `max_edits` single-statement edit batches (remove a
+/// statement, then restore it) through one long-lived [`pta::IncrementalPta`],
+/// comparing each batch's cost against a from-scratch solve of the edited
+/// program and checking the `SolverKind::Reference` oracle after every
+/// batch. Candidates are stride-sampled across the whole program so the
+/// measurements cover many methods, not just the first one.
+fn measure_edit_point(
+    name: &str,
+    scale: Option<usize>,
+    program: &tir::Program,
+    policy: &pta::ContextPolicy,
+    max_edits: usize,
+) -> EditBenchPoint {
+    let opts = pta::PtaOptions::default();
+    let ref_opts = pta::PtaOptions { solver: pta::SolverKind::Reference, ..Default::default() };
+    let mut prog = program.clone();
+    let all = edit_candidates(&prog);
+    let want = (max_edits / 2).max(1);
+    let step = (all.len() / want).max(1);
+    let picked: Vec<_> = all.into_iter().step_by(step).take(want).collect();
+
+    let mut inc = pta::IncrementalPta::new(&prog, policy.clone(), &opts);
+    let mut edit_us = Vec::new();
+    let mut scratch_us = Vec::new();
+    let mut point = EditBenchPoint {
+        program: name.to_owned(),
+        scale,
+        edits: 0,
+        edit_propagations: 0,
+        scratch_propagations: 0,
+        rebuilds: 0,
+        p50_us: 0,
+        p99_us: 0,
+        max_us: 0,
+        scratch_p50_us: 0,
+        oracle_ok: true,
+    };
+    'candidates: for (method, at, text) in picked {
+        let batches = [
+            tir::EditOp::RemoveStmt { method: method.clone(), at },
+            tir::EditOp::AddStmt { method, at, text },
+        ];
+        for op in batches {
+            // Candidates were validated against the pristine program; a
+            // failure here means earlier batches drifted the indices, so
+            // stop rather than measure a different program.
+            let Ok(applied) = tir::apply_edits(&mut prog, std::slice::from_ref(&op)) else {
+                break 'candidates;
+            };
+            let t0 = Instant::now();
+            let stats = inc.apply_edits(&prog, &applied);
+            edit_us.push(t0.elapsed().as_micros() as u64);
+            point.edits += 1;
+            point.edit_propagations += stats.propagations;
+            point.rebuilds += u64::from(stats.rebuilt);
+
+            let t1 = Instant::now();
+            let scratch = pta::IncrementalPta::new(&prog, policy.clone(), &opts);
+            scratch_us.push(t1.elapsed().as_micros() as u64);
+            point.scratch_propagations += scratch.propagations();
+
+            let reference = pta::analyze_with(&prog, policy.clone(), &ref_opts);
+            point.oracle_ok &= pta::canonical_text(&prog, &inc.result(&prog))
+                == pta::canonical_text(&prog, &reference);
+        }
+    }
+    let quantiles = |samples: &[u64]| {
+        let mut window = obs::SlidingWindow::new(samples.len().max(1));
+        for &s in samples {
+            window.push(s);
+        }
+        (
+            window.quantile(0.5).unwrap_or(0),
+            window.quantile(0.99).unwrap_or(0),
+            window.max().unwrap_or(0),
+        )
+    };
+    (point.p50_us, point.p99_us, point.max_us) = quantiles(&edit_us);
+    (point.scratch_p50_us, _, _) = quantiles(&scratch_us);
+    point
+}
+
+/// Benchmarks single-statement edit re-analysis over every suite app and
+/// one [`apps::scale`] program of the given `scale`, `max_edits` batches
+/// per program. Returns one aggregated point per program.
+pub fn run_edit_bench(scale: usize, max_edits: usize) -> Vec<EditBenchPoint> {
+    let mut points = Vec::new();
+    for app in apps::suite::all_apps() {
+        points.push(measure_edit_point(
+            app.name,
+            None,
+            &app.program,
+            &builder::container_policy(&app),
+            max_edits,
+        ));
+    }
+    let scaled = apps::scale::scaled_program(scale);
+    points.push(measure_edit_point(
+        &format!("scaled-{scale}"),
+        Some(scale),
+        &scaled,
+        &pta::ContextPolicy::Insensitive,
+        max_edits,
+    ));
+    points
+}
+
 /// One cold-vs-warm measurement of the persistent refutation cache on one
 /// app: a cold run (fresh cache directory) populates the store, a warm
 /// rerun over the unchanged program must answer every committed edge
@@ -577,8 +831,10 @@ pub fn format_table1_row(r: &Table1Row) -> String {
 
 /// Schema identifier written into every perf snapshot (see
 /// [`perf_snapshot_json`]). Version 3 added the `serve` section
-/// (daemon latency quantiles + per-phase cost splits).
-pub const SNAPSHOT_SCHEMA: &str = "thresher.bench_snapshot/3";
+/// (daemon latency quantiles + per-phase cost splits); version 4 added
+/// the `edits` section (per-edit latency quantiles + propagation ratio
+/// of incremental edit re-analysis).
+pub const SNAPSHOT_SCHEMA: &str = "thresher.bench_snapshot/4";
 
 /// One `reproduce serve` measurement: request-latency quantiles and the
 /// summed per-phase cost splits of a resident daemon answering `rounds`
@@ -700,15 +956,17 @@ pub fn perf_snapshot_json_with_sweep(
     budget: u64,
     sweep: &[JobsSweepPoint],
 ) -> String {
-    perf_snapshot_json_full(rows, unix_time_s, budget, sweep, &[], &[])
+    perf_snapshot_json_full(rows, unix_time_s, budget, sweep, &[], &[], &[])
 }
 
-/// The full snapshot serializer (schema `thresher.bench_snapshot/3`):
+/// The full snapshot serializer (schema `thresher.bench_snapshot/4`):
 /// Table 1 rows, an optional `--jobs` sweep, an optional `pta` phase
 /// breakdown of [`PtaBenchPoint`]s (per program × solver: solve wall
-/// time, propagation/delta/SCC effort counters), and an optional `serve`
+/// time, propagation/delta/SCC effort counters), an optional `serve`
 /// section of [`ServeLatencyPoint`]s (daemon latency quantiles +
-/// per-phase cost splits).
+/// per-phase cost splits), and an optional `edits` section of
+/// [`EditBenchPoint`]s (incremental edit latency quantiles + propagation
+/// ratio vs from-scratch).
 pub fn perf_snapshot_json_full(
     rows: &[Table1Row],
     unix_time_s: u64,
@@ -716,6 +974,7 @@ pub fn perf_snapshot_json_full(
     sweep: &[JobsSweepPoint],
     pta_points: &[PtaBenchPoint],
     serve_points: &[ServeLatencyPoint],
+    edit_points: &[EditBenchPoint],
 ) -> String {
     use obs::json::Value;
     let mut fields = vec![
@@ -752,6 +1011,12 @@ pub fn perf_snapshot_json_full(
         fields.push((
             "serve".to_owned(),
             Value::Arr(serve_points.iter().map(ServeLatencyPoint::to_value).collect()),
+        ));
+    }
+    if !edit_points.is_empty() {
+        fields.push((
+            "edits".to_owned(),
+            Value::Arr(edit_points.iter().map(EditBenchPoint::to_value).collect()),
         ));
     }
     Value::Obj(fields).to_json()

@@ -6,6 +6,9 @@
 //!
 //! options:
 //!   --dump-pta                 print the flow-insensitive points-to graph
+//!   --edit-script <FILE>       apply an NDJSON edit script through the
+//!                              incremental delta solver (one batch per
+//!                              line), then analyze the edited program
 //!   --query <GLOBAL> <LOC>     refined reachability from a global to an
 //!                              abstract location (repeatable)
 //!   --leaks                    run the Android Activity-leak client
@@ -67,6 +70,7 @@ use thresher::{
 
 struct Options {
     path: String,
+    edit_script: Option<String>,
     dump_pta: bool,
     queries: Vec<(String, String)>,
     leaks: bool,
@@ -88,6 +92,7 @@ enum Mode {
 fn parse_args() -> Result<Mode, String> {
     let mut args = std::env::args().skip(1).peekable();
     let mut path = None;
+    let mut edit_script = None;
     let mut dump_pta = false;
     let mut queries = Vec::new();
     let mut leaks = false;
@@ -107,6 +112,9 @@ fn parse_args() -> Result<Mode, String> {
                 return Ok(Mode::DiffReports(a, b));
             }
             "--dump-pta" => dump_pta = true,
+            "--edit-script" => {
+                edit_script = Some(args.next().ok_or("--edit-script needs a path")?);
+            }
             "--leaks" => leaks = true,
             "--no-simplification" => config.simplification = false,
             "--query" => {
@@ -163,6 +171,7 @@ fn parse_args() -> Result<Mode, String> {
     }
     Ok(Mode::Analyze(Box::new(Options {
         path: path.ok_or("usage: thresher-cli <program.tir> [options]")?,
+        edit_script,
         dump_pta,
         queries,
         leaks,
@@ -211,13 +220,19 @@ fn main() -> ExitCode {
             return ExitCode::from(exit::NOINPUT);
         }
     };
-    let program = match tir::parse(&src) {
+    let mut program = match tir::parse(&src) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{}: parse error: {e}", opts.path);
             return ExitCode::from(exit::DATAERR);
         }
     };
+    if let Some(script) = &opts.edit_script {
+        if let Err(e) = run_edit_script(&mut program, script) {
+            eprintln!("error: {e}");
+            return ExitCode::from(exit::DATAERR);
+        }
+    }
 
     let code = {
         let _run = obs::span_with(SpanKind::Run, || opts.path.clone());
@@ -234,6 +249,62 @@ fn main() -> ExitCode {
         }
     }
     code
+}
+
+/// Applies an NDJSON edit script through the incremental delta solver:
+/// each line is one batch — a JSON array of `{op, ...}` objects (or a
+/// single object). Per-batch cost is printed, the incremental state is
+/// checked against a from-scratch reference solve after every batch, and
+/// `program` ends up as the fully edited version the rest of the run
+/// analyzes.
+fn run_edit_script(program: &mut tir::Program, path: &str) -> Result<(), String> {
+    use thresher::serve::protocol::edit_op_from_value;
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let policy = thresher::PointsToPolicy::Insensitive;
+    let mut inc = pta::IncrementalPta::new(program, policy.clone(), &PtaOptions::default());
+    println!("== edit script {path} ==");
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let ops: Vec<tir::EditOp> = match &v {
+            Value::Arr(items) => items
+                .iter()
+                .map(edit_op_from_value)
+                .collect::<Result<_, _>>()
+                .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?,
+            _ => vec![edit_op_from_value(&v).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?],
+        };
+        let applied =
+            tir::apply_edits(program, &ops).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let stats = inc.apply_edits(program, &applied);
+        println!(
+            "  batch {}: ops={} propagations={} rebuilt={} dirty_nodes={} changed_methods={}",
+            lineno + 1,
+            applied.len(),
+            stats.propagations,
+            stats.rebuilt,
+            stats.dirty_nodes,
+            stats.changed_methods.len(),
+        );
+        let reference = pta::analyze_with(
+            program,
+            policy.clone(),
+            &PtaOptions { solver: SolverKind::Reference, ..Default::default() },
+        );
+        if pta::canonical_text(program, &inc.result(program))
+            != pta::canonical_text(program, &reference)
+        {
+            return Err(format!(
+                "{path}:{}: incremental state diverged from a from-scratch solve",
+                lineno + 1
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Prints the points-to solver counters accumulated in the obs registry.

@@ -49,11 +49,12 @@ use std::time::{Duration, Instant};
 
 use obs::json::Value;
 use obs::{Counter, Hist, MetricsDelta, Registry, RunReport};
-use pta::{BitSet, ContextPolicy, HeapGraphView, ModRef, PtaOptions, PtaResult};
+use pta::{BitSet, ContextPolicy, HeapGraphView, IncrementalPta, ModRef, PtaOptions, PtaResult};
 use symex::{
-    CacheMode, DecisionStore, JobVerdict, ReachJob, RefutationScheduler, StoreLimits, SymexConfig,
+    CacheMode, DecisionStore, Fingerprinter, JobVerdict, MethodHashCache, ReachJob,
+    RefutationScheduler, StoreLimits, SymexConfig,
 };
-use tir::Program;
+use tir::{EditOp, Program};
 
 use faults::Fault;
 use protocol::{err_response, ok_response, parse_request, ErrorCode, Request, ServeError};
@@ -170,6 +171,14 @@ struct Resident {
     modref: ModRef,
     store: Option<Arc<DecisionStore>>,
     store_dir: Option<PathBuf>,
+    /// Resident delta solver for the `edit` method, built lazily on the
+    /// first edit (one extra full solve) and carried across edits so each
+    /// subsequent batch costs only its delta.
+    incr: Mutex<Option<IncrementalPta>>,
+    /// Cross-edit per-method fingerprint hashes: refreshed with the
+    /// changed-method set at each edit, so attaching the decision store to
+    /// a later request re-hashes nothing.
+    hashes: Mutex<MethodHashCache>,
     load_obs: Mutex<MetricsDelta>,
     last_used: AtomicU64,
 }
@@ -536,7 +545,7 @@ impl Shared {
             }
             // `evict` goes through the queue (not inline) so it stays FIFO
             // with the analysis requests that precede it.
-            "load_program" | "analyze" | "query_edge" | "evict" => {
+            "load_program" | "edit" | "analyze" | "query_edge" | "evict" => {
                 self.admit(req, out, false);
                 Flow::Continue
             }
@@ -771,6 +780,7 @@ impl Shared {
     ) -> Result<Value, ServeError> {
         match req.method.as_str() {
             "load_program" => self.do_load(req, phases),
+            "edit" => self.do_edit(req, phases),
             "analyze" => self.do_analyze(req, deadline, phases),
             "query_edge" => self.do_query(req, deadline, phases),
             "evict" => {
@@ -852,6 +862,8 @@ impl Shared {
             modref,
             store,
             store_dir,
+            incr: Mutex::new(None),
+            hashes: Mutex::new(MethodHashCache::new()),
             load_obs: Mutex::new(MetricsDelta::default()),
             last_used: AtomicU64::new(0),
         });
@@ -861,6 +873,96 @@ impl Shared {
             ("locs".to_owned(), Value::uint(locs)),
             ("cache".to_owned(), Value::str(cache)),
         ]))
+    }
+
+    /// Applies an edit batch to a resident program through the delta
+    /// solver: the program is re-parsed *nowhere* — the batch mutates the
+    /// resident TIR in place (transactionally), the incremental solver
+    /// incorporates exactly the delta, mod/ref re-scans only the changed
+    /// methods, and the fingerprint cache is refreshed so surviving
+    /// refutations keep warm-hitting the decision store.
+    fn do_edit(&self, req: &Request, phases: &mut Phases) -> Result<Value, ServeError> {
+        let name = param_str(req, "program")?;
+        let res = self.resident(name)?;
+        let ops = parse_edit_ops(req)?;
+
+        // Take (or lazily build) the resident delta solver. It is removed
+        // from the old resident while we work: a concurrent edit on the
+        // same program falls back to a fresh solve rather than racing.
+        let mut inc = match res.incr.lock().unwrap().take() {
+            Some(inc) => inc,
+            None => phases.time("pta", || {
+                IncrementalPta::new(
+                    &res.program,
+                    ContextPolicy::Insensitive,
+                    &PtaOptions::default(),
+                )
+            }),
+        };
+
+        let mut program = res.program.clone();
+        let applied = match phases.time("edit", || tir::apply_edits(&mut program, &ops)) {
+            Ok(applied) => applied,
+            Err(e) => {
+                // The batch was rejected atomically; hand the solver back.
+                *res.incr.lock().unwrap() = Some(inc);
+                return Err(ServeError::bad_request(format!("edit rejected: {e}")));
+            }
+        };
+        let stats = phases.time("edit", || inc.apply_edits(&program, &applied));
+        let (pta, modref, hashes) = phases.time("pta", || {
+            let pta = inc.result(&program);
+            let mut modref = res.modref.clone();
+            modref.recompute(&program, &pta, &stats.changed_methods);
+            // Refresh the fingerprint hash cache against the new state so
+            // later requests attach the store without re-hashing anything.
+            let mut hashes = std::mem::take(&mut *res.hashes.lock().unwrap());
+            let config = SymexConfig::default();
+            let _ = Fingerprinter::with_cache(
+                &program,
+                &pta,
+                &config,
+                &mut hashes,
+                &stats.changed_methods,
+            );
+            (pta, modref, hashes)
+        });
+
+        let changed: Vec<Value> =
+            stats.changed_methods.iter().map(|&m| Value::str(program.method_name(m))).collect();
+        let body = Value::Obj(vec![
+            ("program".to_owned(), Value::str(name)),
+            ("applied".to_owned(), Value::uint(applied.len() as u64)),
+            ("rebuilt".to_owned(), Value::Bool(stats.rebuilt)),
+            ("propagations".to_owned(), Value::uint(stats.propagations)),
+            ("dirty_nodes".to_owned(), Value::uint(stats.dirty_nodes as u64)),
+            ("total_nodes".to_owned(), Value::uint(stats.total_nodes as u64)),
+            ("changed_methods".to_owned(), Value::Arr(changed)),
+            (
+                "fingerprints".to_owned(),
+                Value::Obj(vec![
+                    ("hits".to_owned(), Value::uint(hashes.hits())),
+                    ("recomputed".to_owned(), Value::uint(hashes.recomputed())),
+                ]),
+            ),
+        ]);
+
+        // Replace-on-edit: the new resident inherits the store (same
+        // program name, fingerprints invalidate stale records), the delta
+        // solver, and the refreshed hash cache.
+        let resident = Arc::new(Resident {
+            program,
+            pta,
+            modref,
+            store: res.store.clone(),
+            store_dir: res.store_dir.clone(),
+            incr: Mutex::new(Some(inc)),
+            hashes: Mutex::new(hashes),
+            load_obs: Mutex::new(res.load_obs.lock().unwrap().clone()),
+            last_used: AtomicU64::new(0),
+        });
+        self.insert_resident(name, resident);
+        Ok(body)
     }
 
     fn do_query(
@@ -892,7 +994,12 @@ impl Shared {
         let mut sched =
             RefutationScheduler::new(&res.program, &res.pta, &res.modref, config, self.config.jobs);
         if let Some(store) = &res.store {
-            sched.set_store(store.clone());
+            // Attach through the cross-edit hash cache: after the first
+            // request (or an edit) every per-method hash is a lookup.
+            phases.time("cache", || {
+                let mut hashes = res.hashes.lock().unwrap();
+                sched.set_store_cached(store.clone(), &mut hashes, &[]);
+            });
         }
         let mut view = HeapGraphView::new(&res.pta);
         let job = ReachJob { source: global, targets: BitSet::singleton(target.index()) };
@@ -1158,6 +1265,28 @@ fn wants_report(req: &Request) -> bool {
     matches!(req.params.get("report"), Some(Value::Bool(true)))
 }
 
+/// Decodes `params.edits`: an array of `{op, ...}` objects mirroring
+/// [`tir::EditOp`] — `add_stmt`/`replace_stmt` (`method`, `at`, `text`),
+/// `remove_stmt` (`method`, `at`), `add_method` (`text`, optional
+/// `class`), `remove_method` (`method`).
+fn parse_edit_ops(req: &Request) -> Result<Vec<EditOp>, ServeError> {
+    let arr = req
+        .params
+        .get("edits")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| ServeError::bad_request("edit needs params.edits (array)"))?;
+    if arr.is_empty() {
+        return Err(ServeError::bad_request("edit needs a non-empty params.edits"));
+    }
+    arr.iter()
+        .enumerate()
+        .map(|(i, v)| {
+            protocol::edit_op_from_value(v)
+                .map_err(|e| ServeError::bad_request(format!("edits[{i}]: {e}")))
+        })
+        .collect()
+}
+
 fn param_str<'r>(req: &'r Request, key: &str) -> Result<&'r str, ServeError> {
     req.params
         .get(key)
@@ -1259,6 +1388,43 @@ entry main;
         assert!(matches!(ok(5).get("draining"), Some(Value::Bool(true))));
         assert_eq!(summary.admitted, 3);
         assert_eq!(summary.completed, 3);
+        assert_eq!(summary.panicked, 0);
+    }
+
+    #[test]
+    fn edit_updates_resident_analysis() {
+        let config = ServeConfig { workers: 1, ..ServeConfig::default() };
+        let daemon = Daemon::new(config);
+        // `b.item = secret;` lands before `$CACHE = b;` (ordinal 4), making
+        // the previously-refuted CACHE → secret0 path witnessable.
+        let script = format!(
+            "{}\n\
+             {{\"id\": 2, \"method\": \"query_edge\", \"params\": {{\"program\": \"boxy\", \"global\": \"CACHE\", \"loc\": \"secret0\"}}}}\n\
+             {{\"id\": 3, \"method\": \"edit\", \"params\": {{\"program\": \"boxy\", \"edits\": [{{\"op\": \"add_stmt\", \"method\": \"main\", \"at\": 4, \"text\": \"b.item = secret;\"}}]}}}}\n\
+             {{\"id\": 4, \"method\": \"query_edge\", \"params\": {{\"program\": \"boxy\", \"global\": \"CACHE\", \"loc\": \"secret0\"}}}}\n\
+             {{\"id\": 5, \"method\": \"edit\", \"params\": {{\"program\": \"boxy\", \"edits\": [{{\"op\": \"remove_stmt\", \"method\": \"main\", \"at\": 4}}]}}}}\n\
+             {{\"id\": 6, \"method\": \"query_edge\", \"params\": {{\"program\": \"boxy\", \"global\": \"CACHE\", \"loc\": \"secret0\"}}}}\n\
+             {{\"id\": 7, \"method\": \"edit\", \"params\": {{\"program\": \"boxy\", \"edits\": [{{\"op\": \"remove_stmt\", \"method\": \"main\", \"at\": 99}}]}}}}\n",
+            load_line(1)
+        );
+        let (lines, summary) = daemon.run_script(&script);
+        let parsed = |id| obs::json::parse(response_for(&lines, id)).unwrap();
+        let ok = |id: u64| {
+            parsed(id).get("ok").cloned().unwrap_or_else(|| panic!("id {id} not ok: {lines:?}"))
+        };
+        assert!(matches!(ok(2).get("reachable"), Some(Value::Bool(false))));
+        let edit = ok(3);
+        assert_eq!(edit.get("applied").and_then(Value::as_u64), Some(1));
+        assert!(matches!(edit.get("rebuilt"), Some(Value::Bool(false))));
+        assert!(matches!(ok(4).get("reachable"), Some(Value::Bool(true))));
+        let edit = ok(5);
+        assert!(matches!(edit.get("rebuilt"), Some(Value::Bool(true))));
+        assert!(matches!(ok(6).get("reachable"), Some(Value::Bool(false))));
+        // An invalid batch is rejected atomically and leaves the resident
+        // program untouched.
+        let err = parsed(7).get("err").cloned().expect("invalid edit errs");
+        assert_eq!(err.get("code").and_then(Value::as_str), Some("bad-request"));
+        assert_eq!(summary.completed, 6);
         assert_eq!(summary.panicked, 0);
     }
 

@@ -207,6 +207,49 @@ pub fn parse_request(line: &str, default_client: &str) -> Result<Request, ServeE
     Ok(Request { id, method, params, client })
 }
 
+/// Decodes one `{op, ...}` object into a [`tir::EditOp`]. The JSON shape
+/// mirrors the enum: `add_stmt`/`replace_stmt` need `method`, `at`,
+/// `text`; `remove_stmt` needs `method`, `at`; `add_method` needs `text`
+/// (plus `class` for instance methods); `remove_method` needs `method`.
+/// Shared by the daemon's `edit` method and the CLI's `--edit-script`.
+pub fn edit_op_from_value(v: &Value) -> Result<tir::EditOp, String> {
+    let field = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("edit op needs string field {key:?}"))
+    };
+    let at = || {
+        v.get("at")
+            .and_then(Value::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| "edit op needs integer field \"at\"".to_owned())
+    };
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "edit op needs field \"op\"".to_owned())?;
+    match op {
+        "add_stmt" => {
+            Ok(tir::EditOp::AddStmt { method: field("method")?, at: at()?, text: field("text")? })
+        }
+        "replace_stmt" => Ok(tir::EditOp::ReplaceStmt {
+            method: field("method")?,
+            at: at()?,
+            text: field("text")?,
+        }),
+        "remove_stmt" => Ok(tir::EditOp::RemoveStmt { method: field("method")?, at: at()? }),
+        "add_method" => Ok(tir::EditOp::AddMethod {
+            class: v.get("class").and_then(Value::as_str).map(str::to_owned),
+            text: field("text")?,
+        }),
+        "remove_method" => Ok(tir::EditOp::RemoveMethod { method: field("method")? }),
+        other => Err(format!(
+            "unknown op {other:?} (add_stmt|replace_stmt|remove_stmt|add_method|remove_method)"
+        )),
+    }
+}
+
 /// Renders an `ok` response line (no trailing newline).
 pub fn ok_response(id: &Value, body: Value) -> String {
     Value::Obj(vec![("id".to_owned(), id.clone()), ("ok".to_owned(), body)]).to_json()

@@ -208,7 +208,7 @@ pub(super) fn cost_value(
     let solver_ns: u64 =
         delta.observations().iter().filter(|(h, _)| *h == Hist::SolverNanos).map(|(_, v)| v).sum();
     let phase_obj = Value::Obj(
-        ["parse", "pta", "symex", "cache"]
+        ["parse", "pta", "edit", "symex", "cache"]
             .iter()
             .map(|&n| (format!("{n}_us"), Value::uint(phases.total(n))))
             .collect(),

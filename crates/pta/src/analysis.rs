@@ -39,7 +39,7 @@ use crate::result::{HeapEdge, PtaResult};
 /// A method-analysis context: the receiver's abstract location (object
 /// sensitivity), the call site (1-CFA), or nothing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-enum Ctx {
+pub(crate) enum Ctx {
     /// Context-insensitive instance.
     None,
     /// Keyed by receiver location (object/container sensitivity).
@@ -49,11 +49,11 @@ enum Ctx {
 }
 
 /// Interned (method, context) pair.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-struct InstId(u32);
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) struct InstId(pub(crate) u32);
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-enum NodeKind {
+pub(crate) enum NodeKind {
     /// A local variable of a method instance.
     Var(InstId, VarId),
     /// A global variable.
@@ -65,22 +65,26 @@ enum NodeKind {
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-struct NodeId(u32);
+pub(crate) struct NodeId(pub(crate) u32);
 
 /// A pending receiver-indexed call: dispatch is re-run as the receiver's
 /// points-to set grows.
 #[derive(Clone, Debug)]
-struct RecvCall {
-    caller: InstId,
-    cmd: CmdId,
+pub(crate) struct RecvCall {
+    pub(crate) caller: InstId,
+    pub(crate) cmd: CmdId,
     /// `None` for virtual dispatch by name; `Some` for a direct call to an
     /// instance method (constructor-style), which skips re-resolution.
-    fixed_target: Option<MethodId>,
-    method_name: String,
-    dst: Option<VarId>,
-    args: Vec<Operand>,
+    pub(crate) fixed_target: Option<MethodId>,
+    pub(crate) method_name: String,
+    pub(crate) dst: Option<VarId>,
+    pub(crate) args: Vec<Operand>,
     /// Receiver locations already dispatched.
-    seen: BitSet,
+    pub(crate) seen: BitSet,
+    /// Dispatch record: (receiver location bit, callee instance) pairs, in
+    /// dispatch order. The incremental solver reads this to find which
+    /// callee bindings a program edit may invalidate.
+    pub(crate) dispatched: Vec<(usize, InstId)>,
 }
 
 /// Inserts `v` into a sorted vector if absent; returns true if inserted.
@@ -94,45 +98,67 @@ fn insert_sorted(list: &mut Vec<NodeId>, v: NodeId) -> bool {
     }
 }
 
-struct Solver<'p> {
-    program: &'p Program,
-    policy: ContextPolicy,
-    locs: LocTable,
-    insts: Vec<(MethodId, Ctx)>,
-    inst_index: HashMap<(MethodId, Ctx), InstId>,
-    nodes: Vec<NodeKind>,
-    node_index: HashMap<NodeKind, NodeId>,
+pub(crate) struct Solver {
+    pub(crate) policy: ContextPolicy,
+    pub(crate) locs: LocTable,
+    pub(crate) insts: Vec<(MethodId, Ctx)>,
+    pub(crate) inst_index: HashMap<(MethodId, Ctx), InstId>,
+    pub(crate) nodes: Vec<NodeKind>,
+    pub(crate) node_index: HashMap<NodeKind, NodeId>,
     /// Points-to sets: the full set under the reference solver; the
     /// already-propagated "old" half of the old/delta split under the
     /// delta solver.
-    pts: Vec<BitSet>,
+    pub(crate) pts: Vec<BitSet>,
     /// Locations not yet pushed downstream. Delta solver only; always
     /// disjoint from the node's `pts`, and non-empty only while the node
     /// sits on the worklist.
-    delta: Vec<BitSet>,
+    pub(crate) delta: Vec<BitSet>,
     /// Copy successors, sorted by raw node id and dedup'd: the iteration
     /// order *is* the deterministic propagation order.
-    copy_succs: Vec<Vec<NodeId>>,
-    loads: Vec<Vec<(FieldId, NodeId)>>,
-    stores: Vec<Vec<(FieldId, NodeId)>>,
-    recv_calls: Vec<Vec<usize>>,
-    calls: Vec<RecvCall>,
-    worklist: VecDeque<NodeId>,
+    pub(crate) copy_succs: Vec<Vec<NodeId>>,
+    pub(crate) loads: Vec<Vec<(FieldId, NodeId)>>,
+    pub(crate) stores: Vec<Vec<(FieldId, NodeId)>>,
+    pub(crate) recv_calls: Vec<Vec<usize>>,
+    pub(crate) calls: Vec<RecvCall>,
+    pub(crate) worklist: VecDeque<NodeId>,
     /// Union-find over nodes for online cycle collapsing; stays the
     /// identity under the reference solver.
-    parent: Vec<u32>,
-    /// Copy edges already probed for a cycle (LCD fires once per edge).
-    lcd_attempted: HashSet<(NodeId, NodeId)>,
+    pub(crate) parent: Vec<u32>,
+    /// Copy edges already probed for a cycle, packed `(n << 32) | s`
+    /// (LCD fires once per edge).
+    pub(crate) lcd_attempted: HashSet<u64>,
     /// (caller cmd, callee method) call-graph edges.
-    call_edges: HashSet<(CmdId, MethodId)>,
-    reached_methods: BitSet,
-    options: PtaOptions,
+    pub(crate) call_edges: HashSet<(CmdId, MethodId)>,
+    pub(crate) reached_methods: BitSet,
+    pub(crate) options: PtaOptions,
+    /// Incremental rebuild mode: registration lays down constraint
+    /// structure (and evaluates complex constraints of already-solved
+    /// nodes structurally) but copy edges push nothing — the boundary
+    /// scan after the rebuild seeds all propagation at once.
+    pub(crate) rebuilding: bool,
+    /// Instances whose constraints were dropped by an incremental rebuild
+    /// because their reachability became uncertain. Revived (body
+    /// re-registered) if dispatch re-derives them.
+    pub(crate) suspended: HashSet<InstId>,
+    /// Worklist pops performed by this solver (the unit the incremental
+    /// CI gate measures).
+    pub(crate) propagations: u64,
+    /// When set, every drained node id is appended here (the incremental
+    /// solver reads it to find which methods' facts changed).
+    pub(crate) drain_log: Option<Vec<NodeId>>,
+    /// Reusable per-pop buffers for the drain loop. Constraint lists must
+    /// be read through a snapshot (`eval_*` may grow the originals
+    /// mid-iteration), but cloning four `Vec`s per pop dominated the
+    /// solve on sub-500-node programs; copying into retained-capacity
+    /// scratch is allocation-free after warm-up.
+    scratch_succs: Vec<NodeId>,
+    scratch_fields: Vec<(FieldId, NodeId)>,
+    scratch_calls: Vec<usize>,
 }
 
-impl<'p> Solver<'p> {
-    fn new(program: &'p Program, policy: ContextPolicy) -> Self {
+impl Solver {
+    pub(crate) fn new(policy: ContextPolicy) -> Self {
         Solver {
-            program,
             policy,
             locs: LocTable::new(),
             insts: Vec::new(),
@@ -152,10 +178,17 @@ impl<'p> Solver<'p> {
             call_edges: HashSet::new(),
             reached_methods: BitSet::new(),
             options: PtaOptions::default(),
+            rebuilding: false,
+            suspended: HashSet::new(),
+            propagations: 0,
+            drain_log: None,
+            scratch_succs: Vec::new(),
+            scratch_fields: Vec::new(),
+            scratch_calls: Vec::new(),
         }
     }
 
-    fn node(&mut self, kind: NodeKind) -> NodeId {
+    pub(crate) fn node(&mut self, kind: NodeKind) -> NodeId {
         if let Some(&id) = self.node_index.get(&kind) {
             return id;
         }
@@ -175,7 +208,7 @@ impl<'p> Solver<'p> {
 
     /// Union-find lookup with path halving. The identity under the
     /// reference solver, which never links nodes.
-    fn find(&mut self, n: NodeId) -> NodeId {
+    pub(crate) fn find(&mut self, n: NodeId) -> NodeId {
         let mut x = n.0 as usize;
         while self.parent[x] as usize != x {
             let grand = self.parent[self.parent[x] as usize];
@@ -187,7 +220,7 @@ impl<'p> Solver<'p> {
 
     /// Read-only union-find lookup (no path compression), for post-solve
     /// passes over `&self`.
-    fn find_read(&self, n: usize) -> usize {
+    pub(crate) fn find_read(&self, n: usize) -> usize {
         let mut x = n;
         while self.parent[x] as usize != x {
             x = self.parent[x] as usize;
@@ -195,7 +228,7 @@ impl<'p> Solver<'p> {
         x
     }
 
-    fn add_loc(&mut self, node: NodeId, loc: LocId) {
+    pub(crate) fn add_loc(&mut self, node: NodeId, loc: LocId) {
         match self.options.solver {
             SolverKind::Reference => {
                 if self.pts[node.0 as usize].insert(loc.index()) {
@@ -231,24 +264,46 @@ impl<'p> Solver<'p> {
                 if f == t {
                     return;
                 }
-                if insert_sorted(&mut self.copy_succs[f.0 as usize], t) {
+                if insert_sorted(&mut self.copy_succs[f.0 as usize], t)
+                    && !self.rebuilding
+                    && !self.pts[f.0 as usize].is_empty()
+                {
                     // Everything already propagated out of `f` must reach
                     // the new successor now; `f`'s pending delta follows
                     // through the worklist (`f` is queued whenever its
-                    // delta is non-empty).
-                    let old = self.pts[f.0 as usize].clone();
-                    if !old.is_empty() {
-                        self.push_delta(t, &old);
-                    }
+                    // delta is non-empty). During an incremental rebuild
+                    // the boundary scan performs this push for every edge
+                    // at once, so nothing is pushed here.
+                    self.push_delta_from(f, t);
                 }
             }
         }
     }
 
+    /// [`Solver::push_delta`] with the source bits read in place from
+    /// `from`'s old set — no clone of the source set (the dominant
+    /// allocation on small programs, where `add_copy` fires once per
+    /// assignment).
+    fn push_delta_from(&mut self, from: NodeId, t: NodeId) -> bool {
+        let (fi, ti) = (from.0 as usize, t.0 as usize);
+        let was_empty = self.delta[ti].is_empty();
+        // `pts` and `delta` are separate vectors, so the source old set,
+        // the target old set, and the target delta borrow disjointly.
+        let (pts, delta) = (&self.pts, &mut self.delta);
+        if !delta[ti].union_with_delta(&pts[fi], &pts[ti]) {
+            return false;
+        }
+        obs::add(obs::Counter::PtaDeltasPushed, 1);
+        if was_empty {
+            self.worklist.push_back(t);
+        }
+        true
+    }
+
     /// Folds `bits \ old(t)` into `delta(t)`, enqueueing `t` when its delta
     /// transitions from empty to non-empty. Returns true if anything new
     /// arrived.
-    fn push_delta(&mut self, t: NodeId, bits: &BitSet) -> bool {
+    pub(crate) fn push_delta(&mut self, t: NodeId, bits: &BitSet) -> bool {
         let i = t.0 as usize;
         let old = &self.pts[i];
         let delta = &mut self.delta[i];
@@ -264,9 +319,15 @@ impl<'p> Solver<'p> {
     }
 
     /// Gets or creates the instance of `method` under `ctx`, analyzing its
-    /// body on first creation.
-    fn instance(&mut self, method: MethodId, ctx: Ctx) -> InstId {
+    /// body on first creation. A suspended instance (constraints dropped
+    /// by an incremental rebuild) is revived: re-marked reached and its
+    /// body re-registered against the current program.
+    pub(crate) fn instance(&mut self, program: &Program, method: MethodId, ctx: Ctx) -> InstId {
         if let Some(&id) = self.inst_index.get(&(method, ctx)) {
+            if self.suspended.remove(&id) {
+                self.reached_methods.insert(method.index());
+                self.process_body(program, id);
+            }
             return id;
         }
         let id = InstId(u32::try_from(self.insts.len()).expect("instance overflow"));
@@ -274,40 +335,46 @@ impl<'p> Solver<'p> {
         self.insts.push((method, ctx));
         self.inst_index.insert((method, ctx), id);
         self.reached_methods.insert(method.index());
-        self.process_body(id);
+        self.process_body(program, id);
         id
     }
 
-    fn is_ref(&self, v: VarId) -> bool {
-        self.program.var(v).ty.is_ref()
+    fn is_ref(&self, program: &Program, v: VarId) -> bool {
+        program.var(v).ty.is_ref()
     }
 
-    fn var_node(&mut self, inst: InstId, v: VarId) -> NodeId {
+    pub(crate) fn var_node(&mut self, inst: InstId, v: VarId) -> NodeId {
         self.node(NodeKind::Var(inst, v))
+    }
+
+    /// The context qualifier an allocation in `inst` receives: the
+    /// receiver location, when the policy qualifies the instance's class.
+    pub(crate) fn alloc_qualifier(&self, program: &Program, inst: InstId) -> Option<LocId> {
+        let (method, ctx) = self.insts[inst.0 as usize];
+        let qualifies = match program.method(method).class {
+            Some(c) => self.policy.qualifies(program, c),
+            None => false,
+        };
+        match ctx {
+            Ctx::Recv(l) if qualifies => Some(l),
+            _ => None,
+        }
     }
 
     /// The abstract location for an allocation executed in instance `inst`.
     /// Only receiver contexts qualify the heap abstraction (1-CFA keeps
     /// allocation-site locations).
-    fn alloc_loc(&mut self, inst: InstId, alloc: AllocId) -> LocId {
-        let (method, ctx) = self.insts[inst.0 as usize];
-        let qualifies = match self.program.method(method).class {
-            Some(c) => self.policy.qualifies(self.program, c),
-            None => false,
-        };
-        let ctx = match ctx {
-            Ctx::Recv(l) if qualifies => Some(l),
-            _ => None,
-        };
+    fn alloc_loc(&mut self, program: &Program, inst: InstId, alloc: AllocId) -> LocId {
+        let ctx = self.alloc_qualifier(program, inst);
         self.locs.intern(AbsLoc { alloc, ctx })
     }
 
-    fn process_body(&mut self, inst: InstId) {
+    pub(crate) fn process_body(&mut self, program: &Program, inst: InstId) {
         let (method, _) = self.insts[inst.0 as usize];
-        let cmds = self.program.method_cmds(method);
+        let cmds = program.method_cmds(method);
         for cmd_id in cmds {
-            let cmd = self.program.cmd(cmd_id).clone();
-            self.process_cmd(inst, cmd_id, &cmd);
+            let cmd = program.cmd(cmd_id).clone();
+            self.process_cmd(program, inst, cmd_id, &cmd);
         }
     }
 
@@ -326,8 +393,10 @@ impl<'p> Solver<'p> {
             SolverKind::Delta => {
                 let b = self.find(base);
                 self.loads[b.0 as usize].push((f, dst));
-                let old = self.pts[b.0 as usize].clone();
-                if !old.is_empty() {
+                // Most registrations happen before any fact reaches the
+                // base, so check emptiness before paying for the clone.
+                if !self.pts[b.0 as usize].is_empty() {
+                    let old = self.pts[b.0 as usize].clone();
                     self.eval_load(&old, f, dst);
                 }
             }
@@ -336,7 +405,7 @@ impl<'p> Solver<'p> {
 
     /// Registers a store constraint `base.f = src`; seeding mirrors
     /// [`Solver::register_load`].
-    fn register_store(&mut self, base: NodeId, f: FieldId, src: NodeId) {
+    fn register_store(&mut self, program: &Program, base: NodeId, f: FieldId, src: NodeId) {
         match self.options.solver {
             SolverKind::Reference => {
                 self.stores[base.0 as usize].push((f, src));
@@ -347,9 +416,9 @@ impl<'p> Solver<'p> {
             SolverKind::Delta => {
                 let b = self.find(base);
                 self.stores[b.0 as usize].push((f, src));
-                let old = self.pts[b.0 as usize].clone();
-                if !old.is_empty() {
-                    self.eval_store(&old, f, src);
+                if !self.pts[b.0 as usize].is_empty() {
+                    let old = self.pts[b.0 as usize].clone();
+                    self.eval_store(program, &old, f, src);
                 }
             }
         }
@@ -357,7 +426,7 @@ impl<'p> Solver<'p> {
 
     /// Registers a receiver-indexed call; seeding mirrors
     /// [`Solver::register_load`].
-    fn register_recv_call(&mut self, recv: NodeId, call: RecvCall) {
+    fn register_recv_call(&mut self, program: &Program, recv: NodeId, call: RecvCall) {
         let idx = self.calls.len();
         self.calls.push(call);
         match self.options.solver {
@@ -370,61 +439,69 @@ impl<'p> Solver<'p> {
             SolverKind::Delta => {
                 let r = self.find(recv);
                 self.recv_calls[r.0 as usize].push(idx);
-                let old = self.pts[r.0 as usize].clone();
-                if !old.is_empty() {
-                    self.eval_recv_call(idx, &old);
+                if !self.pts[r.0 as usize].is_empty() {
+                    let old = self.pts[r.0 as usize].clone();
+                    self.eval_recv_call(program, idx, &old);
                 }
             }
         }
     }
 
-    fn process_cmd(&mut self, inst: InstId, cmd_id: CmdId, cmd: &Command) {
-        let contents = self.program.contents_field;
+    pub(crate) fn process_cmd(
+        &mut self,
+        program: &Program,
+        inst: InstId,
+        cmd_id: CmdId,
+        cmd: &Command,
+    ) {
+        let contents = program.contents_field;
         match cmd {
             Command::Assign { dst, src: Operand::Var(y) }
-                if self.is_ref(*dst) && self.is_ref(*y) =>
+                if self.is_ref(program, *dst) && self.is_ref(program, *y) =>
             {
                 let from = self.var_node(inst, *y);
                 let to = self.var_node(inst, *dst);
                 self.add_copy(from, to);
             }
-            Command::ReadField { dst, obj, field } if self.is_ref(*dst) => {
+            Command::ReadField { dst, obj, field } if self.is_ref(program, *dst) => {
                 let base = self.var_node(inst, *obj);
                 let to = self.var_node(inst, *dst);
                 self.register_load(base, *field, to);
             }
-            Command::WriteField { obj, field, src: Operand::Var(y) } if self.is_ref(*y) => {
+            Command::WriteField { obj, field, src: Operand::Var(y) }
+                if self.is_ref(program, *y) =>
+            {
                 let base = self.var_node(inst, *obj);
                 let from = self.var_node(inst, *y);
-                self.register_store(base, *field, from);
+                self.register_store(program, base, *field, from);
             }
-            Command::ReadGlobal { dst, global } if self.is_ref(*dst) => {
+            Command::ReadGlobal { dst, global } if self.is_ref(program, *dst) => {
                 let from = self.node(NodeKind::Global(*global));
                 let to = self.var_node(inst, *dst);
                 self.add_copy(from, to);
             }
-            Command::WriteGlobal { global, src: Operand::Var(y) } if self.is_ref(*y) => {
+            Command::WriteGlobal { global, src: Operand::Var(y) } if self.is_ref(program, *y) => {
                 let from = self.var_node(inst, *y);
                 let to = self.node(NodeKind::Global(*global));
                 self.add_copy(from, to);
             }
-            Command::ReadArray { dst, arr, .. } if self.is_ref(*dst) => {
+            Command::ReadArray { dst, arr, .. } if self.is_ref(program, *dst) => {
                 let base = self.var_node(inst, *arr);
                 let to = self.var_node(inst, *dst);
                 self.register_load(base, contents, to);
             }
-            Command::WriteArray { arr, src: Operand::Var(y), .. } if self.is_ref(*y) => {
+            Command::WriteArray { arr, src: Operand::Var(y), .. } if self.is_ref(program, *y) => {
                 let base = self.var_node(inst, *arr);
                 let from = self.var_node(inst, *y);
-                self.register_store(base, contents, from);
+                self.register_store(program, base, contents, from);
             }
             Command::New { dst, alloc, .. } => {
-                let loc = self.alloc_loc(inst, *alloc);
+                let loc = self.alloc_loc(program, inst, *alloc);
                 let node = self.var_node(inst, *dst);
                 self.add_loc(node, loc);
             }
             Command::NewArray { dst, alloc, .. } => {
-                let loc = self.alloc_loc(inst, *alloc);
+                let loc = self.alloc_loc(program, inst, *alloc);
                 let node = self.var_node(inst, *dst);
                 self.add_loc(node, loc);
             }
@@ -439,11 +516,12 @@ impl<'p> Solver<'p> {
                         dst: *dst,
                         args: args.clone(),
                         seen: BitSet::new(),
+                        dispatched: Vec::new(),
                     };
-                    self.register_recv_call(recv, call);
+                    self.register_recv_call(program, recv, call);
                 }
                 Callee::Static { method } => {
-                    let callee_m = self.program.method(*method);
+                    let callee_m = program.method(*method);
                     if callee_m.class.is_some() {
                         // Direct call to an instance method (constructor
                         // style): the receiver is args[0]. Context depends
@@ -462,8 +540,9 @@ impl<'p> Solver<'p> {
                             dst: *dst,
                             args: args[1..].to_vec(),
                             seen: BitSet::new(),
+                            dispatched: Vec::new(),
                         };
-                        self.register_recv_call(recv, call);
+                        self.register_recv_call(program, recv, call);
                     } else {
                         // Free function: per-site under 1-CFA, otherwise
                         // context-insensitive.
@@ -472,12 +551,12 @@ impl<'p> Solver<'p> {
                         } else {
                             Ctx::None
                         };
-                        let callee = self.instance(*method, ctx);
-                        self.bind_call(inst, cmd_id, callee, *method, None, *dst, args);
+                        let callee = self.instance(program, *method, ctx);
+                        self.bind_call(program, inst, cmd_id, callee, *method, None, *dst, args);
                     }
                 }
             },
-            Command::Return { val: Some(Operand::Var(v)) } if self.is_ref(*v) => {
+            Command::Return { val: Some(Operand::Var(v)) } if self.is_ref(program, *v) => {
                 let from = self.var_node(inst, *v);
                 let to = self.node(NodeKind::Ret(inst));
                 self.add_copy(from, to);
@@ -490,8 +569,9 @@ impl<'p> Solver<'p> {
     /// callee instance. `this_loc` carries the dispatched receiver location
     /// for instance methods.
     #[allow(clippy::too_many_arguments)]
-    fn bind_call(
+    pub(crate) fn bind_call(
         &mut self,
+        program: &Program,
         caller: InstId,
         cmd: CmdId,
         callee_inst: InstId,
@@ -501,7 +581,7 @@ impl<'p> Solver<'p> {
         args: &[Operand],
     ) {
         self.call_edges.insert((cmd, callee));
-        let callee_m = self.program.method(callee).clone();
+        let callee_m = program.method(callee).clone();
         let mut params = callee_m.params.iter();
         if callee_m.class.is_some() {
             let this_param = *params.next().expect("instance method has this");
@@ -512,7 +592,7 @@ impl<'p> Solver<'p> {
         }
         for (param, arg) in params.zip(args.iter()) {
             if let Operand::Var(a) = arg {
-                if self.is_ref(*a) && self.is_ref(*param) {
+                if self.is_ref(program, *a) && self.is_ref(program, *param) {
                     let from = self.var_node(caller, *a);
                     let to = self.var_node(callee_inst, *param);
                     self.add_copy(from, to);
@@ -520,7 +600,7 @@ impl<'p> Solver<'p> {
             }
         }
         if let Some(d) = dst {
-            if self.is_ref(d) {
+            if self.is_ref(program, d) {
                 let from = self.node(NodeKind::Ret(callee_inst));
                 let to = self.var_node(caller, d);
                 self.add_copy(from, to);
@@ -529,27 +609,56 @@ impl<'p> Solver<'p> {
     }
 
     /// True if writes into `l.f` are suppressed by an annotation.
-    fn is_blocked_cell(&self, l: LocId, f: FieldId) -> bool {
-        f == self.program.contents_field
+    fn is_blocked_cell(&self, program: &Program, l: LocId, f: FieldId) -> bool {
+        f == program.contents_field
             && self.options.empty_contents_allocs.contains(&self.locs.get(l).alloc)
     }
 
     /// Context for a callee dispatched on receiver location `l` at call
     /// site `cmd`.
-    fn callee_ctx(&mut self, callee: MethodId, l: LocId, cmd: CmdId) -> Ctx {
+    pub(crate) fn callee_ctx(
+        &self,
+        program: &Program,
+        callee: MethodId,
+        l: LocId,
+        cmd: CmdId,
+    ) -> Ctx {
         if self.policy.call_site_sensitive() {
             return Ctx::Site(cmd);
         }
-        let Some(class) = self.program.method(callee).class else {
+        let Some(class) = program.method(callee).class else {
             return Ctx::None;
         };
-        if !self.policy.qualifies(self.program, class) {
+        if !self.policy.qualifies(program, class) {
             return Ctx::None;
         }
         if self.locs.depth(l) + 1 > self.policy.max_depth() {
             return Ctx::None;
         }
         Ctx::Recv(l)
+    }
+
+    /// Resolves the dispatch target of call `ci` on receiver location `l`,
+    /// mirroring [`Solver::eval_recv_call`]'s rules: `None` when the
+    /// receiver class is incompatible or the name does not resolve.
+    pub(crate) fn dispatch_target(
+        &self,
+        program: &Program,
+        ci: usize,
+        l: LocId,
+    ) -> Option<MethodId> {
+        let class = self.locs.class_of(l, program);
+        match self.calls[ci].fixed_target {
+            Some(t) => {
+                let tc = program.method(t).class.expect("instance method");
+                if program.is_subclass(class, tc) {
+                    Some(t)
+                } else {
+                    None
+                }
+            }
+            None => program.resolve_method(class, &self.calls[ci].method_name),
+        }
     }
 
     /// Applies a load constraint `dst = base.f` for each base location in
@@ -564,10 +673,10 @@ impl<'p> Solver<'p> {
     /// Applies a store constraint `base.f = src` for each base location in
     /// `bits`, unless the target cell is covered by an empty-contents
     /// annotation.
-    fn eval_store(&mut self, bits: &BitSet, f: FieldId, src: NodeId) {
+    fn eval_store(&mut self, program: &Program, bits: &BitSet, f: FieldId, src: NodeId) {
         for l in bits.iter() {
             let lid = LocId(l as u32);
-            if self.is_blocked_cell(lid, f) {
+            if self.is_blocked_cell(program, lid, f) {
                 continue;
             }
             let fnode = self.node(NodeKind::Field(lid, f));
@@ -577,33 +686,22 @@ impl<'p> Solver<'p> {
 
     /// Dispatches receiver-indexed call `ci` on each receiver location in
     /// `bits` not yet seen.
-    fn eval_recv_call(&mut self, ci: usize, bits: &BitSet) {
+    pub(crate) fn eval_recv_call(&mut self, program: &Program, ci: usize, bits: &BitSet) {
         for l in bits.iter() {
             if self.calls[ci].seen.contains(l) {
                 continue;
             }
             self.calls[ci].seen.insert(l);
             let lid = LocId(l as u32);
-            let class = self.locs.class_of(lid, self.program);
-            let call = self.calls[ci].clone();
-            let target = match call.fixed_target {
-                Some(t) => {
-                    // Only dispatch if the receiver location's class is
-                    // compatible with the target's class.
-                    let tc = self.program.method(t).class.expect("instance method");
-                    if !self.program.is_subclass(class, tc) {
-                        continue;
-                    }
-                    t
-                }
-                None => match self.program.resolve_method(class, &call.method_name) {
-                    Some(t) => t,
-                    None => continue,
-                },
+            let Some(target) = self.dispatch_target(program, ci, lid) else {
+                continue;
             };
-            let ctx = self.callee_ctx(target, lid, self.calls[ci].cmd);
-            let callee_inst = self.instance(target, ctx);
+            let call = self.calls[ci].clone();
+            let ctx = self.callee_ctx(program, target, lid, call.cmd);
+            let callee_inst = self.instance(program, target, ctx);
+            self.calls[ci].dispatched.push((l, callee_inst));
             self.bind_call(
+                program,
                 call.caller,
                 call.cmd,
                 callee_inst,
@@ -615,20 +713,21 @@ impl<'p> Solver<'p> {
         }
     }
 
-    fn solve(&mut self, entry: MethodId) {
+    pub(crate) fn solve(&mut self, program: &Program, entry: MethodId) {
         let _span = obs::span(obs::SpanKind::Pta, "points-to solve");
         match self.options.solver {
-            SolverKind::Reference => self.solve_reference(entry),
-            SolverKind::Delta => self.solve_delta(entry),
+            SolverKind::Reference => self.solve_reference(program, entry),
+            SolverKind::Delta => self.solve_delta(program, entry),
         }
     }
 
     /// The textbook worklist: re-propagates a node's *full* points-to set
     /// to every copy successor and re-evaluates every complex constraint
     /// against the full set on each round.
-    fn solve_reference(&mut self, entry: MethodId) {
-        self.instance(entry, Ctx::None);
+    fn solve_reference(&mut self, program: &Program, entry: MethodId) {
+        self.instance(program, entry, Ctx::None);
         while let Some(node) = self.worklist.pop_front() {
+            self.propagations += 1;
             if obs::enabled() {
                 obs::add(obs::Counter::PtaPropagations, 1);
                 obs::observe(obs::Hist::PtaWorklist, self.worklist.len() as u64 + 1);
@@ -647,11 +746,11 @@ impl<'p> Solver<'p> {
             }
             let stores = self.stores[i].clone();
             for (f, src) in stores {
-                self.eval_store(&pts, f, src);
+                self.eval_store(program, &pts, f, src);
             }
             let call_ids = self.recv_calls[i].clone();
             for ci in call_ids {
-                self.eval_recv_call(ci, &pts);
+                self.eval_recv_call(program, ci, &pts);
             }
         }
     }
@@ -661,8 +760,15 @@ impl<'p> Solver<'p> {
     /// and re-evaluates complex constraints against the delta alone. A
     /// copy edge that propagates nothing between equal sets triggers lazy
     /// cycle detection ([`Solver::try_collapse`]).
-    fn solve_delta(&mut self, entry: MethodId) {
-        self.instance(entry, Ctx::None);
+    fn solve_delta(&mut self, program: &Program, entry: MethodId) {
+        self.instance(program, entry, Ctx::None);
+        self.drain_delta(program);
+    }
+
+    /// The delta-propagation pop loop, runnable from any consistent
+    /// mid-solve state (initial solve, or after an incremental rebuild's
+    /// boundary scan has seeded the worklist).
+    pub(crate) fn drain_delta(&mut self, program: &Program) {
         'pop: while let Some(node) = self.worklist.pop_front() {
             let n = self.find(node);
             let i = n.0 as usize;
@@ -671,13 +777,20 @@ impl<'p> Solver<'p> {
             }
             let d = std::mem::take(&mut self.delta[i]);
             self.pts[i].union_with(&d);
+            self.propagations += 1;
+            if let Some(log) = self.drain_log.as_mut() {
+                log.push(n);
+            }
             if obs::enabled() {
                 obs::add(obs::Counter::PtaPropagations, 1);
                 obs::observe(obs::Hist::PtaWorklist, self.worklist.len() as u64 + 1);
                 obs::observe(obs::Hist::PtaDeltaLen, d.len() as u64);
             }
-            let succs = self.copy_succs[i].clone();
-            for s_raw in succs {
+            let mut succs = std::mem::take(&mut self.scratch_succs);
+            succs.clear();
+            succs.extend_from_slice(&self.copy_succs[i]);
+            let mut collapsed = false;
+            for &s_raw in &succs {
                 let s = self.find(s_raw);
                 if s == n {
                     continue;
@@ -688,52 +801,61 @@ impl<'p> Solver<'p> {
                     // set (which includes `d`), so the rest of this round
                     // — remaining successors and complex constraints — is
                     // subsumed by the representative's next round.
-                    continue 'pop;
+                    collapsed = true;
+                    break;
                 }
             }
-            let loads = self.loads[i].clone();
-            for (f, dst) in loads {
+            self.scratch_succs = succs;
+            if collapsed {
+                continue 'pop;
+            }
+            let mut fields = std::mem::take(&mut self.scratch_fields);
+            fields.clear();
+            fields.extend_from_slice(&self.loads[i]);
+            for &(f, dst) in &fields {
                 self.eval_load(&d, f, dst);
             }
-            let stores = self.stores[i].clone();
-            for (f, src) in stores {
-                self.eval_store(&d, f, src);
+            fields.clear();
+            fields.extend_from_slice(&self.stores[i]);
+            for &(f, src) in &fields {
+                self.eval_store(program, &d, f, src);
             }
-            let call_ids = self.recv_calls[i].clone();
-            for ci in call_ids {
-                self.eval_recv_call(ci, &d);
+            self.scratch_fields = fields;
+            let mut calls = std::mem::take(&mut self.scratch_calls);
+            calls.clear();
+            calls.extend_from_slice(&self.recv_calls[i]);
+            for &ci in &calls {
+                self.eval_recv_call(program, ci, &d);
             }
+            self.scratch_calls = calls;
         }
     }
 
     /// Lazy cycle detection, fired when propagating `n → s` added nothing:
     /// if the endpoint sets are equal — the cheap necessary condition for
     /// `n` and `s` to sit on a common copy cycle — probe the copy graph
-    /// from `n` and collapse every SCC found. Each (n, s) edge is probed
-    /// at most once. Returns true if `n` itself was collapsed.
+    /// from `n` and collapse every SCC found. The equality test gates the
+    /// probe ledger: an edge whose sets are still unequal stays eligible
+    /// (its sets may converge later and then deserve the probe), and the
+    /// common near-fixpoint miss costs one word-wise compare instead of a
+    /// hash insert. Each (n, s) edge runs the Tarjan probe at most once.
+    /// Returns true if `n` itself was collapsed.
     fn try_collapse(&mut self, n: NodeId, s: NodeId) -> bool {
-        if !self.lcd_attempted.insert((n, s)) {
+        if !self.sets_equal(n, s) {
             return false;
         }
-        if !self.sets_equal(n, s) {
+        if !self.lcd_attempted.insert(((n.0 as u64) << 32) | s.0 as u64) {
             return false;
         }
         self.collapse_cycles_from(n)
     }
 
-    /// Element-wise equality of the full (old ∪ delta) sets. Word vectors
-    /// can differ by trailing zero words, so derived `Eq` is not usable.
+    /// Element-wise equality of the full (old ∪ delta) sets, computed word
+    /// by word without materializing either union. Word vectors can differ
+    /// by trailing zero words, so derived `Eq` is not usable.
     fn sets_equal(&self, a: NodeId, b: NodeId) -> bool {
-        let fa = self.full_set(a);
-        let fb = self.full_set(b);
-        fa.is_subset(&fb) && fb.is_subset(&fa)
-    }
-
-    fn full_set(&self, x: NodeId) -> BitSet {
-        let i = x.0 as usize;
-        let mut s = self.pts[i].clone();
-        s.union_with(&self.delta[i]);
-        s
+        let (ai, bi) = (a.0 as usize, b.0 as usize);
+        BitSet::pair_union_eq(&self.pts[ai], &self.delta[ai], &self.pts[bi], &self.delta[bi])
     }
 
     /// The current successors of `v`, union-find-resolved with self-loops
@@ -877,11 +999,38 @@ impl<'p> Solver<'p> {
         origin_collapsed
     }
 
-    fn finish(mut self) -> PtaResult {
-        // Canonical location renumbering: interning order is a fixpoint-
-        // strategy artifact; the published numbering must not be.
-        let perm = self.locs.canonicalize(self.program);
-        let remap = |bs: &BitSet| -> BitSet { bs.iter().map(|l| perm[l].index()).collect() };
+    fn finish(self, program: &Program) -> PtaResult {
+        self.build_result(program, None)
+    }
+
+    /// Publishes the solver's current fixpoint as a [`PtaResult`] without
+    /// consuming or mutating the solver, so a resident incremental solver
+    /// can snapshot after every edit batch.
+    ///
+    /// `live` optionally supplies a replacement location table plus a map
+    /// from the solver's (append-only) location ids into it; the
+    /// incremental solver uses this to drop locations whose allocation
+    /// sites edits have removed. `None` publishes every interned location
+    /// (the full-solve path).
+    ///
+    /// The published table is canonically renumbered either way: interning
+    /// order is a fixpoint-strategy artifact; the published numbering must
+    /// not be.
+    pub(crate) fn build_result(
+        &self,
+        program: &Program,
+        live: Option<(LocTable, Vec<Option<LocId>>)>,
+    ) -> PtaResult {
+        let (mut table, map): (LocTable, Vec<Option<LocId>>) = match live {
+            Some(x) => x,
+            None => (self.locs.clone(), self.locs.ids().map(Some).collect()),
+        };
+        let perm = table.canonicalize(program);
+        let final_loc = |l: usize| -> LocId {
+            let fresh = map[l].expect("dead abstract location survived in a live set");
+            perm[fresh.index()]
+        };
+        let remap = |bs: &BitSet| -> BitSet { bs.iter().map(|l| final_loc(l).index()).collect() };
         let n_nodes = self.nodes.len();
         let reps: Vec<usize> = (0..n_nodes).map(|i| self.find_read(i)).collect();
         let resolved: Vec<BitSet> = (0..n_nodes)
@@ -891,7 +1040,7 @@ impl<'p> Solver<'p> {
         // Conflate per-instance variable points-to sets. Collapsed members
         // read their representative's set under their own node kind.
         let mut var_pt: HashMap<VarId, BitSet> = HashMap::new();
-        let mut global_pt: Vec<BitSet> = vec![BitSet::new(); self.program.global_ids().count()];
+        let mut global_pt: Vec<BitSet> = vec![BitSet::new(); program.global_ids().count()];
         let mut heap: HashMap<(LocId, FieldId), BitSet> = HashMap::new();
         for (i, kind) in self.nodes.iter().enumerate() {
             let pts = &resolved[reps[i]];
@@ -906,7 +1055,7 @@ impl<'p> Solver<'p> {
                     global_pt[g.index()].union_with(pts);
                 }
                 NodeKind::Field(l, f) => {
-                    heap.entry((perm[l.index()], *f)).or_default().union_with(pts);
+                    heap.entry((final_loc(l.index()), *f)).or_default().union_with(pts);
                 }
                 NodeKind::Ret(_) => {}
             }
@@ -915,14 +1064,11 @@ impl<'p> Solver<'p> {
         // Producer map: which write commands may produce each heap edge.
         let mut producers: HashMap<HeapEdge, Vec<CmdId>> = HashMap::new();
         let empty = BitSet::new();
-        let reached: Vec<MethodId> = self
-            .program
-            .method_ids()
-            .filter(|m| self.reached_methods.contains(m.index()))
-            .collect();
+        let reached: Vec<MethodId> =
+            program.method_ids().filter(|m| self.reached_methods.contains(m.index())).collect();
         for &m in &reached {
-            for cmd_id in self.program.method_cmds(m) {
-                match self.program.cmd(cmd_id) {
+            for cmd_id in program.method_cmds(m) {
+                match program.cmd(cmd_id) {
                     Command::WriteField { obj, field, src: Operand::Var(y) } => {
                         let base_pt = var_pt.get(obj).unwrap_or(&empty).clone();
                         let val_pt = var_pt.get(y).unwrap_or(&empty).clone();
@@ -934,7 +1080,12 @@ impl<'p> Solver<'p> {
                         let blocked: Vec<usize> = base_pt
                             .iter()
                             .filter(|&l| {
-                                self.is_blocked_cell(LocId(l as u32), self.program.contents_field)
+                                // `base_pt` is already canonically numbered;
+                                // blocked cells are keyed by allocation
+                                // site, so resolve through the fresh table.
+                                self.options
+                                    .empty_contents_allocs
+                                    .contains(&table.get(LocId(l as u32)).alloc)
                             })
                             .collect();
                         for l in blocked {
@@ -944,7 +1095,7 @@ impl<'p> Solver<'p> {
                         record_producers(
                             &mut producers,
                             &base_pt,
-                            self.program.contents_field,
+                            program.contents_field,
                             &val_pt,
                             cmd_id,
                         );
@@ -982,15 +1133,14 @@ impl<'p> Solver<'p> {
             v.dedup();
         }
 
-        let loc_class: Vec<ClassId> =
-            self.locs.ids().map(|l| self.locs.class_of(l, self.program)).collect();
+        let loc_class: Vec<ClassId> = table.ids().map(|l| table.class_of(l, program)).collect();
         let mut alloc_locs: HashMap<AllocId, BitSet> = HashMap::new();
-        for l in self.locs.ids() {
-            alloc_locs.entry(self.locs.get(l).alloc).or_default().insert(l.index());
+        for l in table.ids() {
+            alloc_locs.entry(table.get(l).alloc).or_default().insert(l.index());
         }
 
         PtaResult::new(
-            std::mem::take(&mut self.locs),
+            table,
             var_pt,
             global_pt,
             heap,
@@ -1084,10 +1234,10 @@ pub struct PtaOptions {
 ///
 /// Panics if `program` has no entry method.
 pub fn analyze_with(program: &Program, policy: ContextPolicy, options: &PtaOptions) -> PtaResult {
-    let mut solver = Solver::new(program, policy);
+    let mut solver = Solver::new(policy);
     solver.options = options.clone();
-    solver.solve(program.entry());
-    let result = solver.finish();
+    solver.solve(program, program.entry());
+    let result = solver.finish(program);
     result.check_types(program);
     result
 }

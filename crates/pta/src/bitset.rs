@@ -171,6 +171,15 @@ impl BitSet {
             .flat_map(|(wi, &w)| WordBits { word: w, base: wi * 64 })
     }
 
+    /// True if `a0 ∪ a1 == b0 ∪ b1`, computed word by word without
+    /// allocating the unions. This is the hot equality probe of lazy cycle
+    /// detection, where each side is an old/delta split of one node.
+    pub(crate) fn pair_union_eq(a0: &BitSet, a1: &BitSet, b0: &BitSet, b1: &BitSet) -> bool {
+        let n = a0.words.len().max(a1.words.len()).max(b0.words.len()).max(b1.words.len());
+        let word = |s: &BitSet, i: usize| s.words.get(i).copied().unwrap_or(0);
+        (0..n).all(|i| (word(a0, i) | word(a1, i)) == (word(b0, i) | word(b1, i)))
+    }
+
     /// The single element, if the set has exactly one.
     pub fn as_singleton(&self) -> Option<usize> {
         let mut it = self.iter();

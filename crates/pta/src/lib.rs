@@ -39,6 +39,7 @@ mod analysis;
 mod bitset;
 mod context;
 mod graph;
+mod incremental;
 mod loc;
 mod modref;
 mod result;
@@ -47,6 +48,7 @@ pub use analysis::{analyze, analyze_with, PtaOptions, SolverKind};
 pub use bitset::BitSet;
 pub use context::ContextPolicy;
 pub use graph::HeapGraphView;
+pub use incremental::{EditSolveStats, IncrementalPta};
 pub use loc::{AbsLoc, LocId, LocTable};
 pub use modref::ModRef;
-pub use result::{HeapEdge, PtaResult};
+pub use result::{canonical_text, HeapEdge, PtaResult};

@@ -40,7 +40,7 @@ pub struct AbsLoc {
 }
 
 /// Interning table for abstract locations.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct LocTable {
     locs: Vec<AbsLoc>,
     index: HashMap<AbsLoc, LocId>,
@@ -66,6 +66,11 @@ impl LocTable {
     /// Looks up a location by id.
     pub fn get(&self, id: LocId) -> AbsLoc {
         self.locs[id.index()]
+    }
+
+    /// Looks up the id of an already-interned location, if present.
+    pub fn lookup(&self, loc: AbsLoc) -> Option<LocId> {
+        self.index.get(&loc).copied()
     }
 
     /// Number of interned locations.

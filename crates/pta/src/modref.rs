@@ -4,6 +4,15 @@
 //! current query (frame rule) and (b) soundly drop query constraints when a
 //! callee beyond the call-stack bound is skipped (§4: "we soundly skipped
 //! callees by dropping constraints that executing the call might produce").
+//!
+//! Summaries split into two layers: *direct* effects (one linear scan of a
+//! method's own commands) and the *transitive* closure over the call graph.
+//! [`ModRef::recompute`] exploits the split after a program edit: only the
+//! direct effects of methods the incremental solver reports as changed are
+//! re-scanned, then the (cheap) closure re-runs. Direct `mod_cells` sets are
+//! keyed by the result's canonical location numbering, so retention is
+//! guarded by a numbering signature — an edit that changes the location set
+//! renumbers everything and falls back to a full direct pass.
 
 use std::collections::HashMap;
 
@@ -12,22 +21,81 @@ use tir::{Command, FieldId, MethodId, Program};
 use crate::bitset::BitSet;
 use crate::result::PtaResult;
 
-/// Per-method summaries of fields/globals that may be written or read,
-/// including transitive callees.
-#[derive(Debug)]
-pub struct ModRef {
+/// One layer of per-method summaries (direct or transitive).
+#[derive(Clone, Debug, Default)]
+struct Effects {
     mod_fields: Vec<BitSet>,
     mod_globals: Vec<BitSet>,
     ref_fields: Vec<BitSet>,
     ref_globals: Vec<BitSet>,
     /// Location-sensitive write summaries: for each method and field, the
-    /// abstract locations whose cells the method (transitively) may write.
-    /// This is the paper's "points-to facts guide execution" at the
-    /// call-skipping level: a call is irrelevant to a query cell unless the
-    /// callee can write that field *of an object in the cell's region*.
+    /// abstract locations whose cells the method may write.
     mod_cells: Vec<HashMap<FieldId, BitSet>>,
-    /// Whether the method (transitively) allocates.
+    /// Whether the method allocates.
     allocates: Vec<bool>,
+}
+
+impl Effects {
+    fn with_len(n: usize) -> Effects {
+        Effects {
+            mod_fields: vec![BitSet::new(); n],
+            mod_globals: vec![BitSet::new(); n],
+            ref_fields: vec![BitSet::new(); n],
+            ref_globals: vec![BitSet::new(); n],
+            mod_cells: vec![HashMap::new(); n],
+            allocates: vec![false; n],
+        }
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.mod_fields.resize(n, BitSet::new());
+        self.mod_globals.resize(n, BitSet::new());
+        self.ref_fields.resize(n, BitSet::new());
+        self.ref_globals.resize(n, BitSet::new());
+        self.mod_cells.resize(n, HashMap::new());
+        self.allocates.resize(n, false);
+    }
+
+    fn clear_method(&mut self, m: MethodId) {
+        self.mod_fields[m.index()] = BitSet::new();
+        self.mod_globals[m.index()] = BitSet::new();
+        self.ref_fields[m.index()] = BitSet::new();
+        self.ref_globals[m.index()] = BitSet::new();
+        self.mod_cells[m.index()] = HashMap::new();
+        self.allocates[m.index()] = false;
+    }
+}
+
+/// Per-method summaries of fields/globals that may be written or read,
+/// including transitive callees.
+#[derive(Clone, Debug)]
+pub struct ModRef {
+    /// Direct effects only — retained so edits re-scan just the changed
+    /// methods. The `mod_cells` sets are in the numbering of `loc_sig`.
+    direct: Effects,
+    /// Signature of the canonical location numbering `direct.mod_cells`
+    /// is expressed in.
+    loc_sig: u64,
+    /// Direct ∪ transitive-callee effects (what the accessors expose).
+    total: Effects,
+}
+
+/// FNV-1a over the canonical location names: two results assign the same
+/// ids to the same locations iff their signatures match (the numbering is
+/// a sort over exactly these names).
+fn loc_signature(program: &Program, pta: &PtaResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for l in pta.locs().ids() {
+        eat(pta.loc_name(program, l).as_bytes());
+        eat(&[0]);
+    }
+    h
 }
 
 impl ModRef {
@@ -36,59 +104,94 @@ impl ModRef {
     pub fn compute(program: &Program, pta: &PtaResult) -> ModRef {
         let n = program.method_ids().count();
         let mut mr = ModRef {
-            mod_fields: vec![BitSet::new(); n],
-            mod_globals: vec![BitSet::new(); n],
-            ref_fields: vec![BitSet::new(); n],
-            ref_globals: vec![BitSet::new(); n],
-            mod_cells: vec![HashMap::new(); n],
-            allocates: vec![false; n],
+            direct: Effects::with_len(n),
+            loc_sig: loc_signature(program, pta),
+            total: Effects::with_len(n),
         };
-        // Direct effects.
         for m in program.method_ids() {
-            for c in program.method_cmds(m) {
-                match program.cmd(c) {
-                    Command::WriteField { obj, field, .. } => {
-                        mr.mod_fields[m.index()].insert(field.index());
-                        mr.mod_cells[m.index()]
-                            .entry(*field)
-                            .or_default()
-                            .union_with(pta.pt_var(*obj));
-                    }
-                    Command::WriteArray { arr, .. } => {
-                        mr.mod_fields[m.index()].insert(program.contents_field.index());
-                        mr.mod_cells[m.index()]
-                            .entry(program.contents_field)
-                            .or_default()
-                            .union_with(pta.pt_var(*arr));
-                    }
-                    Command::WriteGlobal { global, .. } => {
-                        mr.mod_globals[m.index()].insert(global.index());
-                    }
-                    Command::ReadField { field, .. } => {
-                        mr.ref_fields[m.index()].insert(field.index());
-                    }
-                    Command::ReadArray { .. } => {
-                        mr.ref_fields[m.index()].insert(program.contents_field.index());
-                    }
-                    Command::ArrayLen { .. } => {
-                        mr.ref_fields[m.index()].insert(program.len_field.index());
-                    }
-                    Command::ReadGlobal { global, .. } => {
-                        mr.ref_globals[m.index()].insert(global.index());
-                    }
-                    Command::New { .. } | Command::NewArray { .. } => {
-                        mr.allocates[m.index()] = true;
-                        // Array allocation initializes `len`.
-                        if matches!(program.cmd(c), Command::NewArray { .. }) {
-                            mr.mod_fields[m.index()].insert(program.len_field.index());
-                        }
-                    }
-                    _ => {}
-                }
+            mr.scan_direct(program, pta, m);
+        }
+        mr.close_over_calls(program, pta);
+        mr
+    }
+
+    /// Refreshes the summaries after a program edit. `changed` is the
+    /// incremental solver's changed-method set (methods whose commands,
+    /// points-to facts, or call targets may differ); only their direct
+    /// effects are re-scanned unless the location numbering shifted.
+    ///
+    /// Cell-blocking ([`ModRef::block_cells`]) is not retained — re-apply
+    /// it after every recompute, exactly as after [`ModRef::compute`].
+    pub fn recompute(&mut self, program: &Program, pta: &PtaResult, changed: &[MethodId]) {
+        let n = program.method_ids().count();
+        self.direct.resize(n);
+        let sig = loc_signature(program, pta);
+        if sig == self.loc_sig {
+            for &m in changed {
+                self.direct.clear_method(m);
+                self.scan_direct(program, pta, m);
+            }
+        } else {
+            // The edit changed the abstract-location set, so every
+            // retained mod_cells bit is in a stale numbering.
+            self.loc_sig = sig;
+            self.direct = Effects::with_len(n);
+            for m in program.method_ids() {
+                self.scan_direct(program, pta, m);
             }
         }
-        // Transitive closure over the call graph (iterate to fixpoint; the
-        // graph is small).
+        self.close_over_calls(program, pta);
+    }
+
+    /// One linear scan of `m`'s own commands into `self.direct`.
+    fn scan_direct(&mut self, program: &Program, pta: &PtaResult, m: MethodId) {
+        let d = &mut self.direct;
+        for c in program.method_cmds(m) {
+            match program.cmd(c) {
+                Command::WriteField { obj, field, .. } => {
+                    d.mod_fields[m.index()].insert(field.index());
+                    d.mod_cells[m.index()].entry(*field).or_default().union_with(pta.pt_var(*obj));
+                }
+                Command::WriteArray { arr, .. } => {
+                    d.mod_fields[m.index()].insert(program.contents_field.index());
+                    d.mod_cells[m.index()]
+                        .entry(program.contents_field)
+                        .or_default()
+                        .union_with(pta.pt_var(*arr));
+                }
+                Command::WriteGlobal { global, .. } => {
+                    d.mod_globals[m.index()].insert(global.index());
+                }
+                Command::ReadField { field, .. } => {
+                    d.ref_fields[m.index()].insert(field.index());
+                }
+                Command::ReadArray { .. } => {
+                    d.ref_fields[m.index()].insert(program.contents_field.index());
+                }
+                Command::ArrayLen { .. } => {
+                    d.ref_fields[m.index()].insert(program.len_field.index());
+                }
+                Command::ReadGlobal { global, .. } => {
+                    d.ref_globals[m.index()].insert(global.index());
+                }
+                Command::New { .. } => {
+                    d.allocates[m.index()] = true;
+                }
+                Command::NewArray { .. } => {
+                    d.allocates[m.index()] = true;
+                    // Array allocation initializes `len`.
+                    d.mod_fields[m.index()].insert(program.len_field.index());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Rebuilds `self.total` = direct effects closed over the call graph
+    /// (iterate to fixpoint; the graph is small).
+    fn close_over_calls(&mut self, program: &Program, pta: &PtaResult) {
+        let mr = &mut self.total;
+        *mr = self.direct.clone();
         let mut changed = true;
         while changed {
             changed = false;
@@ -122,17 +225,16 @@ impl ModRef {
                 }
             }
         }
-        mr
     }
 
     /// Fields (by index) that `m` may transitively write.
     pub fn mod_fields(&self, m: MethodId) -> &BitSet {
-        &self.mod_fields[m.index()]
+        &self.total.mod_fields[m.index()]
     }
 
     /// Locations whose `field` cells `m` may transitively write.
     pub fn mod_cell_locs(&self, m: MethodId, field: FieldId) -> Option<&BitSet> {
-        self.mod_cells[m.index()].get(&field)
+        self.total.mod_cells[m.index()].get(&field)
     }
 
     /// True if `m` may write `field` of an object abstracted by a location
@@ -144,7 +246,7 @@ impl ModRef {
     /// Suppress the `field`-cell summary locations in `blocked` for every
     /// method (used to mirror empty-contents annotations).
     pub fn block_cells(&mut self, field: FieldId, blocked: &BitSet) {
-        for per in &mut self.mod_cells {
+        for per in &mut self.total.mod_cells {
             if let Some(locs) = per.get_mut(&field) {
                 locs.subtract(blocked);
             }
@@ -153,31 +255,32 @@ impl ModRef {
 
     /// Globals (by index) that `m` may transitively write.
     pub fn mod_globals(&self, m: MethodId) -> &BitSet {
-        &self.mod_globals[m.index()]
+        &self.total.mod_globals[m.index()]
     }
 
     /// Fields (by index) that `m` may transitively read.
     pub fn ref_fields(&self, m: MethodId) -> &BitSet {
-        &self.ref_fields[m.index()]
+        &self.total.ref_fields[m.index()]
     }
 
     /// Globals (by index) that `m` may transitively read.
     pub fn ref_globals(&self, m: MethodId) -> &BitSet {
-        &self.ref_globals[m.index()]
+        &self.total.ref_globals[m.index()]
     }
 
     /// True if `m` may transitively allocate.
     pub fn allocates(&self, m: MethodId) -> bool {
-        self.allocates[m.index()]
+        self.total.allocates[m.index()]
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::analyze;
+    use crate::analysis::{analyze, PtaOptions};
     use crate::context::ContextPolicy;
-    use tir::parse;
+    use crate::incremental::IncrementalPta;
+    use tir::{apply_edits, parse, EditOp};
 
     #[test]
     fn direct_and_transitive_mods() {
@@ -276,5 +379,74 @@ entry main;
         let rec = p.free_function("rec").unwrap();
         let g = p.global_by_name("G").unwrap();
         assert!(mr.mod_globals(rec).contains(g.index()));
+    }
+
+    /// `recompute` over an edit sequence must always match a from-scratch
+    /// `compute` against the same result — including when the edit changes
+    /// the abstract-location set and invalidates the retained numbering.
+    #[test]
+    fn recompute_matches_compute_across_edits() {
+        let src = r#"
+class Box { field item: Object; field other: Object; }
+global G: Object;
+fn writer(b: Box, o: Object) {
+  b.item = o;
+  return;
+}
+fn main() {
+  var b: Box;
+  var o: Object;
+  b = new Box @box0;
+  o = new Object @obj0;
+  call writer(b, o);
+  return;
+}
+entry main;
+"#;
+        let mut p = parse(src).expect("parse");
+        let mut inc = IncrementalPta::new(&p, ContextPolicy::Insensitive, &PtaOptions::default());
+        let mut mr = ModRef::compute(&p, &inc.result(&p));
+        let batches: Vec<Vec<EditOp>> = vec![
+            // Same location set: retained direct summaries stay valid.
+            vec![EditOp::AddStmt { method: "writer".into(), at: 1, text: "b.other = o;".into() }],
+            // New allocation site: the numbering shifts, forcing the
+            // full-direct fallback.
+            vec![
+                EditOp::AddStmt {
+                    method: "main".into(),
+                    at: 2,
+                    text: "o = new Object @obj1;".into(),
+                },
+                EditOp::AddStmt { method: "main".into(), at: 3, text: "$G = o;".into() },
+            ],
+            vec![EditOp::RemoveStmt { method: "writer".into(), at: 0 }],
+        ];
+        for batch in &batches {
+            let applied = apply_edits(&mut p, batch).expect("apply");
+            let stats = inc.apply_edits(&p, &applied);
+            let pta = inc.result(&p);
+            mr.recompute(&p, &pta, &stats.changed_methods);
+            let fresh = ModRef::compute(&p, &pta);
+            let bits = |b: &BitSet| b.iter().collect::<Vec<_>>();
+            let cells = |e: &HashMap<FieldId, BitSet>| {
+                let mut v: Vec<(usize, Vec<usize>)> =
+                    e.iter().map(|(f, s)| (f.index(), s.iter().collect())).collect();
+                v.sort();
+                v
+            };
+            for m in p.method_ids() {
+                let name = p.method_name(m);
+                assert_eq!(
+                    cells(&mr.total.mod_cells[m.index()]),
+                    cells(&fresh.total.mod_cells[m.index()]),
+                    "mod_cells diverge for {name}"
+                );
+                assert_eq!(bits(mr.mod_fields(m)), bits(fresh.mod_fields(m)), "{name}");
+                assert_eq!(bits(mr.mod_globals(m)), bits(fresh.mod_globals(m)), "{name}");
+                assert_eq!(bits(mr.ref_fields(m)), bits(fresh.ref_fields(m)), "{name}");
+                assert_eq!(bits(mr.ref_globals(m)), bits(fresh.ref_globals(m)), "{name}");
+                assert_eq!(mr.allocates(m), fresh.allocates(m), "{name}");
+            }
+        }
     }
 }

@@ -288,6 +288,60 @@ impl PtaResult {
     }
 }
 
+/// Serializes every client-observable part of a result into one canonical
+/// string. Points-to sets arrive via [`PtaResult::dump`] (which renders
+/// canonical location names in canonical numbering order); the call graph,
+/// reached set, producer map, and allocation-site map are rendered by
+/// iterating the *program* (ids are program-derived, not solver-derived).
+/// Two equal results serialize identically no matter which fixpoint
+/// strategy — or incremental edit history — produced them, which makes
+/// this the byte-for-byte comparison key for differential and
+/// incremental-oracle testing.
+pub fn canonical_text(program: &Program, r: &PtaResult) -> String {
+    let mut out = r.dump(program);
+    for m in program.method_ids() {
+        if r.is_reached(m) {
+            out.push_str(&format!("reached {}\n", program.method_name(m)));
+        }
+        let callers = r.callers(m);
+        if !callers.is_empty() {
+            let ids: Vec<String> = callers.iter().map(|c| c.index().to_string()).collect();
+            out.push_str(&format!("callers {} <- {}\n", program.method_name(m), ids.join(",")));
+        }
+        for cmd in program.method_cmds(m) {
+            let targets = r.call_targets(cmd);
+            if !targets.is_empty() {
+                let names: Vec<String> = targets.iter().map(|&t| program.method_name(t)).collect();
+                out.push_str(&format!("call {} -> {}\n", cmd.index(), names.join(",")));
+            }
+        }
+    }
+    let mut edges: Vec<HeapEdge> = Vec::new();
+    for g in program.global_ids() {
+        for t in r.pt_global(g).iter() {
+            edges.push(HeapEdge::Global { global: g, target: LocId(t as u32) });
+        }
+    }
+    let mut entries: Vec<_> = r.heap_entries().collect();
+    entries.sort_by_key(|(l, f, _)| (l.index(), f.index()));
+    for (base, field, targets) in entries {
+        for t in targets.iter() {
+            edges.push(HeapEdge::Field { base, field, target: LocId(t as u32) });
+        }
+    }
+    edges.sort();
+    for edge in edges {
+        let prods: Vec<String> = r.producers(&edge).iter().map(|c| c.index().to_string()).collect();
+        out.push_str(&format!("producers {} : {}\n", edge.describe(program, r), prods.join(",")));
+    }
+    for a in program.alloc_ids() {
+        let locs: Vec<String> =
+            r.alloc_locs(a).iter().map(|l| r.loc_name(program, LocId(l as u32))).collect();
+        out.push_str(&format!("alloc {} : {}\n", program.alloc(a).name, locs.join(",")));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use crate::analysis::analyze;

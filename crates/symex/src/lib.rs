@@ -71,7 +71,9 @@ pub use engine::{EdgeDecision, Engine};
 pub use parallel::{
     default_jobs, EdgeAnswer, JobVerdict, ReachJob, RefutationScheduler, SchedulerOutcome, Tally,
 };
-pub use persist::{CacheMode, DecisionStore, Fingerprinter, PersistedDecision, StoreLimits};
+pub use persist::{
+    CacheMode, DecisionStore, Fingerprinter, MethodHashCache, PersistedDecision, StoreLimits,
+};
 pub use query::{HeapCell, Query, Refuted};
 pub use region::Region;
 pub use replay::{validate_witness, ReplayVerdict};

@@ -581,6 +581,30 @@ impl<'a> RefutationScheduler<'a> {
         });
     }
 
+    /// Like [`RefutationScheduler::set_store`], but builds the
+    /// fingerprinter through a cross-edit [`MethodHashCache`]: only
+    /// methods named in `changed` (plus methods new to the cache) are
+    /// re-hashed, so attaching the store after an edit-delta solve costs
+    /// proportional to the edit, not the program.
+    pub fn set_store_cached(
+        &mut self,
+        store: Arc<DecisionStore>,
+        method_hashes: &mut crate::persist::MethodHashCache,
+        changed: &[tir::MethodId],
+    ) {
+        self.disk = Some(DiskTier {
+            program: self.program,
+            fpr: Fingerprinter::with_cache(
+                self.program,
+                self.pta,
+                &self.config,
+                method_hashes,
+                changed,
+            ),
+            store,
+        });
+    }
+
     /// The configured thread count.
     pub fn jobs(&self) -> usize {
         self.jobs

@@ -125,12 +125,89 @@ pub struct Fingerprinter<'a> {
     memo: Mutex<HashMap<HeapEdge, u64>>,
 }
 
+/// Cross-edit cache of per-method content hashes, keyed by canonical
+/// method name (names survive the id renumbering an edit causes; ids do
+/// not). After an edit-delta solve, only methods reported changed by
+/// [`pta::EditSolveStats::changed_methods`] — plus methods new to the
+/// cache — need re-hashing; every other method's hash is reused, so
+/// fingerprinting cost tracks the size of the *edit*, not the program.
+///
+/// Reuse is sound because [`Fingerprinter::hash_method`] reads only
+/// renumbering-stable inputs (printed text, canonical location names,
+/// callee names), and `changed_methods` conservatively covers every
+/// method whose points-to facts or call targets moved.
+#[derive(Debug, Default)]
+pub struct MethodHashCache {
+    by_name: HashMap<String, u64>,
+    hits: u64,
+    recomputed: u64,
+}
+
+impl MethodHashCache {
+    /// An empty cache; the first [`Fingerprinter::with_cache`] call fills
+    /// it by hashing every method.
+    pub fn new() -> Self {
+        MethodHashCache::default()
+    }
+
+    /// Hashes served from the cache across all `with_cache` calls.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Hashes recomputed (changed, new, or cold) across all calls.
+    pub fn recomputed(&self) -> u64 {
+        self.recomputed
+    }
+}
+
 impl<'a> Fingerprinter<'a> {
     /// Builds a fingerprinter, hashing every method's canonical content
     /// up front.
     pub fn new(program: &'a Program, pta: &'a PtaResult, config: &SymexConfig) -> Self {
         let method_hash =
             program.method_ids().map(|m| Self::hash_method(program, pta, m)).collect();
+        Fingerprinter {
+            program,
+            pta,
+            config_key: config_fingerprint_key(config),
+            method_hash,
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Like [`Fingerprinter::new`], but reuses cached per-method hashes
+    /// for every method *not* named in `changed`. The cache is refreshed
+    /// in place to exactly the current program's methods (hashes of
+    /// removed methods are dropped).
+    pub fn with_cache(
+        program: &'a Program,
+        pta: &'a PtaResult,
+        config: &SymexConfig,
+        cache: &mut MethodHashCache,
+        changed: &[MethodId],
+    ) -> Self {
+        let changed: HashSet<String> = changed.iter().map(|&m| program.method_name(m)).collect();
+        let mut next = HashMap::new();
+        let method_hash = program
+            .method_ids()
+            .map(|m| {
+                let name = program.method_name(m);
+                let h = match cache.by_name.get(&name) {
+                    Some(&h) if !changed.contains(&name) => {
+                        cache.hits += 1;
+                        h
+                    }
+                    _ => {
+                        cache.recomputed += 1;
+                        Self::hash_method(program, pta, m)
+                    }
+                };
+                next.insert(name, h);
+                h
+            })
+            .collect();
+        cache.by_name = next;
         Fingerprinter {
             program,
             pta,

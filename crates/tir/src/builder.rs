@@ -193,6 +193,7 @@ impl ProgramBuilder {
             locals: param_ids,
             ret_ty,
             body: Stmt::Skip,
+            removed: false,
         });
         if let Some(c) = class {
             self.classes[c.index()].methods.push(id);

@@ -1,0 +1,1062 @@
+//! Program edits: a statement/method-level mutation protocol for resident
+//! [`Program`]s.
+//!
+//! An [`EditOp`] names its target symbolically (method names, command
+//! ordinals, statement text in the surface syntax), so edit scripts survive
+//! re-parses and can be shipped over the daemon protocol. [`apply_edits`]
+//! applies a batch transactionally: either every op lands and the edited
+//! program re-validates, or the program is left untouched.
+//!
+//! Arenas are append-only: removing a statement or method orphans its
+//! commands in the arena (their [`CmdId`]s stay readable) rather than
+//! renumbering live ones. This is what lets incremental analyses carry
+//! state across edits keyed by stable ids.
+
+use std::fmt;
+
+use crate::ids::{AllocId, CmdId, MethodId, VarId};
+use crate::parser::{
+    lex, Parser, SCall, SCond, SLvalue, SMethod, SOperand, SRvalue, SStmt, STy, Tok,
+};
+use crate::program::{AllocSite, Method, Program, Ty, VarInfo};
+use crate::stmt::{Callee, Command, Cond, Operand, Stmt};
+use crate::validate;
+
+/// One program edit. Statement ops address commands by their ordinal in
+/// [`Program::method_cmds`] order (`at`); statement and method bodies are
+/// given in the textual IR syntax of [`crate::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditOp {
+    /// Insert a single statement before the `at`-th command of `method`
+    /// (`at == num_cmds` appends at the end, before a trailing `return`).
+    /// `text` is one statement, e.g. `"x = new Cell @c9;"` or
+    /// `"var t: int;"`. Control flow is not allowed here.
+    AddStmt {
+        /// Target method, `"Class.name"` or a free function name.
+        method: String,
+        /// Command ordinal to insert before (0-based).
+        at: usize,
+        /// Statement text in the surface syntax.
+        text: String,
+    },
+    /// Replace the `at`-th command of `method` with a new statement.
+    ReplaceStmt {
+        /// Target method.
+        method: String,
+        /// Command ordinal to replace (0-based).
+        at: usize,
+        /// Replacement statement text (must lower to a single command).
+        text: String,
+    },
+    /// Remove the `at`-th command of `method`.
+    RemoveStmt {
+        /// Target method.
+        method: String,
+        /// Command ordinal to remove (0-based).
+        at: usize,
+    },
+    /// Add a whole method. `text` is a `fn`/`method` item in the surface
+    /// syntax; `class` names the declaring class for instance methods.
+    AddMethod {
+        /// Declaring class, or `None` for a free function.
+        class: Option<String>,
+        /// Full method text, e.g. `"fn helper(x: int): int { return x; }"`.
+        text: String,
+    },
+    /// Remove a method. The method must not be the entry point and must not
+    /// be statically called from surviving code.
+    RemoveMethod {
+        /// Target method, `"Class.name"` or a free function name.
+        method: String,
+    },
+}
+
+impl EditOp {
+    /// Short tag naming the op kind (used in telemetry and bench output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EditOp::AddStmt { .. } => "add_stmt",
+            EditOp::ReplaceStmt { .. } => "replace_stmt",
+            EditOp::RemoveStmt { .. } => "remove_stmt",
+            EditOp::AddMethod { .. } => "add_method",
+            EditOp::RemoveMethod { .. } => "remove_method",
+        }
+    }
+}
+
+/// An edit that could not be applied. The whole batch is rolled back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EditError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for EditError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, EditError> {
+    Err(EditError { message: message.into() })
+}
+
+/// The arena-level effect of one applied [`EditOp`], in terms of stable ids.
+/// Incremental analyses consume this to seed their worklists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AppliedEdit {
+    /// A command was appended to the arena and spliced into `method`.
+    AddedCmd {
+        /// Owning method.
+        method: MethodId,
+        /// The new command.
+        cmd: CmdId,
+    },
+    /// `old` was unlinked from `method`'s body and `new` spliced in its
+    /// place (`old` stays in the arena, orphaned).
+    ReplacedCmd {
+        /// Owning method.
+        method: MethodId,
+        /// The unlinked command.
+        old: CmdId,
+        /// The replacement command.
+        new: CmdId,
+    },
+    /// `cmd` was unlinked from `method`'s body.
+    RemovedCmd {
+        /// Owning method.
+        method: MethodId,
+        /// The unlinked command.
+        cmd: CmdId,
+    },
+    /// A local variable declaration was added (no command involved).
+    AddedVar {
+        /// Owning method.
+        method: MethodId,
+        /// The new local.
+        var: VarId,
+    },
+    /// A whole method was added; `cmds` lists its body commands.
+    AddedMethod {
+        /// The new method.
+        method: MethodId,
+        /// Its body commands in program order.
+        cmds: Vec<CmdId>,
+    },
+    /// A whole method was marked removed; `cmds` lists its (now orphaned)
+    /// body commands.
+    RemovedMethod {
+        /// The removed method.
+        method: MethodId,
+        /// Its former body commands.
+        cmds: Vec<CmdId>,
+    },
+}
+
+/// Applies an edit batch to `program` transactionally.
+///
+/// On success the program is mutated in place and the per-op arena effects
+/// are returned in order. On failure the program is left byte-identical to
+/// its pre-call state.
+///
+/// # Errors
+///
+/// Returns an [`EditError`] if any op fails to parse, resolve, or lower, or
+/// if the edited program fails [`validate::validate`].
+pub fn apply_edits(program: &mut Program, ops: &[EditOp]) -> Result<Vec<AppliedEdit>, EditError> {
+    let mut next = program.clone();
+    let mut applied = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        applied.push(
+            apply_one(&mut next, op)
+                .map_err(|e| EditError { message: format!("edit {i} ({}): {e}", op.kind()) })?,
+        );
+    }
+    validate::validate(&next)
+        .map_err(|e| EditError { message: format!("edit batch produces invalid program: {e}") })?;
+    *program = next;
+    Ok(applied)
+}
+
+fn apply_one(p: &mut Program, op: &EditOp) -> Result<AppliedEdit, EditError> {
+    match op {
+        EditOp::AddStmt { method, at, text } => add_stmt(p, method, *at, text),
+        EditOp::ReplaceStmt { method, at, text } => replace_stmt(p, method, *at, text),
+        EditOp::RemoveStmt { method, at } => remove_stmt(p, method, *at),
+        EditOp::AddMethod { class, text } => add_method(p, class.as_deref(), text),
+        EditOp::RemoveMethod { method } => remove_method(p, method),
+    }
+}
+
+// ------------------------------------------------------------ resolution
+
+/// Resolves `"Class.name"` or a bare free-function name to a live method.
+pub fn find_method(p: &Program, spec: &str) -> Result<MethodId, EditError> {
+    if let Some((cname, mname)) = spec.split_once('.') {
+        let c = p
+            .class_by_name(cname)
+            .ok_or_else(|| EditError { message: format!("unknown class {cname}") })?;
+        p.method_on(c, mname)
+            .ok_or_else(|| EditError { message: format!("no method {mname} on class {cname}") })
+    } else {
+        p.free_function(spec)
+            .ok_or_else(|| EditError { message: format!("unknown function {spec}") })
+    }
+}
+
+fn local(p: &Program, m: MethodId, name: &str) -> Result<VarId, EditError> {
+    p.method(m).locals.iter().copied().find(|&v| p.var(v).name == name).ok_or_else(|| EditError {
+        message: format!("unknown variable {name} in {}", p.method_name(m)),
+    })
+}
+
+fn lower_ty(p: &Program, t: &STy) -> Result<Ty, EditError> {
+    Ok(match t {
+        STy::Int => Ty::Int,
+        STy::Array => Ty::Ref(p.array_class),
+        STy::Class(name) => Ty::Ref(
+            p.class_by_name(name)
+                .ok_or_else(|| EditError { message: format!("unknown class {name}") })?,
+        ),
+    })
+}
+
+fn lower_operand(p: &Program, m: MethodId, o: &SOperand) -> Result<Operand, EditError> {
+    Ok(match o {
+        SOperand::Var(name) => Operand::Var(local(p, m, name)?),
+        SOperand::Int(n) => Operand::Int(*n),
+        SOperand::Null => Operand::Null,
+    })
+}
+
+fn lower_cond(p: &Program, m: MethodId, c: &SCond) -> Result<Cond, EditError> {
+    Ok(match c {
+        SCond::Nondet => Cond::Nondet,
+        SCond::True => Cond::True,
+        SCond::Cmp(op, l, r) => {
+            Cond::Cmp { op: *op, lhs: lower_operand(p, m, l)?, rhs: lower_operand(p, m, r)? }
+        }
+    })
+}
+
+fn field_of(
+    p: &Program,
+    _m: MethodId,
+    base: VarId,
+    fname: &str,
+) -> Result<crate::ids::FieldId, EditError> {
+    let class = match p.var(base).ty {
+        Ty::Ref(c) => c,
+        Ty::Int => {
+            return err(format!("field access on integer variable {}", p.var(base).name));
+        }
+    };
+    p.resolve_field(class, fname).ok_or_else(|| EditError {
+        message: format!("no field {fname} on class of {}", p.var(base).name),
+    })
+}
+
+fn fresh_alloc(
+    p: &mut Program,
+    m: MethodId,
+    site: &str,
+    class: crate::ids::ClassId,
+) -> Result<AllocId, EditError> {
+    if p.allocs.iter().any(|a| a.name == site) {
+        return err(format!(
+            "allocation site name @{site} already exists; site names must stay unique"
+        ));
+    }
+    let id = AllocId::from_index(p.allocs.len());
+    p.allocs.push(AllocSite { name: site.to_owned(), class, method: m });
+    Ok(id)
+}
+
+// --------------------------------------------------------------- lowering
+
+enum LoweredStmt {
+    Var(VarId),
+    Cmd(Command),
+}
+
+/// Lowers one surface statement against the live program. Control-flow
+/// statements are rejected here (only whole added methods may introduce
+/// branches/loops).
+fn lower_simple(p: &mut Program, m: MethodId, s: &SStmt) -> Result<LoweredStmt, EditError> {
+    match s {
+        SStmt::VarDecl { name, ty, .. } => {
+            if local(p, m, name).is_ok() {
+                return err(format!("variable {name} already declared in {}", p.method_name(m)));
+            }
+            let t = lower_ty(p, ty)?;
+            let v = VarId::from_index(p.vars.len());
+            p.vars.push(VarInfo { name: name.clone(), ty: t, method: m });
+            p.methods[m.index()].locals.push(v);
+            Ok(LoweredStmt::Var(v))
+        }
+        SStmt::Return { val, .. } => {
+            let val = match val {
+                Some(o) => Some(lower_operand(p, m, o)?),
+                None => None,
+            };
+            Ok(LoweredStmt::Cmd(Command::Return { val }))
+        }
+        SStmt::Assume { cond, .. } => {
+            Ok(LoweredStmt::Cmd(Command::Assume { cond: lower_cond(p, m, cond)? }))
+        }
+        SStmt::CallStmt { dst, call, .. } => {
+            let dst = match dst {
+                Some(name) => Some(local(p, m, name)?),
+                None => None,
+            };
+            Ok(LoweredStmt::Cmd(lower_call(p, m, dst, call)?))
+        }
+        SStmt::Assign { lhs, rhs, .. } => Ok(LoweredStmt::Cmd(lower_assign(p, m, lhs, rhs)?)),
+        SStmt::If { .. } | SStmt::While { .. } | SStmt::Loop { .. } | SStmt::Choice { .. } => {
+            err("control flow is not allowed in statement edits; add a method instead")
+        }
+    }
+}
+
+fn lower_call(
+    p: &Program,
+    m: MethodId,
+    dst: Option<VarId>,
+    call: &SCall,
+) -> Result<Command, EditError> {
+    match call {
+        SCall::Virtual { receiver, method, args } => {
+            let recv = local(p, m, receiver)?;
+            let args =
+                args.iter().map(|a| lower_operand(p, m, a)).collect::<Result<Vec<_>, _>>()?;
+            Ok(Command::Call {
+                dst,
+                callee: Callee::Virtual { receiver: recv, method: method.clone() },
+                args,
+            })
+        }
+        SCall::Static { class, method, args } => {
+            let mid = match class {
+                Some(cname) => {
+                    let c = p
+                        .class_by_name(cname)
+                        .ok_or_else(|| EditError { message: format!("unknown class {cname}") })?;
+                    p.method_on(c, method).ok_or_else(|| EditError {
+                        message: format!("no method {method} on class {cname}"),
+                    })?
+                }
+                None => p
+                    .free_function(method)
+                    .ok_or_else(|| EditError { message: format!("unknown function {method}") })?,
+            };
+            let args =
+                args.iter().map(|a| lower_operand(p, m, a)).collect::<Result<Vec<_>, _>>()?;
+            Ok(Command::Call { dst, callee: Callee::Static { method: mid }, args })
+        }
+    }
+}
+
+fn rvalue_as_operand(p: &Program, m: MethodId, rhs: &SRvalue) -> Result<Operand, EditError> {
+    match rhs {
+        SRvalue::Operand(o) => lower_operand(p, m, o),
+        _ => err("compound right-hand side not allowed here; use a temporary"),
+    }
+}
+
+fn lower_assign(
+    p: &mut Program,
+    m: MethodId,
+    lhs: &SLvalue,
+    rhs: &SRvalue,
+) -> Result<Command, EditError> {
+    match lhs {
+        SLvalue::Var(name) => {
+            let dst = local(p, m, name)?;
+            match rhs {
+                SRvalue::Operand(o) => Ok(Command::Assign { dst, src: lower_operand(p, m, o)? }),
+                SRvalue::BinOp(op, l, r) => Ok(Command::BinOp {
+                    dst,
+                    op: *op,
+                    lhs: lower_operand(p, m, l)?,
+                    rhs: lower_operand(p, m, r)?,
+                }),
+                SRvalue::Field(base, f) => {
+                    let obj = local(p, m, base)?;
+                    let field = field_of(p, m, obj, f)?;
+                    Ok(Command::ReadField { dst, obj, field })
+                }
+                SRvalue::Index(base, idx) => {
+                    let arr = local(p, m, base)?;
+                    let idx = lower_operand(p, m, idx)?;
+                    Ok(Command::ReadArray { dst, arr, idx })
+                }
+                SRvalue::Global(g) => {
+                    let global = p
+                        .global_by_name(g)
+                        .ok_or_else(|| EditError { message: format!("unknown global {g}") })?;
+                    Ok(Command::ReadGlobal { dst, global })
+                }
+                SRvalue::New { class, site } => {
+                    let cid = p
+                        .class_by_name(class)
+                        .ok_or_else(|| EditError { message: format!("unknown class {class}") })?;
+                    let alloc = fresh_alloc(p, m, site, cid)?;
+                    Ok(Command::New { dst, class: cid, alloc })
+                }
+                SRvalue::NewArray { site, len } => {
+                    let len = lower_operand(p, m, len)?;
+                    let class = p.array_class;
+                    let alloc = fresh_alloc(p, m, site, class)?;
+                    Ok(Command::NewArray { dst, alloc, len })
+                }
+                SRvalue::Len(arr) => {
+                    let arr = local(p, m, arr)?;
+                    Ok(Command::ArrayLen { dst, arr })
+                }
+            }
+        }
+        SLvalue::Field(base, f) => {
+            let obj = local(p, m, base)?;
+            let field = field_of(p, m, obj, f)?;
+            let src = rvalue_as_operand(p, m, rhs)?;
+            Ok(Command::WriteField { obj, field, src })
+        }
+        SLvalue::Index(base, idx) => {
+            let arr = local(p, m, base)?;
+            let idx = lower_operand(p, m, idx)?;
+            let src = rvalue_as_operand(p, m, rhs)?;
+            Ok(Command::WriteArray { arr, idx, src })
+        }
+        SLvalue::Global(g) => {
+            let global = p
+                .global_by_name(g)
+                .ok_or_else(|| EditError { message: format!("unknown global {g}") })?;
+            let src = rvalue_as_operand(p, m, rhs)?;
+            Ok(Command::WriteGlobal { global, src })
+        }
+    }
+}
+
+fn push_cmd(p: &mut Program, m: MethodId, cmd: Command) -> CmdId {
+    let id = CmdId::from_index(p.cmds.len());
+    p.cmds.push(cmd);
+    p.cmd_method.push(m);
+    id
+}
+
+// ------------------------------------------------------------ snippets
+
+fn parse_stmt_text(text: &str) -> Result<SStmt, EditError> {
+    let toks =
+        lex(text).map_err(|e| EditError { message: format!("statement parse error: {e}") })?;
+    let mut parser = Parser { toks, pos: 0 };
+    let s = parser
+        .parse_stmt()
+        .map_err(|e| EditError { message: format!("statement parse error: {e}") })?;
+    if !matches!(parser.peek(), Tok::Eof) {
+        return err("trailing input after statement");
+    }
+    Ok(s)
+}
+
+fn parse_method_text(text: &str, class: Option<&str>) -> Result<SMethod, EditError> {
+    let toks = lex(text).map_err(|e| EditError { message: format!("method parse error: {e}") })?;
+    let mut parser = Parser { toks, pos: 0 };
+    let line = parser.line();
+    let kw_ok = match class {
+        Some(_) => parser.eat_kw("method"),
+        None => parser.eat_kw("fn"),
+    };
+    if !kw_ok {
+        return err(match class {
+            Some(_) => "instance method text must start with `method`",
+            None => "free function text must start with `fn`",
+        });
+    }
+    let sm = parser
+        .parse_method(line)
+        .map_err(|e| EditError { message: format!("method parse error: {e}") })?;
+    if !matches!(parser.peek(), Tok::Eof) {
+        return err("trailing input after method");
+    }
+    Ok(sm)
+}
+
+// ---------------------------------------------------------- body surgery
+
+/// Inserts `new` immediately before the leaf `Stmt::Cmd(target)`.
+fn insert_before(s: &mut Stmt, target: CmdId, new: CmdId) -> bool {
+    fn in_child(child: &mut Stmt, target: CmdId, new: CmdId) -> bool {
+        if matches!(child, Stmt::Cmd(c) if *c == target) {
+            let old = std::mem::replace(child, Stmt::Skip);
+            *child = Stmt::Seq(vec![Stmt::Cmd(new), old]);
+            true
+        } else {
+            insert_before(child, target, new)
+        }
+    }
+    match s {
+        Stmt::Seq(ss) => {
+            if let Some(i) = ss.iter().position(|c| matches!(c, Stmt::Cmd(x) if *x == target)) {
+                ss.insert(i, Stmt::Cmd(new));
+                return true;
+            }
+            ss.iter_mut().any(|c| insert_before(c, target, new))
+        }
+        Stmt::If { then_br, else_br, .. } => {
+            in_child(then_br, target, new) || in_child(else_br, target, new)
+        }
+        Stmt::While { body, .. } | Stmt::Loop(body) => in_child(body, target, new),
+        Stmt::Choice(a, b) => in_child(a, target, new) || in_child(b, target, new),
+        Stmt::Skip | Stmt::Cmd(_) => false,
+    }
+}
+
+/// Appends `new` at the end of a (top-level) body, before a trailing
+/// `return` if one is present.
+fn append_cmd(p: &Program, body: &mut Stmt, new: CmdId) {
+    match body {
+        Stmt::Seq(ss) => {
+            if let Some(Stmt::Cmd(last)) = ss.last() {
+                if matches!(p.cmd(*last), Command::Return { .. }) {
+                    let i = ss.len() - 1;
+                    ss.insert(i, Stmt::Cmd(new));
+                    return;
+                }
+            }
+            ss.push(Stmt::Cmd(new));
+        }
+        other => {
+            let old = std::mem::replace(other, Stmt::Skip);
+            *other = Stmt::Seq(vec![old, Stmt::Cmd(new)]);
+        }
+    }
+}
+
+/// Unlinks the leaf `Stmt::Cmd(target)` from the tree.
+fn remove_leaf(s: &mut Stmt, target: CmdId) -> bool {
+    fn in_child(child: &mut Stmt, target: CmdId) -> bool {
+        if matches!(child, Stmt::Cmd(c) if *c == target) {
+            *child = Stmt::Skip;
+            true
+        } else {
+            remove_leaf(child, target)
+        }
+    }
+    match s {
+        Stmt::Seq(ss) => {
+            if let Some(i) = ss.iter().position(|c| matches!(c, Stmt::Cmd(x) if *x == target)) {
+                ss.remove(i);
+                return true;
+            }
+            ss.iter_mut().any(|c| remove_leaf(c, target))
+        }
+        Stmt::If { then_br, else_br, .. } => in_child(then_br, target) || in_child(else_br, target),
+        Stmt::While { body, .. } | Stmt::Loop(body) => in_child(body, target),
+        Stmt::Choice(a, b) => in_child(a, target) || in_child(b, target),
+        Stmt::Skip | Stmt::Cmd(_) => false,
+    }
+}
+
+/// Rewrites the leaf `Stmt::Cmd(old)` to `Stmt::Cmd(new)`.
+fn replace_leaf(s: &mut Stmt, old: CmdId, new: CmdId) -> bool {
+    match s {
+        Stmt::Seq(ss) => ss.iter_mut().any(|c| replace_leaf(c, old, new)),
+        Stmt::If { then_br, else_br, .. } => {
+            replace_leaf(then_br, old, new) || replace_leaf(else_br, old, new)
+        }
+        Stmt::While { body, .. } | Stmt::Loop(body) => replace_leaf(body, old, new),
+        Stmt::Choice(a, b) => replace_leaf(a, old, new) || replace_leaf(b, old, new),
+        Stmt::Skip => false,
+        Stmt::Cmd(c) => {
+            if *c == old {
+                *c = new;
+                true
+            } else {
+                false
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------- ops
+
+fn add_stmt(
+    p: &mut Program,
+    method: &str,
+    at: usize,
+    text: &str,
+) -> Result<AppliedEdit, EditError> {
+    let m = find_method(p, method)?;
+    let cmds = p.method_cmds(m);
+    if at > cmds.len() {
+        return err(format!(
+            "insert position {at} out of range for {} ({} commands)",
+            p.method_name(m),
+            cmds.len()
+        ));
+    }
+    let s = parse_stmt_text(text)?;
+    match lower_simple(p, m, &s)? {
+        LoweredStmt::Var(v) => Ok(AppliedEdit::AddedVar { method: m, var: v }),
+        LoweredStmt::Cmd(cmd) => {
+            let id = push_cmd(p, m, cmd);
+            let mut body = std::mem::replace(&mut p.methods[m.index()].body, Stmt::Skip);
+            if at == cmds.len() {
+                append_cmd(p, &mut body, id);
+            } else if !insert_before(&mut body, cmds[at], id) {
+                p.methods[m.index()].body = body;
+                return err(format!("command ordinal {at} not found in body"));
+            }
+            p.methods[m.index()].body = body;
+            Ok(AppliedEdit::AddedCmd { method: m, cmd: id })
+        }
+    }
+}
+
+fn replace_stmt(
+    p: &mut Program,
+    method: &str,
+    at: usize,
+    text: &str,
+) -> Result<AppliedEdit, EditError> {
+    let m = find_method(p, method)?;
+    let cmds = p.method_cmds(m);
+    if at >= cmds.len() {
+        return err(format!(
+            "command ordinal {at} out of range for {} ({} commands)",
+            p.method_name(m),
+            cmds.len()
+        ));
+    }
+    let s = parse_stmt_text(text)?;
+    let cmd = match lower_simple(p, m, &s)? {
+        LoweredStmt::Cmd(cmd) => cmd,
+        LoweredStmt::Var(_) => return err("replacement must be a command, not a declaration"),
+    };
+    let new = push_cmd(p, m, cmd);
+    let old = cmds[at];
+    let mut body = std::mem::replace(&mut p.methods[m.index()].body, Stmt::Skip);
+    let found = replace_leaf(&mut body, old, new);
+    p.methods[m.index()].body = body;
+    if !found {
+        return err(format!("command ordinal {at} not found in body"));
+    }
+    Ok(AppliedEdit::ReplacedCmd { method: m, old, new })
+}
+
+fn remove_stmt(p: &mut Program, method: &str, at: usize) -> Result<AppliedEdit, EditError> {
+    let m = find_method(p, method)?;
+    let cmds = p.method_cmds(m);
+    if at >= cmds.len() {
+        return err(format!(
+            "command ordinal {at} out of range for {} ({} commands)",
+            p.method_name(m),
+            cmds.len()
+        ));
+    }
+    let target = cmds[at];
+    let mut body = std::mem::replace(&mut p.methods[m.index()].body, Stmt::Skip);
+    let found = if matches!(body, Stmt::Cmd(c) if c == target) {
+        body = Stmt::Skip;
+        true
+    } else {
+        remove_leaf(&mut body, target)
+    };
+    p.methods[m.index()].body = body;
+    if !found {
+        return err(format!("command ordinal {at} not found in body"));
+    }
+    Ok(AppliedEdit::RemovedCmd { method: m, cmd: target })
+}
+
+fn add_method(p: &mut Program, class: Option<&str>, text: &str) -> Result<AppliedEdit, EditError> {
+    let cid = match class {
+        Some(cname) => Some(
+            p.class_by_name(cname)
+                .ok_or_else(|| EditError { message: format!("unknown class {cname}") })?,
+        ),
+        None => None,
+    };
+    let sm = parse_method_text(text, class)?;
+    match cid {
+        Some(c) => {
+            if p.method_on(c, &sm.name).is_some() {
+                return err(format!("method {} already exists on {}", sm.name, class.unwrap()));
+            }
+        }
+        None => {
+            if p.free_function(&sm.name).is_some() {
+                return err(format!("function {} already exists", sm.name));
+            }
+        }
+    }
+
+    let id = MethodId::from_index(p.methods.len());
+    let mut param_ids = Vec::new();
+    for (i, (pname, pty)) in sm.params.iter().enumerate() {
+        if let Some(c) = cid {
+            if i == 0 {
+                if pname != "this" {
+                    return err(format!("first parameter of method {} must be `this`", sm.name));
+                }
+                let v = VarId::from_index(p.vars.len());
+                p.vars.push(VarInfo { name: "this".to_owned(), ty: Ty::Ref(c), method: id });
+                param_ids.push(v);
+                continue;
+            }
+        }
+        let t = lower_ty(p, pty)?;
+        let v = VarId::from_index(p.vars.len());
+        p.vars.push(VarInfo { name: pname.clone(), ty: t, method: id });
+        param_ids.push(v);
+    }
+    let ret_ty = match &sm.ret {
+        Some(t) => Some(lower_ty(p, t)?),
+        None => None,
+    };
+    p.methods.push(Method {
+        name: sm.name.clone(),
+        class: cid,
+        params: param_ids.clone(),
+        locals: param_ids,
+        ret_ty,
+        body: Stmt::Skip,
+        removed: false,
+    });
+    if let Some(c) = cid {
+        p.classes[c.index()].methods.push(id);
+    }
+    let body = lower_block(p, id, &sm.body)?;
+    p.methods[id.index()].body = body;
+    let cmds = p.method_cmds(id);
+    Ok(AppliedEdit::AddedMethod { method: id, cmds })
+}
+
+/// Lowers a full statement block (control flow allowed) for a new method.
+fn lower_block(p: &mut Program, m: MethodId, stmts: &[SStmt]) -> Result<Stmt, EditError> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            SStmt::If { cond, then_br, else_br, .. } => {
+                let c = lower_cond(p, m, cond)?;
+                let t = lower_block(p, m, then_br)?;
+                let e = lower_block(p, m, else_br)?;
+                out.push(Stmt::If { cond: c, then_br: Box::new(t), else_br: Box::new(e) });
+            }
+            SStmt::While { cond, body, .. } => {
+                let c = lower_cond(p, m, cond)?;
+                let b = lower_block(p, m, body)?;
+                out.push(Stmt::While { cond: c, body: Box::new(b) });
+            }
+            SStmt::Loop { body } => {
+                let b = lower_block(p, m, body)?;
+                out.push(Stmt::Loop(Box::new(b)));
+            }
+            SStmt::Choice { left, right } => {
+                let l = lower_block(p, m, left)?;
+                let r = lower_block(p, m, right)?;
+                out.push(Stmt::Choice(Box::new(l), Box::new(r)));
+            }
+            simple => match lower_simple(p, m, simple)? {
+                LoweredStmt::Var(_) => {}
+                LoweredStmt::Cmd(cmd) => {
+                    let id = push_cmd(p, m, cmd);
+                    out.push(Stmt::Cmd(id));
+                }
+            },
+        }
+    }
+    Ok(Stmt::Seq(out))
+}
+
+fn remove_method(p: &mut Program, spec: &str) -> Result<AppliedEdit, EditError> {
+    let m = find_method(p, spec)?;
+    if p.entry == Some(m) {
+        return err(format!("cannot remove entry method {}", p.method_name(m)));
+    }
+    let cmds = p.method_cmds(m);
+    let class = p.methods[m.index()].class;
+    p.methods[m.index()].removed = true;
+    if let Some(c) = class {
+        p.classes[c.index()].methods.retain(|&x| x != m);
+    }
+    Ok(AppliedEdit::RemovedMethod { method: m, cmds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crate::printer::print_program;
+
+    const BASE: &str = r#"
+class Cell {
+  field val: int;
+  field next: Cell;
+  method get(this: Cell): int {
+    var v: int;
+    v = this.val;
+    return v;
+  }
+}
+global ROOT: Cell;
+fn main() {
+  var c: Cell;
+  var n: int;
+  c = new Cell @cell0;
+  $ROOT = c;
+  n = call c.get();
+  return;
+}
+entry main;
+"#;
+
+    fn base() -> Program {
+        parse(BASE).expect("parse base")
+    }
+
+    /// Edited programs must round-trip through the printer/parser, proving
+    /// the in-place mutation is equivalent to a from-source program.
+    fn assert_roundtrips(p: &Program) {
+        let text = print_program(p);
+        let p2 = parse(&text).unwrap_or_else(|e| panic!("edited program reparses: {e}\n{text}"));
+        assert_eq!(text, print_program(&p2));
+    }
+
+    #[test]
+    fn add_stmt_appends_before_trailing_return() {
+        let mut p = base();
+        let main = p.free_function("main").unwrap();
+        let n_before = p.method_cmds(main).len();
+        let applied = apply_edits(
+            &mut p,
+            &[EditOp::AddStmt { method: "main".into(), at: n_before, text: "n = n + 1;".into() }],
+        )
+        .expect("apply");
+        assert_eq!(applied.len(), 1);
+        let cmds = p.method_cmds(main);
+        assert_eq!(cmds.len(), n_before + 1);
+        // Inserted second-to-last: the trailing return stays final.
+        assert!(matches!(p.cmd(*cmds.last().unwrap()), Command::Return { .. }));
+        assert_roundtrips(&p);
+    }
+
+    #[test]
+    fn add_stmt_at_ordinal_inserts_before() {
+        let mut p = base();
+        let main = p.free_function("main").unwrap();
+        apply_edits(
+            &mut p,
+            &[EditOp::AddStmt { method: "main".into(), at: 1, text: "n = 7;".into() }],
+        )
+        .expect("apply");
+        let cmds = p.method_cmds(main);
+        assert!(matches!(p.cmd(cmds[1]), Command::Assign { .. }));
+        assert_roundtrips(&p);
+    }
+
+    #[test]
+    fn add_stmt_with_new_allocation_site() {
+        let mut p = base();
+        let allocs_before = p.alloc_ids().count();
+        apply_edits(
+            &mut p,
+            &[EditOp::AddStmt {
+                method: "main".into(),
+                at: 0,
+                text: "c = new Cell @cell9;".into(),
+            }],
+        )
+        .expect("apply");
+        assert_eq!(p.alloc_ids().count(), allocs_before + 1);
+        assert_roundtrips(&p);
+    }
+
+    #[test]
+    fn duplicate_alloc_site_rejected() {
+        let mut p = base();
+        let e = apply_edits(
+            &mut p,
+            &[EditOp::AddStmt {
+                method: "main".into(),
+                at: 0,
+                text: "c = new Cell @cell0;".into(),
+            }],
+        )
+        .unwrap_err();
+        assert!(e.message.contains("already exists"), "{e}");
+    }
+
+    #[test]
+    fn var_decl_adds_local_without_command() {
+        let mut p = base();
+        let main = p.free_function("main").unwrap();
+        let cmds_before = p.method_cmds(main).len();
+        let applied = apply_edits(
+            &mut p,
+            &[
+                EditOp::AddStmt { method: "main".into(), at: 0, text: "var t: int;".into() },
+                EditOp::AddStmt { method: "main".into(), at: 0, text: "t = 3;".into() },
+            ],
+        )
+        .expect("apply");
+        assert!(matches!(applied[0], AppliedEdit::AddedVar { .. }));
+        assert!(matches!(applied[1], AppliedEdit::AddedCmd { .. }));
+        assert_eq!(p.method_cmds(main).len(), cmds_before + 1);
+        assert_roundtrips(&p);
+    }
+
+    #[test]
+    fn replace_stmt_swaps_command() {
+        let mut p = base();
+        let main = p.free_function("main").unwrap();
+        let old = p.method_cmds(main)[1];
+        let applied = apply_edits(
+            &mut p,
+            &[EditOp::ReplaceStmt { method: "main".into(), at: 1, text: "$ROOT = null;".into() }],
+        )
+        .expect("apply");
+        let AppliedEdit::ReplacedCmd { old: o, new, .. } = &applied[0] else {
+            panic!("expected ReplacedCmd")
+        };
+        assert_eq!(*o, old);
+        assert!(matches!(p.cmd(*new), Command::WriteGlobal { .. }));
+        // Old command is orphaned but still readable.
+        let _ = p.cmd(old);
+        assert_roundtrips(&p);
+    }
+
+    #[test]
+    fn remove_stmt_unlinks_command() {
+        let mut p = base();
+        let main = p.free_function("main").unwrap();
+        let n_before = p.method_cmds(main).len();
+        apply_edits(&mut p, &[EditOp::RemoveStmt { method: "main".into(), at: 1 }]).expect("apply");
+        assert_eq!(p.method_cmds(main).len(), n_before - 1);
+        assert_roundtrips(&p);
+    }
+
+    #[test]
+    fn add_method_with_control_flow_and_call_it() {
+        let mut p = base();
+        apply_edits(
+            &mut p,
+            &[
+                EditOp::AddMethod {
+                    class: None,
+                    text:
+                        "fn clamp(x: int): int {\n  if (x > 10) {\n    x = 10;\n  }\n  return x;\n}"
+                            .into(),
+                },
+                EditOp::AddStmt { method: "main".into(), at: 2, text: "n = call clamp(n);".into() },
+            ],
+        )
+        .expect("apply");
+        assert!(p.free_function("clamp").is_some());
+        assert_roundtrips(&p);
+    }
+
+    #[test]
+    fn add_instance_method_dispatches() {
+        let mut p = base();
+        apply_edits(
+            &mut p,
+            &[
+                EditOp::AddMethod {
+                    class: Some("Cell".into()),
+                    text: "method bump(this: Cell) {\n  var v: int;\n  v = this.val;\n  v = v + 1;\n  this.val = v;\n  return;\n}".into(),
+                },
+                EditOp::AddStmt { method: "main".into(), at: 2, text: "call c.bump();".into() },
+            ],
+        )
+        .expect("apply");
+        let cell = p.class_by_name("Cell").unwrap();
+        assert!(p.method_on(cell, "bump").is_some());
+        assert_roundtrips(&p);
+    }
+
+    #[test]
+    fn remove_method_rejects_surviving_callers() {
+        let mut p = base();
+        // main virtually calls get; removing get leaves the call targetless.
+        let e =
+            apply_edits(&mut p, &[EditOp::RemoveMethod { method: "Cell.get".into() }]).unwrap_err();
+        assert!(e.message.contains("invalid program"), "{e}");
+        // Transaction rolled back: get is still there.
+        let cell = p.class_by_name("Cell").unwrap();
+        assert!(p.method_on(cell, "get").is_some());
+    }
+
+    #[test]
+    fn remove_method_after_removing_call() {
+        let mut p = base();
+        apply_edits(
+            &mut p,
+            &[
+                EditOp::RemoveStmt { method: "main".into(), at: 2 },
+                EditOp::RemoveMethod { method: "Cell.get".into() },
+            ],
+        )
+        .expect("apply");
+        let cell = p.class_by_name("Cell").unwrap();
+        assert!(p.method_on(cell, "get").is_none());
+        assert_roundtrips(&p);
+    }
+
+    #[test]
+    fn remove_entry_rejected() {
+        let mut p = base();
+        let e = apply_edits(&mut p, &[EditOp::RemoveMethod { method: "main".into() }]).unwrap_err();
+        assert!(e.message.contains("entry"), "{e}");
+    }
+
+    #[test]
+    fn failed_batch_rolls_back_everything() {
+        let mut p = base();
+        let before = print_program(&p);
+        let e = apply_edits(
+            &mut p,
+            &[
+                EditOp::AddStmt { method: "main".into(), at: 0, text: "n = 1;".into() },
+                EditOp::AddStmt { method: "main".into(), at: 0, text: "bogus = 1;".into() },
+            ],
+        )
+        .unwrap_err();
+        assert!(e.message.contains("unknown variable"), "{e}");
+        assert_eq!(print_program(&p), before);
+    }
+
+    #[test]
+    fn control_flow_stmt_rejected() {
+        let mut p = base();
+        let e = apply_edits(
+            &mut p,
+            &[EditOp::AddStmt {
+                method: "main".into(),
+                at: 0,
+                text: "if (n > 0) { n = 1; }".into(),
+            }],
+        )
+        .unwrap_err();
+        assert!(e.message.contains("control flow"), "{e}");
+    }
+
+    #[test]
+    fn edits_preserve_existing_cmd_ids() {
+        let mut p = base();
+        let main = p.free_function("main").unwrap();
+        let before = p.method_cmds(main);
+        apply_edits(
+            &mut p,
+            &[EditOp::AddStmt { method: "main".into(), at: 1, text: "n = 5;".into() }],
+        )
+        .expect("apply");
+        let after = p.method_cmds(main);
+        // All pre-edit ids survive, in order, with one insertion.
+        let surviving: Vec<_> = after.iter().copied().filter(|c| before.contains(c)).collect();
+        assert_eq!(surviving, before);
+    }
+}

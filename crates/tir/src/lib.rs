@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod edit;
 mod ids;
 pub mod interp;
 mod parser;
@@ -54,6 +55,7 @@ mod stmt;
 pub mod validate;
 
 pub use builder::{MethodBuilder, ProgramBuilder};
+pub use edit::{apply_edits, AppliedEdit, EditError, EditOp};
 pub use ids::{AllocId, ClassId, CmdId, FieldId, GlobalId, MethodId, VarId};
 pub use parser::{parse, ParseError};
 pub use printer::{print_cmd, print_method_text, print_program};

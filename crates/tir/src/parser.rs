@@ -71,7 +71,7 @@ type PResult<T> = Result<T, ParseError>;
 // ---------------------------------------------------------------- lexer
 
 #[derive(Clone, Debug, PartialEq, Eq)]
-enum Tok {
+pub(crate) enum Tok {
     Ident(String),
     Int(i64),
     Punct(&'static str),
@@ -79,13 +79,13 @@ enum Tok {
 }
 
 #[derive(Clone, Debug)]
-struct SpannedTok {
-    tok: Tok,
+pub(crate) struct SpannedTok {
+    pub(crate) tok: Tok,
     line: usize,
     column: usize,
 }
 
-fn lex(src: &str) -> PResult<Vec<SpannedTok>> {
+pub(crate) fn lex(src: &str) -> PResult<Vec<SpannedTok>> {
     let mut out = Vec::new();
     let mut line = 1usize;
     let mut line_start = 0usize;
@@ -203,23 +203,23 @@ struct SClass {
 }
 
 #[derive(Debug)]
-struct SMethod {
-    name: String,
-    params: Vec<(String, STy)>,
-    ret: Option<STy>,
-    body: Vec<SStmt>,
-    line: usize,
+pub(crate) struct SMethod {
+    pub(crate) name: String,
+    pub(crate) params: Vec<(String, STy)>,
+    pub(crate) ret: Option<STy>,
+    pub(crate) body: Vec<SStmt>,
+    pub(crate) line: usize,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
-enum STy {
+pub(crate) enum STy {
     Int,
     Array,
     Class(String),
 }
 
 #[derive(Debug)]
-enum SStmt {
+pub(crate) enum SStmt {
     VarDecl { name: String, ty: STy, line: usize },
     If { cond: SCond, then_br: Vec<SStmt>, else_br: Vec<SStmt>, line: usize },
     While { cond: SCond, body: Vec<SStmt>, line: usize },
@@ -232,7 +232,7 @@ enum SStmt {
 }
 
 #[derive(Debug)]
-enum SLvalue {
+pub(crate) enum SLvalue {
     Var(String),
     Field(String, String),
     Index(String, SOperand),
@@ -240,7 +240,7 @@ enum SLvalue {
 }
 
 #[derive(Debug)]
-enum SRvalue {
+pub(crate) enum SRvalue {
     Operand(SOperand),
     BinOp(BinOp, SOperand, SOperand),
     Field(String, String),
@@ -252,20 +252,20 @@ enum SRvalue {
 }
 
 #[derive(Debug)]
-enum SCall {
+pub(crate) enum SCall {
     Virtual { receiver: String, method: String, args: Vec<SOperand> },
     Static { class: Option<String>, method: String, args: Vec<SOperand> },
 }
 
 #[derive(Clone, Debug)]
-enum SOperand {
+pub(crate) enum SOperand {
     Var(String),
     Int(i64),
     Null,
 }
 
 #[derive(Debug)]
-enum SCond {
+pub(crate) enum SCond {
     Nondet,
     True,
     Cmp(CmpOp, SOperand, SOperand),
@@ -273,13 +273,13 @@ enum SCond {
 
 // --------------------------------------------------------------- parser
 
-struct Parser {
-    toks: Vec<SpannedTok>,
-    pos: usize,
+pub(crate) struct Parser {
+    pub(crate) toks: Vec<SpannedTok>,
+    pub(crate) pos: usize,
 }
 
 impl Parser {
-    fn peek(&self) -> &Tok {
+    pub(crate) fn peek(&self) -> &Tok {
         &self.toks[self.pos].tok
     }
 
@@ -287,7 +287,7 @@ impl Parser {
         &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
     }
 
-    fn line(&self) -> usize {
+    pub(crate) fn line(&self) -> usize {
         self.toks[self.pos].line
     }
 
@@ -350,7 +350,7 @@ impl Parser {
         Ok(name)
     }
 
-    fn eat_kw(&mut self, kw: &str) -> bool {
+    pub(crate) fn eat_kw(&mut self, kw: &str) -> bool {
         if matches!(self.peek(), Tok::Ident(s) if s == kw) {
             self.bump();
             true
@@ -422,7 +422,7 @@ impl Parser {
         })
     }
 
-    fn parse_method(&mut self, line: usize) -> PResult<SMethod> {
+    pub(crate) fn parse_method(&mut self, line: usize) -> PResult<SMethod> {
         let name = self.ident()?;
         self.expect_punct("(")?;
         let mut params = Vec::new();
@@ -452,7 +452,7 @@ impl Parser {
         Ok(out)
     }
 
-    fn parse_stmt(&mut self) -> PResult<SStmt> {
+    pub(crate) fn parse_stmt(&mut self) -> PResult<SStmt> {
         let line = self.line();
         if self.eat_kw("var") {
             let name = self.ident()?;

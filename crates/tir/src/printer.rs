@@ -21,7 +21,8 @@ pub fn print_program(program: &Program) -> String {
         let _ = writeln!(out, "global {}: {};", global.name, ty_name(program, global.ty));
     }
     for m in program.method_ids() {
-        if program.method(m).class.is_none() {
+        let method = program.method(m);
+        if method.class.is_none() && !method.removed {
             print_method(program, m, 0, &mut out);
         }
     }

@@ -71,6 +71,10 @@ pub struct Method {
     /// The method body. [`Command::Return`] may appear only as the final
     /// command of the body (enforced by [`crate::validate`]).
     pub body: Stmt,
+    /// True if the method was deleted by a program edit. Removed methods
+    /// stay in the arena (ids remain stable) but are invisible to name
+    /// lookup, printing, and validation, and may not be called.
+    pub removed: bool,
 }
 
 /// A local variable or parameter.
@@ -218,12 +222,19 @@ impl Program {
 
     /// Finds the method named `name` declared directly on `class`.
     pub fn method_on(&self, class: ClassId, name: &str) -> Option<MethodId> {
-        self.class(class).methods.iter().copied().find(|&m| self.method(m).name == name)
+        self.class(class)
+            .methods
+            .iter()
+            .copied()
+            .find(|&m| !self.method(m).removed && self.method(m).name == name)
     }
 
     /// Finds a free function by name.
     pub fn free_function(&self, name: &str) -> Option<MethodId> {
-        self.method_ids().find(|&m| self.method(m).class.is_none() && self.method(m).name == name)
+        self.method_ids().find(|&m| {
+            let method = self.method(m);
+            method.class.is_none() && !method.removed && method.name == name
+        })
     }
 
     /// Resolves a virtual call `name` on dynamic class `class` by walking the
@@ -308,6 +319,9 @@ impl Program {
     pub fn methods_by_name(&self) -> HashMap<&str, Vec<MethodId>> {
         let mut out: HashMap<&str, Vec<MethodId>> = HashMap::new();
         for id in self.method_ids() {
+            if self.method(id).removed {
+                continue;
+            }
             out.entry(self.method(id).name.as_str()).or_default().push(id);
         }
         out

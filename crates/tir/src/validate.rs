@@ -39,9 +39,15 @@ fn err<T>(message: impl Into<String>) -> Result<T, ValidateError> {
 /// - reference-typed operations are applied to reference-typed variables.
 pub fn validate(program: &Program) -> Result<(), ValidateError> {
     for m in program.method_ids() {
+        if program.method(m).removed {
+            continue;
+        }
         validate_method(program, m)?;
     }
     if let Some(entry) = program.entry_opt() {
+        if program.method(entry).removed {
+            return err(format!("entry method {} is removed", program.method_name(entry)));
+        }
         if !program.method(entry).params.is_empty() {
             return err(format!(
                 "entry method {} must take no parameters",
@@ -148,6 +154,12 @@ fn validate_method(program: &Program, m: MethodId) -> Result<(), ValidateError> 
                 }
                 Callee::Static { method } => {
                     let callee_m = program.method(*method);
+                    if callee_m.removed {
+                        return err(format!(
+                            "{name}: call to removed method {}",
+                            program.method_name(*method)
+                        ));
+                    }
                     let expected = callee_m.params.len() - usize::from(callee_m.class.is_some());
                     // Instance methods called statically (constructors) pass
                     // the receiver as the first explicit argument.

@@ -10,59 +10,8 @@
 //! policies.
 
 use minicheck::{run_cases, Rng};
-use pta::{analyze_with, ContextPolicy, HeapEdge, LocId, PtaOptions, PtaResult, SolverKind};
+use pta::{analyze_with, canonical_text, ContextPolicy, PtaOptions, SolverKind};
 use tir::{Operand, Program, ProgramBuilder, Ty};
-
-/// Serializes every client-observable part of a result. Points-to sets
-/// arrive via `dump` (which already renders canonical location names in
-/// canonical numbering order); the call graph, reached set, and producer
-/// map are rendered by iterating the *program* (ids are program-derived,
-/// not solver-derived), so two equal results serialize identically no
-/// matter which fixpoint order produced them.
-fn canonical(program: &Program, r: &PtaResult) -> String {
-    let mut out = r.dump(program);
-    for m in program.method_ids() {
-        if r.is_reached(m) {
-            out.push_str(&format!("reached {}\n", program.method_name(m)));
-        }
-        let callers = r.callers(m);
-        if !callers.is_empty() {
-            let ids: Vec<String> = callers.iter().map(|c| c.index().to_string()).collect();
-            out.push_str(&format!("callers {} <- {}\n", program.method_name(m), ids.join(",")));
-        }
-        for cmd in program.method_cmds(m) {
-            let targets = r.call_targets(cmd);
-            if !targets.is_empty() {
-                let names: Vec<String> = targets.iter().map(|&t| program.method_name(t)).collect();
-                out.push_str(&format!("call {} -> {}\n", cmd.index(), names.join(",")));
-            }
-        }
-    }
-    let mut edges: Vec<HeapEdge> = Vec::new();
-    for g in program.global_ids() {
-        for t in r.pt_global(g).iter() {
-            edges.push(HeapEdge::Global { global: g, target: LocId(t as u32) });
-        }
-    }
-    let mut entries: Vec<_> = r.heap_entries().collect();
-    entries.sort_by_key(|(l, f, _)| (l.index(), f.index()));
-    for (base, field, targets) in entries {
-        for t in targets.iter() {
-            edges.push(HeapEdge::Field { base, field, target: LocId(t as u32) });
-        }
-    }
-    edges.sort();
-    for edge in edges {
-        let prods: Vec<String> = r.producers(&edge).iter().map(|c| c.index().to_string()).collect();
-        out.push_str(&format!("producers {} : {}\n", edge.describe(program, r), prods.join(",")));
-    }
-    for a in program.alloc_ids() {
-        let locs: Vec<String> =
-            r.alloc_locs(a).iter().map(|l| r.loc_name(program, LocId(l as u32))).collect();
-        out.push_str(&format!("alloc {} : {}\n", program.alloc(a).name, locs.join(",")));
-    }
-    out
-}
 
 /// Solves `program` with both strategies and asserts byte-identical
 /// canonical serializations.
@@ -74,7 +23,7 @@ fn assert_solvers_agree(name: &str, program: &Program, policy: ContextPolicy) {
         policy.clone(),
         &PtaOptions { solver: SolverKind::Reference, ..Default::default() },
     );
-    let (a, b) = (canonical(program, &delta), canonical(program, &reference));
+    let (a, b) = (canonical_text(program, &delta), canonical_text(program, &reference));
     assert_eq!(a, b, "delta and reference solvers disagree on {name} under {policy:?}");
 }
 
