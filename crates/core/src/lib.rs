@@ -55,9 +55,11 @@ pub mod exit;
 pub mod serve;
 
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use pta::{BitSet, ContextPolicy, HeapEdge, HeapGraphView, LocId, ModRef, PtaResult};
+use pta::{
+    BitSet, ContextPolicy, DemandPta, HeapEdge, HeapGraphView, LocId, ModRef, PtaResult, PtaView,
+};
 use symex::Engine;
 use tir::Program;
 
@@ -67,7 +69,7 @@ pub use android::{
 pub use clients::{Escape, EscapeChecker, EscapeReport};
 pub use obs;
 pub use pta::ContextPolicy as PointsToPolicy;
-pub use pta::{PtaOptions, SolverKind};
+pub use pta::{DemandQueryStats, DemandStats, PartialPtaResult, PtaOptions, SolverKind};
 pub use symex::{
     default_jobs, AbortCounts, CacheMode, DecisionStore, EdgeAnswer, EdgeDecision, JobVerdict,
     LoopMode, ReachJob, RefutationScheduler, Representation, SchedulerOutcome, SearchOutcome,
@@ -105,7 +107,11 @@ impl ReachabilityAnswer {
 pub struct Thresher<'p> {
     program: &'p Program,
     config: SymexConfig,
-    pta: PtaResult,
+    pta: Arc<PtaResult>,
+    /// The demand-driven query tier, present iff the façade was built with
+    /// [`SolverKind::Demand`]. Queries then run against a per-query slice
+    /// ([`PartialPtaResult`]) instead of the exhaustive result.
+    demand: Option<Mutex<DemandPta>>,
     modref: ModRef,
     jobs: usize,
     cache: Option<Arc<DecisionStore>>,
@@ -132,9 +138,14 @@ impl<'p> Thresher<'p> {
         options: &PtaOptions,
     ) -> Self {
         let _span = obs::span(obs::SpanKind::Setup, "points-to + mod/ref");
-        let pta = pta::analyze_with(program, policy, options);
+        let (pta, demand) = if options.solver == SolverKind::Demand {
+            let d = DemandPta::analyze(program, policy, options);
+            (Arc::clone(d.oracle()), Some(Mutex::new(d)))
+        } else {
+            (Arc::new(pta::analyze_with(program, policy, options)), None)
+        };
         let modref = ModRef::compute(program, &pta);
-        Thresher { program, config, pta, modref, jobs: 1, cache: None }
+        Thresher { program, config, pta, demand, modref, jobs: 1, cache: None }
     }
 
     /// Sets the refutation-scheduler thread count used by the query and
@@ -190,6 +201,12 @@ impl<'p> Thresher<'p> {
         &self.modref
     }
 
+    /// Cumulative demand-tier statistics, when the façade was built with
+    /// [`SolverKind::Demand`] (`None` otherwise).
+    pub fn demand_stats(&self) -> Option<DemandStats> {
+        self.demand.as_ref().map(|d| *d.lock().expect("demand tier poisoned").stats())
+    }
+
     /// The analyzed program.
     pub fn program(&self) -> &'p Program {
         self.program
@@ -199,7 +216,7 @@ impl<'p> Thresher<'p> {
     /// paper's core operation: a [`SearchOutcome::Refuted`] answer is a
     /// sound proof that no execution produces the edge.
     pub fn refute_edge(&self, edge: &HeapEdge) -> (SearchOutcome, SearchStats) {
-        let mut engine = Engine::new(self.program, &self.pta, &self.modref, self.config.clone());
+        let mut engine = Engine::new(self.program, &*self.pta, &self.modref, self.config.clone());
         let out = engine.refute_edge(edge);
         (out, engine.stats)
     }
@@ -268,9 +285,20 @@ impl<'p> Thresher<'p> {
                 self.pta.loc_name(self.program, target)
             )
         });
+        // With the demand tier, compute (or reuse) the query-relevant slice
+        // and run the scheduler against it; out-of-slice lookups resolve
+        // against the retained exhaustive oracle.
+        let partial;
+        let pta: &dyn PtaView = match &self.demand {
+            Some(d) => {
+                partial = d.lock().expect("demand tier poisoned").query_global(self.program, global).0;
+                &*partial
+            }
+            None => &*self.pta,
+        };
         let mut sched = RefutationScheduler::new(
             self.program,
-            &self.pta,
+            pta,
             &self.modref,
             self.config.clone(),
             self.jobs,
@@ -278,7 +306,7 @@ impl<'p> Thresher<'p> {
         if let Some(store) = &self.cache {
             sched.set_store(store.clone());
         }
-        let mut view = HeapGraphView::new(&self.pta);
+        let mut view = HeapGraphView::new(pta);
         let job = ReachJob { source: global, targets: BitSet::singleton(target.index()) };
         let outcome = sched.run(&mut view, std::slice::from_ref(&job));
         let answer = match outcome.verdicts.into_iter().next().expect("one verdict per job") {
@@ -360,6 +388,31 @@ entry main;
             }
             other => panic!("expected refutation, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn facade_demand_solver_matches_exhaustive() {
+        let p = program();
+        let exhaustive = Thresher::new(&p);
+        let opts = PtaOptions { solver: SolverKind::Demand, ..Default::default() };
+        let demand = Thresher::with_options(
+            &p,
+            ContextPolicy::Insensitive,
+            SymexConfig::default(),
+            &opts,
+        );
+        assert_eq!(
+            exhaustive.query_reachable("CACHE", "str0").is_reachable(),
+            demand.query_reachable("CACHE", "str0").is_reachable()
+        );
+        assert_eq!(
+            exhaustive.query_reachable("CACHE", "secret0").is_reachable(),
+            demand.query_reachable("CACHE", "secret0").is_reachable()
+        );
+        let stats = demand.demand_stats().expect("demand tier present");
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.drift, 0, "demand answers drifted from the oracle");
+        assert!(exhaustive.demand_stats().is_none());
     }
 
     #[test]

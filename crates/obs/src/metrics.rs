@@ -131,6 +131,21 @@ metric_enum! {
         PtaDeltasPushed => "pta_deltas_pushed",
         /// Copy-graph strongly connected components collapsed online.
         PtaSccsCollapsed => "pta_sccs_collapsed",
+        /// Incremental drain-log compactions (cap exceeded; dead and
+        /// duplicate entries dropped).
+        PtaDrainlogCompactions => "pta_drainlog_compactions",
+        /// Demand-tier points-to queries answered.
+        PtaDemandQueries => "pta_demand_queries",
+        /// Demand queries that exhausted their exploration budget and fell
+        /// back to the exhaustive result.
+        PtaDemandFallbacks => "pta_demand_fallbacks",
+        /// Demand-computed facts that disagreed with the exhaustive oracle
+        /// and were replaced by it (answer stays exact; nonzero means the
+        /// traversal lost precision or soundness somewhere).
+        PtaDemandDrift => "pta_demand_drift",
+        /// Constraint-graph node representatives traversed by demand
+        /// queries.
+        PtaDemandNodesTouched => "pta_demand_nodes_touched",
         // --- persistent refutation cache ---
         /// Disk-cache decisions reused verbatim (committed by the
         /// coordinator from a valid, current-fingerprint record).

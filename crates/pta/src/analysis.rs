@@ -146,6 +146,12 @@ pub(crate) struct Solver {
     /// When set, every drained node id is appended here (the incremental
     /// solver reads it to find which methods' facts changed).
     pub(crate) drain_log: Option<Vec<NodeId>>,
+    /// Size of the drain log after its last compaction. The next
+    /// compaction fires only once the log doubles past this floor (or
+    /// exceeds `drain_log_cap`, whichever is larger), so a log whose
+    /// irreducible size exceeds the cap degrades to amortized O(1) per
+    /// push instead of O(n).
+    pub(crate) drain_log_floor: usize,
     /// Reusable per-pop buffers for the drain loop. Constraint lists must
     /// be read through a snapshot (`eval_*` may grow the originals
     /// mid-iteration), but cloning four `Vec`s per pop dominated the
@@ -182,6 +188,7 @@ impl Solver {
             suspended: HashSet::new(),
             propagations: 0,
             drain_log: None,
+            drain_log_floor: 0,
             scratch_succs: Vec::new(),
             scratch_fields: Vec::new(),
             scratch_calls: Vec::new(),
@@ -235,7 +242,7 @@ impl Solver {
                     self.worklist.push_back(node);
                 }
             }
-            SolverKind::Delta => {
+            _ => {
                 let n = self.find(node);
                 let i = n.0 as usize;
                 if self.pts[i].contains(loc.index()) {
@@ -258,7 +265,7 @@ impl Solver {
                     self.worklist.push_back(from);
                 }
             }
-            SolverKind::Delta => {
+            _ => {
                 let f = self.find(from);
                 let t = self.find(to);
                 if f == t {
@@ -390,7 +397,7 @@ impl Solver {
                     self.worklist.push_back(base);
                 }
             }
-            SolverKind::Delta => {
+            _ => {
                 let b = self.find(base);
                 self.loads[b.0 as usize].push((f, dst));
                 // Most registrations happen before any fact reaches the
@@ -413,7 +420,7 @@ impl Solver {
                     self.worklist.push_back(base);
                 }
             }
-            SolverKind::Delta => {
+            _ => {
                 let b = self.find(base);
                 self.stores[b.0 as usize].push((f, src));
                 if !self.pts[b.0 as usize].is_empty() {
@@ -436,7 +443,7 @@ impl Solver {
                     self.worklist.push_back(recv);
                 }
             }
-            SolverKind::Delta => {
+            _ => {
                 let r = self.find(recv);
                 self.recv_calls[r.0 as usize].push(idx);
                 if !self.pts[r.0 as usize].is_empty() {
@@ -717,7 +724,7 @@ impl Solver {
         let _span = obs::span(obs::SpanKind::Pta, "points-to solve");
         match self.options.solver {
             SolverKind::Reference => self.solve_reference(program, entry),
-            SolverKind::Delta => self.solve_delta(program, entry),
+            _ => self.solve_delta(program, entry),
         }
     }
 
@@ -780,6 +787,10 @@ impl Solver {
             self.propagations += 1;
             if let Some(log) = self.drain_log.as_mut() {
                 log.push(n);
+                let cap = self.options.drain_log_cap;
+                if cap != 0 && log.len() >= cap.max(self.drain_log_floor * 2) {
+                    self.compact_drain_log();
+                }
             }
             if obs::enabled() {
                 obs::add(obs::Counter::PtaPropagations, 1);
@@ -829,6 +840,35 @@ impl Solver {
             }
             self.scratch_calls = calls;
         }
+    }
+
+    /// Compacts the drain log in place: entries resolve to their current
+    /// union-find representative, duplicates collapse to one, and entries
+    /// whose owning `Var`/`Ret` instance is suspended are dropped (a
+    /// suspended owner's facts are invisible to the published result, and
+    /// reachability flips are charged to the changed set separately by the
+    /// incremental solver). Consumers only ever read the log as a
+    /// representative-resolved *set*, so this is semantics-preserving.
+    pub(crate) fn compact_drain_log(&mut self) {
+        let Some(log) = self.drain_log.take() else { return };
+        let mut seen: HashSet<usize> = HashSet::with_capacity(log.len());
+        let mut out: Vec<NodeId> = Vec::new();
+        for n in log {
+            let r = self.find_read(n.0 as usize);
+            if !seen.insert(r) {
+                continue;
+            }
+            let live = match self.nodes[r] {
+                NodeKind::Var(i, _) | NodeKind::Ret(i) => !self.suspended.contains(&i),
+                _ => true,
+            };
+            if live {
+                out.push(NodeId(r as u32));
+            }
+        }
+        obs::add(obs::Counter::PtaDrainlogCompactions, 1);
+        self.drain_log_floor = out.len();
+        self.drain_log = Some(out);
     }
 
     /// Lazy cycle detection, fired when propagating `n → s` added nothing:
@@ -1192,6 +1232,12 @@ pub enum SolverKind {
     /// The textbook full-set worklist solver, kept as the differential-
     /// testing reference for [`SolverKind::Delta`].
     Reference,
+    /// The delta fixpoint plus a demand-driven *query* tier
+    /// ([`crate::DemandPta`]): per-query CFL-reachability over the solved
+    /// constraint graph computes only the query-relevant slice, gated
+    /// fact-by-fact against the exhaustive result. The whole-program
+    /// result is identical to [`SolverKind::Delta`]'s.
+    Demand,
 }
 
 impl SolverKind {
@@ -1200,6 +1246,7 @@ impl SolverKind {
         match self {
             SolverKind::Delta => "delta",
             SolverKind::Reference => "reference",
+            SolverKind::Demand => "demand",
         }
     }
 }
@@ -1211,13 +1258,14 @@ impl std::str::FromStr for SolverKind {
         match s {
             "delta" => Ok(SolverKind::Delta),
             "reference" => Ok(SolverKind::Reference),
-            other => Err(format!("unknown solver {other:?} (expected delta|reference)")),
+            "demand" => Ok(SolverKind::Demand),
+            other => Err(format!("unknown solver {other:?} (expected delta|reference|demand)")),
         }
     }
 }
 
 /// Extra inputs to the analysis.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct PtaOptions {
     /// Allocation sites whose array `contents` are trusted to stay empty —
     /// the `EMPTY_TABLE` annotation of the paper's `Ann?=Y` configuration.
@@ -1226,6 +1274,27 @@ pub struct PtaOptions {
     pub empty_contents_allocs: Vec<tir::AllocId>,
     /// Fixpoint engine selection; [`SolverKind::Delta`] unless overridden.
     pub solver: SolverKind,
+    /// Soft cap on the incremental drain log: once a batch's log reaches
+    /// this many entries it is compacted in place (entries resolved to
+    /// their representatives, duplicates and suspended-owner entries
+    /// dropped). 0 disables compaction.
+    pub drain_log_cap: usize,
+    /// Demand-query exploration budget: the maximum number of
+    /// constraint-graph representatives one query may traverse before it
+    /// abandons the slice and falls back to the exhaustive result.
+    /// 0 means unbounded.
+    pub demand_budget: usize,
+}
+
+impl Default for PtaOptions {
+    fn default() -> Self {
+        PtaOptions {
+            empty_contents_allocs: Vec::new(),
+            solver: SolverKind::default(),
+            drain_log_cap: 4096,
+            demand_budget: 0,
+        }
+    }
 }
 
 /// Runs the points-to analysis with annotations (see [`PtaOptions`]).

@@ -86,6 +86,12 @@ impl IncrementalPta {
         self.solver.propagations
     }
 
+    /// Read access to the resident solver state, for the demand-query tier
+    /// ([`crate::DemandPta`]) to index the solved constraint graph.
+    pub(crate) fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
     /// Snapshots the current fixpoint as a [`PtaResult`].
     ///
     /// Abstract locations whose creating instance is suspended (or whose
@@ -111,6 +117,7 @@ impl IncrementalPta {
         let pre_suspended: HashSet<InstId> = self.solver.suspended.clone();
         let old_call_edges = self.solver.call_edges.clone();
         self.solver.drain_log = Some(Vec::new());
+        self.solver.drain_log_floor = 0;
 
         let needs_rebuild = applied.iter().any(|e| match e {
             AppliedEdit::AddedCmd { .. } | AppliedEdit::AddedVar { .. } => false,
@@ -621,7 +628,7 @@ impl IncrementalPta {
     /// unique creating instance, and a location used as a context
     /// qualifier was interned (by its creator) before any instance keyed
     /// on it existed — so the qualifier's fresh id is always available.
-    fn live_loc_table(&self, program: &Program) -> (LocTable, Vec<Option<LocId>>) {
+    pub(crate) fn live_loc_table(&self, program: &Program) -> (LocTable, Vec<Option<LocId>>) {
         let s = &self.solver;
         let mut table = LocTable::new();
         let mut map: Vec<Option<LocId>> = vec![None; s.locs.len()];
@@ -927,6 +934,42 @@ entry main;
             stats.propagations,
             scratch
         );
+    }
+
+    #[test]
+    fn drain_log_cap_compacts_without_changing_answers() {
+        // A tiny cap forces mid-drain compactions; the edit solve must
+        // still match the reference byte for byte and still charge the
+        // edited method to the changed set (the log is only ever read as a
+        // representative-resolved set, so compaction is invisible).
+        let _serial = obs::test_lock();
+        let rec = obs::MemRecorder::install_static(obs::RingCapacity::default());
+        rec.reset();
+        let mut program = tir::parse(BASE).unwrap();
+        let options = PtaOptions { drain_log_cap: 2, ..PtaOptions::default() };
+        let mut inc = IncrementalPta::new(&program, ContextPolicy::Insensitive, &options);
+        // An added allocation flows o → set.v → a0.f → get.r → main.r:
+        // several drain pops, comfortably past the cap of 2.
+        let applied =
+            apply_edits(&mut program, &[add("main", 2, "o = new Object @o1;")]).unwrap();
+        let stats = inc.apply_edits(&program, &applied);
+        assert!(
+            rec.counter(obs::Counter::PtaDrainlogCompactions) > 0,
+            "cap 2 never triggered a compaction"
+        );
+        let names: Vec<String> =
+            stats.changed_methods.iter().map(|&m| program.method_name(m)).collect();
+        assert!(names.iter().any(|n| n == "main"), "compacted log lost main: {names:?}");
+        let reference = PtaOptions { solver: SolverKind::Reference, ..Default::default() };
+        assert_eq!(
+            canonical_text(&program, &inc.result(&program)),
+            canonical_text(
+                &program,
+                &analyze_with(&program, ContextPolicy::Insensitive, &reference)
+            ),
+            "compaction changed the fixpoint"
+        );
+        obs::uninstall();
     }
 
     #[test]

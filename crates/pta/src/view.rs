@@ -1,0 +1,138 @@
+//! The read interface the refutation engine consumes, abstracted over
+//! exhaustive and demand-computed points-to results.
+//!
+//! [`PtaView`] is object-safe: the symbolic engine, the parallel
+//! scheduler, and [`crate::HeapGraphView`] all hold `&dyn PtaView`, so one
+//! compiled engine serves both a full [`PtaResult`](crate::PtaResult) and a
+//! query-sliced [`PartialPtaResult`](crate::PartialPtaResult) (whose
+//! out-of-slice lookups resolve on demand against the resident exhaustive
+//! result). The `Sync` supertrait lets a `&dyn PtaView` cross into the
+//! scheduler's scoped worker threads.
+
+use tir::{AllocId, ClassId, CmdId, FieldId, GlobalId, MethodId, Program, VarId};
+
+use crate::bitset::BitSet;
+use crate::loc::{LocId, LocTable};
+use crate::result::{HeapEdge, PtaResult};
+
+/// Read access to a points-to analysis result (full or query-sliced).
+pub trait PtaView: Sync {
+    /// Points-to set of a local variable, conflated over calling contexts.
+    fn pt_var(&self, v: VarId) -> &BitSet;
+
+    /// Points-to set of a global.
+    fn pt_global(&self, g: GlobalId) -> &BitSet;
+
+    /// Points-to set of field `f` of location `base`.
+    fn pt_field(&self, base: LocId, f: FieldId) -> &BitSet;
+
+    /// Points-to set of `y.f` — union of `pt_field(l, f)` over `l ∈ pt(y)`.
+    fn pt_var_field(&self, y: VarId, f: FieldId) -> BitSet {
+        let mut out = BitSet::new();
+        for l in self.pt_var(y).iter() {
+            out.union_with(self.pt_field(LocId(l as u32), f));
+        }
+        out
+    }
+
+    /// All heap field edges visible through this view, as
+    /// (base, field, targets) rows. A partial view returns only its slice;
+    /// an exhaustive result returns every edge. (Materialized `Vec` rather
+    /// than an iterator to stay object-safe.)
+    fn heap_rows(&self) -> Vec<(LocId, FieldId, &BitSet)>;
+
+    /// Commands that may produce `edge`.
+    fn producers(&self, edge: &HeapEdge) -> &[CmdId];
+
+    /// Possible callees of a call command, conflated over contexts.
+    fn call_targets(&self, cmd: CmdId) -> &[MethodId];
+
+    /// Call commands that may invoke `m`.
+    fn callers(&self, m: MethodId) -> &[CmdId];
+
+    /// True if `m` is reachable from the entry method.
+    fn is_reached(&self, m: MethodId) -> bool;
+
+    /// The class of objects abstracted by `l`.
+    fn class_of(&self, l: LocId) -> ClassId;
+
+    /// All locations whose class is `base` or a subclass of it.
+    fn locs_of_class(&self, program: &Program, base: ClassId) -> BitSet;
+
+    /// All (possibly context-qualified) locations born at allocation site
+    /// `a`.
+    fn alloc_locs(&self, a: AllocId) -> &BitSet;
+
+    /// The abstract-location table.
+    fn locs(&self) -> &LocTable;
+
+    /// The exhaustive result underlying this view: itself for a full
+    /// [`PtaResult`], the resident oracle for a demand-computed slice.
+    /// Persistent-cache fingerprints derive from this, so warm-start keys
+    /// never depend on which slice happened to answer a query.
+    fn exhaustive(&self) -> &PtaResult;
+
+    /// Human-readable location name (e.g. `vec0.arr1`).
+    fn loc_name(&self, program: &Program, l: LocId) -> String {
+        self.locs().name(l, program)
+    }
+
+    /// Total number of abstract locations.
+    fn num_locs(&self) -> usize {
+        self.locs().len()
+    }
+}
+
+impl PtaView for PtaResult {
+    fn pt_var(&self, v: VarId) -> &BitSet {
+        PtaResult::pt_var(self, v)
+    }
+
+    fn pt_global(&self, g: GlobalId) -> &BitSet {
+        PtaResult::pt_global(self, g)
+    }
+
+    fn pt_field(&self, base: LocId, f: FieldId) -> &BitSet {
+        PtaResult::pt_field(self, base, f)
+    }
+
+    fn heap_rows(&self) -> Vec<(LocId, FieldId, &BitSet)> {
+        self.heap_entries().collect()
+    }
+
+    fn producers(&self, edge: &HeapEdge) -> &[CmdId] {
+        PtaResult::producers(self, edge)
+    }
+
+    fn call_targets(&self, cmd: CmdId) -> &[MethodId] {
+        PtaResult::call_targets(self, cmd)
+    }
+
+    fn callers(&self, m: MethodId) -> &[CmdId] {
+        PtaResult::callers(self, m)
+    }
+
+    fn is_reached(&self, m: MethodId) -> bool {
+        PtaResult::is_reached(self, m)
+    }
+
+    fn class_of(&self, l: LocId) -> ClassId {
+        PtaResult::class_of(self, l)
+    }
+
+    fn locs_of_class(&self, program: &Program, base: ClassId) -> BitSet {
+        PtaResult::locs_of_class(self, program, base)
+    }
+
+    fn alloc_locs(&self, a: AllocId) -> &BitSet {
+        PtaResult::alloc_locs(self, a)
+    }
+
+    fn locs(&self) -> &LocTable {
+        PtaResult::locs(self)
+    }
+
+    fn exhaustive(&self) -> &PtaResult {
+        self
+    }
+}

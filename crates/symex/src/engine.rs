@@ -12,7 +12,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-use pta::{BitSet, HeapEdge, LocId, ModRef, PtaResult};
+use pta::{BitSet, HeapEdge, LocId, ModRef, PtaView};
 use tir::{Callee, CmdId, Command, MethodId, Operand, Program, Stmt, Ty, VarId};
 
 use crate::config::{LoopMode, Representation, SymexConfig};
@@ -51,7 +51,7 @@ const CMDS_PER_PATH_PROGRAM: u64 = 256;
 /// accumulates [`SearchStats`] across searches.
 pub struct Engine<'a> {
     pub(crate) program: &'a Program,
-    pub(crate) pta: &'a PtaResult,
+    pub(crate) pta: &'a dyn PtaView,
     pub(crate) modref: &'a ModRef,
     /// Engine configuration. May be adjusted between searches; the
     /// deadline fields are snapshotted at construction time.
@@ -77,7 +77,7 @@ impl<'a> Engine<'a> {
     /// Creates an engine over the analyzed program.
     pub fn new(
         program: &'a Program,
-        pta: &'a PtaResult,
+        pta: &'a dyn PtaView,
         modref: &'a ModRef,
         config: SymexConfig,
     ) -> Self {

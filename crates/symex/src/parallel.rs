@@ -52,7 +52,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use pta::{BitSet, HeapEdge, HeapGraphView, ModRef, PtaResult};
+use pta::{BitSet, HeapEdge, HeapGraphView, ModRef, PtaView};
 use tir::{GlobalId, Program};
 
 use crate::engine::{EdgeDecision, Engine};
@@ -516,7 +516,7 @@ fn run_job<'a>(
 /// decisions exactly like the historical per-client caches did.
 pub struct RefutationScheduler<'a> {
     program: &'a Program,
-    pta: &'a PtaResult,
+    pta: &'a dyn PtaView,
     modref: &'a ModRef,
     config: SymexConfig,
     jobs: usize,
@@ -538,7 +538,7 @@ impl<'a> RefutationScheduler<'a> {
     /// least 1.
     pub fn new(
         program: &'a Program,
-        pta: &'a PtaResult,
+        pta: &'a dyn PtaView,
         modref: &'a ModRef,
         config: SymexConfig,
         jobs: usize,
@@ -576,7 +576,7 @@ impl<'a> RefutationScheduler<'a> {
     pub fn set_store(&mut self, store: Arc<DecisionStore>) {
         self.disk = Some(DiskTier {
             program: self.program,
-            fpr: Fingerprinter::new(self.program, self.pta, &self.config),
+            fpr: Fingerprinter::new(self.program, self.pta.exhaustive(), &self.config),
             store,
         });
     }
@@ -596,7 +596,7 @@ impl<'a> RefutationScheduler<'a> {
             program: self.program,
             fpr: Fingerprinter::with_cache(
                 self.program,
-                self.pta,
+                self.pta.exhaustive(),
                 &self.config,
                 method_hashes,
                 changed,
@@ -734,6 +734,7 @@ impl<'a> RefutationScheduler<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pta::PtaResult;
     use pta::ContextPolicy;
 
     fn setup(src: &str) -> (Program, PtaResult, ModRef) {

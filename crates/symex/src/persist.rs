@@ -159,6 +159,16 @@ impl MethodHashCache {
     pub fn recomputed(&self) -> u64 {
         self.recomputed
     }
+
+    /// Methods currently hashed.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// True if no method has been hashed yet.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
 }
 
 impl<'a> Fingerprinter<'a> {

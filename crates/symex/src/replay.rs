@@ -43,7 +43,7 @@ pub enum ReplayVerdict {
 /// entered).
 pub fn validate_witness(
     program: &Program,
-    pta: &pta::PtaResult,
+    pta: &dyn pta::PtaView,
     witness: &Witness,
 ) -> ReplayVerdict {
     if witness.trace.is_empty() {
