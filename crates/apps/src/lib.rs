@@ -23,8 +23,10 @@
 pub mod builder;
 pub mod figures;
 pub mod motifs;
+pub mod null_motifs;
 pub mod scale;
 pub mod suite;
 
 pub use builder::{build_app, ActivityDef, BenchApp};
 pub use motifs::Motif;
+pub use null_motifs::NullMotif;

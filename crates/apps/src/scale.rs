@@ -207,6 +207,49 @@ pub fn scaled_program(scale: usize) -> Program {
     b.finish()
 }
 
+/// The motif mix [`scaled_null_program`] builds: one isolated group per
+/// module, parameters varied deterministically by module index so every
+/// scale mixes safe and alarming instances of all four
+/// [`crate::null_motifs::NullMotif`] shapes.
+pub fn scaled_null_groups(scale: usize) -> Vec<(String, Vec<crate::null_motifs::NullMotif>)> {
+    use crate::null_motifs::NullMotif;
+    assert!(scale > 0, "scale must be at least 1");
+    (0..scale)
+        .map(|m| {
+            let motifs = vec![
+                NullMotif::VecGet { pushes: 1 + m % 3, read_at: m % 4 },
+                NullMotif::DeepChain { depth: 2 + m % 3, null_source: m % 2 == 1 },
+                NullMotif::WideDispatch {
+                    width: 2 + m % 3,
+                    null_arm: if m % 4 == 1 { Some(m % 2) } else { None },
+                },
+                NullMotif::GuardedDeref,
+            ];
+            (format!("N{m}"), motifs)
+        })
+        .collect()
+}
+
+/// Deterministic null-dereference corpus with `scale` isolated modules.
+///
+/// The cache-hostile counterpart of [`scaled_program`] for the null
+/// client: deep static call chains and wide dispatch fans over nullable
+/// fields mean each dereference query drags a large, mostly-disjoint
+/// slice into its cache fingerprint. Pure function of `scale`, like
+/// every generator here.
+///
+/// # Panics
+///
+/// Panics if `scale` is zero.
+pub fn scaled_null_program(scale: usize) -> Program {
+    crate::null_motifs::build_null_program(&scaled_null_groups(scale))
+}
+
+/// Ground-truth alarm count for [`scaled_null_program`]`(scale)`.
+pub fn expected_null_alarms(scale: usize) -> usize {
+    crate::null_motifs::expected_alarms(&scaled_null_groups(scale))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

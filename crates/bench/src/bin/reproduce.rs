@@ -7,26 +7,29 @@
 //! reproduce loops                                # §4 hypothesis 3
 //! reproduce jobs [--budget N] [--apps a,b,c] [--assert-scaling]
 //!                                                # --jobs scaling sweep (1, 2, all cores);
-//!                                                # the gate warns + skips on 1-core hosts
+//!                                                # 1-core hosts refuse to snapshot the
+//!                                                # sweep (and the gate is skipped)
 //! reproduce pta [--scale N] [--assert-fewer-propagations]
 //!                                                # points-to solver comparison
 //! reproduce edits [--scale N] [--edits N] [--assert-edit-ratio]
 //!                                                # incremental edit re-analysis vs from-scratch
 //! reproduce demand [--scale N] [--assert-slice-fraction F] [--assert-no-drift]
 //!                                                # demand-driven query tier vs exhaustive
+//! reproduce null [--scale N] [--assert-no-drift]
+//!                                                # null-dereference client vs ground truth
 //! reproduce incremental [--budget N] [--apps a,b,c] [--cache-dir DIR]
 //!                                                # persistent-cache cold vs warm
 //! reproduce serve [--apps a,b,c] [--rounds N]    # resident daemon vs cold pipeline
 //! reproduce all [--budget N]                     # everything
 //!
-//! snapshot options (table1 / jobs / pta / edits / serve / all; table1 and all include the pta breakdown):
+//! snapshot options (table1 / jobs / pta / edits / demand / null / serve / all; table1 and all include the pta breakdown):
 //!   --snapshot-out <path>   where to write the perf snapshot JSON
 //!                           (default BENCH_<unix-time>.json)
 //!   --no-snapshot           skip writing the snapshot
 //! ```
 //!
 //! Table 1 runs additionally emit a machine-readable perf snapshot
-//! (`thresher.bench_snapshot/5`) so results can be diffed across commits.
+//! (`thresher.bench_snapshot/6`) so results can be diffed across commits.
 //! The `serve` mode records the daemon's request-latency quantiles
 //! (p50/p99, from the `cost` blocks attached to every response) and the
 //! summed per-phase cost splits into the snapshot's `serve` section.
@@ -72,16 +75,27 @@
 //! fraction on the largest scaled corpus exceeds `F` — the CI guard that
 //! demand queries stay O(query), not O(program).
 //!
+//! The `null` mode runs the null-dereference client over every suite app
+//! and the generated null corpus at doubling scales up to `--scale N`
+//! (default 16), pushing every may-null dereference site through the
+//! full refutation stack. Each point reruns the client with four
+//! workers and byte-compares the reports; scaled points additionally
+//! pin the alarm count to the generator's ground truth. A non-zero
+//! `drift` column means either check failed; `--assert-no-drift` fails
+//! the process on any drift — the CI guard that the client's answers
+//! are exactly right and scheduler-independent.
+//!
 //! Absolute times are hardware-dependent; the *shape* (who wins, by what
 //! factor, where timeouts fall) is the reproduction target — see
 //! EXPERIMENTS.md.
 
 use apps::BenchApp;
 use bench::{
-    format_table1_row, perf_snapshot_json_full, pta_walltime_crossover, run_demand_bench,
-    run_edit_bench, run_jobs_sweep, run_loop_ablation, run_pta_bench, run_repr_comparison,
-    run_simplification_ablation, run_table1_row, table1_header, DemandBenchPoint, EditBenchPoint,
-    JobsSweepPoint, PtaBenchPoint, ServeLatencyPoint, Table1Row,
+    admissible_jobs_sweep, format_table1_row, perf_snapshot_json_full, pta_walltime_crossover,
+    run_demand_bench, run_edit_bench, run_jobs_sweep, run_loop_ablation, run_null_bench,
+    run_pta_bench, run_repr_comparison, run_simplification_ablation, run_table1_row,
+    table1_header, DemandBenchPoint, EditBenchPoint, JobsSweepPoint, NullBenchPoint,
+    PtaBenchPoint, ServeLatencyPoint, Table1Row,
 };
 use symex::{Representation, SymexConfig};
 
@@ -149,12 +163,14 @@ fn write_snapshot(
     serve: &[ServeLatencyPoint],
     edits: &[EditBenchPoint],
     demand: &[DemandBenchPoint],
+    null: &[NullBenchPoint],
 ) {
     if (rows.is_empty()
         && pta.is_empty()
         && serve.is_empty()
         && edits.is_empty()
-        && demand.is_empty())
+        && demand.is_empty()
+        && null.is_empty())
         || args.iter().any(|a| a == "--no-snapshot")
     {
         return;
@@ -170,7 +186,7 @@ fn write_snapshot(
         .cloned()
         .unwrap_or_else(|| format!("BENCH_{unix_time_s}.json"));
     let payload =
-        perf_snapshot_json_full(rows, unix_time_s, budget, sweep, pta, serve, edits, demand);
+        perf_snapshot_json_full(rows, unix_time_s, budget, sweep, pta, serve, edits, demand, null);
     match std::fs::write(&path, payload) {
         Ok(()) => println!("perf snapshot written to {path}"),
         Err(e) => eprintln!("warning: cannot write snapshot {path}: {e}"),
@@ -181,9 +197,11 @@ fn write_snapshot(
 /// pass and prints the wall-clock scaling table. With `assert_scaling`,
 /// exits non-zero if the all-cores pass is slower than the sequential
 /// one — except on single-core hosts, where every multi-threaded point
-/// measures scheduler contention rather than scaling: there the sweep
-/// warns loudly and skips the gate (the snapshot's `host_cpus` field
-/// records the caveat for anyone diffing the numbers later).
+/// measures scheduler contention rather than scaling: there the gate is
+/// skipped and the sweep points are *dropped* (via
+/// [`admissible_jobs_sweep`]), so the snapshot never grows a
+/// `jobs_sweep` section that would poison later cross-commit diffs.
+/// The Table 1 rows are still returned — they are jobs-invariant.
 fn jobs_sweep(
     apps: &[BenchApp],
     budget: u64,
@@ -205,8 +223,8 @@ fn jobs_sweep(
     if cores == 1 {
         eprintln!(
             "WARNING: this host reports a single CPU. Every jobs>1 point above measures \
-             scheduler contention, NOT parallel scaling; treat the sweep as a smoke test \
-             only (snapshots record host_cpus=1 so diffs can tell). Scaling assertion {}.",
+             scheduler contention, NOT parallel scaling; the sweep will NOT be \
+             snapshotted (no jobs_sweep section is written). Scaling assertion {}.",
             if assert_scaling { "SKIPPED" } else { "not applicable" },
         );
     } else if assert_scaling {
@@ -221,7 +239,7 @@ fn jobs_sweep(
             std::process::exit(1);
         }
     }
-    (points, rows)
+    (admissible_jobs_sweep(cores, points), rows)
 }
 
 /// Runs the points-to solver comparison and prints it as a table. With
@@ -419,6 +437,50 @@ fn demand_bench(
                 std::process::exit(1);
             }
         }
+    }
+    points
+}
+
+/// Runs the null-dereference client benchmark and prints it as a table.
+/// With `assert_no_drift`, any ground-truth mismatch or jobs-4 report
+/// divergence exits non-zero.
+fn null_bench(scale: usize, assert_no_drift: bool) -> Vec<NullBenchPoint> {
+    println!("== null client: full refutation stack per may-null dereference (scale {scale}) ==");
+    println!(
+        "{:<16} {:>6} {:>8} {:>7} {:>6} {:>8} {:>7} {:>6} {:>10}",
+        "Program", "sites", "refuted", "alarms", "want", "ref.edg", "budget", "drift", "T(us)"
+    );
+    let points = run_null_bench(scale);
+    let mut drift_total = 0;
+    for p in &points {
+        drift_total += p.drift;
+        println!(
+            "{:<16} {:>6} {:>8} {:>7} {:>6} {:>8} {:>7} {:>6} {:>10}",
+            p.program,
+            p.candidate_sites,
+            p.refuted_sites,
+            p.alarms,
+            p.expected_alarms.map_or_else(|| "-".to_owned(), |e| e.to_string()),
+            p.edges_refuted,
+            p.edge_timeouts,
+            p.drift,
+            p.time_us,
+        );
+    }
+    if drift_total > 0 {
+        println!(
+            "drift: {drift_total} point(s) missed ground truth or answered \
+             differently under --jobs 4"
+        );
+        if assert_no_drift {
+            eprintln!("FAIL: null-client answers drifted");
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "drift: 0 (every report byte-identical across schedulers, every scaled \
+             alarm count exactly the generator's ground truth)"
+        );
     }
     points
 }
@@ -716,7 +778,7 @@ fn main() {
             let rows = table1(&apps, budget);
             println!();
             let points = pta_bench(scale, false);
-            write_snapshot(&args, &rows, budget, &[], &points, &[], &[], &[]);
+            write_snapshot(&args, &rows, budget, &[], &points, &[], &[], &[], &[]);
         }
         "table2" => table2(&apps, budget),
         "simplification" => simplification(&apps, budget),
@@ -725,7 +787,7 @@ fn main() {
         "jobs" => {
             let gate = args.iter().any(|a| a == "--assert-scaling");
             let (points, rows) = jobs_sweep(&apps, budget, gate);
-            write_snapshot(&args, &rows, budget, &points, &[], &[], &[], &[]);
+            write_snapshot(&args, &rows, budget, &points, &[], &[], &[], &[], &[]);
         }
         "serve" => {
             let rounds = args
@@ -735,7 +797,7 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(3);
             let (ok, points) = serve_bench(&apps, rounds);
-            write_snapshot(&args, &[], budget, &[], &[], &points, &[], &[]);
+            write_snapshot(&args, &[], budget, &[], &[], &points, &[], &[], &[]);
             if !ok {
                 std::process::exit(1);
             }
@@ -743,7 +805,7 @@ fn main() {
         "pta" => {
             let gate = args.iter().any(|a| a == "--assert-fewer-propagations");
             let points = pta_bench(scale, gate);
-            write_snapshot(&args, &[], budget, &[], &points, &[], &[], &[]);
+            write_snapshot(&args, &[], budget, &[], &points, &[], &[], &[], &[]);
         }
         "edits" => {
             let max_edits = args
@@ -754,7 +816,7 @@ fn main() {
                 .unwrap_or(16);
             let gate = args.iter().any(|a| a == "--assert-edit-ratio");
             let points = edits_bench(scale, max_edits, gate);
-            write_snapshot(&args, &[], budget, &[], &[], &[], &points, &[]);
+            write_snapshot(&args, &[], budget, &[], &[], &[], &points, &[], &[]);
         }
         "demand" => {
             let max_fraction = args
@@ -764,7 +826,12 @@ fn main() {
                 .and_then(|v| v.parse().ok());
             let no_drift = args.iter().any(|a| a == "--assert-no-drift");
             let points = demand_bench(scale, max_fraction, no_drift);
-            write_snapshot(&args, &[], budget, &[], &[], &[], &[], &points);
+            write_snapshot(&args, &[], budget, &[], &[], &[], &[], &points, &[]);
+        }
+        "null" => {
+            let no_drift = args.iter().any(|a| a == "--assert-no-drift");
+            let points = null_bench(scale, no_drift);
+            write_snapshot(&args, &[], budget, &[], &[], &[], &[], &[], &points);
         }
         "incremental" => {
             let root = args
@@ -792,12 +859,12 @@ fn main() {
             loops();
             println!();
             let points = pta_bench(scale, false);
-            write_snapshot(&args, &rows, budget, &[], &points, &[], &[], &[]);
+            write_snapshot(&args, &rows, budget, &[], &points, &[], &[], &[], &[]);
         }
         other => {
             eprintln!(
                 "unknown mode {other}; use \
-                 table1|table2|simplification|stats|loops|jobs|pta|edits|demand|incremental|serve|all"
+                 table1|table2|simplification|stats|loops|jobs|pta|edits|demand|null|incremental|serve|all"
             );
             std::process::exit(2);
         }

@@ -832,6 +832,142 @@ pub fn run_demand_bench(max_scale: usize) -> Vec<DemandBenchPoint> {
     points
 }
 
+/// One measured point of the null-dereference client benchmark: every
+/// candidate dereference site of one program pushed through the full
+/// refutation stack, with the jobs-1 report byte-compared against a
+/// jobs-4 rerun and (for generated programs) the alarm count checked
+/// against the generator's ground truth. `drift` counts violations of
+/// either property — 0 means the answers are scheduler-independent and
+/// exactly right.
+#[derive(Clone, Debug)]
+pub struct NullBenchPoint {
+    /// Program name (an app, or `scaled-null-N` for the generated corpus).
+    pub program: String,
+    /// Generator scale, when the program came from [`apps::scale`].
+    pub scale: Option<usize>,
+    /// May-null dereference sites the front end flagged.
+    pub candidate_sites: u64,
+    /// Candidate sites fully refuted.
+    pub refuted_sites: u64,
+    /// Surviving alarms (each carries a concrete witness).
+    pub alarms: u64,
+    /// Ground-truth alarm count, when the program has one.
+    pub expected_alarms: Option<u64>,
+    /// Per-site flow edges refuted by symbolic execution.
+    pub edges_refuted: u64,
+    /// Sites whose verdict degraded to a budget-exhausted alarm.
+    pub edge_timeouts: u64,
+    /// Ground-truth mismatches plus jobs-4 report divergences (0 = the
+    /// client answered correctly and deterministically).
+    pub drift: u64,
+    /// Wall time of the jobs-1 pass, microseconds.
+    pub time_us: u64,
+}
+
+impl NullBenchPoint {
+    /// A structured JSON view of the point for the snapshot's `null`
+    /// section.
+    pub fn to_value(&self) -> obs::json::Value {
+        use obs::json::Value;
+        let mut fields = vec![
+            ("program".to_owned(), Value::str(&self.program)),
+            ("candidate_sites".to_owned(), Value::uint(self.candidate_sites)),
+            ("refuted_sites".to_owned(), Value::uint(self.refuted_sites)),
+            ("alarms".to_owned(), Value::uint(self.alarms)),
+            ("edges_refuted".to_owned(), Value::uint(self.edges_refuted)),
+            ("edge_timeouts".to_owned(), Value::uint(self.edge_timeouts)),
+            ("drift".to_owned(), Value::uint(self.drift)),
+            ("time_us".to_owned(), Value::uint(self.time_us)),
+        ];
+        if let Some(expected) = self.expected_alarms {
+            fields.insert(4, ("expected_alarms".to_owned(), Value::uint(expected)));
+        }
+        if let Some(sc) = self.scale {
+            fields.insert(1, ("scale".to_owned(), Value::uint(sc as u64)));
+        }
+        Value::Obj(fields)
+    }
+}
+
+/// Runs the null client once sequentially (the timed pass), reruns it
+/// with four workers, and folds both the jobs-4 byte comparison and the
+/// optional ground-truth check into the point's `drift` counter.
+pub fn measure_null_point(
+    name: &str,
+    scale: Option<usize>,
+    program: &tir::Program,
+    expected_alarms: Option<u64>,
+) -> NullBenchPoint {
+    let t0 = Instant::now();
+    let report = Thresher::new(program).check_null_derefs();
+    let time_us = t0.elapsed().as_micros() as u64;
+    let parallel = Thresher::new(program).with_jobs(4).check_null_derefs();
+    let mut drift = 0u64;
+    if report.to_value(program).to_json() != parallel.to_value(program).to_json() {
+        drift += 1;
+    }
+    if let Some(expected) = expected_alarms {
+        if report.num_alarms() as u64 != expected {
+            drift += 1;
+        }
+    }
+    NullBenchPoint {
+        program: name.to_owned(),
+        scale,
+        candidate_sites: report.candidate_sites as u64,
+        refuted_sites: report.refuted_sites as u64,
+        alarms: report.num_alarms() as u64,
+        expected_alarms,
+        edges_refuted: report.edges_refuted as u64,
+        edge_timeouts: report.edge_timeouts as u64,
+        drift,
+        time_us,
+    }
+}
+
+/// Benchmarks the null client over every suite app (no ground truth —
+/// the numbers are recorded for diffing) and the generated null corpus
+/// at doubling scales up to `max_scale`, where the alarm count is
+/// pinned to [`apps::scale::expected_null_alarms`].
+pub fn run_null_bench(max_scale: usize) -> Vec<NullBenchPoint> {
+    let mut points = Vec::new();
+    for app in apps::suite::all_apps() {
+        points.push(measure_null_point(app.name, None, &app.program, None));
+    }
+    let top = max_scale.max(1);
+    let mut scales = Vec::new();
+    let mut s = 1;
+    while s < top {
+        scales.push(s);
+        s *= 2;
+    }
+    scales.push(top);
+    for scale in scales {
+        let scaled = apps::scale::scaled_null_program(scale);
+        let expected = apps::scale::expected_null_alarms(scale) as u64;
+        points.push(measure_null_point(
+            &format!("scaled-null-{scale}"),
+            Some(scale),
+            &scaled,
+            Some(expected),
+        ));
+    }
+    points
+}
+
+/// Drops a `--jobs` sweep measured on a single-CPU host. Every `jobs >
+/// 1` point on such a host measures scheduler contention, not parallel
+/// scaling, and a snapshot that records contention data as a
+/// `jobs_sweep` section poisons every later cross-commit diff — so the
+/// sweep is refused outright rather than written with a caveat.
+pub fn admissible_jobs_sweep(host_cpus: usize, points: Vec<JobsSweepPoint>) -> Vec<JobsSweepPoint> {
+    if host_cpus <= 1 {
+        Vec::new()
+    } else {
+        points
+    }
+}
+
 /// One cold-vs-warm measurement of the persistent refutation cache on one
 /// app: a cold run (fresh cache directory) populates the store, a warm
 /// rerun over the unchanged program must answer every committed edge
@@ -969,8 +1105,12 @@ pub fn format_table1_row(r: &Table1Row) -> String {
 /// the `edits` section (per-edit latency quantiles + propagation ratio
 /// of incremental edit re-analysis); version 5 added the `demand`
 /// section (per-query latency quantiles + slice fractions of the
-/// demand-driven points-to tier).
-pub const SNAPSHOT_SCHEMA: &str = "thresher.bench_snapshot/5";
+/// demand-driven points-to tier); version 6 added the `null` section
+/// ([`NullBenchPoint`]: null-dereference client verdicts + drift vs
+/// generator ground truth) and made the `jobs_sweep` section refuse to
+/// appear at all on single-CPU hosts (see [`admissible_jobs_sweep`])
+/// instead of recording contention data behind a `host_cpus` caveat.
+pub const SNAPSHOT_SCHEMA: &str = "thresher.bench_snapshot/6";
 
 /// One `reproduce serve` measurement: request-latency quantiles and the
 /// summed per-phase cost splits of a resident daemon answering `rounds`
@@ -1092,19 +1232,22 @@ pub fn perf_snapshot_json_with_sweep(
     budget: u64,
     sweep: &[JobsSweepPoint],
 ) -> String {
-    perf_snapshot_json_full(rows, unix_time_s, budget, sweep, &[], &[], &[], &[])
+    perf_snapshot_json_full(rows, unix_time_s, budget, sweep, &[], &[], &[], &[], &[])
 }
 
-/// The full snapshot serializer (schema `thresher.bench_snapshot/5`):
+/// The full snapshot serializer (schema `thresher.bench_snapshot/6`):
 /// Table 1 rows, an optional `--jobs` sweep, an optional `pta` phase
 /// breakdown of [`PtaBenchPoint`]s (per program × solver: solve wall
 /// time, propagation/delta/SCC effort counters), an optional `serve`
 /// section of [`ServeLatencyPoint`]s (daemon latency quantiles +
 /// per-phase cost splits), and an optional `edits` section of
 /// [`EditBenchPoint`]s (incremental edit latency quantiles + propagation
-/// ratio vs from-scratch), and an optional `demand` section of
+/// ratio vs from-scratch), an optional `demand` section of
 /// [`DemandBenchPoint`]s (demand-tier query latency quantiles + slice
-/// fractions).
+/// fractions), and an optional `null` section of [`NullBenchPoint`]s
+/// (null-dereference client verdicts + drift). Pass `sweep` through
+/// [`admissible_jobs_sweep`] first — a sweep measured on a single-CPU
+/// host must not be snapshotted at all.
 #[allow(clippy::too_many_arguments)]
 pub fn perf_snapshot_json_full(
     rows: &[Table1Row],
@@ -1115,6 +1258,7 @@ pub fn perf_snapshot_json_full(
     serve_points: &[ServeLatencyPoint],
     edit_points: &[EditBenchPoint],
     demand_points: &[DemandBenchPoint],
+    null_points: &[NullBenchPoint],
 ) -> String {
     use obs::json::Value;
     let mut fields = vec![
@@ -1165,6 +1309,12 @@ pub fn perf_snapshot_json_full(
             Value::Arr(demand_points.iter().map(DemandBenchPoint::to_value).collect()),
         ));
     }
+    if !null_points.is_empty() {
+        fields.push((
+            "null".to_owned(),
+            Value::Arr(null_points.iter().map(NullBenchPoint::to_value).collect()),
+        ));
+    }
     Value::Obj(fields).to_json()
 }
 
@@ -1208,6 +1358,44 @@ mod tests {
         let abl = run_loop_ablation();
         assert!(abl.infer_refutes);
         assert!(!abl.drop_all_refutes);
+    }
+
+    #[test]
+    fn single_cpu_host_refuses_the_jobs_sweep_snapshot() {
+        let sweep = vec![
+            JobsSweepPoint { jobs: 1, wall: Duration::from_millis(100) },
+            JobsSweepPoint { jobs: 4, wall: Duration::from_millis(80) },
+        ];
+        // A sweep measured on one CPU is dropped wholesale, so the
+        // snapshot carries neither contention data nor the host_cpus
+        // caveat that used to footnote it.
+        let gated = admissible_jobs_sweep(1, sweep.clone());
+        assert!(gated.is_empty(), "1-CPU sweep must be refused");
+        let snap = perf_snapshot_json_full(&[], 0, 10_000, &gated, &[], &[], &[], &[], &[]);
+        assert!(!snap.contains("jobs_sweep"), "refused sweep still snapshotted: {snap}");
+        assert!(!snap.contains("host_cpus"), "refused sweep left its caveat behind: {snap}");
+        // Multi-CPU hosts keep their measurements untouched.
+        let kept = admissible_jobs_sweep(2, sweep);
+        assert_eq!(kept.len(), 2);
+        let snap = perf_snapshot_json_full(&[], 0, 10_000, &kept, &[], &[], &[], &[], &[]);
+        assert!(snap.contains("\"jobs_sweep\":["), "{snap}");
+        assert!(snap.contains("\"host_cpus\":"), "{snap}");
+    }
+
+    #[test]
+    fn null_bench_point_pins_scaled_ground_truth() {
+        let program = apps::scale::scaled_null_program(2);
+        let expected = apps::scale::expected_null_alarms(2) as u64;
+        let p = measure_null_point("scaled-null-2", Some(2), &program, Some(expected));
+        assert_eq!(p.alarms, expected, "null client missed the generator's ground truth");
+        assert_eq!(p.drift, 0, "null report drifted (ground truth or jobs-4 bytes)");
+        assert!(p.candidate_sites > p.alarms, "nothing was refuted");
+        assert_eq!(p.edge_timeouts, 0, "budget artifact on the scaled null corpus");
+        let snap =
+            perf_snapshot_json_full(&[], 0, 10_000, &[], &[], &[], &[], &[], std::slice::from_ref(&p));
+        assert!(snap.contains("\"schema\":\"thresher.bench_snapshot/6\""), "{snap}");
+        assert!(snap.contains("\"null\":[{"), "{snap}");
+        assert!(snap.contains("\"expected_alarms\":"), "{snap}");
     }
 
     #[test]

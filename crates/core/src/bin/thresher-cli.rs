@@ -13,6 +13,11 @@
 //!                              abstract location (repeatable)
 //!   --leaks                    run the Android Activity-leak client
 //!                              (requires the Android model classes)
+//!   --client null              run the null-dereference refutation
+//!                              client: sentinel-tier candidate
+//!                              enumeration plus a refutation query per
+//!                              dereference site (exit 1 on surviving
+//!                              alarms, like --leaks)
 //!   --jobs <N>                 refutation worker threads (default: all
 //!                              cores; 1 = sequential; reported numbers are
 //!                              identical for every setting)
@@ -76,6 +81,7 @@ struct Options {
     dump_pta: bool,
     queries: Vec<(String, String)>,
     leaks: bool,
+    client_null: bool,
     jobs: usize,
     config: SymexConfig,
     pta_solver: SolverKind,
@@ -98,6 +104,7 @@ fn parse_args() -> Result<Mode, String> {
     let mut dump_pta = false;
     let mut queries = Vec::new();
     let mut leaks = false;
+    let mut client_null = false;
     let mut jobs = thresher::default_jobs();
     let mut config = SymexConfig::default();
     let mut pta_solver = SolverKind::default();
@@ -118,6 +125,10 @@ fn parse_args() -> Result<Mode, String> {
                 edit_script = Some(args.next().ok_or("--edit-script needs a path")?);
             }
             "--leaks" => leaks = true,
+            "--client" => match args.next().as_deref() {
+                Some("null") => client_null = true,
+                other => return Err(format!("bad client {other:?} (expected: null)")),
+            },
             "--no-simplification" => config.simplification = false,
             "--query" => {
                 let g = args.next().ok_or("--query needs <GLOBAL> <LOC>")?;
@@ -177,6 +188,7 @@ fn parse_args() -> Result<Mode, String> {
         dump_pta,
         queries,
         leaks,
+        client_null,
         jobs,
         config,
         pta_solver,
@@ -374,6 +386,13 @@ fn analyze(opts: &Options, program: &tir::Program) -> ExitCode {
                 println!("{g} ~> {l}: REFUTED ({} edge(s) severed)", refuted_edges.len());
             }
         }
+    }
+
+    if opts.client_null {
+        let report = thresher.check_null_derefs();
+        print!("{}", report.describe(program));
+        outcome.record_findings(!report.is_null_safe());
+        outcome.record_aborts(report.edge_timeouts > 0);
     }
 
     if opts.leaks {

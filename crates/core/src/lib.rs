@@ -52,6 +52,7 @@
 
 pub mod clients;
 pub mod exit;
+pub mod null;
 pub mod serve;
 
 use std::path::Path;
@@ -67,13 +68,14 @@ pub use android::{
     paper_annotations, ActivityLeakChecker, Alarm, AlarmResult, Annotation, ClientStats, LeakReport,
 };
 pub use clients::{Escape, EscapeChecker, EscapeReport};
+pub use null::{NullClient, NullDeref, NullReport};
 pub use obs;
 pub use pta::ContextPolicy as PointsToPolicy;
 pub use pta::{DemandQueryStats, DemandStats, PartialPtaResult, PtaOptions, SolverKind};
 pub use symex::{
-    default_jobs, AbortCounts, CacheMode, DecisionStore, EdgeAnswer, EdgeDecision, JobVerdict,
-    LoopMode, ReachJob, RefutationScheduler, Representation, SchedulerOutcome, SearchOutcome,
-    SearchStats, StopReason, StoreLimits, SymexConfig, Tally, Witness,
+    default_jobs, AbortCounts, CacheMode, DecisionStore, DerefSite, EdgeAnswer, EdgeDecision,
+    JobVerdict, LoopMode, ReachJob, RefKey, RefutationScheduler, Representation, SchedulerOutcome,
+    SearchOutcome, SearchStats, StopReason, StoreLimits, SymexConfig, Tally, Witness,
 };
 
 /// The outcome of a refined heap-reachability query.
@@ -328,6 +330,25 @@ impl<'p> Thresher<'p> {
             checker = checker.with_store(store.clone());
         }
         checker
+    }
+
+    /// Creates a [`NullClient`] over this analysis (the null-dereference
+    /// refutation client; see [`null`]). The client forces
+    /// [`SymexConfig::track_null_guards`] on for its own searches.
+    pub fn null_client(&self) -> NullClient<'_> {
+        let mut client =
+            NullClient::new(self.program, &self.pta, &self.modref, self.config.clone())
+                .with_jobs(self.jobs);
+        if let Some(store) = &self.cache {
+            client = client.with_store(store.clone());
+        }
+        client
+    }
+
+    /// Runs the null-dereference client end to end: sentinel-tier
+    /// candidate enumeration plus refutation of every candidate site.
+    pub fn check_null_derefs(&self) -> NullReport {
+        self.null_client().run()
     }
 
     /// Runs the Android Activity-leak client over this program (requires

@@ -1157,6 +1157,18 @@ impl Shared {
         let name = param_str(req, "program")?;
         let res = self.resident(name)?;
         self.maybe_fault(req, &res, deadline)?;
+        // `"client": "null"` selects the null-dereference client; the
+        // default remains the Activity-leak client (which needs the
+        // Android model). Any other value is a usage error.
+        match req.params.get("client").and_then(Value::as_str) {
+            Some("null") => return self.do_analyze_null(req, &res, phases),
+            Some("leaks") | None => {}
+            Some(other) => {
+                return Err(ServeError::bad_request(format!(
+                    "unknown client {other:?} (expected: null or leaks)"
+                )));
+            }
+        }
         if res.program.class_by_name("Activity").is_none() {
             return Err(ServeError::bad_request(format!(
                 "program {name:?} has no Android library model (no class Activity); \
@@ -1189,6 +1201,29 @@ impl Shared {
             ("edges_witnessed".to_owned(), Value::uint(report.stats.edges_witnessed as u64)),
             ("edge_timeouts".to_owned(), Value::uint(report.stats.edge_timeouts as u64)),
         ]))
+    }
+
+    /// The `analyze` variant for `"client": "null"`: runs the
+    /// null-dereference client against the resident analysis. The
+    /// response body is [`crate::null::NullReport::to_value`] — stable
+    /// across jobs/cache/solver — and the request's cost block reports
+    /// the refutation time under `symex` like every other analyze.
+    fn do_analyze_null(
+        &self,
+        req: &Request,
+        res: &Resident,
+        phases: &mut Phases,
+    ) -> Result<Value, ServeError> {
+        let config = self.engine_config(req.params.get("budget").and_then(Value::as_u64));
+        phases.note_budget(config.budget);
+        let mut client =
+            crate::null::NullClient::new(&res.program, &res.pta, &res.modref, config)
+                .with_jobs(self.config.jobs);
+        if let Some(store) = &res.store {
+            client = client.with_store(store.clone());
+        }
+        let report = phases.time("symex", || client.run());
+        Ok(report.to_value(&res.program))
     }
 
     /// Honors a request's `"inject"` parameter (only with

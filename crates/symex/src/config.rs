@@ -84,6 +84,14 @@ pub struct SymexConfig {
     ///
     /// [`Engine::refute_edge_resilient`]: crate::Engine::refute_edge_resilient
     pub degrade: bool,
+    /// Enables must-not-null strong updates from branch guards: an
+    /// `assume x != null` on an unbound reference local pins `x` to a fresh
+    /// symbolic instance (symbolic values denote concrete instances, never
+    /// null), so a pending `x ↦ null` constraint in a sibling disjunct
+    /// refutes instead of surviving the guard. Sound for the null client's
+    /// "can null reach this dereference" queries; off by default so the
+    /// escape/leak clients keep their historical path behavior.
+    pub track_null_guards: bool,
     /// When set, a query exceeding [`SymexConfig::max_heap_cells`] aborts
     /// the search with [`StopReason::HeapCap`] instead of being truncated.
     /// Off by default (truncation is the sound, paper-faithful behavior);
@@ -114,6 +122,7 @@ impl Default for SymexConfig {
             edge_deadline: None,
             total_deadline: None,
             degrade: true,
+            track_null_guards: false,
             hard_heap_cap: false,
             inject_panic_on_new: None,
         }
@@ -167,6 +176,12 @@ impl SymexConfig {
         self.degrade = on;
         self
     }
+
+    /// Enables/disables must-not-null guard tracking (builder style).
+    pub fn with_null_guards(mut self, on: bool) -> Self {
+        self.track_null_guards = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +200,7 @@ mod tests {
         assert_eq!(c.edge_deadline, None);
         assert_eq!(c.total_deadline, None);
         assert!(c.degrade);
+        assert!(!c.track_null_guards);
         assert!(!c.hard_heap_cap);
         assert!(c.inject_panic_on_new.is_none());
     }

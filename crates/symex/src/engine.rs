@@ -16,6 +16,7 @@ use pta::{BitSet, HeapEdge, LocId, ModRef, PtaView};
 use tir::{Callee, CmdId, Command, MethodId, Operand, Program, Stmt, Ty, VarId};
 
 use crate::config::{LoopMode, Representation, SymexConfig};
+use crate::key::{DerefSite, RefKey};
 use crate::query::{Query, Refuted};
 use crate::region::Region;
 use crate::simplify::History;
@@ -105,9 +106,9 @@ impl<'a> Engine<'a> {
         &self.config
     }
 
-    /// Attempts to refute `edge`: runs one witness search per producing
-    /// statement. The edge is refuted only if every search is refuted.
-    pub fn refute_edge(&mut self, edge: &HeapEdge) -> SearchOutcome {
+    /// Resets the per-search state (budgets, history, deadline) at the top
+    /// of every [`Engine::refute_edge`] / [`Engine::refute_deref`] call.
+    fn begin_search(&mut self) {
         self.budget_left = self.config.budget;
         self.cmd_budget_left = self.config.budget.saturating_mul(CMDS_PER_PATH_PROGRAM);
         self.history.clear();
@@ -117,6 +118,12 @@ impl<'a> Engine<'a> {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
             };
+    }
+
+    /// Attempts to refute `edge`: runs one witness search per producing
+    /// statement. The edge is refuted only if every search is refuted.
+    pub fn refute_edge(&mut self, edge: &HeapEdge) -> SearchOutcome {
+        self.begin_search();
         let pta = self.pta;
         let producers = pta.producers(edge);
         if producers.is_empty() {
@@ -132,7 +139,7 @@ impl<'a> Engine<'a> {
                     continue;
                 }
             };
-            match self.search_from(cmd, q0) {
+            match self.search_from(cmd, q0, true) {
                 Ok(()) => {}
                 Err(Stop::Witnessed(w)) => return SearchOutcome::Witnessed(w),
                 Err(Stop::Aborted(reason)) => return SearchOutcome::Aborted(reason),
@@ -141,13 +148,50 @@ impl<'a> Engine<'a> {
         SearchOutcome::Refuted
     }
 
+    /// Attempts to refute the null-dereference candidate `site`: searches
+    /// backwards from the dereferencing command for a path program along
+    /// which its base local holds `null`. `Refuted` is a proof that the
+    /// base is non-null on every path reaching the dereference.
+    ///
+    /// The dereferencing command itself is *not* executed backwards — the
+    /// question is the state just before it runs.
+    pub fn refute_deref(&mut self, site: &DerefSite) -> SearchOutcome {
+        self.begin_search();
+        let q0 = match self.initial_deref_query(site) {
+            Ok(q) => q,
+            Err(r) => {
+                self.stats.count_refutation(r);
+                return SearchOutcome::Refuted;
+            }
+        };
+        match self.search_from(site.cmd, q0, false) {
+            Ok(()) => SearchOutcome::Refuted,
+            Err(Stop::Witnessed(w)) => SearchOutcome::Witnessed(w),
+            Err(Stop::Aborted(reason)) => SearchOutcome::Aborted(reason),
+        }
+    }
+
+    /// Attempts to refute a [`RefKey`] of either kind.
+    pub fn refute_key(&mut self, key: &RefKey) -> SearchOutcome {
+        match key {
+            RefKey::Edge(e) => self.refute_edge(e),
+            RefKey::Deref(s) => self.refute_deref(s),
+        }
+    }
+
     /// Fault-contained [`Engine::refute_edge`]: a panic anywhere in the
     /// search (transfer functions, solver, query bookkeeping) is caught and
     /// converted into the sound `Aborted(Panic)` outcome instead of
     /// unwinding into the caller. The engine stays usable afterwards —
     /// `refute_edge` re-initializes all per-edge state on entry.
     pub fn refute_edge_contained(&mut self, edge: &HeapEdge) -> SearchOutcome {
-        let result = catch_unwind(AssertUnwindSafe(|| self.refute_edge(edge)));
+        self.refute_key_contained(&RefKey::Edge(*edge))
+    }
+
+    /// Fault-contained [`Engine::refute_key`] (see
+    /// [`Engine::refute_edge_contained`]).
+    pub fn refute_key_contained(&mut self, key: &RefKey) -> SearchOutcome {
+        let result = catch_unwind(AssertUnwindSafe(|| self.refute_key(key)));
         match result {
             Ok(out) => out,
             Err(payload) => {
@@ -163,13 +207,17 @@ impl<'a> Engine<'a> {
     /// deadline allows. A coarse refutation is still a refutation, so the
     /// ladder can only *add* refutations relative to a single strict pass.
     pub fn refute_edge_resilient(&mut self, edge: &HeapEdge) -> EdgeDecision {
+        self.refute_key_resilient(&RefKey::Edge(*edge))
+    }
+
+    /// [`Engine::refute_edge_resilient`] generalized over [`RefKey`]. This
+    /// is the *only* site bumping the edge-outcome and degradation
+    /// counters, so report totals match driver-level tallies exactly.
+    pub fn refute_key_resilient(&mut self, key: &RefKey) -> EdgeDecision {
         let timer = obs::timer();
-        let _span = obs::span_with(obs::SpanKind::Edge, || edge.describe(self.program, self.pta));
-        let decision = self.refute_edge_resilient_inner(edge);
+        let _span = obs::span_with(obs::SpanKind::Edge, || key.describe(self.program, self.pta));
+        let decision = self.refute_key_resilient_inner(key);
         if obs::enabled() {
-            // This is the *only* site bumping the edge-outcome and
-            // degradation counters, so report totals match driver-level
-            // tallies exactly.
             let outcome = match &decision.outcome {
                 SearchOutcome::Refuted => obs::Counter::EdgesRefuted,
                 SearchOutcome::Witnessed(_) => obs::Counter::EdgesWitnessed,
@@ -188,10 +236,10 @@ impl<'a> Engine<'a> {
         decision
     }
 
-    fn refute_edge_resilient_inner(&mut self, edge: &HeapEdge) -> EdgeDecision {
+    fn refute_key_resilient_inner(&mut self, key: &RefKey) -> EdgeDecision {
         let first = {
             let _attempt = obs::span(obs::SpanKind::Attempt, "strict");
-            self.refute_edge_contained(edge)
+            self.refute_key_contained(key)
         };
         let reason = match first {
             SearchOutcome::Refuted | SearchOutcome::Witnessed(_) => {
@@ -210,7 +258,7 @@ impl<'a> Engine<'a> {
                 let out = {
                     let _attempt =
                         obs::span_with(obs::SpanKind::Attempt, || format!("coarse-{attempts}"));
-                    self.refute_edge_contained(edge)
+                    self.refute_key_contained(key)
                 };
                 self.config = saved;
                 match out {
@@ -270,9 +318,27 @@ impl<'a> Engine<'a> {
         Ok(q)
     }
 
-    /// Runs one witness search from statement `start` with post-query `q0`.
-    /// `Ok(())` means every path program was refuted.
-    pub(crate) fn search_from(&mut self, start: CmdId, q0: Query) -> Result<(), Stop> {
+    /// Builds the initial query for a null-dereference candidate: the base
+    /// local holds `null` in the state just before the dereferencing
+    /// command (§3.1 generalized to the null client).
+    pub fn initial_deref_query(&self, site: &DerefSite) -> Result<Query, Refuted> {
+        let mut q = Query::new();
+        q.locals.insert(site.base, Val::Null);
+        // The dereference itself anchors the witness trace even though it
+        // is not executed backwards.
+        q.record(site.cmd, self.config.trace_cap);
+        Ok(q)
+    }
+
+    /// Runs one witness search from statement `start` with post-query `q0`;
+    /// the command at `start` is applied iff `include_cmd`. `Ok(())` means
+    /// every path program was refuted.
+    pub(crate) fn search_from(
+        &mut self,
+        start: CmdId,
+        q0: Query,
+        include_cmd: bool,
+    ) -> Result<(), Stop> {
         let _span = obs::span_with(obs::SpanKind::Path, || self.program.describe_cmd(start));
         self.charge(1)?;
         let method = self.program.cmd_method(start);
@@ -288,7 +354,7 @@ impl<'a> Engine<'a> {
         // decoupled from `self`) instead of cloning the statement tree.
         let program = self.program;
         let body = &program.method(method).body;
-        let qs = self.back_pos(body, &path, q0, true)?;
+        let qs = self.back_pos(body, &path, q0, include_cmd)?;
         for q in qs {
             self.propagate_up(method, q)?;
         }

@@ -55,6 +55,7 @@
 
 mod config;
 mod engine;
+mod key;
 mod loops;
 pub mod parallel;
 pub mod persist;
@@ -68,6 +69,7 @@ mod value;
 
 pub use config::{LoopMode, Representation, SymexConfig};
 pub use engine::{EdgeDecision, Engine};
+pub use key::{DerefSite, RefKey};
 pub use parallel::{
     default_jobs, EdgeAnswer, JobVerdict, ReachJob, RefutationScheduler, SchedulerOutcome, Tally,
 };

@@ -56,6 +56,7 @@ use pta::{BitSet, HeapEdge, HeapGraphView, ModRef, PtaView};
 use tir::{GlobalId, Program};
 
 use crate::engine::{EdgeDecision, Engine};
+use crate::key::{DerefSite, RefKey};
 use crate::persist::{DecisionStore, Fingerprinter, PersistedDecision};
 use crate::stats::{AbortCounts, SearchOutcome, SearchStats, StopReason, Witness};
 use crate::SymexConfig;
@@ -191,12 +192,12 @@ struct DiskTier<'a> {
     fpr: Fingerprinter<'a>,
 }
 
-/// Looks `edge` up in the persistent store. A hit yields a committable
+/// Looks `key` up in the persistent store. A hit yields a committable
 /// entry flagged `from_disk`; any miss (no record, stale fingerprint —
 /// stale records key under the old fingerprint, so they simply fail the
 /// lookup) falls through to a live computation.
-fn consult_disk(disk: &DiskTier<'_>, edge: &HeapEdge) -> Option<CacheEntry> {
-    let d = disk.store.lookup(disk.fpr.fingerprint(edge))?;
+fn consult_disk(disk: &DiskTier<'_>, key: &RefKey) -> Option<CacheEntry> {
+    let d = disk.store.lookup(disk.fpr.fingerprint_key(key))?;
     Some(CacheEntry {
         decision: d.decision,
         stats: d.stats,
@@ -214,7 +215,7 @@ enum Slot {
 }
 
 struct Stripe {
-    map: Mutex<HashMap<HeapEdge, Slot>>,
+    map: Mutex<HashMap<RefKey, Slot>>,
     /// Signalled when an in-flight entry of this stripe becomes done.
     ready: Condvar,
 }
@@ -231,20 +232,23 @@ impl CacheStripes {
         CacheStripes { stripes }
     }
 
-    fn stripe(&self, edge: &HeapEdge) -> &Stripe {
-        let h = match edge {
-            HeapEdge::Global { global, target } => global.index() ^ (target.index() << 3),
-            HeapEdge::Field { base, field, target } => {
+    fn stripe(&self, key: &RefKey) -> &Stripe {
+        let h = match key {
+            RefKey::Edge(HeapEdge::Global { global, target }) => {
+                global.index() ^ (target.index() << 3)
+            }
+            RefKey::Edge(HeapEdge::Field { base, field, target }) => {
                 base.index() ^ (field.index() << 2) ^ (target.index() << 5)
             }
+            RefKey::Deref(DerefSite { cmd, base }) => cmd.index() ^ (base.index() << 4),
         };
         &self.stripes[h % STRIPES]
     }
 }
 
-/// A speculative work item: decide `edge` unless its path died first.
+/// A speculative work item: decide `key` unless its path died first.
 struct Hint {
-    edge: HeapEdge,
+    key: RefKey,
     cancel: Arc<AtomicBool>,
 }
 
@@ -302,12 +306,12 @@ impl RunQueue {
     }
 }
 
-/// Runs one edge decision with all metric emission buffered, and packages
+/// Runs one refutation with all metric emission buffered, and packages
 /// the result for deferred accounting.
-fn compute(engine: &mut Engine<'_>, edge: &HeapEdge) -> CacheEntry {
+fn compute(engine: &mut Engine<'_>, key: &RefKey) -> CacheEntry {
     let before = engine.stats.clone();
     let t0 = Instant::now();
-    let (decision, delta) = obs::capture(|| engine.refute_edge_resilient(edge));
+    let (decision, delta) = obs::capture(|| engine.refute_key_resilient(key));
     CacheEntry {
         decision,
         stats: engine.stats.delta_since(&before),
@@ -329,37 +333,37 @@ fn worker(
         if hint.cancel.load(Ordering::Relaxed) {
             continue;
         }
-        let stripe = cache.stripe(&hint.edge);
+        let stripe = cache.stripe(&hint.key);
         {
             let mut map = lock(&stripe.map);
-            if map.contains_key(&hint.edge) {
+            if map.contains_key(&hint.key) {
                 continue;
             }
-            map.insert(hint.edge, Slot::InFlight);
+            map.insert(hint.key, Slot::InFlight);
         }
         let entry = disk
-            .and_then(|d| consult_disk(d, &hint.edge))
-            .unwrap_or_else(|| compute(&mut engine, &hint.edge));
+            .and_then(|d| consult_disk(d, &hint.key))
+            .unwrap_or_else(|| compute(&mut engine, &hint.key));
         let mut map = lock(&stripe.map);
-        map.insert(hint.edge, Slot::Done(Box::new(entry)));
+        map.insert(hint.key, Slot::Done(Box::new(entry)));
         drop(map);
         stripe.ready.notify_all();
     }
 }
 
-/// Coordinator-side demand for one edge: cache hit, await, or compute
+/// Coordinator-side demand for one key: cache hit, await, or compute
 /// inline; commit (account) the decision on first demand.
 #[allow(clippy::too_many_arguments)]
 fn demand<'a>(
-    edge: HeapEdge,
+    key: RefKey,
     cache: &CacheStripes,
     disk: Option<&DiskTier<'a>>,
     engine: &mut Engine<'a>,
-    committed: &mut HashMap<HeapEdge, EdgeDecision>,
+    committed: &mut HashMap<RefKey, EdgeDecision>,
     stats: &mut SearchStats,
     tally: &mut Tally,
 ) -> EdgeAnswer {
-    if let Some(d) = committed.get(&edge) {
+    if let Some(d) = committed.get(&key) {
         // Already accounted: answer from the committed decision; no witness
         // on cache hits (mirrors the historical per-client caches).
         return match &d.outcome {
@@ -368,26 +372,26 @@ fn demand<'a>(
             SearchOutcome::Aborted(r) => EdgeAnswer::Aborted(r.clone()),
         };
     }
-    let stripe = cache.stripe(&edge);
+    let stripe = cache.stripe(&key);
     let entry: CacheEntry = 'get: {
         let mut map = lock(&stripe.map);
         loop {
-            match map.get(&edge) {
+            match map.get(&key) {
                 Some(Slot::Done(e)) => break 'get (**e).clone(),
                 Some(Slot::InFlight) => {
                     map = stripe.ready.wait(map).unwrap_or_else(|e| e.into_inner());
                 }
                 None => {
-                    map.insert(edge, Slot::InFlight);
+                    map.insert(key, Slot::InFlight);
                     break;
                 }
             }
         }
         drop(map);
         let entry =
-            disk.and_then(|d| consult_disk(d, &edge)).unwrap_or_else(|| compute(engine, &edge));
+            disk.and_then(|d| consult_disk(d, &key)).unwrap_or_else(|| compute(engine, &key));
         let mut map = lock(&stripe.map);
-        map.insert(edge, Slot::Done(Box::new(entry.clone())));
+        map.insert(key, Slot::Done(Box::new(entry.clone())));
         drop(map);
         stripe.ready.notify_all();
         entry
@@ -400,13 +404,13 @@ fn demand<'a>(
     entry.obs.replay();
     stats.merge(&entry.stats);
     if let Some(d) = disk {
-        let fp = d.fpr.fingerprint(&edge);
-        let key = d.fpr.edge_key(&edge);
+        let fp = d.fpr.fingerprint_key(&key);
+        let key_str = d.fpr.key_string(&key);
         if entry.from_disk {
             tally.cache_hits += 1;
             obs::add(obs::Counter::CacheHits, 1);
         } else {
-            if d.store.has_stale(&key, fp) {
+            if d.store.has_stale(&key_str, fp) {
                 tally.cache_invalidated += 1;
                 obs::add(obs::Counter::CacheInvalidated, 1);
             } else {
@@ -416,7 +420,7 @@ fn demand<'a>(
             d.store.record(
                 d.program,
                 fp,
-                &key,
+                &key_str,
                 &PersistedDecision {
                     decision: entry.decision.clone(),
                     stats: entry.stats.clone(),
@@ -449,7 +453,7 @@ fn demand<'a>(
             EdgeAnswer::Aborted(r.clone())
         }
     };
-    committed.insert(edge, entry.decision);
+    committed.insert(key, entry.decision);
     answer
 }
 
@@ -464,7 +468,7 @@ fn run_job<'a>(
     cache: &CacheStripes,
     disk: Option<&DiskTier<'a>>,
     engine: &mut Engine<'a>,
-    committed: &mut HashMap<HeapEdge, EdgeDecision>,
+    committed: &mut HashMap<RefKey, EdgeDecision>,
     stats: &mut SearchStats,
     tally: &mut Tally,
 ) -> JobVerdict {
@@ -477,14 +481,14 @@ fn run_job<'a>(
         if let Some(q) = queue {
             q.push(
                 path.iter()
-                    .filter(|e| !committed.contains_key(e))
-                    .map(|&edge| Hint { edge, cancel: cancel.clone() })
+                    .filter(|&&e| !committed.contains_key(&RefKey::Edge(e)))
+                    .map(|&edge| Hint { key: RefKey::Edge(edge), cancel: cancel.clone() })
                     .collect(),
             );
         }
         let mut last_witness = None;
         for (i, &edge) in path.iter().enumerate() {
-            match demand(edge, cache, disk, engine, committed, stats, tally) {
+            match demand(RefKey::Edge(edge), cache, disk, engine, committed, stats, tally) {
                 EdgeAnswer::Refuted => {
                     view.delete(edge);
                     refuted_edges.push(edge);
@@ -492,8 +496,10 @@ fn run_job<'a>(
                     // edges. The count only looks at coordinator-committed
                     // state, so it is identical for every worker count.
                     cancel.store(true, Ordering::Relaxed);
-                    let descheduled =
-                        path[i + 1..].iter().filter(|e| !committed.contains_key(e)).count() as u64;
+                    let descheduled = path[i + 1..]
+                        .iter()
+                        .filter(|&&e| !committed.contains_key(&RefKey::Edge(e)))
+                        .count() as u64;
                     if descheduled > 0 {
                         tally.edges_descheduled += descheduled;
                         obs::add(obs::Counter::EdgesDescheduled, descheduled);
@@ -528,7 +534,7 @@ pub struct RefutationScheduler<'a> {
     cache: CacheStripes,
     /// The optional persistent warm-start tier below the striped cache.
     disk: Option<DiskTier<'a>>,
-    committed: HashMap<HeapEdge, EdgeDecision>,
+    committed: HashMap<RefKey, EdgeDecision>,
     stats: SearchStats,
 }
 
@@ -621,10 +627,27 @@ impl<'a> RefutationScheduler<'a> {
     }
 
     /// Every committed edge decision, in canonical edge order — independent
-    /// of thread count and commit order.
+    /// of thread count and commit order. Deref decisions are reported
+    /// separately by [`RefutationScheduler::deref_decisions`].
     pub fn decisions(&self) -> Vec<(HeapEdge, EdgeDecision)> {
-        let mut v: Vec<_> = self.committed.iter().map(|(e, d)| (*e, d.clone())).collect();
+        let mut v: Vec<_> = self
+            .committed
+            .iter()
+            .filter_map(|(k, d)| k.as_edge().map(|e| (*e, d.clone())))
+            .collect();
         v.sort_by_key(|&(e, _)| e);
+        v
+    }
+
+    /// Every committed deref decision, in canonical site order —
+    /// independent of thread count and commit order.
+    pub fn deref_decisions(&self) -> Vec<(DerefSite, EdgeDecision)> {
+        let mut v: Vec<_> = self
+            .committed
+            .iter()
+            .filter_map(|(k, d)| k.as_deref().map(|s| (*s, d.clone())))
+            .collect();
+        v.sort_by_key(|&(s, _)| s);
         v
     }
 
@@ -632,8 +655,18 @@ impl<'a> RefutationScheduler<'a> {
     /// first demand (sequentially, on the calling thread). Accounting goes
     /// into `tally`.
     pub fn decide_edge(&mut self, edge: HeapEdge, tally: &mut Tally) -> EdgeAnswer {
+        self.decide_key(RefKey::Edge(edge), tally)
+    }
+
+    /// Decides a single null-dereference candidate through the shared
+    /// cache, committing it on first demand.
+    pub fn decide_deref(&mut self, site: DerefSite, tally: &mut Tally) -> EdgeAnswer {
+        self.decide_key(RefKey::Deref(site), tally)
+    }
+
+    fn decide_key(&mut self, key: RefKey, tally: &mut Tally) -> EdgeAnswer {
         demand(
-            edge,
+            key,
             &self.cache,
             self.disk.as_ref(),
             &mut self.engine,
@@ -641,6 +674,69 @@ impl<'a> RefutationScheduler<'a> {
             &mut self.stats,
             tally,
         )
+    }
+
+    /// Decides every candidate dereference in `sites`, in order, through
+    /// the shared cache. With `jobs > 1`, worker threads speculatively warm
+    /// the cache over the whole batch while the coordinator demands (and
+    /// commits) the sites in input order — answers, tallies, and report
+    /// metrics are identical for every `jobs` setting.
+    pub fn run_derefs(
+        &mut self,
+        sites: &[DerefSite],
+        tally: &mut Tally,
+    ) -> Vec<(DerefSite, EdgeAnswer)> {
+        let workers = self.jobs - 1;
+        if workers == 0 {
+            return sites
+                .iter()
+                .map(|&site| (site, self.decide_key(RefKey::Deref(site), tally)))
+                .collect();
+        }
+        let program = self.program;
+        let pta = self.pta;
+        let modref = self.modref;
+        let deadline_at = self.deadline_at;
+        let cache = &self.cache;
+        let disk = self.disk.as_ref();
+        let engine = &mut self.engine;
+        let committed = &mut self.committed;
+        let stats = &mut self.stats;
+        let queue = RunQueue::new();
+        let mut out = Vec::with_capacity(sites.len());
+        std::thread::scope(|s| {
+            for i in 0..workers {
+                let cfg = self.config.clone();
+                let queue = &queue;
+                std::thread::Builder::new()
+                    .name(format!("refute-{i}"))
+                    .spawn_scoped(s, move || {
+                        let mut e = Engine::new(program, pta, modref, cfg);
+                        e.set_deadline_at(deadline_at);
+                        worker(queue, cache, disk, e);
+                    })
+                    .expect("spawn refutation worker");
+            }
+            // Seed the whole batch; sites are independent, so nothing is
+            // ever descheduled.
+            let cancel = Arc::new(AtomicBool::new(false));
+            let mut seen = HashSet::new();
+            let mut seeds = Vec::new();
+            for &site in sites {
+                let key = RefKey::Deref(site);
+                if !committed.contains_key(&key) && seen.insert(key) {
+                    seeds.push(Hint { key, cancel: cancel.clone() });
+                }
+            }
+            queue.push(seeds);
+            for &site in sites {
+                let answer =
+                    demand(RefKey::Deref(site), cache, disk, engine, committed, stats, tally);
+                out.push((site, answer));
+            }
+            queue.finish();
+        });
+        out
     }
 
     /// Runs the given jobs in order over `view`. The verdicts, committed
@@ -704,8 +800,9 @@ impl<'a> RefutationScheduler<'a> {
             for job in work {
                 if let Some(path) = view.find_path(program, job.source, &job.targets) {
                     for edge in path {
-                        if !committed.contains_key(&edge) && seen.insert(edge) {
-                            seeds.push(Hint { edge, cancel: seed.clone() });
+                        let key = RefKey::Edge(edge);
+                        if !committed.contains_key(&key) && seen.insert(key) {
+                            seeds.push(Hint { key, cancel: seed.clone() });
                         }
                     }
                 }
@@ -892,6 +989,144 @@ entry main;
         let other_out = other.run(&mut view, &work);
         assert_eq!(other_out.tally.cache_hits, 0, "config change must miss");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `b` is null unless the guarded allocation ran; `c` is always
+    /// allocated. The read through `b` is a real null dereference, the
+    /// write through `c` is refutable.
+    const NULL_SRC: &str = r#"
+class Box { field item: Object; }
+fn main() {
+  var b: Box;
+  var c: Box;
+  var o: Object;
+  var flag: int;
+  flag = 0;
+  c = new Box @box1;
+  if (flag == 1) {
+    b = new Box @box0;
+  }
+  o = b.item;
+  c.item = o;
+}
+entry main;
+"#;
+
+    fn read_site(p: &Program, base: &str) -> DerefSite {
+        (0..p.num_cmds())
+            .map(tir::CmdId::from_index)
+            .find_map(|c| match p.cmd(c) {
+                tir::Command::ReadField { obj, .. } if p.var(*obj).name == base => {
+                    Some(DerefSite { cmd: c, base: *obj })
+                }
+                _ => None,
+            })
+            .expect("no field read through that base")
+    }
+
+    fn write_site(p: &Program, base: &str) -> DerefSite {
+        (0..p.num_cmds())
+            .map(tir::CmdId::from_index)
+            .find_map(|c| match p.cmd(c) {
+                tir::Command::WriteField { obj, .. } if p.var(*obj).name == base => {
+                    Some(DerefSite { cmd: c, base: *obj })
+                }
+                _ => None,
+            })
+            .expect("no field write through that base")
+    }
+
+    #[test]
+    fn deref_answers_split_by_null_flow() {
+        let (p, r, m) = setup(NULL_SRC);
+        let mut sched = RefutationScheduler::new(&p, &r, &m, SymexConfig::default(), 1);
+        let mut tally = Tally::default();
+        let nullable = sched.decide_deref(read_site(&p, "b"), &mut tally);
+        assert!(matches!(nullable, EdgeAnswer::Witnessed(Some(_))), "{nullable:?}");
+        let safe = sched.decide_deref(write_site(&p, "c"), &mut tally);
+        assert!(matches!(safe, EdgeAnswer::Refuted), "{safe:?}");
+        assert_eq!(tally.edges_witnessed, 1);
+        assert_eq!(tally.edges_refuted, 1);
+        // Second demand is a cache hit: committed, no witness, no re-count.
+        let again = sched.decide_deref(read_site(&p, "b"), &mut tally);
+        assert!(matches!(again, EdgeAnswer::Witnessed(None)));
+        assert_eq!(tally.edges_witnessed, 1);
+        assert_eq!(sched.deref_decisions().len(), 2);
+        assert!(sched.decisions().is_empty(), "no edge decisions were made");
+    }
+
+    #[test]
+    fn run_derefs_is_jobs_invariant_and_disk_warmable() {
+        use crate::persist::CacheMode;
+        let dir = std::env::temp_dir().join("thresher-parallel-deref-disk");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (p, r, m) = setup(NULL_SRC);
+        let sites = [read_site(&p, "b"), write_site(&p, "c")];
+
+        let store = Arc::new(DecisionStore::open(&dir, CacheMode::ReadWrite, &p).expect("open"));
+        let mut cold = RefutationScheduler::new(&p, &r, &m, SymexConfig::default(), 1)
+            .with_store(store.clone());
+        let mut cold_tally = Tally::default();
+        let cold_out = cold.run_derefs(&sites, &mut cold_tally);
+        assert_eq!(cold_tally.cache_misses, 2);
+        assert_eq!(cold_tally.cache_hits, 0);
+        assert_eq!(store.len(), 2, "write-through persists deref decisions");
+
+        for jobs in [1, 4] {
+            let store = Arc::new(DecisionStore::open(&dir, CacheMode::Read, &p).expect("reopen"));
+            let mut warm = RefutationScheduler::new(&p, &r, &m, SymexConfig::default(), jobs)
+                .with_store(store);
+            let mut tally = Tally::default();
+            let out = warm.run_derefs(&sites, &mut tally);
+            let shape = |v: &[(DerefSite, EdgeAnswer)]| {
+                v.iter().map(|(s, a)| (*s, matches!(a, EdgeAnswer::Refuted))).collect::<Vec<_>>()
+            };
+            assert_eq!(shape(&out), shape(&cold_out), "jobs={jobs}");
+            assert_eq!(tally.cache_hits, 2, "jobs={jobs}");
+            assert_eq!(tally.fresh_path_programs, 0, "jobs={jobs}");
+            assert_eq!(warm.stats(), cold.stats(), "jobs={jobs}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The must-not-null strong update: `b != null` pins `b` non-null, so
+    /// a null reaching the guarded dereference *through the heap* (here a
+    /// global) is refuted only when `track_null_guards` is on.
+    #[test]
+    fn null_guard_strong_update_is_gated() {
+        const SRC: &str = r#"
+class Box { field item: Object; }
+global G: Box;
+fn main() {
+  var b: Box;
+  var t: Box;
+  var o: Object;
+  var flag: int;
+  flag = 0;
+  if (flag == 1) {
+    b = new Box @box0;
+  }
+  $G = b;
+  if (b != null) {
+    t = $G;
+    o = t.item;
+  }
+}
+entry main;
+"#;
+        let (p, r, m) = setup(SRC);
+        let site = read_site(&p, "t");
+        let mut engine = Engine::new(&p, &r, &m, SymexConfig::default());
+        assert!(
+            engine.refute_deref(&site).is_witnessed(),
+            "without guard tracking the heap-routed null survives"
+        );
+        let mut engine =
+            Engine::new(&p, &r, &m, SymexConfig::default().with_null_guards(true));
+        assert!(
+            engine.refute_deref(&site).is_refuted(),
+            "guard tracking refutes the heap-routed null flow"
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@ use pta::{HeapEdge, LocId, PtaResult};
 use tir::{CmdId, MethodId, Program};
 
 use crate::engine::EdgeDecision;
+use crate::key::RefKey;
 use crate::stats::{RefutationCounts, SearchOutcome, SearchStats, StopReason, Witness};
 use crate::SymexConfig;
 
@@ -122,7 +123,7 @@ pub struct Fingerprinter<'a> {
     config_key: String,
     /// Per-method content hash, indexed by `MethodId`.
     method_hash: Vec<u64>,
-    memo: Mutex<HashMap<HeapEdge, u64>>,
+    memo: Mutex<HashMap<RefKey, u64>>,
 }
 
 /// Cross-edit cache of per-method content hashes, keyed by canonical
@@ -275,15 +276,41 @@ impl<'a> Fingerprinter<'a> {
         }
     }
 
+    /// Canonical, id-free description of any [`RefKey`]. Deref sites are
+    /// keyed by method name, command ordinal within the method, and base
+    /// variable name — all stable across the id renumbering an edit
+    /// causes (any edit that *moves* the command within its method also
+    /// changes the method's content hash, so the fingerprint catches it).
+    pub fn key_string(&self, key: &RefKey) -> String {
+        match key {
+            RefKey::Edge(e) => self.edge_key(e),
+            RefKey::Deref(s) => {
+                let p = self.program;
+                let m = p.cmd_method(s.cmd);
+                let ordinal = p
+                    .method_cmds(m)
+                    .iter()
+                    .position(|&c| c == s.cmd)
+                    .expect("deref command in its own method");
+                format!("deref {}#{} {}", p.method_name(m), ordinal, p.var(s.base).name)
+            }
+        }
+    }
+
     /// The edge's mod-ref/call-graph slice: every method transitively
     /// reachable from the producers' methods along the call graph, in
     /// either direction (callees the search may enter, callers it may
     /// propagate into). Sorted by canonical method name.
     pub fn slice(&self, edge: &HeapEdge) -> Vec<MethodId> {
+        self.slice_from(self.pta.producers(edge).iter().map(|&c| self.program.cmd_method(c)))
+    }
+
+    /// The call-graph slice seeded from an arbitrary set of methods (deref
+    /// queries are seeded from the method containing the dereference).
+    fn slice_from(&self, seeds: impl Iterator<Item = MethodId>) -> Vec<MethodId> {
         let mut set = HashSet::new();
         let mut work = Vec::new();
-        for &c in self.pta.producers(edge) {
-            let m = self.program.cmd_method(c);
+        for m in seeds {
             if set.insert(m) {
                 work.push(m);
             }
@@ -312,23 +339,42 @@ impl<'a> Fingerprinter<'a> {
     /// FNV-1a over the edge key, every producer command's rendering, the
     /// config key, and every slice method's (name, content hash) pair.
     pub fn fingerprint(&self, edge: &HeapEdge) -> u64 {
-        if let Some(&fp) = lock(&self.memo).get(edge) {
+        self.fingerprint_key(&RefKey::Edge(*edge))
+    }
+
+    /// [`Fingerprinter::fingerprint`] generalized over [`RefKey`]: deref
+    /// fingerprints cover the key string, the dereferencing command's
+    /// rendering, the config key, and the slice seeded from the method
+    /// containing the dereference.
+    pub fn fingerprint_key(&self, key: &RefKey) -> u64 {
+        if let Some(&fp) = lock(&self.memo).get(key) {
             return fp;
         }
         let mut h = Fnv::new();
         h.write_str(CACHE_SCHEMA);
-        h.write_str(&self.edge_key(edge));
-        for &c in self.pta.producers(edge) {
-            h.write_str(&self.program.method_name(self.program.cmd_method(c)));
-            h.write_str(&tir::print_cmd(self.program, self.program.cmd(c)));
-        }
+        h.write_str(&self.key_string(key));
+        let slice = match key {
+            RefKey::Edge(edge) => {
+                for &c in self.pta.producers(edge) {
+                    h.write_str(&self.program.method_name(self.program.cmd_method(c)));
+                    h.write_str(&tir::print_cmd(self.program, self.program.cmd(c)));
+                }
+                self.slice(edge)
+            }
+            RefKey::Deref(site) => {
+                let m = self.program.cmd_method(site.cmd);
+                h.write_str(&self.program.method_name(m));
+                h.write_str(&tir::print_cmd(self.program, self.program.cmd(site.cmd)));
+                self.slice_from(std::iter::once(m))
+            }
+        };
         h.write_str(&self.config_key);
-        for m in self.slice(edge) {
+        for m in slice {
             h.write_str(&self.program.method_name(m));
             h.write_u64(self.method_hash[m.index()]);
         }
         let fp = h.finish();
-        lock(&self.memo).insert(*edge, fp);
+        lock(&self.memo).insert(*key, fp);
         fp
     }
 }
@@ -341,7 +387,7 @@ fn config_fingerprint_key(c: &SymexConfig) -> String {
     format!(
         "repr={:?};loop={:?};simp={};budget={};call_depth={};path_atoms={};iter_cap={};\
          mat_bound={};trace_cap={};heap_cells={};edge_deadline={:?};total_deadline={:?};\
-         degrade={};hard_heap_cap={};inject={:?}",
+         degrade={};null_guards={};hard_heap_cap={};inject={:?}",
         c.representation,
         c.loop_mode,
         c.simplification,
@@ -355,6 +401,7 @@ fn config_fingerprint_key(c: &SymexConfig) -> String {
         c.edge_deadline,
         c.total_deadline,
         c.degrade,
+        c.track_null_guards,
         c.hard_heap_cap,
         c.inject_panic_on_new,
     )

@@ -694,6 +694,28 @@ impl Engine<'_> {
                     self.stats.count_refutation(Refuted::Separation);
                     None
                 }
+                // Must-not-null strong update (null client): `x != null`
+                // with `x` unbound pins `x` to a fresh instance symbol —
+                // symbolic values are never null — so a null flowing into
+                // `x` earlier in the path refutes at the unification. An
+                // empty points-to set means `x` can only ever hold null,
+                // making the guarded branch infeasible outright.
+                (None, Some(Val::Null)) | (Some(Val::Null), None)
+                    if self.config.track_null_guards =>
+                {
+                    let var = match (&lhs, &rhs) {
+                        (Operand::Var(v), _) if a.is_none() => *v,
+                        (_, Operand::Var(v)) => *v,
+                        _ => return Some(q),
+                    };
+                    match self.get_or_bind(&mut q, var) {
+                        Ok(_) => Some(q),
+                        Err(r) => {
+                            self.stats.count_refutation(r);
+                            None
+                        }
+                    }
+                }
                 // Distinct symbols / sym-vs-null: consistent (symbols denote
                 // instances). The disaliasing fact is dropped (§3.3).
                 _ => Some(q),

@@ -31,7 +31,7 @@
 
 use std::collections::HashMap;
 
-use crate::ids::{AllocId, FieldId, GlobalId, MethodId, VarId};
+use crate::ids::{AllocId, CmdId, FieldId, GlobalId, MethodId, VarId};
 use crate::program::{Program, Ty};
 use crate::stmt::{BinOp, Callee, Command, Cond, Operand, Stmt};
 
@@ -122,9 +122,11 @@ pub struct Trace {
 pub enum InterpError {
     /// The fuel budget ran out.
     OutOfFuel,
-    /// A field/array access on null (the IR has no exceptions; analyses
-    /// treat these paths as unreachable, so the interpreter stops).
-    NullDereference,
+    /// A field/array access or virtual call on null (the IR has no
+    /// exceptions; analyses treat these paths as unreachable, so the
+    /// interpreter stops). Carries the id of the faulting command so
+    /// differential oracles can assert *which* dereference fired.
+    NullDereference(CmdId),
     /// A virtual call could not be resolved.
     NoSuchMethod(String),
 }
@@ -133,7 +135,7 @@ impl std::fmt::Display for InterpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             InterpError::OutOfFuel => f.write_str("out of fuel"),
-            InterpError::NullDereference => f.write_str("null dereference"),
+            InterpError::NullDereference(c) => write!(f, "null dereference at command {c}"),
             InterpError::NoSuchMethod(m) => write!(f, "no such method {m}"),
         }
     }
@@ -341,14 +343,14 @@ impl<'p> Interp<'p> {
             }
             Command::ReadField { dst, obj, field } => {
                 let CVal::Obj(o) = frame.get(obj) else {
-                    return Err(InterpError::NullDereference);
+                    return Err(InterpError::NullDereference(c));
                 };
                 let v = self.heap[o].fields.get(&field).copied().unwrap_or(CVal::Null);
                 frame.set(dst, v);
             }
             Command::WriteField { obj, field, src } => {
                 let CVal::Obj(o) = frame.get(obj) else {
-                    return Err(InterpError::NullDereference);
+                    return Err(InterpError::NullDereference(c));
                 };
                 let v = self.eval_operand(&src, frame);
                 self.heap[o].fields.insert(field, v);
@@ -374,7 +376,7 @@ impl<'p> Interp<'p> {
             }
             Command::ReadArray { dst, arr, idx } => {
                 let CVal::Obj(o) = frame.get(arr) else {
-                    return Err(InterpError::NullDereference);
+                    return Err(InterpError::NullDereference(c));
                 };
                 let i = match self.eval_operand(&idx, frame) {
                     CVal::Int(i) => i,
@@ -389,7 +391,7 @@ impl<'p> Interp<'p> {
             }
             Command::WriteArray { arr, idx, src } => {
                 let CVal::Obj(o) = frame.get(arr) else {
-                    return Err(InterpError::NullDereference);
+                    return Err(InterpError::NullDereference(c));
                 };
                 let v = self.eval_operand(&src, frame);
                 let i = match self.eval_operand(&idx, frame) {
@@ -404,12 +406,12 @@ impl<'p> Interp<'p> {
             }
             Command::ArrayLen { dst, arr } => {
                 let CVal::Obj(o) = frame.get(arr) else {
-                    return Err(InterpError::NullDereference);
+                    return Err(InterpError::NullDereference(c));
                 };
                 frame.set(dst, CVal::Int(self.heap[o].elements.len() as i64));
             }
             Command::Call { dst, callee, args } => {
-                let (target, bound_args) = self.resolve_call(&callee, &args, frame)?;
+                let (target, bound_args) = self.resolve_call(c, &callee, &args, frame)?;
                 let ret = self.invoke(target, bound_args)?;
                 if let Some(d) = dst {
                     frame.set(d, ret.unwrap_or(CVal::Null));
@@ -434,6 +436,7 @@ impl<'p> Interp<'p> {
 
     fn resolve_call(
         &self,
+        at: CmdId,
         callee: &Callee,
         args: &[Operand],
         frame: &Frame,
@@ -445,7 +448,7 @@ impl<'p> Interp<'p> {
             }
             Callee::Virtual { receiver, method } => {
                 let recv = frame.get(*receiver);
-                let CVal::Obj(o) = recv else { return Err(InterpError::NullDereference) };
+                let CVal::Obj(o) = recv else { return Err(InterpError::NullDereference(at)) };
                 let class = self.heap[o].class;
                 let target = self
                     .program
@@ -623,6 +626,14 @@ entry main;
         assert_eq!(err, InterpError::OutOfFuel);
     }
 
+    /// The first command of `p` satisfying `pred`, for pinning fault sites.
+    fn find_cmd(p: &Program, pred: impl Fn(&Command) -> bool) -> CmdId {
+        (0..p.num_cmds())
+            .map(CmdId::from_index)
+            .find(|&c| pred(p.cmd(c)))
+            .expect("no matching command")
+    }
+
     #[test]
     fn null_dereference_detected() {
         let src = r#"
@@ -636,7 +647,95 @@ entry main;
 "#;
         let p = crate::parse(src).expect("parse");
         let err = Interp::new(&p, Oracle::always_first(), 1000).run().unwrap_err();
-        assert_eq!(err, InterpError::NullDereference);
+        let read = find_cmd(&p, |c| matches!(c, Command::ReadField { .. }));
+        assert_eq!(err, InterpError::NullDereference(read));
+    }
+
+    #[test]
+    fn null_trap_names_scripted_site() {
+        // Two dereference sites; the scripted oracle decides which one
+        // fires. The trap must name the command that actually faulted.
+        let src = r#"
+class Box { field item: Object; }
+fn main() {
+  var b: Box;
+  var o: Object;
+  choice {
+    b = new Box @box0;
+  } or {
+    b = null;
+  }
+  choice {
+    o = b.item;
+  } or {
+    b.item = o;
+  }
+}
+entry main;
+"#;
+        let p = crate::parse(src).expect("parse");
+        let read = find_cmd(&p, |c| matches!(c, Command::ReadField { .. }));
+        let write = find_cmd(&p, |c| matches!(c, Command::WriteField { .. }));
+
+        // Null box, read site.
+        let err =
+            Interp::new(&p, Oracle::scripted(vec![true, false], vec![]), 1000).run().unwrap_err();
+        assert_eq!(err, InterpError::NullDereference(read));
+        // Null box, write site.
+        let err =
+            Interp::new(&p, Oracle::scripted(vec![true, true], vec![]), 1000).run().unwrap_err();
+        assert_eq!(err, InterpError::NullDereference(write));
+        // Allocated box: no fault on either site.
+        for site in [false, true] {
+            Interp::new(&p, Oracle::scripted(vec![false, site], vec![]), 1000)
+                .run()
+                .expect("allocated receiver never faults");
+        }
+    }
+
+    #[test]
+    fn null_trap_names_virtual_call_site() {
+        let src = r#"
+class A {
+  method tag(this: A): int { return 1; }
+}
+fn main() {
+  var a: A;
+  var t: int;
+  t = call a.tag();
+}
+entry main;
+"#;
+        let p = crate::parse(src).expect("parse");
+        let call = find_cmd(&p, |c| matches!(c, Command::Call { .. }));
+        let err = Interp::new(&p, Oracle::always_first(), 1000).run().unwrap_err();
+        assert_eq!(err, InterpError::NullDereference(call));
+    }
+
+    #[test]
+    fn null_trap_partial_trace_survives() {
+        // Everything recorded before the fault stays observable.
+        let src = r#"
+class Box { field item: Object; }
+global G: Box;
+fn main() {
+  var b: Box;
+  var n: Box;
+  var o: Object;
+  b = new Box @box0;
+  o = new Object @obj0;
+  b.item = o;
+  $G = b;
+  n.item = o;
+}
+entry main;
+"#;
+        let p = crate::parse(src).expect("parse");
+        let mut interp = Interp::new(&p, Oracle::always_first(), 1000);
+        let err = interp.run().unwrap_err();
+        assert!(matches!(err, InterpError::NullDereference(_)));
+        assert_eq!(interp.trace().field_edges.len(), 1);
+        assert_eq!(interp.trace().global_edges.len(), 1);
     }
 
     #[test]

@@ -335,6 +335,54 @@ fn cached_fingerprints_match_fresh_after_edits() {
     });
 }
 
+// ------------------------------------------------------------ property 4
+
+/// The null-dereference client over the incrementally maintained points-to
+/// state must answer exactly like a from-scratch run (reference solver)
+/// after every edit — byte-identical in both report renderings. The base
+/// program's `f1` field is nullable (only random edits ever write it), so
+/// edit scripts routinely create, move, and kill candidate sites.
+#[test]
+fn null_report_matches_from_scratch_after_edits() {
+    run_cases(24, |rng| {
+        let mut program = tir::parse(&base_source(rng)).expect("base program parses");
+        let mut inc =
+            IncrementalPta::new(&program, ContextPolicy::Insensitive, &PtaOptions::default());
+
+        let report = |program: &Program, pta: &pta::PtaResult| {
+            let modref = ModRef::compute(program, pta);
+            thresher::NullClient::new(program, pta, &modref, SymexConfig::default()).run()
+        };
+
+        let mut fresh = 4000usize;
+        for _ in 0..rng.usize_in(2, 4) {
+            let op = random_edit(rng, &program, &mut fresh);
+            let Ok(applied) = apply_edits(&mut program, std::slice::from_ref(&op)) else {
+                continue;
+            };
+            inc.apply_edits(&program, &applied);
+
+            let incremental = report(&program, &inc.result(&program));
+            let options = PtaOptions { solver: SolverKind::Reference, ..PtaOptions::default() };
+            let scratch = report(
+                &program,
+                &analyze_with(&program, ContextPolicy::Insensitive, &options),
+            );
+            assert_eq!(
+                incremental.describe(&program),
+                scratch.describe(&program),
+                "null report diverged from scratch after {op:?}\nprogram:\n{}",
+                tir::print_program(&program)
+            );
+            assert_eq!(
+                incremental.to_value(&program).to_json(),
+                scratch.to_value(&program).to_json(),
+                "null report JSON diverged from scratch after an edit"
+            );
+        }
+    });
+}
+
 // ------------------------------------------------------------ determinism
 
 /// Replaying the same edit sequence on two independent incremental solvers

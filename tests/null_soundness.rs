@@ -1,0 +1,201 @@
+//! Interpreter-backed soundness testing for the null-dereference client.
+//!
+//! Random programs composed from the null-motif vocabulary
+//! ([`apps::NullMotif`]) are checked by the full refutation stack and
+//! then *executed* by the real `tir::interp` under scripted oracle
+//! schedules. Three properties tie the static answers to concrete runs:
+//!
+//! 1. **Alarms are live.** Every alarm's dereference site concretely
+//!    faults: the schedule [`gated_schedule`] constructs for the motif
+//!    drives the interpreter into `InterpError::NullDereference` at
+//!    exactly the command the alarm names.
+//! 2. **Refutations are safe.** Every motif the client proves safe runs
+//!    to completion on its most adversarial schedule (the null `maybe`
+//!    taken, the fan steered at the dereference), and no random schedule
+//!    ever faults at a refuted site — faulting there would make the
+//!    refutation unsound.
+//! 3. **The cache does not bend ground truth.** The same programs
+//!    checked through a cold read-write store and again warm (read-only,
+//!    `--jobs 4`) yield byte-identical reports whose alarms still replay
+//!    concretely.
+//!
+//! The motifs are emitted behind per-motif `maybe` gates
+//! ([`build_null_program_gated`]) so a schedule can run any single motif
+//! in isolation — otherwise the first faulting motif would shadow every
+//! later alarm and properties 1–2 would be untestable for mixes.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use apps::null_motifs::{build_null_program_gated, expected_alarms, gated_schedule};
+use apps::NullMotif;
+use minicheck::{run_cases, Rng};
+use thresher::{CacheMode, Thresher};
+use tir::interp::{Interp, InterpError, Oracle};
+use tir::{CmdId, Command, Program};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_cache_dir() -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("thresher-null-fuzz-{}-{n}", std::process::id()))
+}
+
+fn arb_motif(rng: &mut Rng) -> NullMotif {
+    match rng.below(4) {
+        0 => NullMotif::VecGet { pushes: rng.below(3), read_at: rng.below(3) },
+        1 => NullMotif::DeepChain { depth: rng.usize_in(1, 3), null_source: rng.bool() },
+        2 => {
+            let width = rng.usize_in(2, 4);
+            let null_arm = if rng.bool() { Some(rng.below(width)) } else { None };
+            NullMotif::WideDispatch { width, null_arm }
+        }
+        _ => NullMotif::GuardedDeref,
+    }
+}
+
+fn arb_groups(rng: &mut Rng) -> Vec<(String, Vec<NullMotif>)> {
+    let ngroups = rng.usize_in(1, 2);
+    ["A", "B"]
+        .iter()
+        .take(ngroups)
+        .map(|tag| {
+            let motifs = (0..rng.usize_in(1, 3)).map(|_| arb_motif(rng)).collect();
+            (tag.to_string(), motifs)
+        })
+        .collect()
+}
+
+/// The dereference command motif `(tag, k)` pins its verdict on: the
+/// unique read into `sink_{tag}_{k}` the builder emits.
+fn sink_cmd(program: &Program, tag: &str, k: usize) -> CmdId {
+    let name = format!("sink_{tag}_{k}");
+    let entry = program.entry_opt().expect("entry");
+    program
+        .method_cmds(entry)
+        .into_iter()
+        .find(|&c| match program.cmd(c) {
+            Command::ReadField { dst, .. } => program.var(*dst).name == name,
+            _ => false,
+        })
+        .unwrap_or_else(|| panic!("no sink read for motif {tag}_{k}"))
+}
+
+/// Runs the gated program under `bits` and returns the outcome.
+fn run_with(program: &Program, bits: Vec<bool>) -> Result<(), InterpError> {
+    Interp::new(program, Oracle::scripted(bits, Vec::new()), 1_000_000).run().map(|_| ())
+}
+
+/// Per-motif correspondence: alarms fault concretely at the claimed
+/// command, safe motifs never fault, and no schedule faults anywhere
+/// the client did not alarm.
+fn check_against_interp(
+    groups: &[(String, Vec<NullMotif>)],
+    program: &Program,
+    alarm_cmds: &HashSet<CmdId>,
+    rng: &mut Rng,
+) {
+    for (gi, (tag, motifs)) in groups.iter().enumerate() {
+        for (ki, motif) in motifs.iter().enumerate() {
+            let cmd = sink_cmd(program, tag, ki);
+            let outcome = run_with(program, gated_schedule(groups, Some((gi, ki))));
+            if motif.expect_alarm() {
+                assert!(
+                    alarm_cmds.contains(&cmd),
+                    "motif {tag}_{ki} ({motif:?}) should alarm at {cmd}\nprogram:\n{}",
+                    tir::print_program(program)
+                );
+                assert_eq!(
+                    outcome,
+                    Err(InterpError::NullDereference(cmd)),
+                    "alarm at {cmd} ({motif:?}) did not replay concretely\nprogram:\n{}",
+                    tir::print_program(program)
+                );
+            } else {
+                assert!(
+                    !alarm_cmds.contains(&cmd),
+                    "refuted motif {tag}_{ki} ({motif:?}) alarmed\nprogram:\n{}",
+                    tir::print_program(program)
+                );
+                assert_eq!(
+                    outcome,
+                    Ok(()),
+                    "safe motif {tag}_{ki} ({motif:?}) faulted concretely — \
+                     its refutation is unsound\nprogram:\n{}",
+                    tir::print_program(program)
+                );
+            }
+        }
+    }
+    // Fault containment under arbitrary schedules: any concrete null
+    // dereference must be one the client reported.
+    for _ in 0..6 {
+        let bits = (0..24).map(|_| rng.bool()).collect();
+        if let Err(InterpError::NullDereference(c)) = run_with(program, bits) {
+            assert!(
+                alarm_cmds.contains(&c),
+                "UNSOUND: concrete null dereference at unreported {c}\nprogram:\n{}",
+                tir::print_program(program)
+            );
+        }
+    }
+}
+
+fn alarm_cmds(report: &thresher::NullReport) -> HashSet<CmdId> {
+    report.alarms.iter().map(|a| a.site.cmd).collect()
+}
+
+#[test]
+fn every_answer_path_matches_the_interpreter() {
+    run_cases(64, |rng| {
+        let groups = arb_groups(rng);
+        let program = build_null_program_gated(&groups);
+        let report = Thresher::new(&program).check_null_derefs();
+        assert_eq!(
+            report.num_alarms(),
+            expected_alarms(&groups),
+            "gating changed the verdicts\n{}",
+            report.describe(&program)
+        );
+        assert_eq!(report.edge_timeouts, 0, "budget artifact in a tiny program");
+        for a in &report.alarms {
+            assert!(a.witness.is_some(), "live run produced an alarm without a witness");
+        }
+        check_against_interp(&groups, &program, &alarm_cmds(&report), rng);
+    });
+}
+
+#[test]
+fn cache_lifecycle_preserves_concrete_ground_truth() {
+    run_cases(16, |rng| {
+        let groups = arb_groups(rng);
+        let program = build_null_program_gated(&groups);
+        let dir = fresh_cache_dir();
+
+        // Cold: live decisions written through to a fresh store.
+        let cold = Thresher::new(&program)
+            .with_cache(&dir, CacheMode::ReadWrite)
+            .expect("open fresh store")
+            .check_null_derefs();
+        assert_eq!(cold.num_alarms(), expected_alarms(&groups), "cold run wrong");
+
+        // Warm: decisions served from disk, parallel scheduler.
+        let warm = Thresher::new(&program)
+            .with_cache(&dir, CacheMode::Read)
+            .expect("reopen store read-only")
+            .with_jobs(4)
+            .check_null_derefs();
+        assert_eq!(
+            cold.describe(&program),
+            warm.describe(&program),
+            "cache state changed the report"
+        );
+        assert_eq!(cold.to_value(&program).to_json(), warm.to_value(&program).to_json());
+
+        // The warm answers still correspond to concrete execution.
+        check_against_interp(&groups, &program, &alarm_cmds(&warm), rng);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}

@@ -432,6 +432,132 @@ fn two_clients_get_identical_reports() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// A program with two null-deref candidates: `t.item` (reachable null —
+/// one alarm) and the guarded `u.item` (refuted). Used by the null-client
+/// serve tests.
+const NULLY: &str = r#"class Box { field item: Object; }
+fn main() {
+  var b: Box;
+  var t: Box;
+  var u: Box;
+  var o: Object;
+  var flag: int;
+  flag = 0;
+  b = new Box @box0;
+  o = new Object @obj0;
+  t = null;
+  if (flag == 1) {
+    t = new Box @box1;
+  }
+  b.item = o;
+  t.item = o;
+  u = null;
+  if (flag == 1) {
+    u = new Box @box2;
+  }
+  if (u != null) {
+    u.item = o;
+  }
+}
+entry main;
+"#;
+
+fn load_src_req(id: u64, name: &str, source: &str) -> String {
+    request(id, "load_program", &[("name", Value::str(name)), ("source", Value::str(source))])
+}
+
+fn analyze_null_req(id: u64, program: &str, extra: &[(&str, Value)]) -> String {
+    let mut params = vec![("program", Value::str(program)), ("client", Value::str("null"))];
+    params.extend(extra.iter().map(|(k, v)| (*k, v.clone())));
+    request(id, "analyze", &params)
+}
+
+/// The null client through the resident daemon: `analyze` with
+/// `"client": "null"` answers with the stable `NullReport` rendering, a
+/// panicking null query is contained to its own request, and the
+/// resident escape-client state (a `query_edge` answer decided before
+/// the panic) is untouched afterwards.
+#[test]
+fn null_client_analyze_isolates_faults_from_escape_state() {
+    let daemon = Daemon::new(ServeConfig { workers: 1, inject: true, ..ServeConfig::default() });
+    let script = [
+        load_req(1, "boxy"),
+        load_src_req(2, "nully", NULLY),
+        // Escape-client baseline on the resident boxy analysis.
+        query_req(3, "boxy", "str0", &[]),
+        analyze_null_req(4, "nully", &[]),
+        // A null query that panics mid-flight...
+        analyze_null_req(5, "nully", &[("inject", Value::str("panic"))]),
+        // ...must leave both residents answering byte-identically.
+        query_req(6, "boxy", "str0", &[]),
+        analyze_null_req(7, "nully", &[]),
+    ]
+    .join("\n");
+    let (lines, summary) = daemon.run_script(&script);
+    assert_eq!(summary.admitted, 7);
+    assert_eq!(summary.panicked, 1);
+
+    let null_body = ok_body(&lines, 4);
+    assert!(null_body.contains("\"candidate_sites\":2"), "wrong candidates: {null_body}");
+    assert!(null_body.contains("\"refuted_sites\":1"), "guarded deref not refuted: {null_body}");
+    assert!(null_body.contains("null? t at"), "missing t.item alarm: {null_body}");
+
+    assert_eq!(err_code(&lines, 5), "panic");
+    assert_eq!(ok_body(&lines, 6), ok_body(&lines, 3), "escape-client answer changed");
+    assert_eq!(ok_body(&lines, 7), null_body, "null report changed after the panic");
+}
+
+/// The same null analyze over the TCP transport answers identically to
+/// stdio.
+#[test]
+fn null_client_analyze_over_tcp_matches_stdio() {
+    let stdio_daemon = Daemon::new(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let script = [load_src_req(1, "nully", NULLY), analyze_null_req(2, "nully", &[])].join("\n");
+    let (stdio_lines, summary) = stdio_daemon.run_script(&script);
+    assert_eq!(summary.completed, 2);
+    let expected = ok_body(&stdio_lines, 2);
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let daemon = Arc::new(Daemon::new(ServeConfig { workers: 1, ..ServeConfig::default() }));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    daemon.start_listener(listener).expect("start listener");
+
+    // Hold stdio open (no data) until the TCP exchange finishes, then
+    // report EOF so the daemon drains — same shape as the tcp drain test.
+    struct Gate(Arc<AtomicBool>);
+    impl std::io::Read for Gate {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            while !self.0.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Ok(0)
+        }
+    }
+    let gate = Arc::new(AtomicBool::new(false));
+    let (d, g) = (daemon.clone(), gate.clone());
+    let runner = std::thread::spawn(move || d.run(BufReader::new(Gate(g)), std::io::sink()));
+
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+    writeln!(conn, "{}", load_src_req(1, "nully", NULLY)).unwrap();
+    writeln!(conn, "{}", analyze_null_req(2, "nully", &[])).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut lines = Vec::new();
+    for _ in 0..2 {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        lines.push(line.trim().to_owned());
+    }
+    drop(conn);
+    assert_eq!(ok_body(&lines, 2), expected, "TCP null report differs from stdio");
+    gate.store(true, Ordering::Relaxed);
+    let _ = runner.join().expect("runner join");
+}
+
 // ---- process lifecycle (spawned thresher-serve binary) ----
 
 fn spawn_serve(args: &[&str]) -> Child {
